@@ -1,0 +1,458 @@
+// Benchmark harness: one testing.B target per paper table and figure (run
+// `go test -bench 'Table|Figure' -benchmem`), plus the ablation benches
+// DESIGN.md calls out (recorder choice, thread-id capture, segmentation
+// tolerance, parallel-search chunking, per-operation instrumentation
+// overhead).
+package dsspy_test
+
+import (
+	"io"
+	"testing"
+
+	"dsspy/internal/apps"
+	"dsspy/internal/core"
+	"dsspy/internal/dstruct"
+	"dsspy/internal/experiments"
+	"dsspy/internal/par"
+	"dsspy/internal/pattern"
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+)
+
+// --- One bench per table/figure -------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	opts := experiments.Options{Reps: 1}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table4(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table6(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table7(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: recorder choice (§IV's asynchronous-collection design) -----
+
+func benchRecorder(b *testing.B, mk func() (trace.Recorder, func())) {
+	b.ReportAllocs()
+	rec, done := mk()
+	s := trace.NewSessionWith(trace.Options{Recorder: rec})
+	id := s.Register(trace.KindList, "List[int]", "", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(id, trace.OpInsert, i, i+1)
+	}
+	b.StopTimer()
+	done()
+}
+
+func BenchmarkRecorderNull(b *testing.B) {
+	benchRecorder(b, func() (trace.Recorder, func()) {
+		return trace.NullRecorder{}, func() {}
+	})
+}
+
+func BenchmarkRecorderMem(b *testing.B) {
+	benchRecorder(b, func() (trace.Recorder, func()) {
+		return trace.NewMemRecorder(), func() {}
+	})
+}
+
+func BenchmarkRecorderCounting(b *testing.B) {
+	benchRecorder(b, func() (trace.Recorder, func()) {
+		return trace.NewCountingRecorder(), func() {}
+	})
+}
+
+func BenchmarkRecorderAsync(b *testing.B) {
+	benchRecorder(b, func() (trace.Recorder, func()) {
+		col := trace.NewAsyncCollector()
+		return col, col.Close
+	})
+}
+
+func BenchmarkRecorderFile(b *testing.B) {
+	path := b.TempDir() + "/events.dslog"
+	fr, err := trace.CreateEventLog(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRecorder(b, func() (trace.Recorder, func()) {
+		return fr, func() { _ = fr.Close() }
+	})
+}
+
+func BenchmarkRecorderSocket(b *testing.B) {
+	srv, err := trace.ListenCollector("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	benchRecorder(b, func() (trace.Recorder, func()) {
+		sock, err := trace.DialCollector("tcp", srv.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sock, func() { _ = sock.Close() }
+	})
+}
+
+// --- Ablation: thread-id capture -------------------------------------------
+
+func BenchmarkThreadIDOff(b *testing.B) {
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}})
+	id := s.Register(trace.KindList, "List[int]", "", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(id, trace.OpRead, i, b.N)
+	}
+}
+
+func BenchmarkThreadIDOn(b *testing.B) {
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}, CaptureThreads: true})
+	id := s.Register(trace.KindList, "List[int]", "", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(id, trace.OpRead, i, b.N)
+	}
+}
+
+func BenchmarkThreadIDExplicit(b *testing.B) {
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}})
+	id := s.Register(trace.KindList, "List[int]", "", 0)
+	tid := trace.ExplicitThreadID()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EmitAs(id, trace.OpRead, i, b.N, tid)
+	}
+}
+
+// --- Ablation: run-segmentation tolerance ----------------------------------
+
+func segmentationProfile() *profile.Profile {
+	rec := trace.NewMemRecorder()
+	s := trace.NewSessionWith(trace.Options{Recorder: rec})
+	a := dstruct.NewArray[int](s, 1<<12)
+	for c := 0; c < 16; c++ {
+		for i := 0; i < a.Len(); i += 1 + c%3 { // mixed strides
+			a.Get(i)
+		}
+	}
+	return profile.Build(s, rec.Events())[0]
+}
+
+func BenchmarkSegmentationStrict(b *testing.B) {
+	p := segmentationProfile()
+	opts := profile.SegmentOptions{MaxStep: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if runs := p.RunsWith(opts); len(runs) == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+func BenchmarkSegmentationTolerant(b *testing.B) {
+	p := segmentationProfile()
+	opts := profile.SegmentOptions{MaxStep: 4, AllowRepeat: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if runs := p.RunsWith(opts); len(runs) == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+// --- Ablation: pattern detection and the full pipeline ----------------------
+
+func BenchmarkPatternDetection(b *testing.B) {
+	_, events := experiments.Figure3Events()
+	rec := trace.NewMemRecorder()
+	s := trace.NewSessionWith(trace.Options{Recorder: rec})
+	s.Register(trace.KindList, "List[int]", "", 0)
+	p := profile.Build(s, events)[0]
+	cfg := pattern.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sum := pattern.Summarize(p, cfg); sum.SequentialReads == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+func BenchmarkAnalyzePipeline(b *testing.B) {
+	s, events := experiments.Figure3Events()
+	d := core.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := d.Analyze(s, events)
+		if len(rep.UseCases()) != 2 {
+			b.Fatalf("use cases = %d", len(rep.UseCases()))
+		}
+	}
+}
+
+// --- Ablation: parallel-search chunking -------------------------------------
+
+func benchParSearch(b *testing.B, chunks int) {
+	data := make([]int, 1<<20)
+	data[len(data)-7] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := par.IndexOf(data, 1, chunks); got != len(data)-7 {
+			b.Fatalf("found %d", got)
+		}
+	}
+}
+
+func BenchmarkParSearch1(b *testing.B)  { benchParSearch(b, 1) }
+func BenchmarkParSearch2(b *testing.B)  { benchParSearch(b, 2) }
+func BenchmarkParSearch4(b *testing.B)  { benchParSearch(b, 4) }
+func BenchmarkParSearch16(b *testing.B) { benchParSearch(b, 16) }
+
+func BenchmarkParMergeSort(b *testing.B) {
+	src := make([]int, 1<<17)
+	for i := range src {
+		src[i] = int(uint32(i*2654435761) % 1000003)
+	}
+	buf := make([]int, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		par.MergeSort(buf, 0, func(a, b int) bool { return a < b })
+	}
+}
+
+// --- Ablation: per-operation instrumentation overhead (Table IV's slowdown
+// column decomposed) ----------------------------------------------------------
+
+func BenchmarkOverheadListAddPlain(b *testing.B) {
+	b.ReportAllocs()
+	l := dstruct.NewPlainList[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Add(i)
+	}
+}
+
+func BenchmarkOverheadListAddInstrumented(b *testing.B) {
+	b.ReportAllocs()
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}})
+	l := dstruct.NewList[int](s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Add(i)
+	}
+}
+
+func BenchmarkOverheadListAddRecorded(b *testing.B) {
+	b.ReportAllocs()
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NewMemRecorder()})
+	l := dstruct.NewList[int](s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Add(i)
+	}
+}
+
+func BenchmarkOverheadListGetPlain(b *testing.B) {
+	l := dstruct.NewPlainList[int]()
+	for i := 0; i < 1024; i++ {
+		l.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.Get(i&1023) != i&1023 {
+			b.Fatal("bad read")
+		}
+	}
+}
+
+func BenchmarkOverheadListGetInstrumented(b *testing.B) {
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}})
+	l := dstruct.NewList[int](s)
+	for i := 0; i < 1024; i++ {
+		l.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.Get(i&1023) != i&1023 {
+			b.Fatal("bad read")
+		}
+	}
+}
+
+// --- Sequential-optimization use cases quantified: the paper's three
+// non-parallel recommendations (IDF, SI, WWR) each promise a cost saving;
+// these benches measure it ---------------------------------------------------
+
+// Insert/Delete-Front: an array reallocating+copying per operation vs the
+// dynamic list the recommendation names.
+func BenchmarkSeqOptArrayAsDeque(b *testing.B) {
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}})
+	a := dstruct.NewArray[int](s, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.InsertAt(0, i)
+		a.RemoveAt(0)
+	}
+}
+
+func BenchmarkSeqOptListAsDeque(b *testing.B) {
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}})
+	l := dstruct.NewList[int](s)
+	for i := 0; i < 256; i++ {
+		l.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(0, i)
+		l.RemoveAt(0)
+	}
+}
+
+// Stack-Implementation: a hand-rolled stack on a list vs the dedicated
+// stack container.
+func BenchmarkSeqOptListAsStack(b *testing.B) {
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}})
+	l := dstruct.NewList[int](s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Add(i)
+		l.RemoveAt(l.Len() - 1)
+	}
+}
+
+func BenchmarkSeqOptRealStack(b *testing.B) {
+	s := trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}})
+	st := dstruct.NewStack[int](s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Push(i)
+		st.Pop()
+	}
+}
+
+// Write-Without-Read: nulling every slot before abandonment vs letting the
+// garbage collector do its job.
+func BenchmarkSeqOptCleanupWrites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buf := make([]*int, 4096)
+		for j := range buf {
+			v := j
+			buf[j] = &v
+		}
+		for j := range buf {
+			buf[j] = nil // the WWR anti-pattern
+		}
+	}
+}
+
+func BenchmarkSeqOptNoCleanup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buf := make([]*int, 4096)
+		for j := range buf {
+			v := j
+			buf[j] = &v
+		}
+		_ = buf // dropped; deallocation is the collector's job
+	}
+}
+
+// --- App-level end-to-end benches (the Table IV rows as single targets) -----
+
+func BenchmarkAppInstrumented(b *testing.B) {
+	for _, app := range apps.Apps() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				col := trace.NewAsyncCollector()
+				s := trace.NewSessionWith(trace.Options{Recorder: col, CaptureSites: true})
+				app.Instrumented(s)
+				col.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkAppPlainTwin(b *testing.B) {
+	for _, app := range apps.Apps() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				app.PlainTwin()
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Command dsbench regenerates the paper's evaluation artifacts: Figures 2
+// and 3 and Tables II through VII.
+//
+// Usage:
+//
+//	dsbench                 # everything
+//	dsbench -only table4    # one artifact: fig2, fig3, table2..table7, scaling
+//	dsbench -workers 8      # parallelism for recommendation-applied code
+//	dsbench -reps 5         # timing repetitions (best-of)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dsspy/internal/experiments"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "one of fig2, fig3, table2, table3, table4, table5, table6, table7")
+		workers = flag.Int("workers", 0, "workers for parallel variants (0 = GOMAXPROCS)")
+		reps    = flag.Int("reps", 0, "timing repetitions, best-of (0 = 3)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Workers: *workers, Reps: *reps}
+	artifacts := []struct {
+		name string
+		run  func(io.Writer) error
+	}{
+		{"fig2", experiments.Figure2},
+		{"fig3", experiments.Figure3},
+		{"table2", experiments.Table2},
+		{"table3", experiments.Table3},
+		{"table4", func(w io.Writer) error { return experiments.Table4(w, opts) }},
+		{"table5", experiments.Table5},
+		{"table6", experiments.Table6},
+		{"table7", experiments.Table7},
+		{"scaling", func(w io.Writer) error { return experiments.Scaling(w, opts) }},
+	}
+
+	sel := strings.ToLower(strings.TrimSpace(*only))
+	ran := false
+	for _, a := range artifacts {
+		if sel == "" && a.name == "scaling" {
+			continue // scaling is opt-in: meaningless on single-core hosts
+		}
+		if sel != "" && a.name != sel {
+			continue
+		}
+		if err := a.run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "dsbench: unknown artifact %q\n", sel)
+		os.Exit(2)
+	}
+}

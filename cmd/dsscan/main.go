@@ -1,0 +1,110 @@
+// Command dsscan runs the empirical-study scanner over a Go project (the
+// §II.A methodology transferred to Go sources): it counts data-structure
+// instantiations, sizes the parallelization search space, and suggests the
+// instrumented container for every raw allocation so the project can be
+// profiled with DSspy.
+//
+// Usage:
+//
+//	dsscan            # scan the current directory
+//	dsscan ./path     # scan a project
+//	dsscan -suggest   # also list per-site instrumentation suggestions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dsspy/internal/goscan"
+	"dsspy/internal/report"
+)
+
+func main() {
+	suggest := flag.Bool("suggest", false, "list per-site instrumentation suggestions")
+	top := flag.Int("top", 10, "how many files/suggestions to list")
+	flag.Parse()
+
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	res, err := goscan.ScanDir(root, os.ReadFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsscan:", err)
+		os.Exit(1)
+	}
+
+	counts := res.CountByKind()
+	tb := report.NewTable("Instantiation kind", "Count").AlignRight(1)
+	tb.Title = fmt.Sprintf("Data-structure instantiations in %s (%d files, %d LOC)",
+		root, len(res.Files), res.LOC())
+	kinds := make([]goscan.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return counts[kinds[i]] > counts[kinds[j]] })
+	total := 0
+	for _, k := range kinds {
+		tb.AddRow(string(k), counts[k])
+		total += counts[k]
+	}
+	tb.AddSeparator()
+	tb.AddRow("Total", total)
+	if _, err := tb.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dsscan:", err)
+		os.Exit(1)
+	}
+
+	// Densest files — where the search space concentrates.
+	type fileCount struct {
+		path string
+		n    int
+	}
+	var files []fileCount
+	for _, f := range res.Files {
+		if len(f.Instances) > 0 {
+			files = append(files, fileCount{f.Path, len(f.Instances)})
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n > files[j].n })
+	fmt.Printf("\nDensest files:\n")
+	for i, fc := range files {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %4d  %s\n", fc.n, fc.path)
+	}
+
+	// Struct-member view — the Go analogue of §II.A's "every third class
+	// contains a list member".
+	var structLists [][]goscan.StructInfo
+	for _, f := range res.Files {
+		src, err := os.ReadFile(f.Path)
+		if err != nil {
+			continue
+		}
+		if structs, err := goscan.ScanStructs(f.Path, string(src)); err == nil {
+			structLists = append(structLists, structs)
+		}
+	}
+	ss := goscan.AggregateStructs(structLists...)
+	if ss.Structs > 0 {
+		fmt.Printf("\nStruct members: %d structs; %.0f%% carry a slice field, %.0f%% a map field (paper's C# corpus: 33%% with a list member).\n",
+			ss.Structs, 100*ss.Fraction("slice"), 100*ss.Fraction("map"))
+	}
+
+	un := res.Uninstrumented()
+	fmt.Printf("\n%d of %d instantiations are uninstrumented raw allocations.\n", len(un), total)
+	if *suggest {
+		fmt.Println("Instrumentation suggestions:")
+		for i, in := range un {
+			if i >= *top {
+				fmt.Printf("  … and %d more (raise -top)\n", len(un)-i)
+				break
+			}
+			fmt.Printf("  %s:%d  %-28s → %s\n", in.File, in.Line, in.Type, in.Suggestion)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Command dsspy runs one of the evaluation programs (or a demo workload)
+// under instrumentation and prints the DSspy report: detected use cases with
+// evidence, recommended actions, and optional profile charts.
+//
+// Usage:
+//
+//	dsspy -list
+//	dsspy -app Gpdotnet [-chart] [-svg out.svg] [-html report.html]
+//	dsspy -app Mandelbrot -advise -cores 8
+//	dsspy -demo figure3 [-chart] [-log run.dslog]
+//	dsspy -replay run.dslog
+//	dsspy -app Algorithmia -collect 127.0.0.1:7777
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsspy/internal/advisor"
+	"dsspy/internal/apps"
+	"dsspy/internal/core"
+	"dsspy/internal/dstruct"
+	"dsspy/internal/trace"
+	"dsspy/internal/viz"
+)
+
+func main() {
+	var (
+		listApps = flag.Bool("list", false, "list available programs and demos")
+		appName  = flag.String("app", "", "evaluation program to profile")
+		demo     = flag.String("demo", "", "demo workload: figure2, figure3, queue, stack")
+		chart    = flag.Bool("chart", false, "print an ASCII profile chart per instance with findings")
+		svgPath  = flag.String("svg", "", "write an SVG profile chart of the first flagged instance")
+		htmlPath = flag.String("html", "", "write a self-contained HTML report")
+		jsonPath = flag.String("json", "", "write the findings as JSON")
+		advise   = flag.Bool("advise", false, "print ranked transformation plans with Amdahl estimates")
+		cores    = flag.Int("cores", 8, "core count for the advisor's Amdahl estimates")
+		logPath  = flag.String("log", "", "save the session (registry + events) to this file for -replay")
+		replay   = flag.String("replay", "", "re-analyze a session log written with -log instead of running a workload")
+		collect  = flag.String("collect", "", "ship events to a collector at host:port instead of in-process")
+	)
+	flag.Parse()
+
+	if *listApps {
+		fmt.Println("Evaluation programs (-app):")
+		for _, a := range apps.Apps() {
+			fmt.Printf("  %-16s %s (paper: %d LOC)\n", a.Name, a.Domain, a.PaperLOC)
+		}
+		fmt.Println("Demos (-demo): figure2, figure3, queue, stack")
+		return
+	}
+
+	var s *trace.Session
+	var evs []trace.Event
+	if *replay != "" {
+		var err error
+		s, evs, err = trace.LoadSessionLog(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replaying %s: %d instances, %d events\n\n", *replay, s.NumInstances(), len(evs))
+	} else {
+		workload := pickWorkload(*appName, *demo)
+		if workload == nil {
+			fmt.Fprintln(os.Stderr, "nothing to run: pass -app <name>, -demo <name>, -replay <file>, or -list")
+			os.Exit(2)
+		}
+
+		var rec trace.Recorder
+		var events func() []trace.Event
+		if *collect != "" {
+			sock, err := trace.DialCollector("tcp", *collect)
+			if err != nil {
+				fatal(err)
+			}
+			defer sock.Close()
+			// Keep a local copy for the report; the remote collector gets
+			// the same stream.
+			mem := trace.NewMemRecorder()
+			rec = trace.TeeRecorder{sock, mem}
+			events = mem.Events
+		} else {
+			col := trace.NewAsyncCollector()
+			rec = col
+			events = func() []trace.Event { col.Close(); return col.Events() }
+		}
+
+		s = trace.NewSessionWith(trace.Options{Recorder: rec, CaptureSites: true})
+		workload(s)
+		evs = events()
+		if *logPath != "" {
+			if err := trace.SaveSessionLog(*logPath, s, evs); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("session log written to %s (%d events) — re-analyze with -replay\n\n", *logPath, len(evs))
+		}
+	}
+
+	rep := core.New().Analyze(s, evs)
+	if err := rep.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *advise {
+		fmt.Println("\nTransformation plans (ranked by Amdahl estimate):")
+		if err := advisor.Write(os.Stdout, advisor.Advise(rep, *cores), *cores); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nJSON findings written to %s\n", *jsonPath)
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			fatal(err)
+		}
+		title := "DSspy report"
+		if *appName != "" {
+			title = "DSspy report — " + *appName
+		} else if *demo != "" {
+			title = "DSspy report — demo " + *demo
+		}
+		if err := viz.WriteHTMLReport(f, rep, viz.HTMLOptions{Title: title}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nHTML report written to %s\n", *htmlPath)
+	}
+
+	if *chart {
+		for _, ir := range rep.Instances {
+			if len(ir.UseCases) == 0 {
+				continue
+			}
+			fmt.Printf("\nProfile of %s %q (%d events):\n",
+				ir.Profile.Instance.TypeName, ir.Profile.Instance.Label, ir.Profile.Len())
+			fmt.Print(viz.ASCIIChart(ir.Profile.Events, viz.DefaultChartOptions()))
+		}
+	}
+	if *svgPath != "" {
+		for _, ir := range rep.Instances {
+			if len(ir.UseCases) == 0 {
+				continue
+			}
+			f, err := os.Create(*svgPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := viz.WriteSVG(f, ir.Profile.Events, 1000, 320); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nSVG profile written to %s\n", *svgPath)
+			break
+		}
+	}
+}
+
+func pickWorkload(appName, demo string) func(*trace.Session) {
+	if appName != "" {
+		app := apps.ByName(appName)
+		if app == nil {
+			// Forgiving lookup.
+			for _, a := range apps.Apps() {
+				if strings.EqualFold(a.Name, appName) {
+					app = a
+					break
+				}
+			}
+		}
+		if app == nil {
+			fmt.Fprintf(os.Stderr, "unknown app %q (try -list)\n", appName)
+			os.Exit(2)
+		}
+		return app.Instrumented
+	}
+	switch demo {
+	case "figure2":
+		return func(s *trace.Session) {
+			l := dstruct.NewListCap[int](s, 10)
+			for i := 0; i < 10; i++ {
+				l.Add(i)
+			}
+			for i := 9; i >= 0; i-- {
+				l.Get(i)
+			}
+		}
+	case "figure3":
+		return func(s *trace.Session) {
+			l := dstruct.NewListLabeled[int](s, "producer/scanner")
+			for c := 0; c < 12; c++ {
+				for i := 0; i < 150; i++ {
+					l.Add(i)
+				}
+				for i := 0; i < l.Len(); i++ {
+					l.Get(i)
+				}
+				l.Clear()
+			}
+		}
+	case "queue":
+		return func(s *trace.Session) {
+			l := dstruct.NewListLabeled[int](s, "hand-rolled FIFO")
+			for c := 0; c < 20; c++ {
+				for i := 0; i < 10; i++ {
+					l.Add(i)
+				}
+				for i := 0; i < 10; i++ {
+					l.RemoveAt(0)
+				}
+			}
+		}
+	case "stack":
+		return func(s *trace.Session) {
+			l := dstruct.NewListLabeled[int](s, "hand-rolled LIFO")
+			for c := 0; c < 20; c++ {
+				for i := 0; i < 10; i++ {
+					l.Add(i)
+				}
+				for i := 0; i < 10; i++ {
+					l.RemoveAt(l.Len() - 1)
+				}
+			}
+		}
+	case "":
+		return nil
+	default:
+		fmt.Fprintf(os.Stderr, "unknown demo %q\n", demo)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsspy:", err)
+	os.Exit(1)
+}

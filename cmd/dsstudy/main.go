@@ -1,0 +1,89 @@
+// Command dsstudy regenerates the paper's empirical study (§II): Table I
+// (program distribution across domains) and Figure 1 (data-structure
+// occurrence per program), by generating the 37-program corpus and re-running
+// the regex-based static scan over it.
+//
+// Usage:
+//
+//	dsstudy            # Table I + Figure 1
+//	dsstudy -table1
+//	dsstudy -fig1
+//	dsstudy -dump DIR  # also write the generated C#-like sources
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dsspy/internal/corpus"
+	"dsspy/internal/experiments"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "print only Table I")
+		fig1     = flag.Bool("fig1", false, "print only Figure 1")
+		findings = flag.Bool("findings", false, "print only the §II.A prose findings")
+		dump     = flag.String("dump", "", "write the generated corpus sources into this directory")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		if err := dumpCorpus(*dump); err != nil {
+			fmt.Fprintln(os.Stderr, "dsstudy:", err)
+			os.Exit(1)
+		}
+	}
+
+	all := !*table1 && !*fig1 && !*findings
+	if *table1 || all {
+		if err := experiments.Table1(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dsstudy:", err)
+			os.Exit(1)
+		}
+	}
+	if *fig1 || all {
+		if err := experiments.Figure1(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dsstudy:", err)
+			os.Exit(1)
+		}
+	}
+	if *findings || all {
+		if err := experiments.StudyFindings(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dsstudy:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func dumpCorpus(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	types := corpus.TypeAllocation()
+	arrays := corpus.ArrayAllocation()
+	for _, p := range corpus.StaticPrograms() {
+		src := corpus.GenerateSource(p, types[p.Name], arrays[p.Name])
+		name := filepath.Join(dir, sanitize(p.Name)+".cs")
+		if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("corpus written to %s (37 files)\n", dir)
+	return nil
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,79 @@
+// Command dstune reproduces the threshold-tuning step of §III.B: the use
+// cases' threshold values were "tuned on the 23 programs to yield the best
+// detection quality". It evaluates threshold assignments against the
+// labeled use-case corpus and reports per-threshold sensitivity curves plus
+// the result of a coordinate-descent search.
+//
+// Usage:
+//
+//	dstune               # sensitivity curves for the paper's thresholds
+//	dstune -search       # coordinate descent from a deliberately bad start
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsspy/internal/report"
+	"dsspy/internal/tuning"
+	"dsspy/internal/usecase"
+)
+
+func main() {
+	search := flag.Bool("search", false, "run coordinate descent from a detuned start")
+	flag.Parse()
+
+	fmt.Println("Building labeled samples (24 study programs)…")
+	samples := tuning.BuildSamples()
+
+	base := usecase.Default()
+	q := tuning.Evaluate(samples, base)
+	fmt.Printf("Paper thresholds: %v\n\n", q)
+
+	for _, ax := range tuning.DefaultAxes() {
+		tb := report.NewTable(ax.Name, "TP", "FP", "FN", "Precision", "Recall", "F1").
+			AlignRight(1, 2, 3, 4, 5, 6)
+		tb.Title = "Sensitivity: " + ax.Name
+		for _, pt := range tuning.QualityCurve(samples, base, ax) {
+			tb.AddRow(
+				trimFloat(pt.Value),
+				pt.Quality.TP, pt.Quality.FP, pt.Quality.FN,
+				report.F2(pt.Quality.Precision()),
+				report.F2(pt.Quality.Recall()),
+				report.F2(pt.Quality.F1()),
+			)
+		}
+		if _, err := tb.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *search {
+		start := base
+		start.LIMinRunLen = 10
+		start.SAIMinRunLen = 10
+		start.FLRMinPatterns = 40
+		fmt.Printf("Detuned start (LI.MinRunLen=10, FLR.MinPatterns=40): %v\n",
+			tuning.Evaluate(samples, start))
+		tuned, tq, trace := tuning.Tune(samples, start, tuning.DefaultAxes(), 3)
+		fmt.Printf("After coordinate descent (%d candidate evaluations): %v\n", len(trace), tq)
+		fmt.Printf("Tuned: LI.MinRunLen=%d LI.MinPhaseFraction=%.2f IQ.MinEndFraction=%.2f FS.MinSearchOps=%d FLR.MinPatterns=%d FLR.MinCoverage=%.2f\n",
+			tuned.LIMinRunLen, tuned.LIMinPhaseFraction, tuned.IQMinEndFraction,
+			tuned.FSMinSearchOps, tuned.FLRMinPatterns, tuned.FLRMinCoverage)
+		fmt.Printf("Paper:  LI.MinRunLen=100 LI.MinPhaseFraction=0.30 IQ.MinEndFraction=0.60 FS.MinSearchOps=1000 FLR.MinPatterns=10 FLR.MinCoverage=0.50\n")
+	}
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dstune:", err)
+	os.Exit(1)
+}

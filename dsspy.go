@@ -1,0 +1,160 @@
+// Package dsspy is a dynamic profiler that locates parallelization potential
+// in the runtime profiles of object-oriented data structures, a Go
+// implementation of the system described in "Locating Parallelization
+// Potential in Object-Oriented Data Structures" (Molitorisz, Karcher,
+// Bieleš, Tichy — IEEE IPDPS 2014).
+//
+// The workflow mirrors the paper's Figure 4:
+//
+//  1. Build your workload against the instrumented containers (List, Array,
+//     Dictionary, Stack, Queue, ...) instead of raw slices and maps — in Go
+//     this proxy layer replaces the paper's Roslyn source rewriting.
+//  2. Run the workload through a Session; every interface method emits one
+//     access event into a recorder.
+//  3. Analyze post-mortem: profiles → access patterns → use cases, each use
+//     case carrying evidence and a recommended action.
+//
+// Minimal usage:
+//
+//	rep := dsspy.Run(func(s *dsspy.Session) {
+//	    l := dsspy.NewList[int](s)
+//	    for i := 0; i < 1000; i++ {
+//	        l.Add(i)
+//	    }
+//	})
+//	rep.Write(os.Stdout)
+//
+// The subpackages under internal implement the pipeline; this package is the
+// stable public surface.
+package dsspy
+
+import (
+	"dsspy/internal/core"
+	"dsspy/internal/dstruct"
+	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
+)
+
+// Session owns event sequencing, the instance registry and the recorder for
+// one profiling run.
+type Session = trace.Session
+
+// Event is one access event (timestamp, access type, position, size,
+// thread id, instance binding).
+type Event = trace.Event
+
+// Recorder consumes access events.
+type Recorder = trace.Recorder
+
+// Report is the analysis outcome: per-instance profiles, patterns and use
+// cases.
+type Report = core.Report
+
+// UseCase is one detected use case with its recommended action.
+type UseCase = usecase.UseCase
+
+// Thresholds carries the use-case threshold values (§III.B).
+type Thresholds = usecase.Thresholds
+
+// Config bundles all pipeline tunables.
+type Config = core.Config
+
+// Analyzer is the DSspy pipeline.
+type Analyzer = core.DSspy
+
+// NewSession returns a session with an in-memory recorder and call-site
+// capture, ready for instrumented containers.
+func NewSession() *Session { return trace.NewSession() }
+
+// NewAnalyzer returns an analyzer with the paper's default thresholds.
+func NewAnalyzer() *Analyzer { return core.New() }
+
+// NewAnalyzerWith returns an analyzer with an explicit configuration.
+func NewAnalyzerWith(cfg Config) *Analyzer { return core.NewWith(cfg) }
+
+// DefaultConfig returns the paper's thresholds and strict pattern matching.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultThresholds returns the §III.B threshold values.
+func DefaultThresholds() Thresholds { return usecase.Default() }
+
+// Run profiles the workload with an asynchronous collector and analyzes it
+// with default configuration — the one-call entry point.
+func Run(workload func(*Session)) *Report {
+	return core.New().Run(workload)
+}
+
+// Instrumented containers (the proxy layer). Each constructor registers the
+// instance with the session; every interface method emits one access event.
+
+// NewList returns an empty instrumented list.
+func NewList[T comparable](s *Session) *dstruct.List[T] { return dstruct.NewList[T](s) }
+
+// NewListCap returns an instrumented list with preallocated capacity.
+func NewListCap[T comparable](s *Session, capacity int) *dstruct.List[T] {
+	return dstruct.NewListCap[T](s, capacity)
+}
+
+// NewListLabeled returns an instrumented list with a semantic label for
+// reports.
+func NewListLabeled[T comparable](s *Session, label string) *dstruct.List[T] {
+	return dstruct.NewListLabeled[T](s, label)
+}
+
+// NewArray returns an instrumented fixed-size array.
+func NewArray[T comparable](s *Session, length int) *dstruct.Array[T] {
+	return dstruct.NewArray[T](s, length)
+}
+
+// NewArrayLabeled returns a labeled instrumented array.
+func NewArrayLabeled[T comparable](s *Session, length int, label string) *dstruct.Array[T] {
+	return dstruct.NewArrayLabeled[T](s, length, label)
+}
+
+// NewDictionary returns an instrumented hash map.
+func NewDictionary[K comparable, V any](s *Session) *dstruct.Dictionary[K, V] {
+	return dstruct.NewDictionary[K, V](s)
+}
+
+// NewStack returns an instrumented LIFO container.
+func NewStack[T comparable](s *Session) *dstruct.Stack[T] { return dstruct.NewStack[T](s) }
+
+// NewQueue returns an instrumented FIFO container.
+func NewQueue[T comparable](s *Session) *dstruct.Queue[T] { return dstruct.NewQueue[T](s) }
+
+// NewHashSet returns an instrumented set.
+func NewHashSet[T comparable](s *Session) *dstruct.HashSet[T] { return dstruct.NewHashSet[T](s) }
+
+// NewLinkedList returns an instrumented doubly linked list.
+func NewLinkedList[T comparable](s *Session) *dstruct.LinkedList[T] {
+	return dstruct.NewLinkedList[T](s)
+}
+
+// Ordered constrains SortedList and SortedSet keys.
+type Ordered = dstruct.Ordered
+
+// NewSortedList returns an instrumented key-ordered list.
+func NewSortedList[K Ordered, V any](s *Session) *dstruct.SortedList[K, V] {
+	return dstruct.NewSortedList[K, V](s)
+}
+
+// NewSortedSet returns an instrumented ordered set.
+func NewSortedSet[T Ordered](s *Session) *dstruct.SortedSet[T] {
+	return dstruct.NewSortedSet[T](s)
+}
+
+// NewArrayList returns an instrumented untyped list.
+func NewArrayList(s *Session) *dstruct.ArrayList { return dstruct.NewArrayList(s) }
+
+// ReplaySession loads a session log saved by trace.SaveSessionLog (or
+// `dsspy -log`) for re-analysis: Analyze the returned events against the
+// returned session.
+func ReplaySession(path string) (*Session, []Event, error) {
+	return trace.LoadSessionLog(path)
+}
+
+// SaveSession writes a self-contained session log (registry + events) that
+// ReplaySession can load later.
+func SaveSession(path string, s *Session, events []Event) error {
+	return trace.SaveSessionLog(path, s, events)
+}

@@ -1,0 +1,83 @@
+package dsspy_test
+
+import (
+	"strings"
+	"testing"
+
+	"dsspy"
+)
+
+// TestFacadeQuickstart exercises the public API exactly like the package
+// documentation example.
+func TestFacadeQuickstart(t *testing.T) {
+	rep := dsspy.Run(func(s *dsspy.Session) {
+		l := dsspy.NewList[int](s)
+		for i := 0; i < 1000; i++ {
+			l.Add(i)
+		}
+	})
+	ucs := rep.UseCases()
+	if len(ucs) != 1 || ucs[0].Kind.Short() != "LI" {
+		t.Fatalf("use cases = %v, want one Long-Insert", ucs)
+	}
+	var sb strings.Builder
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Parallelize the insert operation.") {
+		t.Error("report missing recommendation")
+	}
+}
+
+// TestFacadeContainers touches every public constructor.
+func TestFacadeContainers(t *testing.T) {
+	s := dsspy.NewSession()
+	l := dsspy.NewListCap[string](s, 4)
+	l.Add("x")
+	dsspy.NewListLabeled[int](s, "labeled").Add(1)
+	a := dsspy.NewArray[float64](s, 8)
+	a.Set(0, 1.5)
+	dsspy.NewArrayLabeled[int](s, 2, "arr").Set(1, 2)
+	d := dsspy.NewDictionary[string, int](s)
+	d.Put("k", 1)
+	st := dsspy.NewStack[int](s)
+	st.Push(1)
+	q := dsspy.NewQueue[int](s)
+	q.Enqueue(1)
+	h := dsspy.NewHashSet[int](s)
+	h.Add(1)
+	ll := dsspy.NewLinkedList[int](s)
+	ll.AddLast(1)
+	if s.NumInstances() != 9 {
+		t.Errorf("instances = %d, want 9", s.NumInstances())
+	}
+}
+
+// TestFacadeCustomThresholds runs an analyzer with tightened thresholds.
+func TestFacadeCustomThresholds(t *testing.T) {
+	cfg := dsspy.DefaultConfig()
+	cfg.Thresholds.LIMinRunLen = 10
+	an := dsspy.NewAnalyzerWith(cfg)
+	rep := an.Run(func(s *dsspy.Session) {
+		l := dsspy.NewList[int](s)
+		for i := 0; i < 20; i++ {
+			l.Add(i)
+		}
+	})
+	if len(rep.UseCases()) != 1 {
+		t.Errorf("lowered threshold did not fire: %v", rep.UseCases())
+	}
+	// Defaults would not fire on 20 inserts.
+	rep2 := dsspy.NewAnalyzer().Run(func(s *dsspy.Session) {
+		l := dsspy.NewList[int](s)
+		for i := 0; i < 20; i++ {
+			l.Add(i)
+		}
+	})
+	if len(rep2.UseCases()) != 0 {
+		t.Errorf("default threshold fired unexpectedly: %v", rep2.UseCases())
+	}
+	if dsspy.DefaultThresholds().LIMinRunLen != 100 {
+		t.Error("DefaultThresholds not the paper values")
+	}
+}

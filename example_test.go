@@ -1,0 +1,64 @@
+package dsspy_test
+
+import (
+	"fmt"
+
+	"dsspy"
+)
+
+// The package-level workflow: instrument, run, read the findings.
+func ExampleRun() {
+	rep := dsspy.Run(func(s *dsspy.Session) {
+		l := dsspy.NewListLabeled[int](s, "bulk load")
+		for i := 0; i < 500; i++ {
+			l.Add(i)
+		}
+	})
+	for _, u := range rep.UseCases() {
+		fmt.Printf("%s on %q: %s\n", u.Kind, u.Instance.Label, u.Recommendation)
+	}
+	// Output:
+	// Long-Insert on "bulk load": Parallelize the insert operation.
+}
+
+// Detecting the paper's Figure 3 profile: a producer/scanner cycle yields
+// Long-Insert plus Frequent-Long-Read.
+func ExampleRun_figure3() {
+	rep := dsspy.Run(func(s *dsspy.Session) {
+		l := dsspy.NewList[int](s)
+		for cycle := 0; cycle < 12; cycle++ {
+			for i := 0; i < 150; i++ {
+				l.Add(i)
+			}
+			for i := 0; i < l.Len(); i++ {
+				l.Get(i)
+			}
+			l.Clear()
+		}
+	})
+	for _, u := range rep.UseCases() {
+		fmt.Println(u.Kind.Short())
+	}
+	// Output:
+	// LI
+	// FLR
+}
+
+// The search space shrinks to the flagged instances only.
+func ExampleReport_searchSpace() {
+	rep := dsspy.Run(func(s *dsspy.Session) {
+		busy := dsspy.NewList[int](s)
+		for i := 0; i < 200; i++ {
+			busy.Add(i)
+		}
+		quiet := dsspy.NewList[int](s)
+		quiet.Add(1)
+		idle := dsspy.NewArray[int](s, 8)
+		idle.Set(0, 1)
+	})
+	ss := rep.SearchSpace()
+	fmt.Printf("%d of %d instances remain (%.0f%% reduction)\n",
+		ss.Flagged, ss.Total, 100*ss.Reduction())
+	// Output:
+	// 1 of 3 instances remain (67% reduction)
+}

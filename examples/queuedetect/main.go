@@ -1,0 +1,98 @@
+// Queuedetect demonstrates the container-misuse use cases: a FIFO
+// hand-rolled on a list (Implement-Queue), a LIFO hand-rolled on a list
+// (Stack-Implementation), a fixed-size array used like a dynamic list
+// (Insert/Delete-Front), and end-of-life cleanup writes (Write-Without-Read).
+// It then swaps the flagged FIFO for the concurrent queue the recommendation
+// names and shows it behaving identically under concurrent producers.
+//
+//	go run ./examples/queuedetect
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"dsspy"
+	"dsspy/internal/par"
+)
+
+func main() {
+	rep := dsspy.Run(func(s *dsspy.Session) {
+		// A queue implemented as a list: bursts of appends at the back,
+		// consumption at the front.
+		fifo := dsspy.NewListLabeled[int](s, "job backlog (list as FIFO)")
+		for c := 0; c < 25; c++ {
+			for i := 0; i < 8; i++ {
+				fifo.Add(c*8 + i)
+			}
+			fifo.Get(0)
+			for i := 0; i < 8; i++ {
+				fifo.RemoveAt(0)
+			}
+		}
+
+		// A stack implemented as a list: inserts and deletes share the
+		// back end.
+		lifo := dsspy.NewListLabeled[int](s, "undo history (list as LIFO)")
+		for c := 0; c < 12; c++ {
+			for i := 0; i < 5; i++ {
+				lifo.Add(i)
+			}
+			for i := 0; i < 5; i++ {
+				lifo.RemoveAt(lifo.Len() - 1)
+			}
+		}
+
+		// A fixed-size array abused as a dynamic front-insert list: every
+		// operation reallocates and copies.
+		ring := dsspy.NewArrayLabeled[int](s, 8, "alert buffer (array as deque)")
+		for c := 0; c < 12; c++ {
+			ring.InsertAt(0, c)
+			ring.RemoveAt(0)
+		}
+
+		// End-of-life cleanup: every slot nulled, never read again.
+		cache := dsspy.NewListLabeled[int](s, "cache (cleanup writes)")
+		for i := 0; i < 50; i++ {
+			cache.Add(i)
+		}
+		for i := 0; i < cache.Len(); i++ {
+			cache.Get(i)
+		}
+		for i := 0; i < cache.Len(); i++ {
+			cache.Set(i, 0)
+		}
+		cache.Clear()
+	})
+	if err := rep.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Apply the Implement-Queue recommendation: a parallel queue.
+	fmt.Println("\nApplying the Implement-Queue recommendation (concurrent producers):")
+	q := par.NewConcurrentQueue[int]()
+	var wg sync.WaitGroup
+	const producers, perProducer = 4, 500
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(base + i)
+			}
+		}(p * perProducer)
+	}
+	wg.Wait()
+	seen := make(map[int]bool)
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		seen[v] = true
+	}
+	fmt.Printf("  %d items enqueued by %d goroutines, %d distinct items drained — lossless.\n",
+		producers*perProducer, producers, len(seen))
+}

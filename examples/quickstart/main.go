@@ -1,0 +1,52 @@
+// Quickstart: profile a workload with DSspy and read the recommendations.
+//
+// The workload reproduces the paper's Figure 3 scenario — a list repeatedly
+// filled, scanned front to end, and cleared — which yields the two use
+// cases Long-Insert and Frequent-Long-Read.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dsspy"
+)
+
+func main() {
+	rep := dsspy.Run(func(s *dsspy.Session) {
+		work := dsspy.NewListLabeled[int](s, "work items")
+		for cycle := 0; cycle < 12; cycle++ {
+			// Producer phase: long insertion runs.
+			for i := 0; i < 200; i++ {
+				work.Add(cycle*1000 + i)
+			}
+			// Scanner phase: a full front-to-end pass — a disguised
+			// search.
+			sum := 0
+			for i := 0; i < work.Len(); i++ {
+				sum += work.Get(i)
+			}
+			_ = sum
+			work.Clear()
+		}
+
+		// A second list that only collects a few entries: DSspy filters it
+		// out of the search space.
+		audit := dsspy.NewListLabeled[string](s, "audit log")
+		audit.Add("started")
+		audit.Add("finished")
+	})
+
+	if err := rep.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nPer-instance summary:")
+	for _, ir := range rep.Instances {
+		fmt.Printf("  %-24s %5d events, %2d patterns, %d use cases\n",
+			ir.Profile.Instance.Label, ir.Profile.Len(), len(ir.Patterns()), len(ir.UseCases))
+	}
+}

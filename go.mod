@@ -1,0 +1,3 @@
+module dsspy
+
+go 1.22

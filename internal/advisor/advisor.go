@@ -1,0 +1,211 @@
+// Package advisor turns detected use cases into concrete transformation
+// plans. The paper closes with "for now, each recommendation needs to be
+// implemented manually; however automated transformation is possible if the
+// recommended action is clearly specified" — this package is that
+// specification: for every finding it emits the Go rewrite sketch (in terms
+// of package par's primitives) and an expected-benefit estimate derived from
+// the profile via Amdahl's law, so recommendations can be ranked before an
+// engineer invests in any of them.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dsspy/internal/core"
+	"dsspy/internal/pattern"
+	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
+)
+
+// Plan is one actionable transformation.
+type Plan struct {
+	UseCase usecase.UseCase
+	// Share is the fraction of the instance's access events inside the
+	// region the transformation parallelizes — the profile-derived stand-in
+	// for the region's runtime share.
+	Share float64
+	// Sketch is the Go rewrite template, phrased with package par.
+	Sketch string
+}
+
+// Speedup estimates the plan's benefit on the given core count via
+// Amdahl's law over the affected share.
+func (p Plan) Speedup(cores int) float64 {
+	if cores < 1 {
+		cores = 1
+	}
+	s := p.Share
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return 1.0 / ((1 - s) + s/float64(cores))
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("%s on %s %s (region share %.0f%%)",
+		p.UseCase.Kind, p.UseCase.Instance.TypeName, p.UseCase.Instance.Label, 100*p.Share)
+}
+
+// Advise builds one plan per detected parallel use case in the report,
+// ranked by estimated benefit on the given core count (best first).
+func Advise(rep *core.Report, cores int) []Plan {
+	var plans []Plan
+	for _, ir := range rep.Instances {
+		st := ir.Profile.Stats()
+		if st.Total == 0 {
+			continue
+		}
+		for _, u := range ir.UseCases {
+			if !u.Kind.Parallel() {
+				continue
+			}
+			plans = append(plans, Plan{
+				UseCase: u,
+				Share:   regionShare(u.Kind, ir),
+				Sketch:  sketch(u.Kind, ir.Profile.Instance),
+			})
+		}
+	}
+	sort.SliceStable(plans, func(i, j int) bool {
+		return plans[i].Speedup(cores) > plans[j].Speedup(cores)
+	})
+	return plans
+}
+
+// regionShare estimates what fraction of the instance's accesses the use
+// case's region covers.
+func regionShare(k usecase.Kind, ir *core.InstanceResult) float64 {
+	st := ir.Profile.Stats()
+	total := float64(st.Total)
+	if total == 0 {
+		return 0
+	}
+	sum := ir.Summary
+	switch k {
+	case usecase.LongInsert:
+		events := sum.InsertEvents()
+		// Array fills count their write patterns as insertion phases.
+		if ir.Profile.Instance.Kind == trace.KindArray {
+			events += sum.EventsIn[pattern.WriteForward] + sum.EventsIn[pattern.WriteBackward]
+		}
+		return float64(events) / total
+	case usecase.FrequentLongRead, usecase.FrequentSearch:
+		reads := sum.DirectionalReadEvents() +
+			st.Count(trace.OpSearch) + st.Count(trace.OpForAll)
+		return float64(reads) / total
+	case usecase.SortAfterInsert:
+		return float64(sum.InsertEvents()+st.Count(trace.OpSort)) / total
+	case usecase.ImplementQueue:
+		return 1.0 // the container itself is replaced
+	default:
+		return 0
+	}
+}
+
+// sketch renders the rewrite template for the use case.
+func sketch(k usecase.Kind, inst trace.Instance) string {
+	name := identifier(inst)
+	switch k {
+	case usecase.LongInsert:
+		return fmt.Sprintf(strings.TrimSpace(`
+// Long-Insert: materialize the insertion loop as a parallel fill.
+// Before:  for i := 0; i < n; i++ { %[1]s.Add(f(i)) }
+buf := make([]T, n)
+par.FillFunc(buf, workers, func(i int) T { return f(i) })
+%[1]s.AddRange(buf)
+`), name)
+	case usecase.ImplementQueue:
+		return fmt.Sprintf(strings.TrimSpace(`
+// Implement-Queue: the list is used as a FIFO; replace it with a
+// synchronized queue so producers and consumers can run concurrently.
+// Before:  %[1]s.Add(v) … v := %[1]s.Get(0); %[1]s.RemoveAt(0)
+q := par.NewConcurrentQueue[T]()
+q.Enqueue(v)                 // any producer goroutine
+if v, ok := q.Dequeue(); ok { … }   // any consumer goroutine
+`), name)
+	case usecase.SortAfterInsert:
+		return fmt.Sprintf(strings.TrimSpace(`
+// Sort-After-Insert: insertion order is irrelevant; fill in parallel and
+// sort with the parallel merge sort.
+buf := make([]T, n)
+par.FillFunc(buf, workers, func(i int) T { return f(i) })
+par.MergeSort(buf, 0, less)
+%[1]s.AddRange(buf)
+`), name)
+	case usecase.FrequentSearch:
+		return fmt.Sprintf(strings.TrimSpace(`
+// Frequent-Search: split the list into chunks and search them in parallel.
+// Before:  idx := %[1]s.IndexOf(target)
+idx := par.IndexOf(%[1]s.Unwrap(), target, workers)
+// Alternatively switch to a structure optimized for searches (sorted /
+// hashed) if ordering permits.
+`), name)
+	case usecase.FrequentLongRead:
+		return fmt.Sprintf(strings.TrimSpace(`
+// Frequent-Long-Read: the repeated full scans are a disguised search or
+// aggregation; run them chunked in parallel.
+// Search:     idx := par.IndexFunc(%[1]s.Unwrap(), workers, pred)
+// Arg-max:    idx := par.MaxIndex(%[1]s.Unwrap(), workers, less)
+// Aggregate:  sum := par.Reduce(%[1]s.Unwrap(), workers, identity, combine)
+`), name)
+	default:
+		return ""
+	}
+}
+
+// identifier derives a readable variable name for the sketch.
+func identifier(inst trace.Instance) string {
+	label := inst.Label
+	if label == "" {
+		label = strings.ToLower(inst.Kind.String())
+	}
+	var sb strings.Builder
+	up := false
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			if up && sb.Len() > 0 {
+				sb.WriteRune(r &^ 0x20)
+			} else {
+				sb.WriteRune(r)
+			}
+			up = false
+		default:
+			up = true
+		}
+	}
+	if sb.Len() == 0 {
+		return "instance"
+	}
+	return sb.String()
+}
+
+// Write renders the ranked plans.
+func Write(w interface{ Write([]byte) (int, error) }, plans []Plan, cores int) error {
+	if len(plans) == 0 {
+		_, err := fmt.Fprintln(w, "No transformation plans: no parallel use cases detected.")
+		return err
+	}
+	for i, p := range plans {
+		if _, err := fmt.Fprintf(w,
+			"Plan %d — %s\n  Site:            %s\n  Region share:    %.0f%% of this instance's accesses\n  Amdahl estimate: %.2fx on %d cores\n  Sketch:\n%s\n\n",
+			i+1, p, p.UseCase.Instance.Site, 100*p.Share, p.Speedup(cores), cores,
+			indent(p.Sketch, "    ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}

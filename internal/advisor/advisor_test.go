@@ -1,0 +1,187 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"dsspy/internal/apps"
+	"dsspy/internal/core"
+	"dsspy/internal/dstruct"
+	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
+)
+
+func TestAdviseFigure3(t *testing.T) {
+	rep := core.New().Run(func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, "work items")
+		for c := 0; c < 12; c++ {
+			for i := 0; i < 150; i++ {
+				l.Add(i)
+			}
+			for i := 0; i < l.Len(); i++ {
+				l.Get(i)
+			}
+			l.Clear()
+		}
+	})
+	plans := Advise(rep, 8)
+	if len(plans) != 2 {
+		t.Fatalf("plans = %d, want 2 (LI + FLR)", len(plans))
+	}
+	// FLR's region (the scans, ~50 %) matches LI's (the inserts, ~50 %);
+	// both must produce sensible shares and Amdahl estimates.
+	for _, p := range plans {
+		if p.Share < 0.4 || p.Share > 0.6 {
+			t.Errorf("%s share = %.2f, want ~0.5", p.UseCase.Kind, p.Share)
+		}
+		sp := p.Speedup(8)
+		if sp < 1.5 || sp > 2.0 {
+			t.Errorf("%s Amdahl(8) = %.2f, want ~1.8 for a 50%% region", p.UseCase.Kind, sp)
+		}
+		if p.Sketch == "" || !strings.Contains(p.Sketch, "par.") {
+			t.Errorf("%s has no par-based sketch", p.UseCase.Kind)
+		}
+		if p.String() == "" {
+			t.Error("empty String")
+		}
+	}
+}
+
+func TestAdviseRanksByBenefit(t *testing.T) {
+	rep := core.New().Run(func(s *trace.Session) {
+		// Dominant region: a list that is almost entirely one long
+		// insertion phase.
+		big := dstruct.NewListLabeled[int](s, "bulk load")
+		for i := 0; i < 2000; i++ {
+			big.Add(i)
+		}
+		// Minor region: scans cover only ~55 % of this instance's events.
+		mixed := dstruct.NewListLabeled[int](s, "mixed")
+		for i := 0; i < 300; i++ {
+			mixed.Add(i)
+		}
+		for c := 0; c < 12; c++ {
+			for i := 0; i < mixed.Len(); i += 10 {
+				mixed.Get(i)
+			}
+			for i := 0; i < mixed.Len(); i++ {
+				mixed.Get(i)
+			}
+		}
+	})
+	plans := Advise(rep, 8)
+	if len(plans) < 2 {
+		t.Fatalf("plans = %v", plans)
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i-1].Speedup(8) < plans[i].Speedup(8) {
+			t.Errorf("plans not ranked: %.2f before %.2f",
+				plans[i-1].Speedup(8), plans[i].Speedup(8))
+		}
+	}
+	if plans[0].UseCase.Instance.Label != "bulk load" {
+		t.Errorf("top plan = %v, want the dominant bulk load", plans[0])
+	}
+}
+
+func TestAdviseAllKindsHaveSketches(t *testing.T) {
+	// gpdotnet (LI+FLR), queue and sort scenarios cover IQ, SAI, FS too.
+	rep := core.New().Run(func(s *trace.Session) {
+		fifo := dstruct.NewListLabeled[int](s, "fifo")
+		for c := 0; c < 20; c++ {
+			for i := 0; i < 10; i++ {
+				fifo.Add(i)
+			}
+			for i := 0; i < 10; i++ {
+				fifo.RemoveAt(0)
+			}
+		}
+		sorted := dstruct.NewListLabeled[int](s, "sortme")
+		for i := 0; i < 140; i++ {
+			sorted.Add(140 - i)
+		}
+		sorted.Sort(func(a, b int) bool { return a < b })
+		searched := dstruct.NewListLabeled[int](s, "searched")
+		for i := 0; i < 100; i++ {
+			searched.Add(i)
+		}
+		for i := 0; i < 1100; i++ {
+			searched.Contains(i % 150)
+		}
+	})
+	plans := Advise(rep, 4)
+	kinds := map[usecase.Kind]bool{}
+	for _, p := range plans {
+		kinds[p.UseCase.Kind] = true
+		if p.Sketch == "" {
+			t.Errorf("%s has no sketch", p.UseCase.Kind)
+		}
+	}
+	for _, k := range []usecase.Kind{usecase.ImplementQueue, usecase.SortAfterInsert, usecase.FrequentSearch} {
+		if !kinds[k] {
+			t.Errorf("missing plan for %s (got %v)", k, plans)
+		}
+	}
+	// IQ replaces the whole container: share 1, best possible estimate.
+	for _, p := range plans {
+		if p.UseCase.Kind == usecase.ImplementQueue && p.Share != 1.0 {
+			t.Errorf("IQ share = %v", p.Share)
+		}
+	}
+}
+
+func TestAdviseOnEvaluationApp(t *testing.T) {
+	rep := core.New().Run(apps.ByName("Gpdotnet").Instrumented)
+	plans := Advise(rep, 8)
+	if len(plans) != 5 {
+		t.Fatalf("gpdotnet plans = %d, want 5", len(plans))
+	}
+	var sb strings.Builder
+	if err := Write(&sb, plans, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Plan 1", "Plan 5", "Amdahl estimate", "par."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("advisor output missing %q", want)
+		}
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "No transformation plans") {
+		t.Error("empty output wrong")
+	}
+}
+
+func TestSpeedupClamps(t *testing.T) {
+	p := Plan{Share: 2.0}
+	if got := p.Speedup(4); got != 4 {
+		t.Errorf("clamped speedup = %v, want 4", got)
+	}
+	p = Plan{Share: -1}
+	if got := p.Speedup(4); got != 1 {
+		t.Errorf("negative share speedup = %v, want 1", got)
+	}
+	if got := (Plan{Share: 0.5}).Speedup(0); got != 1 {
+		t.Errorf("zero cores speedup = %v, want 1", got)
+	}
+}
+
+func TestIdentifier(t *testing.T) {
+	cases := map[string]string{
+		"work items":   "workItems",
+		"":             "list",
+		"población-x!": "poblaciNX", // non-ASCII letters are dropped, separators camel-case
+	}
+	for label, want := range cases {
+		inst := trace.Instance{Label: label, Kind: trace.KindList}
+		if got := identifier(inst); got != want {
+			t.Errorf("identifier(%q) = %q, want %q", label, got, want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package apps contains Go mini-ports of the seven programs the paper's
+// evaluation (Table IV) runs DSspy on: Algorithmia, AstroGrep,
+// ContentFinder, CPU Benchmarks (Linpack + Whetstone), GPdotNET, Mandelbrot
+// and WordWheelSolver.
+//
+// Every app exists in three forms sharing one code path shape:
+//
+//   - Instrumented: the workload against the dstruct proxy containers,
+//     producing the runtime profiles DSspy analyzes;
+//   - Plain: the same workload on uninstrumented data (the original program,
+//     the denominator of the slowdown measurement);
+//   - Parallel: the workload after applying the recommended actions DSspy
+//     produced, used for the speedup column.
+//
+// Plain and Parallel return a checksum so tests can assert that following a
+// recommendation preserves program semantics.
+package apps
+
+import (
+	"time"
+
+	"dsspy/internal/trace"
+)
+
+// App describes one evaluation program.
+type App struct {
+	Name   string
+	Domain string
+	// PaperLOC and PaperSlowdown/PaperSpeedup are Table IV's published
+	// reference values, used when printing the paper-vs-measured tables.
+	PaperLOC       int
+	PaperRuntime   float64 // seconds
+	PaperSlowdown  float64
+	PaperReduction float64 // search-space reduction, 0..1
+	PaperSpeedup   float64
+
+	// WantDataStructures, WantUseCases, WantTruePositives are Table IV's
+	// "Data Structures" and "Use Cases: X of Y" columns.
+	WantDataStructures int
+	WantUseCases       int
+	WantTruePositives  int
+
+	// Instrumented runs the workload against dstruct containers.
+	Instrumented func(s *trace.Session)
+	// PlainTwin runs the same workload at the same input size on raw data
+	// — the original program the slowdown column divides by. (Plain and
+	// Parallel use the paper's full input sizes, which can differ from the
+	// instrumented run's.)
+	PlainTwin func()
+	// Plain runs the original sequential workload.
+	Plain func() uint64
+	// Parallel runs the workload with the recommended actions applied,
+	// using `workers` goroutines in the parallelized regions.
+	Parallel func(workers int) uint64
+
+	// Regions measures the wall time of the inherently sequential part and
+	// the parallelizable part of the plain workload (Table VI); nil when
+	// the app is not part of that comparison.
+	Regions func() (seq, par time.Duration)
+
+	// Probes isolate each detected use case's code region so the harness
+	// can follow the recommended action per finding and classify it as a
+	// true or false positive — the paper's precision measurement.
+	Probes []Probe
+}
+
+// Probe is one use-case region: the sequential original and the
+// recommendation-applied parallel version of just that region.
+type Probe struct {
+	Name    string
+	UseCase string // the use-case short name (LI, FLR, ...)
+	Seq     func()
+	Par     func(workers int)
+}
+
+// Measure runs the probe both ways and returns the region speedup
+// (sequential time / parallel time), taking the best of reps runs each.
+func (p Probe) Measure(workers, reps int) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	best := func(fn func()) time.Duration {
+		b := time.Duration(1<<62 - 1)
+		for i := 0; i < reps; i++ {
+			if d := timeIt(fn); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	seq := best(p.Seq)
+	parD := best(func() { p.Par(workers) })
+	if parD <= 0 {
+		return 1
+	}
+	return float64(seq) / float64(parD)
+}
+
+// Apps returns the seven evaluation programs in Table IV order.
+func Apps() []*App {
+	return []*App{
+		Algorithmia(),
+		AstroGrep(),
+		ContentFinder(),
+		CPUBenchmarks(),
+		GPdotNET(),
+		Mandelbrot(),
+		WordWheelSolver(),
+	}
+}
+
+// ByName returns the app with the given name, or nil.
+func ByName(name string) *App {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// timeIt measures fn's wall time.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// mix64 is a small deterministic hash used for checksums and pseudo-random
+// data so runs are reproducible without math/rand.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rng is a tiny deterministic generator (splitmix64).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// float64n returns a float in [0,1).
+func (r *rng) float64n() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns an int in [0,n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

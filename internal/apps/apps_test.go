@@ -1,0 +1,300 @@
+package apps
+
+import (
+	"runtime"
+	"testing"
+
+	"dsspy/internal/core"
+	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
+)
+
+// analyze runs the instrumented workload under DSspy.
+func analyze(t *testing.T, app *App) *core.Report {
+	t.Helper()
+	return core.New().Run(app.Instrumented)
+}
+
+// TestAppDetectionMatchesTableIV pins every app's Table IV identity: the
+// number of list/array-plus-other container instances and the number of
+// parallel use cases DSspy detects.
+func TestAppDetectionMatchesTableIV(t *testing.T) {
+	totalDS, totalUC := 0, 0
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			rep := analyze(t, app)
+			// The paper counts list and array instantiations — the two
+			// structures DSspy implements its automatic analysis for.
+			ds := rep.SearchSpace().Total
+			if ds != app.WantDataStructures {
+				t.Errorf("list/array instances = %d, want %d", ds, app.WantDataStructures)
+			}
+			par := rep.ParallelUseCases()
+			if len(par) != app.WantUseCases {
+				for _, u := range par {
+					t.Logf("  detected: %s on %s %q (%s)", u.Kind, u.Instance.TypeName, u.Instance.Label, u.Evidence)
+				}
+				t.Errorf("parallel use cases = %d, want %d", len(par), app.WantUseCases)
+			}
+			totalDS += ds
+			totalUC += len(par)
+		})
+	}
+	// The evaluation's headline: 104 instances down to 24 use cases.
+	if totalDS != 104 {
+		t.Errorf("total data structures = %d, want 104", totalDS)
+	}
+	if totalUC != 24 {
+		t.Errorf("total use cases = %d, want 24", totalUC)
+	}
+}
+
+// TestAppParallelMatchesPlain asserts that applying the recommended actions
+// preserves semantics: the parallel checksum equals the sequential one.
+func TestAppParallelMatchesPlain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workloads in -short mode")
+	}
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			plain := app.Plain()
+			par := app.Parallel(4)
+			if plain != par {
+				t.Errorf("checksum mismatch: plain=%#x parallel=%#x", plain, par)
+			}
+		})
+	}
+}
+
+// TestGPdotNETTableVShape checks that the five gpdotnet findings land on
+// the three structures Table V names: FLR on the terminal-set array,
+// FLR+LI on the population list, FLR+LI on the fitness array.
+func TestGPdotNETTableVShape(t *testing.T) {
+	rep := analyze(t, GPdotNET())
+	type key struct {
+		label string
+		kind  usecase.Kind
+	}
+	found := map[key]bool{}
+	for _, u := range rep.ParallelUseCases() {
+		found[key{u.Instance.Label, u.Kind}] = true
+	}
+	want := []key{
+		{"terminal set", usecase.FrequentLongRead},
+		{"population (CHPopulation)", usecase.FrequentLongRead},
+		{"population (CHPopulation)", usecase.LongInsert},
+		{"fitness (FitnessProportionateSelection)", usecase.FrequentLongRead},
+		{"fitness (FitnessProportionateSelection)", usecase.LongInsert},
+	}
+	for _, k := range want {
+		if !found[k] {
+			t.Errorf("missing Table V finding: %s on %q", k.kind, k.label)
+		}
+	}
+	if len(found) != len(want) {
+		t.Errorf("found %d findings, want %d: %v", len(found), len(want), found)
+	}
+}
+
+// TestMandelbrotFindings pins the four §V findings to their structures.
+func TestMandelbrotFindings(t *testing.T) {
+	rep := analyze(t, Mandelbrot())
+	byLabel := map[string][]usecase.Kind{}
+	for _, u := range rep.ParallelUseCases() {
+		byLabel[u.Instance.Label] = append(byLabel[u.Instance.Label], u.Kind)
+	}
+	for label, kinds := range map[string]usecase.Kind{
+		"iteration image": usecase.LongInsert,
+		"final image":     usecase.LongInsert,
+		"y coordinates":   usecase.LongInsert,
+		"x coordinates":   usecase.FrequentLongRead,
+	} {
+		got := byLabel[label]
+		if len(got) != 1 || got[0] != kinds {
+			t.Errorf("%q findings = %v, want [%s]", label, got, kinds)
+		}
+	}
+}
+
+// TestAlgorithmiaFindings: one FLR on the list-based priority queue, three
+// Long-Inserts on initializations.
+func TestAlgorithmiaFindings(t *testing.T) {
+	rep := analyze(t, Algorithmia())
+	var flrLabel string
+	liCount := 0
+	for _, u := range rep.ParallelUseCases() {
+		switch u.Kind {
+		case usecase.FrequentLongRead:
+			flrLabel = u.Instance.Label
+		case usecase.LongInsert:
+			liCount++
+		}
+	}
+	if flrLabel != "priority queue on list" {
+		t.Errorf("FLR on %q, want the priority queue", flrLabel)
+	}
+	if liCount != 3 {
+		t.Errorf("Long-Inserts = %d, want 3", liCount)
+	}
+}
+
+// TestCPUBenchmarksFindings pins the suite's five findings to their
+// bookkeeping structures — and, just as important, asserts the numeric
+// kernels stay clean: the matrix, the right-hand side and the scratch array
+// must not be flagged, because their access patterns are loop-carried, not
+// parallelizable.
+func TestCPUBenchmarksFindings(t *testing.T) {
+	rep := analyze(t, CPUBenchmarks())
+	byLabel := map[string][]usecase.Kind{}
+	for _, u := range rep.ParallelUseCases() {
+		byLabel[u.Instance.Label] = append(byLabel[u.Instance.Label], u.Kind)
+	}
+	wantSingle := map[string]usecase.Kind{
+		"linpack results":   usecase.LongInsert,
+		"pivot vector":      usecase.FrequentLongRead,
+		"whetstone timings": usecase.FrequentLongRead,
+	}
+	for label, kind := range wantSingle {
+		if got := byLabel[label]; len(got) != 1 || got[0] != kind {
+			t.Errorf("%q findings = %v, want [%s]", label, got, kind)
+		}
+	}
+	if got := byLabel["whetstone results"]; len(got) != 2 {
+		t.Errorf("whetstone results findings = %v, want LI+FLR", got)
+	}
+	for _, label := range []string{"linpack matrix", "right-hand side", "whetstone scratch"} {
+		if got := byLabel[label]; len(got) != 0 {
+			t.Errorf("kernel structure %q flagged: %v", label, got)
+		}
+	}
+}
+
+// TestSearchToolFindings pins the two search tools' findings: the scanned
+// corpus fires Frequent-Long-Read, the result accumulation Long-Insert.
+func TestSearchToolFindings(t *testing.T) {
+	cases := map[string][2]string{
+		"Astrogrep":       {"all lines", "search results"},
+		"Contentfinder":   {"merged content", "matches"},
+		"WordWheelSolver": {"dictionary", "solutions"},
+	}
+	for name, labels := range cases {
+		rep := analyze(t, ByName(name))
+		byLabel := map[string]usecase.Kind{}
+		for _, u := range rep.ParallelUseCases() {
+			byLabel[u.Instance.Label] = u.Kind
+		}
+		if byLabel[labels[0]] != usecase.FrequentLongRead {
+			t.Errorf("%s: %q = %v, want FLR", name, labels[0], byLabel[labels[0]])
+		}
+		if byLabel[labels[1]] != usecase.LongInsert {
+			t.Errorf("%s: %q = %v, want LI", name, labels[1], byLabel[labels[1]])
+		}
+	}
+}
+
+// TestAppSearchSpaceReduction recomputes Table IV's reduction column with
+// the paper's arithmetic (1 - useCases/dataStructures).
+func TestAppSearchSpaceReduction(t *testing.T) {
+	for _, app := range Apps() {
+		rep := analyze(t, app)
+		uc := len(rep.ParallelUseCases())
+		ds := rep.SearchSpace().Total
+		if ds == 0 {
+			t.Fatalf("%s: no data structures", app.Name)
+		}
+		got := 1 - float64(uc)/float64(ds)
+		if diff := got - app.PaperReduction; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%s: reduction = %.4f, paper %.4f", app.Name, got, app.PaperReduction)
+		}
+	}
+}
+
+// TestRegionsMeasurable: the Table VI apps report nonzero region times and
+// the expected ordering of sequential fractions (CPU Benchmarks highest,
+// gpdotnet lowest).
+func TestRegionsMeasurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing in -short mode")
+	}
+	fracs := map[string]float64{}
+	for _, name := range []string{"CPU Benchmarks", "Gpdotnet", "Mandelbrot", "WordWheelSolver"} {
+		app := ByName(name)
+		if app == nil || app.Regions == nil {
+			t.Fatalf("%s has no Regions", name)
+		}
+		seq, par := app.Regions()
+		if seq <= 0 || par <= 0 {
+			t.Errorf("%s: regions seq=%v par=%v", name, seq, par)
+			continue
+		}
+		fracs[name] = float64(seq) / float64(seq+par)
+	}
+	if !(fracs["CPU Benchmarks"] > fracs["WordWheelSolver"] &&
+		fracs["WordWheelSolver"] > fracs["Mandelbrot"] &&
+		fracs["Gpdotnet"] < 0.3) {
+		t.Errorf("sequential-fraction ordering off: %v", fracs)
+	}
+	if fracs["CPU Benchmarks"] < 0.5 {
+		t.Errorf("CPU Benchmarks sequential fraction = %.2f, want dominant (paper: 0.94)", fracs["CPU Benchmarks"])
+	}
+}
+
+// TestProbesPresent: every app carries one probe per expected use case
+// (apps whose probes pair with multi-finding instances may have fewer).
+func TestProbesPresent(t *testing.T) {
+	for _, app := range Apps() {
+		if len(app.Probes) == 0 {
+			t.Errorf("%s has no probes", app.Name)
+			continue
+		}
+		for _, p := range app.Probes {
+			if p.Seq == nil || p.Par == nil || p.Name == "" || p.UseCase == "" {
+				t.Errorf("%s: incomplete probe %+v", app.Name, p.Name)
+			}
+		}
+	}
+}
+
+// TestProbeSpeedups classifies true positives on this machine; it only
+// asserts when enough cores are present, and generously.
+func TestProbeSpeedups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skip("needs >=4 cores for stable speedups")
+	}
+	// The flagship true positives must parallelize on any multicore box.
+	checks := []struct {
+		app   string
+		probe int
+	}{
+		{"Mandelbrot", 0},
+		{"Algorithmia", 0},
+		{"Gpdotnet", 1},
+	}
+	for _, c := range checks {
+		app := ByName(c.app)
+		sp := app.Probes[c.probe].Measure(runtime.NumCPU(), 3)
+		if sp < 1.2 {
+			t.Errorf("%s/%s: speedup %.2f, want >= 1.2", c.app, app.Probes[c.probe].Name, sp)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Mandelbrot") == nil {
+		t.Error("ByName(Mandelbrot) = nil")
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) != nil")
+	}
+	if len(Apps()) != 7 {
+		t.Errorf("Apps() = %d", len(Apps()))
+	}
+}
+
+var _ = trace.OpRead // keep the import when tests are trimmed

@@ -1,0 +1,245 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"dsspy/internal/dstruct"
+	"dsspy/internal/par"
+	"dsspy/internal/trace"
+)
+
+// AstroGrep reproduces the evaluation's file-search tool: load a set of text
+// files, then run a series of plain-text queries over every line, collecting
+// matches. Table IV: 21 data structures, 2 use cases (1 true positive),
+// reduction 90.48 %, slowdown 1.21, speedup 2.90. The true positive is the
+// line scan: DSspy flags the repeated whole-corpus reads (Frequent-Long-
+// Read) and the parallel version searches line chunks concurrently; the
+// second finding, long insertions into the result list, does not profit —
+// appends are memory-bound and need a lock once parallel.
+
+// grepQueries are the search terms; more than ten so the scans are
+// "frequent".
+var grepQueries = []string{
+	"error", "warn", "timeout", "retry", "packet", "socket",
+	"index", "cache", "flush", "commit", "rollback", "deadline",
+	"lease", "quorum", "replica",
+}
+
+const (
+	grepFiles         = 12
+	grepLinesPerFile  = 60 // instrumented corpus: per-file lists stay short
+	grepPlainLines    = 300000
+	grepPlainWordsMin = 4
+)
+
+// synthLine builds a deterministic pseudo log line.
+func synthLine(r *rng) string {
+	words := []string{
+		"error", "warn", "info", "timeout", "retry", "packet", "socket",
+		"index", "cache", "flush", "commit", "rollback", "deadline",
+		"lease", "quorum", "replica", "node", "shard", "write", "read",
+		"queue", "worker", "task", "batch", "merge", "scan",
+	}
+	var sb strings.Builder
+	n := grepPlainWordsMin + r.intn(6)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(words[r.intn(len(words))])
+	}
+	return sb.String()
+}
+
+// AstroGrep returns the app descriptor.
+func AstroGrep() *App {
+	app := &App{
+		Name:               "Astrogrep",
+		Domain:             "File Search",
+		PaperLOC:           4800,
+		PaperRuntime:       4.80,
+		PaperSlowdown:      1.21,
+		PaperReduction:     0.9048,
+		PaperSpeedup:       2.90,
+		WantDataStructures: 21,
+		WantUseCases:       2,
+		WantTruePositives:  1,
+		Instrumented:       grepInstrumented,
+		PlainTwin:          grepTwin,
+		Plain:              grepPlain,
+		Parallel:           grepParallel,
+	}
+	app.Probes = []Probe{
+		{
+			Name: "line scan", UseCase: "FLR",
+			Seq: func() { grepScanProbe(1) },
+			Par: func(w int) { grepScanProbe(w) },
+		},
+		{
+			Name: "result accumulation", UseCase: "LI",
+			Seq: func() { grepAppendProbe(1) },
+			Par: func(w int) { grepAppendProbe(w) },
+		},
+	}
+	return app
+}
+
+// grepInstrumented loads per-file line lists, flattens them into the search
+// corpus, and runs every query. 21 data structures: 12 per-file lists, the
+// flattened corpus, the result list, file names, extensions, options, line
+// numbers, a match-count dictionary, a context list, and a seen-files set.
+func grepInstrumented(s *trace.Session) {
+	r := newRNG(0xA57)
+
+	fileNames := dstruct.NewListLabeled[string](s, "file names")
+	extensions := dstruct.NewListLabeled[string](s, "extension filter")
+	for _, e := range []string{".log", ".txt", ".md"} {
+		extensions.Add(e)
+	}
+	options := dstruct.NewListLabeled[string](s, "search options")
+	options.Add("case-insensitive")
+	options.Add("whole-word=false")
+
+	corpus := dstruct.NewListLabeled[string](s, "all lines")
+	perFile := make([]*dstruct.List[string], grepFiles)
+	for f := 0; f < grepFiles; f++ {
+		name := fmt.Sprintf("file%02d.log", f)
+		fileNames.Add(name)
+		lines := dstruct.NewListLabeled[string](s, name)
+		for i := 0; i < grepLinesPerFile; i++ {
+			lines.Add(synthLine(r))
+		}
+		perFile[f] = lines
+	}
+	// Flatten: one read pass per file list, appends into the corpus.
+	for _, lines := range perFile {
+		for i := 0; i < lines.Len(); i++ {
+			corpus.Add(lines.Get(i))
+		}
+	}
+
+	results := dstruct.NewListLabeled[string](s, "search results")
+	lineNums := dstruct.NewListLabeled[int](s, "match line numbers")
+	matchCounts := dstruct.NewDictionary[string, int](s)
+	context := dstruct.NewListLabeled[string](s, "context lines")
+	seenFiles := dstruct.NewHashSet[int](s)
+
+	for _, q := range grepQueries {
+		hits := 0
+		for i := 0; i < corpus.Len(); i++ {
+			line := corpus.Get(i)
+			if strings.Contains(line, q) {
+				results.Add(q + ": " + line)
+				if hits < 3 {
+					lineNums.Add(i)
+					context.Add(line)
+					seenFiles.Add(i / grepLinesPerFile)
+				}
+				hits++
+			}
+		}
+		matchCounts.Put(q, hits)
+	}
+
+	// Bookkeeping containers that stay below every threshold.
+	recent := dstruct.NewListLabeled[string](s, "recent queries")
+	for _, q := range grepQueries[:5] {
+		recent.Add(q)
+	}
+	sizes := dstruct.NewArrayLabeled[int](s, grepFiles, "file sizes")
+	for f := 0; f < grepFiles; f += 2 {
+		sizes.Set(f, f*grepLinesPerFile)
+	}
+}
+
+// grepCorpus builds the plain search corpus once per run.
+func grepCorpus(n int) []string {
+	r := newRNG(0xA57)
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = synthLine(r)
+	}
+	return lines
+}
+
+func grepSearch(lines []string, workers int) uint64 {
+	var sum uint64
+	for _, q := range grepQueries {
+		if workers <= 1 {
+			for _, line := range lines {
+				if strings.Contains(line, q) {
+					sum = sum*31 + uint64(len(line))
+				}
+			}
+			continue
+		}
+		// The sequential fold is linear (s ← s·31 + len), so per-chunk
+		// partial folds combine exactly: s ← s·31^count + partial.
+		partial := make([]uint64, workers)
+		counts := make([]int, workers)
+		par.ChunkIndexed(len(lines), workers, func(chunk, lo, hi int) {
+			var local uint64
+			n := 0
+			for i := lo; i < hi; i++ {
+				if strings.Contains(lines[i], q) {
+					local = local*31 + uint64(len(lines[i]))
+					n++
+				}
+			}
+			partial[chunk] = local
+			counts[chunk] = n
+		})
+		for c := range partial {
+			for k := 0; k < counts[c]; k++ {
+				sum *= 31
+			}
+			sum += partial[c]
+		}
+	}
+	return sum
+}
+
+// grepTwin mirrors the instrumented run's corpus size on raw slices.
+func grepTwin() {
+	grepSearch(grepCorpus(grepFiles*grepLinesPerFile), 1)
+}
+
+func grepPlain() uint64 {
+	return grepSearch(grepCorpus(grepPlainLines), 1)
+}
+
+func grepParallel(workers int) uint64 {
+	return grepSearch(grepCorpus(grepPlainLines), workers)
+}
+
+// grepScanProbe is the FLR region in isolation.
+var grepProbeCorpus []string
+
+func grepScanProbe(workers int) {
+	if grepProbeCorpus == nil {
+		grepProbeCorpus = grepCorpus(grepPlainLines)
+	}
+	grepSearch(grepProbeCorpus, workers)
+}
+
+// grepAppendProbe is the LI region in isolation: accumulating results.
+// Parallel appends must synchronize, so this one does not profit — the
+// paper's false positive.
+func grepAppendProbe(workers int) {
+	const n = 400000
+	if workers <= 1 {
+		out := make([]int, 0, 16)
+		for i := 0; i < n; i++ {
+			out = append(out, i)
+		}
+		_ = out
+		return
+	}
+	q := par.NewConcurrentQueue[int]()
+	par.ForChunked(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q.Enqueue(i)
+		}
+	})
+}

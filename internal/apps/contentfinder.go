@@ -1,0 +1,266 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"dsspy/internal/dstruct"
+	"dsspy/internal/par"
+	"dsspy/internal/trace"
+)
+
+// ContentFinder reproduces the evaluation's second file-search tool, a
+// smaller keyword finder over document contents. Table IV: 11 data
+// structures, 2 use cases, 2 true positives, reduction 81.82 %, slowdown
+// 2.89, speedup 1.56. Both findings profit here: the document scan
+// parallelizes across chunks, and the per-match scoring is CPU-bound enough
+// to parallelize too.
+
+var finderKeywords = []string{
+	"alpha", "delta", "sigma", "omega", "kappa", "theta",
+	"lambda", "gamma", "zeta", "epsilon", "rho", "tau",
+}
+
+const (
+	finderDocs          = 6
+	finderLinesPerDoc   = 70
+	finderPlainDocLines = 120000
+)
+
+func synthDoc(r *rng, lines int) []string {
+	words := append([]string{}, finderKeywords...)
+	words = append(words, "plain", "filler", "noise", "body", "text",
+		"content", "section", "header", "footer", "title")
+	out := make([]string, lines)
+	var sb strings.Builder
+	for i := range out {
+		sb.Reset()
+		n := 5 + r.intn(5)
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(words[r.intn(len(words))])
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// ContentFinder returns the app descriptor.
+func ContentFinder() *App {
+	app := &App{
+		Name:               "Contentfinder",
+		Domain:             "File Search",
+		PaperLOC:           290,
+		PaperRuntime:       1.80,
+		PaperSlowdown:      2.89,
+		PaperReduction:     0.8182,
+		PaperSpeedup:       1.56,
+		WantDataStructures: 11,
+		WantUseCases:       2,
+		WantTruePositives:  2,
+		Instrumented:       finderInstrumented,
+		PlainTwin:          finderTwin,
+		Plain:              finderPlain,
+		Parallel:           finderParallel,
+	}
+	app.Probes = []Probe{
+		{
+			Name: "document scan", UseCase: "FLR",
+			Seq: func() { finderScanProbe(1) },
+			Par: func(w int) { finderScanProbe(w) },
+		},
+		{
+			Name: "match scoring", UseCase: "LI",
+			Seq: func() { finderScoreProbe(1) },
+			Par: func(w int) { finderScoreProbe(w) },
+		},
+	}
+	return app
+}
+
+// finderInstrumented: 11 data structures — 6 per-document lists, the merged
+// content list, the match list, a keyword list, a score dictionary and a
+// folder list.
+func finderInstrumented(s *trace.Session) {
+	r := newRNG(0xF1D)
+
+	folders := dstruct.NewListLabeled[string](s, "folders")
+	folders.Add("docs/")
+	folders.Add("archive/")
+
+	keywords := dstruct.NewListLabeled[string](s, "keywords")
+	for _, k := range finderKeywords {
+		keywords.Add(k)
+	}
+
+	content := dstruct.NewListLabeled[string](s, "merged content")
+	for d := 0; d < finderDocs; d++ {
+		doc := dstruct.NewListLabeled[string](s, fmt.Sprintf("doc%d", d))
+		for _, line := range synthDoc(r, finderLinesPerDoc) {
+			doc.Add(line)
+		}
+		for i := 0; i < doc.Len(); i++ {
+			content.Add(doc.Get(i))
+		}
+	}
+
+	matches := dstruct.NewListLabeled[string](s, "matches")
+	scores := dstruct.NewDictionary[string, int](s)
+
+	for k := 0; k < keywords.Len(); k++ {
+		kw := keywords.Get(k)
+		count := 0
+		for i := 0; i < content.Len(); i++ {
+			line := content.Get(i)
+			if strings.Contains(line, kw) {
+				matches.Add(kw + "@" + line)
+				count++
+			}
+		}
+		scores.Put(kw, count)
+	}
+
+	history := dstruct.NewListLabeled[string](s, "search history")
+	history.Add("alpha")
+	history.Add("omega")
+	_ = history.Get(1)
+}
+
+func finderScore(line string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(line); i++ {
+		h = (h ^ uint64(line[i])) * 1099511628211
+	}
+	// A little extra per-match work so scoring is worth parallelizing.
+	for i := 0; i < 64; i++ {
+		h = mix64(h)
+	}
+	return h
+}
+
+func finderRun(lines []string, workers int) uint64 {
+	var sum uint64
+	for _, kw := range finderKeywords {
+		// Scan phase.
+		var matched []string
+		if workers <= 1 {
+			for _, line := range lines {
+				if strings.Contains(line, kw) {
+					matched = append(matched, line)
+				}
+			}
+		} else {
+			parts := make([][]string, workers)
+			par.ChunkIndexed(len(lines), workers, func(chunk, lo, hi int) {
+				var local []string
+				for i := lo; i < hi; i++ {
+					if strings.Contains(lines[i], kw) {
+						local = append(local, lines[i])
+					}
+				}
+				parts[chunk] = local
+			})
+			for _, p := range parts {
+				matched = append(matched, p...)
+			}
+		}
+		// Scoring phase.
+		if workers <= 1 {
+			for _, line := range matched {
+				sum += finderScore(line)
+			}
+		} else {
+			partial := make([]uint64, workers)
+			par.ChunkIndexed(len(matched), workers, func(chunk, lo, hi int) {
+				var local uint64
+				for i := lo; i < hi; i++ {
+					local += finderScore(matched[i])
+				}
+				partial[chunk] = local
+			})
+			for _, pv := range partial {
+				sum += pv
+			}
+		}
+	}
+	return sum
+}
+
+func finderPlainCorpus() []string {
+	return synthDoc(newRNG(0xF1D), finderPlainDocLines)
+}
+
+// finderTwin mirrors the instrumented run (same corpus, scan + collect,
+// no scoring) on raw slices.
+func finderTwin() {
+	r := newRNG(0xF1D)
+	var content []string
+	for d := 0; d < finderDocs; d++ {
+		content = append(content, synthDoc(r, finderLinesPerDoc)...)
+	}
+	scores := map[string]int{}
+	var matches []string
+	for _, kw := range finderKeywords {
+		count := 0
+		for _, line := range content {
+			if strings.Contains(line, kw) {
+				matches = append(matches, kw+"@"+line)
+				count++
+			}
+		}
+		scores[kw] = count
+	}
+	_ = matches
+}
+
+func finderPlain() uint64 { return finderRun(finderPlainCorpus(), 1) }
+
+func finderParallel(workers int) uint64 { return finderRun(finderPlainCorpus(), workers) }
+
+var finderProbeLines []string
+
+func finderProbeInit() {
+	if finderProbeLines == nil {
+		finderProbeLines = finderPlainCorpus()
+	}
+}
+
+func finderScanProbe(workers int) {
+	finderProbeInit()
+	kw := finderKeywords[0]
+	if workers <= 1 {
+		n := 0
+		for _, line := range finderProbeLines {
+			if strings.Contains(line, kw) {
+				n++
+			}
+		}
+		_ = n
+		return
+	}
+	par.Count(finderProbeLines, workers, func(line string) bool {
+		return strings.Contains(line, kw)
+	})
+}
+
+func finderScoreProbe(workers int) {
+	finderProbeInit()
+	if workers <= 1 {
+		var sum uint64
+		for _, line := range finderProbeLines {
+			sum += finderScore(line)
+		}
+		_ = sum
+		return
+	}
+	partial := make([]uint64, workers)
+	par.ChunkIndexed(len(finderProbeLines), workers, func(chunk, lo, hi int) {
+		var local uint64
+		for i := lo; i < hi; i++ {
+			local += finderScore(finderProbeLines[i])
+		}
+		partial[chunk] = local
+	})
+}

@@ -1,0 +1,542 @@
+package apps
+
+import (
+	"math"
+	"time"
+
+	"dsspy/internal/dstruct"
+	"dsspy/internal/par"
+	"dsspy/internal/trace"
+)
+
+// CPUBenchmarks reproduces the evaluation's benchmark suite combining the
+// two classic CPU benchmarks Linpack (dense LU factorization and solve) and
+// Whetstone (scalar floating-point kernels). Table IV: 7 data structures,
+// 5 use cases (4 true positives), reduction 28.57 %, slowdown 55, speedup
+// 1.20 — the weakest speedup in the suite, which §V explains with a 94.29 %
+// sequential fraction (Table VI): the elimination kernel is inherently
+// order-dependent, so only the bookkeeping around it parallelizes.
+
+const (
+	linpackNInst   = 32 // instrumented problem size
+	linpackNPlain  = 260
+	linpackPasses  = 12
+	whetModules    = 8
+	whetIterations = 15
+)
+
+// --- Plain Linpack core (on raw slices) ---
+
+// linpackMatgen fills a column-major n×n matrix with deterministic values
+// and returns the scale reference.
+func linpackMatgen(a []float64, b []float64, n int) {
+	r := newRNG(0x11AC)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			a[j*n+i] = r.float64n() - 0.5
+		}
+	}
+	for i := 0; i < n; i++ {
+		b[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			b[i] += a[j*n+i]
+		}
+	}
+}
+
+// linpackFactor performs LU factorization with partial pivoting (dgefa).
+func linpackFactor(a []float64, ipvt []int, n int) {
+	for k := 0; k < n-1; k++ {
+		// Find pivot.
+		p := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(a[k*n+i]) > math.Abs(a[k*n+p]) {
+				p = i
+			}
+		}
+		ipvt[k] = p
+		if a[k*n+p] == 0 {
+			continue
+		}
+		if p != k {
+			a[k*n+p], a[k*n+k] = a[k*n+k], a[k*n+p]
+		}
+		t := -1.0 / a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			a[k*n+i] *= t
+		}
+		for j := k + 1; j < n; j++ {
+			tj := a[j*n+p]
+			if p != k {
+				a[j*n+p], a[j*n+k] = a[j*n+k], a[j*n+p]
+			}
+			for i := k + 1; i < n; i++ {
+				a[j*n+i] += tj * a[k*n+i]
+			}
+		}
+	}
+	ipvt[n-1] = n - 1
+}
+
+// linpackSolve solves the factored system in place (dgesl).
+func linpackSolve(a []float64, b []float64, ipvt []int, n int) {
+	for k := 0; k < n-1; k++ {
+		p := ipvt[k]
+		t := b[p]
+		if p != k {
+			b[p], b[k] = b[k], b[p]
+		}
+		for i := k + 1; i < n; i++ {
+			b[i] += t * a[k*n+i]
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		b[k] /= a[k*n+k]
+		t := -b[k]
+		for i := 0; i < k; i++ {
+			b[i] += t * a[k*n+i]
+		}
+	}
+}
+
+// linpackResidual returns the max-norm residual of the solve.
+func linpackResidual(aRef, x, bRef []float64, n int) float64 {
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += aRef[j*n+i] * x[j]
+		}
+		if d := math.Abs(sum - bRef[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// --- Plain Whetstone kernels ---
+
+func whetModule(module, iters int, e1 []float64) float64 {
+	t := 0.499975
+	x := 1.0
+	switch module % 4 {
+	case 0: // simple identities
+		for i := 0; i < iters*400; i++ {
+			x = (x + 1) * t / (x + 2)
+		}
+	case 1: // array writes
+		for i := 0; i < iters*120; i++ {
+			e1[0] = (x + e1[3]) * t
+			e1[1] = e1[0] * 1.0001
+			e1[2] = e1[1] - x
+			e1[3] = e1[2] * t
+			x = e1[3]*0.001 + 1
+		}
+	case 2: // trig
+		for i := 0; i < iters*60; i++ {
+			x = math.Sin(x) + math.Cos(x) + 1.1
+		}
+	case 3: // exp/log/sqrt
+		for i := 0; i < iters*60; i++ {
+			x = math.Sqrt(math.Exp(math.Log(math.Abs(x)+1) / 1.1))
+		}
+	}
+	return x + e1[0]
+}
+
+// CPUBenchmarks returns the app descriptor.
+func CPUBenchmarks() *App {
+	app := &App{
+		Name:               "CPU Benchmarks",
+		Domain:             "Benchmark",
+		PaperLOC:           400,
+		PaperRuntime:       0.01,
+		PaperSlowdown:      55.0,
+		PaperReduction:     0.2857,
+		PaperSpeedup:       1.20,
+		WantDataStructures: 7,
+		WantUseCases:       5,
+		WantTruePositives:  4,
+		Instrumented:       cpuInstrumented,
+		PlainTwin:          cpuTwin,
+		Plain:              cpuPlain,
+		Parallel:           cpuParallel,
+		Regions:            cpuRegions,
+	}
+	app.Probes = []Probe{
+		{
+			Name: "result-series aggregation (linpack)", UseCase: "LI",
+			Seq: func() { cpuAggProbe(1) },
+			Par: func(w int) { cpuAggProbe(w) },
+		},
+		{
+			Name: "result-series aggregation (whetstone)", UseCase: "LI",
+			Seq: func() { cpuAggProbe(1) },
+			Par: func(w int) { cpuAggProbe(w) },
+		},
+		{
+			Name: "residual validation scans", UseCase: "FLR",
+			Seq: func() { cpuScanProbe(1) },
+			Par: func(w int) { cpuScanProbe(w) },
+		},
+		{
+			Name: "timing-series scans", UseCase: "FLR",
+			Seq: func() { cpuScanProbe(1) },
+			Par: func(w int) { cpuScanProbe(w) },
+		},
+		{
+			Name: "pivot-vector scans", UseCase: "FLR",
+			Seq: func() { cpuTinyScanProbe(1) },
+			Par: func(w int) { cpuTinyScanProbe(w) },
+		},
+	}
+	return app
+}
+
+// cpuInstrumented runs both benchmarks against seven instrumented
+// containers: the Linpack matrix, right-hand-side vector and pivot vector
+// (operated in place, like the original), the Whetstone scratch array, and
+// three bookkeeping series. The kernel's element-wise access through the
+// proxy layer is what gives this program the evaluation's largest slowdown.
+func cpuInstrumented(s *trace.Session) {
+	n := linpackNInst
+
+	matrix := dstruct.NewArrayLabeled[float64](s, n*n, "linpack matrix")
+	bVec := dstruct.NewArrayLabeled[float64](s, n, "right-hand side")
+	ipvt := dstruct.NewArrayLabeled[int](s, n, "pivot vector")
+	linpackResults := dstruct.NewListLabeled[float64](s, "linpack results")
+	whetResults := dstruct.NewListLabeled[float64](s, "whetstone results")
+	whetTimings := dstruct.NewListLabeled[float64](s, "whetstone timings")
+	e1 := dstruct.NewArrayLabeled[float64](s, 4, "whetstone scratch")
+
+	rawA := make([]float64, n*n)
+	rawB := make([]float64, n)
+
+	for pass := 0; pass < linpackPasses; pass++ {
+		linpackMatgen(rawA, rawB, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				matrix.Set(j*n+i, rawA[j*n+i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			bVec.Set(i, rawB[i])
+		}
+		linpackFactorInst(matrix, ipvt, n)
+		linpackSolveInst(matrix, bVec, ipvt, n)
+
+		// Validation: the pivot order is checked every pass; the solution
+		// itself only on the last one.
+		worst := 0.0
+		if pass == linpackPasses-1 {
+			for i := 0; i < n; i++ {
+				if d := math.Abs(bVec.Get(i)); d > worst {
+					worst = d
+				}
+			}
+		}
+		order := 0
+		for i := 0; i < n; i++ {
+			order += ipvt.Get(i)
+		}
+		// Nine metrics per pass → a >100-event insertion phase overall.
+		linpackResults.Add(worst)
+		linpackResults.Add(float64(order))
+		linpackResults.Add(float64(n))
+		linpackResults.Add(float64(pass))
+		linpackResults.Add(worst * 2)
+		linpackResults.Add(worst / 2)
+		linpackResults.Add(float64(order % 7))
+		linpackResults.Add(float64(pass * pass))
+		linpackResults.Add(worst + float64(order))
+	}
+	// One summary scan over the collected series.
+	total := 0.0
+	for i := 0; i < linpackResults.Len(); i++ {
+		total += linpackResults.Get(i)
+	}
+
+	// Whetstone: per benchmark cycle the result series fills in a long
+	// insertion phase, is scanned once, and is cleared — the Figure 3
+	// profile, firing both Long-Insert and Frequent-Long-Read.
+	rawE1 := []float64{1, -1, -1, -1}
+	for i, v := range rawE1 {
+		e1.Set(i, v)
+	}
+	const whetCycles = 12
+	for cycle := 0; cycle < whetCycles; cycle++ {
+		for iter := 0; iter < whetIterations; iter++ {
+			for m := 0; m < whetModules; m++ {
+				x := whetModule(m, 1, rawE1)
+				if m%4 == 1 {
+					for i, v := range rawE1 {
+						e1.Set(i, v)
+					}
+					x += e1.Get(0)
+				}
+				whetResults.Add(x)
+			}
+		}
+		sum := 0.0
+		for i := 0; i < whetResults.Len(); i++ {
+			sum += whetResults.Get(i)
+		}
+		whetTimings.Add(sum + float64(cycle))
+		whetResults.Clear()
+	}
+	for c := 0; c < 12; c++ {
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for i := 0; i < whetTimings.Len(); i++ {
+			v := whetTimings.Get(i)
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		_, _ = minV, maxV
+	}
+}
+
+// linpackFactorInst is linpackFactor operating element-wise through the
+// instrumented containers, the way the Roslyn-instrumented original would.
+func linpackFactorInst(a *dstruct.Array[float64], ipvt *dstruct.Array[int], n int) {
+	for k := 0; k < n-1; k++ {
+		p := k
+		best := math.Abs(a.Get(k*n + p))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a.Get(k*n + i)); v > best {
+				p, best = i, v
+			}
+		}
+		ipvt.Set(k, p)
+		pivot := a.Get(k*n + p)
+		if pivot == 0 {
+			continue
+		}
+		if p != k {
+			a.Set(k*n+p, a.Get(k*n+k))
+			a.Set(k*n+k, pivot)
+		}
+		t := -1.0 / a.Get(k*n+k)
+		for i := k + 1; i < n; i++ {
+			a.Set(k*n+i, a.Get(k*n+i)*t)
+		}
+		for j := k + 1; j < n; j++ {
+			tj := a.Get(j*n + p)
+			if p != k {
+				a.Set(j*n+p, a.Get(j*n+k))
+				a.Set(j*n+k, tj)
+			}
+			for i := k + 1; i < n; i++ {
+				a.Set(j*n+i, a.Get(j*n+i)+tj*a.Get(k*n+i))
+			}
+		}
+	}
+	ipvt.Set(n-1, n-1)
+}
+
+// linpackSolveInst is linpackSolve through the instrumented containers.
+func linpackSolveInst(a *dstruct.Array[float64], b *dstruct.Array[float64], ipvt *dstruct.Array[int], n int) {
+	for k := 0; k < n-1; k++ {
+		p := ipvt.Get(k)
+		t := b.Get(p)
+		if p != k {
+			b.Set(p, b.Get(k))
+			b.Set(k, t)
+		}
+		for i := k + 1; i < n; i++ {
+			b.Set(i, b.Get(i)+t*a.Get(k*n+i))
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		b.Set(k, b.Get(k)/a.Get(k*n+k))
+		t := -b.Get(k)
+		for i := 0; i < k; i++ {
+			b.Set(i, b.Get(i)+t*a.Get(k*n+i))
+		}
+	}
+}
+
+// cpuRun executes the plain suite; workers>1 applies the recommended
+// actions to the flagged regions (generation, validation, aggregation) while
+// the factorization stays sequential — hence the weak overall speedup.
+func cpuRun(workers int) uint64 {
+	n := linpackNPlain
+	var check uint64
+
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	aRef := make([]float64, n*n)
+	bRef := make([]float64, n)
+	ipvt := make([]int, n)
+
+	for pass := 0; pass < 3; pass++ {
+		linpackMatgen(a, b, n)
+		copy(aRef, a)
+		copy(bRef, b)
+		linpackFactor(a, ipvt, n) // sequential: loop-carried dependences
+		linpackSolve(a, b, ipvt, n)
+		var res float64
+		if workers <= 1 {
+			res = linpackResidual(aRef, b, bRef, n)
+		} else {
+			partial := make([]float64, workers)
+			par.ChunkIndexed(n, workers, func(chunk, lo, hi int) {
+				worst := 0.0
+				for i := lo; i < hi; i++ {
+					sum := 0.0
+					for j := 0; j < n; j++ {
+						sum += aRef[j*n+i] * b[j]
+					}
+					if d := math.Abs(sum - bRef[i]); d > worst {
+						worst = d
+					}
+				}
+				partial[chunk] = worst
+			})
+			for _, p := range partial {
+				if p > res {
+					res = p
+				}
+			}
+		}
+		check = check*31 + uint64(res*1e6)
+	}
+
+	e1 := []float64{1, -1, -1, -1}
+	results := make([]float64, 0, whetModules*whetIterations*4)
+	for iter := 0; iter < whetIterations*4; iter++ {
+		for m := 0; m < whetModules; m++ {
+			results = append(results, whetModule(m, 2, e1))
+		}
+	}
+	var sum float64
+	if workers <= 1 {
+		for _, v := range results {
+			sum += v
+		}
+	} else {
+		sum = par.SumFloat64(results, workers)
+	}
+	check = check*31 + uint64(math.Abs(sum))
+	return check
+}
+
+// cpuTwin mirrors the instrumented run (n=32, 12 passes, 12 whetstone
+// cycles) on raw slices.
+func cpuTwin() {
+	n := linpackNInst
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	ipvt := make([]int, n)
+	for pass := 0; pass < linpackPasses; pass++ {
+		linpackMatgen(a, b, n)
+		linpackFactor(a, ipvt, n)
+		linpackSolve(a, b, ipvt, n)
+	}
+	e1 := []float64{1, -1, -1, -1}
+	for cycle := 0; cycle < 12; cycle++ {
+		for iter := 0; iter < whetIterations; iter++ {
+			for m := 0; m < whetModules; m++ {
+				whetModule(m, 1, e1)
+			}
+		}
+	}
+}
+
+func cpuPlain() uint64 { return cpuRun(1) }
+
+func cpuParallel(workers int) uint64 { return cpuRun(workers) }
+
+// cpuRegions measures the inherently sequential share (factor+solve and
+// whetstone's scalar kernels) against the parallelizable share (generation,
+// validation, aggregation). The paper reports 94.29 % sequential.
+func cpuRegions() (seq, parT time.Duration) {
+	n := linpackNPlain
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	aRef := make([]float64, n*n)
+	bRef := make([]float64, n)
+	ipvt := make([]int, n)
+	for pass := 0; pass < 3; pass++ {
+		parT += timeIt(func() {
+			linpackMatgen(a, b, n)
+			copy(aRef, a)
+			copy(bRef, b)
+		})
+		seq += timeIt(func() {
+			linpackFactor(a, ipvt, n)
+			linpackSolve(a, b, ipvt, n)
+		})
+		parT += timeIt(func() { linpackResidual(aRef, b, bRef, n) })
+	}
+	e1 := []float64{1, -1, -1, -1}
+	seq += timeIt(func() {
+		for iter := 0; iter < whetIterations*4; iter++ {
+			for m := 0; m < whetModules; m++ {
+				whetModule(m, 2, e1)
+			}
+		}
+	})
+	return seq, parT
+}
+
+// cpuAggProbe: parallel aggregation over a result series.
+func cpuAggProbe(workers int) {
+	data := make([]float64, 1<<21)
+	for i := range data {
+		data[i] = float64(i % 97)
+	}
+	if workers <= 1 {
+		s := 0.0
+		for _, v := range data {
+			s += v
+		}
+		_ = s
+		return
+	}
+	par.SumFloat64(data, workers)
+}
+
+// cpuScanProbe: repeated min/max scans over a series.
+func cpuScanProbe(workers int) {
+	data := make([]float64, 1<<21)
+	for i := range data {
+		data[i] = float64(mix64(uint64(i)) % 1000)
+	}
+	if workers <= 1 {
+		worst := 0.0
+		for _, v := range data {
+			if v > worst {
+				worst = v
+			}
+		}
+		_ = worst
+		return
+	}
+	par.MaxIndex(data, workers, func(a, b float64) bool { return a < b })
+}
+
+// cpuTinyScanProbe: the pivot vector is too small for parallel scanning to
+// pay off — the suite's false positive.
+func cpuTinyScanProbe(workers int) {
+	data := make([]int, linpackNPlain)
+	for i := range data {
+		data[i] = i
+	}
+	for rep := 0; rep < 2000; rep++ {
+		if workers <= 1 {
+			s := 0
+			for _, v := range data {
+				s += v
+			}
+			_ = s
+		} else {
+			par.Reduce(data, workers, 0, func(a, b int) int { return a + b })
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package apps
+
+import (
+	"math"
+	"time"
+
+	"dsspy/internal/dstruct"
+	"dsspy/internal/par"
+	"dsspy/internal/trace"
+)
+
+// GPdotNET reproduces the evaluation's genetic-programming engine for
+// discrete time-series analysis: a population of expression-tree chromosomes
+// evolves to fit a target series via fitness-proportionate (roulette)
+// selection, crossover and mutation.
+//
+// Table IV: 37 data structures, 5 use cases (2 true positives), reduction
+// 86.49 %, slowdown 216.67 (the suite's outlier), speedup 2.93. Table V
+// pins the five findings: a Frequent-Long-Read on the terminal-set array,
+// Frequent-Long-Read plus Long-Insert on the population list, and
+// Frequent-Long-Read plus Long-Insert on the selection's fitness array.
+
+const (
+	gpPopulation     = 100
+	gpGenerations    = 20
+	gpGenome         = 16 // prefix-encoded expression length
+	gpTerminals      = 400
+	gpSeriesLen      = 8 // short series: event capture dominates, the paper's slowdown outlier
+	gpEliteLists     = 30
+	gpPlainPop       = 240
+	gpPlainGens      = 60
+	gpPlainSeriesLen = 600
+)
+
+// gpGene opcodes: 0..3 binary ops, 4 = variable x, 5+ = terminal constant.
+const (
+	gpAdd = iota
+	gpSub
+	gpMul
+	gpDiv
+	gpVar
+	gpConstBase
+)
+
+// gpChromosome is a prefix-encoded expression over one variable.
+type gpChromosome []uint8
+
+// gpEval evaluates the prefix expression at x with the terminal constants;
+// pos is threaded through the recursion.
+func gpEval(c gpChromosome, pos *int, x float64, terminals []float64) float64 {
+	if *pos >= len(c) {
+		return 1
+	}
+	op := c[*pos]
+	*pos++
+	switch op {
+	case gpAdd, gpSub, gpMul, gpDiv:
+		a := gpEval(c, pos, x, terminals)
+		b := gpEval(c, pos, x, terminals)
+		switch op {
+		case gpAdd:
+			return a + b
+		case gpSub:
+			return a - b
+		case gpMul:
+			return a * b
+		default:
+			if math.Abs(b) < 1e-9 {
+				return 1
+			}
+			return a / b
+		}
+	case gpVar:
+		return x
+	default:
+		return terminals[int(op-gpConstBase)%len(terminals)]
+	}
+}
+
+// gpRandomChromosome emits a genome biased toward leaves so expressions
+// terminate early.
+func gpRandomChromosome(r *rng, terminals int) gpChromosome {
+	c := make(gpChromosome, gpGenome)
+	for i := range c {
+		switch r.intn(8) {
+		case 0, 1:
+			c[i] = uint8(r.intn(4)) // operator
+		case 2, 3:
+			c[i] = gpVar
+		default:
+			c[i] = uint8(gpConstBase + r.intn(250-gpConstBase))
+		}
+	}
+	return c
+}
+
+// gpFitness is the negated mean squared error against the target series.
+func gpFitness(c gpChromosome, xs, target, terminals []float64) float64 {
+	var mse float64
+	for i, x := range xs {
+		pos := 0
+		v := gpEval(c, &pos, x, terminals)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		d := v - target[i]
+		mse += d * d
+	}
+	return 1.0 / (1.0 + mse/float64(len(xs)))
+}
+
+// gpTarget builds the discrete time series to fit.
+func gpTarget(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x*x + 2*x + 1 + 0.5*math.Sin(3*x)
+	}
+	return out
+}
+
+// GPdotNET returns the app descriptor.
+func GPdotNET() *App {
+	app := &App{
+		Name:               "Gpdotnet",
+		Domain:             "Simulation",
+		PaperLOC:           7000,
+		PaperRuntime:       0.36,
+		PaperSlowdown:      216.67,
+		PaperReduction:     0.8649,
+		PaperSpeedup:       2.93,
+		WantDataStructures: 37,
+		WantUseCases:       5,
+		WantTruePositives:  2,
+		Instrumented:       gpInstrumented,
+		PlainTwin:          gpTwin,
+		Plain:              gpPlain,
+		Parallel:           gpParallel,
+		Regions:            gpRegions,
+	}
+	app.Probes = []Probe{
+		{
+			Name: "terminal-set aggregation", UseCase: "FLR",
+			Seq: func() { gpTerminalProbe(1) },
+			Par: func(w int) { gpTerminalProbe(w) },
+		},
+		{
+			Name: "population fitness search", UseCase: "FLR",
+			Seq: func() { gpFitnessProbe(1) },
+			Par: func(w int) { gpFitnessProbe(w) },
+		},
+		{
+			Name: "population rebuild insertions", UseCase: "LI",
+			Seq: func() { gpRebuildProbe(1) },
+			Par: func(w int) { gpRebuildProbe(w) },
+		},
+		{
+			Name: "selection array scan", UseCase: "FLR",
+			Seq: func() { gpSelectionProbe(1) },
+			Par: func(w int) { gpSelectionProbe(w) },
+		},
+		{
+			Name: "selection array fill", UseCase: "LI",
+			Seq: func() { gpSelectionFillProbe(1) },
+			Par: func(w int) { gpSelectionFillProbe(w) },
+		},
+	}
+	return app
+}
+
+// gpInstrumented runs the evolution against instrumented containers.
+// 37 data structures: terminal set, population, fitness array, input
+// series, function set, two dictionaries, and 30 per-elite gene lists.
+func gpInstrumented(s *trace.Session) {
+	r := newRNG(0x69D0)
+
+	// Input series (small, a few scans — no finding).
+	inputs := dstruct.NewListLabeled[float64](s, "time series")
+	xs := make([]float64, gpSeriesLen)
+	for i := range xs {
+		xs[i] = -2 + 4*float64(i)/float64(gpSeriesLen)
+		inputs.Add(xs[i])
+	}
+	target := gpTarget(xs)
+
+	// Terminal set: generated once, aggregated every generation —
+	// Table V's use case 1 (Frequent-Long-Read on GenerateTerminalSet).
+	terminalSet := dstruct.NewArrayLabeled[float64](s, gpTerminals, "terminal set")
+	rawTerminals := make([]float64, gpTerminals)
+	for i := 0; i < gpTerminals; i++ {
+		v := -10 + 20*r.float64n()
+		rawTerminals[i] = v
+		terminalSet.Set(i, v)
+	}
+
+	functions := dstruct.NewListLabeled[string](s, "function set")
+	for _, f := range []string{"+", "-", "*", "/"} {
+		functions.Add(f)
+	}
+
+	params := dstruct.NewDictionary[string, float64](s)
+	params.Put("crossover", 0.85)
+	params.Put("mutation", 0.05)
+	stats := dstruct.NewDictionary[int, float64](s)
+
+	// Population list and selection fitness array — Table V's use cases
+	// 2+3 and 4+5.
+	population := dstruct.NewListLabeled[int](s, "population (CHPopulation)")
+	fitness := dstruct.NewArrayLabeled[float64](s, gpPopulation, "fitness (FitnessProportionateSelection)")
+
+	chromos := make([]gpChromosome, 0, gpPopulation*2)
+	newChromo := func() int {
+		chromos = append(chromos, gpRandomChromosome(r, gpTerminals))
+		return len(chromos) - 1
+	}
+
+	for i := 0; i < gpPopulation; i++ {
+		population.Add(newChromo())
+	}
+
+	for gen := 0; gen < gpGenerations; gen++ {
+		// Terminal-set aggregation: the "program loop that iterates over a
+		// data structure to compute an aggregate value" from §V.
+		aggregate := 0.0
+		for i := 0; i < terminalSet.Len(); i++ {
+			aggregate += terminalSet.Get(i)
+		}
+
+		// Fitness evaluation: read every chromosome, fill the fitness
+		// array (its long write phase).
+		for i := 0; i < population.Len(); i++ {
+			ci := population.Get(i)
+			fitness.Set(i, gpFitness(chromos[ci], xs, target, rawTerminals))
+		}
+
+		// Roulette selection: two full scans of the fitness array (sum,
+		// then pick), plus one scan of the population for the elite.
+		sum := 0.0
+		for i := 0; i < fitness.Len(); i++ {
+			sum += fitness.Get(i)
+		}
+		bestIdx, bestFit := 0, -1.0
+		picks := make([]int, gpPopulation)
+		threshold := r.float64n() * sum
+		acc := 0.0
+		pick := 0
+		for i := 0; i < fitness.Len(); i++ {
+			f := fitness.Get(i)
+			if f > bestFit {
+				bestIdx, bestFit = i, f
+			}
+			acc += f
+			for acc >= threshold && pick < gpPopulation {
+				picks[pick] = i
+				pick++
+				threshold += sum / float64(gpPopulation)
+			}
+		}
+		elite := population.Get(bestIdx)
+
+		// Next generation: clear + long insertion phase on the population.
+		parents := make([]int, population.Len())
+		for i := 0; i < population.Len(); i++ {
+			parents[i] = population.Get(i)
+		}
+		population.Clear()
+		population.Add(elite)
+		for i := 1; i < gpPopulation; i++ {
+			p1 := chromos[parents[picks[i]]]
+			p2 := chromos[parents[picks[(i+7)%gpPopulation]]]
+			child := make(gpChromosome, gpGenome)
+			cut := 1 + r.intn(gpGenome-1)
+			copy(child, p1[:cut])
+			copy(child[cut:], p2[cut:])
+			if r.intn(20) == 0 {
+				child[r.intn(gpGenome)] = uint8(gpConstBase + r.intn(200))
+			}
+			chromos = append(chromos, child)
+			population.Add(len(chromos) - 1)
+		}
+		stats.Put(gen, bestFit+aggregate*1e-12)
+	}
+
+	// Bookkeeping containers below every threshold.
+	bestHistory := dstruct.NewListLabeled[float64](s, "best fitness history")
+	for gen := 0; gen < 5; gen++ {
+		bestHistory.Add(float64(gen))
+	}
+	opWeights := dstruct.NewArrayLabeled[float64](s, 4, "operator weights")
+	for i := 0; i < 4; i++ {
+		opWeights.Set(i, 0.25)
+	}
+	_ = opWeights.Get(0)
+
+	// 30 per-elite gene lists: small bookkeeping containers (§V counts 37
+	// instances in this program; most never cross a threshold).
+	for e := 0; e < gpEliteLists; e++ {
+		genes := dstruct.NewListLabeled[int](s, "elite genes")
+		src := chromos[r.intn(len(chromos))]
+		for _, g := range src[:8] {
+			genes.Add(int(g))
+		}
+		for i := 0; i < genes.Len(); i++ {
+			_ = genes.Get(i)
+		}
+	}
+}
+
+// gpRun is the plain engine; workers>1 parallelizes fitness evaluation and
+// the selection scans — the recommended actions applied (and the places the
+// hand-parallelized original parallelized too, §V).
+func gpRun(popSize, gens, seriesLen, workers int) uint64 {
+	r := newRNG(0x69D0)
+	xs := make([]float64, seriesLen)
+	for i := range xs {
+		xs[i] = -2 + 4*float64(i)/float64(seriesLen)
+	}
+	target := gpTarget(xs)
+	terminals := make([]float64, gpTerminals)
+	for i := range terminals {
+		terminals[i] = -10 + 20*r.float64n()
+	}
+
+	pop := make([]gpChromosome, popSize)
+	for i := range pop {
+		pop[i] = gpRandomChromosome(r, gpTerminals)
+	}
+	fit := make([]float64, popSize)
+
+	var check uint64
+	for gen := 0; gen < gens; gen++ {
+		if workers <= 1 {
+			for i, c := range pop {
+				fit[i] = gpFitness(c, xs, target, terminals)
+			}
+		} else {
+			par.ForChunked(popSize, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					fit[i] = gpFitness(pop[i], xs, target, terminals)
+				}
+			})
+		}
+		var sum float64
+		var bestIdx int
+		if workers <= 1 {
+			for i, f := range fit {
+				sum += f
+				if f > fit[bestIdx] {
+					bestIdx = i
+				}
+			}
+		} else {
+			sum = par.SumFloat64(fit, workers)
+			bestIdx = par.MaxIndex(fit, workers, func(a, b float64) bool { return a < b })
+		}
+		check = check*31 + uint64(fit[bestIdx]*1e6) + uint64(sum)
+
+		next := make([]gpChromosome, 0, popSize)
+		next = append(next, pop[bestIdx])
+		acc, threshold := 0.0, sum/float64(popSize)/2
+		picks := make([]int, 0, popSize)
+		for i := 0; i < popSize && len(picks) < popSize; i++ {
+			acc += fit[i]
+			for acc >= threshold && len(picks) < popSize {
+				picks = append(picks, i)
+				threshold += sum / float64(popSize)
+			}
+		}
+		for len(picks) < popSize {
+			picks = append(picks, bestIdx)
+		}
+		for i := 1; i < popSize; i++ {
+			p1 := pop[picks[i]]
+			p2 := pop[picks[(i+7)%popSize]]
+			child := make(gpChromosome, gpGenome)
+			cut := 1 + r.intn(gpGenome-1)
+			copy(child, p1[:cut])
+			copy(child[cut:], p2[cut:])
+			if r.intn(20) == 0 {
+				child[r.intn(gpGenome)] = uint8(gpConstBase + r.intn(200))
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	return check
+}
+
+// gpTwin mirrors the instrumented run's evolution parameters on raw data.
+func gpTwin() { gpRun(gpPopulation, gpGenerations, gpSeriesLen, 1) }
+
+func gpPlain() uint64 { return gpRun(gpPlainPop, gpPlainGens, gpPlainSeriesLen, 1) }
+
+func gpParallel(workers int) uint64 {
+	return gpRun(gpPlainPop, gpPlainGens, gpPlainSeriesLen, workers)
+}
+
+// gpRegions: fitness evaluation and selection scans are parallelizable (the
+// dominant cost); breeding and bookkeeping are sequential. The paper
+// reports a 3.89 % sequential fraction.
+func gpRegions() (seq, parT time.Duration) {
+	r := newRNG(0x69D0)
+	xs := make([]float64, gpPlainSeriesLen)
+	for i := range xs {
+		xs[i] = -2 + 4*float64(i)/float64(gpPlainSeriesLen)
+	}
+	target := gpTarget(xs)
+	terminals := make([]float64, gpTerminals)
+	for i := range terminals {
+		terminals[i] = -10 + 20*r.float64n()
+	}
+	pop := make([]gpChromosome, gpPlainPop)
+	for i := range pop {
+		pop[i] = gpRandomChromosome(r, gpTerminals)
+	}
+	fit := make([]float64, gpPlainPop)
+	for gen := 0; gen < 10; gen++ {
+		parT += timeIt(func() {
+			for i, c := range pop {
+				fit[i] = gpFitness(c, xs, target, terminals)
+			}
+		})
+		seq += timeIt(func() {
+			next := make([]gpChromosome, 0, len(pop))
+			for i := range pop {
+				child := make(gpChromosome, gpGenome)
+				copy(child, pop[i])
+				if r.intn(20) == 0 {
+					child[r.intn(gpGenome)] = uint8(gpConstBase + r.intn(200))
+				}
+				next = append(next, child)
+			}
+			pop = next
+		})
+	}
+	return seq, parT
+}
+
+// Probe workloads. The terminal-set aggregation (§V: "The length of the
+// data structure in this case was too short for parallelization to yield a
+// speedup") and the selection-array regions are deliberately small; the
+// population-level regions are sized like the plain run.
+
+func gpTerminalProbe(workers int) {
+	data := make([]float64, gpTerminals)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	for rep := 0; rep < 500; rep++ {
+		if workers <= 1 {
+			s := 0.0
+			for _, v := range data {
+				s += v
+			}
+			_ = s
+		} else {
+			par.SumFloat64(data, workers)
+		}
+	}
+}
+
+func gpFitnessProbe(workers int) {
+	gpRun(gpPlainPop, 6, gpPlainSeriesLen, workers)
+}
+
+func gpRebuildProbe(workers int) {
+	gpRun(gpPlainPop, 6, gpPlainSeriesLen, workers)
+}
+
+func gpSelectionProbe(workers int) {
+	data := make([]float64, gpPopulation)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	for rep := 0; rep < 2000; rep++ {
+		if workers <= 1 {
+			s := 0.0
+			for _, v := range data {
+				s += v
+			}
+			_ = s
+		} else {
+			par.SumFloat64(data, workers)
+		}
+	}
+}
+
+func gpSelectionFillProbe(workers int) {
+	data := make([]float64, gpPopulation)
+	for rep := 0; rep < 2000; rep++ {
+		par.FillFunc(data, workers, func(i int) float64 { return float64(i * rep) })
+	}
+}

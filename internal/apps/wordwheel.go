@@ -1,0 +1,282 @@
+package apps
+
+import (
+	"strings"
+	"time"
+
+	"dsspy/internal/dstruct"
+	"dsspy/internal/par"
+	"dsspy/internal/trace"
+)
+
+// WordWheelSolver reproduces the evaluation's puzzle solver: given a wheel
+// of nine letters with a mandatory center letter, find every dictionary
+// word that uses only wheel letters (respecting multiplicity) and contains
+// the center letter.
+//
+// Table IV: 5 data structures, 2 use cases (1 true positive), reduction
+// 60 %, speedup 1.50. The true positive is the dictionary scan — DSspy
+// flags the repeated whole-dictionary reads as a disguised search
+// (Frequent-Long-Read) and the parallel version searches letter chunks
+// concurrently.
+
+// wordWheels are the puzzle inputs; more than ten so the dictionary scan
+// recurs often enough to be "frequent".
+var wordWheels = []string{
+	"aeglnrtsi", "oeuptrdns", "iaemcrtko", "ueyslandr",
+	"oartliens", "ietgnmars", "aoupslent", "eidcrambo",
+	"uoantiser", "eaoglints", "irmbanteo", "ysecarton",
+}
+
+// wheelCenter is the index of the mandatory letter within each wheel.
+const wheelCenter = 4
+
+// synthDictionary builds a deterministic pseudo-English word list. Size is
+// the number of words.
+func synthDictionary(size int) []string {
+	const vowels = "aeiou"
+	const consonants = "bcdglmnprst"
+	r := newRNG(0x5EED)
+	words := make([]string, size)
+	var sb strings.Builder
+	for i := range words {
+		sb.Reset()
+		n := 3 + r.intn(7)
+		for j := 0; j < n; j++ {
+			if j%2 == 0 {
+				sb.WriteByte(consonants[r.intn(len(consonants))])
+			} else {
+				sb.WriteByte(vowels[r.intn(len(vowels))])
+			}
+		}
+		words[i] = sb.String()
+	}
+	return words
+}
+
+// wheelMatches reports whether word can be built from the wheel's letters
+// (with multiplicity) and contains the center letter.
+func wheelMatches(word, wheel string, center byte) bool {
+	if len(word) < 3 || !strings.Contains(word, string(center)) {
+		return false
+	}
+	var avail [26]int8
+	for i := 0; i < len(wheel); i++ {
+		avail[wheel[i]-'a']++
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i] - 'a'
+		if avail[c] == 0 {
+			return false
+		}
+		avail[c]--
+	}
+	return true
+}
+
+const wordWheelDictSize = 60000
+const wordWheelInstDictSize = 4000
+
+// WordWheelSolver returns the app descriptor.
+func WordWheelSolver() *App {
+	app := &App{
+		Name:               "WordWheelSolver",
+		Domain:             "Solver",
+		PaperLOC:           110,
+		PaperRuntime:       0.04,
+		PaperSlowdown:      38.46,
+		PaperReduction:     0.60,
+		PaperSpeedup:       1.50,
+		WantDataStructures: 5,
+		WantUseCases:       2,
+		WantTruePositives:  1,
+		Instrumented:       wordWheelInstrumented,
+		PlainTwin:          wordWheelTwin,
+		Plain:              wordWheelPlain,
+		Parallel:           wordWheelParallel,
+		Regions:            wordWheelRegions,
+	}
+	app.Probes = []Probe{
+		{
+			Name: "dictionary scan", UseCase: "FLR",
+			Seq: func() { wordWheelScanProbe(1) },
+			Par: func(w int) { wordWheelScanProbe(w) },
+		},
+		{
+			Name: "solution accumulation", UseCase: "LI",
+			Seq: func() { wordWheelAppendProbe(1) },
+			Par: func(w int) { wordWheelAppendProbe(w) },
+		},
+	}
+	return app
+}
+
+var wordWheelProbeDict []string
+
+// wordWheelScanProbe is the FLR region: one full dictionary scan per wheel.
+func wordWheelScanProbe(workers int) {
+	if wordWheelProbeDict == nil {
+		wordWheelProbeDict = synthDictionary(wordWheelDictSize)
+	}
+	wheel := wordWheels[0]
+	center := wheel[wheelCenter]
+	par.Count(wordWheelProbeDict, workers, func(word string) bool {
+		return wheelMatches(word, wheel, center)
+	})
+}
+
+// wordWheelAppendProbe is the LI region: accumulating solutions. Appends
+// are allocation-bound and need synchronization in parallel — the false
+// positive of this app.
+func wordWheelAppendProbe(workers int) {
+	const n = 300000
+	if workers <= 1 {
+		var out []int
+		for i := 0; i < n; i++ {
+			out = append(out, i)
+		}
+		_ = out
+		return
+	}
+	q := par.NewConcurrentQueue[int]()
+	par.ForChunked(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q.Enqueue(i)
+		}
+	})
+}
+
+// wordWheelInstrumented: five data structures — the dictionary list, the
+// results list, the wheel list, a letter-frequency array, and a seen-words
+// set. The dictionary is scanned once per wheel (12 wheels > 10 patterns →
+// Frequent-Long-Read); results accumulate in long insertion phases
+// (Long-Insert).
+func wordWheelInstrumented(s *trace.Session) {
+	words := synthDictionary(wordWheelInstDictSize)
+
+	dict := dstruct.NewListLabeled[string](s, "dictionary")
+	for _, w := range words {
+		dict.Add(w)
+	}
+
+	wheels := dstruct.NewListLabeled[string](s, "wheels")
+	for _, w := range wordWheels {
+		wheels.Add(w)
+	}
+
+	freq := dstruct.NewArrayLabeled[int](s, 26, "letter frequencies")
+	results := dstruct.NewListLabeled[string](s, "solutions")
+	lengths := dstruct.NewListLabeled[int](s, "wheel lengths")
+	for _, w := range wordWheels[:6] {
+		lengths.Add(len(w))
+	}
+	seen := dstruct.NewHashSet[string](s)
+
+	for wi := 0; wi < wheels.Len(); wi++ {
+		wheel := wheels.Get(wi)
+		center := wheel[wheelCenter]
+		for i := 0; i < dict.Len(); i++ {
+			word := dict.Get(i)
+			if wheelMatches(word, wheel, center) && !seen.Contains(word) {
+				seen.Add(word)
+				results.Add(word)
+				for j := 0; j < len(word); j++ {
+					c := int(word[j] - 'a')
+					freq.Set(c, freq.Get(c)+1)
+				}
+			}
+		}
+	}
+}
+
+func wordWheelSolve(words []string, workers int) uint64 {
+	var sum uint64
+	seen := make(map[string]bool)
+	for _, wheel := range wordWheels {
+		center := wheel[wheelCenter]
+		if workers <= 1 {
+			for _, word := range words {
+				if wheelMatches(word, wheel, center) && !seen[word] {
+					seen[word] = true
+					sum = sum*131 + uint64(len(word))
+					for j := 0; j < len(word); j++ {
+						sum += uint64(word[j])
+					}
+				}
+			}
+			continue
+		}
+		// Recommended action applied: chunked parallel scan, then a
+		// deterministic sequential merge preserving dictionary order.
+		matched := make([][]string, workers)
+		par.ChunkIndexed(len(words), workers, func(chunk, lo, hi int) {
+			var local []string
+			for i := lo; i < hi; i++ {
+				if wheelMatches(words[i], wheel, center) {
+					local = append(local, words[i])
+				}
+			}
+			matched[chunk] = local
+		})
+		for _, chunk := range matched {
+			for _, word := range chunk {
+				if !seen[word] {
+					seen[word] = true
+					sum = sum*131 + uint64(len(word))
+					for j := 0; j < len(word); j++ {
+						sum += uint64(word[j])
+					}
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// wordWheelTwin mirrors the instrumented run (same dictionary size) on raw
+// slices.
+func wordWheelTwin() {
+	words := synthDictionary(wordWheelInstDictSize)
+	wordWheelSolve(words, 1)
+}
+
+func wordWheelPlain() uint64 {
+	words := synthDictionary(wordWheelDictSize)
+	return wordWheelSolve(words, 1)
+}
+
+func wordWheelParallel(workers int) uint64 {
+	words := synthDictionary(wordWheelDictSize)
+	return wordWheelSolve(words, workers)
+}
+
+// wordWheelRegions: dictionary construction and result merging are
+// sequential; the per-wheel scans are parallelizable. The paper measures a
+// 28.21 % sequential fraction for this program.
+func wordWheelRegions() (seq, parT time.Duration) {
+	var words []string
+	seq += timeIt(func() { words = synthDictionary(wordWheelDictSize) })
+	seen := make(map[string]bool)
+	var sum uint64
+	for _, wheel := range wordWheels {
+		center := wheel[wheelCenter]
+		var local []string
+		parT += timeIt(func() {
+			for _, word := range words {
+				if wheelMatches(word, wheel, center) {
+					local = append(local, word)
+				}
+			}
+		})
+		seq += timeIt(func() {
+			for _, word := range local {
+				if !seen[word] {
+					seen[word] = true
+					sum = sum*131 + uint64(len(word))
+				}
+			}
+		})
+	}
+	_ = sum
+	return seq, parT
+}

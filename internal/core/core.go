@@ -1,0 +1,250 @@
+// Package core is the DSspy orchestrator: it wires the Figure 4 pipeline —
+// instrumentation (dstruct), execution and collection (trace), profile
+// construction (profile), pattern detection (pattern) and use-case
+// generation (usecase) — and produces the report an engineer reads:
+// locations, reasons, recommended actions.
+package core
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"dsspy/internal/pattern"
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
+)
+
+// Config bundles the tunables of the whole pipeline.
+type Config struct {
+	Thresholds usecase.Thresholds
+	Pattern    pattern.Config
+	Regularity pattern.RegularityConfig
+}
+
+// DefaultConfig returns the paper's thresholds and strict pattern matching.
+func DefaultConfig() Config {
+	return Config{
+		Thresholds: usecase.Default(),
+		Pattern:    pattern.DefaultConfig(),
+		Regularity: pattern.DefaultRegularityConfig(),
+	}
+}
+
+// DSspy is the analyzer.
+type DSspy struct {
+	cfg Config
+}
+
+// New returns a DSspy with the default configuration.
+func New() *DSspy { return &DSspy{cfg: DefaultConfig()} }
+
+// NewWith returns a DSspy with an explicit configuration.
+func NewWith(cfg Config) *DSspy {
+	if cfg.Pattern.MinLen == 0 {
+		cfg.Pattern = pattern.DefaultConfig()
+	}
+	return &DSspy{cfg: cfg}
+}
+
+// InstanceResult is the analysis outcome for one data-structure instance.
+type InstanceResult struct {
+	Profile  *profile.Profile
+	Summary  *pattern.Summary
+	UseCases []usecase.UseCase
+	Regular  bool
+	// Shared summarizes concurrent use of the instance: patterns are
+	// detected per thread (two goroutines interleaving scans are two
+	// patterns, not a zigzag), and Contended flags concurrent use with at
+	// least one writer.
+	Shared profile.SharedAccess
+}
+
+// Patterns returns the detected access patterns.
+func (r *InstanceResult) Patterns() []pattern.Pattern { return r.Summary.Patterns }
+
+// Report is the outcome of one analysis run.
+type Report struct {
+	Instances []*InstanceResult
+	// Registered is the full instance registry, including instances that
+	// never raised an event; the search-space figures are computed against
+	// the lists and arrays in it, exactly as the evaluation counted
+	// "number of instantiations of both data structures".
+	Registered []trace.Instance
+}
+
+// Analyze builds profiles from the events and runs pattern and use-case
+// detection on each.
+func (d *DSspy) Analyze(s *trace.Session, events []trace.Event) *Report {
+	rep := &Report{Registered: s.Instances()}
+	for _, p := range profile.Build(s, events) {
+		sum := pattern.SummarizeThreads(p, d.cfg.Pattern)
+		res := &InstanceResult{
+			Profile:  p,
+			Summary:  sum,
+			UseCases: usecase.DetectWithSummary(p, sum, d.cfg.Thresholds),
+			Regular:  pattern.HasRegularity(p, d.cfg.Pattern, d.cfg.Regularity),
+			Shared:   profile.SharedAccessOf(p),
+		}
+		rep.Instances = append(rep.Instances, res)
+	}
+	return rep
+}
+
+// Run is the one-call convenience driver: it creates a session with the
+// paper's asynchronous collector, hands it to the workload, flushes the
+// collector, and analyzes everything it saw.
+func (d *DSspy) Run(workload func(*trace.Session)) *Report {
+	col := trace.NewAsyncCollector()
+	s := trace.NewSessionWith(trace.Options{Recorder: col, CaptureSites: true})
+	workload(s)
+	col.Close()
+	return d.Analyze(s, col.Events())
+}
+
+// UseCases returns every detected use case across instances, in instance
+// order.
+func (r *Report) UseCases() []usecase.UseCase {
+	var out []usecase.UseCase
+	for _, ir := range r.Instances {
+		out = append(out, ir.UseCases...)
+	}
+	return out
+}
+
+// ParallelUseCases returns the use cases with parallel potential.
+func (r *Report) ParallelUseCases() []usecase.UseCase {
+	var out []usecase.UseCase
+	for _, u := range r.UseCases() {
+		if u.Kind.Parallel() {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies use cases per kind.
+func (r *Report) CountByKind() map[usecase.Kind]int {
+	m := make(map[usecase.Kind]int)
+	for _, u := range r.UseCases() {
+		m[u.Kind]++
+	}
+	return m
+}
+
+// Regularities returns the number of instances whose profiles contain
+// recurring regularities (the Table II figure).
+func (r *Report) Regularities() int {
+	n := 0
+	for _, ir := range r.Instances {
+		if ir.Regular {
+			n++
+		}
+	}
+	return n
+}
+
+// SearchSpace summarizes the evaluation's central quantity: how many list
+// and array instances exist, how many the use cases reference, and the
+// resulting reduction (Table IV).
+type SearchSpace struct {
+	Total    int // list + array instances in the registry
+	Flagged  int // instances referenced by at least one use case
+	Referred int // total use cases
+}
+
+// Reduction returns 1 - Flagged/Total, the paper's search-space reduction.
+func (ss SearchSpace) Reduction() float64 {
+	if ss.Total == 0 {
+		return 0
+	}
+	return 1 - float64(ss.Flagged)/float64(ss.Total)
+}
+
+// SearchSpace computes the search-space statistics.
+func (r *Report) SearchSpace() SearchSpace {
+	ss := SearchSpace{}
+	for _, inst := range r.Registered {
+		if inst.Kind == trace.KindList || inst.Kind == trace.KindArray {
+			ss.Total++
+		}
+	}
+	flagged := make(map[trace.InstanceID]bool)
+	for _, u := range r.UseCases() {
+		ss.Referred++
+		flagged[u.Instance.ID] = true
+	}
+	ss.Flagged = len(flagged)
+	return ss
+}
+
+// InstancesWithUseCases returns the distinct instances the engineer still
+// has to look at, ordered by id.
+func (r *Report) InstancesWithUseCases() []trace.Instance {
+	seen := make(map[trace.InstanceID]trace.Instance)
+	for _, u := range r.UseCases() {
+		seen[u.Instance.ID] = u.Instance
+	}
+	out := make([]trace.Instance, 0, len(seen))
+	for _, inst := range seen {
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Write renders the report in the paper's Table V layout: one block per use
+// case with the class/method, position, data structure and use-case name,
+// followed by the recommended action.
+func (r *Report) Write(w io.Writer) error {
+	ucs := r.UseCases()
+	if len(ucs) == 0 {
+		_, err := fmt.Fprintln(w, "No use cases detected.")
+		return err
+	}
+	for i, u := range ucs {
+		site := u.Instance.Site
+		if _, err := fmt.Fprintf(w,
+			"Use Case %d\n  Function:       %s\n  Position:       %s:%d\n  Data structure: %s%s\n  Use Case:       %s\n  Evidence:       %s\n  Recommendation: %s\n\n",
+			i+1,
+			orUnknown(site.Function),
+			filepath.Base(orUnknown(site.File)), site.Line,
+			u.Instance.TypeName, labelSuffix(u.Instance.Label),
+			u.Kind,
+			u.Evidence,
+			u.Recommendation,
+		); err != nil {
+			return err
+		}
+	}
+	for _, ir := range r.Instances {
+		if ir.Shared.Contended() {
+			if _, err := fmt.Fprintf(w,
+				"Note: %s%s is accessed by %d threads including %d writer(s); any parallelization must use a synchronized container.\n",
+				ir.Profile.Instance.TypeName, labelSuffix(ir.Profile.Instance.Label),
+				ir.Shared.Threads, ir.Shared.WritingThreads); err != nil {
+				return err
+			}
+		}
+	}
+	ss := r.SearchSpace()
+	_, err := fmt.Fprintf(w, "Search space: %d of %d list/array instances remain (reduction %.2f%%).\n",
+		ss.Flagged, ss.Total, 100*ss.Reduction())
+	return err
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "<unknown>"
+	}
+	return s
+}
+
+func labelSuffix(label string) string {
+	if label == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (%q)", label)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Machine-readable report export, for integrating DSspy findings into other
+// tooling (editors, CI annotations, the advisor's consumers).
+
+// JSONReport is the serialized form of a Report.
+type JSONReport struct {
+	Instances   []JSONInstance `json:"instances"`
+	SearchSpace JSONSpace      `json:"searchSpace"`
+}
+
+// JSONSpace is the search-space summary.
+type JSONSpace struct {
+	ListArrayInstances int     `json:"listArrayInstances"`
+	Flagged            int     `json:"flagged"`
+	UseCases           int     `json:"useCases"`
+	Reduction          float64 `json:"reduction"`
+}
+
+// JSONInstance is one profiled instance.
+type JSONInstance struct {
+	ID       uint32        `json:"id"`
+	Kind     string        `json:"kind"`
+	Type     string        `json:"type"`
+	Label    string        `json:"label,omitempty"`
+	File     string        `json:"file,omitempty"`
+	Line     int           `json:"line,omitempty"`
+	Events   int           `json:"events"`
+	Threads  int           `json:"threads"`
+	Regular  bool          `json:"regular"`
+	Patterns []JSONPattern `json:"patterns,omitempty"`
+	UseCases []JSONUseCase `json:"useCases,omitempty"`
+}
+
+// JSONPattern is one detected access pattern.
+type JSONPattern struct {
+	Type     string  `json:"type"`
+	Length   int     `json:"length"`
+	Coverage float64 `json:"coverage"`
+}
+
+// JSONUseCase is one finding.
+type JSONUseCase struct {
+	Kind           string `json:"kind"`
+	Short          string `json:"short"`
+	Parallel       bool   `json:"parallel"`
+	Evidence       string `json:"evidence"`
+	Recommendation string `json:"recommendation"`
+}
+
+// ToJSON builds the serializable view of the report.
+func (r *Report) ToJSON() JSONReport {
+	out := JSONReport{}
+	for _, ir := range r.Instances {
+		inst := ir.Profile.Instance
+		ji := JSONInstance{
+			ID:      uint32(inst.ID),
+			Kind:    inst.Kind.String(),
+			Type:    inst.TypeName,
+			Label:   inst.Label,
+			File:    inst.Site.File,
+			Line:    inst.Site.Line,
+			Events:  ir.Profile.Len(),
+			Threads: ir.Shared.Threads,
+			Regular: ir.Regular,
+		}
+		for _, p := range ir.Patterns() {
+			ji.Patterns = append(ji.Patterns, JSONPattern{
+				Type:     p.Type.String(),
+				Length:   p.Len(),
+				Coverage: p.Coverage(),
+			})
+		}
+		for _, u := range ir.UseCases {
+			ji.UseCases = append(ji.UseCases, JSONUseCase{
+				Kind:           u.Kind.String(),
+				Short:          u.Kind.Short(),
+				Parallel:       u.Kind.Parallel(),
+				Evidence:       u.Evidence,
+				Recommendation: u.Recommendation,
+			})
+		}
+		out.Instances = append(out.Instances, ji)
+	}
+	ss := r.SearchSpace()
+	out.SearchSpace = JSONSpace{
+		ListArrayInstances: ss.Total,
+		Flagged:            ss.Flagged,
+		UseCases:           ss.Referred,
+		Reduction:          ss.Reduction(),
+	}
+	return out
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.ToJSON())
+}

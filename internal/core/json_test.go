@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dsspy/internal/dstruct"
+	"dsspy/internal/trace"
+)
+
+func TestReportJSON(t *testing.T) {
+	rep := New().Run(func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, "bulk")
+		for i := 0; i < 150; i++ {
+			l.Add(i)
+		}
+		dstruct.NewArray[int](s, 4).Set(0, 1)
+	})
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded.Instances) != 2 {
+		t.Fatalf("instances = %d", len(decoded.Instances))
+	}
+	bulk := decoded.Instances[0]
+	if bulk.Label != "bulk" || bulk.Kind != "List" || bulk.Events != 150 {
+		t.Errorf("bulk = %+v", bulk)
+	}
+	if len(bulk.UseCases) != 1 || bulk.UseCases[0].Short != "LI" || !bulk.UseCases[0].Parallel {
+		t.Errorf("bulk use cases = %+v", bulk.UseCases)
+	}
+	if len(bulk.Patterns) != 1 || bulk.Patterns[0].Type != "Insert-Back" || bulk.Patterns[0].Length != 150 {
+		t.Errorf("bulk patterns = %+v", bulk.Patterns)
+	}
+	if bulk.File == "" || bulk.Line == 0 {
+		t.Error("site missing in JSON")
+	}
+	ss := decoded.SearchSpace
+	if ss.ListArrayInstances != 2 || ss.Flagged != 1 || ss.UseCases != 1 {
+		t.Errorf("search space = %+v", ss)
+	}
+	if ss.Reduction != 0.5 {
+		t.Errorf("reduction = %v", ss.Reduction)
+	}
+}
+
+func TestReportJSONEmpty(t *testing.T) {
+	rep := New().Run(func(s *trace.Session) {})
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Instances) != 0 || decoded.SearchSpace.UseCases != 0 {
+		t.Errorf("empty report = %+v", decoded)
+	}
+}

@@ -1,0 +1,191 @@
+package corpus
+
+import (
+	"dsspy/internal/dstruct"
+	"dsspy/internal/trace"
+)
+
+// Behaviors are scripted data-structure usages with known detection
+// signatures. Each behavior creates exactly one instrumented instance inside
+// the given session and exercises it the way the named idiom does in the
+// wild. The dynamic study programs are assembled from these.
+
+// Behavior runs one scripted instance against a session.
+type Behavior func(s *trace.Session)
+
+// BehaviorLongInsert builds one long insertion phase (≥100 consecutive
+// inserts, >30 % of the profile): fires exactly {Long-Insert}.
+func BehaviorLongInsert(label string) Behavior {
+	return func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, label)
+		for i := 0; i < 150; i++ {
+			l.Add(i * 3)
+		}
+		for i := 0; i < 10; i++ {
+			l.Get(i * 14)
+		}
+	}
+}
+
+// BehaviorFrequentLongRead populates once, then scans the whole structure
+// repeatedly — the disguised-search idiom: fires exactly
+// {Frequent-Long-Read}.
+func BehaviorFrequentLongRead(label string) Behavior {
+	return func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, label)
+		for i := 0; i < 30; i++ {
+			l.Add(i)
+		}
+		for c := 0; c < 12; c++ {
+			for i := 0; i < l.Len(); i++ {
+				l.Get(i)
+			}
+		}
+	}
+}
+
+// BehaviorLongInsertAndRead is the Figure 3 producer/scanner cycle: long
+// insertion phases and full scans on the same structure, fires
+// {Long-Insert, Frequent-Long-Read} — the dual finding §V reports for
+// gpdotnet's population list.
+func BehaviorLongInsertAndRead(label string) Behavior {
+	return func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, label)
+		for c := 0; c < 12; c++ {
+			for i := 0; i < 120; i++ {
+				l.Add(i)
+			}
+			for r := 0; r < 2; r++ {
+				for i := 0; i < l.Len(); i++ {
+					l.Get(i)
+				}
+			}
+			l.Clear()
+		}
+	}
+}
+
+// BehaviorImplementQueue drives a list as a FIFO in bursts: fires exactly
+// {Implement-Queue}.
+func BehaviorImplementQueue(label string) Behavior {
+	return func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, label)
+		for c := 0; c < 20; c++ {
+			for i := 0; i < 10; i++ {
+				l.Add(c*10 + i)
+			}
+			l.Get(0)
+			for i := 0; i < 10; i++ {
+				l.RemoveAt(0)
+			}
+		}
+	}
+}
+
+// BehaviorSortAfterInsert builds a long unsorted insertion phase and sorts
+// it: fires {Sort-After-Insert, Long-Insert} — SAI presupposes LI's phase
+// thresholds, so the pair always comes together, and Table V shows the
+// paper's DSspy also reporting multiple use cases per structure.
+func BehaviorSortAfterInsert(label string) Behavior {
+	return func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, label)
+		for i := 0; i < 140; i++ {
+			l.Add((i*2654435761 + 7) % 1000)
+		}
+		l.Sort(func(a, b int) bool { return a < b })
+		for i := 0; i < 20; i++ {
+			l.Get(i)
+		}
+	}
+}
+
+// BehaviorFrequentSearch performs >1000 explicit membership searches:
+// fires exactly {Frequent-Search}.
+func BehaviorFrequentSearch(label string) Behavior {
+	return func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, label)
+		for i := 0; i < 100; i++ {
+			l.Add(i * 2)
+		}
+		for i := 0; i < 1100; i++ {
+			l.Contains(i % 250)
+		}
+	}
+}
+
+// BehaviorRegularOnly shows recurring regularity (repeated short forward
+// scans) without crossing any use-case threshold.
+func BehaviorRegularOnly(label string) Behavior {
+	return func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, label)
+		for i := 0; i < 20; i++ {
+			l.Add(i)
+		}
+		for c := 0; c < 5; c++ {
+			for i := 0; i < 6; i++ {
+				l.Get(i)
+			}
+		}
+	}
+}
+
+// BehaviorIrregular is scattered, patternless access — the profiles the
+// manual study marked "contains no regularity".
+func BehaviorIrregular(label string) Behavior {
+	return func(s *trace.Session) {
+		a := dstruct.NewArrayLabeled[int](s, 64, label)
+		idx := 7
+		for i := 0; i < 8; i++ {
+			idx = (idx*31 + 11) % 64
+			a.Set(idx, i)
+			idx = (idx*17 + 5) % 64
+			a.Get(idx)
+		}
+	}
+}
+
+// BehaviorStackImpl drives a list as a LIFO: fires exactly
+// {Stack-Implementation} (sequential-optimization use case).
+func BehaviorStackImpl(label string) Behavior {
+	return func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, label)
+		for c := 0; c < 10; c++ {
+			for i := 0; i < 5; i++ {
+				l.Add(i)
+			}
+			for i := 0; i < 5; i++ {
+				l.RemoveAt(l.Len() - 1)
+			}
+		}
+	}
+}
+
+// BehaviorInsertDeleteFront abuses a fixed-size array as a deque front:
+// fires exactly {Insert/Delete-Front}.
+func BehaviorInsertDeleteFront(label string) Behavior {
+	return func(s *trace.Session) {
+		a := dstruct.NewArrayLabeled[int](s, 8, label)
+		for c := 0; c < 12; c++ {
+			a.InsertAt(0, c)
+			a.RemoveAt(0)
+		}
+	}
+}
+
+// BehaviorWriteWithoutRead reads a structure, then nulls every slot before
+// abandoning it: fires exactly {Write-Without-Read}.
+func BehaviorWriteWithoutRead(label string) Behavior {
+	return func(s *trace.Session) {
+		l := dstruct.NewListLabeled[int](s, label)
+		for i := 0; i < 40; i++ {
+			l.Add(i)
+		}
+		for i := 0; i < l.Len(); i++ {
+			l.Get(i)
+		}
+		for i := 0; i < l.Len(); i++ {
+			l.Set(i, 0)
+		}
+		l.Clear()
+	}
+}

@@ -1,0 +1,174 @@
+package corpus
+
+import (
+	"fmt"
+
+	"dsspy/internal/core"
+	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
+)
+
+// Mix describes how many instances of each behavior a dynamic study program
+// contains. Dual behaviors fire two use cases on one instance, exactly the
+// multi-finding-per-structure situation Table V documents.
+type Mix struct {
+	LI      int // BehaviorLongInsert            -> {LI}
+	IQ      int // BehaviorImplementQueue        -> {IQ}
+	FS      int // BehaviorFrequentSearch        -> {FS}
+	FLR     int // BehaviorFrequentLongRead      -> {FLR}
+	SAIDual int // BehaviorSortAfterInsert       -> {SAI, LI}
+	LIFLR   int // BehaviorLongInsertAndRead     -> {LI, FLR}
+
+	RegularOnly int // recurring regularity, no use case
+	Irregular   int // no regularity at all
+}
+
+// Instances returns the number of data-structure instances the mix creates.
+func (m Mix) Instances() int {
+	return m.LI + m.IQ + m.FS + m.FLR + m.SAIDual + m.LIFLR + m.RegularOnly + m.Irregular
+}
+
+// Regularities returns how many instances carry recurring regularities —
+// every behavior except the irregular one is regular by construction.
+func (m Mix) Regularities() int {
+	return m.Instances() - m.Irregular
+}
+
+// UseCases returns the expected per-kind use-case counts.
+func (m Mix) UseCases() map[usecase.Kind]int {
+	out := make(map[usecase.Kind]int)
+	addIf := func(k usecase.Kind, n int) {
+		if n > 0 {
+			out[k] += n
+		}
+	}
+	addIf(usecase.LongInsert, m.LI+m.SAIDual+m.LIFLR)
+	addIf(usecase.ImplementQueue, m.IQ)
+	addIf(usecase.SortAfterInsert, m.SAIDual)
+	addIf(usecase.FrequentSearch, m.FS)
+	addIf(usecase.FrequentLongRead, m.FLR+m.LIFLR)
+	return out
+}
+
+// ParallelUseCases returns the expected total number of parallel use cases.
+func (m Mix) ParallelUseCases() int {
+	n := 0
+	for _, c := range m.UseCases() {
+		n += c
+	}
+	return n
+}
+
+// Behaviors expands the mix into its behavior list, deterministically
+// ordered and labeled.
+func (m Mix) Behaviors(program string) []Behavior {
+	var out []Behavior
+	add := func(n int, kind string, f func(label string) Behavior) {
+		for i := 0; i < n; i++ {
+			out = append(out, f(fmt.Sprintf("%s/%s-%d", program, kind, i)))
+		}
+	}
+	add(m.LI, "long-insert", BehaviorLongInsert)
+	add(m.IQ, "queue", BehaviorImplementQueue)
+	add(m.FS, "search", BehaviorFrequentSearch)
+	add(m.FLR, "long-read", BehaviorFrequentLongRead)
+	add(m.SAIDual, "sort-after-insert", BehaviorSortAfterInsert)
+	add(m.LIFLR, "insert+read", BehaviorLongInsertAndRead)
+	add(m.RegularOnly, "regular", BehaviorRegularOnly)
+	add(m.Irregular, "noise", BehaviorIrregular)
+	return out
+}
+
+// DynamicProgram is one subject of the dynamic studies (Tables II and III).
+type DynamicProgram struct {
+	Name   string
+	Domain string
+	LOC    int
+	Mix    Mix
+}
+
+// Run executes the program's behaviors under instrumentation and analyzes
+// the result with d.
+func (p DynamicProgram) Run(d *core.DSspy) *core.Report {
+	return d.Run(func(s *trace.Session) {
+		for _, b := range p.Mix.Behaviors(p.Name) {
+			b(s)
+		}
+	})
+}
+
+// PatternStudyPrograms returns the 15 programs of Table II with the paper's
+// LOC, plus behavior mixes that reproduce the published regularity and
+// parallel-use-case counts through detection. The per-kind composition of
+// each program's parallel use cases follows Table III for the nine programs
+// both studies share, and is reconstructed for the other six.
+func PatternStudyPrograms() []DynamicProgram {
+	return []DynamicProgram{
+		{Name: "TerraBIB", Domain: "Office", LOC: 10309,
+			Mix: Mix{RegularOnly: 1, Irregular: 2}},
+		{Name: "rrrsroguelike", Domain: "Game", LOC: 659,
+			Mix: Mix{LI: 1, Irregular: 1}},
+		{Name: "fire", Domain: "Simulation", LOC: 2137,
+			Mix: Mix{LIFLR: 1, Irregular: 1}},
+		{Name: "dotqcf", Domain: "Simulation", LOC: 27170,
+			Mix: Mix{RegularOnly: 2, Irregular: 3}},
+		{Name: "Contentfinder", Domain: "Search", LOC: 1046,
+			Mix: Mix{LI: 1, FLR: 1, Irregular: 1}},
+		{Name: "astrogrep", Domain: "Computation", LOC: 846,
+			Mix: Mix{LIFLR: 1, LI: 1, Irregular: 1}},
+		{Name: "borys-MeshRouting", Domain: "Simulation", LOC: 6429,
+			Mix: Mix{LI: 3, Irregular: 1}},
+		{Name: "csparser", Domain: "Parser", LOC: 17836,
+			Mix: Mix{LI: 2, FS: 2, FLR: 1, Irregular: 2}},
+		{Name: "dsa", Domain: "DS lib", LOC: 4099,
+			Mix: Mix{RegularOnly: 5, Irregular: 2}},
+		{Name: "TreeLayoutHelper", Domain: "Graph lib", LOC: 4673,
+			Mix: Mix{RegularOnly: 6, Irregular: 1}},
+		{Name: "ManicDigger2011", Domain: "Game", LOC: 24970,
+			Mix: Mix{LI: 4, IQ: 1, FLR: 1, Irregular: 3}},
+		{Name: "clipper", Domain: "Office", LOC: 3270,
+			Mix: Mix{LI: 5, RegularOnly: 4, Irregular: 1}},
+		{Name: "Net_With_UI", Domain: "Simulation", LOC: 1034,
+			Mix: Mix{LI: 1, IQ: 1, RegularOnly: 9, Irregular: 1}},
+		{Name: "netinfotrace", Domain: "Office", LOC: 7311,
+			Mix: Mix{LI: 3, FLR: 2, RegularOnly: 8, Irregular: 2}},
+		{Name: "MidiSheetMusic", Domain: "Office", LOC: 4792,
+			Mix: Mix{LI: 4, FLR: 2, IQ: 1, RegularOnly: 7, Irregular: 2}},
+	}
+}
+
+// UseCaseStudyPrograms returns the Table III subjects with behavior mixes
+// whose per-kind expectations reproduce the published column totals — 49 LI
+// in 21 programs, 3 IQ in 3 programs, 1 SAI, 3 FS in 2 programs, 10 FLR in
+// 8 programs, 66 use cases in total. Row totals follow the table; per-cell
+// values are reconstructed under those constraints plus §V's statement that
+// gpdotnet's five use cases were three Frequent-Long-Reads and two
+// Long-Inserts on overlapping structures.
+func UseCaseStudyPrograms() []DynamicProgram {
+	return []DynamicProgram{
+		{Name: "QIT", Mix: Mix{LI: 7, FLR: 1}},
+		{Name: "ManicDigger2011", Mix: Mix{LI: 4, IQ: 1, FLR: 1}},
+		{Name: "csparser", Mix: Mix{LI: 2, FS: 2, FLR: 1}},
+		{Name: "clipper", Mix: Mix{LI: 5}},
+		{Name: "gpdotnet", Mix: Mix{FLR: 1, LIFLR: 2}},
+		{Name: "netlinwhetcpu", Mix: Mix{LI: 5}},
+		{Name: "Mandelbrot", Mix: Mix{LI: 3}},
+		{Name: "quickgraph", Mix: Mix{LI: 3}},
+		{Name: "astrogrep", Mix: Mix{LIFLR: 1, LI: 1}},
+		{Name: "borys-MeshRouting", Mix: Mix{LI: 3}},
+		{Name: "Contentfinder", Mix: Mix{LI: 1, FLR: 1}},
+		{Name: "DambachMulti", Mix: Mix{SAIDual: 1}},
+		{Name: "LinearAlgebra", Mix: Mix{LI: 2}},
+		{Name: "MathNetIridium", Mix: Mix{LI: 2}},
+		{Name: "Net_With_UI", Mix: Mix{LI: 1, IQ: 1}},
+		{Name: "fire", Mix: Mix{LIFLR: 1}},
+		{Name: "DesktopSuche", Mix: Mix{FS: 1}},
+		{Name: "FIPL", Mix: Mix{LI: 1}},
+		{Name: "FreeFlowSPH", Mix: Mix{LI: 1}},
+		{Name: "networkminer", Mix: Mix{IQ: 1}},
+		{Name: "rrrsroguelike", Mix: Mix{LI: 1}},
+		{Name: "WordWheelSolver", Mix: Mix{LI: 1}},
+		{Name: "wordSorter", Mix: Mix{LI: 1}},
+		{Name: "Algorithmia", Mix: Mix{FLR: 1}},
+	}
+}

@@ -1,0 +1,465 @@
+// Package corpus reconstructs the paper's study subjects. The original 37
+// SourceForge/CodePlex C# programs are not available offline, so the corpus
+// is rebuilt from the published ground truth in two halves:
+//
+//   - a static half (this file): program descriptors carrying the paper's
+//     per-program domain, LOC and instance counts (Table I and Figure 1),
+//     plus a synthetic C#-like source generator so the §II.A regex scan can
+//     be re-run for real;
+//   - a dynamic half (dynamic.go, behaviors.go): descriptor-driven runnable
+//     workloads reproducing the 15-program pattern study (Table II) and the
+//     use-case study (Table III) through actual detection.
+//
+// Figures that the paper reports only in aggregate (per-program type splits,
+// some per-cell counts of Table III) are reconstructed under the published
+// constraints; EXPERIMENTS.md lists which cells are reconstructed.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Domain names in Table I order.
+const (
+	DomSrch     = "File and text search (Srch)"
+	DomOpt      = "Source code optimization (Opt)"
+	DomComp     = "Compression (Comp)"
+	DomVis      = "Program visualization (Vis)"
+	DomParser   = "Parser"
+	DomImgLib   = "Image algorithm library (Img lib)"
+	DomGame     = "Game"
+	DomSim      = "Simulation"
+	DomGraphLib = "Graph algorithms library (Graph lib)"
+	DomOffice   = "Office software"
+	DomDSLib    = "Data structures & algorithms library (DS lib)"
+)
+
+// Domains lists the eleven application domains in Table I order.
+func Domains() []string {
+	return []string{
+		DomSrch, DomOpt, DomComp, DomVis, DomParser, DomImgLib,
+		DomGame, DomSim, DomGraphLib, DomOffice, DomDSLib,
+	}
+}
+
+// StaticProgram describes one of the 37 empirical-study programs.
+type StaticProgram struct {
+	Name      string
+	Domain    string
+	Instances int // dynamic data-structure instances (Figure 1's Σ)
+	LOC       int // 0 here means "derive from the domain remainder"
+}
+
+// The 37 study programs. Instance totals are the Σ labels of Figure 1;
+// per-domain sums reproduce Table I's #Instances column exactly. LOC values
+// are pinned where the paper states them (Table II); the rest are derived so
+// each domain's total matches Table I's LOC column.
+var staticPrograms = []StaticProgram{
+	// Srch (11 instances, 1,046 LOC)
+	{Name: "Contentfinder", Domain: DomSrch, Instances: 11, LOC: 1046},
+	// Opt (16, 2,048)
+	{Name: "sharpener", Domain: DomOpt, Instances: 16, LOC: 2048},
+	// Comp (2, 4,342)
+	{Name: "7zip", Domain: DomComp, Instances: 2, LOC: 4342},
+	// Vis (57, 10,712)
+	{Name: "SequenceViz", Domain: DomVis, Instances: 57, LOC: 10712},
+	// Parser (51, 17,836)
+	{Name: "csparser", Domain: DomParser, Instances: 51, LOC: 17836},
+	// Img lib (60, 41,456)
+	{Name: "cognitionmaster", Domain: DomImgLib, Instances: 60, LOC: 41456},
+	// Game (315, 45,512)
+	{Name: "rrrsroguelike", Domain: DomGame, Instances: 5, LOC: 659},
+	{Name: "ittycoon.net", Domain: DomGame, Instances: 27},
+	{Name: "theAirline", Domain: DomGame, Instances: 130},
+	{Name: "ManicDigger2011", Domain: DomGame, Instances: 153, LOC: 24970},
+	// Simulation (150, 63,548)
+	{Name: "starsystemsimulator", Domain: DomSim, Instances: 1},
+	{Name: "Net_With_UI", Domain: DomSim, Instances: 1, LOC: 1034},
+	{Name: "Arcanum", Domain: DomSim, Instances: 2},
+	{Name: "twodsphsim", Domain: DomSim, Instances: 8},
+	{Name: "rushHour", Domain: DomSim, Instances: 8},
+	{Name: "fire", Domain: DomSim, Instances: 8, LOC: 2137},
+	{Name: "borys-MeshRouting", Domain: DomSim, Instances: 19, LOC: 6429},
+	{Name: "evo", Domain: DomSim, Instances: 31},
+	{Name: "dotqcf", Domain: DomSim, Instances: 35, LOC: 27170},
+	{Name: "gpdotnet", Domain: DomSim, Instances: 37},
+	// Graph lib (184, 69,472)
+	{Name: "zedgraph", Domain: DomGraphLib, Instances: 2},
+	{Name: "TreeLayoutHelper", Domain: DomGraphLib, Instances: 22, LOC: 4673},
+	{Name: "graphsharp", Domain: DomGraphLib, Instances: 160},
+	// Office (396, 151,220)
+	{Name: "ProcessHacker", Domain: DomOffice, Instances: 4},
+	{Name: "BeHappy", Domain: DomOffice, Instances: 7},
+	{Name: "TerraBIB", Domain: DomOffice, Instances: 13, LOC: 10309},
+	{Name: "metaclip", Domain: DomOffice, Instances: 14},
+	{Name: "clipper", Domain: DomOffice, Instances: 20, LOC: 3270},
+	{Name: "waveletstudio", Domain: DomOffice, Instances: 28},
+	{Name: "netinfotrace", Domain: DomOffice, Instances: 30, LOC: 7311},
+	{Name: "dddpds (SmartCA)", Domain: DomOffice, Instances: 34},
+	{Name: "greatmaps", Domain: DomOffice, Instances: 77},
+	{Name: "OsmExplorer", Domain: DomOffice, Instances: 169},
+	// DS lib (718, 529,164)
+	{Name: "dsa", Domain: DomDSLib, Instances: 10, LOC: 4099},
+	{Name: "compgeo", Domain: DomDSLib, Instances: 13},
+	{Name: "orazio1", Domain: DomDSLib, Instances: 32},
+	{Name: "dotspatial", Domain: DomDSLib, Instances: 663},
+}
+
+// domainLOC is Table I's LOC column.
+var domainLOC = map[string]int{
+	DomSrch:     1046,
+	DomOpt:      2048,
+	DomComp:     4342,
+	DomVis:      10712,
+	DomParser:   17836,
+	DomImgLib:   41456,
+	DomGame:     45512,
+	DomSim:      63548,
+	DomGraphLib: 69472,
+	DomOffice:   151220,
+	DomDSLib:    529164,
+}
+
+// DomainLOC returns Table I's LOC for a domain.
+func DomainLOC(domain string) int { return domainLOC[domain] }
+
+// typeTotals is the corpus-wide split of the 1,960 dynamic instances across
+// container types, from §II.A: list 1,275 (65.05 %), dictionary 324
+// (16.53 %), arraylist 192, stack 49, queue 41, and the sub-2 % rest —
+// hashSet 1.94 %, sortedList 1.02 %, sortedSet 0.51 %, sortedDictionary
+// 0.41 %, linkedList 0.15 %, hashtable 0.00 %.
+var typeTotals = []struct {
+	Type  string
+	Count int
+}{
+	{"List", 1275},
+	{"Dictionary", 324},
+	{"ArrayList", 192},
+	{"Stack", 49},
+	{"Queue", 41},
+	{"HashSet", 38},
+	{"SortedList", 20},
+	{"SortedSet", 10},
+	{"SortedDictionary", 8},
+	{"LinkedList", 3},
+	{"Hashtable", 0},
+}
+
+// TotalArrays is the number of array instances the study found in addition
+// to the 1,960 dynamic data structures.
+const TotalArrays = 785
+
+// TotalDynamic is the number of dynamic data-structure instances.
+const TotalDynamic = 1960
+
+// TypeTotal returns the corpus-wide count for one container type.
+func TypeTotal(typ string) int {
+	for _, t := range typeTotals {
+		if t.Type == typ {
+			return t.Count
+		}
+	}
+	return 0
+}
+
+// TypeNames returns the container types, most frequent first.
+func TypeNames() []string {
+	out := make([]string, len(typeTotals))
+	for i, t := range typeTotals {
+		out[i] = t.Type
+	}
+	return out
+}
+
+// StaticPrograms returns the 37 descriptors with LOC fully resolved: pinned
+// values stay, the rest split each domain's remaining LOC proportionally to
+// instance counts (minimum 300, the smallest program size the paper names).
+func StaticPrograms() []StaticProgram {
+	out := make([]StaticProgram, len(staticPrograms))
+	copy(out, staticPrograms)
+
+	byDomain := make(map[string][]int) // indexes into out
+	for i := range out {
+		byDomain[out[i].Domain] = append(byDomain[out[i].Domain], i)
+	}
+	for domain, idxs := range byDomain {
+		remaining := domainLOC[domain]
+		var open []int
+		weight := 0
+		for _, i := range idxs {
+			if out[i].LOC > 0 {
+				remaining -= out[i].LOC
+			} else {
+				open = append(open, i)
+				weight += out[i].Instances
+			}
+		}
+		if len(open) == 0 {
+			continue
+		}
+		// Guarantee the 300-LOC floor, then distribute the rest by weight;
+		// the last open program absorbs rounding so the domain total is
+		// exact.
+		remaining -= 300 * len(open)
+		assigned := 0
+		for j, i := range open {
+			var share int
+			if j == len(open)-1 {
+				share = remaining - assigned
+			} else {
+				share = remaining * out[i].Instances / weight
+			}
+			assigned += share
+			out[i].LOC = 300 + share
+		}
+	}
+	return out
+}
+
+// TypeAllocation assigns every program a per-type instance count such that
+// each program's total matches its Figure 1 Σ and each type's corpus total
+// matches the published split. Programs draw from the remaining per-type
+// pools proportionally; the final program absorbs the remainders exactly.
+// The allocation is deterministic.
+func TypeAllocation() map[string]map[string]int {
+	progs := StaticPrograms()
+	pool := make([]int, len(typeTotals))
+	poolTotal := 0
+	for i, t := range typeTotals {
+		pool[i] = t.Count
+		poolTotal += t.Count
+	}
+	alloc := make(map[string]map[string]int, len(progs))
+
+	// Largest programs first, so small programs pick from an already
+	// thinned pool and end up with the frequent types only — matching the
+	// study's observation that rare types cluster in big libraries.
+	order := make([]int, len(progs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return progs[order[a]].Instances > progs[order[b]].Instances
+	})
+
+	for rank, pi := range order {
+		p := progs[pi]
+		m := make(map[string]int, len(typeTotals))
+		need := p.Instances
+		if rank == len(order)-1 {
+			// Last program takes everything left.
+			for i, t := range typeTotals {
+				if pool[i] > 0 {
+					m[t.Type] = pool[i]
+					need -= pool[i]
+					pool[i] = 0
+				}
+			}
+			if need != 0 {
+				panic(fmt.Sprintf("corpus: type allocation off by %d for %s", need, p.Name))
+			}
+		} else {
+			for i, t := range typeTotals {
+				if poolTotal == 0 {
+					break
+				}
+				take := p.Instances * pool[i] / poolTotal
+				if take > pool[i] {
+					take = pool[i]
+				}
+				m[t.Type] = take
+				need -= take
+			}
+			// Fill the rounding shortfall from the largest pools.
+			for need > 0 {
+				best := -1
+				for i := range pool {
+					if pool[i]-m[typeTotals[i].Type] > 0 &&
+						(best == -1 || pool[i]-m[typeTotals[i].Type] > pool[best]-m[typeTotals[best].Type]) {
+						best = i
+					}
+				}
+				if best == -1 {
+					panic("corpus: type pools exhausted")
+				}
+				m[typeTotals[best].Type]++
+				need--
+			}
+			for i, t := range typeTotals {
+				pool[i] -= m[t.Type]
+				poolTotal -= m[t.Type]
+			}
+			// Drop zero entries for cleanliness.
+			for k, v := range m {
+				if v == 0 {
+					delete(m, k)
+				}
+			}
+		}
+		alloc[p.Name] = m
+	}
+	return alloc
+}
+
+// ArrayAllocation distributes the 785 arrays proportionally to each
+// program's dynamic instance count, exactly.
+func ArrayAllocation() map[string]int {
+	progs := StaticPrograms()
+	out := make(map[string]int, len(progs))
+	assigned := 0
+	for i, p := range progs {
+		var n int
+		if i == len(progs)-1 {
+			n = TotalArrays - assigned
+		} else {
+			n = TotalArrays * p.Instances / TotalDynamic
+		}
+		out[p.Name] = n
+		assigned += n
+	}
+	return out
+}
+
+// elementTypes cycles through plausible C# element types so generated
+// sources look varied.
+var elementTypes = []string{"int", "double", "string", "float", "long", "bool", "Node", "Item"}
+
+// locPerClass sizes the synthetic class structure: one class per ~400 LOC,
+// a typical class granularity. The member-distribution targets below then
+// reproduce §II.A's second finding — every third class contains a list
+// member, seven times more often than a dictionary member.
+const locPerClass = 400
+
+// ClassPlan describes the synthetic class structure of one program.
+type ClassPlan struct {
+	Classes int
+	// ListClasses / DictClasses is how many classes carry at least one
+	// List / Dictionary member.
+	ListClasses int
+	DictClasses int
+}
+
+// PlanClasses derives the class structure from the program's size and its
+// type allocation: round(classes/3) list-bearing classes (capped by the
+// lists available) and round(classes/21) dictionary-bearing ones.
+func PlanClasses(p StaticProgram, types map[string]int) ClassPlan {
+	c := p.LOC / locPerClass
+	if c < 1 {
+		c = 1
+	}
+	plan := ClassPlan{Classes: c}
+	plan.ListClasses = (c + 1) / 3
+	if l := types["List"]; plan.ListClasses > l {
+		plan.ListClasses = l
+	}
+	if plan.ListClasses > c {
+		plan.ListClasses = c
+	}
+	plan.DictClasses = (c + 4) / 21
+	if d := types["Dictionary"]; plan.DictClasses > d {
+		plan.DictClasses = d
+	}
+	if plan.DictClasses > c {
+		plan.DictClasses = c
+	}
+	return plan
+}
+
+// GenerateSource produces synthetic C#-like source for one program with
+// exactly the program's LOC (non-blank lines), the allocated
+// instantiations, and a class structure following PlanClasses, so that
+// staticscan recovers both the instance counts and the member statistics.
+func GenerateSource(p StaticProgram, types map[string]int, arrays int) string {
+	plan := PlanClasses(p, types)
+
+	// Assign members to classes. Lists go only into the first ListClasses
+	// classes; dictionaries only into the DictClasses classes after them
+	// (wrapping when the program is small); everything else round-robins
+	// across all classes.
+	members := make([][]string, plan.Classes)
+	add := func(class int, decl string) {
+		members[class] = append(members[class], decl)
+	}
+	n := 0
+	decl := func(typ string) string {
+		elem := elementTypes[n%len(elementTypes)]
+		defer func() { n++ }()
+		switch typ {
+		case "Dictionary", "SortedDictionary", "SortedList":
+			return fmt.Sprintf("private %s<string, %s> f%d = new %s<string, %s>();", typ, elem, n, typ, elem)
+		case "ArrayList", "Hashtable":
+			return fmt.Sprintf("private %s f%d = new %s();", typ, n, typ)
+		default:
+			return fmt.Sprintf("private %s<%s> f%d = new %s<%s>();", typ, elem, n, typ, elem)
+		}
+	}
+	rr := 0
+	for _, typ := range TypeNames() {
+		count := types[typ]
+		for i := 0; i < count; i++ {
+			switch typ {
+			case "List":
+				// Lists concentrate in the planned list-bearing classes;
+				// with none planned they share the final class rather than
+				// spreading (which would inflate the member statistics).
+				if plan.ListClasses > 0 {
+					add(i%plan.ListClasses, decl(typ))
+				} else {
+					add(plan.Classes-1, decl(typ))
+				}
+			case "Dictionary":
+				if plan.DictClasses > 0 {
+					add((plan.ListClasses+i%plan.DictClasses)%plan.Classes, decl(typ))
+				} else {
+					add(plan.Classes-1, decl(typ))
+				}
+			default:
+				add(rr%plan.Classes, decl(typ))
+				rr++
+			}
+		}
+	}
+	for i := 0; i < arrays; i++ {
+		elem := elementTypes[(n+i)%len(elementTypes)]
+		add(rr%plan.Classes, fmt.Sprintf("private %s[] a%d = new %s[%d];", elem, i, elem, 16+(i%64)))
+		rr++
+	}
+
+	var sb strings.Builder
+	lines := 0
+	emit := func(format string, args ...any) {
+		fmt.Fprintf(&sb, format+"\n", args...)
+		lines++
+	}
+	emit("using System;")
+	emit("using System.Collections;")
+	emit("using System.Collections.Generic;")
+	emit("namespace %s {", identifier(p.Name))
+	for c := 0; c < plan.Classes; c++ {
+		emit("  public class %sClass%d {", identifier(p.Name), c)
+		for _, m := range members[c] {
+			emit("    %s", m)
+		}
+		emit("  }")
+	}
+	emit("}")
+	for lines < p.LOC {
+		emit("// %s body line %d", identifier(p.Name), lines)
+	}
+	return sb.String()
+}
+
+func identifier(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,500 @@
+package dstruct
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsspy/internal/trace"
+)
+
+func TestArrayBasics(t *testing.T) {
+	s, rec := newTestSession()
+	a := NewArray[float64](s, 4)
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	a.Set(2, 3.5)
+	if e := lastEvent(t, rec); e.Op != trace.OpWrite || e.Index != 2 || e.Size != 4 {
+		t.Errorf("Set event = %v", e)
+	}
+	if got := a.Get(2); got != 3.5 {
+		t.Errorf("Get(2) = %v", got)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpRead || e.Index != 2 {
+		t.Errorf("Get event = %v", e)
+	}
+	inst, _ := s.Instance(a.ID())
+	if inst.Kind != trace.KindArray || inst.TypeName != "Array[float64]" {
+		t.Errorf("registry metadata = %+v", inst)
+	}
+}
+
+func TestArrayFillAndSearch(t *testing.T) {
+	s, rec := newTestSession()
+	a := NewArray[int](s, 3)
+	a.Fill(7)
+	if e := lastEvent(t, rec); e.Op != trace.OpForAll {
+		t.Errorf("Fill event = %v", e)
+	}
+	for i := 0; i < 3; i++ {
+		if a.Get(i) != 7 {
+			t.Fatalf("Fill missed index %d", i)
+		}
+	}
+	a.Set(1, 9)
+	if i := a.IndexOf(9); i != 1 {
+		t.Errorf("IndexOf(9) = %d", i)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpSearch || e.Index != 1 {
+		t.Errorf("IndexOf event = %v", e)
+	}
+	if a.Contains(12345) {
+		t.Error("Contains(12345) = true")
+	}
+	if e := lastEvent(t, rec); e.Index != -1 {
+		t.Errorf("failed search index = %d, want -1", e.Index)
+	}
+}
+
+func TestArrayResizeEmitsCopy(t *testing.T) {
+	s, rec := newTestSession()
+	a := NewArray[int](s, 2)
+	a.Set(0, 1)
+	a.Set(1, 2)
+	a.Resize(4)
+	evs := rec.Events()
+	n := len(evs)
+	if evs[n-2].Op != trace.OpResize || evs[n-1].Op != trace.OpCopy {
+		t.Errorf("Resize emitted %s,%s; want Resize,Copy", evs[n-2].Op, evs[n-1].Op)
+	}
+	if a.Len() != 4 || a.Get(0) != 1 || a.Get(1) != 2 || a.Get(2) != 0 {
+		t.Error("Resize lost or gained data")
+	}
+	a.Resize(1)
+	if a.Len() != 1 || a.Get(0) != 1 {
+		t.Error("shrink broken")
+	}
+}
+
+func TestArrayInsertRemoveAt(t *testing.T) {
+	s, rec := newTestSession()
+	a := NewArray[int](s, 2)
+	a.Set(0, 10)
+	a.Set(1, 30)
+	a.InsertAt(1, 20)
+	evs := rec.Events()
+	n := len(evs)
+	if evs[n-2].Op != trace.OpInsert || evs[n-1].Op != trace.OpCopy {
+		t.Errorf("InsertAt emitted %s,%s; want Insert,Copy", evs[n-2].Op, evs[n-1].Op)
+	}
+	a.RemoveAt(0)
+	evs = rec.Events()
+	n = len(evs)
+	if evs[n-2].Op != trace.OpDelete || evs[n-1].Op != trace.OpCopy {
+		t.Errorf("RemoveAt emitted %s,%s; want Delete,Copy", evs[n-2].Op, evs[n-1].Op)
+	}
+	if a.Len() != 2 || a.Get(0) != 20 || a.Get(1) != 30 {
+		t.Error("InsertAt/RemoveAt misplaced elements")
+	}
+}
+
+func TestArrayPanics(t *testing.T) {
+	s, _ := newTestSession()
+	a := NewArray[int](s, 1)
+	for name, f := range map[string]func(){
+		"Get(1)":       func() { a.Get(1) },
+		"Set(-1)":      func() { a.Set(-1, 0) },
+		"Resize(-1)":   func() { a.Resize(-1) },
+		"InsertAt(5)":  func() { a.InsertAt(5, 0) },
+		"RemoveAt(8)":  func() { a.RemoveAt(8) },
+		"NewArray(-1)": func() { NewArray[int](s, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestArrayCopyToAndUnwrap(t *testing.T) {
+	s, rec := newTestSession()
+	a := NewArray[int](s, 3)
+	a.Set(0, 1)
+	dst := make([]int, 3)
+	if n := a.CopyTo(dst); n != 3 || dst[0] != 1 {
+		t.Errorf("CopyTo n=%d dst=%v", n, dst)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpCopy {
+		t.Errorf("CopyTo event = %v", e)
+	}
+	before := rec.Len()
+	_ = a.Unwrap()
+	if rec.Len() != before {
+		t.Error("Unwrap emitted events")
+	}
+}
+
+func TestStackLIFOAndEvents(t *testing.T) {
+	s, rec := newTestSession()
+	st := NewStack[int](s)
+	st.Push(1)
+	st.Push(2)
+	st.Push(3)
+	if v, ok := st.Peek(); !ok || v != 3 {
+		t.Errorf("Peek = %d, %v", v, ok)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpRead || e.Index != 2 {
+		t.Errorf("Peek event = %v", e)
+	}
+	for want := 3; want >= 1; want-- {
+		v, ok := st.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %d, %v; want %d", v, ok, want)
+		}
+	}
+	if _, ok := st.Pop(); ok {
+		t.Error("Pop on empty stack succeeded")
+	}
+	if _, ok := st.Peek(); ok {
+		t.Error("Peek on empty stack succeeded")
+	}
+	// Push/Pop share the back end: insert index == delete index.
+	var evs []trace.Event
+	for _, e := range rec.Events() {
+		if e.Op == trace.OpInsert || e.Op == trace.OpDelete {
+			evs = append(evs, e)
+		}
+	}
+	if len(evs) != 6 {
+		t.Fatalf("got %d insert/delete events", len(evs))
+	}
+	if evs[2].Index != 2 || evs[3].Index != 2 {
+		t.Errorf("top-of-stack indexes: push@%d pop@%d", evs[2].Index, evs[3].Index)
+	}
+}
+
+func TestStackClear(t *testing.T) {
+	s, rec := newTestSession()
+	st := NewStack[int](s)
+	st.Push(1)
+	st.Clear()
+	if st.Len() != 0 {
+		t.Error("Clear left elements")
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpClear {
+		t.Errorf("Clear event = %v", e)
+	}
+}
+
+func TestQueueFIFOAndEnds(t *testing.T) {
+	s, rec := newTestSession()
+	q := NewQueue[string](s)
+	q.Enqueue("a")
+	q.Enqueue("b")
+	q.Enqueue("c")
+	if v, ok := q.PeekFront(); !ok || v != "a" {
+		t.Errorf("PeekFront = %q, %v", v, ok)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpRead || e.Index != 0 {
+		t.Errorf("PeekFront event = %v", e)
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		v, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = %q, %v; want %q", v, ok, want)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue on empty queue succeeded")
+	}
+	// Enqueues hit the back, dequeues the front — the IQ fingerprint.
+	for _, e := range rec.Events() {
+		switch e.Op {
+		case trace.OpInsert:
+			if e.Index != e.Size-1 {
+				t.Errorf("enqueue not at back: %v", e)
+			}
+		case trace.OpDelete:
+			if e.Index != 0 {
+				t.Errorf("dequeue not at front: %v", e)
+			}
+		}
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	s, _ := newTestSession()
+	q := NewQueue[int](s)
+	// Drive enough churn to trigger head compaction.
+	for i := 0; i < 200; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 150; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue %d = %d, %v", i, v, ok)
+		}
+	}
+	if q.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", q.Len())
+	}
+	for i := 150; i < 200; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("post-compaction Dequeue = %d, %v; want %d", v, ok, i)
+		}
+	}
+	q.Enqueue(1)
+	q.Clear()
+	if q.Len() != 0 {
+		t.Error("Clear left elements")
+	}
+}
+
+func TestDictionaryOps(t *testing.T) {
+	s, rec := newTestSession()
+	d := NewDictionary[string, int](s)
+	d.Put("a", 1)
+	if e := lastEvent(t, rec); e.Op != trace.OpInsert {
+		t.Errorf("new-key Put event = %v", e)
+	}
+	d.Put("a", 2)
+	if e := lastEvent(t, rec); e.Op != trace.OpWrite {
+		t.Errorf("existing-key Put event = %v", e)
+	}
+	if v, ok := d.Get("a"); !ok || v != 2 {
+		t.Errorf("Get = %d, %v", v, ok)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpRead {
+		t.Errorf("Get event = %v", e)
+	}
+	if !d.ContainsKey("a") || d.ContainsKey("zz") {
+		t.Error("ContainsKey wrong")
+	}
+	if !d.Delete("a") || d.Delete("a") {
+		t.Error("Delete wrong")
+	}
+	d.Put("x", 1)
+	d.Put("y", 2)
+	sum := 0
+	d.ForEach(func(_ string, v int) { sum += v })
+	if sum != 3 {
+		t.Errorf("ForEach sum = %d", sum)
+	}
+	d.Clear()
+	if d.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+}
+
+func TestHashSetOps(t *testing.T) {
+	s, _ := newTestSession()
+	h := NewHashSet[int](s)
+	if !h.Add(1) || h.Add(1) {
+		t.Error("Add uniqueness wrong")
+	}
+	if !h.Contains(1) || h.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if !h.Remove(1) || h.Remove(1) {
+		t.Error("Remove wrong")
+	}
+	h.Add(5)
+	h.Clear()
+	if h.Len() != 0 {
+		t.Error("Clear left members")
+	}
+}
+
+func TestSortedListOrdering(t *testing.T) {
+	s, rec := newTestSession()
+	sl := NewSortedList[int, string](s)
+	sl.Put(5, "five")
+	sl.Put(1, "one")
+	sl.Put(3, "three")
+	if sl.Len() != 3 {
+		t.Fatalf("Len = %d", sl.Len())
+	}
+	wantKeys := []int{1, 3, 5}
+	for i, wk := range wantKeys {
+		k, _ := sl.At(i)
+		if k != wk {
+			t.Errorf("At(%d) key = %d, want %d", i, k, wk)
+		}
+	}
+	// Replacing emits Write at the key's position.
+	sl.Put(3, "THREE")
+	if e := lastEvent(t, rec); e.Op != trace.OpWrite || e.Index != 1 {
+		t.Errorf("replace event = %v", e)
+	}
+	if v, ok := sl.Get(3); !ok || v != "THREE" {
+		t.Errorf("Get(3) = %q, %v", v, ok)
+	}
+	if _, ok := sl.Get(42); ok {
+		t.Error("Get(42) found")
+	}
+	if !sl.Delete(1) || sl.Delete(1) {
+		t.Error("Delete wrong")
+	}
+	if sl.Len() != 2 {
+		t.Errorf("Len after delete = %d", sl.Len())
+	}
+}
+
+func TestSortedListAtPanics(t *testing.T) {
+	s, _ := newTestSession()
+	sl := NewSortedList[int, int](s)
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	sl.At(0)
+}
+
+// Property: SortedList keys are always nondecreasing after any Put sequence.
+func TestSortedListInvariant(t *testing.T) {
+	f := func(keys []int16) bool {
+		s, _ := newTestSession()
+		sl := NewSortedList[int16, int](s)
+		for i, k := range keys {
+			sl.Put(k, i)
+		}
+		prev := int16(-32768)
+		for i := 0; i < sl.Len(); i++ {
+			k, _ := sl.At(i)
+			if k < prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkedListEnds(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewLinkedList[int](s)
+	l.AddLast(2)
+	l.AddFirst(1)
+	l.AddLast(3)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if v, _ := l.First(); v != 1 {
+		t.Errorf("First = %d", v)
+	}
+	if v, _ := l.Last(); v != 3 {
+		t.Errorf("Last = %d", v)
+	}
+	if !l.Contains(2) || l.Contains(9) {
+		t.Error("Contains wrong")
+	}
+	var got []int
+	l.ForEach(func(v int) { got = append(got, v) })
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("ForEach order = %v", got)
+	}
+	if v, ok := l.RemoveFirst(); !ok || v != 1 {
+		t.Errorf("RemoveFirst = %d, %v", v, ok)
+	}
+	if v, ok := l.RemoveLast(); !ok || v != 3 {
+		t.Errorf("RemoveLast = %d, %v", v, ok)
+	}
+	if v, ok := l.RemoveFirst(); !ok || v != 2 {
+		t.Errorf("RemoveFirst = %d, %v", v, ok)
+	}
+	if _, ok := l.RemoveFirst(); ok {
+		t.Error("RemoveFirst on empty succeeded")
+	}
+	if _, ok := l.RemoveLast(); ok {
+		t.Error("RemoveLast on empty succeeded")
+	}
+	if _, ok := l.First(); ok {
+		t.Error("First on empty succeeded")
+	}
+	if _, ok := l.Last(); ok {
+		t.Error("Last on empty succeeded")
+	}
+	l.AddFirst(9)
+	l.Clear()
+	if l.Len() != 0 {
+		t.Error("Clear left elements")
+	}
+	_ = rec
+}
+
+// Property: LinkedList used as a deque matches a slice model.
+func TestLinkedListDequeModel(t *testing.T) {
+	type step struct {
+		Op  uint8
+		Val int32
+	}
+	f := func(steps []step) bool {
+		s, _ := newTestSession()
+		l := NewLinkedList[int32](s)
+		var model []int32
+		for _, st := range steps {
+			switch st.Op % 4 {
+			case 0:
+				l.AddFirst(st.Val)
+				model = append([]int32{st.Val}, model...)
+			case 1:
+				l.AddLast(st.Val)
+				model = append(model, st.Val)
+			case 2:
+				v, ok := l.RemoveFirst()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := l.RemoveLast()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if l.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlainArray(t *testing.T) {
+	a := NewPlainArray[int](3)
+	a.Set(1, 5)
+	if a.Get(1) != 5 || a.Len() != 3 {
+		t.Error("PlainArray basic ops")
+	}
+	if a.IndexOf(5) != 1 || a.IndexOf(99) != -1 {
+		t.Error("PlainArray IndexOf")
+	}
+	if len(a.Unwrap()) != 3 {
+		t.Error("PlainArray Unwrap")
+	}
+}

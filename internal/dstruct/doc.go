@@ -1,0 +1,26 @@
+// Package dstruct provides the instrumented object-oriented data structures
+// DSspy profiles. Each container canalizes every interaction through its
+// interface methods — the paper's definition of an object-oriented data
+// structure — and each method emits exactly one access event describing the
+// interaction: the trivial access types Read and Write for the indexers, and
+// the compound access types Insert, Search, Delete, Clear, Copy, Reverse,
+// Sort and ForAll for the higher-level operations.
+//
+// The paper instruments C# source with Roslyn; it also notes that the
+// profiler itself is built with the proxy design pattern so it extends to
+// further containers. Go has no way to intercept accesses to built-in slices
+// and maps, so this package IS that proxy layer: List, Array, Dictionary,
+// Stack, Queue, HashSet, LinkedList and SortedList wrap the native
+// containers behind .NET-like interfaces and report to a trace.Session.
+//
+// Size semantics: a List reports max(element count, initial capacity) as the
+// event Size, which reproduces both of the paper's profile figures —
+// Figure 2's discussion makes a point of Add operations not growing the size
+// of a list that was constructed with a fixed capacity, while Figure 3 shows
+// the size of a default-constructed list tracking its element count. Array
+// reports its (fixed) length, and the remaining containers report their
+// element count.
+//
+// Uninstrumented twins (PlainList, PlainArray) provide the baselines for the
+// slowdown measurements in Table IV.
+package dstruct

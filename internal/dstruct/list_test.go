@@ -1,0 +1,433 @@
+package dstruct
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsspy/internal/trace"
+)
+
+// newTestSession returns a session backed by a MemRecorder for inspection.
+func newTestSession() (*trace.Session, *trace.MemRecorder) {
+	rec := trace.NewMemRecorder()
+	return trace.NewSessionWith(Options(rec)), rec
+}
+
+// Options builds trace options around rec. Exposed as a helper for sibling
+// test files.
+func Options(rec trace.Recorder) trace.Options {
+	return trace.Options{Recorder: rec, CaptureSites: true}
+}
+
+func lastEvent(t *testing.T, rec *trace.MemRecorder) trace.Event {
+	t.Helper()
+	evs := rec.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	return evs[len(evs)-1]
+}
+
+func TestListAddEmitsInsertBack(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewList[int](s)
+	for i := 0; i < 5; i++ {
+		l.Add(i * 10)
+	}
+	evs := rec.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Op != trace.OpInsert {
+			t.Errorf("event %d op = %s, want Insert", i, e.Op)
+		}
+		if e.Index != i {
+			t.Errorf("event %d index = %d, want %d (back insertion)", i, e.Index, i)
+		}
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d, want 5", l.Len())
+	}
+}
+
+func TestListCapacityAsSize(t *testing.T) {
+	// The Figure 2 scenario: a list constructed with capacity 10 reports
+	// size 10 for every access, because Add does not grow it.
+	s, rec := newTestSession()
+	l := NewListCap[int](s, 10)
+	for i := 0; i < 10; i++ {
+		l.Add(i)
+	}
+	for _, e := range rec.Events() {
+		if e.Size != 10 {
+			t.Fatalf("event %v has size %d, want constant capacity 10", e, e.Size)
+		}
+	}
+}
+
+func TestListGetSet(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewList[string](s)
+	l.Add("a")
+	l.Add("b")
+	if got := l.Get(1); got != "b" {
+		t.Errorf("Get(1) = %q", got)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpRead || e.Index != 1 {
+		t.Errorf("Get event = %v", e)
+	}
+	l.Set(0, "z")
+	if e := lastEvent(t, rec); e.Op != trace.OpWrite || e.Index != 0 {
+		t.Errorf("Set event = %v", e)
+	}
+	if got := l.Get(0); got != "z" {
+		t.Errorf("after Set, Get(0) = %q", got)
+	}
+}
+
+func TestListInsertShifts(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewList[int](s)
+	l.Add(1)
+	l.Add(3)
+	l.Insert(1, 2)
+	if e := lastEvent(t, rec); e.Op != trace.OpInsert || e.Index != 1 {
+		t.Errorf("Insert event = %v", e)
+	}
+	want := []int{1, 2, 3}
+	for i, w := range want {
+		if got := l.Get(i); got != w {
+			t.Errorf("element %d = %d, want %d", i, got, w)
+		}
+	}
+	// Insert at both boundaries.
+	l.Insert(0, 0)
+	l.Insert(l.Len(), 4)
+	if l.Get(0) != 0 || l.Get(l.Len()-1) != 4 {
+		t.Error("boundary inserts misplaced")
+	}
+}
+
+func TestListRemoveAtAndRemove(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewList[int](s)
+	l.AddRange([]int{10, 20, 30, 20})
+	l.RemoveAt(0)
+	if e := lastEvent(t, rec); e.Op != trace.OpDelete || e.Index != 0 {
+		t.Errorf("RemoveAt event = %v", e)
+	}
+	if l.Len() != 3 || l.Get(0) != 20 {
+		t.Errorf("after RemoveAt: len=%d first=%d", l.Len(), l.Get(0))
+	}
+
+	if !l.Remove(20) {
+		t.Fatal("Remove(20) = false")
+	}
+	evs := rec.Events()
+	n := len(evs)
+	if evs[n-2].Op != trace.OpSearch || evs[n-1].Op != trace.OpDelete {
+		t.Errorf("Remove emitted %s,%s; want Search,Delete", evs[n-2].Op, evs[n-1].Op)
+	}
+	if l.Len() != 2 {
+		t.Errorf("len after Remove = %d, want 2", l.Len())
+	}
+	if l.Remove(999) {
+		t.Error("Remove(999) = true for absent value")
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpSearch || e.Index != trace.NoIndex {
+		t.Errorf("failed Remove event = %v, want Search with NoIndex", e)
+	}
+}
+
+func TestListSearchOps(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewList[int](s)
+	l.AddRange([]int{5, 6, 7})
+	if i := l.IndexOf(6); i != 1 {
+		t.Errorf("IndexOf(6) = %d", i)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpSearch || e.Index != 1 {
+		t.Errorf("IndexOf event = %v", e)
+	}
+	if !l.Contains(7) || l.Contains(99) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestListClearRetainsCapacity(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewListCap[int](s, 8)
+	l.AddRange([]int{1, 2, 3})
+	l.Clear()
+	if e := lastEvent(t, rec); e.Op != trace.OpClear || e.Size != 8 {
+		t.Errorf("Clear event = %v, want Clear with size 8 (capacity retained)", e)
+	}
+	if l.Len() != 0 || l.Cap() != 8 {
+		t.Errorf("after Clear: len=%d cap=%d", l.Len(), l.Cap())
+	}
+}
+
+func TestListSortReverseCopy(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewList[int](s)
+	l.AddRange([]int{3, 1, 2})
+	l.Sort(func(a, b int) bool { return a < b })
+	if e := lastEvent(t, rec); e.Op != trace.OpSort {
+		t.Errorf("Sort event = %v", e)
+	}
+	if l.Get(0) != 1 || l.Get(2) != 3 {
+		t.Error("Sort did not order elements")
+	}
+	l.Reverse()
+	if e := lastEvent(t, rec); e.Op != trace.OpReverse {
+		t.Errorf("Reverse event = %v", e)
+	}
+	if l.Get(0) != 3 {
+		t.Error("Reverse did not reverse")
+	}
+	dst := make([]int, 3)
+	if n := l.CopyTo(dst); n != 3 {
+		t.Errorf("CopyTo = %d", n)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpCopy {
+		t.Errorf("CopyTo event = %v", e)
+	}
+	cp := l.ToSlice()
+	if len(cp) != 3 || cp[0] != 3 {
+		t.Errorf("ToSlice = %v", cp)
+	}
+}
+
+func TestListForEach(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewList[int](s)
+	l.AddRange([]int{1, 2, 3})
+	sum := 0
+	l.ForEach(func(v int) { sum += v })
+	if sum != 6 {
+		t.Errorf("sum = %d", sum)
+	}
+	// ForEach is one compound event, not three reads.
+	var forAll, reads int
+	for _, e := range rec.Events() {
+		switch e.Op {
+		case trace.OpForAll:
+			forAll++
+		case trace.OpRead:
+			reads++
+		}
+	}
+	if forAll != 1 || reads != 0 {
+		t.Errorf("ForEach emitted forAll=%d reads=%d; want 1, 0", forAll, reads)
+	}
+}
+
+func TestListEnumerate(t *testing.T) {
+	s, rec := newTestSession()
+	l := NewList[int](s)
+	l.AddRange([]int{10, 20, 30, 40})
+	var got []int
+	l.Enumerate(func(i int, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 4 || got[0] != 10 || got[3] != 40 {
+		t.Errorf("Enumerate = %v", got)
+	}
+	// Per-element Read events at increasing positions — the foreach
+	// profile that forms a Read-Forward pattern.
+	var reads []int
+	for _, e := range rec.Events() {
+		if e.Op == trace.OpRead {
+			reads = append(reads, e.Index)
+		}
+	}
+	if len(reads) != 4 || reads[0] != 0 || reads[3] != 3 {
+		t.Errorf("read indexes = %v", reads)
+	}
+
+	// Early exit stops both the walk and the events.
+	rec.Reset()
+	var n int
+	l.Enumerate(func(i int, v int) bool {
+		n++
+		return i < 1
+	})
+	if n != 2 {
+		t.Errorf("early-exit visits = %d, want 2", n)
+	}
+	if rec.Len() != 2 {
+		t.Errorf("early-exit events = %d, want 2", rec.Len())
+	}
+}
+
+func TestListPanicsOnBadIndex(t *testing.T) {
+	s, _ := newTestSession()
+	l := NewList[int](s)
+	l.Add(1)
+	for name, f := range map[string]func(){
+		"Get(-1)":      func() { l.Get(-1) },
+		"Get(1)":       func() { l.Get(1) },
+		"Set(5)":       func() { l.Set(5, 0) },
+		"RemoveAt(-1)": func() { l.RemoveAt(-1) },
+		"Insert(-1)":   func() { l.Insert(-1, 0) },
+		"Insert(9)":    func() { l.Insert(9, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestListRegistryMetadata(t *testing.T) {
+	s, _ := newTestSession()
+	l := NewListLabeled[float64](s, "fitness")
+	inst, ok := s.Instance(l.ID())
+	if !ok {
+		t.Fatal("instance not registered")
+	}
+	if inst.Kind != trace.KindList {
+		t.Errorf("kind = %v", inst.Kind)
+	}
+	if inst.TypeName != "List[float64]" {
+		t.Errorf("type name = %q", inst.TypeName)
+	}
+	if inst.Label != "fitness" {
+		t.Errorf("label = %q", inst.Label)
+	}
+	if inst.Site.Line == 0 {
+		t.Error("call site not captured")
+	}
+	l.SetLabel("renamed")
+	inst, _ = s.Instance(l.ID())
+	if inst.Label != "renamed" {
+		t.Errorf("label after SetLabel = %q", inst.Label)
+	}
+}
+
+// Property: a List behaves exactly like a plain slice under a random
+// sequence of Add/Insert/Set/RemoveAt operations.
+func TestListMatchesSliceModel(t *testing.T) {
+	type step struct {
+		Op  uint8
+		Pos uint16
+		Val int32
+	}
+	f := func(steps []step) bool {
+		s, _ := newTestSession()
+		l := NewList[int32](s)
+		var model []int32
+		for _, st := range steps {
+			switch st.Op % 4 {
+			case 0: // Add
+				l.Add(st.Val)
+				model = append(model, st.Val)
+			case 1: // Insert
+				p := int(st.Pos) % (len(model) + 1)
+				l.Insert(p, st.Val)
+				model = append(model, 0)
+				copy(model[p+1:], model[p:])
+				model[p] = st.Val
+			case 2: // Set
+				if len(model) == 0 {
+					continue
+				}
+				p := int(st.Pos) % len(model)
+				l.Set(p, st.Val)
+				model[p] = st.Val
+			case 3: // RemoveAt
+				if len(model) == 0 {
+					continue
+				}
+				p := int(st.Pos) % len(model)
+				l.RemoveAt(p)
+				model = append(model[:p], model[p+1:]...)
+			}
+		}
+		if l.Len() != len(model) {
+			return false
+		}
+		for i, w := range model {
+			if l.Get(i) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: event count equals operation count — every interface call emits
+// exactly one event (Remove emits two only when it deletes).
+func TestListOneEventPerOperation(t *testing.T) {
+	f := func(vals []int32) bool {
+		s, rec := newTestSession()
+		l := NewList[int32](s)
+		ops := 0
+		for _, v := range vals {
+			l.Add(v)
+			ops++
+		}
+		for i := 0; i < l.Len(); i++ {
+			l.Get(i)
+			ops++
+		}
+		return rec.Len() == ops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlainListParity(t *testing.T) {
+	s, _ := newTestSession()
+	inst := NewList[int](s)
+	plain := NewPlainList[int]()
+	for i := 0; i < 50; i++ {
+		inst.Add(i)
+		plain.Add(i)
+	}
+	inst.Insert(10, -1)
+	plain.Insert(10, -1)
+	inst.RemoveAt(0)
+	plain.RemoveAt(0)
+	inst.Set(5, 99)
+	plain.Set(5, 99)
+	inst.Sort(func(a, b int) bool { return a < b })
+	plain.Sort(func(a, b int) bool { return a < b })
+	if inst.Len() != plain.Len() {
+		t.Fatalf("len mismatch: %d vs %d", inst.Len(), plain.Len())
+	}
+	for i := 0; i < plain.Len(); i++ {
+		if inst.Get(i) != plain.Get(i) {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+	if plain.IndexOf(99) != inst.IndexOf(99) {
+		t.Error("IndexOf mismatch")
+	}
+	if plain.Contains(1000) {
+		t.Error("PlainList.Contains(1000)")
+	}
+	plain.Clear()
+	if plain.Len() != 0 {
+		t.Error("PlainList.Clear")
+	}
+}
+
+func TestPlainListInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PlainList.Insert out of range did not panic")
+		}
+	}()
+	NewPlainList[int]().Insert(1, 0)
+}

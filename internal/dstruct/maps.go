@@ -1,0 +1,219 @@
+package dstruct
+
+import (
+	"fmt"
+	"sort"
+
+	"dsspy/internal/trace"
+)
+
+// Dictionary is an instrumented hash map modeled on Dictionary<K,V>, the
+// second most frequent dynamic data structure in the empirical study
+// (16.53 % of instances). Dictionaries have no linear positions, so events
+// carry NoIndex; profiles still expose insert/read/delete phases and sizes.
+type Dictionary[K comparable, V any] struct {
+	s  *trace.Session
+	id trace.InstanceID
+	m  map[K]V
+}
+
+// NewDictionary registers an empty instrumented dictionary.
+func NewDictionary[K comparable, V any](s *trace.Session) *Dictionary[K, V] {
+	var zk K
+	var zv V
+	d := &Dictionary[K, V]{s: s, m: make(map[K]V)}
+	d.id = s.Register(trace.KindDictionary, fmt.Sprintf("Dictionary[%T,%T]", zk, zv), "", 1)
+	return d
+}
+
+// ID returns the registry id of this instance.
+func (d *Dictionary[K, V]) ID() trace.InstanceID { return d.id }
+
+// Len returns the number of entries (no event).
+func (d *Dictionary[K, V]) Len() int { return len(d.m) }
+
+// Put stores v under k. A new key is an Insert; replacing an existing value
+// is a Write, mirroring how the indexer behaves in .NET.
+func (d *Dictionary[K, V]) Put(k K, v V) {
+	op := trace.OpInsert
+	if _, ok := d.m[k]; ok {
+		op = trace.OpWrite
+	}
+	d.m[k] = v
+	d.s.Emit(d.id, op, trace.NoIndex, len(d.m))
+}
+
+// Get returns the value under k (one Read event).
+func (d *Dictionary[K, V]) Get(k K) (V, bool) {
+	v, ok := d.m[k]
+	d.s.Emit(d.id, trace.OpRead, trace.NoIndex, len(d.m))
+	return v, ok
+}
+
+// ContainsKey reports whether k is present (one Search event).
+func (d *Dictionary[K, V]) ContainsKey(k K) bool {
+	_, ok := d.m[k]
+	d.s.Emit(d.id, trace.OpSearch, trace.NoIndex, len(d.m))
+	return ok
+}
+
+// Delete removes k, reporting whether it was present (one Delete event).
+func (d *Dictionary[K, V]) Delete(k K) bool {
+	_, ok := d.m[k]
+	delete(d.m, k)
+	d.s.Emit(d.id, trace.OpDelete, trace.NoIndex, len(d.m))
+	return ok
+}
+
+// Clear removes all entries (one Clear event).
+func (d *Dictionary[K, V]) Clear() {
+	clear(d.m)
+	d.s.Emit(d.id, trace.OpClear, trace.NoIndex, 0)
+}
+
+// ForEach applies f to every entry in unspecified order (one ForAll event).
+func (d *Dictionary[K, V]) ForEach(f func(k K, v V)) {
+	d.s.Emit(d.id, trace.OpForAll, trace.NoIndex, len(d.m))
+	for k, v := range d.m {
+		f(k, v)
+	}
+}
+
+// HashSet is an instrumented set of unique values.
+type HashSet[T comparable] struct {
+	s  *trace.Session
+	id trace.InstanceID
+	m  map[T]struct{}
+}
+
+// NewHashSet registers an empty instrumented hash set.
+func NewHashSet[T comparable](s *trace.Session) *HashSet[T] {
+	var zero T
+	h := &HashSet[T]{s: s, m: make(map[T]struct{})}
+	h.id = s.Register(trace.KindHashSet, fmt.Sprintf("HashSet[%T]", zero), "", 1)
+	return h
+}
+
+// ID returns the registry id of this instance.
+func (h *HashSet[T]) ID() trace.InstanceID { return h.id }
+
+// Len returns the number of members (no event).
+func (h *HashSet[T]) Len() int { return len(h.m) }
+
+// Add inserts v, reporting whether it was new (one Insert event).
+func (h *HashSet[T]) Add(v T) bool {
+	_, existed := h.m[v]
+	h.m[v] = struct{}{}
+	h.s.Emit(h.id, trace.OpInsert, trace.NoIndex, len(h.m))
+	return !existed
+}
+
+// Contains reports membership (one Search event).
+func (h *HashSet[T]) Contains(v T) bool {
+	_, ok := h.m[v]
+	h.s.Emit(h.id, trace.OpSearch, trace.NoIndex, len(h.m))
+	return ok
+}
+
+// Remove deletes v, reporting whether it was present (one Delete event).
+func (h *HashSet[T]) Remove(v T) bool {
+	_, ok := h.m[v]
+	delete(h.m, v)
+	h.s.Emit(h.id, trace.OpDelete, trace.NoIndex, len(h.m))
+	return ok
+}
+
+// Clear removes all members (one Clear event).
+func (h *HashSet[T]) Clear() {
+	clear(h.m)
+	h.s.Emit(h.id, trace.OpClear, trace.NoIndex, 0)
+}
+
+// SortedList is an instrumented key-ordered container modeled on
+// SortedList<K,V>: a pair of parallel slices kept sorted by key, giving
+// positional semantics (events carry real indexes).
+type SortedList[K Ordered, V any] struct {
+	s    *trace.Session
+	id   trace.InstanceID
+	keys []K
+	vals []V
+}
+
+// Ordered is the constraint for SortedList and SortedSet keys.
+type Ordered interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64 | ~string
+}
+
+// NewSortedList registers an empty instrumented sorted list.
+func NewSortedList[K Ordered, V any](s *trace.Session) *SortedList[K, V] {
+	var zk K
+	var zv V
+	sl := &SortedList[K, V]{s: s}
+	sl.id = s.Register(trace.KindSortedList, fmt.Sprintf("SortedList[%T,%T]", zk, zv), "", 1)
+	return sl
+}
+
+// ID returns the registry id of this instance.
+func (sl *SortedList[K, V]) ID() trace.InstanceID { return sl.id }
+
+// Len returns the number of entries (no event).
+func (sl *SortedList[K, V]) Len() int { return len(sl.keys) }
+
+// Put inserts or replaces the value for k at its sorted position.
+func (sl *SortedList[K, V]) Put(k K, v V) {
+	i := sort.Search(len(sl.keys), func(i int) bool { return sl.keys[i] >= k })
+	if i < len(sl.keys) && sl.keys[i] == k {
+		sl.vals[i] = v
+		sl.s.Emit(sl.id, trace.OpWrite, i, len(sl.keys))
+		return
+	}
+	sl.keys = append(sl.keys, k)
+	copy(sl.keys[i+1:], sl.keys[i:])
+	sl.keys[i] = k
+	var zv V
+	sl.vals = append(sl.vals, zv)
+	copy(sl.vals[i+1:], sl.vals[i:])
+	sl.vals[i] = v
+	sl.s.Emit(sl.id, trace.OpInsert, i, len(sl.keys))
+}
+
+// Get returns the value under k (one Search event — lookup is a binary
+// search over positions).
+func (sl *SortedList[K, V]) Get(k K) (V, bool) {
+	var zv V
+	i := sort.Search(len(sl.keys), func(i int) bool { return sl.keys[i] >= k })
+	found := i < len(sl.keys) && sl.keys[i] == k
+	idx := trace.NoIndex
+	if found {
+		idx = i
+	}
+	sl.s.Emit(sl.id, trace.OpSearch, idx, len(sl.keys))
+	if !found {
+		return zv, false
+	}
+	return sl.vals[i], true
+}
+
+// At returns the i-th smallest key and its value (one Read event).
+func (sl *SortedList[K, V]) At(i int) (K, V) {
+	if i < 0 || i >= len(sl.keys) {
+		panic(fmt.Sprintf("dstruct: SortedList index %d out of range [0,%d)", i, len(sl.keys)))
+	}
+	sl.s.Emit(sl.id, trace.OpRead, i, len(sl.keys))
+	return sl.keys[i], sl.vals[i]
+}
+
+// Delete removes k, reporting whether it was present (one Delete event).
+func (sl *SortedList[K, V]) Delete(k K) bool {
+	i := sort.Search(len(sl.keys), func(i int) bool { return sl.keys[i] >= k })
+	if i >= len(sl.keys) || sl.keys[i] != k {
+		sl.s.Emit(sl.id, trace.OpDelete, trace.NoIndex, len(sl.keys))
+		return false
+	}
+	sl.keys = append(sl.keys[:i], sl.keys[i+1:]...)
+	sl.vals = append(sl.vals[:i], sl.vals[i+1:]...)
+	sl.s.Emit(sl.id, trace.OpDelete, i, len(sl.keys))
+	return true
+}

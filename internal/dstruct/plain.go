@@ -1,0 +1,110 @@
+package dstruct
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Uninstrumented twins. Table IV's slowdown column divides the runtime of
+// the instrumented program by the runtime of the original; PlainList and
+// PlainArray are those originals, with the same method surface as List and
+// Array so a workload can be written once against a common shape and run in
+// both modes.
+
+// PlainList is List without event emission.
+type PlainList[T comparable] struct {
+	items []T
+}
+
+// NewPlainList returns an empty plain list.
+func NewPlainList[T comparable]() *PlainList[T] { return &PlainList[T]{} }
+
+// NewPlainListCap returns a plain list with preallocated capacity.
+func NewPlainListCap[T comparable](capacity int) *PlainList[T] {
+	return &PlainList[T]{items: make([]T, 0, capacity)}
+}
+
+// Len returns the number of elements.
+func (l *PlainList[T]) Len() int { return len(l.items) }
+
+// Add appends v.
+func (l *PlainList[T]) Add(v T) { l.items = append(l.items, v) }
+
+// Insert places v at position i.
+func (l *PlainList[T]) Insert(i int, v T) {
+	if i < 0 || i > len(l.items) {
+		panic(fmt.Sprintf("dstruct: PlainList.Insert index %d out of range [0,%d]", i, len(l.items)))
+	}
+	var zero T
+	l.items = append(l.items, zero)
+	copy(l.items[i+1:], l.items[i:])
+	l.items[i] = v
+}
+
+// Get returns the element at i.
+func (l *PlainList[T]) Get(i int) T { return l.items[i] }
+
+// Set replaces the element at i.
+func (l *PlainList[T]) Set(i int, v T) { l.items[i] = v }
+
+// RemoveAt deletes the element at i.
+func (l *PlainList[T]) RemoveAt(i int) {
+	copy(l.items[i:], l.items[i+1:])
+	l.items = l.items[:len(l.items)-1]
+}
+
+// IndexOf returns the position of the first occurrence of v, or -1.
+func (l *PlainList[T]) IndexOf(v T) int {
+	for i, x := range l.items {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether v occurs in the list.
+func (l *PlainList[T]) Contains(v T) bool { return l.IndexOf(v) >= 0 }
+
+// Clear removes all elements, retaining capacity.
+func (l *PlainList[T]) Clear() { l.items = l.items[:0] }
+
+// Sort orders the elements by less.
+func (l *PlainList[T]) Sort(less func(a, b T) bool) {
+	sort.SliceStable(l.items, func(i, j int) bool { return less(l.items[i], l.items[j]) })
+}
+
+// Unwrap exposes the backing slice.
+func (l *PlainList[T]) Unwrap() []T { return l.items }
+
+// PlainArray is Array without event emission.
+type PlainArray[T comparable] struct {
+	items []T
+}
+
+// NewPlainArray returns a plain array of the given length.
+func NewPlainArray[T comparable](length int) *PlainArray[T] {
+	return &PlainArray[T]{items: make([]T, length)}
+}
+
+// Len returns the array length.
+func (a *PlainArray[T]) Len() int { return len(a.items) }
+
+// Get returns the element at i.
+func (a *PlainArray[T]) Get(i int) T { return a.items[i] }
+
+// Set replaces the element at i.
+func (a *PlainArray[T]) Set(i int, v T) { a.items[i] = v }
+
+// IndexOf scans for v; -1 when absent.
+func (a *PlainArray[T]) IndexOf(v T) int {
+	for i, x := range a.items {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Unwrap exposes the backing slice.
+func (a *PlainArray[T]) Unwrap() []T { return a.items }

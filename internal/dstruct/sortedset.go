@@ -1,0 +1,202 @@
+package dstruct
+
+import (
+	"fmt"
+	"sort"
+
+	"dsspy/internal/trace"
+)
+
+// SortedSet is an instrumented ordered set modeled on SortedSet<T>
+// (0.51 % of the study's instances): unique elements kept in key order,
+// positional reads, range queries. The backing store is a sorted slice —
+// like .NET's red-black tree it gives ordered iteration, and the positional
+// event semantics match the study's linear view of containers.
+type SortedSet[T Ordered] struct {
+	s     *trace.Session
+	id    trace.InstanceID
+	items []T
+}
+
+// NewSortedSet registers an empty instrumented sorted set.
+func NewSortedSet[T Ordered](s *trace.Session) *SortedSet[T] {
+	var zero T
+	ss := &SortedSet[T]{s: s}
+	ss.id = s.Register(trace.KindSortedList, fmt.Sprintf("SortedSet[%T]", zero), "", 1)
+	return ss
+}
+
+// ID returns the registry id of this instance.
+func (ss *SortedSet[T]) ID() trace.InstanceID { return ss.id }
+
+// Len returns the number of members (no event).
+func (ss *SortedSet[T]) Len() int { return len(ss.items) }
+
+// locate returns the insertion position for v and whether it is present.
+func (ss *SortedSet[T]) locate(v T) (int, bool) {
+	i := sort.Search(len(ss.items), func(i int) bool { return ss.items[i] >= v })
+	return i, i < len(ss.items) && ss.items[i] == v
+}
+
+// Add inserts v if absent, reporting whether it was new (one Insert event).
+func (ss *SortedSet[T]) Add(v T) bool {
+	i, found := ss.locate(v)
+	if found {
+		ss.s.Emit(ss.id, trace.OpInsert, i, len(ss.items))
+		return false
+	}
+	var zero T
+	ss.items = append(ss.items, zero)
+	copy(ss.items[i+1:], ss.items[i:])
+	ss.items[i] = v
+	ss.s.Emit(ss.id, trace.OpInsert, i, len(ss.items))
+	return true
+}
+
+// Contains reports membership (one Search event).
+func (ss *SortedSet[T]) Contains(v T) bool {
+	i, found := ss.locate(v)
+	idx := trace.NoIndex
+	if found {
+		idx = i
+	}
+	ss.s.Emit(ss.id, trace.OpSearch, idx, len(ss.items))
+	return found
+}
+
+// Remove deletes v, reporting whether it was present (one Delete event).
+func (ss *SortedSet[T]) Remove(v T) bool {
+	i, found := ss.locate(v)
+	if !found {
+		ss.s.Emit(ss.id, trace.OpDelete, trace.NoIndex, len(ss.items))
+		return false
+	}
+	ss.items = append(ss.items[:i], ss.items[i+1:]...)
+	ss.s.Emit(ss.id, trace.OpDelete, i, len(ss.items))
+	return true
+}
+
+// At returns the i-th smallest member (one Read event).
+func (ss *SortedSet[T]) At(i int) T {
+	if i < 0 || i >= len(ss.items) {
+		panic(fmt.Sprintf("dstruct: SortedSet index %d out of range [0,%d)", i, len(ss.items)))
+	}
+	ss.s.Emit(ss.id, trace.OpRead, i, len(ss.items))
+	return ss.items[i]
+}
+
+// Min returns the smallest member (one Read event); false when empty.
+func (ss *SortedSet[T]) Min() (T, bool) {
+	var zero T
+	if len(ss.items) == 0 {
+		return zero, false
+	}
+	ss.s.Emit(ss.id, trace.OpRead, 0, len(ss.items))
+	return ss.items[0], true
+}
+
+// Max returns the largest member (one Read event); false when empty.
+func (ss *SortedSet[T]) Max() (T, bool) {
+	var zero T
+	if len(ss.items) == 0 {
+		return zero, false
+	}
+	ss.s.Emit(ss.id, trace.OpRead, len(ss.items)-1, len(ss.items))
+	return ss.items[len(ss.items)-1], true
+}
+
+// Range applies f to every member in [lo, hi] in order (one ForAll event).
+func (ss *SortedSet[T]) Range(lo, hi T, f func(v T)) {
+	ss.s.Emit(ss.id, trace.OpForAll, trace.NoIndex, len(ss.items))
+	i := sort.Search(len(ss.items), func(i int) bool { return ss.items[i] >= lo })
+	for ; i < len(ss.items) && ss.items[i] <= hi; i++ {
+		f(ss.items[i])
+	}
+}
+
+// Clear removes all members (one Clear event).
+func (ss *SortedSet[T]) Clear() {
+	ss.items = ss.items[:0]
+	ss.s.Emit(ss.id, trace.OpClear, trace.NoIndex, 0)
+}
+
+// ArrayList is the instrumented untyped list (System.Collections.ArrayList,
+// 192 study instances): a List of any. Equality for Search operations uses
+// interface comparison, which matches how ArrayList.IndexOf compares boxed
+// values.
+type ArrayList struct {
+	s     *trace.Session
+	id    trace.InstanceID
+	items []any
+}
+
+// NewArrayList registers an empty instrumented untyped list.
+func NewArrayList(s *trace.Session) *ArrayList {
+	al := &ArrayList{s: s}
+	al.id = s.Register(trace.KindList, "ArrayList", "", 1)
+	return al
+}
+
+// ID returns the registry id of this instance.
+func (al *ArrayList) ID() trace.InstanceID { return al.id }
+
+// Len returns the number of elements (no event).
+func (al *ArrayList) Len() int { return len(al.items) }
+
+// Add appends v (Insert at the back).
+func (al *ArrayList) Add(v any) {
+	al.items = append(al.items, v)
+	al.s.Emit(al.id, trace.OpInsert, len(al.items)-1, len(al.items))
+}
+
+// Get returns the element at i (one Read event).
+func (al *ArrayList) Get(i int) any {
+	al.check(i)
+	al.s.Emit(al.id, trace.OpRead, i, len(al.items))
+	return al.items[i]
+}
+
+// Set replaces the element at i (one Write event).
+func (al *ArrayList) Set(i int, v any) {
+	al.check(i)
+	al.items[i] = v
+	al.s.Emit(al.id, trace.OpWrite, i, len(al.items))
+}
+
+// RemoveAt deletes the element at i (one Delete event).
+func (al *ArrayList) RemoveAt(i int) {
+	al.check(i)
+	copy(al.items[i:], al.items[i+1:])
+	al.items[len(al.items)-1] = nil
+	al.items = al.items[:len(al.items)-1]
+	al.s.Emit(al.id, trace.OpDelete, i, len(al.items))
+}
+
+// IndexOf scans for v using interface equality (one Search event); -1 when
+// absent or when v's dynamic type is not comparable.
+func (al *ArrayList) IndexOf(v any) int {
+	found := -1
+	func() {
+		defer func() { _ = recover() }() // uncomparable dynamic types
+		for i, x := range al.items {
+			if x == v {
+				found = i
+				return
+			}
+		}
+	}()
+	al.s.Emit(al.id, trace.OpSearch, found, len(al.items))
+	return found
+}
+
+// Clear removes all elements (one Clear event).
+func (al *ArrayList) Clear() {
+	al.items = al.items[:0]
+	al.s.Emit(al.id, trace.OpClear, trace.NoIndex, 0)
+}
+
+func (al *ArrayList) check(i int) {
+	if i < 0 || i >= len(al.items) {
+		panic(fmt.Sprintf("dstruct: ArrayList index %d out of range [0,%d)", i, len(al.items)))
+	}
+}

@@ -1,0 +1,191 @@
+package dstruct
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsspy/internal/trace"
+)
+
+func TestSortedSetOrderAndUniqueness(t *testing.T) {
+	s, rec := newTestSession()
+	ss := NewSortedSet[int](s)
+	for _, v := range []int{5, 1, 3, 5, 1} {
+		ss.Add(v)
+	}
+	if ss.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 unique members", ss.Len())
+	}
+	want := []int{1, 3, 5}
+	for i, w := range want {
+		if got := ss.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if v, ok := ss.Min(); !ok || v != 1 {
+		t.Errorf("Min = %d, %v", v, ok)
+	}
+	if v, ok := ss.Max(); !ok || v != 5 {
+		t.Errorf("Max = %d, %v", v, ok)
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpRead || e.Index != 2 {
+		t.Errorf("Max event = %v", e)
+	}
+}
+
+func TestSortedSetMembership(t *testing.T) {
+	s, rec := newTestSession()
+	ss := NewSortedSet[string](s)
+	ss.Add("b")
+	ss.Add("a")
+	if !ss.Contains("a") || ss.Contains("z") {
+		t.Error("Contains wrong")
+	}
+	if e := lastEvent(t, rec); e.Op != trace.OpSearch || e.Index != trace.NoIndex {
+		t.Errorf("failed search event = %v", e)
+	}
+	if !ss.Remove("a") || ss.Remove("a") {
+		t.Error("Remove wrong")
+	}
+	if ss.Len() != 1 {
+		t.Errorf("Len = %d", ss.Len())
+	}
+}
+
+func TestSortedSetRange(t *testing.T) {
+	s, _ := newTestSession()
+	ss := NewSortedSet[int](s)
+	for i := 0; i < 10; i++ {
+		ss.Add(i * 2) // 0,2,...,18
+	}
+	var got []int
+	ss.Range(3, 9, func(v int) { got = append(got, v) })
+	want := []int{4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortedSetEmptyAndPanics(t *testing.T) {
+	s, _ := newTestSession()
+	ss := NewSortedSet[int](s)
+	if _, ok := ss.Min(); ok {
+		t.Error("Min on empty")
+	}
+	if _, ok := ss.Max(); ok {
+		t.Error("Max on empty")
+	}
+	ss.Add(1)
+	ss.Clear()
+	if ss.Len() != 0 {
+		t.Error("Clear")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	ss.At(0)
+}
+
+// Property: SortedSet behaves like a sorted deduplicated slice.
+func TestSortedSetModel(t *testing.T) {
+	f := func(vals []int16) bool {
+		s, _ := newTestSession()
+		ss := NewSortedSet[int16](s)
+		model := map[int16]bool{}
+		for _, v := range vals {
+			ss.Add(v)
+			model[v] = true
+		}
+		if ss.Len() != len(model) {
+			return false
+		}
+		prev := int16(-32768)
+		for i := 0; i < ss.Len(); i++ {
+			v := ss.At(i)
+			if !model[v] || (i > 0 && v <= prev) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayListBasics(t *testing.T) {
+	s, rec := newTestSession()
+	al := NewArrayList(s)
+	al.Add(1)
+	al.Add("two")
+	al.Add(3.0)
+	if al.Len() != 3 {
+		t.Fatalf("Len = %d", al.Len())
+	}
+	if got := al.Get(1); got != "two" {
+		t.Errorf("Get(1) = %v", got)
+	}
+	al.Set(0, 10)
+	if e := lastEvent(t, rec); e.Op != trace.OpWrite || e.Index != 0 {
+		t.Errorf("Set event = %v", e)
+	}
+	if i := al.IndexOf("two"); i != 1 {
+		t.Errorf("IndexOf = %d", i)
+	}
+	if i := al.IndexOf("absent"); i != -1 {
+		t.Errorf("IndexOf absent = %d", i)
+	}
+	al.RemoveAt(0)
+	if al.Len() != 2 || al.Get(0) != "two" {
+		t.Error("RemoveAt")
+	}
+	al.Clear()
+	if al.Len() != 0 {
+		t.Error("Clear")
+	}
+	inst, _ := s.Instance(al.ID())
+	if inst.Kind != trace.KindList || inst.TypeName != "ArrayList" {
+		t.Errorf("registry = %+v", inst)
+	}
+}
+
+func TestArrayListUncomparableSearch(t *testing.T) {
+	s, _ := newTestSession()
+	al := NewArrayList(s)
+	al.Add([]int{1, 2}) // uncomparable dynamic type
+	al.Add(5)
+	// Searching for an uncomparable value must not panic.
+	if i := al.IndexOf([]int{1, 2}); i != -1 {
+		t.Errorf("IndexOf(slice) = %d, want -1", i)
+	}
+	if i := al.IndexOf(5); i != -1 && i != 1 {
+		t.Errorf("IndexOf(5) = %d", i)
+	}
+}
+
+func TestArrayListPanics(t *testing.T) {
+	s, _ := newTestSession()
+	al := NewArrayList(s)
+	for name, f := range map[string]func(){
+		"Get":      func() { al.Get(0) },
+		"Set":      func() { al.Set(-1, 0) },
+		"RemoveAt": func() { al.RemoveAt(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

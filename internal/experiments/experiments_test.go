@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dsspy/internal/apps"
+	"dsspy/internal/usecase"
+)
+
+func TestRunStudyScansCorpusBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 936-kLOC corpus scan in -short mode")
+	}
+	results := RunStudy()
+	if len(results) != 37 {
+		t.Fatalf("programs = %d", len(results))
+	}
+	totalDyn, totalArr, totalLOC := 0, 0, 0
+	for _, r := range results {
+		if r.Dynamic != r.WantTotal {
+			t.Errorf("%s: scanned %d instances, descriptor says %d", r.Name, r.Dynamic, r.WantTotal)
+		}
+		totalDyn += r.Dynamic
+		totalArr += r.Arrays
+		totalLOC += r.LOC
+	}
+	if totalDyn != 1960 {
+		t.Errorf("total dynamic = %d, want 1960", totalDyn)
+	}
+	if totalArr != 785 {
+		t.Errorf("total arrays = %d, want 785", totalArr)
+	}
+	if totalLOC != 936356 {
+		t.Errorf("total LOC = %d, want 936356", totalLOC)
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus scan in -short mode")
+	}
+	var sb strings.Builder
+	if err := Table1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "1960", "936356", "Office software", "DS lib"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestStudyFindingsOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus scan in -short mode")
+	}
+	var sb strings.Builder
+	if err := StudyFindings(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"65.05%", "3.94 times", "classes contain a list member"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("findings missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus scan in -short mode")
+	}
+	var sb strings.Builder
+	if err := Figure1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 1", "dotspatial", "gpdotnet", "1275", "324"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure2Output(t *testing.T) {
+	var sb strings.Builder
+	if err := Figure2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 2", "I×10 R×10", "Insert-Back", "Read-Backward"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3Output(t *testing.T) {
+	var sb strings.Builder
+	if err := Figure3(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 3", "12 Insert-Back", "12 Read-Forward", "Long-Insert", "Frequent-Long-Read"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Reproduction(t *testing.T) {
+	rows := RunTable2()
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	totR, totP := 0, 0
+	for _, r := range rows {
+		totR += r.Regularities
+		totP += r.ParallelUCs
+	}
+	if totR != 81 || totP != 41 {
+		t.Errorf("totals = %d regularities, %d parallel; want 81, 41", totR, totP)
+	}
+	var sb strings.Builder
+	if err := Table2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "MidiSheetMusic") {
+		t.Error("Table2 output incomplete")
+	}
+}
+
+func TestTable3Reproduction(t *testing.T) {
+	rows := RunTable3()
+	var sum Table3Row
+	for _, r := range rows {
+		sum.LI += r.LI
+		sum.IQ += r.IQ
+		sum.SAI += r.SAI
+		sum.FS += r.FS
+		sum.FLR += r.FLR
+	}
+	if sum.LI != 49 || sum.IQ != 3 || sum.SAI != 1 || sum.FS != 3 || sum.FLR != 10 {
+		t.Errorf("column totals = %+v, want 49/3/1/3/10", sum)
+	}
+	if sum.Total() != 66 {
+		t.Errorf("total = %d, want 66", sum.Total())
+	}
+	var sb strings.Builder
+	if err := Table3(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "66") {
+		t.Error("Table3 output missing total")
+	}
+}
+
+func TestTable4Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy in -short mode")
+	}
+	opts := Options{Reps: 3}
+	rows := RunTable4(opts)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sumDS, sumUC := 0, 0
+	for _, r := range rows {
+		if r.UseCases != r.PaperUseCases {
+			t.Errorf("%s: detected %d use cases, paper %d", r.Name, r.UseCases, r.PaperUseCases)
+		}
+		if r.DataStructures != r.PaperDS {
+			t.Errorf("%s: %d data structures, paper %d", r.Name, r.DataStructures, r.PaperDS)
+		}
+		if r.Slowdown <= 1.0 {
+			t.Errorf("%s: slowdown %.2f, expected instrumentation to cost something", r.Name, r.Slowdown)
+		}
+		sumDS += r.DataStructures
+		sumUC += r.UseCases
+	}
+	if sumDS != 104 || sumUC != 24 {
+		t.Errorf("totals = %d DS, %d use cases; want 104, 24", sumDS, sumUC)
+	}
+	red := 1 - float64(sumUC)/float64(sumDS)
+	if red < 0.76 || red > 0.78 {
+		t.Errorf("overall reduction = %.4f, want 0.7692", red)
+	}
+	var sb strings.Builder
+	if err := Table4(&sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "76.92%") {
+		t.Error("Table4 output missing paper reference")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	var sb strings.Builder
+	if err := Table5(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Use Case 1", "Use Case 5", "terminal set",
+		"population (CHPopulation)", "fitness (FitnessProportionateSelection)",
+		"Frequent-Long-Read", "Long-Insert", "gpdotnet.go",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "Use Case ") != 5 {
+		t.Errorf("Table5 has %d use cases, want 5", strings.Count(out, "Use Case "))
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy in -short mode")
+	}
+	rows := RunTable6()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	frac := map[string]float64{}
+	for _, r := range rows {
+		if r.SeqMS <= 0 || r.ParMS <= 0 {
+			t.Errorf("%s: zero region time", r.Name)
+		}
+		frac[r.Name] = r.SeqFraction
+	}
+	// Shape: CPU Benchmarks must dominate; gpdotnet and mandelbrot must be
+	// overwhelmingly parallelizable.
+	if frac["CPU Benchmarks"] < 0.5 {
+		t.Errorf("CPU Benchmarks fraction = %.2f", frac["CPU Benchmarks"])
+	}
+	if frac["Gpdotnet"] > 0.3 || frac["Mandelbrot"] > 0.3 {
+		t.Errorf("gp=%.2f mandel=%.2f, want < 0.3", frac["Gpdotnet"], frac["Mandelbrot"])
+	}
+	var sb strings.Builder
+	if err := Table6(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "94.29%") {
+		t.Error("Table6 output missing paper reference")
+	}
+}
+
+func TestTable7Static(t *testing.T) {
+	var sb strings.Builder
+	if err := Table7(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"This work", "Deduction of use cases", "Automatic Parallelization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table7 output missing %q", want)
+		}
+	}
+}
+
+func TestKindBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every app in -short mode")
+	}
+	got := KindBreakdown()
+	// Across the seven evaluation apps: 13 LI + 11 FLR parallel findings —
+	// matching §VII's remark that the main findings come from these two
+	// use cases.
+	if got[usecase.LongInsert] != 13 {
+		t.Errorf("LI = %d, want 13", got[usecase.LongInsert])
+	}
+	if got[usecase.FrequentLongRead] != 11 {
+		t.Errorf("FLR = %d, want 11", got[usecase.FrequentLongRead])
+	}
+}
+
+func TestScalingCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing in -short mode")
+	}
+	app := apps.ByName("WordWheelSolver")
+	curve := ScalingCurve(app, 0, []int{1, 2}, 1)
+	if len(curve) != 2 {
+		t.Fatalf("curve = %v", curve)
+	}
+	for _, pt := range curve {
+		if pt.Speedup <= 0 {
+			t.Errorf("non-positive speedup at %d workers", pt.Workers)
+		}
+	}
+	if got := ScalingCurve(app, 99, []int{1}, 1); got != nil {
+		t.Error("out-of-range probe returned a curve")
+	}
+	if got := DefaultScalingWorkers(8); len(got) != 4 || got[0] != 1 || got[3] != 8 {
+		t.Errorf("DefaultScalingWorkers(8) = %v", got)
+	}
+	if got := DefaultScalingWorkers(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("DefaultScalingWorkers(1) = %v", got)
+	}
+	var sb strings.Builder
+	if err := Scaling(&sb, Options{Workers: 2, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Speedup scaling") {
+		t.Error("scaling output incomplete")
+	}
+}
+
+func TestPrecisionSummary(t *testing.T) {
+	rows := []Table4Row{{TruePositives: 2, UseCases: 4}, {TruePositives: 1, UseCases: 2}}
+	tp, total, p := PrecisionSummary(rows)
+	if tp != 3 || total != 6 || p != 0.5 {
+		t.Errorf("summary = %d/%d %.2f", tp, total, p)
+	}
+	if _, _, p := PrecisionSummary(nil); p != 0 {
+		t.Error("empty precision nonzero")
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dsspy/internal/apps"
+	"dsspy/internal/report"
+)
+
+// Speedup-scaling curves: the paper reports single speedup numbers on a
+// fixed 8-core machine; this experiment generalizes them to speedup as a
+// function of worker count for each app's flagship probe, which is how the
+// shape claim transfers to other hosts.
+
+// ScalingPoint is one (workers, speedup) measurement.
+type ScalingPoint struct {
+	Workers int
+	Speedup float64
+}
+
+// ScalingCurve measures a probe's region speedup at each worker count,
+// against the single-worker run.
+func ScalingCurve(app *apps.App, probe int, workers []int, reps int) []ScalingPoint {
+	if probe < 0 || probe >= len(app.Probes) {
+		return nil
+	}
+	p := app.Probes[probe]
+	if reps < 1 {
+		reps = 2
+	}
+	base := bestOf(reps, p.Seq)
+	out := make([]ScalingPoint, 0, len(workers))
+	for _, w := range workers {
+		w := w
+		d := bestOf(reps, func() { p.Par(w) })
+		sp := 0.0
+		if d > 0 {
+			sp = float64(base) / float64(d)
+		}
+		out = append(out, ScalingPoint{Workers: w, Speedup: sp})
+	}
+	return out
+}
+
+// DefaultScalingWorkers is the worker ladder 1,2,4,...,max (max included).
+func DefaultScalingWorkers(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+// Scaling prints the speedup-vs-workers curve for each app's first probe.
+func Scaling(w io.Writer, opts Options) error {
+	workers := DefaultScalingWorkers(opts.workers())
+	headers := []string{"Program / flagship region"}
+	for _, wk := range workers {
+		headers = append(headers, fmt.Sprintf("%d", wk))
+	}
+	tb := report.NewTable(headers...)
+	for i := 1; i < len(headers); i++ {
+		tb.AlignRight(i)
+	}
+	tb.Title = "Speedup scaling of the flagship probe regions (columns: workers)"
+	for _, app := range apps.Apps() {
+		if len(app.Probes) == 0 {
+			continue
+		}
+		curve := ScalingCurve(app, 0, workers, opts.reps())
+		row := []any{fmt.Sprintf("%s — %s", app.Name, app.Probes[0].Name)}
+		for _, pt := range curve {
+			row = append(row, report.F2(pt.Speedup))
+		}
+		tb.AddRow(row...)
+	}
+	if _, err := tb.WriteTo(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "Measured with best-of-%d timing; on a single-core host every column is ~1.00.\n\n", opts.reps())
+	return err
+}

@@ -1,0 +1,27 @@
+package goscan
+
+import "testing"
+
+// FuzzScanSource throws arbitrary text at the scanner: parse errors are
+// fine, panics are not, and every reported instance must carry a location.
+func FuzzScanSource(f *testing.F) {
+	f.Add("package p\nfunc f() { _ = make([]int, 3) }")
+	f.Add("package p\nvar x = map[string]int{}")
+	f.Add("package p\nvar x = dstruct.NewList[int](s)")
+	f.Add("not go at all {{{")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := ScanSource("fuzz.go", src)
+		if err != nil {
+			return
+		}
+		for _, in := range res.Instances {
+			if in.Line <= 0 {
+				t.Fatalf("instance without location: %+v", in)
+			}
+			if in.Type == "" {
+				t.Fatalf("instance without type: %+v", in)
+			}
+		}
+	})
+}

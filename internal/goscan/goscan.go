@@ -1,0 +1,303 @@
+// Package goscan is the §II.A empirical-study tool carried over to Go
+// sources. The paper's threats-to-validity section argues the concept
+// transfers to other object-oriented environments; this scanner provides
+// the transfer's first half for Go: it statically finds data-structure
+// instantiations — both dsspy's instrumented containers and the raw
+// slice/map/channel allocations that correspond to the CTS containers —
+// with their locations and element types, so a project's parallelization
+// search space can be sized before any dynamic run.
+//
+// It also serves as the instrumentation assistant: Go has no Roslyn-style
+// transparent rewriting, so for each raw allocation the scanner suggests
+// the instrumented container that would capture its runtime profile.
+package goscan
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a found instantiation.
+type Kind string
+
+// Instantiation kinds.
+const (
+	KindSliceMake   Kind = "slice(make)"
+	KindSliceLit    Kind = "slice(literal)"
+	KindMapMake     Kind = "map(make)"
+	KindMapLit      Kind = "map(literal)"
+	KindChanMake    Kind = "chan(make)"
+	KindArrayType   Kind = "array"
+	KindDSspy       Kind = "dsspy"
+	KindPlainTwin   Kind = "dsspy(plain)"
+	KindContainerLl Kind = "container/list"
+)
+
+// Instance is one data-structure instantiation found in Go source.
+type Instance struct {
+	Kind Kind
+	// Type is the spelled-out type or constructor, e.g. "[]float64",
+	// "map[string]int", "dstruct.NewList[int]".
+	Type string
+	File string
+	Line int
+	// Suggestion names the instrumented container that would profile this
+	// allocation; empty for already-instrumented instances.
+	Suggestion string
+}
+
+// FileResult is the scan outcome for one file.
+type FileResult struct {
+	Path      string
+	Package   string
+	LOC       int // non-blank, non-comment-only lines
+	Instances []Instance
+}
+
+// Result aggregates a scan.
+type Result struct {
+	Files []FileResult
+}
+
+// ScanSource scans one Go source text.
+func ScanSource(path, src string) (FileResult, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return FileResult{}, fmt.Errorf("goscan: %w", err)
+	}
+	res := FileResult{Path: path, Package: f.Name.Name, LOC: countLOC(src)}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if inst, ok := classifyCall(fset, e); ok {
+				res.Instances = append(res.Instances, inst)
+			}
+		case *ast.CompositeLit:
+			if inst, ok := classifyLit(fset, e); ok {
+				res.Instances = append(res.Instances, inst)
+			}
+		}
+		return true
+	})
+	sort.Slice(res.Instances, func(i, j int) bool { return res.Instances[i].Line < res.Instances[j].Line })
+	return res, nil
+}
+
+// classifyCall recognizes make(...) and dsspy constructor calls.
+func classifyCall(fset *token.FileSet, call *ast.CallExpr) (Instance, bool) {
+	pos := fset.Position(call.Pos())
+	// make([]T, …) / make(map[K]V) / make(chan T)
+	if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "make" && len(call.Args) >= 1 {
+		typ := typeString(call.Args[0])
+		switch t := call.Args[0].(type) {
+		case *ast.ArrayType:
+			if t.Len == nil {
+				return Instance{
+					Kind: KindSliceMake, Type: typ, File: pos.Filename, Line: pos.Line,
+					Suggestion: suggestForElem("List", t.Elt),
+				}, true
+			}
+		case *ast.MapType:
+			return Instance{
+				Kind: KindMapMake, Type: typ, File: pos.Filename, Line: pos.Line,
+				Suggestion: "dstruct.NewDictionary",
+			}, true
+		case *ast.ChanType:
+			return Instance{
+				Kind: KindChanMake, Type: typ, File: pos.Filename, Line: pos.Line,
+			}, true
+		}
+		return Instance{}, false
+	}
+	// dstruct.NewList[T](s) / dsspy.NewArray[T](s, n) / plain twins /
+	// list.New() from container/list.
+	fun := call.Fun
+	if idx, ok := fun.(*ast.IndexExpr); ok {
+		fun = idx.X
+	} else if idx, ok := fun.(*ast.IndexListExpr); ok {
+		fun = idx.X
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if pkg, ok := sel.X.(*ast.Ident); ok {
+			name := sel.Sel.Name
+			full := typeString(call.Fun)
+			switch {
+			case (pkg.Name == "dstruct" || pkg.Name == "dsspy") && strings.HasPrefix(name, "NewPlain"):
+				return Instance{Kind: KindPlainTwin, Type: full, File: pos.Filename, Line: pos.Line,
+					Suggestion: "dstruct." + strings.Replace(name, "NewPlain", "New", 1)}, true
+			case (pkg.Name == "dstruct" || pkg.Name == "dsspy") && strings.HasPrefix(name, "New"):
+				return Instance{Kind: KindDSspy, Type: full, File: pos.Filename, Line: pos.Line}, true
+			case pkg.Name == "list" && name == "New":
+				return Instance{Kind: KindContainerLl, Type: "list.New", File: pos.Filename, Line: pos.Line,
+					Suggestion: "dstruct.NewLinkedList"}, true
+			}
+		}
+	}
+	return Instance{}, false
+}
+
+// classifyLit recognizes slice, array and map composite literals.
+func classifyLit(fset *token.FileSet, lit *ast.CompositeLit) (Instance, bool) {
+	pos := fset.Position(lit.Pos())
+	switch t := lit.Type.(type) {
+	case *ast.ArrayType:
+		if t.Len == nil {
+			return Instance{
+				Kind: KindSliceLit, Type: typeString(t), File: pos.Filename, Line: pos.Line,
+				Suggestion: suggestForElem("List", t.Elt),
+			}, true
+		}
+		return Instance{
+			Kind: KindArrayType, Type: typeString(t), File: pos.Filename, Line: pos.Line,
+			Suggestion: suggestForElem("Array", t.Elt),
+		}, true
+	case *ast.MapType:
+		return Instance{
+			Kind: KindMapLit, Type: typeString(t), File: pos.Filename, Line: pos.Line,
+			Suggestion: "dstruct.NewDictionary",
+		}, true
+	}
+	return Instance{}, false
+}
+
+func suggestForElem(container string, elem ast.Expr) string {
+	return fmt.Sprintf("dstruct.New%s[%s]", container, typeString(elem))
+}
+
+// typeString renders a type expression compactly.
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.ArrayType:
+		if t.Len == nil {
+			return "[]" + typeString(t.Elt)
+		}
+		return "[" + typeString(t.Len) + "]" + typeString(t.Elt)
+	case *ast.MapType:
+		return "map[" + typeString(t.Key) + "]" + typeString(t.Value)
+	case *ast.ChanType:
+		return "chan " + typeString(t.Value)
+	case *ast.BasicLit:
+		return t.Value
+	case *ast.IndexExpr:
+		return typeString(t.X) + "[" + typeString(t.Index) + "]"
+	case *ast.IndexListExpr:
+		parts := make([]string, len(t.Indices))
+		for i, ix := range t.Indices {
+			parts[i] = typeString(ix)
+		}
+		return typeString(t.X) + "[" + strings.Join(parts, ", ") + "]"
+	case *ast.InterfaceType:
+		return "any"
+	case *ast.StructType:
+		return "struct{…}"
+	case *ast.FuncType:
+		return "func(…)"
+	case *ast.Ellipsis:
+		return "..." + typeString(t.Elt)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func countLOC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// ScanDir scans every .go file under root (skipping testdata and hidden
+// directories). Test files are included: the study counted every
+// instantiation in a project.
+func ScanDir(root string, readFile func(string) ([]byte, error)) (Result, error) {
+	var res Result
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			name := d.Name()
+			if strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := readFile(path)
+		if err != nil {
+			return err
+		}
+		fr, err := ScanSource(path, string(src))
+		if err != nil {
+			return err
+		}
+		res.Files = append(res.Files, fr)
+		return nil
+	})
+	return res, err
+}
+
+// CountByKind tallies instances per kind.
+func (r Result) CountByKind() map[Kind]int {
+	m := map[Kind]int{}
+	for _, f := range r.Files {
+		for _, in := range f.Instances {
+			m[in.Kind]++
+		}
+	}
+	return m
+}
+
+// LOC returns total code lines.
+func (r Result) LOC() int {
+	n := 0
+	for _, f := range r.Files {
+		n += f.LOC
+	}
+	return n
+}
+
+// Instances returns every found instantiation.
+func (r Result) Instances() []Instance {
+	var out []Instance
+	for _, f := range r.Files {
+		out = append(out, f.Instances...)
+	}
+	return out
+}
+
+// Uninstrumented returns the raw allocations with instrumentation
+// suggestions — the scanner's assistant output.
+func (r Result) Uninstrumented() []Instance {
+	var out []Instance
+	for _, in := range r.Instances() {
+		if in.Suggestion != "" {
+			out = append(out, in)
+		}
+	}
+	return out
+}

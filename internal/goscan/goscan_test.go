@@ -1,0 +1,170 @@
+package goscan
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sample = `package demo
+
+import (
+	"container/list"
+
+	"dsspy/internal/dstruct"
+)
+
+type Engine struct {
+	weights []float64
+	index   map[string]int
+}
+
+func build(s *Session) {
+	xs := make([]float64, 128)
+	lookup := make(map[string]int, 16)
+	jobs := make(chan int, 8)
+	grid := [64]int{}
+	names := []string{"a", "b"}
+	pairs := map[int]string{1: "one"}
+	ll := list.New()
+	instrumented := dstruct.NewList[int](s)
+	arr := dstruct.NewArray[float64](s, 10)
+	plain := dstruct.NewPlainList[int]()
+	_ = xs
+	_, _, _, _, _, _, _, _, _ = lookup, jobs, grid, names, pairs, ll, instrumented, arr, plain
+}
+`
+
+func TestScanSourceFindsAllKinds(t *testing.T) {
+	res, err := ScanSource("demo.go", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Package != "demo" {
+		t.Errorf("package = %q", res.Package)
+	}
+	counts := map[Kind]int{}
+	for _, in := range res.Instances {
+		counts[in.Kind]++
+	}
+	want := map[Kind]int{
+		KindSliceMake:   1,
+		KindMapMake:     1,
+		KindChanMake:    1,
+		KindArrayType:   1,
+		KindSliceLit:    1,
+		KindMapLit:      1,
+		KindContainerLl: 1,
+		KindDSspy:       2,
+		KindPlainTwin:   1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%s = %d, want %d (all: %v)", k, counts[k], n, counts)
+		}
+	}
+}
+
+func TestScanSourceSuggestions(t *testing.T) {
+	res, err := ScanSource("demo.go", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySugg := map[string]string{}
+	for _, in := range res.Instances {
+		bySugg[in.Type] = in.Suggestion
+	}
+	cases := map[string]string{
+		"[]float64":                 "dstruct.NewList[float64]",
+		"map[string]int":            "dstruct.NewDictionary",
+		"[64]int":                   "dstruct.NewArray[int]",
+		"list.New":                  "dstruct.NewLinkedList",
+		"dstruct.NewPlainList[int]": "dstruct.NewList",
+	}
+	for typ, want := range cases {
+		if got := bySugg[typ]; got != want {
+			t.Errorf("suggestion for %s = %q, want %q", typ, got, want)
+		}
+	}
+	// Instrumented containers need no suggestion.
+	for _, in := range res.Instances {
+		if in.Kind == KindDSspy && in.Suggestion != "" {
+			t.Errorf("instrumented %s has suggestion %q", in.Type, in.Suggestion)
+		}
+	}
+}
+
+func TestScanSourceLinesAndTypes(t *testing.T) {
+	res, err := ScanSource("demo.go", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Instances {
+		if in.Line <= 0 || in.File != "demo.go" {
+			t.Errorf("bad location: %+v", in)
+		}
+	}
+	if res.LOC == 0 || res.LOC >= strings.Count(sample, "\n") {
+		t.Errorf("LOC = %d", res.LOC)
+	}
+}
+
+func TestScanSourceParseError(t *testing.T) {
+	if _, err := ScanSource("broken.go", "package\n}{"); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestTypeStringShapes(t *testing.T) {
+	src := `package p
+func f(s *S) {
+	a := make([]*pkg.Type, 1)
+	b := make(map[[4]byte][]int)
+	c := make(chan []byte)
+	d := []func(…){}
+	_ = a; _ = b; _ = c; _ = d
+}`
+	// The func-literal slice won't parse with the ellipsis glyph; use a
+	// valid variant.
+	src = strings.Replace(src, "[]func(…){}", "[]any{}", 1)
+	res, err := ScanSource("t.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	for _, in := range res.Instances {
+		types = append(types, in.Type)
+	}
+	joined := strings.Join(types, ";")
+	for _, want := range []string{"[]*pkg.Type", "map[[4]byte][]int", "chan []byte", "[]any"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("types %v missing %q", types, want)
+		}
+	}
+}
+
+// TestScanOwnRepository runs the scanner over this repository — the
+// dogfooding check: it must find the dstruct constructors the examples and
+// apps use, and the raw slices the parallel variants allocate.
+func TestScanOwnRepository(t *testing.T) {
+	res, err := ScanDir("../..", os.ReadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) < 40 {
+		t.Fatalf("scanned only %d files", len(res.Files))
+	}
+	counts := res.CountByKind()
+	if counts[KindDSspy] < 50 {
+		t.Errorf("found %d instrumented constructors, expected the apps' and examples' usage", counts[KindDSspy])
+	}
+	if counts[KindSliceMake] < 30 {
+		t.Errorf("found %d make([]T) allocations", counts[KindSliceMake])
+	}
+	if res.LOC() < 10000 {
+		t.Errorf("LOC = %d", res.LOC())
+	}
+	if len(res.Uninstrumented()) == 0 {
+		t.Error("no instrumentation suggestions in a repo full of raw slices")
+	}
+}

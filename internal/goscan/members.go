@@ -1,0 +1,114 @@
+package goscan
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+)
+
+// Struct-member analysis, mirroring §II.A's class-member finding ("every
+// third class contained at least one list instance as member") for Go
+// sources: which struct types declare slice, map, array or channel fields.
+
+// StructInfo describes one struct type and its container-typed fields.
+type StructInfo struct {
+	Name string
+	File string
+	Line int
+	// Fields counts container fields by kind: "slice", "map", "array",
+	// "chan".
+	Fields map[string]int
+}
+
+// HasField reports whether the struct declares at least one field of the
+// given container kind.
+func (s StructInfo) HasField(kind string) bool { return s.Fields[kind] > 0 }
+
+// ScanStructs extracts the struct types of one source text and their
+// container-typed fields.
+func ScanStructs(path, src string) ([]StructInfo, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []StructInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		pos := fset.Position(ts.Pos())
+		info := StructInfo{
+			Name:   ts.Name.Name,
+			File:   pos.Filename,
+			Line:   pos.Line,
+			Fields: map[string]int{},
+		}
+		for _, field := range st.Fields.List {
+			kind := fieldKind(field.Type)
+			if kind == "" {
+				continue
+			}
+			n := len(field.Names)
+			if n == 0 {
+				n = 1 // embedded
+			}
+			info.Fields[kind] += n
+		}
+		out = append(out, info)
+		return true
+	})
+	return out, nil
+}
+
+func fieldKind(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.ArrayType:
+		if t.Len == nil {
+			return "slice"
+		}
+		return "array"
+	case *ast.MapType:
+		return "map"
+	case *ast.ChanType:
+		return "chan"
+	case *ast.StarExpr:
+		return fieldKind(t.X)
+	}
+	return ""
+}
+
+// StructStats aggregates struct-member figures.
+type StructStats struct {
+	Structs   int
+	WithField map[string]int
+}
+
+// Fraction returns the share of structs with at least one field of kind.
+func (ss StructStats) Fraction(kind string) float64 {
+	if ss.Structs == 0 {
+		return 0
+	}
+	return float64(ss.WithField[kind]) / float64(ss.Structs)
+}
+
+// AggregateStructs folds struct lists into aggregate statistics.
+func AggregateStructs(lists ...[]StructInfo) StructStats {
+	ss := StructStats{WithField: map[string]int{}}
+	for _, l := range lists {
+		for _, s := range l {
+			ss.Structs++
+			for kind, n := range s.Fields {
+				if n > 0 {
+					ss.WithField[kind]++
+				}
+			}
+		}
+	}
+	return ss
+}

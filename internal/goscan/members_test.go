@@ -1,0 +1,111 @@
+package goscan
+
+import (
+	"os"
+	"testing"
+)
+
+const structSample = `package demo
+
+type Engine struct {
+	weights []float64
+	lookup  map[string]int
+	buf     [16]byte
+	jobs    chan int
+	name    string
+	aux     *[]int
+}
+
+type Plain struct {
+	a, b int
+}
+
+type Twin struct {
+	xs, ys []float64
+}
+`
+
+func TestScanStructs(t *testing.T) {
+	structs, err := ScanStructs("demo.go", structSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(structs) != 3 {
+		t.Fatalf("structs = %d", len(structs))
+	}
+	byName := map[string]StructInfo{}
+	for _, s := range structs {
+		byName[s.Name] = s
+	}
+	eng := byName["Engine"]
+	want := map[string]int{"slice": 2, "map": 1, "array": 1, "chan": 1}
+	for kind, n := range want {
+		if eng.Fields[kind] != n {
+			t.Errorf("Engine %s = %d, want %d", kind, eng.Fields[kind], n)
+		}
+	}
+	if len(byName["Plain"].Fields) != 0 {
+		t.Errorf("Plain fields = %v", byName["Plain"].Fields)
+	}
+	if byName["Twin"].Fields["slice"] != 2 {
+		t.Errorf("Twin slices = %d (multi-name field)", byName["Twin"].Fields["slice"])
+	}
+	if !eng.HasField("map") || eng.HasField("nothing") {
+		t.Error("HasField wrong")
+	}
+}
+
+func TestScanStructsParseError(t *testing.T) {
+	if _, err := ScanStructs("x.go", "package {{"); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestAggregateStructs(t *testing.T) {
+	structs, err := ScanStructs("demo.go", structSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := AggregateStructs(structs)
+	if ss.Structs != 3 {
+		t.Fatalf("structs = %d", ss.Structs)
+	}
+	if ss.WithField["slice"] != 2 {
+		t.Errorf("slice structs = %d", ss.WithField["slice"])
+	}
+	if got := ss.Fraction("slice"); got < 0.66 || got > 0.67 {
+		t.Errorf("slice fraction = %v", got)
+	}
+	var empty StructStats
+	if empty.Fraction("slice") != 0 {
+		t.Error("empty fraction")
+	}
+}
+
+// Dogfooding: this repository's own structs carry plenty of slice members —
+// the Go analogue of "every third class contains a list member".
+func TestStructStatsOwnRepo(t *testing.T) {
+	res, err := ScanDir("../..", os.ReadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lists [][]StructInfo
+	for _, f := range res.Files {
+		src, err := os.ReadFile(f.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		structs, err := ScanStructs(f.Path, string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lists = append(lists, structs)
+	}
+	ss := AggregateStructs(lists...)
+	if ss.Structs < 30 {
+		t.Fatalf("found only %d structs", ss.Structs)
+	}
+	if ss.Fraction("slice") < 0.2 {
+		t.Errorf("slice-member fraction = %.2f — suspiciously low for this codebase", ss.Fraction("slice"))
+	}
+}

@@ -1,0 +1,86 @@
+package par
+
+import "sync"
+
+// ConcurrentQueue is the parallel queue the Implement-Queue recommendation
+// deploys: a thread-safe FIFO usable from any number of producer and
+// consumer goroutines.
+type ConcurrentQueue[T any] struct {
+	mu    sync.Mutex
+	items []T
+	head  int
+}
+
+// NewConcurrentQueue returns an empty concurrent queue.
+func NewConcurrentQueue[T any]() *ConcurrentQueue[T] { return &ConcurrentQueue[T]{} }
+
+// Enqueue appends v at the back.
+func (q *ConcurrentQueue[T]) Enqueue(v T) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+}
+
+// Dequeue removes and returns the front element; false when empty.
+func (q *ConcurrentQueue[T]) Dequeue() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head > len(q.items)/2 && q.head > 64 {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return v, true
+}
+
+// Len returns the number of queued elements.
+func (q *ConcurrentQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// ConcurrentStack is a thread-safe LIFO, the drop-in the
+// Stack-Implementation recommendation points to when the surrounding code
+// goes parallel.
+type ConcurrentStack[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// NewConcurrentStack returns an empty concurrent stack.
+func NewConcurrentStack[T any]() *ConcurrentStack[T] { return &ConcurrentStack[T]{} }
+
+// Push places v on top.
+func (s *ConcurrentStack[T]) Push(v T) {
+	s.mu.Lock()
+	s.items = append(s.items, v)
+	s.mu.Unlock()
+}
+
+// Pop removes and returns the top element; false when empty.
+func (s *ConcurrentStack[T]) Pop() (T, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero T
+	if len(s.items) == 0 {
+		return zero, false
+	}
+	v := s.items[len(s.items)-1]
+	s.items[len(s.items)-1] = zero
+	s.items = s.items[:len(s.items)-1]
+	return v, true
+}
+
+// Len returns the number of stacked elements.
+func (s *ConcurrentStack[T]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}

@@ -1,0 +1,298 @@
+// Package par provides the parallel building blocks that DSspy's
+// recommended actions translate to: parallel loops and fills (Long-Insert),
+// chunked parallel search and aggregation (Frequent-Search and
+// Frequent-Long-Read), a parallel sort (Sort-After-Insert) and concurrent
+// queue/stack containers (Implement-Queue, Stack-Implementation).
+//
+// Everything is stdlib-only: goroutines, sync, atomic.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism is the worker count used when a caller passes 0.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0,n) using p workers (0 means
+// DefaultParallelism). Iterations are distributed in contiguous chunks, the
+// layout that turns a sequential insert/initialization loop into the
+// parallel version the Long-Insert recommendation asks for.
+func For(n, p int, body func(i int)) {
+	ForChunked(n, p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked splits [0,n) into one contiguous chunk per worker and runs
+// body(lo,hi) on each concurrently.
+func ForChunked(n, p int, body func(lo, hi int)) {
+	ChunkIndexed(n, p, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ChunkIndexed is ForChunked with the chunk index exposed, so workers can
+// write into per-chunk result slots without synchronization.
+func ChunkIndexed(n, p int, body func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p <= 0 {
+		p = DefaultParallelism()
+	}
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Fill writes v into every element of dst in parallel.
+func Fill[T any](dst []T, v T, p int) {
+	ForChunked(len(dst), p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = v
+		}
+	})
+}
+
+// FillFunc writes f(i) into dst[i] in parallel — the parallel
+// initialization the Mandelbrot and Algorithmia use cases apply.
+func FillFunc[T any](dst []T, p int, f func(i int) T) {
+	ForChunked(len(dst), p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = f(i)
+		}
+	})
+}
+
+// IndexOf returns the lowest index of target in s, or -1, searching chunks
+// in parallel — the Frequent-Search recommendation ("split the list into
+// smaller chunks and search them in parallel").
+func IndexOf[T comparable](s []T, target T, p int) int {
+	return IndexFunc(s, p, func(v T) bool { return v == target })
+}
+
+// IndexFunc returns the lowest index in s for which pred is true, or -1.
+func IndexFunc[T any](s []T, p int, pred func(T) bool) int {
+	n := len(s)
+	if n == 0 {
+		return -1
+	}
+	if p <= 0 {
+		p = DefaultParallelism()
+	}
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		for i, v := range s {
+			if pred(v) {
+				return i
+			}
+		}
+		return -1
+	}
+	results := make([]int, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = -1
+			for i := lo; i < hi; i++ {
+				if pred(s[i]) {
+					results[w] = i
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r >= 0 {
+			return r
+		}
+	}
+	return -1
+}
+
+// MaxIndex returns the index of the maximum element under less (the
+// argmax), computed in parallel — the parallel search that fixes the
+// priority-queue-on-a-list use case from the Algorithmia evaluation.
+// It returns -1 for an empty slice. Ties resolve to the lowest index,
+// matching the sequential scan.
+func MaxIndex[T any](s []T, p int, less func(a, b T) bool) int {
+	n := len(s)
+	if n == 0 {
+		return -1
+	}
+	if p <= 0 {
+		p = DefaultParallelism()
+	}
+	if p > n {
+		p = n
+	}
+	best := make([]int, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			b := lo
+			for i := lo + 1; i < hi; i++ {
+				if less(s[b], s[i]) {
+					b = i
+				}
+			}
+			best[w] = b
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	b := best[0]
+	for _, c := range best[1:] {
+		if less(s[b], s[c]) {
+			b = c
+		}
+	}
+	return b
+}
+
+// Reduce folds s in parallel: each worker folds its chunk with combine
+// starting from identity, then the per-worker partials fold sequentially.
+// combine must be associative.
+func Reduce[T any](s []T, p int, identity T, combine func(a, b T) T) T {
+	n := len(s)
+	if n == 0 {
+		return identity
+	}
+	if p <= 0 {
+		p = DefaultParallelism()
+	}
+	if p > n {
+		p = n
+	}
+	partial := make([]T, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, s[i])
+			}
+			partial[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := identity
+	for _, v := range partial {
+		acc = combine(acc, v)
+	}
+	return acc
+}
+
+// SumFloat64 adds the elements in parallel.
+func SumFloat64(s []float64, p int) float64 {
+	return Reduce(s, p, 0, func(a, b float64) float64 { return a + b })
+}
+
+// Map applies f to every element in parallel and returns the results in
+// input order.
+func Map[T, U any](s []T, p int, f func(T) U) []U {
+	out := make([]U, len(s))
+	ForChunked(len(s), p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(s[i])
+		}
+	})
+	return out
+}
+
+// Filter returns the elements satisfying pred, preserving input order.
+// Chunks filter concurrently; the survivors concatenate sequentially.
+func Filter[T any](s []T, p int, pred func(T) bool) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	if p <= 0 {
+		p = DefaultParallelism()
+	}
+	if p > len(s) {
+		p = len(s)
+	}
+	parts := make([][]T, p)
+	ChunkIndexed(len(s), p, func(chunk, lo, hi int) {
+		var local []T
+		for i := lo; i < hi; i++ {
+			if pred(s[i]) {
+				local = append(local, s[i])
+			}
+		}
+		parts[chunk] = local
+	})
+	var out []T
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// Count returns how many elements satisfy pred, in parallel.
+func Count[T any](s []T, p int, pred func(T) bool) int {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = DefaultParallelism()
+	}
+	if p > n {
+		p = n
+	}
+	partial := make([]int, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := 0
+			for i := lo; i < hi; i++ {
+				if pred(s[i]) {
+					c++
+				}
+			}
+			partial[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range partial {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,368 @@
+package par
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndexes(t *testing.T) {
+	for _, p := range []int{0, 1, 3, 8, 100} {
+		const n = 1000
+		seen := make([]int32, n)
+		For(n, p, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("p=%d: index %d visited %d times", p, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Error("body called for n<=0")
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	const n = 97 // prime: uneven chunks
+	var mu sync.Mutex
+	var spans [][2]int
+	ForChunked(n, 8, func(lo, hi int) {
+		mu.Lock()
+		spans = append(spans, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	pos := 0
+	for _, sp := range spans {
+		if sp[0] != pos {
+			t.Fatalf("gap or overlap at %d: %v", pos, spans)
+		}
+		pos = sp[1]
+	}
+	if pos != n {
+		t.Fatalf("chunks cover %d of %d", pos, n)
+	}
+}
+
+func TestFill(t *testing.T) {
+	s := make([]int, 5000)
+	Fill(s, 7, 0)
+	for i, v := range s {
+		if v != 7 {
+			t.Fatalf("s[%d] = %d", i, v)
+		}
+	}
+	FillFunc(s, 4, func(i int) int { return i * i })
+	for i, v := range s {
+		if v != i*i {
+			t.Fatalf("s[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestIndexOfFindsLowest(t *testing.T) {
+	s := make([]int, 10000)
+	s[137] = 1
+	s[9000] = 1
+	for _, p := range []int{0, 1, 4, 16} {
+		if got := IndexOf(s, 1, p); got != 137 {
+			t.Errorf("p=%d: IndexOf = %d, want 137", p, got)
+		}
+	}
+	if got := IndexOf(s, 42, 4); got != -1 {
+		t.Errorf("absent IndexOf = %d", got)
+	}
+	if got := IndexOf([]int{}, 1, 4); got != -1 {
+		t.Errorf("empty IndexOf = %d", got)
+	}
+}
+
+// Property: parallel IndexOf agrees with the sequential scan.
+func TestIndexOfMatchesSequential(t *testing.T) {
+	f := func(s []uint8, target uint8) bool {
+		want := -1
+		for i, v := range s {
+			if v == target {
+				want = i
+				break
+			}
+		}
+		return IndexOf(s, target, 4) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxIndex(t *testing.T) {
+	s := []float64{1, 9, 3, 9, 2}
+	// Ties resolve to the lowest index like the sequential scan.
+	if got := MaxIndex(s, 4, func(a, b float64) bool { return a < b }); got != 1 {
+		t.Errorf("MaxIndex = %d, want 1", got)
+	}
+	if got := MaxIndex([]float64{}, 4, func(a, b float64) bool { return a < b }); got != -1 {
+		t.Errorf("empty MaxIndex = %d", got)
+	}
+}
+
+// Property: parallel MaxIndex finds an element no smaller than every other,
+// and agrees with the sequential argmax on value.
+func TestMaxIndexMatchesSequential(t *testing.T) {
+	less := func(a, b int32) bool { return a < b }
+	f := func(s []int32) bool {
+		got := MaxIndex(s, 3, less)
+		if len(s) == 0 {
+			return got == -1
+		}
+		want := 0
+		for i := 1; i < len(s); i++ {
+			if s[want] < s[i] {
+				want = i
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceAndSum(t *testing.T) {
+	s := make([]float64, 4096)
+	for i := range s {
+		s[i] = 1
+	}
+	if got := SumFloat64(s, 0); got != 4096 {
+		t.Errorf("SumFloat64 = %v", got)
+	}
+	if got := SumFloat64(nil, 4); got != 0 {
+		t.Errorf("empty sum = %v", got)
+	}
+	prod := Reduce([]int{1, 2, 3, 4}, 2, 1, func(a, b int) int { return a * b })
+	if prod != 24 {
+		t.Errorf("product = %d", prod)
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := make([]int, 1000)
+	for i := range s {
+		s[i] = i
+	}
+	got := Count(s, 0, func(v int) bool { return v%3 == 0 })
+	if got != 334 {
+		t.Errorf("Count = %d, want 334", got)
+	}
+	if Count([]int{}, 4, func(int) bool { return true }) != 0 {
+		t.Error("empty Count nonzero")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	s := make([]int, 5000)
+	for i := range s {
+		s[i] = i
+	}
+	out := Map(s, 0, func(v int) int { return v * 2 })
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if got := Map([]int{}, 4, func(v int) int { return v }); len(got) != 0 {
+		t.Error("empty Map nonzero")
+	}
+}
+
+// Property: parallel Filter agrees with the sequential filter, order
+// included.
+func TestFilterMatchesSequential(t *testing.T) {
+	pred := func(v uint8) bool { return v%3 == 0 }
+	f := func(s []uint8) bool {
+		var want []uint8
+		for _, v := range s {
+			if pred(v) {
+				want = append(want, v)
+			}
+		}
+		got := Filter(s, 3, pred)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if Filter([]int(nil), 4, func(int) bool { return true }) != nil {
+		t.Error("empty Filter nonzero")
+	}
+}
+
+func TestMergeSortSorts(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, sortSequentialCutoff + 1, 3*sortSequentialCutoff + 17} {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = (i * 2654435761) % 100003
+		}
+		MergeSort(s, 0, func(a, b int) bool { return a < b })
+		if !sort.IntsAreSorted(s) {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+	}
+}
+
+// Property: MergeSort produces the same multiset as the input, sorted, and
+// is stable.
+func TestMergeSortMatchesStdlib(t *testing.T) {
+	type kv struct{ K, V int32 }
+	f := func(keys []int32) bool {
+		in := make([]kv, len(keys))
+		for i, k := range keys {
+			in[i] = kv{K: k % 8, V: int32(i)} // few distinct keys: stress stability
+		}
+		want := make([]kv, len(in))
+		copy(want, in)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].K < want[j].K })
+		MergeSort(in, 3, func(a, b kv) bool { return a.K < b.K })
+		for i := range in {
+			if in[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSortStabilityLarge(t *testing.T) {
+	type kv struct{ K, V int }
+	n := 3 * sortSequentialCutoff
+	in := make([]kv, n)
+	for i := range in {
+		in[i] = kv{K: i % 5, V: i}
+	}
+	MergeSort(in, 0, func(a, b kv) bool { return a.K < b.K })
+	for i := 1; i < n; i++ {
+		if in[i-1].K > in[i].K {
+			t.Fatal("not sorted")
+		}
+		if in[i-1].K == in[i].K && in[i-1].V > in[i].V {
+			t.Fatalf("unstable at %d: %v before %v", i, in[i-1], in[i])
+		}
+	}
+}
+
+func TestConcurrentQueue(t *testing.T) {
+	q := NewConcurrentQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue on empty queue succeeded")
+	}
+	const producers, perProducer = 4, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(base + i)
+			}
+		}(p * perProducer)
+	}
+	wg.Wait()
+	if q.Len() != producers*perProducer {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("value %d dequeued twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("dequeued %d distinct values", len(seen))
+	}
+}
+
+func TestConcurrentQueueFIFO(t *testing.T) {
+	q := NewConcurrentQueue[int]()
+	for i := 0; i < 300; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 300; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d, %v; want %d", v, ok, i)
+		}
+	}
+}
+
+func TestConcurrentStack(t *testing.T) {
+	s := NewConcurrentStack[int]()
+	if _, ok := s.Pop(); ok {
+		t.Error("Pop on empty stack succeeded")
+	}
+	s.Push(1)
+	s.Push(2)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if v, _ := s.Pop(); v != 2 {
+		t.Errorf("Pop = %d", v)
+	}
+	const n = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				s.Push(i)
+				s.Pop()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 1 {
+		t.Errorf("final Len = %d, want 1", s.Len())
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 8: 3, 9: 3}
+	for in, want := range cases {
+		if got := log2(in); got != want {
+			t.Errorf("log2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

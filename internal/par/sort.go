@@ -1,0 +1,75 @@
+package par
+
+import (
+	"sort"
+	"sync"
+)
+
+// sortSequentialCutoff is the subproblem size below which MergeSort falls
+// back to the standard library's sort; recursing further only adds goroutine
+// overhead.
+const sortSequentialCutoff = 1 << 13
+
+// MergeSort sorts s by less using parallel merge sort — the Sort-After-Insert
+// recommendation's parallel sort phase. depth limits the parallel recursion;
+// pass 0 to derive it from DefaultParallelism.
+func MergeSort[T any](s []T, depth int, less func(a, b T) bool) {
+	if depth <= 0 {
+		depth = log2(DefaultParallelism()) + 1
+	}
+	buf := make([]T, len(s))
+	mergeSort(s, buf, depth, less)
+}
+
+func log2(n int) int {
+	d := 0
+	for n > 1 {
+		n >>= 1
+		d++
+	}
+	return d
+}
+
+func mergeSort[T any](s, buf []T, depth int, less func(a, b T) bool) {
+	if len(s) <= sortSequentialCutoff || depth <= 0 {
+		sort.SliceStable(s, func(i, j int) bool { return less(s[i], s[j]) })
+		return
+	}
+	mid := len(s) / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mergeSort(s[:mid], buf[:mid], depth-1, less)
+	}()
+	mergeSort(s[mid:], buf[mid:], depth-1, less)
+	wg.Wait()
+	merge(s, buf, mid, less)
+}
+
+// merge combines the two sorted halves s[:mid] and s[mid:] through buf.
+func merge[T any](s, buf []T, mid int, less func(a, b T) bool) {
+	copy(buf, s)
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(s) {
+		// Stability: take from the left half on ties.
+		if less(buf[j], buf[i]) {
+			s[k] = buf[j]
+			j++
+		} else {
+			s[k] = buf[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		s[k] = buf[i]
+		i++
+		k++
+	}
+	for j < len(s) {
+		s[k] = buf[j]
+		j++
+		k++
+	}
+}

@@ -1,0 +1,268 @@
+// Package pattern detects the paper's eight access-pattern types in runtime
+// profiles (§III.A): Read-Forward, Write-Forward, Read-Backward,
+// Write-Backward, Insert-Front, Insert-Back, Delete-Front and Delete-Back.
+//
+// Patterns are classified from the directional runs package profile
+// produces. A pattern is a run of adjacent same-type accesses whose target
+// positions move consistently in time; runs shorter than MinLen are noise,
+// not patterns.
+package pattern
+
+import (
+	"fmt"
+
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+)
+
+// Type enumerates the eight access-pattern types.
+type Type uint8
+
+const (
+	// None marks a run that matches no pattern type.
+	None Type = iota
+	// ReadForward reads adjacent elements with positions increasing in time.
+	ReadForward
+	// WriteForward writes adjacent elements with positions increasing in time.
+	WriteForward
+	// ReadBackward reads adjacent elements with positions decreasing in time.
+	ReadBackward
+	// WriteBackward writes adjacent elements with positions decreasing in time.
+	WriteBackward
+	// InsertFront is adjacent insert operations that always start at the front.
+	InsertFront
+	// InsertBack is adjacent insert operations that always start from the end.
+	InsertBack
+	// DeleteFront is adjacent delete operations that always start at the front.
+	DeleteFront
+	// DeleteBack is adjacent delete operations that always start from the end.
+	DeleteBack
+	numTypes
+)
+
+var typeNames = [...]string{
+	None:          "None",
+	ReadForward:   "Read-Forward",
+	WriteForward:  "Write-Forward",
+	ReadBackward:  "Read-Backward",
+	WriteBackward: "Write-Backward",
+	InsertFront:   "Insert-Front",
+	InsertBack:    "Insert-Back",
+	DeleteFront:   "Delete-Front",
+	DeleteBack:    "Delete-Back",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Types lists the eight pattern types in paper order.
+func Types() []Type {
+	return []Type{
+		ReadForward, WriteForward, ReadBackward, WriteBackward,
+		InsertFront, InsertBack, DeleteFront, DeleteBack,
+	}
+}
+
+// Pattern is one detected access pattern: a classified run.
+type Pattern struct {
+	Type Type
+	Run  profile.Run
+}
+
+// Len returns the number of access events in the pattern.
+func (p Pattern) Len() int { return p.Run.Len() }
+
+// Coverage returns the fraction of the structure the pattern traversed.
+func (p Pattern) Coverage() float64 { return p.Run.Coverage() }
+
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s[len=%d cov=%.0f%%]", p.Type, p.Len(), 100*p.Coverage())
+}
+
+// Config tunes detection.
+type Config struct {
+	// MinLen is the minimum run length that counts as a pattern. The paper
+	// speaks of "adjacent" operations, so two events are the floor.
+	MinLen int
+	// Segment configures run segmentation.
+	Segment profile.SegmentOptions
+}
+
+// DefaultConfig matches the paper's strict reading.
+func DefaultConfig() Config {
+	return Config{MinLen: 2, Segment: profile.DefaultSegmentOptions()}
+}
+
+// Detect classifies the profile's runs with the default configuration.
+func Detect(p *profile.Profile) []Pattern { return DetectWith(p, DefaultConfig()) }
+
+// DetectWith classifies the profile's runs into patterns.
+func DetectWith(p *profile.Profile, cfg Config) []Pattern {
+	if cfg.MinLen < 2 {
+		cfg.MinLen = 2
+	}
+	var out []Pattern
+	for _, run := range p.RunsWith(cfg.Segment) {
+		if run.Len() < cfg.MinLen {
+			continue
+		}
+		if t := Classify(run); t != None {
+			out = append(out, Pattern{Type: t, Run: run})
+		}
+	}
+	return out
+}
+
+// Classify maps one run onto a pattern type, or None.
+func Classify(r profile.Run) Type {
+	switch r.Op {
+	case trace.OpRead:
+		switch r.Direction {
+		case profile.DirForward:
+			return ReadForward
+		case profile.DirBackward:
+			return ReadBackward
+		}
+	case trace.OpWrite:
+		switch r.Direction {
+		case profile.DirForward:
+			return WriteForward
+		case profile.DirBackward:
+			return WriteBackward
+		}
+	case trace.OpInsert:
+		switch {
+		case r.AllFront:
+			return InsertFront
+		case r.AllBack || r.StrictlyUp:
+			return InsertBack
+		}
+	case trace.OpDelete:
+		switch {
+		case r.AllFront:
+			return DeleteFront
+		case r.AllBack || r.StrictlyDown:
+			return DeleteBack
+		}
+	}
+	return None
+}
+
+// Summary aggregates pattern statistics for one profile; the use-case
+// detectors consume it together with profile.Stats.
+type Summary struct {
+	Patterns []Pattern
+	ByType   [numTypes]int
+	// EventsIn counts, per type, how many access events lie inside patterns
+	// of that type.
+	EventsIn [numTypes]int
+	// SequentialReads is the number of Read-Forward plus Read-Backward
+	// patterns — the "sequential read patterns" Frequent-Long-Read counts.
+	SequentialReads int
+}
+
+// Summarize detects patterns and aggregates them.
+func Summarize(p *profile.Profile, cfg Config) *Summary {
+	s := &Summary{Patterns: DetectWith(p, cfg)}
+	for _, pat := range s.Patterns {
+		s.ByType[pat.Type]++
+		s.EventsIn[pat.Type] += pat.Len()
+		if pat.Type == ReadForward || pat.Type == ReadBackward {
+			s.SequentialReads++
+		}
+	}
+	return s
+}
+
+// SummarizeThreads detects patterns per thread and merges the summaries.
+// The paper records thread ids exactly so that "successive access events"
+// are judged within one thread: two goroutines interleaving forward scans
+// must yield two forward patterns, not a broken zigzag. Single-threaded
+// profiles take the plain path unchanged.
+func SummarizeThreads(p *profile.Profile, cfg Config) *Summary {
+	slices := p.ByThread()
+	if len(slices) <= 1 {
+		return Summarize(p, cfg)
+	}
+	merged := &Summary{}
+	for _, ts := range slices {
+		sub := Summarize(ts.Profile, cfg)
+		merged.Patterns = append(merged.Patterns, sub.Patterns...)
+		for i := range sub.ByType {
+			merged.ByType[i] += sub.ByType[i]
+			merged.EventsIn[i] += sub.EventsIn[i]
+		}
+		merged.SequentialReads += sub.SequentialReads
+	}
+	return merged
+}
+
+// Count returns the number of patterns of type t.
+func (s *Summary) Count(t Type) int {
+	if int(t) < len(s.ByType) {
+		return s.ByType[t]
+	}
+	return 0
+}
+
+// InsertEvents returns the number of events inside insertion patterns.
+func (s *Summary) InsertEvents() int {
+	return s.EventsIn[InsertFront] + s.EventsIn[InsertBack]
+}
+
+// DirectionalReadEvents returns the number of events inside Read-Forward or
+// Read-Backward patterns, the figure Frequent-Search thresholds against.
+func (s *Summary) DirectionalReadEvents() int {
+	return s.EventsIn[ReadForward] + s.EventsIn[ReadBackward]
+}
+
+// RegularityConfig decides when a profile "contains regularity" (§III.A):
+// the manual study marked profiles whose charts showed recurring structure.
+type RegularityConfig struct {
+	// MinRepeats is the number of patterns of the same type that makes the
+	// profile regular.
+	MinRepeats int
+	// MinLongRun is a single-pattern length that makes the profile regular
+	// on its own.
+	MinLongRun int
+	// MinCompoundOps: a compound operation (Search, Sort, ForAll) recurring
+	// this often is a regularity even without positional patterns — a
+	// search loop charts as visible structure just like a read run.
+	MinCompoundOps int
+}
+
+// DefaultRegularityConfig: either the same pattern recurs, one pattern is
+// long enough that the access chart visibly shows structure, or a compound
+// operation recurs heavily.
+func DefaultRegularityConfig() RegularityConfig {
+	return RegularityConfig{MinRepeats: 2, MinLongRun: 10, MinCompoundOps: 10}
+}
+
+// HasRegularity reports whether the profile contains a recurring regularity.
+func HasRegularity(p *profile.Profile, cfg Config, rcfg RegularityConfig) bool {
+	sum := Summarize(p, cfg)
+	for _, n := range sum.ByType {
+		if n >= rcfg.MinRepeats && rcfg.MinRepeats > 0 {
+			return true
+		}
+	}
+	for _, pat := range sum.Patterns {
+		if pat.Len() >= rcfg.MinLongRun && rcfg.MinLongRun > 0 {
+			return true
+		}
+	}
+	if rcfg.MinCompoundOps > 0 {
+		st := p.Stats()
+		ops := []trace.Op{trace.OpSearch, trace.OpSort, trace.OpForAll, trace.OpCopy, trace.OpResize}
+		for _, op := range ops {
+			if st.Count(op) >= rcfg.MinCompoundOps {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,344 @@
+package pattern
+
+import (
+	"testing"
+
+	"dsspy/internal/dstruct"
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+)
+
+func session() (*trace.Session, *trace.MemRecorder) {
+	rec := trace.NewMemRecorder()
+	return trace.NewSessionWith(trace.Options{Recorder: rec, CaptureSites: true}), rec
+}
+
+func oneProfile(t *testing.T, s *trace.Session, rec *trace.MemRecorder) *profile.Profile {
+	t.Helper()
+	profiles := profile.Build(s, rec.Events())
+	if len(profiles) != 1 {
+		t.Fatalf("got %d profiles, want 1", len(profiles))
+	}
+	return profiles[0]
+}
+
+func typesOf(pats []Pattern) []Type {
+	out := make([]Type, len(pats))
+	for i, p := range pats {
+		out[i] = p.Type
+	}
+	return out
+}
+
+func TestFigure2Patterns(t *testing.T) {
+	// The exact §II.B snippet: List<int>(10); add 0..9; read 9..0.
+	// Expected: Insert-Back then Read-Backward.
+	s, rec := session()
+	l := dstruct.NewListCap[int](s, 10)
+	for i := 0; i < 10; i++ {
+		l.Add(i)
+	}
+	for i := 9; i >= 0; i-- {
+		l.Get(i)
+	}
+	pats := Detect(oneProfile(t, s, rec))
+	if len(pats) != 2 {
+		t.Fatalf("patterns = %v, want 2", pats)
+	}
+	if pats[0].Type != InsertBack || pats[0].Len() != 10 {
+		t.Errorf("pattern 0 = %v, want Insert-Back len 10", pats[0])
+	}
+	if pats[1].Type != ReadBackward || pats[1].Len() != 10 {
+		t.Errorf("pattern 1 = %v, want Read-Backward len 10", pats[1])
+	}
+}
+
+func TestFigure3Patterns(t *testing.T) {
+	// The §II.B/III.A scenario: repeatedly fill a list with Add, read it
+	// front to end, then clear. Expect alternating Insert-Back and
+	// Read-Forward patterns, one pair per cycle.
+	s, rec := session()
+	l := dstruct.NewList[int](s)
+	const cycles, n = 5, 50
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < n; i++ {
+			l.Add(i)
+		}
+		for i := 0; i < l.Len(); i++ {
+			l.Get(i)
+		}
+		l.Clear()
+	}
+	sum := Summarize(oneProfile(t, s, rec), DefaultConfig())
+	if got := sum.Count(InsertBack); got != cycles {
+		t.Errorf("Insert-Back count = %d, want %d", got, cycles)
+	}
+	if got := sum.Count(ReadForward); got != cycles {
+		t.Errorf("Read-Forward count = %d, want %d", got, cycles)
+	}
+	if sum.SequentialReads != cycles {
+		t.Errorf("SequentialReads = %d, want %d", sum.SequentialReads, cycles)
+	}
+	if sum.InsertEvents() != cycles*n {
+		t.Errorf("InsertEvents = %d, want %d", sum.InsertEvents(), cycles*n)
+	}
+	if sum.DirectionalReadEvents() != cycles*n {
+		t.Errorf("DirectionalReadEvents = %d, want %d", sum.DirectionalReadEvents(), cycles*n)
+	}
+}
+
+func TestWritePatterns(t *testing.T) {
+	s, rec := session()
+	a := dstruct.NewArray[float64](s, 8)
+	for i := 0; i < 8; i++ {
+		a.Set(i, float64(i))
+	}
+	for i := 7; i >= 0; i-- {
+		a.Set(i, 0)
+	}
+	pats := Detect(oneProfile(t, s, rec))
+	if len(pats) != 2 || pats[0].Type != WriteForward || pats[1].Type != WriteBackward {
+		t.Fatalf("patterns = %v, want Write-Forward, Write-Backward", typesOf(pats))
+	}
+}
+
+func TestInsertFrontPattern(t *testing.T) {
+	s, rec := session()
+	l := dstruct.NewList[int](s)
+	for i := 0; i < 6; i++ {
+		l.Insert(0, i)
+	}
+	pats := Detect(oneProfile(t, s, rec))
+	if len(pats) != 1 || pats[0].Type != InsertFront {
+		t.Fatalf("patterns = %v, want Insert-Front", typesOf(pats))
+	}
+}
+
+func TestDeletePatterns(t *testing.T) {
+	s, rec := session()
+	l := dstruct.NewList[int](s)
+	for i := 0; i < 12; i++ {
+		l.Add(i)
+	}
+	// Delete from the front 6 times, then from the back 6 times.
+	for i := 0; i < 6; i++ {
+		l.RemoveAt(0)
+	}
+	for i := 0; i < 6; i++ {
+		l.RemoveAt(l.Len() - 1)
+	}
+	pats := Detect(oneProfile(t, s, rec))
+	if len(pats) != 3 {
+		t.Fatalf("patterns = %v", pats)
+	}
+	if pats[1].Type != DeleteFront || pats[2].Type != DeleteBack {
+		t.Errorf("delete patterns = %v, %v; want Delete-Front, Delete-Back", pats[1], pats[2])
+	}
+}
+
+func TestStackProfileClassification(t *testing.T) {
+	s, rec := session()
+	st := dstruct.NewStack[int](s)
+	for i := 0; i < 5; i++ {
+		st.Push(i)
+	}
+	for i := 0; i < 5; i++ {
+		st.Pop()
+	}
+	pats := Detect(oneProfile(t, s, rec))
+	if len(pats) != 2 || pats[0].Type != InsertBack || pats[1].Type != DeleteBack {
+		t.Fatalf("stack patterns = %v, want Insert-Back, Delete-Back", typesOf(pats))
+	}
+}
+
+func TestQueueProfileClassification(t *testing.T) {
+	s, rec := session()
+	q := dstruct.NewQueue[int](s)
+	for i := 0; i < 5; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 5; i++ {
+		q.Dequeue()
+	}
+	pats := Detect(oneProfile(t, s, rec))
+	if len(pats) != 2 || pats[0].Type != InsertBack || pats[1].Type != DeleteFront {
+		t.Fatalf("queue patterns = %v, want Insert-Back, Delete-Front", typesOf(pats))
+	}
+}
+
+func TestMinLenFiltersNoise(t *testing.T) {
+	s, rec := session()
+	l := dstruct.NewList[int](s)
+	l.Add(1) // single insert: below MinLen
+	l.Get(0) // single read
+	pats := Detect(oneProfile(t, s, rec))
+	if len(pats) != 0 {
+		t.Errorf("patterns = %v, want none for single events", pats)
+	}
+	pats = DetectWith(oneProfile(t, s, rec), Config{MinLen: 1, Segment: profile.DefaultSegmentOptions()})
+	// MinLen is clamped to 2.
+	if len(pats) != 0 {
+		t.Errorf("MinLen clamp failed: %v", pats)
+	}
+}
+
+func TestRandomAccessNoPatterns(t *testing.T) {
+	s, rec := session()
+	a := dstruct.NewArray[int](s, 100)
+	// Pseudo-random walk with jumps > 1: no directional runs.
+	idx := 0
+	for i := 0; i < 50; i++ {
+		idx = (idx + 37) % 100
+		a.Get(idx)
+	}
+	pats := Detect(oneProfile(t, s, rec))
+	for _, p := range pats {
+		t.Errorf("unexpected pattern %v in random profile", p)
+	}
+}
+
+func TestHasRegularity(t *testing.T) {
+	// Regular: repeated read-forward cycles.
+	s, rec := session()
+	l := dstruct.NewList[int](s)
+	for i := 0; i < 20; i++ {
+		l.Add(i)
+	}
+	for c := 0; c < 3; c++ {
+		for i := 0; i < l.Len(); i++ {
+			l.Get(i)
+		}
+	}
+	p := oneProfile(t, s, rec)
+	if !HasRegularity(p, DefaultConfig(), DefaultRegularityConfig()) {
+		t.Error("cyclic profile not regular")
+	}
+
+	// Irregular: a handful of scattered accesses.
+	s2, rec2 := session()
+	a := dstruct.NewArray[int](s2, 50)
+	for _, i := range []int{3, 17, 4, 40, 11} {
+		a.Get(i)
+	}
+	p2 := oneProfile(t, s2, rec2)
+	if HasRegularity(p2, DefaultConfig(), DefaultRegularityConfig()) {
+		t.Error("scattered profile reported regular")
+	}
+}
+
+func TestClassifyNonPositionalRuns(t *testing.T) {
+	r := profile.Run{Op: trace.OpSort, Direction: profile.DirNone}
+	if Classify(r) != None {
+		t.Error("Sort run classified as a pattern")
+	}
+	r = profile.Run{Op: trace.OpRead, Direction: profile.DirStationary}
+	if Classify(r) != None {
+		t.Error("stationary read classified as directional pattern")
+	}
+}
+
+func TestSummarizeThreadsSeparatesScans(t *testing.T) {
+	rec := trace.NewMemRecorder()
+	s := trace.NewSessionWith(trace.Options{Recorder: rec})
+	id := s.Register(trace.KindList, "List[int]", "", 0)
+	const n = 30
+	// Two goroutines scanning concurrently in opposite directions:
+	// strictly interleaved events form a zigzag.
+	for i := 0; i < n; i++ {
+		s.EmitAs(id, trace.OpRead, i, n, 1)
+		s.EmitAs(id, trace.OpRead, n-1-i, n, 2)
+	}
+	p := profile.Build(s, rec.Events())[0]
+
+	// Thread-blind summary: the zigzag has adjacent steps only where the
+	// two scans cross in the middle, so at best a couple of two-event
+	// fragments appear — never a real scan.
+	blind := Summarize(p, DefaultConfig())
+	for _, pat := range blind.Patterns {
+		if pat.Len() > 2 {
+			t.Errorf("thread-blind summary found scan fragment %v", pat)
+		}
+	}
+	// Thread-aware summary: one full scan per thread.
+	aware := SummarizeThreads(p, DefaultConfig())
+	if aware.SequentialReads != 2 {
+		t.Errorf("thread-aware sequential reads = %d, want 2", aware.SequentialReads)
+	}
+	if aware.Count(ReadForward) != 1 || aware.Count(ReadBackward) != 1 {
+		t.Errorf("Read-Forward = %d, Read-Backward = %d, want 1 each",
+			aware.Count(ReadForward), aware.Count(ReadBackward))
+	}
+	if got := aware.EventsIn[ReadForward] + aware.EventsIn[ReadBackward]; got != 2*n {
+		t.Errorf("events in read patterns = %d, want %d", got, 2*n)
+	}
+}
+
+func TestSummarizeThreadsSingleThreadIdentical(t *testing.T) {
+	s, rec := session()
+	l := dstruct.NewList[int](s)
+	for i := 0; i < 50; i++ {
+		l.Add(i)
+	}
+	p := oneProfile(t, s, rec)
+	a := Summarize(p, DefaultConfig())
+	b := SummarizeThreads(p, DefaultConfig())
+	if a.Count(InsertBack) != b.Count(InsertBack) || len(a.Patterns) != len(b.Patterns) {
+		t.Error("single-threaded summaries differ")
+	}
+}
+
+func TestTypeStringAndTypes(t *testing.T) {
+	if len(Types()) != 8 {
+		t.Fatalf("Types() = %d entries", len(Types()))
+	}
+	want := map[Type]string{
+		ReadForward:   "Read-Forward",
+		WriteForward:  "Write-Forward",
+		ReadBackward:  "Read-Backward",
+		WriteBackward: "Write-Backward",
+		InsertFront:   "Insert-Front",
+		InsertBack:    "Insert-Back",
+		DeleteFront:   "Delete-Front",
+		DeleteBack:    "Delete-Back",
+	}
+	for ty, name := range want {
+		if ty.String() != name {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), name)
+		}
+	}
+	if None.String() != "None" {
+		t.Error("None.String")
+	}
+	if Type(99).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+}
+
+func TestSummaryCountOutOfRange(t *testing.T) {
+	s := &Summary{}
+	if s.Count(Type(200)) != 0 {
+		t.Error("out-of-range Count nonzero")
+	}
+}
+
+func TestPatternStringAndCoverage(t *testing.T) {
+	s, rec := session()
+	l := dstruct.NewListCap[int](s, 10)
+	for i := 0; i < 10; i++ {
+		l.Add(i)
+	}
+	for i := 0; i < 5; i++ {
+		l.Get(i)
+	}
+	pats := Detect(oneProfile(t, s, rec))
+	if len(pats) != 2 {
+		t.Fatalf("pats = %v", pats)
+	}
+	read := pats[1]
+	if read.Coverage() != 0.5 {
+		t.Errorf("coverage = %v, want 0.5 (5 of 10)", read.Coverage())
+	}
+	if read.String() == "" {
+		t.Error("empty String")
+	}
+}

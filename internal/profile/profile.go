@@ -1,0 +1,155 @@
+// Package profile builds runtime profiles from recorded access events and
+// segments them into directional runs, the intermediate representation
+// between raw events and the paper's access patterns.
+//
+// A runtime profile contains all access events of one data-structure
+// instance from initialization to deallocation in chronological order
+// (§II.B). The phase-detection step ("After the execution of the
+// instrumented program DSspy executes the phase detection on the access
+// proﬁles", §IV) assigns all access events to their instantiation location
+// and derives per-instance statistics and maximal same-operation runs.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"dsspy/internal/trace"
+)
+
+// Profile is the runtime profile of one data-structure instance.
+type Profile struct {
+	Instance trace.Instance
+	Events   []trace.Event
+
+	stats *Stats // lazily computed
+}
+
+// Build groups events by instance and returns one profile per instance that
+// raised at least one event, ordered by instance id. Events are assumed
+// sequence-sorted (every trace.EventSource returns them that way); Build
+// re-sorts defensively since correctness of all downstream analyses depends
+// on chronological order.
+func Build(s *trace.Session, events []trace.Event) []*Profile {
+	sorted := make([]trace.Event, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	byInstance := make(map[trace.InstanceID][]trace.Event)
+	for _, e := range sorted {
+		byInstance[e.Instance] = append(byInstance[e.Instance], e)
+	}
+
+	ids := make([]trace.InstanceID, 0, len(byInstance))
+	for id := range byInstance {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	profiles := make([]*Profile, 0, len(ids))
+	for _, id := range ids {
+		inst, ok := s.Instance(id)
+		if !ok {
+			inst = trace.Instance{ID: id, TypeName: "<unregistered>"}
+		}
+		profiles = append(profiles, &Profile{Instance: inst, Events: byInstance[id]})
+	}
+	return profiles
+}
+
+// Len returns the number of events in the profile.
+func (p *Profile) Len() int { return len(p.Events) }
+
+// Stats holds per-profile aggregate figures the use-case engine consumes.
+type Stats struct {
+	Total      int
+	ByOp       [16]int // indexed by trace.Op
+	MaxIndex   int     // largest index observed; -1 if none
+	MaxSize    int     // largest size observed
+	FinalSize  int     // size recorded on the last event
+	ReadLike   int     // events whose op IsRead
+	WriteLike  int     // events whose op IsWrite
+	Threads    int     // distinct thread ids observed (0 counts once if present)
+	FrontHits  int     // indexed events targeting the front end
+	BackHits   int     // indexed events targeting the back end
+	IndexedOps int     // events with a real index
+}
+
+// endTolerance classifies an access as hitting the front or back end when it
+// lands within this many positions of it. The paper's queue detection talks
+// about "two different ends" without pinning a tolerance; 0 (exact) is the
+// strict reading and what we use.
+const endTolerance = 0
+
+// Stats computes (and caches) the aggregate figures.
+func (p *Profile) Stats() *Stats {
+	if p.stats != nil {
+		return p.stats
+	}
+	st := &Stats{MaxIndex: -1}
+	threads := make(map[trace.ThreadID]struct{})
+	for _, e := range p.Events {
+		st.Total++
+		if int(e.Op) < len(st.ByOp) {
+			st.ByOp[e.Op]++
+		}
+		if e.Op.IsRead() {
+			st.ReadLike++
+		}
+		if e.Op.IsWrite() {
+			st.WriteLike++
+		}
+		if e.Size > st.MaxSize {
+			st.MaxSize = e.Size
+		}
+		st.FinalSize = e.Size
+		threads[e.Thread] = struct{}{}
+		if e.Index >= 0 {
+			st.IndexedOps++
+			if e.Index > st.MaxIndex {
+				st.MaxIndex = e.Index
+			}
+			if e.Index <= endTolerance {
+				st.FrontHits++
+			}
+			// The back end moves with the structure: an access is a back
+			// hit if it lands at the last occupied position at that moment.
+			if e.Size > 0 && e.Index >= e.Size-1-endTolerance {
+				st.BackHits++
+			} else if e.Op == trace.OpInsert && e.Index == maxInt(0, e.Size-1) {
+				st.BackHits++
+			}
+		}
+	}
+	st.Threads = len(threads)
+	p.stats = st
+	return st
+}
+
+// Count returns the number of events with the given access type.
+func (s *Stats) Count(op trace.Op) int {
+	if int(op) < len(s.ByOp) {
+		return s.ByOp[op]
+	}
+	return 0
+}
+
+// Fraction returns n/Total, or 0 for an empty profile.
+func (s *Stats) Fraction(n int) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(n) / float64(s.Total)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (p *Profile) String() string {
+	return fmt.Sprintf("Profile{%s %s, %d events}",
+		p.Instance.TypeName, p.Instance.Label, len(p.Events))
+}

@@ -1,0 +1,252 @@
+package profile
+
+import (
+	"fmt"
+
+	"dsspy/internal/trace"
+)
+
+// Direction is the temporal movement of access positions within a run.
+type Direction int8
+
+const (
+	// DirNone marks runs too short to have a direction, or whole-structure
+	// operations without positions.
+	DirNone Direction = iota
+	// DirForward marks positions increasing in time.
+	DirForward
+	// DirBackward marks positions decreasing in time.
+	DirBackward
+	// DirStationary marks repeated accesses to the same position.
+	DirStationary
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirForward:
+		return "Forward"
+	case DirBackward:
+		return "Backward"
+	case DirStationary:
+		return "Stationary"
+	default:
+		return "None"
+	}
+}
+
+// Run is a maximal sequence of consecutive events in one profile that share
+// an access type and, for positional access types, a consistent direction.
+// Runs are what the paper calls phases; the pattern detectors classify them
+// into the eight access-pattern types.
+type Run struct {
+	Op    trace.Op
+	Start int // index of the first event in Profile.Events
+	End   int // index of the last event (inclusive)
+
+	Direction  Direction
+	FirstIndex int // target position of the first event; NoIndex if none
+	LastIndex  int // target position of the last event
+	MinIndex   int
+	MaxIndex   int
+
+	// AllFront is true when every event targets position 0; AllBack when
+	// every event targets the current back end. Insert/Delete-Front/Back
+	// classification needs these, since a stream of front deletions has a
+	// constant index of 0, not a direction.
+	AllFront bool
+	AllBack  bool
+
+	// StrictlyUp and StrictlyDown report whether positions moved by exactly
+	// +1 / -1 on every step. Appending to a list yields a strictly-up
+	// insert run even when the recorded size is a constant capacity, and
+	// popping from the back yields a strictly-down delete run; the pattern
+	// detectors classify Insert-Back / Delete-Back from these.
+	StrictlyUp   bool
+	StrictlyDown bool
+
+	// MaxSeenSize is the largest structure size recorded during the run;
+	// Frequent-Long-Read compares run coverage against it.
+	MaxSeenSize int
+}
+
+// Len returns the number of events in the run.
+func (r Run) Len() int { return r.End - r.Start + 1 }
+
+// Coverage returns the fraction of the structure the run touched: distinct
+// position span divided by the largest size seen during the run.
+func (r Run) Coverage() float64 {
+	if r.MaxSeenSize <= 0 || r.FirstIndex < 0 {
+		return 0
+	}
+	span := r.MaxIndex - r.MinIndex + 1
+	return float64(span) / float64(r.MaxSeenSize)
+}
+
+func (r Run) String() string {
+	return fmt.Sprintf("Run{%s %s len=%d idx=%d..%d}",
+		r.Op, r.Direction, r.Len(), r.FirstIndex, r.LastIndex)
+}
+
+// SegmentOptions tunes run segmentation.
+type SegmentOptions struct {
+	// MaxStep is the largest index jump that still continues a directional
+	// run. The paper's patterns are about adjacent elements, so the default
+	// is 1; the segmentation ablation raises it.
+	MaxStep int
+	// AllowRepeat lets a repeated index (step 0) continue a directional run
+	// instead of breaking it.
+	AllowRepeat bool
+}
+
+// DefaultSegmentOptions matches the paper's strict adjacency reading.
+func DefaultSegmentOptions() SegmentOptions {
+	return SegmentOptions{MaxStep: 1, AllowRepeat: false}
+}
+
+// Runs segments the profile with default options.
+func (p *Profile) Runs() []Run { return p.RunsWith(DefaultSegmentOptions()) }
+
+// RunsWith segments the profile's events into maximal consistent runs.
+//
+// Events with the same access type merge into one run as long as their
+// positions keep a consistent direction (within MaxStep). Whole-structure
+// operations (Clear, Sort, ...) each form a run of their own kind, merged
+// when repeated back-to-back. Insert and Delete runs additionally track
+// whether every event hit the front or the back, because those streams have
+// constant positions rather than directions.
+func (p *Profile) RunsWith(opts SegmentOptions) []Run {
+	if opts.MaxStep < 1 {
+		opts.MaxStep = 1
+	}
+	var runs []Run
+	for i := 0; i < len(p.Events); {
+		run := p.startRun(i)
+		j := i + 1
+		for j < len(p.Events) && p.extends(&run, j, opts) {
+			p.absorb(&run, j)
+			j++
+		}
+		run.End = j - 1
+		runs = append(runs, run)
+		i = j
+	}
+	return runs
+}
+
+func (p *Profile) startRun(i int) Run {
+	e := p.Events[i]
+	r := Run{
+		Op:          e.Op,
+		Start:       i,
+		End:         i,
+		FirstIndex:  e.Index,
+		LastIndex:   e.Index,
+		MinIndex:    e.Index,
+		MaxIndex:    e.Index,
+		MaxSeenSize: e.Size,
+	}
+	if e.Index >= 0 {
+		r.AllFront = e.Index == 0
+		r.AllBack = isBack(e)
+		r.StrictlyUp = true
+		r.StrictlyDown = true
+	}
+	return r
+}
+
+// extends reports whether event j can continue the run.
+func (p *Profile) extends(r *Run, j int, opts SegmentOptions) bool {
+	e := p.Events[j]
+	if e.Op != r.Op {
+		return false
+	}
+	prev := p.Events[j-1]
+	// Whole-structure operations merge unconditionally.
+	if e.Index < 0 || prev.Index < 0 {
+		return e.Index < 0 && prev.Index < 0
+	}
+	// Insert/Delete streams extend while they stay consistent with at
+	// least one end or strict direction, so a front-deletion phase and a
+	// following back-deletion phase become two runs, each classifiable.
+	if e.Op == trace.OpInsert || e.Op == trace.OpDelete {
+		return (r.AllFront && e.Index == 0) ||
+			(r.AllBack && isBack(e)) ||
+			(r.StrictlyUp && e.Index == prev.Index+1) ||
+			(r.StrictlyDown && e.Index == prev.Index-1)
+	}
+	step := e.Index - prev.Index
+	dir := stepDirection(step, opts)
+	if dir == DirNone {
+		return false
+	}
+	switch r.Direction {
+	case DirNone:
+		return true // second event fixes the direction
+	case DirStationary:
+		return dir == DirStationary
+	default:
+		return dir == r.Direction || (dir == DirStationary && opts.AllowRepeat)
+	}
+}
+
+func stepDirection(step int, opts SegmentOptions) Direction {
+	switch {
+	case step == 0:
+		if opts.AllowRepeat {
+			return DirStationary
+		}
+		return DirNone
+	case step > 0 && step <= opts.MaxStep:
+		return DirForward
+	case step < 0 && -step <= opts.MaxStep:
+		return DirBackward
+	default:
+		return DirNone
+	}
+}
+
+// absorb folds event j into the run.
+func (p *Profile) absorb(r *Run, j int) {
+	e := p.Events[j]
+	prev := p.Events[j-1]
+	if e.Index >= 0 {
+		if r.Direction == DirNone && prev.Index >= 0 {
+			switch {
+			case e.Index > prev.Index:
+				r.Direction = DirForward
+			case e.Index < prev.Index:
+				r.Direction = DirBackward
+			default:
+				r.Direction = DirStationary
+			}
+		}
+		r.LastIndex = e.Index
+		if e.Index < r.MinIndex {
+			r.MinIndex = e.Index
+		}
+		if e.Index > r.MaxIndex {
+			r.MaxIndex = e.Index
+		}
+		r.AllFront = r.AllFront && e.Index == 0
+		r.AllBack = r.AllBack && isBack(e)
+		if prev.Index >= 0 {
+			r.StrictlyUp = r.StrictlyUp && e.Index == prev.Index+1
+			r.StrictlyDown = r.StrictlyDown && e.Index == prev.Index-1
+		}
+	}
+	if e.Size > r.MaxSeenSize {
+		r.MaxSeenSize = e.Size
+	}
+}
+
+// isBack reports whether the event targets the current back end of the
+// structure. For deletions the size has already shrunk, so the old back is
+// at the new size.
+func isBack(e trace.Event) bool {
+	switch e.Op {
+	case trace.OpDelete:
+		return e.Index >= e.Size
+	default:
+		return e.Size > 0 && e.Index >= e.Size-1
+	}
+}

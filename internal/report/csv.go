@@ -1,0 +1,37 @@
+package report
+
+import (
+	"io"
+	"strings"
+)
+
+// CSV renders the table as RFC-4180-style CSV (separators excluded), for
+// feeding the regenerated tables into plotting tools.
+func (t *Table) CSV(w io.Writer) error {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(csvEscape(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}

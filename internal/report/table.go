@@ -1,0 +1,179 @@
+// Package report renders aligned text tables and simple markdown, used by
+// the experiment drivers to print the paper's tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Align controls column alignment.
+type Align uint8
+
+const (
+	// Left-aligned column.
+	Left Align = iota
+	// Right-aligned column (numbers).
+	Right
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	headers []string
+	aligns  []Align
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers; all columns start
+// left-aligned.
+func NewTable(headers ...string) *Table {
+	t := &Table{headers: headers, aligns: make([]Align, len(headers))}
+	return t
+}
+
+// AlignRight marks the given column indexes right-aligned.
+func (t *Table) AlignRight(cols ...int) *Table {
+	for _, c := range cols {
+		if c >= 0 && c < len(t.aligns) {
+			t.aligns[c] = Right
+		}
+	}
+	return t
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = fmt.Sprintf("%v", cells[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddSeparator appends a horizontal rule row.
+func (t *Table) AddSeparator() {
+	t.rows = append(t.rows, nil)
+}
+
+// NumRows returns the number of data rows (separators excluded).
+func (t *Table) NumRows() int {
+	n := 0
+	for _, r := range t.rows {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		w[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if n := utf8.RuneCountInString(cell); n > w[i] {
+				w[i] = n
+			}
+		}
+	}
+	return w
+}
+
+func pad(s string, width int, a Align) string {
+	gap := width - utf8.RuneCountInString(s)
+	if gap <= 0 {
+		return s
+	}
+	fill := strings.Repeat(" ", gap)
+	if a == Right {
+		return fill + s
+	}
+	return s + fill
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	widths := t.widths()
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRule := func() {
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteByte('\n')
+	}
+	writeRule()
+	for i, h := range t.headers {
+		sb.WriteString(pad(h, widths[i], t.aligns[i]))
+		sb.WriteString("  ")
+	}
+	sb.WriteByte('\n')
+	writeRule()
+	for _, row := range t.rows {
+		if row == nil {
+			writeRule()
+			continue
+		}
+		for i, cell := range row {
+			sb.WriteString(pad(cell, widths[i], t.aligns[i]))
+			sb.WriteString("  ")
+		}
+		sb.WriteByte('\n')
+	}
+	writeRule()
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	sb.WriteString("|")
+	for _, a := range t.aligns {
+		if a == Right {
+			sb.WriteString("---:|")
+		} else {
+			sb.WriteString("---|")
+		}
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage with two decimals, the paper's
+// style ("76.92%").
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// F2 formats a float with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }

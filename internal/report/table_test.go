@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Name", "LOC", "Speedup").AlignRight(1, 2)
+	tb.Title = "Table IV"
+	tb.AddRow("Algorithmia", 2800, F2(1.83))
+	tb.AddRow("Mandelbrot", 150, F2(3.00))
+	tb.AddSeparator()
+	tb.AddRow("Total", 2950, F2(2.13))
+	out := tb.String()
+	for _, want := range []string{"Table IV", "Algorithmia", "2800", "1.83", "3.00", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("NumRows = %d, want 3", tb.NumRows())
+	}
+	// Right alignment: the shorter number must be padded on the left.
+	lines := strings.Split(out, "\n")
+	var algRow, manRow string
+	for _, l := range lines {
+		if strings.Contains(l, "Algorithmia") {
+			algRow = l
+		}
+		if strings.Contains(l, "Mandelbrot") {
+			manRow = l
+		}
+	}
+	if idx1, idx2 := strings.Index(algRow, "2800"), strings.Index(manRow, "150"); idx2 <= idx1 {
+		t.Errorf("right alignment broken:\n%q\n%q", algRow, manRow)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("A", "B").AlignRight(1)
+	tb.Title = "T"
+	tb.AddRow("x", 1)
+	tb.AddSeparator()
+	md := tb.Markdown()
+	for _, want := range []string{"### T", "| A | B |", "|---|---:|", "| x | 1 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("A", "B", "C")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestAlignRightOutOfRange(t *testing.T) {
+	tb := NewTable("A").AlignRight(-1, 5) // must not panic
+	tb.AddRow("x")
+	if tb.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.AddRow("plain", 1)
+	tb.AddSeparator()
+	tb.AddRow("with,comma", `quote"d`)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "Name,Value\nplain,1\n\"with,comma\",\"quote\"\"d\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.7692); got != "76.92%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F2(2.125); got != "2.12" && got != "2.13" {
+		t.Errorf("F2 = %q", got)
+	}
+}

@@ -1,0 +1,128 @@
+package staticscan
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Class-membership analysis. Besides raw instance counts, §II.A reports
+// member-level statistics: "we further looked at the number of list
+// instances declared within other data structures and found that every
+// third class contained at least one list instance as member. This is
+// seven times more often than dictionary." This file extracts that view:
+// which classes declare which container types as members.
+
+// ClassInfo describes one class and its container-typed members.
+type ClassInfo struct {
+	Name string
+	File string
+	Line int
+	// Members counts container members by type name ("List", "Array", ...).
+	Members map[string]int
+}
+
+// HasMember reports whether the class declares at least one member of the
+// given container type.
+func (c ClassInfo) HasMember(typ string) bool { return c.Members[typ] > 0 }
+
+var (
+	classRe = regexp.MustCompile(`\bclass\s+([A-Za-z_][A-Za-z0-9_]*)`)
+	// Member declarations: "private List<int> f3 = …;" or "double[] a1 = …;"
+	memberDeclRe = regexp.MustCompile(`^\s*(?:public|private|protected|internal)?\s*` +
+		`(?:static\s+)?(?:readonly\s+)?` +
+		`([A-Za-z_][A-Za-z0-9_]*)\s*(?:<[^;{}]*?>)?\s*(\[\s*,*\s*\])?\s+[A-Za-z_][A-Za-z0-9_]*\s*[=;]`)
+)
+
+// containerTypeSet speeds up membership tests.
+var containerTypeSet = func() map[string]bool {
+	m := make(map[string]bool, len(dynamicTypes))
+	for _, t := range dynamicTypes {
+		m[t] = true
+	}
+	return m
+}()
+
+// ScanClasses extracts the classes of one source text and their
+// container-typed member declarations. Like the §II.A tool it is a regular
+// lexical analysis, not a compiler: it tracks brace depth to associate
+// member lines with the innermost enclosing class, which is exact for the
+// generated corpus and a close approximation for typical C#.
+func ScanClasses(path, src string) []ClassInfo {
+	var classes []ClassInfo
+	// classStack holds indexes into classes; depthStack the brace depth at
+	// which each class body starts.
+	var classStack []int
+	var depthStack []int
+	depth := 0
+
+	for lineNo, line := range strings.Split(src, "\n") {
+		if m := classRe.FindStringSubmatch(line); m != nil {
+			classes = append(classes, ClassInfo{
+				Name:    m[1],
+				File:    path,
+				Line:    lineNo + 1,
+				Members: make(map[string]int),
+			})
+			classStack = append(classStack, len(classes)-1)
+			depthStack = append(depthStack, depth+1)
+		} else if len(classStack) > 0 {
+			if m := memberDeclRe.FindStringSubmatch(line); m != nil {
+				typ := m[1]
+				isArray := m[2] != ""
+				cur := classes[classStack[len(classStack)-1]]
+				switch {
+				case isArray:
+					cur.Members["Array"]++
+				case containerTypeSet[typ]:
+					cur.Members[typ]++
+				}
+			}
+		}
+		depth += strings.Count(line, "{") - strings.Count(line, "}")
+		for len(depthStack) > 0 && depth < depthStack[len(depthStack)-1] {
+			classStack = classStack[:len(classStack)-1]
+			depthStack = depthStack[:len(depthStack)-1]
+		}
+	}
+	return classes
+}
+
+// MemberStats aggregates class-membership figures across scans.
+type MemberStats struct {
+	Classes int
+	// WithMember counts classes having at least one member of each type.
+	WithMember map[string]int
+}
+
+// Fraction returns the share of classes with at least one member of typ.
+func (ms MemberStats) Fraction(typ string) float64 {
+	if ms.Classes == 0 {
+		return 0
+	}
+	return float64(ms.WithMember[typ]) / float64(ms.Classes)
+}
+
+// Ratio returns how many times more often classes contain a member of a
+// than of b (0 when b never appears).
+func (ms MemberStats) Ratio(a, b string) float64 {
+	if ms.WithMember[b] == 0 {
+		return 0
+	}
+	return float64(ms.WithMember[a]) / float64(ms.WithMember[b])
+}
+
+// AggregateMembers folds class lists into corpus-wide statistics.
+func AggregateMembers(classes ...[]ClassInfo) MemberStats {
+	ms := MemberStats{WithMember: make(map[string]int)}
+	for _, cs := range classes {
+		for _, c := range cs {
+			ms.Classes++
+			for typ, n := range c.Members {
+				if n > 0 {
+					ms.WithMember[typ]++
+				}
+			}
+		}
+	}
+	return ms
+}

@@ -1,0 +1,93 @@
+package staticscan
+
+import "testing"
+
+const classSample = `using System;
+namespace Demo {
+  public class WithList {
+    private List<int> items = new List<int>();
+    private List<string> names = new List<string>();
+    private double[] weights = new double[8];
+    public void M() {
+      var local = new List<int>(); // locals are not members
+    }
+  }
+  public class WithDict {
+    private Dictionary<string, int> index = new Dictionary<string, int>();
+  }
+  public class Plain {
+    private int counter = 0;
+    public void N() { }
+  }
+  public class Nested {
+    public class Inner {
+      private Stack<int> frames = new Stack<int>();
+    }
+    private List<int> outerList = new List<int>();
+  }
+}
+`
+
+func TestScanClassesMembers(t *testing.T) {
+	classes := ScanClasses("demo.cs", classSample)
+	if len(classes) != 5 {
+		t.Fatalf("classes = %d, want 5", len(classes))
+	}
+	byName := map[string]ClassInfo{}
+	for _, c := range classes {
+		byName[c.Name] = c
+	}
+	if got := byName["WithList"].Members["List"]; got != 2 {
+		t.Errorf("WithList lists = %d, want 2 (local excluded)", got)
+	}
+	if got := byName["WithList"].Members["Array"]; got != 1 {
+		t.Errorf("WithList arrays = %d, want 1", got)
+	}
+	if !byName["WithDict"].HasMember("Dictionary") || byName["WithDict"].HasMember("List") {
+		t.Errorf("WithDict members = %v", byName["WithDict"].Members)
+	}
+	if len(byName["Plain"].Members) != 0 {
+		t.Errorf("Plain members = %v", byName["Plain"].Members)
+	}
+	if got := byName["Inner"].Members["Stack"]; got != 1 {
+		t.Errorf("Inner stacks = %d", got)
+	}
+	if !byName["Nested"].HasMember("List") {
+		t.Error("Nested outer list not attributed to outer class")
+	}
+}
+
+func TestScanClassesLocations(t *testing.T) {
+	classes := ScanClasses("demo.cs", classSample)
+	if classes[0].Name != "WithList" || classes[0].Line != 3 {
+		t.Errorf("class 0 = %+v", classes[0])
+	}
+	if classes[0].File != "demo.cs" {
+		t.Errorf("file = %q", classes[0].File)
+	}
+}
+
+func TestAggregateMembers(t *testing.T) {
+	classes := ScanClasses("demo.cs", classSample)
+	ms := AggregateMembers(classes)
+	if ms.Classes != 5 {
+		t.Fatalf("classes = %d", ms.Classes)
+	}
+	// WithList and Nested carry lists: 2 of 5.
+	if ms.WithMember["List"] != 2 {
+		t.Errorf("list classes = %d", ms.WithMember["List"])
+	}
+	if got := ms.Fraction("List"); got != 0.4 {
+		t.Errorf("list fraction = %v", got)
+	}
+	if got := ms.Ratio("List", "Dictionary"); got != 2 {
+		t.Errorf("list:dict ratio = %v", got)
+	}
+	if ms.Ratio("List", "Queue") != 0 {
+		t.Error("ratio with absent type should be 0")
+	}
+	var empty MemberStats
+	if empty.Fraction("List") != 0 {
+		t.Error("empty fraction")
+	}
+}

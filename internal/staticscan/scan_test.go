@@ -1,0 +1,146 @@
+package staticscan
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `using System;
+using System.Collections.Generic;
+
+namespace Demo {
+    public class Engine {
+        private List<int> items = new List<int>(16);
+        private Dictionary<string, double> index = new Dictionary<string, double>();
+        private double[] weights = new double[128];
+
+        public void Run() {
+            var stack = new Stack<Frame>();
+            var q = new Queue<int>();
+            var set = new HashSet<string>();
+            var raw = new byte[4096];
+            var grid = new int[10, 20];
+            // new List<int>() inside a comment still counts for the regex tool,
+            var l2 = new List<List<int>>();
+        }
+    }
+}
+`
+
+func TestScanSourceCounts(t *testing.T) {
+	res := ScanSource("engine.cs", sample)
+	counts := map[string]int{}
+	for _, in := range res.Instances {
+		counts[in.Type]++
+	}
+	want := map[string]int{
+		"List": 3, "Dictionary": 1, "Stack": 1, "Queue": 1, "HashSet": 1, "Array": 3,
+	}
+	for typ, n := range want {
+		if counts[typ] != n {
+			t.Errorf("%s = %d, want %d (all: %v)", typ, counts[typ], n, counts)
+		}
+	}
+	if res.Dynamic() != 7 {
+		t.Errorf("Dynamic = %d, want 7", res.Dynamic())
+	}
+	if res.Arrays() != 3 {
+		t.Errorf("Arrays = %d, want 3", res.Arrays())
+	}
+}
+
+func TestScanSourceLines(t *testing.T) {
+	res := ScanSource("engine.cs", sample)
+	// Find the List<int> field declaration line.
+	var line int
+	for _, in := range res.Instances {
+		if in.Type == "List" && in.ElementType == "int" {
+			line = in.Line
+			break
+		}
+	}
+	if line != 6 {
+		t.Errorf("List<int> found at line %d, want 6", line)
+	}
+	// LOC counts non-blank lines.
+	blank := strings.Count(sample, "\n\n")
+	total := strings.Count(sample, "\n")
+	if res.LOC != total-blank {
+		t.Errorf("LOC = %d, want %d", res.LOC, total-blank)
+	}
+}
+
+func TestScanElementTypes(t *testing.T) {
+	res := ScanSource("x.cs", `var a = new Dictionary<string, List<int>>(); var b = new double[3];`)
+	if len(res.Instances) != 2 {
+		t.Fatalf("instances = %v", res.Instances)
+	}
+	if res.Instances[0].Type != "Dictionary" || !strings.Contains(res.Instances[0].ElementType, "string") {
+		t.Errorf("instance 0 = %+v", res.Instances[0])
+	}
+	if res.Instances[1].Type != "Array" || res.Instances[1].ElementType != "double" {
+		t.Errorf("instance 1 = %+v", res.Instances[1])
+	}
+}
+
+func TestScanNoFalsePositives(t *testing.T) {
+	src := `
+        var s = "new List<int>(" + x; // string literal — regex tools do count these; ours sees the paren
+        MyListFactory(); // not a new expression
+        var n = newList(); // identifier containing 'new'
+        renewStack(); // no word boundary match
+    `
+	res := ScanSource("x.cs", src)
+	// The string literal genuinely matches a regex-based tool (the paper's
+	// approach has the same property); the function calls must not.
+	for _, in := range res.Instances {
+		if in.Line >= 3 {
+			t.Errorf("false positive: %+v", in)
+		}
+	}
+}
+
+func TestScanNonGenericTypes(t *testing.T) {
+	res := ScanSource("x.cs", `var a = new ArrayList(); var h = new Hashtable();`)
+	counts := map[string]int{}
+	for _, in := range res.Instances {
+		counts[in.Type]++
+	}
+	if counts["ArrayList"] != 1 || counts["Hashtable"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestResultAggregation(t *testing.T) {
+	var r Result
+	r.Add(ScanSource("a.cs", "var a = new List<int>();\nvar b = new int[2];"))
+	r.Add(ScanSource("b.cs", "var c = new List<string>();"))
+	if r.Dynamic() != 2 || r.Arrays() != 1 {
+		t.Errorf("dynamic=%d arrays=%d", r.Dynamic(), r.Arrays())
+	}
+	if r.LOC() != 3 {
+		t.Errorf("LOC = %d", r.LOC())
+	}
+	byType := r.CountByType()
+	if byType["List"] != 2 || byType["Array"] != 1 {
+		t.Errorf("byType = %v", byType)
+	}
+}
+
+func TestDynamicTypesCopy(t *testing.T) {
+	ts := DynamicTypes()
+	if len(ts) != 11 {
+		t.Fatalf("types = %v", ts)
+	}
+	ts[0] = "mutated"
+	if DynamicTypes()[0] != "List" {
+		t.Error("DynamicTypes returns shared slice")
+	}
+}
+
+func TestScanEmptySource(t *testing.T) {
+	res := ScanSource("empty.cs", "")
+	if res.LOC != 0 || len(res.Instances) != 0 {
+		t.Errorf("empty scan = %+v", res)
+	}
+}

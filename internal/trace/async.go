@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// AsyncCollector is the paper's collector design (§IV): producers hand events
+// over asynchronous communication to a separate consumer that owns the event
+// store, so the instrumented program is never blocked on analysis or I/O.
+// In Go the "separate process with asynchronous intra-process communication"
+// maps naturally onto a buffered channel drained by a dedicated goroutine;
+// for a true separate process see the socket collector in ipc.go.
+//
+// Producers call Record; the drain goroutine appends to the store. Close
+// flushes the channel and stops the goroutine; Events is only valid after
+// Close (post-mortem analysis, exactly as in the paper).
+type AsyncCollector struct {
+	ch     chan Event
+	done   chan struct{}
+	once   sync.Once
+	mu     sync.Mutex
+	events []Event
+
+	dropped uint64 // events discarded because the collector was closed
+}
+
+// DefaultAsyncBuffer is the channel capacity used by NewAsyncCollector.
+// Large enough that bursts (tight instrumented loops) rarely block the
+// producer, small enough not to dominate memory.
+const DefaultAsyncBuffer = 1 << 16
+
+// NewAsyncCollector starts a collector with the default buffer size.
+func NewAsyncCollector() *AsyncCollector { return NewAsyncCollectorSize(DefaultAsyncBuffer) }
+
+// NewAsyncCollectorSize starts a collector whose channel holds up to buf
+// events. buf must be at least 1.
+func NewAsyncCollectorSize(buf int) *AsyncCollector {
+	if buf < 1 {
+		buf = 1
+	}
+	c := &AsyncCollector{
+		ch:   make(chan Event, buf),
+		done: make(chan struct{}),
+	}
+	go c.drain()
+	return c
+}
+
+func (c *AsyncCollector) drain() {
+	for e := range c.ch {
+		c.mu.Lock()
+		c.events = append(c.events, e)
+		c.mu.Unlock()
+	}
+	close(c.done)
+}
+
+// Record enqueues the event for the drain goroutine. If the buffer is full
+// the producer blocks until the collector catches up — the collector is
+// lossless, matching the paper's requirement that profiles be complete
+// "from initialization to deallocation". Record after Close panics like any
+// send on a closed channel would; callers must stop producing before closing.
+func (c *AsyncCollector) Record(e Event) {
+	c.ch <- e
+}
+
+// Close flushes buffered events and stops the drain goroutine. It is
+// idempotent. After Close returns, Events holds every recorded event.
+func (c *AsyncCollector) Close() {
+	c.once.Do(func() {
+		close(c.ch)
+		<-c.done
+	})
+}
+
+// Events returns the collected events in sequence order. Callers should
+// Close first; Events on a live collector returns only what has been drained
+// so far.
+func (c *AsyncCollector) Events() []Event {
+	c.mu.Lock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Len returns the number of events drained so far.
+func (c *AsyncCollector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestFileRecorderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.dslog")
+	fr, err := CreateEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSessionWith(Options{Recorder: fr})
+	id := s.Register(KindList, "List[int]", "", 0)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s.Emit(id, OpInsert, i, i+1)
+	}
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	events, err := ReadEventsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != n {
+		t.Fatalf("replayed %d events, want %d", len(events), n)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) || e.Index != i {
+			t.Fatalf("event %d corrupted: %v", i, e)
+		}
+	}
+}
+
+func TestFileRecorderConcurrentProducers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.dslog")
+	fr, err := CreateEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSessionWith(Options{Recorder: fr})
+	id := s.Register(KindList, "List[int]", "", 0)
+	const workers, per = 4, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Emit(id, OpRead, i, per)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEventsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != workers*per {
+		t.Fatalf("replayed %d events", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i-1].Seq >= events[i].Seq {
+			t.Fatal("replay not sequence-ordered")
+		}
+	}
+}
+
+func TestFileRecorderAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.dslog")
+	fr, err := CreateEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Record(Event{Seq: 1, Op: OpRead})
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr.Record(Event{Seq: 2, Op: OpRead}) // dropped, no panic
+	events, err := ReadEventsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+}
+
+func TestReadEventsFileErrors(t *testing.T) {
+	if _, err := ReadEventsFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not a log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEventsFile(bad); err == nil {
+		t.Error("corrupt file did not error")
+	}
+}
+
+func TestCreateEventLogBadPath(t *testing.T) {
+	if _, err := CreateEventLog(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Error("bad path did not error")
+	}
+}

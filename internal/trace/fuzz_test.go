@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStreamReader feeds arbitrary bytes to the wire decoder: it must never
+// panic and must either fail cleanly or return well-formed events.
+func FuzzStreamReader(f *testing.F) {
+	// Seed with a valid stream.
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := sw.WriteBatch([]Event{
+		{Seq: 1, Instance: 1, Op: OpInsert, Index: 0, Size: 1, Thread: 1},
+		{Seq: 2, Instance: 1, Op: OpRead, Index: NoIndex, Size: 1},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("DSSPY1\n"))
+	f.Add([]byte("DSSPY1\n\x01\xff\xff\xff\xff"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		events, err := sr.ReadAll()
+		if err != nil {
+			return
+		}
+		// Whatever decoded must round-trip.
+		var out bytes.Buffer
+		sw, err := NewStreamWriter(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteBatch(events); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sr2, err := NewStreamReader(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := sr2.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip lost events: %d -> %d", len(events), len(back))
+		}
+		for i := range events {
+			if back[i] != events[i] {
+				t.Fatalf("event %d changed: %v -> %v", i, events[i], back[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Goroutine-id capture. Go deliberately hides goroutine identity, but the
+// paper's event model requires a thread id per event so that interleaved
+// profiles from concurrent code can be separated. We parse the header of
+// runtime.Stack ("goroutine 123 [running]:"), which is stable across Go
+// releases, and cache the result per goroutine keyed by a stack-allocated
+// marker's address range — which is not possible portably — so instead we
+// cache nothing and rely on callers enabling capture only when they need it.
+//
+// To keep common paths fast a compact remapping table converts the sparse
+// runtime ids into small dense ThreadIDs, so downstream analysis can use
+// them as slice indexes.
+
+var goidMap struct {
+	mu   sync.Mutex
+	next uint32
+	ids  map[uint64]ThreadID
+}
+
+var goidBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 64); return &b },
+}
+
+// CurrentThreadID returns a small dense id for the calling goroutine.
+// Distinct concurrently-live goroutines receive distinct ids; the same
+// goroutine always receives the same id within a process.
+func CurrentThreadID() ThreadID {
+	gid := runtimeGoroutineID()
+	goidMap.mu.Lock()
+	defer goidMap.mu.Unlock()
+	if goidMap.ids == nil {
+		goidMap.ids = make(map[uint64]ThreadID)
+	}
+	id, ok := goidMap.ids[gid]
+	if !ok {
+		goidMap.next++
+		id = ThreadID(goidMap.next)
+		goidMap.ids[gid] = id
+	}
+	return id
+}
+
+// runtimeGoroutineID parses the current goroutine's runtime id from its
+// stack header.
+func runtimeGoroutineID() uint64 {
+	bp := goidBufPool.Get().(*[]byte)
+	defer goidBufPool.Put(bp)
+	b := (*bp)[:cap(*bp)]
+	n := runtime.Stack(b, false)
+	b = b[:n]
+	// Header: "goroutine 123 [running]:"
+	const prefix = "goroutine "
+	if !bytes.HasPrefix(b, []byte(prefix)) {
+		return 0
+	}
+	b = b[len(prefix):]
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		b = b[:i]
+	}
+	id, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// threadCounter supports ExplicitThreadID, the cheap alternative to stack
+// parsing for workloads that create their own workers and can thread an id
+// through explicitly.
+var threadCounter atomic.Uint32
+
+// ExplicitThreadID allocates a fresh ThreadID from the same dense space used
+// by CurrentThreadID consumers. Workers that want to avoid runtime.Stack can
+// allocate one id up front and emit events through Session.EmitAs.
+func ExplicitThreadID() ThreadID {
+	return ThreadID(1<<31 | threadCounter.Add(1))
+}
+
+// EmitAs records an event like Session.Emit but with a caller-supplied
+// thread id, bypassing goroutine-id capture entirely.
+func (s *Session) EmitAs(id InstanceID, op Op, index, size int, thread ThreadID) {
+	s.rec.Record(Event{
+		Seq:      s.seq.Add(1),
+		Instance: id,
+		Op:       op,
+		Index:    index,
+		Size:     size,
+		Thread:   thread,
+	})
+}

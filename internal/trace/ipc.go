@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Out-of-process collection. DSspy "executes the dynamic analysis module in a
+// separate process which receives the runtime information via asynchronous
+// intra-process communication" (§IV). SocketRecorder is the producer side: it
+// batches events and ships them over a net.Conn. CollectorServer is the
+// consumer side: it accepts one or more producer connections and accumulates
+// their events for post-mortem analysis. Producer and consumer may live in
+// the same process (tests, examples) or different ones (cmd/dsspy -collect).
+
+// SocketRecorder forwards events over a network connection using the wire
+// format. Events are buffered and flushed in batches; Close flushes the tail
+// and writes the end-of-stream marker.
+type SocketRecorder struct {
+	mu   sync.Mutex
+	sw   *StreamWriter
+	conn net.Conn
+	buf  []Event
+	err  error
+}
+
+// DefaultSocketBatch is the number of events buffered before a flush.
+const DefaultSocketBatch = 1024
+
+// DialCollector connects to a collector server at addr ("network,address" is
+// expressed with the usual net.Dial arguments).
+func DialCollector(network, addr string) (*SocketRecorder, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: dialing collector: %w", err)
+	}
+	return NewSocketRecorder(conn)
+}
+
+// NewSocketRecorder wraps an established connection.
+func NewSocketRecorder(conn net.Conn) (*SocketRecorder, error) {
+	sw, err := NewStreamWriter(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &SocketRecorder{
+		sw:   sw,
+		conn: conn,
+		buf:  make([]Event, 0, DefaultSocketBatch),
+	}, nil
+}
+
+// Record buffers the event, flushing a full batch to the connection.
+// A transport error is sticky: it is remembered and returned by Close, and
+// subsequent events are dropped, so instrumented code never crashes because
+// the collector went away.
+func (s *SocketRecorder) Record(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.buf = append(s.buf, e)
+	if len(s.buf) >= DefaultSocketBatch {
+		s.flushLocked()
+	}
+}
+
+func (s *SocketRecorder) flushLocked() {
+	if err := s.sw.WriteBatch(s.buf); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.buf = s.buf[:0]
+}
+
+// Close flushes buffered events, writes the end marker, closes the
+// connection, and returns the first transport error encountered.
+func (s *SocketRecorder) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return s.err
+	}
+	s.flushLocked()
+	if err := s.sw.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.conn.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.conn = nil
+	return s.err
+}
+
+// CollectorServer accepts producer connections and accumulates their events.
+type CollectorServer struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	events []Event
+	errs   []error
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+// ListenCollector starts a collector server on the given listener address.
+// Use network "tcp" with addr "127.0.0.1:0" for an ephemeral port, or
+// "unix" with a socket path.
+func ListenCollector(network, addr string) (*CollectorServer, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: starting collector: %w", err)
+	}
+	cs := &CollectorServer{ln: ln, closing: make(chan struct{})}
+	cs.wg.Add(1)
+	go cs.acceptLoop()
+	return cs, nil
+}
+
+// Addr returns the address producers should dial.
+func (cs *CollectorServer) Addr() net.Addr { return cs.ln.Addr() }
+
+func (cs *CollectorServer) acceptLoop() {
+	defer cs.wg.Done()
+	for {
+		conn, err := cs.ln.Accept()
+		if err != nil {
+			select {
+			case <-cs.closing:
+				return
+			default:
+			}
+			cs.addErr(err)
+			return
+		}
+		cs.wg.Add(1)
+		go cs.serve(conn)
+	}
+}
+
+func (cs *CollectorServer) serve(conn net.Conn) {
+	defer cs.wg.Done()
+	defer conn.Close()
+	sr, err := NewStreamReader(conn)
+	if err != nil {
+		cs.addErr(err)
+		return
+	}
+	events, err := sr.ReadAll()
+	if err != nil {
+		cs.addErr(err)
+	}
+	cs.mu.Lock()
+	cs.events = append(cs.events, events...)
+	cs.mu.Unlock()
+}
+
+func (cs *CollectorServer) addErr(err error) {
+	cs.mu.Lock()
+	cs.errs = append(cs.errs, err)
+	cs.mu.Unlock()
+}
+
+// Close stops accepting connections and waits for in-flight producer streams
+// to finish. It returns the first connection error, if any.
+func (cs *CollectorServer) Close() error {
+	close(cs.closing)
+	cs.ln.Close()
+	cs.wg.Wait()
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if len(cs.errs) > 0 {
+		return cs.errs[0]
+	}
+	return nil
+}
+
+// Events returns all events received so far, ordered by sequence number.
+func (cs *CollectorServer) Events() []Event {
+	cs.mu.Lock()
+	out := make([]Event, len(cs.events))
+	copy(out, cs.events)
+	cs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder is the sink for access events. Record must be safe for concurrent
+// use; the paper's design point is that recording only appends raw events and
+// all analysis happens post-mortem, keeping the in-line slowdown bounded.
+type Recorder interface {
+	Record(Event)
+}
+
+// EventSource is implemented by recorders that can hand the collected events
+// back for analysis.
+type EventSource interface {
+	// Events returns the collected events ordered by sequence number.
+	Events() []Event
+}
+
+// MemRecorder collects events in memory under a mutex. It is the default
+// recorder: simple, deterministic, and fast enough for every workload in the
+// evaluation.
+type MemRecorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemRecorder returns an empty in-memory recorder.
+func NewMemRecorder() *MemRecorder { return &MemRecorder{} }
+
+// Record appends the event.
+func (m *MemRecorder) Record(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns the collected events sorted by sequence number. With
+// concurrent producers, arrival order in the slice can differ from sequence
+// order; sorting restores the chronological order the profiles need.
+func (m *MemRecorder) Events() []Event {
+	m.mu.Lock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (m *MemRecorder) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// Reset discards all recorded events.
+func (m *MemRecorder) Reset() {
+	m.mu.Lock()
+	m.events = nil
+	m.mu.Unlock()
+}
+
+// NullRecorder discards every event. Instrumented containers driven through a
+// NullRecorder measure the pure interception overhead, and plain containers
+// measure the baseline; Table IV's slowdown column compares the two.
+type NullRecorder struct{}
+
+// Record discards the event.
+func (NullRecorder) Record(Event) {}
+
+// CountingRecorder counts events per access type without storing them.
+// It is useful for cheap sanity checks and for the overhead ablation.
+type CountingRecorder struct {
+	counts [numOps]atomic.Uint64
+}
+
+// NewCountingRecorder returns a zeroed counting recorder.
+func NewCountingRecorder() *CountingRecorder { return &CountingRecorder{} }
+
+// Record increments the counter for the event's access type.
+func (c *CountingRecorder) Record(e Event) {
+	if e.Op < numOps {
+		c.counts[e.Op].Add(1)
+	}
+}
+
+// Count returns the number of events recorded with access type op.
+func (c *CountingRecorder) Count(op Op) uint64 {
+	if op >= numOps {
+		return 0
+	}
+	return c.counts[op].Load()
+}
+
+// Total returns the number of events recorded across all access types.
+func (c *CountingRecorder) Total() uint64 {
+	var n uint64
+	for i := range c.counts {
+		n += c.counts[i].Load()
+	}
+	return n
+}
+
+// TeeRecorder forwards every event to all of its children.
+type TeeRecorder []Recorder
+
+// Record forwards the event to each child recorder in order.
+func (t TeeRecorder) Record(e Event) {
+	for _, r := range t {
+		r.Record(e)
+	}
+}
+
+// FilterRecorder forwards only events for which Keep returns true. The
+// selective-profiler mode of DSspy ("an engineer can use DSspy as a selective
+// profiler that only analyzes instances that he manually instrumented") is a
+// FilterRecorder over a set of instance ids.
+type FilterRecorder struct {
+	Keep func(Event) bool
+	Next Recorder
+}
+
+// Record forwards e to Next when Keep(e) is true.
+func (f FilterRecorder) Record(e Event) {
+	if f.Keep(e) {
+		f.Next.Record(e)
+	}
+}
+
+// InstanceFilter returns a FilterRecorder that keeps only events raised by
+// the given instances.
+func InstanceFilter(next Recorder, ids ...InstanceID) FilterRecorder {
+	set := make(map[InstanceID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return FilterRecorder{
+		Keep: func(e Event) bool { return set[e.Instance] },
+		Next: next,
+	}
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Session owns the sequencing counter, the instance registry, and the
+// recorder for one profiling run. It is safe for concurrent use: instrumented
+// containers on any number of goroutines may register instances and emit
+// events simultaneously.
+//
+// A Session corresponds to one execution of the instrumented program in the
+// paper's pipeline (Figure 4): everything recorded through it is analyzed
+// post-mortem as one set of runtime profiles.
+type Session struct {
+	seq atomic.Uint64
+	rec Recorder
+
+	captureThreads bool
+	captureSites   bool
+
+	mu        sync.RWMutex
+	instances []Instance // index = InstanceID-1
+}
+
+// Options configures a Session.
+type Options struct {
+	// Recorder receives every event. Defaults to a fresh MemRecorder.
+	Recorder Recorder
+	// CaptureThreads records the goroutine id on each event. Goroutine-id
+	// capture costs a runtime.Stack call per goroutine (cached), so it is
+	// opt-in; without it Thread is 0.
+	CaptureThreads bool
+	// CaptureSites records the instantiation call site of each instance
+	// via runtime.Caller. On by default through NewSession.
+	CaptureSites bool
+}
+
+// NewSession returns a Session with call-site capture enabled and an
+// in-memory recorder, the configuration the analysis pipeline expects.
+func NewSession() *Session {
+	return NewSessionWith(Options{CaptureSites: true})
+}
+
+// NewSessionWith returns a Session with explicit options.
+func NewSessionWith(opts Options) *Session {
+	rec := opts.Recorder
+	if rec == nil {
+		rec = NewMemRecorder()
+	}
+	return &Session{
+		rec:            rec,
+		captureThreads: opts.CaptureThreads,
+		captureSites:   opts.CaptureSites,
+	}
+}
+
+// Recorder returns the session's recorder.
+func (s *Session) Recorder() Recorder { return s.rec }
+
+// Register adds a new instance to the registry and returns its ID.
+// skip is the number of stack frames between the caller of the instrumented
+// constructor and Register itself, used for call-site capture; pass 0 when
+// calling Register directly.
+func (s *Session) Register(kind Kind, typeName, label string, skip int) InstanceID {
+	var site Site
+	if s.captureSites {
+		site = callerSite(skip + 2)
+	}
+	s.mu.Lock()
+	id := InstanceID(len(s.instances) + 1)
+	s.instances = append(s.instances, Instance{
+		ID:       id,
+		Kind:     kind,
+		TypeName: typeName,
+		Label:    label,
+		Site:     site,
+	})
+	s.mu.Unlock()
+	return id
+}
+
+// Instance returns the registry entry for id. The second result is false for
+// unknown ids.
+func (s *Session) Instance(id InstanceID) (Instance, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id == 0 || int(id) > len(s.instances) {
+		return Instance{}, false
+	}
+	return s.instances[id-1], true
+}
+
+// Instances returns a copy of the registry in registration order.
+func (s *Session) Instances() []Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Instance, len(s.instances))
+	copy(out, s.instances)
+	return out
+}
+
+// NumInstances returns the number of registered instances.
+func (s *Session) NumInstances() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.instances)
+}
+
+// Emit records one access event against instance id. It assigns the next
+// session-wide sequence number, captures the goroutine id if enabled, and
+// forwards the event to the recorder.
+func (s *Session) Emit(id InstanceID, op Op, index, size int) {
+	var thr ThreadID
+	if s.captureThreads {
+		thr = CurrentThreadID()
+	}
+	s.rec.Record(Event{
+		Seq:      s.seq.Add(1),
+		Instance: id,
+		Op:       op,
+		Index:    index,
+		Size:     size,
+		Thread:   thr,
+	})
+}
+
+// SetLabel replaces the label of a registered instance. Workload drivers use
+// this to attach semantic names ("population", "terminal set") after
+// construction, which makes reports readable.
+func (s *Session) SetLabel(id InstanceID, label string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id != 0 && int(id) <= len(s.instances) {
+		s.instances[id-1].Label = label
+	}
+}
+
+func callerSite(skip int) Site {
+	// Walk up past constructor-wrapper frames (the instrumented containers
+	// and the public facade), so the recorded site is the user's
+	// instantiation location, matching how the paper binds use cases to
+	// source positions.
+	var pcs [12]uintptr
+	n := runtime.Callers(skip+1, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	var first Site
+	for {
+		f, more := frames.Next()
+		site := Site{File: f.File, Line: f.Line, Function: f.Function}
+		if first.File == "" {
+			first = site
+		}
+		if !wrapperFrame(f.Function) {
+			return site
+		}
+		if !more {
+			return first
+		}
+	}
+}
+
+func wrapperFrame(fn string) bool {
+	return strings.HasPrefix(fn, "dsspy/internal/dstruct.") ||
+		strings.HasPrefix(fn, "dsspy.New")
+}
+
+// String summarizes the session for debugging.
+func (s *Session) String() string {
+	return fmt.Sprintf("trace.Session{instances=%d, events=%d}",
+		s.NumInstances(), s.seq.Load())
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Self-contained session logs: the event stream plus the instance registry,
+// so a saved profiling run can be re-analyzed later (or elsewhere) without
+// the producing process — completing the post-mortem story of §IV. The
+// registry is appended as metadata frames after the events.
+
+// frameInstance carries one registry record.
+const frameInstance = byte(0x02)
+
+// SaveSessionLog writes the session's registry and the events to path.
+func SaveSessionLog(path string, s *Session, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating session log: %w", err)
+	}
+	sw, err := NewStreamWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := sw.WriteBatch(events); err != nil {
+		f.Close()
+		return err
+	}
+	for _, inst := range s.Instances() {
+		if err := sw.writeInstance(inst); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := sw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeInstance emits one registry frame.
+func (sw *StreamWriter) writeInstance(inst Instance) error {
+	if err := sw.w.WriteByte(frameInstance); err != nil {
+		return err
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(inst.ID))
+	hdr[4] = byte(inst.Kind)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(inst.Site.Line))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, s := range []string{inst.TypeName, inst.Label, inst.Site.File, inst.Site.Function} {
+		if err := writeString(sw.w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.LittleEndian.Uint16(n[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// readInstance decodes one registry frame body.
+func (sr *StreamReader) readInstance() (Instance, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return Instance{}, fmt.Errorf("trace: reading instance frame: %w", err)
+	}
+	inst := Instance{
+		ID:   InstanceID(binary.LittleEndian.Uint32(hdr[0:])),
+		Kind: Kind(hdr[4]),
+	}
+	inst.Site.Line = int(binary.LittleEndian.Uint32(hdr[5:]))
+	var err error
+	if inst.TypeName, err = readString(sr.r); err != nil {
+		return Instance{}, err
+	}
+	if inst.Label, err = readString(sr.r); err != nil {
+		return Instance{}, err
+	}
+	if inst.Site.File, err = readString(sr.r); err != nil {
+		return Instance{}, err
+	}
+	if inst.Site.Function, err = readString(sr.r); err != nil {
+		return Instance{}, err
+	}
+	return inst, nil
+}
+
+// LoadSessionLog reads a session log back: a replay session whose registry
+// matches the saved one, plus the events in sequence order.
+func LoadSessionLog(path string) (*Session, []Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: opening session log: %w", err)
+	}
+	defer f.Close()
+	sr, err := NewStreamReader(f)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s := NewSessionWith(Options{Recorder: NullRecorder{}})
+	var events []Event
+	for {
+		kind, err := sr.r.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch kind {
+		case frameEnd:
+			// Events first, registry afterwards; keep reading registry
+			// frames until the stream truly ends.
+			continue
+		case frameEvents:
+			if err := sr.r.UnreadByte(); err != nil {
+				return nil, nil, err
+			}
+			batch, err := sr.ReadBatch()
+			if err != nil {
+				return nil, nil, err
+			}
+			events = append(events, batch...)
+		case frameInstance:
+			inst, err := sr.readInstance()
+			if err != nil {
+				return nil, nil, err
+			}
+			id := s.Register(inst.Kind, inst.TypeName, inst.Label, 0)
+			if id != inst.ID {
+				return nil, nil, fmt.Errorf("%w: non-contiguous registry (got id %d, want %d)",
+					ErrBadStream, id, inst.ID)
+			}
+			s.setSite(id, inst.Site)
+		default:
+			return nil, nil, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	return s, events, nil
+}
+
+// setSite overwrites a registered instance's call site with the saved one.
+func (s *Session) setSite(id InstanceID, site Site) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id != 0 && int(id) <= len(s.instances) {
+		s.instances[id-1].Site = site
+	}
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format for shipping events to an out-of-process collector.
+//
+// The stream starts with a magic header, then carries frames. Each frame is
+// either an event batch or the end-of-stream marker. All integers are
+// little-endian. Events are fixed-size 38-byte records:
+//
+//	seq      uint64
+//	instance uint32
+//	op       uint8
+//	pad      uint8
+//	index    int64
+//	size     int64
+//	thread   uint32
+//	(reserved uint32)
+//
+// The format favors simplicity and zero dependencies over compactness; the
+// paper's point is only that collection must be asynchronous and complete.
+
+const (
+	wireMagic   = "DSSPY1\n"
+	frameEvents = byte(0x01)
+	frameEnd    = byte(0xFF)
+	eventSize   = 8 + 4 + 1 + 1 + 8 + 8 + 4 + 4
+	// MaxBatch is the largest number of events in one frame.
+	MaxBatch = 4096
+)
+
+// ErrBadStream is returned when the wire stream is malformed.
+var ErrBadStream = errors.New("trace: malformed event stream")
+
+func putEvent(b []byte, e Event) {
+	binary.LittleEndian.PutUint64(b[0:], e.Seq)
+	binary.LittleEndian.PutUint32(b[8:], uint32(e.Instance))
+	b[12] = byte(e.Op)
+	b[13] = 0
+	binary.LittleEndian.PutUint64(b[14:], uint64(int64(e.Index)))
+	binary.LittleEndian.PutUint64(b[22:], uint64(int64(e.Size)))
+	binary.LittleEndian.PutUint32(b[30:], uint32(e.Thread))
+	binary.LittleEndian.PutUint32(b[34:], 0)
+}
+
+func getEvent(b []byte) Event {
+	return Event{
+		Seq:      binary.LittleEndian.Uint64(b[0:]),
+		Instance: InstanceID(binary.LittleEndian.Uint32(b[8:])),
+		Op:       Op(b[12]),
+		Index:    int(int64(binary.LittleEndian.Uint64(b[14:]))),
+		Size:     int(int64(binary.LittleEndian.Uint64(b[22:]))),
+		Thread:   ThreadID(binary.LittleEndian.Uint32(b[30:])),
+	}
+}
+
+// StreamWriter encodes event batches onto an io.Writer in the wire format.
+// It is not safe for concurrent use; the socket recorder serializes access.
+type StreamWriter struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewStreamWriter writes the stream header and returns a writer.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(wireMagic); err != nil {
+		return nil, fmt.Errorf("trace: writing stream header: %w", err)
+	}
+	return &StreamWriter{w: bw, buf: make([]byte, eventSize)}, nil
+}
+
+// WriteBatch writes one batch frame. Batches larger than MaxBatch are split.
+func (sw *StreamWriter) WriteBatch(events []Event) error {
+	for len(events) > 0 {
+		n := len(events)
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		if err := sw.writeFrame(events[:n]); err != nil {
+			return err
+		}
+		events = events[n:]
+	}
+	return nil
+}
+
+func (sw *StreamWriter) writeFrame(events []Event) error {
+	var hdr [5]byte
+	hdr[0] = frameEvents
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(events)))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, e := range events {
+		putEvent(sw.buf, e)
+		if _, err := sw.w.Write(sw.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close writes the end-of-stream frame and flushes. The underlying writer is
+// not closed.
+func (sw *StreamWriter) Close() error {
+	if err := sw.w.WriteByte(frameEnd); err != nil {
+		return err
+	}
+	return sw.w.Flush()
+}
+
+// StreamReader decodes a wire stream.
+type StreamReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewStreamReader validates the stream header and returns a reader.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(wireMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading stream header: %w", err)
+	}
+	if string(magic) != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadStream, magic)
+	}
+	return &StreamReader{r: br, buf: make([]byte, eventSize)}, nil
+}
+
+// ReadBatch returns the next batch of events, or io.EOF after the
+// end-of-stream frame.
+func (sr *StreamReader) ReadBatch() ([]Event, error) {
+	kind, err := sr.r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case frameEnd:
+		return nil, io.EOF
+	case frameEvents:
+		var cnt [4]byte
+		if _, err := io.ReadFull(sr.r, cnt[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading frame length: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(cnt[:])
+		if n > MaxBatch {
+			return nil, fmt.Errorf("%w: batch of %d exceeds max %d", ErrBadStream, n, MaxBatch)
+		}
+		events := make([]Event, n)
+		for i := range events {
+			if _, err := io.ReadFull(sr.r, sr.buf); err != nil {
+				return nil, fmt.Errorf("trace: reading event %d/%d: %w", i, n, err)
+			}
+			events[i] = getEvent(sr.buf)
+		}
+		return events, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)
+	}
+}
+
+// ReadAll drains the stream into one slice.
+func (sr *StreamReader) ReadAll() ([]Event, error) {
+	var all []Event
+	for {
+		batch, err := sr.ReadBatch()
+		if err == io.EOF {
+			return all, nil
+		}
+		if err != nil {
+			return all, err
+		}
+		all = append(all, batch...)
+	}
+}

@@ -1,0 +1,251 @@
+// Package usecase implements the paper's eight generic use cases (§III.B):
+// statements about how a data structure is used, each with threshold values
+// and a recommended action. Five carry parallel potential — Long-Insert,
+// Implement-Queue, Sort-After-Insert, Frequent-Search and Frequent-Long-Read
+// — and three are sequential optimizations: Insert/Delete-Front,
+// Stack-Implementation and Write-Without-Read.
+package usecase
+
+import (
+	"fmt"
+
+	"dsspy/internal/pattern"
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+)
+
+// Kind enumerates the eight use cases.
+type Kind uint8
+
+const (
+	// LongInsert (LI): an insertion pattern from either end of a linear
+	// data structure that inserts more than one element, in a profile with
+	// frequent insertion phases.
+	LongInsert Kind = iota
+	// ImplementQueue (IQ): a data structure used like a queue but
+	// implemented as a list.
+	ImplementQueue
+	// SortAfterInsert (SAI): a sort directly after a long insertion phase,
+	// so insertion order does not matter.
+	SortAfterInsert
+	// FrequentSearch (FS): the program often searches for specific
+	// elements within a linear data structure.
+	FrequentSearch
+	// FrequentLongRead (FLR): repeated sequential read patterns over the
+	// majority of the elements — a disguised search.
+	FrequentLongRead
+	// InsertDeleteFront (IDF): inserts/deletes on a fixed-size array cause
+	// repeated copy overhead.
+	InsertDeleteFront
+	// StackImplementation (SI): inserts and deletes always access a common
+	// end of a list.
+	StackImplementation
+	// WriteWithoutRead (WWR): the profile ends with write patterns whose
+	// results are never read.
+	WriteWithoutRead
+	numKinds
+)
+
+var kindInfo = [...]struct {
+	name, short, action string
+	parallel            bool
+}{
+	LongInsert: {"Long-Insert", "LI",
+		"Parallelize the insert operation.", true},
+	ImplementQueue: {"Implement-Queue", "IQ",
+		"Employ a parallel queue as data container.", true},
+	SortAfterInsert: {"Sort-After-Insert", "SAI",
+		"The insertion order is not important: parallelize both the insert and the sort phase.", true},
+	FrequentSearch: {"Frequent-Search", "FS",
+		"Either employ a parallel data structure that is optimized for searches, or parallelize the search operation by splitting the list into smaller chunks and searching them in parallel.", true},
+	FrequentLongRead: {"Frequent-Long-Read", "FLR",
+		"Check the origin of this access. In case it contains a program loop that looks for a specific element, the program might profit from transforming this operation into a parallel search operation.", true},
+	InsertDeleteFront: {"Insert/Delete-Front", "IDF",
+		"Insert and delete patterns occur in combination on a fixed-size array; a dynamic data structure like a list might be better suited.", false},
+	StackImplementation: {"Stack-Implementation", "SI",
+		"Analyze the data structure and think about using a stack implementation.", false},
+	WriteWithoutRead: {"Write-Without-Read", "WWR",
+		"Check if the write accesses at the end of this profile are necessary; cleanup writes resemble deallocation and should be left to garbage collection.", false},
+}
+
+// String returns the paper's use-case name.
+func (k Kind) String() string {
+	if int(k) < len(kindInfo) {
+		return kindInfo[k].name
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Short returns the paper's abbreviation (LI, IQ, SAI, FS, FLR, IDF, SI, WWR).
+func (k Kind) Short() string {
+	if int(k) < len(kindInfo) {
+		return kindInfo[k].short
+	}
+	return "?"
+}
+
+// Parallel reports whether the use case carries parallel potential.
+func (k Kind) Parallel() bool {
+	return int(k) < len(kindInfo) && kindInfo[k].parallel
+}
+
+// Action returns the recommended action for the use case.
+func (k Kind) Action() string {
+	if int(k) < len(kindInfo) {
+		return kindInfo[k].action
+	}
+	return ""
+}
+
+// Kinds lists all eight use cases in paper order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// ParallelKinds lists the five use cases with parallel potential.
+func ParallelKinds() []Kind {
+	return []Kind{LongInsert, ImplementQueue, SortAfterInsert, FrequentSearch, FrequentLongRead}
+}
+
+// UseCase is one detected use case on one instance: the location, the
+// evidence that crossed the thresholds, and the recommended action.
+type UseCase struct {
+	Kind           Kind
+	Instance       trace.Instance
+	Evidence       string
+	Recommendation string
+}
+
+func (u UseCase) String() string {
+	return fmt.Sprintf("%s on %s %s: %s", u.Kind, u.Instance.TypeName, u.Instance.Label, u.Evidence)
+}
+
+// Thresholds carries every tunable the paper states in §III.B, plus the
+// handful it leaves implicit (documented at each field).
+type Thresholds struct {
+	// LIMinPhaseFraction: insertion phases must exceed this share of the
+	// profile (paper: >30 % of runtime; we measure event share).
+	LIMinPhaseFraction float64
+	// LIMinRunLen: an insertion phase is long from this many consecutive
+	// access events (paper: 100).
+	LIMinRunLen int
+
+	// IQMinEndFraction: reads+writes on the two different ends must exceed
+	// this share in sum (paper: >60 %).
+	IQMinEndFraction float64
+	// IQMinOps: minimum accesses before the queue judgment is made — the
+	// paper requires a "high amount of read and write accesses", which a
+	// three-event profile is not (implicit).
+	IQMinOps int
+	// IQMinPerEndFraction: each end must carry at least this share, so a
+	// pure insertion profile does not pass as a queue (implicit in the
+	// paper's "two different ends").
+	IQMinPerEndFraction float64
+
+	// SAIMinPhaseFraction / SAIMinRunLen mirror LI for the insertion phase
+	// preceding the sort (paper: >30 %, >100).
+	SAIMinPhaseFraction float64
+	SAIMinRunLen        int
+
+	// FSMinSearchOps: search operations needed (paper: >1000).
+	FSMinSearchOps int
+	// FSMinSearchFraction: share of events that are searches or
+	// directional reads (paper: ≥2 % Read-Forward/Backward patterns).
+	FSMinSearchFraction float64
+
+	// FLRMinPatterns: sequential read patterns needed (paper: >10).
+	FLRMinPatterns int
+	// FLRMinReadFraction: share of Read/Search access types (paper: 50 %).
+	FLRMinReadFraction float64
+	// FLRMinCoverage: each pattern must read this share of the structure
+	// (paper: 50 %).
+	FLRMinCoverage float64
+
+	// IDFMinOps: combined insert+delete events on an array (implicit).
+	IDFMinOps int
+
+	// SIMinOps: combined insert+delete events sharing a common end
+	// (implicit).
+	SIMinOps int
+
+	// WWRMinTrailingWrites: length of the terminal write pattern
+	// (implicit).
+	WWRMinTrailingWrites int
+}
+
+// Default returns the paper's threshold values (§III.B), with the implicit
+// ones chosen as documented on Thresholds.
+func Default() Thresholds {
+	return Thresholds{
+		LIMinPhaseFraction:   0.30,
+		LIMinRunLen:          100,
+		IQMinEndFraction:     0.60,
+		IQMinPerEndFraction:  0.05,
+		IQMinOps:             20,
+		SAIMinPhaseFraction:  0.30,
+		SAIMinRunLen:         100,
+		FSMinSearchOps:       1000,
+		FSMinSearchFraction:  0.02,
+		FLRMinPatterns:       10,
+		FLRMinReadFraction:   0.50,
+		FLRMinCoverage:       0.50,
+		IDFMinOps:            6,
+		SIMinOps:             10,
+		WWRMinTrailingWrites: 3,
+	}
+}
+
+// Detect runs all eight detectors on one profile and returns the use cases
+// that fire, in Kind order.
+func Detect(p *profile.Profile, th Thresholds) []UseCase {
+	sum := pattern.Summarize(p, pattern.DefaultConfig())
+	return DetectWithSummary(p, sum, th)
+}
+
+// DetectWithSummary is Detect with a precomputed pattern summary, so callers
+// that already summarized (the orchestrator) do not pay twice.
+func DetectWithSummary(p *profile.Profile, sum *pattern.Summary, th Thresholds) []UseCase {
+	st := p.Stats()
+	if st.Total == 0 {
+		return nil
+	}
+	var out []UseCase
+	add := func(k Kind, evidence string) {
+		out = append(out, UseCase{
+			Kind:           k,
+			Instance:       p.Instance,
+			Evidence:       evidence,
+			Recommendation: k.Action(),
+		})
+	}
+
+	if ev, ok := detectLongInsert(p, st, sum, th); ok {
+		add(LongInsert, ev)
+	}
+	if ev, ok := detectImplementQueue(p, st, th); ok {
+		add(ImplementQueue, ev)
+	}
+	if ev, ok := detectSortAfterInsert(p, st, th); ok {
+		add(SortAfterInsert, ev)
+	}
+	if ev, ok := detectFrequentSearch(st, sum, th); ok {
+		add(FrequentSearch, ev)
+	}
+	if ev, ok := detectFrequentLongRead(st, sum, th); ok {
+		add(FrequentLongRead, ev)
+	}
+	if ev, ok := detectInsertDeleteFront(p, st, sum, th); ok {
+		add(InsertDeleteFront, ev)
+	}
+	if ev, ok := detectStackImplementation(p, st, sum, th); ok {
+		add(StackImplementation, ev)
+	}
+	if ev, ok := detectWriteWithoutRead(p, th); ok {
+		add(WriteWithoutRead, ev)
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"dsspy/internal/profile"
+)
+
+// ThreadLanes renders a multithreaded profile as one ASCII chart per
+// thread, stacked — the view that makes interleaved per-thread patterns
+// visible where the merged chart shows only a zigzag. Single-threaded
+// profiles fall back to the plain chart.
+func ThreadLanes(p *profile.Profile, opts ChartOptions) string {
+	slices := p.ByThread()
+	if len(slices) <= 1 {
+		return ASCIIChart(p.Events, opts)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d threads accessed %s %s:\n",
+		len(slices), p.Instance.TypeName, p.Instance.Label)
+	for _, ts := range slices {
+		fmt.Fprintf(&sb, "--- thread %d (%d events) ---\n", ts.Thread, ts.Profile.Len())
+		chart := ASCIIChart(ts.Profile.Events, opts)
+		// Drop the per-lane legend; one shared legend closes the stack.
+		chart = strings.TrimSuffix(chart, Legend+"\n")
+		sb.WriteString(chart)
+	}
+	sb.WriteString(Legend)
+	sb.WriteByte('\n')
+	return sb.String()
+}
