@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check build vet test race bench clean
+
+## check: everything CI runs — build, vet, full tests, race tests on the
+## concurrent packages. This is the single command to run before pushing.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/trace/... ./internal/core/...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the concurrency-sensitive packages plus the root package's
+## sharded-pipeline tests under the race detector.
+race:
+	$(GO) test -race ./internal/trace/... ./internal/core/... .
+
+## bench: the sharded-pipeline benchmark battery from EXPERIMENTS.md.
+bench:
+	$(GO) test -run xxx -bench 'Collect1M|Analyze1M|Build1M|Pipeline1M' -benchmem -benchtime 5x -count 5 .
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,7 @@ package dsspy_test
 
 import (
 	"io"
+	"sync"
 	"testing"
 
 	"dsspy/internal/apps"
@@ -427,6 +428,159 @@ func BenchmarkSeqOptNoCleanup(b *testing.B) {
 			buf[j] = &v
 		}
 		_ = buf // dropped; deallocation is the collector's job
+	}
+}
+
+// --- Sharded collection and the parallel analysis pipeline -------------------
+//
+// An 8-producer, 1M-event workload: each goroutine owns one instrumented
+// instance and emits insert/scan/clear phases, the trace shape the paper's
+// multithreaded programs produce. The pairs below compare the seed pipeline
+// (single-channel collection, 1-worker analysis over the flat sorted stream)
+// with the sharded pipeline (per-instance partitioning, shard-local profile
+// construction, N-worker analysis).
+
+const (
+	pipeBenchProducers   = 8
+	pipeBenchPerProducer = 125_000 // ×8 producers = 1M events
+)
+
+func pipelineBenchWorkload(s *trace.Session, producers, perProducer int) {
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := s.Register(trace.KindList, "List[int]", "", 0)
+			emitted, size := 0, 0
+			for emitted < perProducer {
+				for i := 0; i < 500 && emitted < perProducer; i++ {
+					size++
+					s.Emit(id, trace.OpInsert, size-1, size)
+					emitted++
+				}
+				for i := 0; i < size && emitted < perProducer; i++ {
+					s.Emit(id, trace.OpRead, i, size)
+					emitted++
+				}
+				if emitted < perProducer {
+					s.Emit(id, trace.OpClear, trace.NoIndex, 0)
+					emitted++
+					size = 0
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func benchCollect(b *testing.B, mk func() trace.Collector) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col := mk()
+		s := trace.NewSessionWith(trace.Options{Recorder: col})
+		pipelineBenchWorkload(s, pipeBenchProducers, pipeBenchPerProducer)
+		col.Close()
+	}
+}
+
+func BenchmarkCollect1MAsync(b *testing.B) {
+	benchCollect(b, func() trace.Collector { return trace.NewAsyncCollector() })
+}
+
+func BenchmarkCollect1MSharded(b *testing.B) {
+	benchCollect(b, func() trace.Collector { return trace.NewShardedCollector(0) })
+}
+
+func analyze1MTrace(b *testing.B) (*trace.Session, []trace.Event) {
+	b.Helper()
+	mem := trace.NewMemRecorder()
+	s := trace.NewSessionWith(trace.Options{Recorder: mem})
+	pipelineBenchWorkload(s, pipeBenchProducers, pipeBenchPerProducer)
+	return s, mem.Events()
+}
+
+func benchAnalyze(b *testing.B, workers int) {
+	s, events := analyze1MTrace(b)
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	d := core.NewWith(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := d.Analyze(s, events)
+		if len(rep.Instances) != pipeBenchProducers {
+			b.Fatalf("instances = %d", len(rep.Instances))
+		}
+	}
+}
+
+func BenchmarkAnalyze1MWorkers1(b *testing.B) { benchAnalyze(b, 1) }
+func BenchmarkAnalyze1MWorkersN(b *testing.B) { benchAnalyze(b, 0) }
+
+// The profile-construction stage in isolation: the flat path copies and
+// globally sorts the merged stream, the sharded path groups the per-shard
+// stores in place. This is the stage the refactor actually restructures, so
+// it is where the win is largest and core-count independent.
+
+func BenchmarkBuild1MFlat(b *testing.B) {
+	s, events := analyze1MTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := profile.Build(s, events); len(ps) != pipeBenchProducers {
+			b.Fatalf("profiles = %d", len(ps))
+		}
+	}
+}
+
+func BenchmarkBuild1MSharded(b *testing.B) {
+	col := trace.NewShardedCollector(0)
+	s := trace.NewSessionWith(trace.Options{Recorder: col})
+	pipelineBenchWorkload(s, pipeBenchProducers, pipeBenchPerProducer)
+	col.Close()
+	shards := col.ShardEvents()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := profile.BuildShards(s, shards, 0); len(ps) != pipeBenchProducers {
+			b.Fatalf("profiles = %d", len(ps))
+		}
+	}
+}
+
+// The acceptance pair: full pipeline (collection + analysis) on the
+// multi-goroutine 1M-event workload, seed shape vs sharded shape.
+
+func BenchmarkPipeline1MSequential(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	d := core.NewWith(cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col := trace.NewAsyncCollector()
+		s := trace.NewSessionWith(trace.Options{Recorder: col})
+		pipelineBenchWorkload(s, pipeBenchProducers, pipeBenchPerProducer)
+		col.Close()
+		rep := d.Analyze(s, col.Events())
+		if len(rep.Instances) != pipeBenchProducers {
+			b.Fatalf("instances = %d", len(rep.Instances))
+		}
+	}
+}
+
+func BenchmarkPipeline1MSharded(b *testing.B) {
+	d := core.New() // Workers = GOMAXPROCS
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col := trace.NewShardedCollector(0)
+		s := trace.NewSessionWith(trace.Options{Recorder: col})
+		pipelineBenchWorkload(s, pipeBenchProducers, pipeBenchPerProducer)
+		col.Close()
+		rep := d.AnalyzeCollector(s, col)
+		if len(rep.Instances) != pipeBenchProducers {
+			b.Fatalf("instances = %d", len(rep.Instances))
+		}
 	}
 }
 

@@ -40,6 +40,9 @@ func main() {
 		logPath  = flag.String("log", "", "save the session (registry + events) to this file for -replay")
 		replay   = flag.String("replay", "", "re-analyze a session log written with -log instead of running a workload")
 		collect  = flag.String("collect", "", "ship events to a collector at host:port instead of in-process")
+		stats    = flag.Bool("stats", false, "print pipeline observability: per-stage timings and per-shard queue statistics")
+		shards   = flag.Int("shards", 0, "collector shards (events partitioned by instance); 0 = GOMAXPROCS, 1 = the single-channel async collector")
+		workers  = flag.Int("workers", 0, "analysis worker-pool size; 0 = GOMAXPROCS, 1 = sequential")
 	)
 	flag.Parse()
 
@@ -52,8 +55,13 @@ func main() {
 		return
 	}
 
+	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
+	analyzer := core.NewWith(cfg)
+
 	var s *trace.Session
 	var evs []trace.Event
+	var col trace.Collector // set when events are collected in-process
 	if *replay != "" {
 		var err error
 		s, evs, err = trace.LoadSessionLog(*replay)
@@ -69,7 +77,6 @@ func main() {
 		}
 
 		var rec trace.Recorder
-		var events func() []trace.Event
 		if *collect != "" {
 			sock, err := trace.DialCollector("tcp", *collect)
 			if err != nil {
@@ -80,17 +87,23 @@ func main() {
 			// the same stream.
 			mem := trace.NewMemRecorder()
 			rec = trace.TeeRecorder{sock, mem}
-			events = mem.Events
+			s = trace.NewSessionWith(trace.Options{Recorder: rec, CaptureSites: true})
+			workload(s)
+			evs = mem.Events()
 		} else {
-			col := trace.NewAsyncCollector()
-			rec = col
-			events = func() []trace.Event { col.Close(); return col.Events() }
+			if *shards == 1 {
+				col = trace.NewAsyncCollector()
+			} else {
+				col = trace.NewShardedCollector(*shards)
+			}
+			s = trace.NewSessionWith(trace.Options{Recorder: col, CaptureSites: true})
+			workload(s)
+			col.Close()
 		}
-
-		s = trace.NewSessionWith(trace.Options{Recorder: rec, CaptureSites: true})
-		workload(s)
-		evs = events()
 		if *logPath != "" {
+			if col != nil {
+				evs = col.Events()
+			}
 			if err := trace.SaveSessionLog(*logPath, s, evs); err != nil {
 				fatal(err)
 			}
@@ -98,9 +111,20 @@ func main() {
 		}
 	}
 
-	rep := core.New().Analyze(s, evs)
+	var rep *core.Report
+	if col != nil {
+		rep = analyzer.AnalyzeCollector(s, col)
+	} else {
+		rep = analyzer.Analyze(s, evs)
+	}
 	if err := rep.Write(os.Stdout); err != nil {
 		fatal(err)
+	}
+	if *stats {
+		fmt.Println()
+		if err := rep.Stats.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *advise {

@@ -31,6 +31,7 @@ package dsspy
 import (
 	"dsspy/internal/core"
 	"dsspy/internal/dstruct"
+	"dsspy/internal/metrics"
 	"dsspy/internal/trace"
 	"dsspy/internal/usecase"
 )
@@ -45,6 +46,30 @@ type Event = trace.Event
 
 // Recorder consumes access events.
 type Recorder = trace.Recorder
+
+// Collector is the common surface of the in-process event collectors: a
+// concurrent-safe Recorder plus Close, Events and Stats.
+type Collector = trace.Collector
+
+// AsyncCollector is the paper's single-channel asynchronous collector.
+type AsyncCollector = trace.AsyncCollector
+
+// ShardedCollector partitions events by instance across several buffers and
+// drain goroutines, removing the single-channel bottleneck under
+// multi-goroutine workloads.
+type ShardedCollector = trace.ShardedCollector
+
+// CollectorStats reports per-shard queue statistics and producer block time.
+type CollectorStats = trace.CollectorStats
+
+// PipelineStats instruments the analysis pipeline itself; see Report.Stats.
+type PipelineStats = metrics.PipelineStats
+
+// NewAsyncCollector starts a single-channel asynchronous collector.
+func NewAsyncCollector() *AsyncCollector { return trace.NewAsyncCollector() }
+
+// NewShardedCollector starts a collector with n shards; 0 means GOMAXPROCS.
+func NewShardedCollector(n int) *ShardedCollector { return trace.NewShardedCollector(n) }
 
 // Report is the analysis outcome: per-instance profiles, patterns and use
 // cases.
@@ -82,6 +107,13 @@ func DefaultThresholds() Thresholds { return usecase.Default() }
 // with default configuration — the one-call entry point.
 func Run(workload func(*Session)) *Report {
 	return core.New().Run(workload)
+}
+
+// RunSharded profiles the workload with the sharded collector and analyzes
+// the shards in place with the parallel pipeline. The report is identical to
+// Run's; collection and analysis scale with GOMAXPROCS.
+func RunSharded(workload func(*Session)) *Report {
+	return core.New().RunSharded(workload)
 }
 
 // Instrumented containers (the proxy layer). Each constructor registers the

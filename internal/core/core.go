@@ -10,7 +10,10 @@ import (
 	"io"
 	"path/filepath"
 	"sort"
+	"time"
 
+	"dsspy/internal/metrics"
+	"dsspy/internal/par"
 	"dsspy/internal/pattern"
 	"dsspy/internal/profile"
 	"dsspy/internal/trace"
@@ -22,6 +25,12 @@ type Config struct {
 	Thresholds usecase.Thresholds
 	Pattern    pattern.Config
 	Regularity pattern.RegularityConfig
+	// Workers bounds the fan-out of per-instance analysis (profile
+	// grouping, pattern summaries, use-case detection, regularity, shared
+	// access). 0 means GOMAXPROCS; 1 is the classic sequential pipeline.
+	// The report is byte-identical for every value: results are written by
+	// instance order, never by completion order.
+	Workers int
 }
 
 // DefaultConfig returns the paper's thresholds and strict pattern matching.
@@ -73,35 +82,153 @@ type Report struct {
 	// the lists and arrays in it, exactly as the evaluation counted
 	// "number of instantiations of both data structures".
 	Registered []trace.Instance
+	// Stats instruments the analysis pipeline itself: per-stage wall
+	// times, worker count, and (when the events came from an in-process
+	// collector) the collection-side queue statistics. It never influences
+	// the findings.
+	Stats *metrics.PipelineStats
+}
+
+// Pipeline stage indexes into the metrics clocks, in execution order.
+const (
+	stageBuild = iota
+	stageSummarize
+	stageUseCases
+	stageRegularity
+	stageShared
+	numStages
+)
+
+func newPipelineClocks() *metrics.Pipeline {
+	return metrics.NewPipeline("build-profiles", "summarize", "use-cases", "regularity", "shared-access")
+}
+
+// workers resolves Config.Workers: 0 means GOMAXPROCS.
+func (d *DSspy) workers() int {
+	if d.cfg.Workers > 0 {
+		return d.cfg.Workers
+	}
+	return par.DefaultParallelism()
 }
 
 // Analyze builds profiles from the events and runs pattern and use-case
-// detection on each.
+// detection on each, fanning per-instance work across Config.Workers
+// goroutines. Report ordering is deterministic (by instance id) regardless
+// of the worker count.
 func (d *DSspy) Analyze(s *trace.Session, events []trace.Event) *Report {
-	rep := &Report{Registered: s.Instances()}
-	for _, p := range profile.Build(s, events) {
+	t0 := time.Now()
+	clocks := newPipelineClocks()
+
+	tb := time.Now()
+	profiles := profile.BuildParallel(s, events, d.workers())
+	clocks.Stage(stageBuild).Observe(time.Since(tb))
+
+	rep := d.analyzeProfiles(s, profiles, clocks)
+	rep.Stats.Events = len(events)
+	rep.Stats.Wall = time.Since(t0)
+	return rep
+}
+
+// AnalyzeCollector analyzes the events held by a closed collector. For a
+// ShardedCollector the profiles are built shard-locally from the per-shard
+// stores in place, skipping the global merge copy and sort that the flat
+// Events view costs; any other collector falls back to Analyze on the
+// merged stream. Either way the collector's queue statistics are attached
+// to Report.Stats.
+func (d *DSspy) AnalyzeCollector(s *trace.Session, col trace.Collector) *Report {
+	sc, ok := col.(*trace.ShardedCollector)
+	if !ok {
+		rep := d.Analyze(s, col.Events())
+		cs := col.Stats()
+		rep.Stats.Collector = &cs
+		return rep
+	}
+
+	t0 := time.Now()
+	clocks := newPipelineClocks()
+
+	tb := time.Now()
+	shards := sc.ShardEvents()
+	total := 0
+	for _, evs := range shards {
+		total += len(evs)
+	}
+	profiles := profile.BuildShards(s, shards, d.workers())
+	clocks.Stage(stageBuild).Observe(time.Since(tb))
+
+	rep := d.analyzeProfiles(s, profiles, clocks)
+	rep.Stats.Events = total
+	rep.Stats.Wall = time.Since(t0)
+	cs := sc.Stats()
+	rep.Stats.Collector = &cs
+	return rep
+}
+
+// analyzeProfiles runs the per-instance stages over the worker pool and
+// assembles the report. Results land at their profile's index, so the
+// report order never depends on goroutine scheduling.
+func (d *DSspy) analyzeProfiles(s *trace.Session, profiles []*profile.Profile, clocks *metrics.Pipeline) *Report {
+	results := make([]*InstanceResult, len(profiles))
+	workers := d.workers()
+	par.For(len(profiles), workers, func(i int) {
+		p := profiles[i]
+
+		t := time.Now()
 		sum := pattern.SummarizeThreads(p, d.cfg.Pattern)
-		res := &InstanceResult{
+		clocks.Stage(stageSummarize).Observe(time.Since(t))
+
+		t = time.Now()
+		ucs := usecase.DetectWithSummary(p, sum, d.cfg.Thresholds)
+		clocks.Stage(stageUseCases).Observe(time.Since(t))
+
+		t = time.Now()
+		regular := pattern.HasRegularity(p, d.cfg.Pattern, d.cfg.Regularity)
+		clocks.Stage(stageRegularity).Observe(time.Since(t))
+
+		t = time.Now()
+		shared := profile.SharedAccessOf(p)
+		clocks.Stage(stageShared).Observe(time.Since(t))
+
+		results[i] = &InstanceResult{
 			Profile:  p,
 			Summary:  sum,
-			UseCases: usecase.DetectWithSummary(p, sum, d.cfg.Thresholds),
-			Regular:  pattern.HasRegularity(p, d.cfg.Pattern, d.cfg.Regularity),
-			Shared:   profile.SharedAccessOf(p),
+			UseCases: ucs,
+			Regular:  regular,
+			Shared:   shared,
 		}
-		rep.Instances = append(rep.Instances, res)
+	})
+	return &Report{
+		Instances:  results,
+		Registered: s.Instances(),
+		Stats: &metrics.PipelineStats{
+			Instances: len(profiles),
+			Workers:   workers,
+			Stages:    clocks.Snapshot(),
+		},
 	}
-	return rep
 }
 
 // Run is the one-call convenience driver: it creates a session with the
 // paper's asynchronous collector, hands it to the workload, flushes the
 // collector, and analyzes everything it saw.
 func (d *DSspy) Run(workload func(*trace.Session)) *Report {
-	col := trace.NewAsyncCollector()
+	return d.RunCollector(trace.NewAsyncCollector(), workload)
+}
+
+// RunSharded is Run on the sharded collector: events are partitioned by
+// instance across GOMAXPROCS buffers while the workload executes, and the
+// analysis consumes the shards in place.
+func (d *DSspy) RunSharded(workload func(*trace.Session)) *Report {
+	return d.RunCollector(trace.NewShardedCollector(0), workload)
+}
+
+// RunCollector profiles the workload through an explicit collector, closes
+// it, and analyzes what it collected.
+func (d *DSspy) RunCollector(col trace.Collector, workload func(*trace.Session)) *Report {
 	s := trace.NewSessionWith(trace.Options{Recorder: col, CaptureSites: true})
 	workload(s)
 	col.Close()
-	return d.Analyze(s, col.Events())
+	return d.AnalyzeCollector(s, col)
 }
 
 // UseCases returns every detected use case across instances, in instance

@@ -1,0 +1,149 @@
+// Package metrics instruments DSspy's own pipeline. The paper reports an
+// average profiling slowdown of 47.13× and leaves the analysis cost opaque;
+// a profiler that recommends parallelization should be able to account for
+// its own time. Stage clocks accumulate wall time per pipeline stage across
+// concurrent workers, and PipelineStats is the report-facing snapshot that
+// `dsspy -stats` prints: per-stage timings next to the collector's per-shard
+// queue statistics.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"dsspy/internal/trace"
+)
+
+// Stage accumulates observations for one pipeline stage. It is safe for
+// concurrent use: analysis workers on any number of goroutines may observe
+// durations simultaneously.
+type Stage struct {
+	name  string
+	count atomic.Int64
+	ns    atomic.Int64
+	min   atomic.Int64
+	max   atomic.Int64
+}
+
+func newStage(name string) *Stage {
+	s := &Stage{name: name}
+	s.min.Store(math.MaxInt64)
+	return s
+}
+
+// Observe adds one timed execution of the stage.
+func (s *Stage) Observe(d time.Duration) {
+	s.count.Add(1)
+	s.ns.Add(int64(d))
+	for {
+		cur := s.min.Load()
+		if int64(d) >= cur || s.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	for {
+		cur := s.max.Load()
+		if int64(d) <= cur || s.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Snapshot returns the stage's accumulated figures.
+func (s *Stage) Snapshot() StageStats {
+	st := StageStats{
+		Name:  s.name,
+		Count: s.count.Load(),
+		Wall:  time.Duration(s.ns.Load()),
+		Max:   time.Duration(s.max.Load()),
+	}
+	if mn := s.min.Load(); mn != math.MaxInt64 {
+		st.Min = time.Duration(mn)
+	}
+	return st
+}
+
+// StageStats is the immutable snapshot of one stage.
+type StageStats struct {
+	Name  string
+	Count int64         // number of observations (per-instance stages: instances)
+	Wall  time.Duration // cumulative wall time across workers
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average observation, or 0 when the stage never ran.
+func (s StageStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Wall / time.Duration(s.Count)
+}
+
+// Pipeline is an ordered set of stage clocks.
+type Pipeline struct {
+	stages []*Stage
+}
+
+// NewPipeline returns a pipeline with one clock per stage name, in order.
+func NewPipeline(names ...string) *Pipeline {
+	p := &Pipeline{stages: make([]*Stage, len(names))}
+	for i, n := range names {
+		p.stages[i] = newStage(n)
+	}
+	return p
+}
+
+// Stage returns the i-th stage clock.
+func (p *Pipeline) Stage(i int) *Stage { return p.stages[i] }
+
+// Snapshot returns the per-stage figures in pipeline order.
+func (p *Pipeline) Snapshot() []StageStats {
+	out := make([]StageStats, len(p.stages))
+	for i, s := range p.stages {
+		out[i] = s.Snapshot()
+	}
+	return out
+}
+
+// PipelineStats is the observability outcome of one analysis run, surfaced
+// through core.Report.Stats.
+type PipelineStats struct {
+	Events    int           // events analyzed
+	Instances int           // instances profiled
+	Workers   int           // analysis worker-pool size used
+	Wall      time.Duration // end-to-end analysis wall time
+	Stages    []StageStats  // per-stage timings in pipeline order
+
+	// Collector holds the collection-side counters when the events came
+	// from an in-process collector; nil for replayed or externally
+	// collected streams.
+	Collector *trace.CollectorStats
+}
+
+// Write renders the stats in the layout `dsspy -stats` prints.
+func (ps *PipelineStats) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Pipeline: %d events, %d instances, %d worker(s), wall %s\n",
+		ps.Events, ps.Instances, ps.Workers, ps.Wall.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	for _, st := range ps.Stages {
+		if st.Count == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  stage %-14s %6d call(s)  total %-10s mean %-10s max %s\n",
+			st.Name, st.Count,
+			st.Wall.Round(time.Microsecond),
+			st.Mean().Round(time.Microsecond),
+			st.Max.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	if ps.Collector != nil {
+		return ps.Collector.Write(w)
+	}
+	return nil
+}

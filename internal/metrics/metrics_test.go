@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsspy/internal/trace"
+)
+
+func TestStageObserve(t *testing.T) {
+	p := NewPipeline("build", "detect")
+	p.Stage(0).Observe(10 * time.Millisecond)
+	p.Stage(0).Observe(30 * time.Millisecond)
+	st := p.Stage(0).Snapshot()
+	if st.Name != "build" || st.Count != 2 {
+		t.Fatalf("snapshot = %+v, want build ×2", st)
+	}
+	if st.Wall != 40*time.Millisecond || st.Min != 10*time.Millisecond || st.Max != 30*time.Millisecond {
+		t.Fatalf("wall/min/max = %v/%v/%v", st.Wall, st.Min, st.Max)
+	}
+	if st.Mean() != 20*time.Millisecond {
+		t.Fatalf("mean = %v, want 20ms", st.Mean())
+	}
+	if empty := p.Stage(1).Snapshot(); empty.Count != 0 || empty.Min != 0 || empty.Mean() != 0 {
+		t.Fatalf("empty stage snapshot = %+v", empty)
+	}
+}
+
+func TestStageConcurrentObserve(t *testing.T) {
+	p := NewPipeline("s")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Stage(0).Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stage(0).Snapshot()
+	if st.Count != workers*per {
+		t.Fatalf("count = %d, want %d", st.Count, workers*per)
+	}
+	if st.Wall != time.Duration(workers*per)*time.Microsecond {
+		t.Fatalf("wall = %v", st.Wall)
+	}
+}
+
+func TestPipelineStatsWrite(t *testing.T) {
+	p := NewPipeline("build-profiles", "use-cases")
+	p.Stage(0).Observe(time.Millisecond)
+	p.Stage(1).Observe(2 * time.Millisecond)
+	ps := &PipelineStats{
+		Events:    1000,
+		Instances: 3,
+		Workers:   4,
+		Wall:      5 * time.Millisecond,
+		Stages:    p.Snapshot(),
+		Collector: &trace.CollectorStats{
+			Shards:         2,
+			Buffer:         8,
+			Events:         1000,
+			ShardEvents:    []uint64{600, 400},
+			ShardHighWater: []int{8, 3},
+			ShardBlock:     []time.Duration{time.Millisecond, 0},
+			BlockTime:      time.Millisecond,
+		},
+	}
+	var sb strings.Builder
+	if err := ps.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"1000 events, 3 instances, 4 worker(s)",
+		"stage build-profiles",
+		"stage use-cases",
+		"Collector: 2 shard(s) × buffer 8",
+		"shard 0: 600 events, queue high-water 8/8",
+		"shard 1: 400 events, queue high-water 3/8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

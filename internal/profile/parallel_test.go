@@ -1,0 +1,87 @@
+package profile
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dsspy/internal/trace"
+)
+
+// synthEvents builds a shuffled multi-instance stream: the kind of arrival
+// order interleaved producers hand the collectors.
+func synthEvents(t *testing.T, n, instances int) (*trace.Session, []trace.Event) {
+	t.Helper()
+	s := trace.NewSession()
+	for i := 0; i < instances; i++ {
+		s.Register(trace.KindList, "List[int]", "", 0)
+	}
+	rng := rand.New(rand.NewSource(42))
+	events := make([]trace.Event, n)
+	for i := range events {
+		events[i] = trace.Event{
+			Seq:      uint64(i + 1),
+			Instance: trace.InstanceID(rng.Intn(instances+1) + 1), // +1 sometimes unregistered
+			Op:       trace.OpRead,
+			Index:    rng.Intn(64),
+			Size:     64,
+		}
+	}
+	rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+	return s, events
+}
+
+func profilesEqual(t *testing.T, want, got []*Profile) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("profile count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Instance != got[i].Instance {
+			t.Fatalf("profile %d instance %+v, want %+v", i, got[i].Instance, want[i].Instance)
+		}
+		if !reflect.DeepEqual(want[i].Events, got[i].Events) {
+			t.Fatalf("profile %d (instance %d) events differ", i, want[i].Instance.ID)
+		}
+	}
+}
+
+func TestBuildParallelMatchesBuild(t *testing.T) {
+	s, events := synthEvents(t, 50000, 17)
+	want := Build(s, events)
+	for _, workers := range []int{1, 2, 4, 13} {
+		profilesEqual(t, want, BuildParallel(s, events, workers))
+	}
+}
+
+func TestBuildShardsMatchesBuild(t *testing.T) {
+	s, events := synthEvents(t, 20000, 9)
+	want := Build(s, events)
+
+	// Partition by instance, the collector's layout.
+	const shards = 4
+	per := make([][]trace.Event, shards)
+	for _, e := range events {
+		sh := int(e.Instance) % shards
+		per[sh] = append(per[sh], e)
+	}
+	profilesEqual(t, want, BuildShards(s, per, 4))
+
+	// Also with an instance's events straddling shards (no partitioning
+	// guarantee): BuildShards must still restore chronological order.
+	split := make([][]trace.Event, 3)
+	for i, e := range events {
+		split[i%3] = append(split[i%3], e)
+	}
+	profilesEqual(t, want, BuildShards(s, split, 4))
+}
+
+func TestBuildShardsDoesNotMutateInput(t *testing.T) {
+	s, events := synthEvents(t, 1000, 5)
+	shard := make([]trace.Event, len(events))
+	copy(shard, events)
+	BuildShards(s, [][]trace.Event{shard}, 2)
+	if !reflect.DeepEqual(shard, events) {
+		t.Fatal("BuildShards reordered the caller's shard slice")
+	}
+}

@@ -23,6 +23,7 @@ type Profile struct {
 	Events   []trace.Event
 
 	stats *Stats // lazily computed
+	runs  []Run  // lazily cached default-options segmentation
 }
 
 // Build groups events by instance and returns one profile per instance that
@@ -70,6 +71,8 @@ type Stats struct {
 	ReadLike   int     // events whose op IsRead
 	WriteLike  int     // events whose op IsWrite
 	Threads    int     // distinct thread ids observed (0 counts once if present)
+	WriterIDs  int     // distinct thread ids that issued a write-like event
+	ReaderIDs  int     // distinct thread ids that issued a read-like event
 	FrontHits  int     // indexed events targeting the front end
 	BackHits   int     // indexed events targeting the back end
 	IndexedOps int     // events with a real index
@@ -81,13 +84,31 @@ type Stats struct {
 // strict reading and what we use.
 const endTolerance = 0
 
+// threadSet is a tiny linear-scan set. Profiles see a handful of distinct
+// thread ids, so scanning a short slice (checking the most recent id first —
+// events of one thread cluster) beats a hash insert per event.
+type threadSet []trace.ThreadID
+
+func (ts *threadSet) add(id trace.ThreadID) {
+	s := *ts
+	if n := len(s); n > 0 && s[n-1] == id {
+		return
+	}
+	for _, have := range s {
+		if have == id {
+			return
+		}
+	}
+	*ts = append(s, id)
+}
+
 // Stats computes (and caches) the aggregate figures.
 func (p *Profile) Stats() *Stats {
 	if p.stats != nil {
 		return p.stats
 	}
 	st := &Stats{MaxIndex: -1}
-	threads := make(map[trace.ThreadID]struct{})
+	var threads, writers, readers threadSet
 	for _, e := range p.Events {
 		st.Total++
 		if int(e.Op) < len(st.ByOp) {
@@ -98,12 +119,15 @@ func (p *Profile) Stats() *Stats {
 		}
 		if e.Op.IsWrite() {
 			st.WriteLike++
+			writers.add(e.Thread)
+		} else {
+			readers.add(e.Thread)
 		}
 		if e.Size > st.MaxSize {
 			st.MaxSize = e.Size
 		}
 		st.FinalSize = e.Size
-		threads[e.Thread] = struct{}{}
+		threads.add(e.Thread)
 		if e.Index >= 0 {
 			st.IndexedOps++
 			if e.Index > st.MaxIndex {
@@ -122,6 +146,8 @@ func (p *Profile) Stats() *Stats {
 		}
 	}
 	st.Threads = len(threads)
+	st.WriterIDs = len(writers)
+	st.ReaderIDs = len(readers)
 	p.stats = st
 	return st
 }

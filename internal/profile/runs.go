@@ -114,10 +114,25 @@ func (p *Profile) Runs() []Run { return p.RunsWith(DefaultSegmentOptions()) }
 // when repeated back-to-back. Insert and Delete runs additionally track
 // whether every event hit the front or the back, because those streams have
 // constant positions rather than directions.
+//
+// The default-options segmentation is computed once and cached (several
+// detectors re-segment the same profile); callers must treat the returned
+// slice as read-only. Like Stats, the cache makes a Profile single-writer:
+// the analysis pipeline honours that by giving each profile to one worker.
 func (p *Profile) RunsWith(opts SegmentOptions) []Run {
 	if opts.MaxStep < 1 {
 		opts.MaxStep = 1
 	}
+	if opts == DefaultSegmentOptions() {
+		if p.runs == nil && len(p.Events) > 0 {
+			p.runs = p.segment(opts)
+		}
+		return p.runs
+	}
+	return p.segment(opts)
+}
+
+func (p *Profile) segment(opts SegmentOptions) []Run {
 	var runs []Run
 	for i := 0; i < len(p.Events); {
 		run := p.startRun(i)

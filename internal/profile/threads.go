@@ -78,22 +78,14 @@ func (sa SharedAccess) Contended() bool {
 	return sa.Threads > 1 && sa.WritingThreads > 0
 }
 
-// SharedAccessOf summarizes the profile's thread interaction.
+// SharedAccessOf summarizes the profile's thread interaction. The thread
+// tallies ride along in the profile's cached Stats pass, so this costs one
+// event sweep at most — shared with every other Stats consumer.
 func SharedAccessOf(p *Profile) SharedAccess {
-	writers := make(map[trace.ThreadID]struct{})
-	readers := make(map[trace.ThreadID]struct{})
-	all := make(map[trace.ThreadID]struct{})
-	for _, e := range p.Events {
-		all[e.Thread] = struct{}{}
-		if e.Op.IsWrite() {
-			writers[e.Thread] = struct{}{}
-		} else {
-			readers[e.Thread] = struct{}{}
-		}
-	}
+	st := p.Stats()
 	return SharedAccess{
-		Threads:        len(all),
-		WritingThreads: len(writers),
-		ReadingThreads: len(readers),
+		Threads:        st.Threads,
+		WritingThreads: st.WriterIDs,
+		ReadingThreads: st.ReaderIDs,
 	}
 }

@@ -1,10 +1,5 @@
 package trace
 
-import (
-	"sort"
-	"sync"
-)
-
 // AsyncCollector is the paper's collector design (§IV): producers hand events
 // over asynchronous communication to a separate consumer that owns the event
 // store, so the instrumented program is never blocked on analysis or I/O.
@@ -12,17 +7,13 @@ import (
 // maps naturally onto a buffered channel drained by a dedicated goroutine;
 // for a true separate process see the socket collector in ipc.go.
 //
+// AsyncCollector is the single-shard case of ShardedCollector behind the
+// shared Collector interface: one buffer, one drain goroutine, one store.
 // Producers call Record; the drain goroutine appends to the store. Close
-// flushes the channel and stops the goroutine; Events is only valid after
-// Close (post-mortem analysis, exactly as in the paper).
+// flushes the channel, stops the goroutine and seals the event order; Events
+// is only valid after Close (post-mortem analysis, exactly as in the paper).
 type AsyncCollector struct {
-	ch     chan Event
-	done   chan struct{}
-	once   sync.Once
-	mu     sync.Mutex
-	events []Event
-
-	dropped uint64 // events discarded because the collector was closed
+	sc *ShardedCollector
 }
 
 // DefaultAsyncBuffer is the channel capacity used by NewAsyncCollector.
@@ -36,24 +27,7 @@ func NewAsyncCollector() *AsyncCollector { return NewAsyncCollectorSize(DefaultA
 // NewAsyncCollectorSize starts a collector whose channel holds up to buf
 // events. buf must be at least 1.
 func NewAsyncCollectorSize(buf int) *AsyncCollector {
-	if buf < 1 {
-		buf = 1
-	}
-	c := &AsyncCollector{
-		ch:   make(chan Event, buf),
-		done: make(chan struct{}),
-	}
-	go c.drain()
-	return c
-}
-
-func (c *AsyncCollector) drain() {
-	for e := range c.ch {
-		c.mu.Lock()
-		c.events = append(c.events, e)
-		c.mu.Unlock()
-	}
-	close(c.done)
+	return &AsyncCollector{sc: NewShardedCollectorSize(1, buf)}
 }
 
 // Record enqueues the event for the drain goroutine. If the buffer is full
@@ -62,33 +36,26 @@ func (c *AsyncCollector) drain() {
 // "from initialization to deallocation". Record after Close panics like any
 // send on a closed channel would; callers must stop producing before closing.
 func (c *AsyncCollector) Record(e Event) {
-	c.ch <- e
+	c.sc.shards[0].record(e)
 }
 
-// Close flushes buffered events and stops the drain goroutine. It is
-// idempotent. After Close returns, Events holds every recorded event.
+// Close flushes buffered events, stops the drain goroutine and sorts the
+// store into sequence order once. It is idempotent. After Close returns,
+// Events holds every recorded event and each call costs one copy.
 func (c *AsyncCollector) Close() {
-	c.once.Do(func() {
-		close(c.ch)
-		<-c.done
-	})
+	c.sc.Close()
+	c.sc.merge()
 }
 
-// Events returns the collected events in sequence order. Callers should
-// Close first; Events on a live collector returns only what has been drained
-// so far.
+// Events returns the collected events in sequence order. After Close this is
+// a copy of the order sealed by Close; on a live collector it returns a
+// sorted snapshot of what has been drained so far.
 func (c *AsyncCollector) Events() []Event {
-	c.mu.Lock()
-	out := make([]Event, len(c.events))
-	copy(out, c.events)
-	c.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	return out
+	return c.sc.Events()
 }
 
 // Len returns the number of events drained so far.
-func (c *AsyncCollector) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.events)
-}
+func (c *AsyncCollector) Len() int { return c.sc.Len() }
+
+// Stats reports the single shard's queue statistics and producer block time.
+func (c *AsyncCollector) Stats() CollectorStats { return c.sc.Stats() }

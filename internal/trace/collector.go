@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Collector is the common surface of the in-process event collectors: a
+// Recorder that producers feed concurrently, a Close that flushes and seals
+// the store, an EventSource that hands the merged stream back for post-mortem
+// analysis, and Stats describing what the collection pipeline itself did.
+// AsyncCollector is the single-shard case; ShardedCollector partitions by
+// instance across several buffers and drain goroutines.
+type Collector interface {
+	Recorder
+	EventSource
+	// Close flushes buffered events and stops the drain goroutines. It is
+	// idempotent; Events and Stats are fully populated after Close returns.
+	Close()
+	// Stats reports collection-pipeline observability counters.
+	Stats() CollectorStats
+}
+
+// CollectorStats is the observability surface of a collector: how many
+// events flowed through it, how full its queues got, and how long producers
+// were blocked waiting for the drain side to catch up. A sustained non-zero
+// BlockTime or a high-water mark near the buffer capacity means the
+// collector, not the workload, is the bottleneck.
+type CollectorStats struct {
+	Shards    int           // number of shards (1 for AsyncCollector)
+	Buffer    int           // per-shard channel capacity
+	Events    uint64        // total events recorded
+	BlockTime time.Duration // cumulative producer time spent blocked on full buffers
+
+	// Per-shard breakdowns, indexed by shard. Events are partitioned by
+	// InstanceID, so a skewed ShardEvents distribution means a few hot
+	// instances dominate the trace.
+	ShardEvents    []uint64
+	ShardHighWater []int // max queue length observed per shard
+	ShardBlock     []time.Duration
+}
+
+// Write renders the stats in the layout `dsspy -stats` prints.
+func (cs CollectorStats) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Collector: %d shard(s) × buffer %d, %d events, producer block time %s\n",
+		cs.Shards, cs.Buffer, cs.Events, cs.BlockTime); err != nil {
+		return err
+	}
+	for i := range cs.ShardEvents {
+		if _, err := fmt.Fprintf(w, "  shard %d: %d events, queue high-water %d/%d, block %s\n",
+			i, cs.ShardEvents[i], cs.ShardHighWater[i], cs.Buffer, cs.ShardBlock[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

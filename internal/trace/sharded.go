@@ -1,0 +1,258 @@
+package trace
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardedCollector partitions the event stream by InstanceID into N shards,
+// each with its own buffer and drain goroutine. Producers touching different
+// instances never contend on a shared channel, which removes the
+// single-channel bottleneck AsyncCollector has under multi-goroutine
+// workloads; all events of one instance land in exactly one shard, so the
+// analysis side can build profiles shard-locally without a global merge
+// (core.AnalyzeCollector consumes ShardEvents in place).
+//
+// Producers call Record; Close flushes every shard and stops the drain
+// goroutines. Events merges the shards back into one Seq-ordered stream for
+// callers that need the flat post-mortem view (session logs, replay).
+type ShardedCollector struct {
+	shards []*shard
+	buf    int
+
+	once   sync.Once
+	closed atomic.Bool
+
+	mergeOnce sync.Once
+	merged    []Event
+}
+
+// shard is one partition: a buffered channel drained by a dedicated
+// goroutine into a shard-local store, plus the observability counters the
+// pipeline stats report.
+type shard struct {
+	ch   chan Event
+	done chan struct{}
+
+	mu     sync.Mutex
+	events []Event
+
+	count     atomic.Uint64
+	highWater atomic.Int64
+	blockNS   atomic.Int64
+}
+
+func newShard(buf int) *shard {
+	sh := &shard{ch: make(chan Event, buf), done: make(chan struct{})}
+	go sh.drain()
+	return sh
+}
+
+// record enqueues e, tracking producer block time and the queue high-water
+// mark. The fast path is a single non-blocking send attempt; only when the
+// buffer is full does the producer take a timestamp and block.
+func (sh *shard) record(e Event) {
+	select {
+	case sh.ch <- e:
+	default:
+		start := time.Now()
+		sh.ch <- e
+		sh.blockNS.Add(int64(time.Since(start)))
+	}
+	sh.count.Add(1)
+	if q := int64(len(sh.ch)); q > sh.highWater.Load() {
+		for {
+			cur := sh.highWater.Load()
+			if q <= cur || sh.highWater.CompareAndSwap(cur, q) {
+				break
+			}
+		}
+	}
+}
+
+// drain moves events from the channel into the shard-local store. Each lock
+// acquisition drains everything already queued, so under bursts the mutex is
+// taken once per batch rather than once per event.
+func (sh *shard) drain() {
+	for e := range sh.ch {
+		sh.mu.Lock()
+		sh.push(e)
+	batch:
+		for {
+			select {
+			case e2, ok := <-sh.ch:
+				if !ok {
+					break batch
+				}
+				sh.push(e2)
+			default:
+				break batch
+			}
+		}
+		sh.mu.Unlock()
+	}
+	close(sh.done)
+}
+
+// push appends to the store, doubling capacity when full. The runtime's
+// growth factor drops to ~1.25× for large slices, which on million-event
+// stores re-copies the data several times over; plain doubling keeps the
+// cumulative copy volume bounded by 2× the store size. Callers hold sh.mu.
+func (sh *shard) push(e Event) {
+	if len(sh.events) == cap(sh.events) {
+		grown := make([]Event, len(sh.events), max(1024, 2*cap(sh.events)))
+		copy(grown, sh.events)
+		sh.events = grown
+	}
+	sh.events = append(sh.events, e)
+}
+
+func (sh *shard) snapshot() []Event {
+	sh.mu.Lock()
+	out := make([]Event, len(sh.events))
+	copy(out, sh.events)
+	sh.mu.Unlock()
+	return out
+}
+
+// NewShardedCollector starts a collector with n shards (0 means GOMAXPROCS)
+// and the default per-shard buffer.
+func NewShardedCollector(n int) *ShardedCollector {
+	return NewShardedCollectorSize(n, DefaultAsyncBuffer)
+}
+
+// NewShardedCollectorSize starts a collector with n shards (0 means
+// GOMAXPROCS) whose channels each hold up to buf events.
+func NewShardedCollectorSize(n, buf int) *ShardedCollector {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	c := &ShardedCollector{shards: make([]*shard, n), buf: buf}
+	for i := range c.shards {
+		c.shards[i] = newShard(buf)
+	}
+	return c
+}
+
+// Record enqueues the event on the shard owning its instance. Like
+// AsyncCollector it is lossless: a full shard blocks the producer until the
+// drain goroutine catches up. Record after Close panics; callers must stop
+// producing before closing.
+func (c *ShardedCollector) Record(e Event) {
+	c.shards[int(e.Instance)%len(c.shards)].record(e)
+}
+
+// Close flushes every shard and stops the drain goroutines. It is
+// idempotent. After Close returns, Events holds every recorded event.
+func (c *ShardedCollector) Close() {
+	c.once.Do(func() {
+		for _, sh := range c.shards {
+			close(sh.ch)
+		}
+		for _, sh := range c.shards {
+			<-sh.done
+		}
+		c.closed.Store(true)
+	})
+}
+
+// merge builds, once, the Seq-ordered union of all shard stores. Only called
+// after Close, when the drain goroutines have stopped; the single-shard case
+// sorts the store in place so AsyncCollector pays no merge copy.
+func (c *ShardedCollector) merge() []Event {
+	c.mergeOnce.Do(func() {
+		if len(c.shards) == 1 {
+			c.merged = c.shards[0].events
+		} else {
+			total := 0
+			for _, sh := range c.shards {
+				total += len(sh.events)
+			}
+			c.merged = make([]Event, 0, total)
+			for _, sh := range c.shards {
+				c.merged = append(c.merged, sh.events...)
+			}
+		}
+		if !sort.SliceIsSorted(c.merged, func(i, j int) bool { return c.merged[i].Seq < c.merged[j].Seq }) {
+			sort.Slice(c.merged, func(i, j int) bool { return c.merged[i].Seq < c.merged[j].Seq })
+		}
+	})
+	return c.merged
+}
+
+// Events returns the collected events in sequence order. After Close the
+// merged order is computed once and cached, so each call costs one copy; on
+// a live collector it returns a sorted snapshot of what has been drained so
+// far.
+func (c *ShardedCollector) Events() []Event {
+	if c.closed.Load() {
+		m := c.merge()
+		out := make([]Event, len(m))
+		copy(out, m)
+		return out
+	}
+	var all []Event
+	for _, sh := range c.shards {
+		all = append(all, sh.snapshot()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	return all
+}
+
+// ShardEvents returns the per-shard event stores without copying. It is only
+// valid after Close (nil before), and callers must treat the slices as
+// read-only. This is the analysis fast path: because events are partitioned
+// by instance, profiles can be built shard-locally from these slices,
+// skipping the global merge sort and copy that Events performs.
+func (c *ShardedCollector) ShardEvents() [][]Event {
+	if !c.closed.Load() {
+		return nil
+	}
+	out := make([][]Event, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.events
+	}
+	return out
+}
+
+// NumShards returns the number of shards.
+func (c *ShardedCollector) NumShards() int { return len(c.shards) }
+
+// Len returns the number of events drained so far across all shards.
+func (c *ShardedCollector) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.events)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports per-shard queue statistics and cumulative producer block
+// time.
+func (c *ShardedCollector) Stats() CollectorStats {
+	cs := CollectorStats{
+		Shards:         len(c.shards),
+		Buffer:         c.buf,
+		ShardEvents:    make([]uint64, len(c.shards)),
+		ShardHighWater: make([]int, len(c.shards)),
+		ShardBlock:     make([]time.Duration, len(c.shards)),
+	}
+	for i, sh := range c.shards {
+		n := sh.count.Load()
+		cs.ShardEvents[i] = n
+		cs.Events += n
+		cs.ShardHighWater[i] = int(sh.highWater.Load())
+		blk := time.Duration(sh.blockNS.Load())
+		cs.ShardBlock[i] = blk
+		cs.BlockTime += blk
+	}
+	return cs
+}
