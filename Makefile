@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race bench clean
+.PHONY: check build vet test race bench fuzz-smoke clean
 
 ## check: everything CI runs — build, vet, full tests, race tests on the
-## concurrent packages. This is the single command to run before pushing.
+## concurrent packages, and a short fuzz pass over the salvaging decoders.
+## This is the single command to run before pushing.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/trace/... ./internal/core/...
+	$(MAKE) fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -24,9 +26,18 @@ test:
 race:
 	$(GO) test -race ./internal/trace/... ./internal/core/... .
 
-## bench: the sharded-pipeline benchmark battery from EXPERIMENTS.md.
+## bench: the sharded-pipeline benchmark battery from EXPERIMENTS.md, plus
+## the overload-policy producer-latency comparison.
 bench:
-	$(GO) test -run xxx -bench 'Collect1M|Analyze1M|Build1M|Pipeline1M' -benchmem -benchtime 5x -count 5 .
+	$(GO) test -run xxx -bench 'Collect1M|Analyze1M|Build1M|Pipeline1M|Overload' -benchmem -benchtime 5x -count 5 .
+
+## fuzz-smoke: 10 seconds of fuzzing per decoder entry point (go's fuzzer
+## accepts one -fuzz pattern per run, hence the sequence). Catches wire-format
+## regressions that crash or mis-account the salvaging loaders.
+fuzz-smoke:
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzStreamReader$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzRecoverSessionLog$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzChecksummedFrameReader$$' -fuzztime 10s
 
 clean:
 	$(GO) clean ./...

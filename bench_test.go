@@ -518,6 +518,62 @@ func benchAnalyze(b *testing.B, workers int) {
 func BenchmarkAnalyze1MWorkers1(b *testing.B) { benchAnalyze(b, 1) }
 func BenchmarkAnalyze1MWorkersN(b *testing.B) { benchAnalyze(b, 0) }
 
+// --- Overload policies ------------------------------------------------------
+
+// benchOverload pits the overload policies against a saturated collector:
+// eight producers hammer a single shard whose buffer holds only 64 events, so
+// the drain goroutine cannot keep up and the policy decides what producers
+// pay. Block preserves every event at the price of producer stalls;
+// DropNewest and Sample bound producer latency and count what they shed. The
+// block-ns/ev and dropped-frac metrics are the numbers EXPERIMENTS.md quotes.
+func benchOverload(b *testing.B, policy trace.OverloadPolicy) {
+	const (
+		overloadProducers   = 8
+		overloadPerProducer = 1 << 16
+		overloadBuffer      = 64
+	)
+	b.ReportAllocs()
+	var blockNS, dropped, recorded float64
+	for i := 0; i < b.N; i++ {
+		col := trace.NewShardedCollectorOpts(1, overloadBuffer, policy)
+		var wg sync.WaitGroup
+		for p := 0; p < overloadProducers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for j := 0; j < overloadPerProducer; j++ {
+					col.Record(trace.Event{
+						Seq:      uint64(p*overloadPerProducer + j + 1),
+						Instance: 1,
+						Op:       trace.OpRead,
+						Index:    j,
+						Size:     j,
+						Thread:   trace.ThreadID(p),
+					})
+				}
+			}(p)
+		}
+		wg.Wait()
+		col.Close()
+		st := col.Stats()
+		if st.Events != overloadProducers*overloadPerProducer {
+			b.Fatalf("recorded %d events, want %d", st.Events, overloadProducers*overloadPerProducer)
+		}
+		if delivered := uint64(len(col.Events())); delivered+st.Dropped != st.Events {
+			b.Fatalf("delivered %d + dropped %d != recorded %d", delivered, st.Dropped, st.Events)
+		}
+		blockNS += float64(st.BlockTime)
+		dropped += float64(st.Dropped)
+		recorded += float64(st.Events)
+	}
+	b.ReportMetric(blockNS/recorded, "block-ns/ev")
+	b.ReportMetric(dropped/recorded, "dropped-frac")
+}
+
+func BenchmarkOverloadBlock(b *testing.B)      { benchOverload(b, trace.Block()) }
+func BenchmarkOverloadDropNewest(b *testing.B) { benchOverload(b, trace.DropNewest()) }
+func BenchmarkOverloadSample8(b *testing.B)    { benchOverload(b, trace.Sample(8)) }
+
 // The profile-construction stage in isolation: the flat path copies and
 // globally sorts the merged stream, the sharded path groups the per-shard
 // stores in place. This is the stage the refactor actually restructures, so

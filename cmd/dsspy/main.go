@@ -9,7 +9,9 @@
 //	dsspy -app Mandelbrot -advise -cores 8
 //	dsspy -demo figure3 [-chart] [-log run.dslog]
 //	dsspy -replay run.dslog
-//	dsspy -app Algorithmia -collect 127.0.0.1:7777
+//	dsspy -recover crashed.dslog
+//	dsspy -listen 127.0.0.1:7777 -conns 1 -stats
+//	dsspy -app Algorithmia -collect 127.0.0.1:7777 -spill-dir /var/tmp/dsspy
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dsspy/internal/advisor"
 	"dsspy/internal/apps"
@@ -39,8 +42,14 @@ func main() {
 		cores    = flag.Int("cores", 8, "core count for the advisor's Amdahl estimates")
 		logPath  = flag.String("log", "", "save the session (registry + events) to this file for -replay")
 		replay   = flag.String("replay", "", "re-analyze a session log written with -log instead of running a workload")
+		recover_ = flag.String("recover", "", "salvage a damaged or truncated session log and analyze what was recovered")
 		collect  = flag.String("collect", "", "ship events to a collector at host:port instead of in-process")
-		stats    = flag.Bool("stats", false, "print pipeline observability: per-stage timings and per-shard queue statistics")
+		spillDir = flag.String("spill-dir", "", "with -collect: spill events to a WAL in this directory while the collector is unreachable")
+		listen   = flag.String("listen", "", "run as the collector: accept producer streams on host:port and analyze them")
+		conns    = flag.Int("conns", 1, "with -listen: number of producer streams to wait for before analyzing")
+		connTO   = flag.Duration("conn-timeout", 0, "with -listen: per-frame read deadline on producer connections (0 = none); with -collect: write deadline per batch")
+		overload = flag.String("overload", "block", "in-process overload policy: block (lossless), drop, or sample:N")
+		stats    = flag.Bool("stats", false, "print pipeline observability: per-stage timings, per-shard queue statistics, and delivery accounting")
 		shards   = flag.Int("shards", 0, "collector shards (events partitioned by instance); 0 = GOMAXPROCS, 1 = the single-channel async collector")
 		workers  = flag.Int("workers", 0, "analysis worker-pool size; 0 = GOMAXPROCS, 1 = sequential")
 	)
@@ -55,46 +64,73 @@ func main() {
 		return
 	}
 
+	policy, err := trace.ParseOverloadPolicy(*overload)
+	if err != nil {
+		fatal(err)
+	}
+
 	cfg := core.DefaultConfig()
 	cfg.Workers = *workers
 	analyzer := core.NewWith(cfg)
 
+	if *listen != "" {
+		runListen(analyzer, *listen, *conns, *connTO, *stats, *logPath)
+		return
+	}
+
 	var s *trace.Session
 	var evs []trace.Event
 	var col trace.Collector // set when events are collected in-process
-	if *replay != "" {
+	var resilient *trace.ResilientRecorder
+	switch {
+	case *replay != "":
 		var err error
 		s, evs, err = trace.LoadSessionLog(*replay)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("replaying %s: %d instances, %d events\n\n", *replay, s.NumInstances(), len(evs))
-	} else {
+	case *recover_ != "":
+		var rec *trace.Recovery
+		var err error
+		s, evs, rec, err = trace.RecoverSessionLog(*recover_)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recovering %s: %s\n\n", *recover_, rec)
+	default:
 		workload := pickWorkload(*appName, *demo)
 		if workload == nil {
-			fmt.Fprintln(os.Stderr, "nothing to run: pass -app <name>, -demo <name>, -replay <file>, or -list")
+			fmt.Fprintln(os.Stderr, "nothing to run: pass -app <name>, -demo <name>, -replay <file>, -recover <file>, -listen <addr>, or -list")
 			os.Exit(2)
 		}
 
-		var rec trace.Recorder
 		if *collect != "" {
-			sock, err := trace.DialCollector("tcp", *collect)
+			var err error
+			resilient, err = trace.NewResilientRecorder(trace.ResilientOptions{
+				Network:      "tcp",
+				Addr:         *collect,
+				SpillDir:     *spillDir,
+				WriteTimeout: *connTO,
+			})
 			if err != nil {
 				fatal(err)
 			}
-			defer sock.Close()
 			// Keep a local copy for the report; the remote collector gets
 			// the same stream.
 			mem := trace.NewMemRecorder()
-			rec = trace.TeeRecorder{sock, mem}
+			rec := trace.TeeRecorder{resilient, mem}
 			s = trace.NewSessionWith(trace.Options{Recorder: rec, CaptureSites: true})
 			workload(s)
 			evs = mem.Events()
+			if err := resilient.FinishSession(s); err != nil {
+				fmt.Fprintln(os.Stderr, "dsspy: collector link:", err)
+			}
 		} else {
 			if *shards == 1 {
-				col = trace.NewAsyncCollector()
+				col = trace.NewAsyncCollectorOpts(trace.DefaultAsyncBuffer, policy)
 			} else {
-				col = trace.NewShardedCollector(*shards)
+				col = trace.NewShardedCollectorOpts(*shards, trace.DefaultAsyncBuffer, policy)
 			}
 			s = trace.NewSessionWith(trace.Options{Recorder: col, CaptureSites: true})
 			workload(s)
@@ -124,6 +160,11 @@ func main() {
 		fmt.Println()
 		if err := rep.Stats.Write(os.Stdout); err != nil {
 			fatal(err)
+		}
+		if resilient != nil {
+			if err := resilient.Stats().Write(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
@@ -196,6 +237,42 @@ func main() {
 			}
 			fmt.Printf("\nSVG profile written to %s\n", *svgPath)
 			break
+		}
+	}
+}
+
+// runListen is the collector side of a cross-process run: accept producer
+// streams, wait for the expected number to finish (complete or salvaged),
+// rebuild the replay session from the shipped registry frames, and analyze.
+func runListen(analyzer *core.DSspy, addr string, conns int, connTimeout time.Duration, stats bool, logPath string) {
+	cs, err := trace.ListenCollectorOpts("tcp", addr, trace.ServerOptions{ConnTimeout: connTimeout})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("collecting on %s, waiting for %d producer stream(s)...\n", cs.Addr(), conns)
+	cs.WaitStreams(conns)
+	if err := cs.Close(); err != nil {
+		fatal(err)
+	}
+
+	s := cs.Session()
+	evs := cs.Events()
+	fmt.Printf("received %d events from %d stream(s)\n\n", len(evs), conns)
+	if logPath != "" {
+		if err := trace.SaveSessionLog(logPath, s, evs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("session log written to %s — re-analyze with -replay\n\n", logPath)
+	}
+
+	rep := analyzer.Analyze(s, evs)
+	if err := rep.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if stats {
+		fmt.Println()
+		if err := cs.ServerStats().Write(os.Stdout); err != nil {
+			fatal(err)
 		}
 	}
 }

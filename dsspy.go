@@ -71,6 +71,53 @@ func NewAsyncCollector() *AsyncCollector { return trace.NewAsyncCollector() }
 // NewShardedCollector starts a collector with n shards; 0 means GOMAXPROCS.
 func NewShardedCollector(n int) *ShardedCollector { return trace.NewShardedCollector(n) }
 
+// OverloadPolicy decides what happens when a producer finds the collector's
+// buffer full: Block (lossless), DropNewest, or Sample. Every undelivered
+// event is counted — delivered + dropped == recorded always holds.
+type OverloadPolicy = trace.OverloadPolicy
+
+// Block returns the lossless default overload policy.
+func Block() OverloadPolicy { return trace.Block() }
+
+// DropNewest returns the bounded-latency overload policy: full buffers drop
+// (and count) the event instead of blocking the producer.
+func DropNewest() OverloadPolicy { return trace.DropNewest() }
+
+// Sample returns the degraded-fidelity policy: one in n overflow events is
+// delivered, the rest are dropped and counted.
+func Sample(n int) OverloadPolicy { return trace.Sample(n) }
+
+// ParseOverloadPolicy parses "block", "drop", or "sample:N" (the -overload
+// flag syntax).
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) { return trace.ParseOverloadPolicy(s) }
+
+// NewShardedCollectorOpts starts a sharded collector with an explicit buffer
+// size and overload policy.
+func NewShardedCollectorOpts(n, buf int, policy OverloadPolicy) *ShardedCollector {
+	return trace.NewShardedCollectorOpts(n, buf, policy)
+}
+
+// ResilientRecorder ships events to an out-of-process collector and survives
+// its absence: bounded-backoff reconnection, a crash-safe disk spill replayed
+// on reconnect, and full delivery accounting (recorded == delivered +
+// dropped + on disk + buffered).
+type ResilientRecorder = trace.ResilientRecorder
+
+// ResilientOptions configures a ResilientRecorder.
+type ResilientOptions = trace.ResilientOptions
+
+// ResilientStats is the delivery accounting of a resilient recorder.
+type ResilientStats = trace.ResilientStats
+
+// NewResilientRecorder connects to a collector, falling back to
+// reconnect-with-backoff and disk spill when it is unreachable.
+func NewResilientRecorder(opts ResilientOptions) (*ResilientRecorder, error) {
+	return trace.NewResilientRecorder(opts)
+}
+
+// Recovery describes what a salvaging load decoded and what it gave up.
+type Recovery = trace.Recovery
+
 // Report is the analysis outcome: per-instance profiles, patterns and use
 // cases.
 type Report = core.Report
@@ -189,4 +236,12 @@ func ReplaySession(path string) (*Session, []Event, error) {
 // ReplaySession can load later.
 func SaveSession(path string, s *Session, events []Event) error {
 	return trace.SaveSessionLog(path, s, events)
+}
+
+// RecoverSession salvages a damaged or truncated session log: every frame
+// before the first structural damage is decoded, checksum-failed frames are
+// skipped, and the Recovery diagnostic reports exactly what was lost. Use it
+// when ReplaySession refuses a log from a crashed run.
+func RecoverSession(path string) (*Session, []Event, *Recovery, error) {
+	return trace.RecoverSessionLog(path)
 }

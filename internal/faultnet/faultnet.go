@@ -1,0 +1,236 @@
+// Package faultnet wraps net.Conn and net.Listener with deterministic fault
+// injection: partial writes, write delays, connection failure after a byte
+// budget, periodic bit corruption, and transient accept errors. The resilience
+// tests drive the collection pipeline through these wrappers and assert the
+// delivery/accounting invariants hold under every fault.
+//
+// All faults are counter-based, never randomized, so a failing test replays
+// byte-for-byte identically.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error every injected failure wraps, so tests can tell an
+// injected fault apart from a real one.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Options selects which faults a wrapped connection injects. The zero value
+// injects nothing.
+type Options struct {
+	// MaxWrite caps each Write call to at most this many bytes, forcing the
+	// caller (or its bufio layer) through the short-write path. Zero means
+	// unlimited.
+	MaxWrite int
+	// WriteDelay sleeps before every Write, simulating a congested or
+	// rate-limited link.
+	WriteDelay time.Duration
+	// FailAfterBytes kills the connection after this many bytes have been
+	// written in total: the write that crosses the budget sends the remaining
+	// allowance (a torn frame, exactly what a reset mid-write produces), then
+	// fails, as do all subsequent writes. Zero means never.
+	FailAfterBytes int64
+	// CorruptEveryN flips one bit in every Nth Write call's payload,
+	// simulating in-flight corruption that TCP checksums missed or a bad
+	// spill disk. Zero means never.
+	CorruptEveryN int
+	// FailAfterReadBytes kills the read side after this many bytes, for
+	// consumer-side fault tests. Zero means never.
+	FailAfterReadBytes int64
+}
+
+// Conn is a net.Conn with deterministic fault injection on its I/O paths.
+type Conn struct {
+	net.Conn
+	opts Options
+
+	mu         sync.Mutex
+	wrote      int64
+	read       int64
+	writeCalls int64
+	broken     bool
+}
+
+// Wrap decorates conn with the configured faults.
+func Wrap(conn net.Conn, opts Options) *Conn {
+	return &Conn{Conn: conn, opts: opts}
+}
+
+// Write applies the write-side faults: delay, fragmentation into MaxWrite
+// chunks (so frames cross many small transport writes, like congested TCP
+// segments), corruption, and the byte-budget failure. It satisfies the
+// io.Writer contract — short returns always carry an error.
+func (c *Conn) Write(b []byte) (int, error) {
+	total := 0
+	for {
+		chunk := b[total:]
+		if c.opts.MaxWrite > 0 && len(chunk) > c.opts.MaxWrite {
+			chunk = chunk[:c.opts.MaxWrite]
+		}
+		n, err := c.writeChunk(chunk)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if total >= len(b) {
+			return total, nil
+		}
+	}
+}
+
+func (c *Conn) writeChunk(b []byte) (int, error) {
+	if c.opts.WriteDelay > 0 {
+		time.Sleep(c.opts.WriteDelay)
+	}
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return 0, &net.OpError{Op: "write", Net: "faultnet", Err: ErrInjected}
+	}
+	c.writeCalls++
+	calls := c.writeCalls
+
+	n := len(b)
+	fail := false
+	if c.opts.FailAfterBytes > 0 {
+		remaining := c.opts.FailAfterBytes - c.wrote
+		if remaining <= 0 {
+			c.broken = true
+			c.mu.Unlock()
+			c.Conn.Close()
+			return 0, &net.OpError{Op: "write", Net: "faultnet", Err: ErrInjected}
+		}
+		if int64(n) >= remaining {
+			n = int(remaining)
+			fail = true
+		}
+	}
+	payload := b[:n]
+	if c.opts.CorruptEveryN > 0 && calls%int64(c.opts.CorruptEveryN) == 0 && n > 0 {
+		corrupted := make([]byte, n)
+		copy(corrupted, payload)
+		corrupted[n/2] ^= 0x40
+		payload = corrupted
+	}
+	c.wrote += int64(n)
+	if fail {
+		c.broken = true
+	}
+	c.mu.Unlock()
+
+	wn, err := c.Conn.Write(payload)
+	if err != nil {
+		return wn, err
+	}
+	if fail {
+		// The byte budget is spent: tear the connection down so the peer sees
+		// the torn frame end, and fail this write at the caller.
+		c.Conn.Close()
+		return wn, &net.OpError{Op: "write", Net: "faultnet", Err: ErrInjected}
+	}
+	return wn, nil
+}
+
+// Read applies the read-side byte budget.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.opts.FailAfterReadBytes > 0 {
+		remaining := c.opts.FailAfterReadBytes - c.read
+		if remaining <= 0 {
+			c.broken = true
+			c.mu.Unlock()
+			c.Conn.Close()
+			return 0, &net.OpError{Op: "read", Net: "faultnet", Err: ErrInjected}
+		}
+		if int64(len(b)) > remaining {
+			b = b[:remaining]
+		}
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(b)
+	c.mu.Lock()
+	c.read += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Wrote returns the total bytes accepted on the write side (after caps,
+// before any failure).
+func (c *Conn) Wrote() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wrote
+}
+
+// Broken reports whether an injected failure has killed the connection.
+func (c *Conn) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// Listener wraps a net.Listener, injecting transient Accept errors: the
+// first FailAccepts calls to Accept fail with a retriable error before the
+// listener starts delegating. Exercises accept-retry backoff paths.
+type Listener struct {
+	net.Listener
+
+	mu          sync.Mutex
+	failAccepts int
+	// ConnOptions, when non-zero, wraps every accepted connection.
+	connOpts Options
+}
+
+// WrapListener decorates ln so its first failAccepts Accept calls fail with a
+// transient error, and every accepted connection carries connOpts faults.
+func WrapListener(ln net.Listener, failAccepts int, connOpts Options) *Listener {
+	return &Listener{Listener: ln, failAccepts: failAccepts, connOpts: connOpts}
+}
+
+// Accept fails transiently while the injection budget lasts, then delegates.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.failAccepts > 0 {
+		l.failAccepts--
+		l.mu.Unlock()
+		return nil, &net.OpError{Op: "accept", Net: "faultnet", Err: ErrInjected}
+	}
+	opts := l.connOpts
+	l.mu.Unlock()
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if opts == (Options{}) {
+		return conn, nil
+	}
+	return Wrap(conn, opts), nil
+}
+
+// FlakyDialer returns a dial function whose first fail attempts error before
+// it starts handing out connections from dial, each wrapped with opts.
+// Exercises reconnect backoff paths deterministically.
+func FlakyDialer(dial func() (net.Conn, error), fail int, opts Options) func() (net.Conn, error) {
+	var mu sync.Mutex
+	return func() (net.Conn, error) {
+		mu.Lock()
+		if fail > 0 {
+			fail--
+			mu.Unlock()
+			return nil, &net.OpError{Op: "dial", Net: "faultnet", Err: ErrInjected}
+		}
+		mu.Unlock()
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		if opts == (Options{}) {
+			return conn, nil
+		}
+		return Wrap(conn, opts), nil
+	}
+}

@@ -1,0 +1,203 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client conn and the raw server side.
+func pipePair(t *testing.T, opts Options) (*Conn, net.Conn) {
+	t.Helper()
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return Wrap(client, opts), server
+}
+
+// drain reads everything the server side receives until EOF or error.
+func drain(server net.Conn, into *bytes.Buffer, done chan<- struct{}) {
+	io.Copy(into, server)
+	close(done)
+}
+
+func TestMaxWriteFragmentsButDeliversAll(t *testing.T) {
+	client, server := pipePair(t, Options{MaxWrite: 7})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(server, &got, done)
+
+	msg := bytes.Repeat([]byte("abcdefghij"), 10)
+	n, err := client.Write(msg)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if n != len(msg) {
+		t.Fatalf("short write: %d of %d", n, len(msg))
+	}
+	client.Close()
+	<-done
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Fatalf("fragmented payload mismatch: got %d bytes", got.Len())
+	}
+}
+
+func TestFailAfterBytesTearsMidWrite(t *testing.T) {
+	client, server := pipePair(t, Options{FailAfterBytes: 10})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(server, &got, done)
+
+	n, err := client.Write(make([]byte, 25))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got n=%d err=%v", n, err)
+	}
+	if n != 10 {
+		t.Fatalf("torn write delivered %d bytes, want 10", n)
+	}
+	<-done
+	if got.Len() != 10 {
+		t.Fatalf("peer received %d bytes, want 10", got.Len())
+	}
+	if !client.Broken() {
+		t.Fatal("connection should be broken after budget")
+	}
+	if _, err := client.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("writes after failure must keep failing, got %v", err)
+	}
+}
+
+func TestCorruptEveryNFlipsOneBit(t *testing.T) {
+	client, server := pipePair(t, Options{CorruptEveryN: 2})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(server, &got, done)
+
+	msg := []byte("0123456789")
+	for i := 0; i < 4; i++ {
+		if _, err := client.Write(msg); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	client.Close()
+	<-done
+
+	want := bytes.Repeat(msg, 4)
+	diff := 0
+	for i, b := range got.Bytes() {
+		if b != want[i] {
+			diff++
+		}
+	}
+	// Writes 2 and 4 are corrupted, one flipped bit each.
+	if diff != 2 {
+		t.Fatalf("corrupted %d bytes, want 2", diff)
+	}
+}
+
+func TestWriteDelayThrottles(t *testing.T) {
+	client, server := pipePair(t, Options{WriteDelay: 20 * time.Millisecond})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(server, &got, done)
+
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Write([]byte("x")); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("3 delayed writes took %s, want >= 60ms", elapsed)
+	}
+	client.Close()
+	<-done
+}
+
+func TestFailAfterReadBytes(t *testing.T) {
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	wrapped := Wrap(client, Options{FailAfterReadBytes: 5})
+
+	go func() {
+		server.Write(make([]byte, 64))
+	}()
+	buf := make([]byte, 64)
+	total := 0
+	var err error
+	for {
+		var n int
+		n, err = wrapped.Read(buf[total:])
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected read error, got %v", err)
+	}
+	if total != 5 {
+		t.Fatalf("read %d bytes before failure, want 5", total)
+	}
+}
+
+func TestWrapListenerInjectsAcceptErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	fl := WrapListener(ln, 3, Options{})
+
+	for i := 0; i < 3; i++ {
+		if _, err := fl.Accept(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("accept %d: want injected error, got %v", i, err)
+		}
+	}
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	conn, err := fl.Accept()
+	if err != nil {
+		t.Fatalf("accept after budget: %v", err)
+	}
+	conn.Close()
+}
+
+func TestFlakyDialer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	addr := ln.Addr().String()
+	dial := FlakyDialer(func() (net.Conn, error) { return net.Dial("tcp", addr) }, 2, Options{MaxWrite: 3})
+	for i := 0; i < 2; i++ {
+		if _, err := dial(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("dial %d: want injected error, got %v", i, err)
+		}
+	}
+	conn, err := dial()
+	if err != nil {
+		t.Fatalf("dial after budget: %v", err)
+	}
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatalf("dialed conn not fault-wrapped: %T", conn)
+	}
+	conn.Close()
+}

@@ -27,16 +27,24 @@ func NewAsyncCollector() *AsyncCollector { return NewAsyncCollectorSize(DefaultA
 // NewAsyncCollectorSize starts a collector whose channel holds up to buf
 // events. buf must be at least 1.
 func NewAsyncCollectorSize(buf int) *AsyncCollector {
-	return &AsyncCollector{sc: NewShardedCollectorSize(1, buf)}
+	return NewAsyncCollectorOpts(buf, Block())
 }
 
-// Record enqueues the event for the drain goroutine. If the buffer is full
-// the producer blocks until the collector catches up — the collector is
-// lossless, matching the paper's requirement that profiles be complete
-// "from initialization to deallocation". Record after Close panics like any
-// send on a closed channel would; callers must stop producing before closing.
+// NewAsyncCollectorOpts starts a collector with an explicit buffer size and
+// overload policy.
+func NewAsyncCollectorOpts(buf int, policy OverloadPolicy) *AsyncCollector {
+	return &AsyncCollector{sc: NewShardedCollectorOpts(1, buf, policy)}
+}
+
+// Record enqueues the event for the drain goroutine. Under the default Block
+// policy a full buffer blocks the producer until the collector catches up —
+// the collector is lossless, matching the paper's requirement that profiles
+// be complete "from initialization to deallocation". DropNewest and Sample
+// trade completeness for bounded producer latency, with every undelivered
+// event counted in Stats().Dropped. Record after Close does not panic; the
+// event is counted as dropped.
 func (c *AsyncCollector) Record(e Event) {
-	c.sc.shards[0].record(e)
+	c.sc.shards[0].record(e, c.sc.policy)
 }
 
 // Close flushes buffered events, stops the drain goroutine and sorts the

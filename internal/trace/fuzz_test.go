@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -63,6 +65,129 @@ func FuzzStreamReader(f *testing.F) {
 		for i := range events {
 			if back[i] != events[i] {
 				t.Fatalf("event %d changed: %v -> %v", i, events[i], back[i])
+			}
+		}
+	})
+}
+
+// realSessionLogBytes builds the seed corpus the salvaging fuzzers start
+// from: a genuine saved session log (registry + events, end marker), produced
+// by the same code paths a profiling run uses.
+func realSessionLogBytes(tb testing.TB, dir string) []byte {
+	tb.Helper()
+	path := filepath.Join(dir, "seed.dslog")
+	s := NewSession()
+	s.Register(KindList, "List[int]", "jobs", 0)
+	s.Register(KindDictionary, "map[int]string", "names", 0)
+	events := make([]Event, 200)
+	for i := range events {
+		events[i] = Event{
+			Seq:      uint64(i + 1),
+			Instance: InstanceID(i%2 + 1),
+			Op:       Op(1 + i%8),
+			Index:    i % 17,
+			Size:     i,
+			Thread:   ThreadID(i % 3),
+		}
+	}
+	if err := SaveSessionLog(path, s, events); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzRecoverSessionLog throws arbitrary bytes at the salvaging loader. It
+// must never panic, never return an error once the header parses, and its
+// diagnostic must stay consistent with what it returned: the event count
+// matches, and a clean verdict implies the strict loader agrees.
+func FuzzRecoverSessionLog(f *testing.F) {
+	seed := realSessionLogBytes(f, f.TempDir())
+	f.Add(seed)
+	// Truncated, bit-flipped, and tail-garbage variants of the real log.
+	f.Add(seed[:len(seed)/2])
+	flipped := bytes.Clone(seed)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	f.Add(append(bytes.Clone(seed), 0xB7, 0x00, 0x01))
+	f.Add([]byte("DSSPY2\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.dslog")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sess, events, rec, err := RecoverSessionLog(path)
+		if err != nil {
+			// Only an unreadable header may error — and then nothing else.
+			if rec != nil || events != nil || sess != nil {
+				t.Fatalf("error %v must come alone, got rec=%v events=%d", err, rec, len(events))
+			}
+			return
+		}
+		if rec == nil {
+			t.Fatal("nil error requires a non-nil recovery diagnostic")
+		}
+		if len(events) != rec.Events {
+			t.Fatalf("returned %d events but diagnostic says %d", len(events), rec.Events)
+		}
+		if rec.DiscardedBytes < 0 || rec.DiscardedBytes > int64(len(data)) {
+			t.Fatalf("implausible discarded bytes %d of %d", rec.DiscardedBytes, len(data))
+		}
+		if rec.Clean() {
+			_, strict, err := LoadSessionLog(path)
+			if err != nil {
+				t.Fatalf("recovery says clean but strict load fails: %v", err)
+			}
+			if len(strict) != len(events) {
+				t.Fatalf("clean recovery has %d events, strict load %d", len(events), len(strict))
+			}
+		}
+	})
+}
+
+// FuzzChecksummedFrameReader mutates one byte of a valid version-2 stream and
+// checks the reader's dichotomy: every decode attempt either fails loudly
+// (checksum or structural error) or yields intact frames — a flipped payload
+// byte can never slip through silently. Salvage must always keep the frames
+// before the damage.
+func FuzzChecksummedFrameReader(f *testing.F) {
+	seed := realSessionLogBytes(f, f.TempDir())
+	f.Add(seed, 20, byte(0x01))
+	f.Add(seed, len(seed)/2, byte(0x80))
+	f.Add(seed, len(seed)-2, byte(0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte, pos int, mask byte) {
+		if len(data) == 0 {
+			return
+		}
+		mutated := bytes.Clone(data)
+		idx := pos
+		if idx < 0 {
+			idx = -idx
+		}
+		idx %= len(mutated)
+		mutated[idx] ^= mask
+
+		sr, err := NewStreamReader(bytes.NewReader(mutated))
+		if err != nil {
+			return
+		}
+		// Drive the salvaging entry loop directly: it must terminate, never
+		// panic, and classify every frame as good, checksum-failed, or
+		// structurally fatal.
+		for {
+			ent, err := sr.readEntry()
+			if err != nil {
+				break
+			}
+			if ent.kind == frameEvents && len(ent.events) > MaxBatch {
+				t.Fatalf("frame claims %d events, above MaxBatch", len(ent.events))
 			}
 		}
 	})

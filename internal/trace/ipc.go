@@ -1,10 +1,13 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Out-of-process collection. DSspy "executes the dynamic analysis module in a
@@ -13,7 +16,16 @@ import (
 // batches events and ships them over a net.Conn. CollectorServer is the
 // consumer side: it accepts one or more producer connections and accumulates
 // their events for post-mortem analysis. Producer and consumer may live in
-// the same process (tests, examples) or different ones (cmd/dsspy -collect).
+// the same process (tests, examples) or different ones (cmd/dsspy -collect /
+// -listen).
+//
+// The server is built to survive the failures long profiling runs actually
+// hit: transient Accept errors are retried with backoff (the net/http
+// pattern), each connection reads under a deadline so a wedged producer
+// cannot pin a goroutine forever, a connection cap bounds memory under
+// accept storms, and a producer stream that dies mid-flight keeps every
+// event decoded before the error — salvaged, and accounted per connection in
+// ServerStats.
 
 // SocketRecorder forwards events over a network connection using the wire
 // format. Events are buffered and flushed in batches; Close flushes the tail
@@ -24,6 +36,12 @@ type SocketRecorder struct {
 	conn net.Conn
 	buf  []Event
 	err  error
+
+	writeTimeout time.Duration
+
+	recorded  uint64
+	delivered uint64
+	dropped   uint64
 }
 
 // DefaultSocketBatch is the number of events buffered before a flush.
@@ -53,14 +71,25 @@ func NewSocketRecorder(conn net.Conn) (*SocketRecorder, error) {
 	}, nil
 }
 
+// SetWriteTimeout bounds each flush: a write that cannot complete within d
+// fails with a timeout instead of blocking the producer indefinitely behind
+// a stalled collector. Zero (the default) means no deadline.
+func (s *SocketRecorder) SetWriteTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.writeTimeout = d
+	s.mu.Unlock()
+}
+
 // Record buffers the event, flushing a full batch to the connection.
 // A transport error is sticky: it is remembered and returned by Close, and
-// subsequent events are dropped, so instrumented code never crashes because
-// the collector went away.
+// subsequent events are dropped — counted, never silently lost — so
+// instrumented code never crashes because the collector went away.
 func (s *SocketRecorder) Record(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.err != nil {
+	s.recorded++
+	if s.err != nil || s.conn == nil {
+		s.dropped++
 		return
 	}
 	s.buf = append(s.buf, e)
@@ -70,10 +99,83 @@ func (s *SocketRecorder) Record(e Event) {
 }
 
 func (s *SocketRecorder) flushLocked() {
-	if err := s.sw.WriteBatch(s.buf); err != nil && s.err == nil {
-		s.err = err
+	n := len(s.buf)
+	if n == 0 {
+		return
+	}
+	if err := s.writeBatchLocked(s.buf); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		s.dropped += uint64(n)
+	} else {
+		s.delivered += uint64(n)
 	}
 	s.buf = s.buf[:0]
+}
+
+// writeBatchLocked ships one batch under the write deadline. It flushes the
+// stream writer so a transport failure surfaces on the batch that hit it,
+// not batches later.
+func (s *SocketRecorder) writeBatchLocked(events []Event) error {
+	if s.writeTimeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		defer s.conn.SetWriteDeadline(time.Time{})
+	}
+	if err := s.sw.WriteBatch(events); err != nil {
+		return err
+	}
+	return s.sw.Flush()
+}
+
+// sendBatch writes a batch immediately, bypassing the Record buffer and its
+// counters. The resilient recorder uses it as a raw transport primitive and
+// does its own accounting.
+func (s *SocketRecorder) sendBatch(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.conn == nil {
+		return errors.New("trace: socket recorder closed")
+	}
+	if err := s.writeBatchLocked(events); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// abandon tears the connection down without flushing or writing the end
+// marker. The resilient recorder calls it when a write fails: the transport
+// is untrustworthy, so the remaining events take the spill path instead.
+func (s *SocketRecorder) abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	if s.err == nil {
+		s.err = errors.New("trace: socket recorder abandoned")
+	}
+}
+
+// SocketStats accounts for every event handed to a socket recorder:
+// Recorded == Delivered + Dropped + (events still buffered). After Close the
+// buffer is empty and the identity is exact.
+type SocketStats struct {
+	Recorded  uint64 // events handed to Record
+	Delivered uint64 // events written to the connection without error
+	Dropped   uint64 // events discarded after a transport error or Close
+}
+
+// Stats returns a snapshot of the recorder's delivery accounting.
+func (s *SocketRecorder) Stats() SocketStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SocketStats{Recorded: s.recorded, Delivered: s.delivered, Dropped: s.dropped}
 }
 
 // Close flushes buffered events, writes the end marker, closes the
@@ -81,6 +183,29 @@ func (s *SocketRecorder) flushLocked() {
 func (s *SocketRecorder) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+// FinishSession flushes buffered events, appends the session's instance
+// registry as metadata frames, writes the end marker and closes the
+// connection. A collector server receiving this stream can rebuild a replay
+// session (CollectorServer.Session) without the producing process.
+func (s *SocketRecorder) FinishSession(sess *Session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return s.err
+	}
+	s.flushLocked()
+	if s.err == nil {
+		if err := s.sw.WriteInstances(sess.Instances()); err != nil {
+			s.err = err
+		}
+	}
+	return s.closeLocked()
+}
+
+func (s *SocketRecorder) closeLocked() error {
 	if s.conn == nil {
 		return s.err
 	}
@@ -95,37 +220,155 @@ func (s *SocketRecorder) Close() error {
 	return s.err
 }
 
+// ServerOptions hardens a collector server for long unattended runs.
+// The zero value preserves the permissive defaults: no read deadline, no
+// connection cap.
+type ServerOptions struct {
+	// ConnTimeout is the per-frame read deadline on producer connections. A
+	// producer that goes silent longer than this has its stream terminated
+	// (and salvaged). Zero means no deadline.
+	ConnTimeout time.Duration
+	// MaxConns caps concurrent producer connections; further connections are
+	// closed immediately and counted in ServerStats.Rejected. Zero means
+	// unlimited.
+	MaxConns int
+	// AcceptBackoffMax caps the exponential backoff between retries of a
+	// failing Accept. Defaults to 1s.
+	AcceptBackoffMax time.Duration
+}
+
+// ConnStats describes one producer connection's outcome.
+type ConnStats struct {
+	Remote        string
+	Events        int  // events accepted into the store from this connection
+	Instances     int  // registry records received
+	SkippedFrames int  // checksum-failed frames skipped mid-stream
+	Complete      bool // end-of-stream marker seen
+	Err           string // terminal error, "" for a clean stream
+}
+
+// Salvaged reports whether the connection's events come from a partial
+// stream: the producer died, the link broke, or the deadline fired before
+// the end marker.
+func (c ConnStats) Salvaged() bool { return !c.Complete && c.Events > 0 }
+
+// ServerStats is the observability surface of a collector server: what it
+// accepted, what it refused, what it had to retry, and the per-connection
+// delivery outcome — including how many events were salvaged from streams
+// that never completed.
+type ServerStats struct {
+	Accepted      int // connections served
+	Rejected      int // connections refused by MaxConns
+	AcceptRetries int // transient Accept errors survived with backoff
+	Conns         []ConnStats
+}
+
+// SalvagedEvents totals events recovered from incomplete producer streams.
+func (ss ServerStats) SalvagedEvents() int {
+	n := 0
+	for _, c := range ss.Conns {
+		if c.Salvaged() {
+			n += c.Events
+		}
+	}
+	return n
+}
+
+// Write renders the stats in the layout `dsspy -stats` prints.
+func (ss ServerStats) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Collector server: %d conn(s) accepted, %d rejected, %d accept retries, %d salvaged event(s)\n",
+		ss.Accepted, ss.Rejected, ss.AcceptRetries, ss.SalvagedEvents()); err != nil {
+		return err
+	}
+	for i, c := range ss.Conns {
+		status := "complete"
+		if !c.Complete {
+			status = "partial"
+		}
+		line := fmt.Sprintf("  conn %d (%s): %d event(s), %d instance(s), %s", i, c.Remote, c.Events, c.Instances, status)
+		if c.SkippedFrames > 0 {
+			line += fmt.Sprintf(", %d corrupt frame(s) skipped", c.SkippedFrames)
+		}
+		if c.Err != "" {
+			line += fmt.Sprintf(", error: %s", c.Err)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CollectorServer accepts producer connections and accumulates their events.
 type CollectorServer struct {
-	ln net.Listener
+	ln   net.Listener
+	opts ServerOptions
 
-	mu     sync.Mutex
-	events []Event
-	errs   []error
+	mu        sync.Mutex
+	cond      *sync.Cond
+	events    []Event
+	instances map[InstanceID]Instance
+	open      map[net.Conn]struct{}
+	conns     []*ConnStats
+	errs      []error
+	accepted  int
+	rejected  int
+	retries   int
+	active    int
+	completed int
+	closed    bool
 
 	wg      sync.WaitGroup
 	closing chan struct{}
 }
 
-// ListenCollector starts a collector server on the given listener address.
-// Use network "tcp" with addr "127.0.0.1:0" for an ephemeral port, or
-// "unix" with a socket path.
+// ListenCollector starts a collector server with default options on the
+// given listener address. Use network "tcp" with addr "127.0.0.1:0" for an
+// ephemeral port, or "unix" with a socket path.
 func ListenCollector(network, addr string) (*CollectorServer, error) {
+	return ListenCollectorOpts(network, addr, ServerOptions{})
+}
+
+// ListenCollectorOpts starts a collector server with explicit hardening
+// options.
+func ListenCollectorOpts(network, addr string, opts ServerOptions) (*CollectorServer, error) {
 	ln, err := net.Listen(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("trace: starting collector: %w", err)
 	}
-	cs := &CollectorServer{ln: ln, closing: make(chan struct{})}
+	return NewCollectorServer(ln, opts), nil
+}
+
+// NewCollectorServer starts a collector server on an existing listener —
+// tests wrap the listener with fault injection, and embedders bring their
+// own (pre-bound sockets, TLS).
+func NewCollectorServer(ln net.Listener, opts ServerOptions) *CollectorServer {
+	if opts.AcceptBackoffMax <= 0 {
+		opts.AcceptBackoffMax = time.Second
+	}
+	cs := &CollectorServer{
+		ln:        ln,
+		opts:      opts,
+		instances: make(map[InstanceID]Instance),
+		open:      make(map[net.Conn]struct{}),
+		closing:   make(chan struct{}),
+	}
+	cs.cond = sync.NewCond(&cs.mu)
 	cs.wg.Add(1)
 	go cs.acceptLoop()
-	return cs, nil
+	return cs
 }
 
 // Addr returns the address producers should dial.
 func (cs *CollectorServer) Addr() net.Addr { return cs.ln.Addr() }
 
+// acceptLoop accepts until the server closes. Transient Accept errors —
+// EMFILE bursts, resets on half-open connections — are retried with
+// exponential backoff instead of killing the server (the net/http pattern);
+// only listener closure ends the loop.
 func (cs *CollectorServer) acceptLoop() {
 	defer cs.wg.Done()
+	var delay time.Duration
 	for {
 		conn, err := cs.ln.Accept()
 		if err != nil {
@@ -134,29 +377,139 @@ func (cs *CollectorServer) acceptLoop() {
 				return
 			default:
 			}
-			cs.addErr(err)
-			return
+			if errors.Is(err, net.ErrClosed) {
+				cs.addErr(err)
+				return
+			}
+			if delay == 0 {
+				delay = 5 * time.Millisecond
+			} else {
+				delay *= 2
+			}
+			if delay > cs.opts.AcceptBackoffMax {
+				delay = cs.opts.AcceptBackoffMax
+			}
+			cs.mu.Lock()
+			cs.retries++
+			cs.mu.Unlock()
+			select {
+			case <-cs.closing:
+				return
+			case <-time.After(delay):
+			}
+			continue
 		}
+		delay = 0
+
+		cs.mu.Lock()
+		if cs.opts.MaxConns > 0 && cs.active >= cs.opts.MaxConns {
+			cs.rejected++
+			cs.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		cs.active++
+		cs.accepted++
+		st := &ConnStats{Remote: remoteString(conn)}
+		cs.conns = append(cs.conns, st)
+		cs.open[conn] = struct{}{}
+		cs.mu.Unlock()
+
 		cs.wg.Add(1)
-		go cs.serve(conn)
+		go cs.serve(conn, st)
 	}
 }
 
-func (cs *CollectorServer) serve(conn net.Conn) {
+func remoteString(conn net.Conn) string {
+	if ra := conn.RemoteAddr(); ra != nil {
+		return ra.String()
+	}
+	return "<unknown>"
+}
+
+// serve decodes one producer stream. Events are appended to the store batch
+// by batch, so a stream that dies mid-flight keeps everything decoded before
+// the error — the partial prefix is salvaged, not discarded. Checksum-failed
+// frames are skipped and counted; structural damage ends the stream with its
+// prefix intact.
+func (cs *CollectorServer) serve(conn net.Conn, st *ConnStats) {
 	defer cs.wg.Done()
 	defer conn.Close()
+	defer cs.connDone(conn)
+
+	// A stream that dies is a per-connection outcome, not a server failure:
+	// it is recorded in ConnStats (and the prefix salvaged), while Close's
+	// error stays reserved for the server's own plumbing.
+	fail := func(err error) {
+		cs.mu.Lock()
+		st.Err = err.Error()
+		cs.mu.Unlock()
+	}
+
+	cs.extendDeadline(conn)
 	sr, err := NewStreamReader(conn)
 	if err != nil {
-		cs.addErr(err)
+		fail(err)
 		return
 	}
-	events, err := sr.ReadAll()
-	if err != nil {
-		cs.addErr(err)
+	sawEnd := false
+	for {
+		cs.extendDeadline(conn)
+		ent, err := sr.readEntry()
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrChecksum):
+			cs.mu.Lock()
+			st.SkippedFrames++
+			cs.mu.Unlock()
+			continue
+		case err == io.EOF && sawEnd:
+			return
+		default:
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			fail(err)
+			return
+		}
+		switch ent.kind {
+		case frameEnd:
+			// Events first, registry afterwards; keep reading registry
+			// frames until the stream truly ends.
+			sawEnd = true
+			cs.mu.Lock()
+			st.Complete = true
+			cs.mu.Unlock()
+		case frameEvents:
+			cs.mu.Lock()
+			cs.events = append(cs.events, ent.events...)
+			st.Events += len(ent.events)
+			cs.mu.Unlock()
+		case frameInstance:
+			cs.mu.Lock()
+			if _, ok := cs.instances[ent.instance.ID]; !ok {
+				cs.instances[ent.instance.ID] = ent.instance
+			}
+			st.Instances++
+			cs.mu.Unlock()
+		}
 	}
+}
+
+func (cs *CollectorServer) extendDeadline(conn net.Conn) {
+	if cs.opts.ConnTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(cs.opts.ConnTimeout))
+	}
+}
+
+// connDone retires one connection and wakes WaitStreams waiters.
+func (cs *CollectorServer) connDone(conn net.Conn) {
 	cs.mu.Lock()
-	cs.events = append(cs.events, events...)
+	delete(cs.open, conn)
+	cs.active--
+	cs.completed++
 	cs.mu.Unlock()
+	cs.cond.Broadcast()
 }
 
 func (cs *CollectorServer) addErr(err error) {
@@ -165,21 +518,66 @@ func (cs *CollectorServer) addErr(err error) {
 	cs.mu.Unlock()
 }
 
-// Close stops accepting connections and waits for in-flight producer streams
-// to finish. It returns the first connection error, if any.
+// WaitStreams blocks until n producer streams have finished (completely or
+// partially) or the server is closed. It is how `dsspy -listen` knows the
+// producers it was waiting for are done.
+func (cs *CollectorServer) WaitStreams(n int) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for cs.completed < n && !cs.closed {
+		cs.cond.Wait()
+	}
+}
+
+// Close stops accepting connections and waits for in-flight producer
+// streams to finish (a wedged producer is bounded by ConnTimeout, if set).
+// It returns the first server-level error; per-connection stream errors are
+// reported in ServerStats, not here.
 func (cs *CollectorServer) Close() error {
-	close(cs.closing)
+	return cs.shutdown(false)
+}
+
+// Abort is Close with crash semantics: still-open producer connections are
+// torn down instead of drained. Their decoded prefixes are salvaged like any
+// other dead stream. Tests use it to model a collector that dies mid-run.
+func (cs *CollectorServer) Abort() error {
+	return cs.shutdown(true)
+}
+
+func (cs *CollectorServer) shutdown(kill bool) error {
+	cs.mu.Lock()
+	alreadyClosed := cs.closed
+	cs.closed = true
+	var open []net.Conn
+	if kill {
+		open = make([]net.Conn, 0, len(cs.open))
+		for conn := range cs.open {
+			open = append(open, conn)
+		}
+	}
+	cs.mu.Unlock()
+	cs.cond.Broadcast()
+	if !alreadyClosed {
+		close(cs.closing)
+	}
 	cs.ln.Close()
+	for _, conn := range open {
+		conn.Close()
+	}
 	cs.wg.Wait()
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	if len(cs.errs) > 0 {
-		return cs.errs[0]
+	for _, err := range cs.errs {
+		if !errors.Is(err, net.ErrClosed) {
+			return err
+		}
 	}
 	return nil
 }
 
 // Events returns all events received so far, ordered by sequence number.
+// Events salvaged from partial streams are included; ServerStats tells them
+// apart per connection.
 func (cs *CollectorServer) Events() []Event {
 	cs.mu.Lock()
 	out := make([]Event, len(cs.events))
@@ -187,4 +585,44 @@ func (cs *CollectorServer) Events() []Event {
 	cs.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
+}
+
+// Session rebuilds a replay session from the registry frames producers sent
+// with FinishSession. Instances the registry never named (their frames were
+// lost with a partial stream) appear as placeholders, so analysis can still
+// bucket their events.
+func (cs *CollectorServer) Session() *Session {
+	s := NewSessionWith(Options{Recorder: NullRecorder{}})
+	cs.mu.Lock()
+	ids := make([]InstanceID, 0, len(cs.instances))
+	for id := range cs.instances {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	instances := make([]Instance, len(ids))
+	for i, id := range ids {
+		instances[i] = cs.instances[id]
+	}
+	cs.mu.Unlock()
+	for _, inst := range instances {
+		s.restoreInstance(inst)
+	}
+	return s
+}
+
+// ServerStats returns a snapshot of the server's accept/reject/retry
+// counters and per-connection outcomes.
+func (cs *CollectorServer) ServerStats() ServerStats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ss := ServerStats{
+		Accepted:      cs.accepted,
+		Rejected:      cs.rejected,
+		AcceptRetries: cs.retries,
+		Conns:         make([]ConnStats, len(cs.conns)),
+	}
+	for i, c := range cs.conns {
+		ss.Conns[i] = *c
+	}
+	return ss
 }

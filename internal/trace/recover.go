@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Salvaging loaders. A multi-hour trace must not become worthless because the
+// producing process died mid-write or a disk sector flipped a bit: the
+// recovery loaders decode the longest valid prefix of a damaged stream, skip
+// frames whose checksum fails, and report exactly what was lost. They are the
+// post-mortem half of the delivery/accounting invariant — an event that could
+// not be delivered live is either recovered here or counted in the
+// diagnostic, never silently gone.
+
+// Recovery describes what a salvaging load managed to decode and what it had
+// to give up. A zero SkippedFrames/DiscardedBytes with Truncated == false
+// means the stream was intact.
+type Recovery struct {
+	Events    int // events recovered
+	Instances int // registry records recovered
+	// SkippedFrames counts event-batch frames dropped because their CRC32
+	// check failed; SkippedEvents is the number of events those frames
+	// declared. Only version-2 streams carry checksums.
+	SkippedFrames int
+	SkippedEvents int
+	// Truncated reports that the stream ended without the end-of-stream
+	// marker: the producer died mid-run or the tail was cut.
+	Truncated bool
+	// DiscardedBytes is the length of the undecodable tail.
+	DiscardedBytes int64
+	// Err is the structural error that stopped decoding, nil when the stream
+	// was read to its end marker.
+	Err error
+}
+
+// Clean reports whether the stream was decoded completely with no loss.
+func (r *Recovery) Clean() bool {
+	return r != nil && !r.Truncated && r.SkippedFrames == 0 && r.Err == nil
+}
+
+// String summarizes the recovery for logs and CLI output.
+func (r *Recovery) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("intact: %d events, %d instances", r.Events, r.Instances)
+	}
+	s := fmt.Sprintf("recovered %d events, %d instances", r.Events, r.Instances)
+	if r.SkippedFrames > 0 {
+		s += fmt.Sprintf("; skipped %d corrupt frame(s) (%d events)", r.SkippedFrames, r.SkippedEvents)
+	}
+	if r.Truncated {
+		s += fmt.Sprintf("; truncated tail (%d bytes discarded)", r.DiscardedBytes)
+	}
+	if r.Err != nil {
+		s += fmt.Sprintf("; stopped at: %v", r.Err)
+	}
+	return s
+}
+
+// RecoverSessionLog loads as much of a session log as is decodable: every
+// event batch and registry record before the first structural damage, minus
+// any checksum-failed frames (which are skipped, counted, and decoding
+// continues). The returned error is non-nil only when nothing could be
+// salvaged at all — the file is unreadable or its header is not a DSspy
+// stream. Damage inside the stream is reported through the Recovery
+// diagnostic instead, which is always non-nil on a nil error.
+func RecoverSessionLog(path string) (*Session, []Event, *Recovery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("trace: opening session log: %w", err)
+	}
+	defer f.Close()
+	size := int64(-1)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+
+	sr, err := NewStreamReader(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := NewSessionWith(Options{Recorder: NullRecorder{}})
+	events, rec := recoverStream(sr, size, func(inst Instance) {
+		s.restoreInstance(inst)
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	return s, events, rec, nil
+}
+
+// RecoverEventLog salvages an events-only stream (a FileRecorder log or a
+// resilient recorder's spill file). Spill files have no end-of-stream marker
+// by design — the producer may die at any moment — so Truncated is expected
+// for them and only SkippedFrames/DiscardedBytes indicate real loss.
+func RecoverEventLog(path string) ([]Event, *Recovery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: opening event log: %w", err)
+	}
+	defer f.Close()
+	size := int64(-1)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	sr, err := NewStreamReader(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	events, rec := recoverStream(sr, size, nil)
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	return events, rec, nil
+}
+
+// recoverStream drives the salvaging decode loop: read frames until the end
+// marker, the underlying EOF, or structural damage; skip checksum-failed
+// event frames. onInstance, when non-nil, receives registry records.
+func recoverStream(sr *StreamReader, size int64, onInstance func(Instance)) ([]Event, *Recovery) {
+	rec := &Recovery{}
+	var events []Event
+	sawEnd := false
+loop:
+	for {
+		// Offset of the last frame boundary: everything before it decoded.
+		boundary := sr.Offset()
+		ent, err := sr.readEntry()
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrChecksum):
+			// The frame was fully consumed; its payload is untrustworthy but
+			// the framing survives. Skip it and keep decoding.
+			rec.SkippedFrames++
+			rec.SkippedEvents += len(ent.events)
+			continue
+		case err == io.EOF && sawEnd:
+			// Clean end: marker seen, then EOF.
+			break loop
+		default:
+			// Structural damage (cut mid-frame, bad kind byte, implausible
+			// length): everything from the last frame boundary on is
+			// undecodable.
+			rec.Truncated = true
+			rec.Err = err
+			if err == io.EOF {
+				// EOF exactly at a frame boundary without an end marker: the
+				// tail is missing but no partial frame was discarded.
+				rec.Err = nil
+			}
+			if size >= 0 {
+				rec.DiscardedBytes = size - boundary
+			}
+			break loop
+		}
+		switch ent.kind {
+		case frameEnd:
+			// Events first, registry afterwards; remember the marker and
+			// keep reading until the stream truly ends.
+			sawEnd = true
+		case frameEvents:
+			events = append(events, ent.events...)
+			rec.Events += len(ent.events)
+		case frameInstance:
+			rec.Instances++
+			if onInstance != nil {
+				onInstance(ent.instance)
+			}
+		}
+	}
+	return events, rec
+}

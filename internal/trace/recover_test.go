@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// recoverFixture saves a session log with a known shape: 3 instances, 100
+// events across 2 frames (batch split forced by writing two batches).
+func recoverFixture(t *testing.T) (string, *Session, []Event) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "session.dslog")
+	s := NewSession()
+	s.Register(KindList, "[]int", "jobs", 0)
+	s.Register(KindDictionary, "map[string]int", "index", 0)
+	s.Register(KindQueue, "chan int", "work", 0)
+	events := make([]Event, 100)
+	for i := range events {
+		events[i] = Event{
+			Seq:      uint64(i + 1),
+			Instance: InstanceID(i%3 + 1),
+			Op:       OpInsert,
+			Index:    i,
+			Size:     i + 1,
+			Thread:   ThreadID(i % 4),
+		}
+	}
+	if err := SaveSessionLog(path, s, events); err != nil {
+		t.Fatal(err)
+	}
+	return path, s, events
+}
+
+func TestRecoverIntactLogMatchesStrictLoad(t *testing.T) {
+	path, _, events := recoverFixture(t)
+	strictSess, strictEvents, err := LoadSessionLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, recovered, rec, err := RecoverSessionLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Clean() {
+		t.Fatalf("intact log reported unclean: %s", rec)
+	}
+	if rec.Events != len(events) || rec.Instances != 3 {
+		t.Fatalf("recovery counted %d events, %d instances; want %d, 3", rec.Events, rec.Instances, len(events))
+	}
+	if len(recovered) != len(strictEvents) {
+		t.Fatalf("recover got %d events, strict load got %d", len(recovered), len(strictEvents))
+	}
+	for i := range recovered {
+		if recovered[i] != strictEvents[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, recovered[i], strictEvents[i])
+		}
+	}
+	if len(sess.Instances()) != len(strictSess.Instances()) {
+		t.Fatalf("registry size differs: %d vs %d", len(sess.Instances()), len(strictSess.Instances()))
+	}
+}
+
+// TestRecoverTruncatedLog cuts the log at every byte boundary in its tail
+// region and asserts the salvaging loader recovers every frame before the
+// cut, reports a non-nil diagnostic, and never errors.
+func TestRecoverTruncatedLog(t *testing.T) {
+	path, _, _ := recoverFixture(t)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame layout: 7 magic, then an event frame of 5+100*38+4 bytes would
+	// exceed MaxBatch? No: 100 < MaxBatch, single frame. Cut inside it, after
+	// it, and inside the registry frames.
+	frame1End := 7 + 5 + 100*eventSize + 4
+	cuts := []struct {
+		name       string
+		at         int
+		wantEvents int
+	}{
+		{"mid first frame", 7 + 5 + 50*eventSize, 0},
+		{"exactly after event frame", frame1End, 100},
+		{"mid registry", frame1End + 3, 100},
+		{"before end marker", len(whole) - 1, 100},
+	}
+	for _, cut := range cuts {
+		t.Run(cut.name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "cut.dslog")
+			if err := os.WriteFile(p, whole[:cut.at], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, events, rec, err := RecoverSessionLog(p)
+			if err != nil {
+				t.Fatalf("recover errored on truncation: %v", err)
+			}
+			if rec == nil {
+				t.Fatal("truncated log must yield a non-nil diagnostic")
+			}
+			if !rec.Truncated {
+				t.Fatalf("cut at %d not reported truncated: %s", cut.at, rec)
+			}
+			if len(events) != cut.wantEvents {
+				t.Fatalf("cut at %d recovered %d events, want %d", cut.at, len(events), cut.wantEvents)
+			}
+			if rec.DiscardedBytes < 0 {
+				t.Fatalf("negative discarded bytes: %d", rec.DiscardedBytes)
+			}
+		})
+	}
+}
+
+// TestRecoverSkipsCorruptFrame flips a payload byte in the first of two event
+// frames: its checksum fails, the frame is skipped and counted, and the
+// second frame plus the registry still load.
+func TestRecoverSkipsCorruptFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.dslog")
+	s := NewSession()
+	s.Register(KindList, "[]int", "jobs", 0)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := func(lo, n int) []Event {
+		out := make([]Event, n)
+		for i := range out {
+			out[i] = Event{Seq: uint64(lo + i), Instance: 1, Op: OpRead, Index: NoIndex, Size: 1}
+		}
+		return out
+	}
+	if err := sw.WriteBatch(batch(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteBatch(batch(11, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteInstances(s.Instances()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[7+5+3*eventSize] ^= 0x01 // inside frame 1's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, events, rec, err := RecoverSessionLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SkippedFrames != 1 || rec.SkippedEvents != 10 {
+		t.Fatalf("skip accounting wrong: %+v", rec)
+	}
+	if rec.Clean() {
+		t.Fatal("corrupt log reported clean")
+	}
+	if rec.Truncated {
+		t.Fatalf("corruption misreported as truncation: %s", rec)
+	}
+	if len(events) != 10 {
+		t.Fatalf("recovered %d events, want the 10 from the good frame", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(11+i) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, 11+i)
+		}
+	}
+	if got := len(sess.Instances()); got != 1 {
+		t.Fatalf("registry lost: %d instances, want 1", got)
+	}
+}
+
+func TestRecoverUnreadableInputs(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, _, err := RecoverSessionLog(filepath.Join(dir, "missing.dslog")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	garbage := filepath.Join(dir, "garbage.dslog")
+	if err := os.WriteFile(garbage, []byte("not a dsspy stream at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := RecoverSessionLog(garbage); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	empty := filepath.Join(dir, "empty.dslog")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := RecoverSessionLog(empty); err == nil {
+		t.Fatal("empty file must error")
+	}
+}
+
+// TestRecoverEventLogSpillSemantics exercises the WAL shape the resilient
+// recorder writes: no end marker. Truncated is expected; the events survive.
+func TestRecoverEventLogSpillSemantics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.dslog")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make([]Event, 25)
+	for i := range events {
+		events[i] = Event{Seq: uint64(i + 1), Instance: 1, Op: OpWrite, Index: i, Size: 1}
+	}
+	if err := sw.WriteBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil { // no end marker: crash semantics
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, rec, err := RecoverEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated {
+		t.Fatal("marker-less WAL should report truncated")
+	}
+	if rec.Err != nil {
+		t.Fatalf("EOF at a frame boundary is not damage, got %v", rec.Err)
+	}
+	if rec.DiscardedBytes != 0 {
+		t.Fatalf("no bytes should be discarded, got %d", rec.DiscardedBytes)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("recovered %d events, want %d", len(got), len(events))
+	}
+}

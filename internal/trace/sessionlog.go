@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -32,17 +31,27 @@ func SaveSessionLog(path string, s *Session, events []Event) error {
 		f.Close()
 		return err
 	}
-	for _, inst := range s.Instances() {
-		if err := sw.writeInstance(inst); err != nil {
-			f.Close()
-			return err
-		}
+	if err := sw.WriteInstances(s.Instances()); err != nil {
+		f.Close()
+		return err
 	}
 	if err := sw.Close(); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// WriteInstances appends registry frames for the given instances. Producers
+// that ship events over a socket call this (via FinishSession) so the
+// collector side can rebuild a replay session without the producing process.
+func (sw *StreamWriter) WriteInstances(instances []Instance) error {
+	for _, inst := range instances {
+		if err := sw.writeInstance(inst); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeInstance emits one registry frame.
@@ -58,43 +67,79 @@ func (sw *StreamWriter) writeInstance(inst Instance) error {
 		return err
 	}
 	for _, s := range []string{inst.TypeName, inst.Label, inst.Site.File, inst.Site.Function} {
-		if err := writeString(sw.w, s); err != nil {
+		if err := sw.writeString(s); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeString(w *bufio.Writer, s string) error {
-	if len(s) > 0xFFFF {
-		s = s[:0xFFFF]
-	}
-	var n [2]byte
-	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
-	if _, err := w.Write(n[:]); err != nil {
+// writeString emits a uvarint length prefix followed by the bytes. Version 1
+// used a uint16 prefix and silently truncated longer strings, which corrupted
+// the registry on round-trip; the uvarint prefix removes the limit (the read
+// side still bounds lengths to keep corrupt streams from provoking giant
+// allocations).
+func (sw *StreamWriter) writeString(s string) error {
+	var n [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(n[:], uint64(len(s)))
+	if _, err := sw.w.Write(n[:k]); err != nil {
 		return err
 	}
-	_, err := w.WriteString(s)
+	_, err := sw.w.WriteString(s)
 	return err
 }
 
-func readString(r *bufio.Reader) (string, error) {
-	var n [2]byte
-	if _, err := io.ReadFull(r, n[:]); err != nil {
-		return "", err
+// readString decodes one length-prefixed string: uint16 prefix in version-1
+// streams, uvarint in version 2.
+func (sr *StreamReader) readString() (string, error) {
+	var length uint64
+	if sr.version == 1 {
+		var n [2]byte
+		if err := sr.readFull(n[:]); err != nil {
+			return "", noEOF(err)
+		}
+		length = uint64(binary.LittleEndian.Uint16(n[:]))
+	} else {
+		var err error
+		if length, err = sr.readUvarint(); err != nil {
+			return "", err
+		}
 	}
-	buf := make([]byte, binary.LittleEndian.Uint16(n[:]))
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	if length > maxWireString {
+		return "", fmt.Errorf("%w: string of %d bytes exceeds max %d", ErrBadStream, length, maxWireString)
+	}
+	buf := make([]byte, length)
+	if err := sr.readFull(buf); err != nil {
+		return "", noEOF(err)
 	}
 	return string(buf), nil
+}
+
+func (sr *StreamReader) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := sr.readByte()
+		if err != nil {
+			return 0, noEOF(err)
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("%w: uvarint overflow", ErrBadStream)
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, fmt.Errorf("%w: uvarint overflow", ErrBadStream)
 }
 
 // readInstance decodes one registry frame body.
 func (sr *StreamReader) readInstance() (Instance, error) {
 	var hdr [9]byte
-	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
-		return Instance{}, fmt.Errorf("trace: reading instance frame: %w", err)
+	if err := sr.readFull(hdr[:]); err != nil {
+		return Instance{}, fmt.Errorf("trace: reading instance frame: %w", noEOF(err))
 	}
 	inst := Instance{
 		ID:   InstanceID(binary.LittleEndian.Uint32(hdr[0:])),
@@ -102,23 +147,25 @@ func (sr *StreamReader) readInstance() (Instance, error) {
 	}
 	inst.Site.Line = int(binary.LittleEndian.Uint32(hdr[5:]))
 	var err error
-	if inst.TypeName, err = readString(sr.r); err != nil {
+	if inst.TypeName, err = sr.readString(); err != nil {
 		return Instance{}, err
 	}
-	if inst.Label, err = readString(sr.r); err != nil {
+	if inst.Label, err = sr.readString(); err != nil {
 		return Instance{}, err
 	}
-	if inst.Site.File, err = readString(sr.r); err != nil {
+	if inst.Site.File, err = sr.readString(); err != nil {
 		return Instance{}, err
 	}
-	if inst.Site.Function, err = readString(sr.r); err != nil {
+	if inst.Site.Function, err = sr.readString(); err != nil {
 		return Instance{}, err
 	}
 	return inst, nil
 }
 
 // LoadSessionLog reads a session log back: a replay session whose registry
-// matches the saved one, plus the events in sequence order.
+// matches the saved one, plus the events in sequence order. It is strict: any
+// damage fails the whole load. For partially written or corrupted logs use
+// RecoverSessionLog, which salvages the decodable prefix instead.
 func LoadSessionLog(path string) (*Session, []Event, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -133,40 +180,28 @@ func LoadSessionLog(path string) (*Session, []Event, error) {
 	s := NewSessionWith(Options{Recorder: NullRecorder{}})
 	var events []Event
 	for {
-		kind, err := sr.r.ReadByte()
+		ent, err := sr.readEntry()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, nil, err
 		}
-		switch kind {
+		switch ent.kind {
 		case frameEnd:
 			// Events first, registry afterwards; keep reading registry
 			// frames until the stream truly ends.
 			continue
 		case frameEvents:
-			if err := sr.r.UnreadByte(); err != nil {
-				return nil, nil, err
-			}
-			batch, err := sr.ReadBatch()
-			if err != nil {
-				return nil, nil, err
-			}
-			events = append(events, batch...)
+			events = append(events, ent.events...)
 		case frameInstance:
-			inst, err := sr.readInstance()
-			if err != nil {
-				return nil, nil, err
-			}
+			inst := ent.instance
 			id := s.Register(inst.Kind, inst.TypeName, inst.Label, 0)
 			if id != inst.ID {
 				return nil, nil, fmt.Errorf("%w: non-contiguous registry (got id %d, want %d)",
 					ErrBadStream, id, inst.ID)
 			}
 			s.setSite(id, inst.Site)
-		default:
-			return nil, nil, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)
 		}
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
@@ -180,4 +215,20 @@ func (s *Session) setSite(id InstanceID, site Site) {
 	if id != 0 && int(id) <= len(s.instances) {
 		s.instances[id-1].Site = site
 	}
+}
+
+// restoreInstance places an instance at its saved ID, creating placeholder
+// entries for any gap. Salvaging loaders use it: a truncated log may be
+// missing registry frames, and the surviving ones must still land at the IDs
+// the events reference.
+func (s *Session) restoreInstance(inst Instance) {
+	if inst.ID == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for int(inst.ID) > len(s.instances) {
+		s.instances = append(s.instances, Instance{ID: InstanceID(len(s.instances) + 1)})
+	}
+	s.instances[inst.ID-1] = inst
 }

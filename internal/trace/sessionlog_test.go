@@ -92,7 +92,7 @@ func TestSessionLogLongStrings(t *testing.T) {
 		t.Fatal(err)
 	}
 	inst, _ := loaded.Instance(1)
-	if len(inst.TypeName) != 0xFFFF {
-		t.Errorf("long string truncated to %d, want %d", len(inst.TypeName), 0xFFFF)
+	if len(inst.TypeName) != len(long) {
+		t.Errorf("long string round-tripped to %d bytes, want %d", len(inst.TypeName), len(long))
 	}
 }

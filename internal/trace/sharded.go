@@ -1,8 +1,11 @@
 package trace
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,9 +22,78 @@ import (
 // Producers call Record; Close flushes every shard and stops the drain
 // goroutines. Events merges the shards back into one Seq-ordered stream for
 // callers that need the flat post-mortem view (session logs, replay).
+
+// OverloadPolicy decides what happens when a producer finds its shard's
+// buffer full. Whatever the choice, every event is accounted for:
+// delivered events land in the store, everything else increments the drop
+// counters in CollectorStats, so delivered + dropped == recorded always
+// holds.
+type OverloadPolicy struct {
+	kind uint8
+	n    uint64
+}
+
+const (
+	overloadBlock = iota
+	overloadDrop
+	overloadSample
+)
+
+// Block returns the lossless default: a producer hitting a full buffer
+// blocks until the drain goroutine catches up, matching the paper's
+// requirement that profiles be complete "from initialization to
+// deallocation".
+func Block() OverloadPolicy { return OverloadPolicy{kind: overloadBlock} }
+
+// DropNewest returns the bounded-latency policy: a producer hitting a full
+// buffer drops the event (counted) instead of blocking. Producer block time
+// is zero by construction; profiles may have gaps.
+func DropNewest() OverloadPolicy { return OverloadPolicy{kind: overloadDrop} }
+
+// Sample returns the degraded-fidelity policy: when the buffer is full, one
+// in n overflow events is delivered (blocking for it) and the rest are
+// dropped and counted. n <= 1 behaves like Block.
+func Sample(n int) OverloadPolicy {
+	if n <= 1 {
+		return Block()
+	}
+	return OverloadPolicy{kind: overloadSample, n: uint64(n)}
+}
+
+// String renders the policy the way the -overload flag spells it.
+func (p OverloadPolicy) String() string {
+	switch p.kind {
+	case overloadDrop:
+		return "drop"
+	case overloadSample:
+		return fmt.Sprintf("sample:%d", p.n)
+	default:
+		return "block"
+	}
+}
+
+// ParseOverloadPolicy parses "block", "drop", or "sample:N".
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	switch {
+	case s == "" || s == "block":
+		return Block(), nil
+	case s == "drop":
+		return DropNewest(), nil
+	case strings.HasPrefix(s, "sample:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "sample:"))
+		if err != nil || n < 1 {
+			return Block(), fmt.Errorf("trace: bad sample rate in overload policy %q", s)
+		}
+		return Sample(n), nil
+	default:
+		return Block(), fmt.Errorf("trace: unknown overload policy %q (want block, drop, or sample:N)", s)
+	}
+}
+
 type ShardedCollector struct {
 	shards []*shard
 	buf    int
+	policy OverloadPolicy
 
 	once   sync.Once
 	closed atomic.Bool
@@ -37,12 +109,24 @@ type shard struct {
 	ch   chan Event
 	done chan struct{}
 
+	// closeMu serializes Record against Close: Record holds the read side
+	// while it touches the channel, Close takes the write side before
+	// closing it. A Record that arrives after Close sees closed == true and
+	// counts the event as dropped instead of panicking on a closed channel —
+	// instrumented programs must never crash because profiling shut down
+	// first.
+	closeMu sync.RWMutex
+	closed  bool
+
 	mu     sync.Mutex
 	events []Event
 
-	count     atomic.Uint64
-	highWater atomic.Int64
-	blockNS   atomic.Int64
+	count         atomic.Uint64
+	dropped       atomic.Uint64
+	droppedClosed atomic.Uint64
+	overflow      atomic.Uint64
+	highWater     atomic.Int64
+	blockNS       atomic.Int64
 }
 
 func newShard(buf int) *shard {
@@ -53,16 +137,35 @@ func newShard(buf int) *shard {
 
 // record enqueues e, tracking producer block time and the queue high-water
 // mark. The fast path is a single non-blocking send attempt; only when the
-// buffer is full does the producer take a timestamp and block.
-func (sh *shard) record(e Event) {
+// buffer is full does the overload policy decide between taking a timestamp
+// and blocking, dropping, or sampling.
+func (sh *shard) record(e Event, pol OverloadPolicy) {
+	sh.closeMu.RLock()
+	defer sh.closeMu.RUnlock()
+	sh.count.Add(1)
+	if sh.closed {
+		sh.droppedClosed.Add(1)
+		return
+	}
 	select {
 	case sh.ch <- e:
 	default:
-		start := time.Now()
-		sh.ch <- e
-		sh.blockNS.Add(int64(time.Since(start)))
+		switch pol.kind {
+		case overloadDrop:
+			sh.dropped.Add(1)
+			return
+		case overloadSample:
+			if sh.overflow.Add(1)%pol.n != 0 {
+				sh.dropped.Add(1)
+				return
+			}
+			fallthrough
+		default:
+			start := time.Now()
+			sh.ch <- e
+			sh.blockNS.Add(int64(time.Since(start)))
+		}
 	}
-	sh.count.Add(1)
 	if q := int64(len(sh.ch)); q > sh.highWater.Load() {
 		for {
 			cur := sh.highWater.Load()
@@ -118,6 +221,15 @@ func (sh *shard) snapshot() []Event {
 	return out
 }
 
+// seal marks the shard closed for producers (late Records count as dropped)
+// and closes the channel so the drain goroutine can finish.
+func (sh *shard) seal() {
+	sh.closeMu.Lock()
+	sh.closed = true
+	sh.closeMu.Unlock()
+	close(sh.ch)
+}
+
 // NewShardedCollector starts a collector with n shards (0 means GOMAXPROCS)
 // and the default per-shard buffer.
 func NewShardedCollector(n int) *ShardedCollector {
@@ -125,35 +237,46 @@ func NewShardedCollector(n int) *ShardedCollector {
 }
 
 // NewShardedCollectorSize starts a collector with n shards (0 means
-// GOMAXPROCS) whose channels each hold up to buf events.
+// GOMAXPROCS) whose channels each hold up to buf events, using the lossless
+// Block overload policy.
 func NewShardedCollectorSize(n, buf int) *ShardedCollector {
+	return NewShardedCollectorOpts(n, buf, Block())
+}
+
+// NewShardedCollectorOpts starts a collector with n shards (0 means
+// GOMAXPROCS), per-shard buffers of buf events, and an explicit overload
+// policy.
+func NewShardedCollectorOpts(n, buf int, policy OverloadPolicy) *ShardedCollector {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	if buf < 1 {
 		buf = 1
 	}
-	c := &ShardedCollector{shards: make([]*shard, n), buf: buf}
+	c := &ShardedCollector{shards: make([]*shard, n), buf: buf, policy: policy}
 	for i := range c.shards {
 		c.shards[i] = newShard(buf)
 	}
 	return c
 }
 
-// Record enqueues the event on the shard owning its instance. Like
-// AsyncCollector it is lossless: a full shard blocks the producer until the
-// drain goroutine catches up. Record after Close panics; callers must stop
-// producing before closing.
+// Record enqueues the event on the shard owning its instance. Under the
+// default Block policy it is lossless: a full shard blocks the producer
+// until the drain goroutine catches up. DropNewest and Sample trade
+// completeness for bounded producer latency; whatever is not stored is
+// counted in Stats().Dropped. Record after Close does not panic — the event
+// is counted as dropped (Stats().DroppedAfterClose), mirroring the socket
+// recorder's no-crash guarantee.
 func (c *ShardedCollector) Record(e Event) {
-	c.shards[int(e.Instance)%len(c.shards)].record(e)
+	c.shards[int(e.Instance)%len(c.shards)].record(e, c.policy)
 }
 
 // Close flushes every shard and stops the drain goroutines. It is
-// idempotent. After Close returns, Events holds every recorded event.
+// idempotent. After Close returns, Events holds every delivered event.
 func (c *ShardedCollector) Close() {
 	c.once.Do(func() {
 		for _, sh := range c.shards {
-			close(sh.ch)
+			sh.seal()
 		}
 		for _, sh := range c.shards {
 			<-sh.done
@@ -235,13 +358,16 @@ func (c *ShardedCollector) Len() int {
 	return n
 }
 
-// Stats reports per-shard queue statistics and cumulative producer block
-// time.
+// Stats reports per-shard queue statistics, cumulative producer block time,
+// and the drop accounting: Events - Dropped - DroppedAfterClose is exactly
+// the number of events in the store.
 func (c *ShardedCollector) Stats() CollectorStats {
 	cs := CollectorStats{
 		Shards:         len(c.shards),
 		Buffer:         c.buf,
+		Policy:         c.policy.String(),
 		ShardEvents:    make([]uint64, len(c.shards)),
+		ShardDropped:   make([]uint64, len(c.shards)),
 		ShardHighWater: make([]int, len(c.shards)),
 		ShardBlock:     make([]time.Duration, len(c.shards)),
 	}
@@ -249,6 +375,12 @@ func (c *ShardedCollector) Stats() CollectorStats {
 		n := sh.count.Load()
 		cs.ShardEvents[i] = n
 		cs.Events += n
+		d := sh.dropped.Load()
+		cs.ShardDropped[i] = d
+		cs.Dropped += d
+		dc := sh.droppedClosed.Load()
+		cs.DroppedAfterClose += dc
+		cs.Dropped += dc
 		cs.ShardHighWater[i] = int(sh.highWater.Load())
 		blk := time.Duration(sh.blockNS.Load())
 		cs.ShardBlock[i] = blk

@@ -5,14 +5,16 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 // Wire format for shipping events to an out-of-process collector.
 //
 // The stream starts with a magic header, then carries frames. Each frame is
-// either an event batch or the end-of-stream marker. All integers are
-// little-endian. Events are fixed-size 38-byte records:
+// either an event batch, an instance-registry record, or the end-of-stream
+// marker. All integers are little-endian. Events are fixed-size 38-byte
+// records:
 //
 //	seq      uint64
 //	instance uint32
@@ -23,20 +25,44 @@ import (
 //	thread   uint32
 //	(reserved uint32)
 //
-// The format favors simplicity and zero dependencies over compactness; the
-// paper's point is only that collection must be asynchronous and complete.
-
+// Version 1 ("DSSPY1\n") is the original format. Version 2 ("DSSPY2\n")
+// differs in two ways, both motivated by crash recovery:
+//
+//   - event-batch frames carry a trailing CRC32-C checksum over the count and
+//     payload bytes, so a salvaging reader can tell a corrupt frame from a
+//     good one and skip it instead of trusting garbage;
+//   - registry strings use a uvarint length prefix instead of uint16, so
+//     strings longer than 64 KiB round-trip instead of being silently
+//     truncated.
+//
+// Writers always emit version 2; readers detect the version from the magic
+// and accept both, so logs and live streams produced before the bump stay
+// loadable.
 const (
-	wireMagic   = "DSSPY1\n"
+	wireMagicV1 = "DSSPY1\n"
+	wireMagicV2 = "DSSPY2\n"
 	frameEvents = byte(0x01)
 	frameEnd    = byte(0xFF)
 	eventSize   = 8 + 4 + 1 + 1 + 8 + 8 + 4 + 4
 	// MaxBatch is the largest number of events in one frame.
 	MaxBatch = 4096
+	// maxWireString bounds registry-string lengths on the read side, so a
+	// corrupt uvarint cannot provoke a giant allocation.
+	maxWireString = 1 << 20
 )
 
 // ErrBadStream is returned when the wire stream is malformed.
 var ErrBadStream = errors.New("trace: malformed event stream")
+
+// ErrChecksum is returned when an event-batch frame fails its CRC32 check.
+// It wraps ErrBadStream, but salvaging readers treat it specially: a
+// checksum failure corrupts one frame, not the framing, so the reader can
+// skip the frame and keep decoding.
+var ErrChecksum = fmt.Errorf("%w: frame checksum mismatch", ErrBadStream)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms we care about.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 func putEvent(b []byte, e Event) {
 	binary.LittleEndian.PutUint64(b[0:], e.Seq)
@@ -67,10 +93,10 @@ type StreamWriter struct {
 	buf []byte
 }
 
-// NewStreamWriter writes the stream header and returns a writer.
+// NewStreamWriter writes the version-2 stream header and returns a writer.
 func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(wireMagic); err != nil {
+	if _, err := bw.WriteString(wireMagicV2); err != nil {
 		return nil, fmt.Errorf("trace: writing stream header: %w", err)
 	}
 	return &StreamWriter{w: bw, buf: make([]byte, eventSize)}, nil
@@ -98,14 +124,24 @@ func (sw *StreamWriter) writeFrame(events []Event) error {
 	if _, err := sw.w.Write(hdr[:]); err != nil {
 		return err
 	}
+	crc := crc32.Update(0, crcTable, hdr[1:])
 	for _, e := range events {
 		putEvent(sw.buf, e)
 		if _, err := sw.w.Write(sw.buf); err != nil {
 			return err
 		}
+		crc = crc32.Update(crc, crcTable, sw.buf)
 	}
-	return nil
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc)
+	_, err := sw.w.Write(sum[:])
+	return err
 }
+
+// Flush pushes buffered frames to the underlying writer. Recorders that need
+// crash-safety (the spill WAL) flush after every batch so a dying process
+// loses at most the frame being written.
+func (sw *StreamWriter) Flush() error { return sw.w.Flush() }
 
 // Close writes the end-of-stream frame and flushes. The underlying writer is
 // not closed.
@@ -116,54 +152,152 @@ func (sw *StreamWriter) Close() error {
 	return sw.w.Flush()
 }
 
-// StreamReader decodes a wire stream.
+// StreamReader decodes a wire stream, version 1 or 2.
 type StreamReader struct {
-	r   *bufio.Reader
-	buf []byte
+	r       *bufio.Reader
+	buf     []byte
+	version int
+	off     int64 // bytes consumed from the stream so far
 }
 
-// NewStreamReader validates the stream header and returns a reader.
+// NewStreamReader validates the stream header and returns a reader. Both
+// format versions are accepted; Version reports which one the stream uses.
 func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, len(wireMagic))
+	magic := make([]byte, len(wireMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading stream header: %w", err)
 	}
-	if string(magic) != wireMagic {
+	version := 0
+	switch string(magic) {
+	case wireMagicV1:
+		version = 1
+	case wireMagicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadStream, magic)
 	}
-	return &StreamReader{r: br, buf: make([]byte, eventSize)}, nil
+	return &StreamReader{
+		r:       br,
+		buf:     make([]byte, eventSize),
+		version: version,
+		off:     int64(len(magic)),
+	}, nil
 }
 
-// ReadBatch returns the next batch of events, or io.EOF after the
-// end-of-stream frame.
-func (sr *StreamReader) ReadBatch() ([]Event, error) {
-	kind, err := sr.r.ReadByte()
+// Version returns the detected format version (1 or 2).
+func (sr *StreamReader) Version() int { return sr.version }
+
+// Offset returns the number of stream bytes consumed so far, including the
+// header. Salvaging loaders use it to report how much of a damaged file was
+// decodable.
+func (sr *StreamReader) Offset() int64 { return sr.off }
+
+func (sr *StreamReader) readByte() (byte, error) {
+	b, err := sr.r.ReadByte()
+	if err == nil {
+		sr.off++
+	}
+	return b, err
+}
+
+func (sr *StreamReader) readFull(buf []byte) error {
+	n, err := io.ReadFull(sr.r, buf)
+	sr.off += int64(n)
+	return err
+}
+
+// entry is one decoded frame: the kind byte plus the payload that matches it.
+type entry struct {
+	kind     byte
+	events   []Event  // kind == frameEvents
+	instance Instance // kind == frameInstance
+}
+
+// readEntry decodes the next frame of any kind. It returns io.EOF only when
+// the stream ends cleanly before a kind byte; a stream cut mid-frame comes
+// back as io.ErrUnexpectedEOF. A checksum failure on an event frame returns
+// ErrChecksum with the frame fully consumed, so callers may skip it and keep
+// reading.
+func (sr *StreamReader) readEntry() (entry, error) {
+	kind, err := sr.readByte()
 	if err != nil {
-		return nil, err
+		return entry{}, err
 	}
 	switch kind {
 	case frameEnd:
+		return entry{kind: frameEnd}, nil
+	case frameEvents:
+		events, err := sr.readEventFrame()
+		return entry{kind: frameEvents, events: events}, err
+	case frameInstance:
+		inst, err := sr.readInstance()
+		return entry{kind: frameInstance, instance: inst}, err
+	default:
+		return entry{}, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)
+	}
+}
+
+// readEventFrame decodes the body of an event-batch frame (the kind byte is
+// already consumed). In version-2 streams the trailing CRC is verified; on
+// mismatch it returns (nil, ErrChecksum) with the frame consumed.
+func (sr *StreamReader) readEventFrame() ([]Event, error) {
+	var cnt [4]byte
+	if err := sr.readFull(cnt[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading frame length: %w", noEOF(err))
+	}
+	n := binary.LittleEndian.Uint32(cnt[:])
+	if n > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d exceeds max %d", ErrBadStream, n, MaxBatch)
+	}
+	crc := crc32.Update(0, crcTable, cnt[:])
+	events := make([]Event, n)
+	for i := range events {
+		if err := sr.readFull(sr.buf); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d/%d: %w", i, n, noEOF(err))
+		}
+		events[i] = getEvent(sr.buf)
+		crc = crc32.Update(crc, crcTable, sr.buf)
+	}
+	if sr.version >= 2 {
+		var sum [4]byte
+		if err := sr.readFull(sum[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading frame checksum: %w", noEOF(err))
+		}
+		if binary.LittleEndian.Uint32(sum[:]) != crc {
+			// Return the decoded events alongside the error: the payload is
+			// untrustworthy, but salvaging readers need the declared count to
+			// account for what a skipped frame contained.
+			return events, ErrChecksum
+		}
+	}
+	return events, nil
+}
+
+// noEOF maps a bare io.EOF to io.ErrUnexpectedEOF: inside a frame body, a
+// clean EOF still means the frame was cut short.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadBatch returns the next batch of events, or io.EOF after the
+// end-of-stream frame. Registry frames are rejected; event-only consumers
+// (the file log) never see them.
+func (sr *StreamReader) ReadBatch() ([]Event, error) {
+	ent, err := sr.readEntry()
+	if err != nil {
+		return nil, err
+	}
+	switch ent.kind {
+	case frameEnd:
 		return nil, io.EOF
 	case frameEvents:
-		var cnt [4]byte
-		if _, err := io.ReadFull(sr.r, cnt[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading frame length: %w", err)
-		}
-		n := binary.LittleEndian.Uint32(cnt[:])
-		if n > MaxBatch {
-			return nil, fmt.Errorf("%w: batch of %d exceeds max %d", ErrBadStream, n, MaxBatch)
-		}
-		events := make([]Event, n)
-		for i := range events {
-			if _, err := io.ReadFull(sr.r, sr.buf); err != nil {
-				return nil, fmt.Errorf("trace: reading event %d/%d: %w", i, n, err)
-			}
-			events[i] = getEvent(sr.buf)
-		}
-		return events, nil
+		return ent.events, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)
+		return nil, fmt.Errorf("%w: unexpected frame kind 0x%02x in event stream", ErrBadStream, ent.kind)
 	}
 }
 
