@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz-smoke clean
+.PHONY: check build vet test race bench bench-stream fuzz-smoke clean
 
 ## check: everything CI runs — build, vet, full tests, race tests on the
-## concurrent packages, and a short fuzz pass over the salvaging decoders.
-## This is the single command to run before pushing.
+## concurrent packages, the streaming/batch differential under the race
+## detector, and a short fuzz pass over the salvaging decoders. This is the
+## single command to run before pushing.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/trace/... ./internal/core/...
+	$(GO) test -race -run 'Streaming' .
 	$(MAKE) fuzz-smoke
 
 build:
@@ -30,6 +32,12 @@ race:
 ## the overload-policy producer-latency comparison.
 bench:
 	$(GO) test -run xxx -bench 'Collect1M|Analyze1M|Build1M|Pipeline1M|Overload' -benchmem -benchtime 5x -count 5 .
+
+## bench-stream: the streaming-engine acceptance numbers — full-pipeline time
+## and post-collection live heap, batch vs streamed, at 1M and 2M events (the
+## streamed live-heap-MB metric must stay flat when the event count doubles).
+bench-stream:
+	$(GO) test -run xxx -bench 'Pipeline1MStreamed|Pipeline1MBatchHeap|Pipeline2MStreamed|Pipeline2MBatchHeap' -benchmem -benchtime 5x .
 
 ## fuzz-smoke: 10 seconds of fuzzing per decoder entry point (go's fuzzer
 ## accepts one -fuzz pattern per run, hence the sequence). Catches wire-format

@@ -7,6 +7,7 @@ package dsspy_test
 
 import (
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -638,6 +639,77 @@ func BenchmarkPipeline1MSharded(b *testing.B) {
 			b.Fatalf("instances = %d", len(rep.Instances))
 		}
 	}
+}
+
+// --- Streaming pipeline: time and bounded memory ----------------------------
+
+// liveHeapMB forces a collection and returns the live heap in MiB. Both
+// pipeline shapes sample it at the same point — right after the collector
+// closes, before final analysis — which is where the batch shape holds the
+// full event store and the streaming shape holds only per-instance reducers.
+func liveHeapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+func benchPipelineStreamed(b *testing.B, producers, perProducer int) {
+	d := core.New()
+	b.ReportAllocs()
+	var heap float64
+	for i := 0; i < b.N; i++ {
+		sa := d.NewStreamAnalyzer(0)
+		col := sa.Collector(trace.DefaultAsyncBuffer, trace.Block(), false)
+		s := trace.NewSessionWith(trace.Options{Recorder: col})
+		sa.Attach(s)
+		pipelineBenchWorkload(s, producers, perProducer)
+		col.Close()
+		heap += liveHeapMB()
+		rep := sa.Close()
+		if len(rep.Instances) != producers {
+			b.Fatalf("instances = %d", len(rep.Instances))
+		}
+	}
+	b.ReportMetric(heap/float64(b.N), "live-heap-MB")
+}
+
+func benchPipelineBatchHeap(b *testing.B, producers, perProducer int) {
+	d := core.New()
+	b.ReportAllocs()
+	var heap float64
+	for i := 0; i < b.N; i++ {
+		col := trace.NewShardedCollector(0)
+		s := trace.NewSessionWith(trace.Options{Recorder: col})
+		pipelineBenchWorkload(s, producers, perProducer)
+		col.Close()
+		heap += liveHeapMB()
+		rep := d.AnalyzeCollector(s, col)
+		if len(rep.Instances) != producers {
+			b.Fatalf("instances = %d", len(rep.Instances))
+		}
+	}
+	b.ReportMetric(heap/float64(b.N), "live-heap-MB")
+}
+
+// The acceptance pair for the streaming engine, plus 2M twins: the streamed
+// live-heap-MB number must stay flat when the event count doubles, while the
+// batch shape's grows with it.
+
+func BenchmarkPipeline1MStreamed(b *testing.B) {
+	benchPipelineStreamed(b, pipeBenchProducers, pipeBenchPerProducer)
+}
+
+func BenchmarkPipeline1MBatchHeap(b *testing.B) {
+	benchPipelineBatchHeap(b, pipeBenchProducers, pipeBenchPerProducer)
+}
+
+func BenchmarkPipeline2MStreamed(b *testing.B) {
+	benchPipelineStreamed(b, pipeBenchProducers, 2*pipeBenchPerProducer)
+}
+
+func BenchmarkPipeline2MBatchHeap(b *testing.B) {
+	benchPipelineBatchHeap(b, pipeBenchProducers, 2*pipeBenchPerProducer)
 }
 
 // --- App-level end-to-end benches (the Table IV rows as single targets) -----

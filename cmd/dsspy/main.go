@@ -8,8 +8,9 @@
 //	dsspy -app Gpdotnet [-chart] [-svg out.svg] [-html report.html]
 //	dsspy -app Mandelbrot -advise -cores 8
 //	dsspy -demo figure3 [-chart] [-log run.dslog]
+//	dsspy -app Mandelbrot -stream -live 500ms
 //	dsspy -replay run.dslog
-//	dsspy -recover crashed.dslog
+//	dsspy -recover crashed.dslog -stream
 //	dsspy -listen 127.0.0.1:7777 -conns 1 -stats
 //	dsspy -app Algorithmia -collect 127.0.0.1:7777 -spill-dir /var/tmp/dsspy
 package main
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -49,6 +51,8 @@ func main() {
 		conns    = flag.Int("conns", 1, "with -listen: number of producer streams to wait for before analyzing")
 		connTO   = flag.Duration("conn-timeout", 0, "with -listen: per-frame read deadline on producer connections (0 = none); with -collect: write deadline per batch")
 		overload = flag.String("overload", "block", "in-process overload policy: block (lossless), drop, or sample:N")
+		stream   = flag.Bool("stream", false, "analyze incrementally while the workload runs (bounded memory; events are not retained unless -log asks for them)")
+		live     = flag.Duration("live", 0, "print a live snapshot table at this interval while streaming (implies -stream)")
 		stats    = flag.Bool("stats", false, "print pipeline observability: per-stage timings, per-shard queue statistics, and delivery accounting")
 		shards   = flag.Int("shards", 0, "collector shards (events partitioned by instance); 0 = GOMAXPROCS, 1 = the single-channel async collector")
 		workers  = flag.Int("workers", 0, "analysis worker-pool size; 0 = GOMAXPROCS, 1 = sequential")
@@ -78,10 +82,15 @@ func main() {
 		return
 	}
 
+	if *live > 0 {
+		*stream = true
+	}
+
 	var s *trace.Session
 	var evs []trace.Event
 	var col trace.Collector // set when events are collected in-process
 	var resilient *trace.ResilientRecorder
+	var rep *core.Report // set early by the streaming paths
 	switch {
 	case *replay != "":
 		var err error
@@ -105,7 +114,45 @@ func main() {
 			os.Exit(2)
 		}
 
-		if *collect != "" {
+		if *stream && *collect == "" {
+			// Streaming mode: the collector's drain goroutines feed the
+			// analyzer's reducers directly; the event stores stay empty
+			// unless -log asks for a replayable session log.
+			sa := analyzer.NewStreamAnalyzer(*shards)
+			scol := sa.Collector(trace.DefaultAsyncBuffer, policy, *logPath != "")
+			col = scol
+			s = trace.NewSessionWith(trace.Options{Recorder: scol, CaptureSites: true})
+			sa.Attach(s)
+
+			stop := make(chan struct{})
+			ticked := make(chan struct{})
+			if *live > 0 {
+				go func() {
+					defer close(ticked)
+					t := time.NewTicker(*live)
+					defer t.Stop()
+					for {
+						select {
+						case <-stop:
+							return
+						case <-t.C:
+							printLive(sa.Snapshot())
+						}
+					}
+				}()
+			} else {
+				close(ticked)
+			}
+			workload(s)
+			scol.Close()
+			if *live > 0 {
+				close(stop)
+				<-ticked
+			}
+			rep = sa.Close()
+			cs := scol.Stats()
+			rep.Stats.Collector = &cs
+		} else if *collect != "" {
 			var err error
 			resilient, err = trace.NewResilientRecorder(trace.ResilientOptions{
 				Network:      "tcp",
@@ -147,11 +194,19 @@ func main() {
 		}
 	}
 
-	var rep *core.Report
-	if col != nil {
-		rep = analyzer.AnalyzeCollector(s, col)
-	} else {
-		rep = analyzer.Analyze(s, evs)
+	if rep == nil {
+		if *stream {
+			// Replay / recovery through the streaming analyzer: feed the
+			// salvaged or logged stream into the reducers.
+			sa := analyzer.NewStreamAnalyzer(*shards)
+			sa.Attach(s)
+			sa.Feed(evs...)
+			rep = sa.Close()
+		} else if col != nil {
+			rep = analyzer.AnalyzeCollector(s, col)
+		} else {
+			rep = analyzer.Analyze(s, evs)
+		}
 	}
 	if err := rep.Write(os.Stdout); err != nil {
 		fatal(err)
@@ -209,6 +264,11 @@ func main() {
 		fmt.Printf("\nHTML report written to %s\n", *htmlPath)
 	}
 
+	if *stream && (*chart || *svgPath != "") {
+		fmt.Fprintln(os.Stderr, "dsspy: -chart and -svg need the retained event trace; streaming mode folds events instead of keeping them — run without -stream for charts")
+		*chart = false
+		*svgPath = ""
+	}
 	if *chart {
 		for _, ir := range rep.Instances {
 			if len(ir.UseCases) == 0 {
@@ -349,6 +409,39 @@ func pickWorkload(appName, demo string) func(*trace.Session) {
 		fmt.Fprintf(os.Stderr, "unknown demo %q\n", demo)
 		os.Exit(2)
 		return nil
+	}
+}
+
+// printLive renders one -live snapshot: a compact per-instance table over
+// everything folded so far, largest profiles first.
+func printLive(rep *core.Report) {
+	ss := rep.Stats.Streaming
+	fmt.Printf("-- live %s: %d events folded, %d instance(s), %d open run(s) --\n",
+		time.Now().Format("15:04:05"), ss.Folded, ss.Instances, ss.OpenRuns)
+	instances := make([]*core.InstanceResult, len(rep.Instances))
+	copy(instances, rep.Instances)
+	sort.Slice(instances, func(i, j int) bool { return instances[i].Profile.Len() > instances[j].Profile.Len() })
+	const maxRows = 10
+	fmt.Printf("   %-8s %-22s %10s %9s  %s\n", "kind", "instance", "events", "patterns", "use cases")
+	for i, ir := range instances {
+		if i == maxRows {
+			fmt.Printf("   ... %d more instance(s)\n", len(instances)-maxRows)
+			break
+		}
+		inst := ir.Profile.Instance
+		name := inst.TypeName
+		if inst.Label != "" {
+			name += " " + inst.Label
+		}
+		if len(name) > 22 {
+			name = name[:21] + "…"
+		}
+		var shorts []string
+		for _, u := range ir.UseCases {
+			shorts = append(shorts, u.Kind.Short())
+		}
+		fmt.Printf("   %-8s %-22s %10d %9d  %s\n",
+			inst.Kind, name, ir.Profile.Len(), len(ir.Patterns()), strings.Join(shorts, ","))
 	}
 }
 

@@ -163,6 +163,27 @@ func RunSharded(workload func(*Session)) *Report {
 	return core.New().RunSharded(workload)
 }
 
+// StreamAnalyzer computes reports incrementally while events arrive, in
+// O(instances) memory: no event store is retained, and Snapshot returns a
+// consistent report at any point of the run. The final report at Close is
+// identical to the batch entry points'.
+type StreamAnalyzer = core.StreamAnalyzer
+
+// NewStreamAnalyzer returns a streaming analyzer with default configuration
+// and n shards (0 means GOMAXPROCS).
+func NewStreamAnalyzer(n int) *StreamAnalyzer { return core.New().NewStreamAnalyzer(n) }
+
+// RunStreamed profiles the workload through the streaming analyzer: events
+// are folded into per-instance reducers as the collector drains them, nothing
+// is retained, and the report is identical to Run's and RunSharded's.
+func RunStreamed(workload func(*Session)) *Report {
+	return core.New().RunStreamed(workload)
+}
+
+// StreamingStats instruments the streaming analysis path (events folded, open
+// runs, snapshot cost); surfaced through Report.Stats.Streaming.
+type StreamingStats = metrics.StreamingStats
+
 // Instrumented containers (the proxy layer). Each constructor registers the
 // instance with the session; every interface method emits one access event.
 

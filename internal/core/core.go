@@ -172,6 +172,7 @@ func (d *DSspy) analyzeProfiles(s *trace.Session, profiles []*profile.Profile, c
 	workers := d.workers()
 	par.For(len(profiles), workers, func(i int) {
 		p := profiles[i]
+		st := p.Stats() // computed once; every stage below reads the cache
 
 		t := time.Now()
 		sum := pattern.SummarizeThreads(p, d.cfg.Pattern)
@@ -182,7 +183,14 @@ func (d *DSspy) analyzeProfiles(s *trace.Session, profiles []*profile.Profile, c
 		clocks.Stage(stageUseCases).Observe(time.Since(t))
 
 		t = time.Now()
-		regular := pattern.HasRegularity(p, d.cfg.Pattern, d.cfg.Regularity)
+		// Regularity is judged over the global (interleaved) segmentation;
+		// for single-threaded profiles that is exactly the summary already
+		// computed, so only multi-threaded profiles summarize again.
+		gsum := sum
+		if st.Threads > 1 {
+			gsum = pattern.Summarize(p, d.cfg.Pattern)
+		}
+		regular := pattern.RegularityFrom(gsum, st, d.cfg.Regularity)
 		clocks.Stage(stageRegularity).Observe(time.Since(t))
 
 		t = time.Now()

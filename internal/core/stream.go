@@ -1,0 +1,376 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dsspy/internal/metrics"
+	"dsspy/internal/par"
+	"dsspy/internal/pattern"
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
+)
+
+// Streaming analysis: the per-instance reducers of profile, pattern and
+// usecase wired into the collector's drain path, so the full report is
+// computed during execution in O(instances) memory instead of post-mortem
+// over a retained O(events) trace. The final report is byte-identical to the
+// batch pipeline's because both sides run the same reducers — batch mode is a
+// driver over them, stream mode feeds them in place.
+//
+// Ordering contract: a shard's drain goroutine delivers each producer
+// goroutine's events in program order (Session.Emit assigns the sequence
+// number and hands the event to the collector synchronously), so per-thread
+// figures are always exact. The global per-instance interleaving equals
+// sequence order whenever same-instance access is serialized — which the
+// unsynchronized containers require anyway — and violations are counted in
+// StreamingStats.OutOfOrder rather than silently misfolded.
+
+// instanceStream is the complete analysis state of one instance: stats
+// reducer, per-thread pattern detectors, the global detector the regularity
+// check reads, the default-options run stream the use-case layer consumes,
+// and the use-case reducer itself. It is confined to one shard; no locks.
+type instanceStream struct {
+	id trace.InstanceID
+
+	n       int    // events folded
+	prevSeq uint64 // highest Seq seen, for out-of-order accounting
+	ooo     uint64
+
+	stats     profile.StreamStats
+	perThread map[trace.ThreadID]*pattern.StreamDetector
+	// global segments the interleaved per-instance stream with the
+	// configured options — what the batch regularity check summarizes.
+	global *pattern.StreamDetector
+	// runSeg produces the default-options run stream for the use-case layer.
+	// It is nil when the configured segmentation already is default-options;
+	// then global's closed runs are reused instead of segmenting twice.
+	runSeg *profile.StreamSegmenter
+	uc     *usecase.Stream
+}
+
+func newInstanceStream(d *DSspy, id trace.InstanceID) *instanceStream {
+	st := &instanceStream{
+		id:        id,
+		perThread: make(map[trace.ThreadID]*pattern.StreamDetector, 1),
+		global:    pattern.NewStreamDetector(d.cfg.Pattern, false),
+		uc:        usecase.NewStream(d.cfg.Thresholds),
+	}
+	seg := d.cfg.Pattern.Segment
+	if seg.MaxStep < 1 {
+		seg.MaxStep = 1 // RunsWith clamps the same way
+	}
+	if seg != profile.DefaultSegmentOptions() {
+		st.runSeg = profile.NewStreamSegmenter(profile.DefaultSegmentOptions())
+	}
+	return st
+}
+
+// feed folds one event through every reducer.
+func (st *instanceStream) feed(d *DSspy, e trace.Event) {
+	st.n++
+	if e.Seq < st.prevSeq {
+		st.ooo++
+	} else {
+		st.prevSeq = e.Seq
+	}
+	st.stats.Fold(e)
+	st.uc.Event(e)
+
+	det := st.perThread[e.Thread]
+	if det == nil {
+		det = pattern.NewStreamDetector(d.cfg.Pattern, true)
+		st.perThread[e.Thread] = det
+	}
+	if c, ok := det.Feed(e); ok && c.Type != pattern.None {
+		st.uc.Pattern(pattern.Pattern{Type: c.Type, Run: c.Run})
+	}
+
+	if c, ok := st.global.Feed(e); ok && st.runSeg == nil {
+		st.uc.Run(c.Run)
+	}
+	if st.runSeg != nil {
+		if r, ok := st.runSeg.Feed(e); ok {
+			st.uc.Run(r)
+		}
+	}
+}
+
+// openRuns counts the runs currently held open across all segmenters.
+func (st *instanceStream) openRuns() int {
+	n := 0
+	for _, det := range st.perThread {
+		if det.Open() {
+			n++
+		}
+	}
+	if st.global.Open() {
+		n++
+	}
+	if st.runSeg != nil && st.runSeg.Open() {
+		n++
+	}
+	return n
+}
+
+// clone returns an independent copy; Snapshot finalizes clones so the live
+// reducers keep folding.
+func (st *instanceStream) clone() *instanceStream {
+	out := &instanceStream{
+		id:        st.id,
+		n:         st.n,
+		prevSeq:   st.prevSeq,
+		ooo:       st.ooo,
+		stats:     *st.stats.Clone(),
+		perThread: make(map[trace.ThreadID]*pattern.StreamDetector, len(st.perThread)),
+		global:    st.global.Clone(),
+		uc:        st.uc.Clone(),
+	}
+	for tid, det := range st.perThread {
+		out.perThread[tid] = det.Clone()
+	}
+	if st.runSeg != nil {
+		out.runSeg = st.runSeg.Clone()
+	}
+	return out
+}
+
+// finalize flushes the open runs and applies the detectors, producing the
+// same InstanceResult the batch pipeline computes for this instance.
+func (st *instanceStream) finalize(d *DSspy, s *trace.Session) *InstanceResult {
+	// Flush per-thread detectors in ascending thread-id order and merge their
+	// summaries — exactly SummarizeThreads' merge order.
+	tids := make([]trace.ThreadID, 0, len(st.perThread))
+	for tid := range st.perThread {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	sum := &pattern.Summary{}
+	for _, tid := range tids {
+		det := st.perThread[tid]
+		if c, ok := det.Finish(); ok && c.Type != pattern.None {
+			st.uc.Pattern(pattern.Pattern{Type: c.Type, Run: c.Run})
+		}
+		sum.Merge(det.Summary())
+	}
+
+	if c, ok := st.global.Finish(); ok && st.runSeg == nil {
+		st.uc.Run(c.Run)
+	}
+	if st.runSeg != nil {
+		if r, ok := st.runSeg.Finish(); ok {
+			st.uc.Run(r)
+		}
+	}
+
+	stats := st.stats.Snapshot()
+	var inst trace.Instance
+	ok := false
+	if s != nil {
+		inst, ok = s.Instance(st.id)
+	}
+	if !ok {
+		inst = trace.Instance{ID: st.id, TypeName: "<unregistered>"}
+	}
+	p := profile.NewStreamed(inst, st.n, stats)
+	return &InstanceResult{
+		Profile:  p,
+		Summary:  sum,
+		UseCases: st.uc.Finish(inst, stats),
+		Regular:  pattern.RegularityFrom(st.global.Summary(), stats, d.cfg.Regularity),
+		Shared:   profile.SharedAccessOf(p),
+	}
+}
+
+// streamShard owns the instance reducers of one collector shard. Events are
+// partitioned by instance id, so one instance lives in exactly one shard and
+// the mutex is only contended by snapshot readers — never by another shard's
+// drain goroutine.
+type streamShard struct {
+	mu     sync.Mutex
+	byInst map[trace.InstanceID]*instanceStream
+	folded uint64
+}
+
+// StreamAnalyzer computes reports incrementally from a live event stream. It
+// plugs into the sharded collector's drain path (Collector / FeedShard), or
+// consumes replayed streams via Feed. Snapshot returns a consistent report at
+// any time; Close flushes everything and returns the final report, identical
+// to what the batch pipeline would produce from the same events.
+//
+// Callers draining through a collector must close the collector first, so
+// every delivered event has been folded before Close builds the report.
+type StreamAnalyzer struct {
+	d       *DSspy
+	session *trace.Session
+	shards  []*streamShard
+	start   time.Time
+
+	snapMu    sync.Mutex
+	snapshots int
+	snapNS    int64
+
+	closeOnce sync.Once
+	final     *Report
+}
+
+// NewStreamAnalyzer returns an analyzer with n shards (0 means GOMAXPROCS).
+// When attached to a collector via Collector, the shard counts match by
+// construction; FeedShard indices must stay below n.
+func (d *DSspy) NewStreamAnalyzer(n int) *StreamAnalyzer {
+	if n <= 0 {
+		n = par.DefaultParallelism()
+	}
+	a := &StreamAnalyzer{d: d, shards: make([]*streamShard, n), start: time.Now()}
+	for i := range a.shards {
+		a.shards[i] = &streamShard{byInst: make(map[trace.InstanceID]*instanceStream)}
+	}
+	return a
+}
+
+// Attach sets the session whose instance registry names the report's
+// profiles and search space.
+func (a *StreamAnalyzer) Attach(s *trace.Session) { a.session = s }
+
+// Collector returns a sharded collector whose drain goroutines feed this
+// analyzer. retainEvents keeps the per-shard event stores populated (for -log
+// style post-mortem access) — pass false for bounded memory.
+func (a *StreamAnalyzer) Collector(buf int, policy trace.OverloadPolicy, retainEvents bool) *trace.ShardedCollector {
+	return trace.NewStreamingShardedCollector(len(a.shards), buf, policy, retainEvents, a.FeedShard)
+}
+
+// FeedShard folds one batch of events belonging to the given shard. It is the
+// trace.ShardSink the collector drains into: calls for one shard are
+// serialized by the drain goroutine, calls for different shards run
+// concurrently without sharing state.
+func (a *StreamAnalyzer) FeedShard(shard int, batch []trace.Event) {
+	sh := a.shards[shard]
+	sh.mu.Lock()
+	for _, e := range batch {
+		st := sh.byInst[e.Instance]
+		if st == nil {
+			st = newInstanceStream(a.d, e.Instance)
+			sh.byInst[e.Instance] = st
+		}
+		st.feed(a.d, e)
+	}
+	sh.folded += uint64(len(batch))
+	sh.mu.Unlock()
+}
+
+// Feed folds events from any source (replayed session logs, salvaged
+// streams), routing each to its instance's shard. Events must arrive in
+// per-thread program order; sequence-sorted replay streams satisfy that.
+func (a *StreamAnalyzer) Feed(events ...trace.Event) {
+	for i := 0; i < len(events); {
+		// Group the run of consecutive events sharing a shard so the lock is
+		// taken once per run, not once per event.
+		shard := int(events[i].Instance) % len(a.shards)
+		j := i + 1
+		for j < len(events) && int(events[j].Instance)%len(a.shards) == shard {
+			j++
+		}
+		a.FeedShard(shard, events[i:j])
+		i = j
+	}
+}
+
+// Snapshot builds a consistent report over everything folded so far without
+// disturbing the live reducers: per-shard state is cloned under the shard
+// lock, then the clones are finalized outside it.
+func (a *StreamAnalyzer) Snapshot() *Report {
+	t0 := time.Now()
+	var streams []*instanceStream
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for _, st := range sh.byInst {
+			streams = append(streams, st.clone())
+		}
+		sh.mu.Unlock()
+	}
+	rep := a.buildReport(streams)
+	a.snapMu.Lock()
+	a.snapshots++
+	a.snapNS += int64(time.Since(t0))
+	rep.Stats.Streaming.Snapshots = a.snapshots
+	rep.Stats.Streaming.SnapshotTime = time.Duration(a.snapNS)
+	a.snapMu.Unlock()
+	return rep
+}
+
+// Close flushes all reducers and returns the final report. Idempotent; the
+// first call finalizes the live state (no clone), later calls return the same
+// report.
+func (a *StreamAnalyzer) Close() *Report {
+	a.closeOnce.Do(func() {
+		var streams []*instanceStream
+		for _, sh := range a.shards {
+			sh.mu.Lock()
+			for _, st := range sh.byInst {
+				streams = append(streams, st)
+			}
+			sh.mu.Unlock()
+		}
+		a.final = a.buildReport(streams)
+	})
+	return a.final
+}
+
+// buildReport finalizes the given instance streams into a Report ordered by
+// instance id, fanning per-instance finalization across the worker pool.
+func (a *StreamAnalyzer) buildReport(streams []*instanceStream) *Report {
+	sort.Slice(streams, func(i, j int) bool { return streams[i].id < streams[j].id })
+
+	folded, openRuns := 0, 0
+	var ooo uint64
+	for _, st := range streams {
+		folded += st.n
+		openRuns += st.openRuns()
+		ooo += st.ooo
+	}
+
+	results := make([]*InstanceResult, len(streams))
+	par.For(len(streams), a.d.workers(), func(i int) {
+		results[i] = streams[i].finalize(a.d, a.session)
+	})
+
+	var registered []trace.Instance
+	if a.session != nil {
+		registered = a.session.Instances()
+	}
+	return &Report{
+		Instances:  results,
+		Registered: registered,
+		Stats: &metrics.PipelineStats{
+			Events:    folded,
+			Instances: len(streams),
+			Workers:   len(a.shards),
+			Wall:      time.Since(a.start),
+			Streaming: &metrics.StreamingStats{
+				Shards:     len(a.shards),
+				Folded:     uint64(folded),
+				Instances:  len(streams),
+				OpenRuns:   openRuns,
+				OutOfOrder: ooo,
+			},
+		},
+	}
+}
+
+// RunStreamed is the streaming counterpart of Run/RunSharded: the workload's
+// events are analyzed as they are drained, no event store is retained, and
+// the report is identical to the batch entry points'.
+func (d *DSspy) RunStreamed(workload func(*trace.Session)) *Report {
+	a := d.NewStreamAnalyzer(0)
+	col := a.Collector(trace.DefaultAsyncBuffer, trace.Block(), false)
+	s := trace.NewSessionWith(trace.Options{Recorder: col, CaptureSites: true})
+	a.Attach(s)
+	workload(s)
+	col.Close()
+	rep := a.Close()
+	cs := col.Stats()
+	rep.Stats.Collector = &cs
+	return rep
+}

@@ -122,6 +122,47 @@ type PipelineStats struct {
 	// from an in-process collector; nil for replayed or externally
 	// collected streams.
 	Collector *trace.CollectorStats
+
+	// Streaming holds the incremental-analysis counters when the report was
+	// produced by the streaming analyzer; nil in batch mode.
+	Streaming *StreamingStats
+}
+
+// StreamingStats instruments the streaming analysis path: how much of the
+// stream has been folded, how much reducer state is live, and what snapshots
+// cost. The streaming analyzer fills it at Snapshot/Close.
+type StreamingStats struct {
+	Shards     int    // analyzer shards (== collector shards when attached)
+	Folded     uint64 // events folded into reducers so far
+	Instances  int    // live per-instance reducers
+	OpenRuns   int    // runs currently held open across all reducers
+	OutOfOrder uint64 // events that arrived with a lower Seq than a prior
+	// event of the same instance; nonzero means unsynchronized concurrent
+	// access to one instance, and order-sensitive figures may differ from a
+	// post-mortem sort
+	Snapshots    int           // Snapshot calls served so far
+	SnapshotTime time.Duration // cumulative wall time spent building snapshots
+}
+
+// Write renders the streaming counters in the layout `dsspy -stats` prints.
+func (ss *StreamingStats) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Streaming: %d shard(s), %d events folded, %d instance reducer(s), %d open run(s)\n",
+		ss.Shards, ss.Folded, ss.Instances, ss.OpenRuns); err != nil {
+		return err
+	}
+	if ss.OutOfOrder > 0 {
+		if _, err := fmt.Fprintf(w, "  out-of-order events: %d (unsynchronized concurrent access to an instance)\n",
+			ss.OutOfOrder); err != nil {
+			return err
+		}
+	}
+	if ss.Snapshots > 0 {
+		if _, err := fmt.Fprintf(w, "  snapshots: %d, total cost %s\n",
+			ss.Snapshots, ss.SnapshotTime.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Write renders the stats in the layout `dsspy -stats` prints.
@@ -139,6 +180,11 @@ func (ps *PipelineStats) Write(w io.Writer) error {
 			st.Wall.Round(time.Microsecond),
 			st.Mean().Round(time.Microsecond),
 			st.Max.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	if ps.Streaming != nil {
+		if err := ps.Streaming.Write(w); err != nil {
 			return err
 		}
 	}

@@ -102,19 +102,7 @@ func Detect(p *profile.Profile) []Pattern { return DetectWith(p, DefaultConfig()
 
 // DetectWith classifies the profile's runs into patterns.
 func DetectWith(p *profile.Profile, cfg Config) []Pattern {
-	if cfg.MinLen < 2 {
-		cfg.MinLen = 2
-	}
-	var out []Pattern
-	for _, run := range p.RunsWith(cfg.Segment) {
-		if run.Len() < cfg.MinLen {
-			continue
-		}
-		if t := Classify(run); t != None {
-			out = append(out, Pattern{Type: t, Run: run})
-		}
-	}
-	return out
+	return Summarize(p, cfg).Patterns
 }
 
 // Classify maps one run onto a pattern type, or None.
@@ -163,19 +151,33 @@ type Summary struct {
 	// SequentialReads is the number of Read-Forward plus Read-Backward
 	// patterns — the "sequential read patterns" Frequent-Long-Read counts.
 	SequentialReads int
+	// LongestPattern is the event count of the longest pattern; the
+	// regularity check thresholds it without re-walking the pattern list.
+	LongestPattern int
 }
 
-// Summarize detects patterns and aggregates them.
-func Summarize(p *profile.Profile, cfg Config) *Summary {
-	s := &Summary{Patterns: DetectWith(p, cfg)}
-	for _, pat := range s.Patterns {
-		s.ByType[pat.Type]++
-		s.EventsIn[pat.Type] += pat.Len()
-		if pat.Type == ReadForward || pat.Type == ReadBackward {
-			s.SequentialReads++
-		}
+// add folds one pattern's aggregates in; the single implementation shared by
+// the batch drivers and the streaming detector. It does not append to
+// Patterns — retention is the detector's choice.
+func (s *Summary) add(pat Pattern) {
+	s.ByType[pat.Type]++
+	s.EventsIn[pat.Type] += pat.Len()
+	if pat.Type == ReadForward || pat.Type == ReadBackward {
+		s.SequentialReads++
 	}
-	return s
+	if pat.Len() > s.LongestPattern {
+		s.LongestPattern = pat.Len()
+	}
+}
+
+// Summarize detects patterns and aggregates them — the batch driver over
+// StreamDetector, folding the profile's cached run list.
+func Summarize(p *profile.Profile, cfg Config) *Summary {
+	d := NewStreamDetector(cfg, true)
+	for _, run := range p.RunsWith(cfg.Segment) {
+		d.FoldRun(run)
+	}
+	return d.Summary()
 }
 
 // SummarizeThreads detects patterns per thread and merges the summaries.
@@ -191,14 +193,23 @@ func SummarizeThreads(p *profile.Profile, cfg Config) *Summary {
 	merged := &Summary{}
 	for _, ts := range slices {
 		sub := Summarize(ts.Profile, cfg)
-		merged.Patterns = append(merged.Patterns, sub.Patterns...)
-		for i := range sub.ByType {
-			merged.ByType[i] += sub.ByType[i]
-			merged.EventsIn[i] += sub.EventsIn[i]
-		}
-		merged.SequentialReads += sub.SequentialReads
+		merged.Merge(sub)
 	}
 	return merged
+}
+
+// Merge folds another summary in; per-thread streaming detectors finalize
+// into one merged summary the same way.
+func (s *Summary) Merge(sub *Summary) {
+	s.Patterns = append(s.Patterns, sub.Patterns...)
+	for i := range sub.ByType {
+		s.ByType[i] += sub.ByType[i]
+		s.EventsIn[i] += sub.EventsIn[i]
+	}
+	s.SequentialReads += sub.SequentialReads
+	if sub.LongestPattern > s.LongestPattern {
+		s.LongestPattern = sub.LongestPattern
+	}
 }
 
 // Count returns the number of patterns of type t.
@@ -242,27 +253,8 @@ func DefaultRegularityConfig() RegularityConfig {
 	return RegularityConfig{MinRepeats: 2, MinLongRun: 10, MinCompoundOps: 10}
 }
 
-// HasRegularity reports whether the profile contains a recurring regularity.
+// HasRegularity reports whether the profile contains a recurring regularity —
+// the batch driver over RegularityFrom.
 func HasRegularity(p *profile.Profile, cfg Config, rcfg RegularityConfig) bool {
-	sum := Summarize(p, cfg)
-	for _, n := range sum.ByType {
-		if n >= rcfg.MinRepeats && rcfg.MinRepeats > 0 {
-			return true
-		}
-	}
-	for _, pat := range sum.Patterns {
-		if pat.Len() >= rcfg.MinLongRun && rcfg.MinLongRun > 0 {
-			return true
-		}
-	}
-	if rcfg.MinCompoundOps > 0 {
-		st := p.Stats()
-		ops := []trace.Op{trace.OpSearch, trace.OpSort, trace.OpForAll, trace.OpCopy, trace.OpResize}
-		for _, op := range ops {
-			if st.Count(op) >= rcfg.MinCompoundOps {
-				return true
-			}
-		}
-	}
-	return false
+	return RegularityFrom(Summarize(p, cfg), p.Stats(), rcfg)
 }

@@ -22,8 +22,9 @@ type Profile struct {
 	Instance trace.Instance
 	Events   []trace.Event
 
-	stats *Stats // lazily computed
-	runs  []Run  // lazily cached default-options segmentation
+	stats    *Stats // lazily computed
+	runs     []Run  // lazily cached default-options segmentation
+	streamed int    // event count when built by the stream pipeline (Events nil)
 }
 
 // Build groups events by instance and returns one profile per instance that
@@ -58,8 +59,14 @@ func Build(s *trace.Session, events []trace.Event) []*Profile {
 	return profiles
 }
 
-// Len returns the number of events in the profile.
-func (p *Profile) Len() int { return len(p.Events) }
+// Len returns the number of events in the profile. Stream-built profiles
+// (NewStreamed) report the folded count without retaining the events.
+func (p *Profile) Len() int {
+	if p.Events == nil && p.streamed > 0 {
+		return p.streamed
+	}
+	return len(p.Events)
+}
 
 // Stats holds per-profile aggregate figures the use-case engine consumes.
 type Stats struct {
@@ -102,54 +109,18 @@ func (ts *threadSet) add(id trace.ThreadID) {
 	*ts = append(s, id)
 }
 
-// Stats computes (and caches) the aggregate figures.
+// Stats computes (and caches) the aggregate figures by folding the events
+// through the online reducer — the batch driver over StreamStats.
 func (p *Profile) Stats() *Stats {
 	if p.stats != nil {
 		return p.stats
 	}
-	st := &Stats{MaxIndex: -1}
-	var threads, writers, readers threadSet
+	var ss StreamStats
 	for _, e := range p.Events {
-		st.Total++
-		if int(e.Op) < len(st.ByOp) {
-			st.ByOp[e.Op]++
-		}
-		if e.Op.IsRead() {
-			st.ReadLike++
-		}
-		if e.Op.IsWrite() {
-			st.WriteLike++
-			writers.add(e.Thread)
-		} else {
-			readers.add(e.Thread)
-		}
-		if e.Size > st.MaxSize {
-			st.MaxSize = e.Size
-		}
-		st.FinalSize = e.Size
-		threads.add(e.Thread)
-		if e.Index >= 0 {
-			st.IndexedOps++
-			if e.Index > st.MaxIndex {
-				st.MaxIndex = e.Index
-			}
-			if e.Index <= endTolerance {
-				st.FrontHits++
-			}
-			// The back end moves with the structure: an access is a back
-			// hit if it lands at the last occupied position at that moment.
-			if e.Size > 0 && e.Index >= e.Size-1-endTolerance {
-				st.BackHits++
-			} else if e.Op == trace.OpInsert && e.Index == maxInt(0, e.Size-1) {
-				st.BackHits++
-			}
-		}
+		ss.Fold(e)
 	}
-	st.Threads = len(threads)
-	st.WriterIDs = len(writers)
-	st.ReaderIDs = len(readers)
-	p.stats = st
-	return st
+	p.stats = ss.Snapshot()
+	return p.stats
 }
 
 // Count returns the number of events with the given access type.
@@ -166,13 +137,6 @@ func (s *Stats) Fraction(n int) float64 {
 		return 0
 	}
 	return float64(n) / float64(s.Total)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func (p *Profile) String() string {

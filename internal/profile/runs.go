@@ -132,76 +132,20 @@ func (p *Profile) RunsWith(opts SegmentOptions) []Run {
 	return p.segment(opts)
 }
 
+// segment is the batch driver over StreamSegmenter: one fold pass in event
+// order reproduces the maximal-run decomposition, Start/End ordinals intact.
 func (p *Profile) segment(opts SegmentOptions) []Run {
 	var runs []Run
-	for i := 0; i < len(p.Events); {
-		run := p.startRun(i)
-		j := i + 1
-		for j < len(p.Events) && p.extends(&run, j, opts) {
-			p.absorb(&run, j)
-			j++
+	g := NewStreamSegmenter(opts)
+	for _, e := range p.Events {
+		if r, ok := g.Feed(e); ok {
+			runs = append(runs, r)
 		}
-		run.End = j - 1
-		runs = append(runs, run)
-		i = j
+	}
+	if r, ok := g.Finish(); ok {
+		runs = append(runs, r)
 	}
 	return runs
-}
-
-func (p *Profile) startRun(i int) Run {
-	e := p.Events[i]
-	r := Run{
-		Op:          e.Op,
-		Start:       i,
-		End:         i,
-		FirstIndex:  e.Index,
-		LastIndex:   e.Index,
-		MinIndex:    e.Index,
-		MaxIndex:    e.Index,
-		MaxSeenSize: e.Size,
-	}
-	if e.Index >= 0 {
-		r.AllFront = e.Index == 0
-		r.AllBack = isBack(e)
-		r.StrictlyUp = true
-		r.StrictlyDown = true
-	}
-	return r
-}
-
-// extends reports whether event j can continue the run.
-func (p *Profile) extends(r *Run, j int, opts SegmentOptions) bool {
-	e := p.Events[j]
-	if e.Op != r.Op {
-		return false
-	}
-	prev := p.Events[j-1]
-	// Whole-structure operations merge unconditionally.
-	if e.Index < 0 || prev.Index < 0 {
-		return e.Index < 0 && prev.Index < 0
-	}
-	// Insert/Delete streams extend while they stay consistent with at
-	// least one end or strict direction, so a front-deletion phase and a
-	// following back-deletion phase become two runs, each classifiable.
-	if e.Op == trace.OpInsert || e.Op == trace.OpDelete {
-		return (r.AllFront && e.Index == 0) ||
-			(r.AllBack && isBack(e)) ||
-			(r.StrictlyUp && e.Index == prev.Index+1) ||
-			(r.StrictlyDown && e.Index == prev.Index-1)
-	}
-	step := e.Index - prev.Index
-	dir := stepDirection(step, opts)
-	if dir == DirNone {
-		return false
-	}
-	switch r.Direction {
-	case DirNone:
-		return true // second event fixes the direction
-	case DirStationary:
-		return dir == DirStationary
-	default:
-		return dir == r.Direction || (dir == DirStationary && opts.AllowRepeat)
-	}
 }
 
 func stepDirection(step int, opts SegmentOptions) Direction {
@@ -217,40 +161,6 @@ func stepDirection(step int, opts SegmentOptions) Direction {
 		return DirBackward
 	default:
 		return DirNone
-	}
-}
-
-// absorb folds event j into the run.
-func (p *Profile) absorb(r *Run, j int) {
-	e := p.Events[j]
-	prev := p.Events[j-1]
-	if e.Index >= 0 {
-		if r.Direction == DirNone && prev.Index >= 0 {
-			switch {
-			case e.Index > prev.Index:
-				r.Direction = DirForward
-			case e.Index < prev.Index:
-				r.Direction = DirBackward
-			default:
-				r.Direction = DirStationary
-			}
-		}
-		r.LastIndex = e.Index
-		if e.Index < r.MinIndex {
-			r.MinIndex = e.Index
-		}
-		if e.Index > r.MaxIndex {
-			r.MaxIndex = e.Index
-		}
-		r.AllFront = r.AllFront && e.Index == 0
-		r.AllBack = r.AllBack && isBack(e)
-		if prev.Index >= 0 {
-			r.StrictlyUp = r.StrictlyUp && e.Index == prev.Index+1
-			r.StrictlyDown = r.StrictlyDown && e.Index == prev.Index-1
-		}
-	}
-	if e.Size > r.MaxSeenSize {
-		r.MaxSeenSize = e.Size
 	}
 }
 

@@ -1,0 +1,255 @@
+// Online reducers: the per-instance analysis state as fold operations over
+// single events, so one pass over the stream — during execution, not after it
+// — produces the same figures the batch pipeline derives from a retained
+// trace. StreamStats folds events into Stats; StreamSegmenter is the run
+// segmentation of runs.go re-expressed as a state machine that emits each
+// maximal run the moment the next event closes it, holding only the open run.
+// The batch entry points (Profile.Stats, Profile.RunsWith) are thin drivers
+// over these reducers, so there is exactly one implementation of the paper's
+// semantics.
+package profile
+
+import "dsspy/internal/trace"
+
+// StreamStats incrementally computes a profile's Stats. Fold each event as it
+// arrives; Snapshot at any time yields exactly the Stats a batch pass over
+// the same events would produce. State is O(1) plus one small set per
+// distinct thread id.
+//
+// Every figure except FinalSize is order-insensitive; FinalSize tracks the
+// event with the highest sequence number, so folding a slightly reordered
+// stream (concurrent producers racing between sequence assignment and
+// delivery) still lands on the batch answer.
+type StreamStats struct {
+	st      Stats
+	threads threadSet
+	writers threadSet
+	readers threadSet
+	lastSeq uint64
+}
+
+// Fold adds one event.
+func (ss *StreamStats) Fold(e trace.Event) {
+	st := &ss.st
+	if st.Total == 0 {
+		st.MaxIndex = -1
+	}
+	st.Total++
+	if int(e.Op) < len(st.ByOp) {
+		st.ByOp[e.Op]++
+	}
+	if e.Op.IsRead() {
+		st.ReadLike++
+	}
+	if e.Op.IsWrite() {
+		st.WriteLike++
+		ss.writers.add(e.Thread)
+	} else {
+		ss.readers.add(e.Thread)
+	}
+	if e.Size > st.MaxSize {
+		st.MaxSize = e.Size
+	}
+	if e.Seq >= ss.lastSeq {
+		ss.lastSeq = e.Seq
+		st.FinalSize = e.Size
+	}
+	ss.threads.add(e.Thread)
+	if e.Index >= 0 {
+		st.IndexedOps++
+		if e.Index > st.MaxIndex {
+			st.MaxIndex = e.Index
+		}
+		if e.Index <= endTolerance {
+			st.FrontHits++
+		}
+		// The back end moves with the structure: an access is a back hit if
+		// it lands at the last occupied position at that moment.
+		if e.Size > 0 && e.Index >= e.Size-1-endTolerance {
+			st.BackHits++
+		} else if e.Op == trace.OpInsert && e.Index == max(0, e.Size-1) {
+			st.BackHits++
+		}
+	}
+}
+
+// Events returns the number of events folded so far.
+func (ss *StreamStats) Events() int { return ss.st.Total }
+
+// Snapshot returns the aggregate figures over everything folded so far.
+func (ss *StreamStats) Snapshot() *Stats {
+	st := ss.st
+	if st.Total == 0 {
+		st.MaxIndex = -1
+	}
+	st.Threads = len(ss.threads)
+	st.WriterIDs = len(ss.writers)
+	st.ReaderIDs = len(ss.readers)
+	return &st
+}
+
+// Clone returns an independent copy, used by snapshot-at-any-time readers.
+func (ss *StreamStats) Clone() *StreamStats {
+	out := &StreamStats{st: ss.st, lastSeq: ss.lastSeq}
+	out.threads = append(threadSet(nil), ss.threads...)
+	out.writers = append(threadSet(nil), ss.writers...)
+	out.readers = append(threadSet(nil), ss.readers...)
+	return out
+}
+
+// StreamSegmenter is run segmentation as a state machine: Feed returns the
+// run an event closes (if any), Finish flushes the still-open run. Start/End
+// are ordinals in feed order, so feeding a profile's events reproduces the
+// batch segmentation of runs.go index for index.
+type StreamSegmenter struct {
+	opts SegmentOptions
+	open bool
+	run  Run
+	prev trace.Event
+	next int // ordinal assigned to the next event
+}
+
+// NewStreamSegmenter returns a segmenter with the given options.
+func NewStreamSegmenter(opts SegmentOptions) *StreamSegmenter {
+	if opts.MaxStep < 1 {
+		opts.MaxStep = 1
+	}
+	return &StreamSegmenter{opts: opts}
+}
+
+// Feed folds one event. When the event cannot extend the open run, that run
+// is returned closed and the event starts a new one.
+func (g *StreamSegmenter) Feed(e trace.Event) (closed Run, ok bool) {
+	if g.open {
+		if extendsRun(&g.run, g.prev, e, g.opts) {
+			absorbRun(&g.run, g.prev, e)
+			g.run.End = g.next
+			g.prev = e
+			g.next++
+			return Run{}, false
+		}
+		closed, ok = g.run, true
+	}
+	g.run = startRunAt(e, g.next)
+	g.prev = e
+	g.open = true
+	g.next++
+	return closed, ok
+}
+
+// Finish closes and returns the open run, if any. The segmenter is reset and
+// can keep folding afterwards (the next event starts a fresh run).
+func (g *StreamSegmenter) Finish() (Run, bool) {
+	if !g.open {
+		return Run{}, false
+	}
+	g.open = false
+	return g.run, true
+}
+
+// Open reports whether a run is currently open (state held, not yet emitted).
+func (g *StreamSegmenter) Open() bool { return g.open }
+
+// Clone returns an independent copy of the segmenter state.
+func (g *StreamSegmenter) Clone() *StreamSegmenter {
+	out := *g
+	return &out
+}
+
+// startRunAt begins a run whose first event e has ordinal i.
+func startRunAt(e trace.Event, i int) Run {
+	r := Run{
+		Op:          e.Op,
+		Start:       i,
+		End:         i,
+		FirstIndex:  e.Index,
+		LastIndex:   e.Index,
+		MinIndex:    e.Index,
+		MaxIndex:    e.Index,
+		MaxSeenSize: e.Size,
+	}
+	if e.Index >= 0 {
+		r.AllFront = e.Index == 0
+		r.AllBack = isBack(e)
+		r.StrictlyUp = true
+		r.StrictlyDown = true
+	}
+	return r
+}
+
+// extendsRun reports whether event e (preceded by prev) can continue the run.
+func extendsRun(r *Run, prev, e trace.Event, opts SegmentOptions) bool {
+	if e.Op != r.Op {
+		return false
+	}
+	// Whole-structure operations merge unconditionally.
+	if e.Index < 0 || prev.Index < 0 {
+		return e.Index < 0 && prev.Index < 0
+	}
+	// Insert/Delete streams extend while they stay consistent with at least
+	// one end or strict direction, so a front-deletion phase and a following
+	// back-deletion phase become two runs, each classifiable.
+	if e.Op == trace.OpInsert || e.Op == trace.OpDelete {
+		return (r.AllFront && e.Index == 0) ||
+			(r.AllBack && isBack(e)) ||
+			(r.StrictlyUp && e.Index == prev.Index+1) ||
+			(r.StrictlyDown && e.Index == prev.Index-1)
+	}
+	step := e.Index - prev.Index
+	dir := stepDirection(step, opts)
+	if dir == DirNone {
+		return false
+	}
+	switch r.Direction {
+	case DirNone:
+		return true // second event fixes the direction
+	case DirStationary:
+		return dir == DirStationary
+	default:
+		return dir == r.Direction || (dir == DirStationary && opts.AllowRepeat)
+	}
+}
+
+// absorbRun folds event e (preceded by prev) into the run.
+func absorbRun(r *Run, prev, e trace.Event) {
+	if e.Index >= 0 {
+		if r.Direction == DirNone && prev.Index >= 0 {
+			switch {
+			case e.Index > prev.Index:
+				r.Direction = DirForward
+			case e.Index < prev.Index:
+				r.Direction = DirBackward
+			default:
+				r.Direction = DirStationary
+			}
+		}
+		r.LastIndex = e.Index
+		if e.Index < r.MinIndex {
+			r.MinIndex = e.Index
+		}
+		if e.Index > r.MaxIndex {
+			r.MaxIndex = e.Index
+		}
+		r.AllFront = r.AllFront && e.Index == 0
+		r.AllBack = r.AllBack && isBack(e)
+		if prev.Index >= 0 {
+			r.StrictlyUp = r.StrictlyUp && e.Index == prev.Index+1
+			r.StrictlyDown = r.StrictlyDown && e.Index == prev.Index-1
+		}
+	}
+	if e.Size > r.MaxSeenSize {
+		r.MaxSeenSize = e.Size
+	}
+}
+
+// NewStreamed returns an event-free profile standing in for n streamed
+// events: the stream pipeline retains aggregate state instead of the trace,
+// so Len and Stats answer from the folded figures while Events stays nil.
+func NewStreamed(inst trace.Instance, n int, st *Stats) *Profile {
+	return &Profile{Instance: inst, streamed: n, stats: st}
+}
+
+// PrimeStats installs precomputed aggregate figures so later Stats calls do
+// not refold the events. The caller asserts st was computed over exactly
+// p.Events.
+func (p *Profile) PrimeStats(st *Stats) { p.stats = st }

@@ -102,12 +102,27 @@ type ShardedCollector struct {
 	merged    []Event
 }
 
+// ShardSink consumes event batches from one shard's drain goroutine. Each
+// shard has exactly one drain goroutine, so calls for a given shard index are
+// serialized (calls for different shards are concurrent). The batch slice is
+// reused between calls — a sink must fold or copy the events, never retain
+// the slice.
+type ShardSink func(shard int, batch []Event)
+
 // shard is one partition: a buffered channel drained by a dedicated
 // goroutine into a shard-local store, plus the observability counters the
 // pipeline stats report.
 type shard struct {
 	ch   chan Event
 	done chan struct{}
+
+	// id, sink and retain configure the drain destination: with a sink the
+	// drain hands each batch to it; with retain the batch also lands in the
+	// shard-local store (stream mode sets retain=false so memory stays
+	// bounded by reducer state, not event count).
+	id     int
+	sink   ShardSink
+	retain bool
 
 	// closeMu serializes Record against Close: Record holds the read side
 	// while it touches the channel, Close takes the write side before
@@ -129,8 +144,14 @@ type shard struct {
 	blockNS       atomic.Int64
 }
 
-func newShard(buf int) *shard {
-	sh := &shard{ch: make(chan Event, buf), done: make(chan struct{})}
+func newShard(id, buf int, sink ShardSink, retain bool) *shard {
+	sh := &shard{
+		ch:     make(chan Event, buf),
+		done:   make(chan struct{}),
+		id:     id,
+		sink:   sink,
+		retain: retain,
+	}
 	go sh.drain()
 	return sh
 }
@@ -178,24 +199,54 @@ func (sh *shard) record(e Event, pol OverloadPolicy) {
 
 // drain moves events from the channel into the shard-local store. Each lock
 // acquisition drains everything already queued, so under bursts the mutex is
-// taken once per batch rather than once per event.
+// taken once per batch rather than once per event. With a sink attached the
+// burst is gathered into a reusable batch first, handed to the sink, and
+// stored only when retain is set.
 func (sh *shard) drain() {
+	if sh.sink == nil {
+		for e := range sh.ch {
+			sh.mu.Lock()
+			sh.push(e)
+		batch:
+			for {
+				select {
+				case e2, ok := <-sh.ch:
+					if !ok {
+						break batch
+					}
+					sh.push(e2)
+				default:
+					break batch
+				}
+			}
+			sh.mu.Unlock()
+		}
+		close(sh.done)
+		return
+	}
+	var batch []Event
 	for e := range sh.ch {
-		sh.mu.Lock()
-		sh.push(e)
-	batch:
+		batch = append(batch[:0], e)
+	gather:
 		for {
 			select {
 			case e2, ok := <-sh.ch:
 				if !ok {
-					break batch
+					break gather
 				}
-				sh.push(e2)
+				batch = append(batch, e2)
 			default:
-				break batch
+				break gather
 			}
 		}
-		sh.mu.Unlock()
+		if sh.retain {
+			sh.mu.Lock()
+			for _, e2 := range batch {
+				sh.push(e2)
+			}
+			sh.mu.Unlock()
+		}
+		sh.sink(sh.id, batch)
 	}
 	close(sh.done)
 }
@@ -247,6 +298,16 @@ func NewShardedCollectorSize(n, buf int) *ShardedCollector {
 // GOMAXPROCS), per-shard buffers of buf events, and an explicit overload
 // policy.
 func NewShardedCollectorOpts(n, buf int, policy OverloadPolicy) *ShardedCollector {
+	return NewStreamingShardedCollector(n, buf, policy, true, nil)
+}
+
+// NewStreamingShardedCollector starts a collector whose drain goroutines hand
+// event batches to sink (may be nil). retain controls whether events are also
+// kept in the per-shard stores for post-mortem access; a streaming consumer
+// passes retain=false so memory stays bounded by its own reducer state. With
+// retain=false, Events/ShardEvents return nothing — the sink is the only
+// destination — while the Stats accounting is unchanged.
+func NewStreamingShardedCollector(n, buf int, policy OverloadPolicy, retain bool, sink ShardSink) *ShardedCollector {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
@@ -255,7 +316,7 @@ func NewShardedCollectorOpts(n, buf int, policy OverloadPolicy) *ShardedCollecto
 	}
 	c := &ShardedCollector{shards: make([]*shard, n), buf: buf, policy: policy}
 	for i := range c.shards {
-		c.shards[i] = newShard(buf)
+		c.shards[i] = newShard(i, buf, sink, retain)
 	}
 	return c
 }

@@ -1,0 +1,201 @@
+// Streaming use-case detection: the per-instance state of the eight
+// detectors re-expressed as one online reducer. Fold events, closed runs and
+// patterns as they arrive; Finish applies the thresholds of detect.go to the
+// folded aggregates once the instance kind and stats are known. Every
+// aggregate here is order-insensitive (sums, maxes, counters) or depends only
+// on run adjacency in stream order (Sort-After-Insert, Write-Without-Read),
+// so incremental feeding reproduces the batch answer exactly — the batch
+// DetectWithSummary is a thin driver over this reducer.
+package usecase
+
+import (
+	"dsspy/internal/pattern"
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+)
+
+// Stream accumulates the bounded per-instance detector state. Zero value is
+// not ready — use NewStream (the coverage threshold is consulted during
+// pattern folds, not only at Finish).
+type Stream struct {
+	th Thresholds
+
+	// Implement-Queue: end-affinity counters over indexed events.
+	iqInsFront, iqInsBack, iqOutFront, iqOutBack int
+
+	// Stack-Implementation: end-affinity counters with the both-ends special
+	// case for accesses to a (nearly) empty structure.
+	siInsFront, siInsBack, siDelFront, siDelBack int
+
+	// Long-Insert: events inside / longest insertion pattern. Write patterns
+	// are tracked separately so the fixed-size-array resolution (writes count
+	// as insertion phases) can happen at Finish, when the kind is known.
+	liInsEvents, liInsLongest int
+	liWrEvents, liWrLongest   int
+
+	// Frequent-Search: events inside directional read patterns.
+	fsDirReadEvents int
+
+	// Frequent-Long-Read: directional read patterns covering enough of the
+	// structure.
+	flrLongReads int
+
+	// Sort-After-Insert: insert events over the global runs, the immediately
+	// preceding run, and the first long-insert-then-sort adjacency.
+	saiInsertEvents int
+	saiPrevOp       trace.Op
+	saiPrevLen      int
+	saiHavePrev     bool
+	saiMatchedLen   int
+
+	// Write-Without-Read: the last non-Clear run seen so far.
+	wwrLastOp  trace.Op
+	wwrLastLen int
+	wwrSeen    bool
+}
+
+// NewStream returns a reducer applying the given thresholds.
+func NewStream(th Thresholds) *Stream {
+	return &Stream{th: th}
+}
+
+// Event folds one access event (any order across threads; the counters are
+// order-insensitive).
+func (u *Stream) Event(e trace.Event) {
+	if e.Index < 0 {
+		return
+	}
+	front := e.Index == 0
+	back := atBack(e)
+	switch e.Op {
+	case trace.OpInsert:
+		if front {
+			u.iqInsFront++
+		} else if back {
+			u.iqInsBack++
+		}
+		if front && e.Size <= 1 {
+			// First element of an empty structure is both ends; count it
+			// where the rest of the run goes.
+			u.siInsBack++
+			u.siInsFront++
+		} else if front {
+			u.siInsFront++
+		} else if back {
+			u.siInsBack++
+		}
+	case trace.OpDelete:
+		if front {
+			u.iqOutFront++
+		} else if back {
+			u.iqOutBack++
+		}
+		if front && e.Size == 0 {
+			u.siDelFront++
+			u.siDelBack++
+		} else if front {
+			u.siDelFront++
+		} else if back {
+			u.siDelBack++
+		}
+	case trace.OpRead:
+		if front {
+			u.iqOutFront++
+		} else if back {
+			u.iqOutBack++
+		}
+	}
+}
+
+// Run folds one closed run of the instance's global (default-options)
+// segmentation, in stream order — Sort-After-Insert needs run adjacency and
+// Write-Without-Read needs the terminal run.
+func (u *Stream) Run(r profile.Run) {
+	if r.Op == trace.OpInsert {
+		u.saiInsertEvents += r.Len()
+	}
+	// Adjacency check before updating prev: a sort run matches only the run
+	// immediately before it.
+	if u.saiMatchedLen == 0 && r.Op == trace.OpSort && u.saiHavePrev &&
+		u.saiPrevOp == trace.OpInsert && u.saiPrevLen >= u.th.SAIMinRunLen {
+		u.saiMatchedLen = u.saiPrevLen
+	}
+	u.saiPrevOp, u.saiPrevLen, u.saiHavePrev = r.Op, r.Len(), true
+
+	if r.Op != trace.OpClear {
+		u.wwrLastOp, u.wwrLastLen, u.wwrSeen = r.Op, r.Len(), true
+	}
+}
+
+// Pattern folds one detected pattern (from the per-thread summaries, any
+// order; the aggregates are sums and maxes).
+func (u *Stream) Pattern(pat pattern.Pattern) {
+	n := pat.Len()
+	switch pat.Type {
+	case pattern.InsertFront, pattern.InsertBack:
+		u.liInsEvents += n
+		if n > u.liInsLongest {
+			u.liInsLongest = n
+		}
+	case pattern.WriteForward, pattern.WriteBackward:
+		u.liWrEvents += n
+		if n > u.liWrLongest {
+			u.liWrLongest = n
+		}
+	case pattern.ReadForward, pattern.ReadBackward:
+		u.fsDirReadEvents += n
+		if pat.Coverage() >= u.th.FLRMinCoverage {
+			u.flrLongReads++
+		}
+	}
+}
+
+// Finish applies the eight detectors to the folded state and returns the use
+// cases that fire, in Kind order. The reducer may keep folding afterwards
+// (snapshots finalize a Clone, not the live reducer).
+func (u *Stream) Finish(inst trace.Instance, st *profile.Stats) []UseCase {
+	if st.Total == 0 {
+		return nil
+	}
+	var out []UseCase
+	add := func(k Kind, evidence string) {
+		out = append(out, UseCase{
+			Kind:           k,
+			Instance:       inst,
+			Evidence:       evidence,
+			Recommendation: k.Action(),
+		})
+	}
+
+	if ev, ok := u.longInsert(inst, st); ok {
+		add(LongInsert, ev)
+	}
+	if ev, ok := u.implementQueue(inst, st); ok {
+		add(ImplementQueue, ev)
+	}
+	if ev, ok := u.sortAfterInsert(inst, st); ok {
+		add(SortAfterInsert, ev)
+	}
+	if ev, ok := u.frequentSearch(st); ok {
+		add(FrequentSearch, ev)
+	}
+	if ev, ok := u.frequentLongRead(st); ok {
+		add(FrequentLongRead, ev)
+	}
+	if ev, ok := u.insertDeleteFront(inst, st); ok {
+		add(InsertDeleteFront, ev)
+	}
+	if ev, ok := u.stackImplementation(inst, st); ok {
+		add(StackImplementation, ev)
+	}
+	if ev, ok := u.writeWithoutRead(); ok {
+		add(WriteWithoutRead, ev)
+	}
+	return out
+}
+
+// Clone returns an independent copy, used by snapshot-at-any-time readers.
+func (u *Stream) Clone() *Stream {
+	out := *u
+	return &out
+}

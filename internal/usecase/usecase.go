@@ -207,45 +207,23 @@ func Detect(p *profile.Profile, th Thresholds) []UseCase {
 }
 
 // DetectWithSummary is Detect with a precomputed pattern summary, so callers
-// that already summarized (the orchestrator) do not pay twice.
+// that already summarized (the orchestrator) do not pay twice. It is the
+// batch driver over the Stream reducer: one pass over the events, one over
+// the cached global runs, one over the summarized patterns.
 func DetectWithSummary(p *profile.Profile, sum *pattern.Summary, th Thresholds) []UseCase {
 	st := p.Stats()
 	if st.Total == 0 {
 		return nil
 	}
-	var out []UseCase
-	add := func(k Kind, evidence string) {
-		out = append(out, UseCase{
-			Kind:           k,
-			Instance:       p.Instance,
-			Evidence:       evidence,
-			Recommendation: k.Action(),
-		})
+	u := NewStream(th)
+	for _, e := range p.Events {
+		u.Event(e)
 	}
-
-	if ev, ok := detectLongInsert(p, st, sum, th); ok {
-		add(LongInsert, ev)
+	for _, r := range p.Runs() {
+		u.Run(r)
 	}
-	if ev, ok := detectImplementQueue(p, st, th); ok {
-		add(ImplementQueue, ev)
+	for _, pat := range sum.Patterns {
+		u.Pattern(pat)
 	}
-	if ev, ok := detectSortAfterInsert(p, st, th); ok {
-		add(SortAfterInsert, ev)
-	}
-	if ev, ok := detectFrequentSearch(st, sum, th); ok {
-		add(FrequentSearch, ev)
-	}
-	if ev, ok := detectFrequentLongRead(st, sum, th); ok {
-		add(FrequentLongRead, ev)
-	}
-	if ev, ok := detectInsertDeleteFront(p, st, sum, th); ok {
-		add(InsertDeleteFront, ev)
-	}
-	if ev, ok := detectStackImplementation(p, st, sum, th); ok {
-		add(StackImplementation, ev)
-	}
-	if ev, ok := detectWriteWithoutRead(p, th); ok {
-		add(WriteWithoutRead, ev)
-	}
-	return out
+	return u.Finish(p.Instance, st)
 }

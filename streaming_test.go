@@ -1,0 +1,197 @@
+package dsspy_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dsspy"
+	"dsspy/internal/apps"
+	"dsspy/internal/core"
+	"dsspy/internal/corpus"
+	"dsspy/internal/trace"
+)
+
+// The streaming differential suite: the incremental analyzer must render
+// byte-identical reports (text + JSON) to the batch pipeline for every
+// corpus workload, every evaluation app, concurrent producers, mid-run
+// snapshots, and salvaged event logs.
+
+// TestStreamingDifferentialCorpus runs every dynamic-study program through
+// the batch and the streaming entry points and compares the rendered report
+// bytes. The behaviors are deterministic and single-threaded, so running the
+// workload twice yields the same event stream.
+func TestStreamingDifferentialCorpus(t *testing.T) {
+	progs := append(corpus.PatternStudyPrograms(), corpus.UseCaseStudyPrograms()...)
+	for _, p := range progs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			workload := func(s *trace.Session) {
+				for _, b := range p.Mix.Behaviors(p.Name) {
+					b(s)
+				}
+			}
+			batch := NewReportBytes(t, core.New().Run(workload))
+			streamed := NewReportBytes(t, core.New().RunStreamed(workload))
+			if !bytes.Equal(batch, streamed) {
+				t.Fatalf("%s: streamed report differs from batch:\n--- batch ---\n%s\n--- streamed ---\n%s",
+					p.Name, batch, streamed)
+			}
+		})
+	}
+}
+
+// TestStreamingDifferentialApps covers the evaluation programs: RunStreamed
+// must match both Run and RunSharded byte for byte.
+func TestStreamingDifferentialApps(t *testing.T) {
+	for _, app := range apps.Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			batch := NewReportBytes(t, core.New().Run(app.Instrumented))
+			sharded := NewReportBytes(t, core.New().RunSharded(app.Instrumented))
+			streamed := NewReportBytes(t, core.New().RunStreamed(app.Instrumented))
+			if !bytes.Equal(batch, sharded) {
+				t.Fatalf("%s: sharded report differs from batch", app.Name)
+			}
+			if !bytes.Equal(batch, streamed) {
+				t.Fatalf("%s: streamed report differs from batch:\n--- batch ---\n%s\n--- streamed ---\n%s",
+					app.Name, batch, streamed)
+			}
+		})
+	}
+}
+
+// TestStreamingConcurrentProducers is the race-mode differential: one
+// execution of the 8-goroutine workload is teed into a memory recorder (for
+// the batch pipeline) and the streaming analyzer's collector, so both sides
+// see the identical stream, thread ids included. Run under -race via `make
+// check`.
+func TestStreamingConcurrentProducers(t *testing.T) {
+	sa := core.New().NewStreamAnalyzer(4)
+	scol := sa.Collector(512, trace.Block(), false)
+	mem := trace.NewMemRecorder()
+	s := trace.NewSessionWith(trace.Options{
+		Recorder:       trace.TeeRecorder{mem, scol},
+		CaptureSites:   true,
+		CaptureThreads: true,
+	})
+	sa.Attach(s)
+	shardedWorkload(s)
+	scol.Close()
+	streamedRep := sa.Close()
+
+	if got := streamedRep.Stats.Events; got != mem.Len() {
+		t.Fatalf("streaming analyzer folded %d events, tee twin recorded %d", got, mem.Len())
+	}
+	if ooo := streamedRep.Stats.Streaming.OutOfOrder; ooo != 0 {
+		t.Fatalf("serialized same-instance access must fold in order; got %d out-of-order events", ooo)
+	}
+
+	batch := NewReportBytes(t, core.New().Analyze(s, mem.Events()))
+	streamed := NewReportBytes(t, streamedRep)
+	if !bytes.Equal(batch, streamed) {
+		t.Fatalf("streamed report differs from batch under 8 producers:\n--- batch ---\n%s\n--- streamed ---\n%s",
+			batch, streamed)
+	}
+}
+
+// TestStreamingSnapshotMidRun takes a snapshot halfway through the stream and
+// asserts (a) the snapshot reflects exactly the folded prefix, and (b) taking
+// it does not disturb the final report.
+func TestStreamingSnapshotMidRun(t *testing.T) {
+	mem := trace.NewMemRecorder()
+	s := trace.NewSessionWith(trace.Options{Recorder: mem, CaptureSites: true})
+	apps.Apps()[0].Instrumented(s)
+	events := mem.Events()
+	if len(events) < 4 {
+		t.Fatalf("workload too small: %d events", len(events))
+	}
+
+	sa := core.New().NewStreamAnalyzer(2)
+	sa.Attach(s)
+	half := len(events) / 2
+	sa.Feed(events[:half]...)
+
+	snap := sa.Snapshot()
+	if snap.Stats.Events != half {
+		t.Fatalf("snapshot saw %d events, fed %d", snap.Stats.Events, half)
+	}
+	if snap.Stats.Streaming.Snapshots != 1 {
+		t.Fatalf("snapshot counter = %d, want 1", snap.Stats.Streaming.Snapshots)
+	}
+	// The snapshot must itself be a well-formed report over the prefix.
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatalf("snapshot report does not render: %v", err)
+	}
+
+	sa.Feed(events[half:]...)
+	final := NewReportBytes(t, sa.Close())
+	batch := NewReportBytes(t, core.New().Analyze(s, events))
+	if !bytes.Equal(batch, final) {
+		t.Fatalf("final report after mid-run snapshot differs from batch:\n--- batch ---\n%s\n--- streamed ---\n%s",
+			batch, final)
+	}
+}
+
+// TestStreamingRecoverDamagedLog replays a salvaged session log through the
+// streaming analyzer: save a real workload's log, chop its tail (losing the
+// registry and end marker), salvage with RecoverSession, and assert the
+// streaming analysis of the salvaged events matches the batch analysis.
+func TestStreamingRecoverDamagedLog(t *testing.T) {
+	mem := trace.NewMemRecorder()
+	s := trace.NewSessionWith(trace.Options{Recorder: mem, CaptureSites: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := dsspy.NewList[int](s)
+			for c := 0; c < 3; c++ {
+				for i := 0; i < 64; i++ {
+					l.Add(i)
+				}
+				for i := 0; i < l.Len(); i++ {
+					l.Get(i)
+				}
+				l.Clear()
+			}
+		}()
+	}
+	wg.Wait()
+
+	path := filepath.Join(t.TempDir(), "crashed.dslog")
+	if err := dsspy.SaveSession(path, s, mem.Events()); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, whole[:len(whole)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, revs, rec, err := dsspy.RecoverSession(path)
+	if err != nil {
+		t.Fatalf("recovery errored: %v", err)
+	}
+	if rec == nil || rec.Clean() {
+		t.Fatalf("damaged log must yield an unclean diagnostic, got %v", rec)
+	}
+	if len(revs) == 0 {
+		t.Fatal("salvage recovered no events; the fixture should keep its event frames")
+	}
+
+	sa := core.New().NewStreamAnalyzer(0)
+	sa.Attach(rs)
+	sa.Feed(revs...)
+	streamed := NewReportBytes(t, sa.Close())
+	batch := NewReportBytes(t, core.New().Analyze(rs, revs))
+	if !bytes.Equal(batch, streamed) {
+		t.Fatalf("streamed analysis of salvaged log differs from batch:\n--- batch ---\n%s\n--- streamed ---\n%s",
+			batch, streamed)
+	}
+}
