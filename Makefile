@@ -1,17 +1,18 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-stream fuzz-smoke clean
+.PHONY: check build vet test race bench bench-stream bench-obs smoke-obs fuzz-smoke clean
 
 ## check: everything CI runs — build, vet, full tests, race tests on the
 ## concurrent packages, the streaming/batch differential under the race
-## detector, and a short fuzz pass over the salvaging decoders. This is the
-## single command to run before pushing.
+## detector, the live /metrics + /statusz smoke, and a short fuzz pass over
+## the salvaging decoders. This is the single command to run before pushing.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/trace/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/core/... ./cmd/dsspy/
 	$(GO) test -race -run 'Streaming' .
+	$(MAKE) smoke-obs
 	$(MAKE) fuzz-smoke
 
 build:
@@ -26,7 +27,7 @@ test:
 ## race: the concurrency-sensitive packages plus the root package's
 ## sharded-pipeline tests under the race detector.
 race:
-	$(GO) test -race ./internal/trace/... ./internal/core/... .
+	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/core/... ./cmd/dsspy/ .
 
 ## bench: the sharded-pipeline benchmark battery from EXPERIMENTS.md, plus
 ## the overload-policy producer-latency comparison.
@@ -38,6 +39,27 @@ bench:
 ## streamed live-heap-MB metric must stay flat when the event count doubles).
 bench-stream:
 	$(GO) test -run xxx -bench 'Pipeline1MStreamed|Pipeline1MBatchHeap|Pipeline2MStreamed|Pipeline2MBatchHeap' -benchmem -benchtime 5x .
+
+## bench-obs: the observability-plane overhead pair — producer-side Record
+## cost with the plane off vs fully on (self-tracer, queue-depth sampling,
+## timed recorder). Acceptance: obs-on ns/op within 5% of obs-off.
+bench-obs:
+	$(GO) test ./internal/trace/ -run xxx -bench 'RecordObs' -benchmem -benchtime 2s -count 5
+
+## smoke-obs: boots the CLI with the live observability surface (the -listen
+## side keeps serving while it waits for a producer) and checks that /healthz,
+## /metrics and /statusz answer with the expected content.
+smoke-obs:
+	$(GO) build -o /tmp/dsspy-smoke ./cmd/dsspy
+	@/tmp/dsspy-smoke -listen 127.0.0.1:17977 -conns 1 -http 127.0.0.1:16977 -quiet >/dev/null 2>&1 & \
+	pid=$$!; sleep 1; ok=0; \
+	{ curl -sf http://127.0.0.1:16977/healthz | grep -q ok && \
+	  curl -sf http://127.0.0.1:16977/metrics | grep -q dsspy_trace_spans_total && \
+	  curl -sf http://127.0.0.1:16977/metrics | grep -q dsspy_server_conns_active && \
+	  curl -sf "http://127.0.0.1:16977/statusz?frag=1" | grep -q "Producer streams"; } || ok=1; \
+	kill $$pid 2>/dev/null; rm -f /tmp/dsspy-smoke; \
+	if [ $$ok -ne 0 ]; then echo "smoke-obs: endpoint check FAILED"; exit 1; fi; \
+	echo "smoke-obs: /healthz /metrics /statusz OK"
 
 ## fuzz-smoke: 10 seconds of fuzzing per decoder entry point (go's fuzzer
 ## accepts one -fuzz pattern per run, hence the sequence). Catches wire-format

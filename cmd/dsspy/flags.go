@@ -1,0 +1,163 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+)
+
+// options is the parsed command line. Parsing is separated from main so the
+// conflict rules are testable without forking the process.
+type options struct {
+	listApps    bool
+	appName     string
+	demo        string
+	chart       bool
+	svgPath     string
+	htmlPath    string
+	jsonPath    string
+	advise      bool
+	cores       int
+	logPath     string
+	replay      string
+	recoverPath string
+	collect     string
+	spillDir    string
+	listen      string
+	conns       int
+	connTO      time.Duration
+	overload    string
+	stream      bool
+	live        time.Duration
+	stats       bool
+	shards      int
+	workers     int
+
+	httpAddr string
+	traceOut string
+	verbose  bool
+	quiet    bool
+}
+
+// parseFlags parses args (not including the program name) into options.
+// Output (usage text, errors) goes to errw.
+func parseFlags(args []string, errw io.Writer) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("dsspy", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.BoolVar(&o.listApps, "list", false, "list available programs and demos")
+	fs.StringVar(&o.appName, "app", "", "evaluation program to profile")
+	fs.StringVar(&o.demo, "demo", "", "demo workload: figure2, figure3, queue, stack")
+	fs.BoolVar(&o.chart, "chart", false, "print an ASCII profile chart per instance with findings")
+	fs.StringVar(&o.svgPath, "svg", "", "write an SVG profile chart of the first flagged instance")
+	fs.StringVar(&o.htmlPath, "html", "", "write a self-contained HTML report")
+	fs.StringVar(&o.jsonPath, "json", "", "write the findings as JSON")
+	fs.BoolVar(&o.advise, "advise", false, "print ranked transformation plans with Amdahl estimates")
+	fs.IntVar(&o.cores, "cores", 8, "core count for the advisor's Amdahl estimates")
+	fs.StringVar(&o.logPath, "log", "", "save the session (registry + events) to this file for -replay")
+	fs.StringVar(&o.replay, "replay", "", "re-analyze a session log written with -log instead of running a workload")
+	fs.StringVar(&o.recoverPath, "recover", "", "salvage a damaged or truncated session log and analyze what was recovered")
+	fs.StringVar(&o.collect, "collect", "", "ship events to a collector at host:port instead of in-process")
+	fs.StringVar(&o.spillDir, "spill-dir", "", "with -collect: spill events to a WAL in this directory while the collector is unreachable")
+	fs.StringVar(&o.listen, "listen", "", "run as the collector: accept producer streams on host:port and analyze them")
+	fs.IntVar(&o.conns, "conns", 1, "with -listen: number of producer streams to wait for before analyzing")
+	fs.DurationVar(&o.connTO, "conn-timeout", 0, "with -listen: per-frame read deadline on producer connections (0 = none); with -collect: write deadline per batch")
+	fs.StringVar(&o.overload, "overload", "block", "in-process overload policy: block (lossless), drop, or sample:N")
+	fs.BoolVar(&o.stream, "stream", false, "analyze incrementally while the workload runs (bounded memory; events are not retained unless -log asks for them)")
+	fs.DurationVar(&o.live, "live", 0, "print a live snapshot table at this interval while streaming (implies -stream)")
+	fs.BoolVar(&o.stats, "stats", false, "print pipeline observability: per-stage latency quantiles, per-shard queue statistics, delivery accounting, and self-overhead")
+	fs.IntVar(&o.shards, "shards", 0, "collector shards (events partitioned by instance); 0 = GOMAXPROCS, 1 = the single-channel async collector")
+	fs.IntVar(&o.workers, "workers", 0, "analysis worker-pool size; 0 = GOMAXPROCS, 1 = sequential")
+	fs.StringVar(&o.httpAddr, "http", "", "serve live observability on this address: /metrics, /statusz, /healthz, /debug/pprof")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON of DSspy's own pipeline spans (load in Perfetto)")
+	fs.BoolVar(&o.verbose, "v", false, "verbose diagnostics (debug-level logging)")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress diagnostics below error level")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.live > 0 {
+		o.stream = true
+	}
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(errw, "dsspy:", err)
+		return nil, err
+	}
+	return o, nil
+}
+
+// isSet reports whether the named flag was given a non-default value, for
+// the conflict table below.
+func (o *options) isSet(name string) bool {
+	switch name {
+	case "app":
+		return o.appName != ""
+	case "demo":
+		return o.demo != ""
+	case "replay":
+		return o.replay != ""
+	case "recover":
+		return o.recoverPath != ""
+	case "collect":
+		return o.collect != ""
+	case "listen":
+		return o.listen != ""
+	case "spill-dir":
+		return o.spillDir != ""
+	case "stream":
+		return o.stream
+	case "v":
+		return o.verbose
+	case "quiet":
+		return o.quiet
+	}
+	return false
+}
+
+// flagConflict names two flags that contradict each other.
+type flagConflict struct {
+	a, b   string
+	reason string
+}
+
+// conflicts is the pairwise incompatibility table. A run is one of: workload
+// (app/demo), replay, recovery, or collector side — the flags selecting them
+// are mutually exclusive, and mode-specific flags reject the wrong mode.
+var conflicts = []flagConflict{
+	{"app", "demo", "pick one workload"},
+	{"replay", "app", "a replay analyzes a log instead of running a workload"},
+	{"replay", "demo", "a replay analyzes a log instead of running a workload"},
+	{"replay", "recover", "pick one log to analyze"},
+	{"replay", "collect", "a replay has no producer to ship events from"},
+	{"replay", "listen", "a process replays a log or collects streams, not both"},
+	{"recover", "app", "recovery analyzes a damaged log instead of running a workload"},
+	{"recover", "demo", "recovery analyzes a damaged log instead of running a workload"},
+	{"recover", "collect", "recovery analyzes a local WAL; there is nothing to ship"},
+	{"recover", "listen", "a process recovers a log or collects streams, not both"},
+	{"listen", "app", "the collector side runs no workload"},
+	{"listen", "demo", "the collector side runs no workload"},
+	{"listen", "collect", "a process is producer or collector, not both"},
+	{"collect", "stream", "streaming analysis runs in the collector process, not the producer"},
+	{"v", "quiet", "pick one verbosity"},
+}
+
+// requires lists flags that only make sense alongside another flag.
+var requires = []flagConflict{
+	{"spill-dir", "collect", "the spill WAL absorbs events while a -collect link is down"},
+}
+
+// validate applies the conflict and requirement tables, returning a one-line
+// error for the first violation.
+func (o *options) validate() error {
+	for _, c := range conflicts {
+		if o.isSet(c.a) && o.isSet(c.b) {
+			return fmt.Errorf("-%s and -%s are incompatible: %s", c.a, c.b, c.reason)
+		}
+	}
+	for _, r := range requires {
+		if o.isSet(r.a) && !o.isSet(r.b) {
+			return fmt.Errorf("-%s requires -%s: %s", r.a, r.b, r.reason)
+		}
+	}
+	return nil
+}

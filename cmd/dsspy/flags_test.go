@@ -1,0 +1,67 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error, "" for valid
+	}{
+		{"app alone", []string{"-app", "Mandelbrot"}, ""},
+		{"demo alone", []string{"-demo", "figure3"}, ""},
+		{"replay alone", []string{"-replay", "run.dslog"}, ""},
+		{"stream run", []string{"-app", "Mandelbrot", "-stream", "-http", ":0"}, ""},
+		{"collect with spill", []string{"-app", "Algorithmia", "-collect", "h:1", "-spill-dir", "/tmp"}, ""},
+		{"listen alone", []string{"-listen", ":7777", "-conns", "2"}, ""},
+		{"replay streamed", []string{"-replay", "run.dslog", "-stream"}, ""},
+
+		{"app and demo", []string{"-app", "a", "-demo", "d"}, "-app and -demo"},
+		{"replay and app", []string{"-replay", "f", "-app", "a"}, "-replay and -app"},
+		{"replay and demo", []string{"-replay", "f", "-demo", "d"}, "-replay and -demo"},
+		{"replay and recover", []string{"-replay", "f", "-recover", "g"}, "-replay and -recover"},
+		{"replay and collect", []string{"-replay", "f", "-collect", "h:1"}, "-replay and -collect"},
+		{"recover and collect", []string{"-recover", "f", "-collect", "h:1"}, "-recover and -collect"},
+		{"recover and app", []string{"-recover", "f", "-app", "a"}, "-recover and -app"},
+		{"listen and app", []string{"-listen", ":1", "-app", "a"}, "-listen and -app"},
+		{"listen and collect", []string{"-listen", ":1", "-collect", "h:1"}, "-listen and -collect"},
+		{"collect and stream", []string{"-app", "a", "-collect", "h:1", "-stream"}, "-collect and -stream"},
+		{"collect and live", []string{"-app", "a", "-collect", "h:1", "-live", "1s"}, "-collect and -stream"},
+		{"spill without collect", []string{"-app", "a", "-spill-dir", "/tmp"}, "-spill-dir requires -collect"},
+		{"v and quiet", []string{"-app", "a", "-v", "-quiet"}, "-v and -quiet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args, io.Discard)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+func TestLiveImpliesStream(t *testing.T) {
+	o, err := parseFlags([]string{"-app", "a", "-live", "500ms"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.stream {
+		t.Fatal("-live should imply -stream")
+	}
+}

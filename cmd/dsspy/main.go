@@ -9,6 +9,7 @@
 //	dsspy -app Mandelbrot -advise -cores 8
 //	dsspy -demo figure3 [-chart] [-log run.dslog]
 //	dsspy -app Mandelbrot -stream -live 500ms
+//	dsspy -app Mandelbrot -stream -http 127.0.0.1:6060 -trace-out run.trace.json
 //	dsspy -replay run.dslog
 //	dsspy -recover crashed.dslog -stream
 //	dsspy -listen 127.0.0.1:7777 -conns 1 -stats
@@ -16,8 +17,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -27,39 +30,32 @@ import (
 	"dsspy/internal/apps"
 	"dsspy/internal/core"
 	"dsspy/internal/dstruct"
+	"dsspy/internal/obs"
 	"dsspy/internal/trace"
 	"dsspy/internal/viz"
 )
 
-func main() {
-	var (
-		listApps = flag.Bool("list", false, "list available programs and demos")
-		appName  = flag.String("app", "", "evaluation program to profile")
-		demo     = flag.String("demo", "", "demo workload: figure2, figure3, queue, stack")
-		chart    = flag.Bool("chart", false, "print an ASCII profile chart per instance with findings")
-		svgPath  = flag.String("svg", "", "write an SVG profile chart of the first flagged instance")
-		htmlPath = flag.String("html", "", "write a self-contained HTML report")
-		jsonPath = flag.String("json", "", "write the findings as JSON")
-		advise   = flag.Bool("advise", false, "print ranked transformation plans with Amdahl estimates")
-		cores    = flag.Int("cores", 8, "core count for the advisor's Amdahl estimates")
-		logPath  = flag.String("log", "", "save the session (registry + events) to this file for -replay")
-		replay   = flag.String("replay", "", "re-analyze a session log written with -log instead of running a workload")
-		recover_ = flag.String("recover", "", "salvage a damaged or truncated session log and analyze what was recovered")
-		collect  = flag.String("collect", "", "ship events to a collector at host:port instead of in-process")
-		spillDir = flag.String("spill-dir", "", "with -collect: spill events to a WAL in this directory while the collector is unreachable")
-		listen   = flag.String("listen", "", "run as the collector: accept producer streams on host:port and analyze them")
-		conns    = flag.Int("conns", 1, "with -listen: number of producer streams to wait for before analyzing")
-		connTO   = flag.Duration("conn-timeout", 0, "with -listen: per-frame read deadline on producer connections (0 = none); with -collect: write deadline per batch")
-		overload = flag.String("overload", "block", "in-process overload policy: block (lossless), drop, or sample:N")
-		stream   = flag.Bool("stream", false, "analyze incrementally while the workload runs (bounded memory; events are not retained unless -log asks for them)")
-		live     = flag.Duration("live", 0, "print a live snapshot table at this interval while streaming (implies -stream)")
-		stats    = flag.Bool("stats", false, "print pipeline observability: per-stage timings, per-shard queue statistics, and delivery accounting")
-		shards   = flag.Int("shards", 0, "collector shards (events partitioned by instance); 0 = GOMAXPROCS, 1 = the single-channel async collector")
-		workers  = flag.Int("workers", 0, "analysis worker-pool size; 0 = GOMAXPROCS, 1 = sequential")
-	)
-	flag.Parse()
+// observableCollector is the in-process collector surface the CLI wires into
+// the observability plane. Both *trace.ShardedCollector and
+// *trace.AsyncCollector satisfy it.
+type observableCollector interface {
+	trace.Collector
+	SetTracer(*obs.Tracer)
+	EnableQueueSampling(time.Duration)
+	WriteMetrics(*obs.PromWriter)
+}
 
-	if *listApps {
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2) // parseFlags already printed the one-line reason
+	}
+	slog.SetDefault(newLogger(o))
+
+	if o.listApps {
 		fmt.Println("Evaluation programs (-app):")
 		for _, a := range apps.Apps() {
 			fmt.Printf("  %-16s %s (paper: %d LOC)\n", a.Name, a.Domain, a.PaperLOC)
@@ -68,68 +64,95 @@ func main() {
 		return
 	}
 
-	policy, err := trace.ParseOverloadPolicy(*overload)
+	policy, err := trace.ParseOverloadPolicy(o.overload)
 	if err != nil {
 		fatal(err)
 	}
 
+	tracer := newTracer(o)
+	srv := startObsServer(o, tracer)
+	sampling := o.stats || srv != nil
+
 	cfg := core.DefaultConfig()
-	cfg.Workers = *workers
+	cfg.Workers = o.workers
+	cfg.Tracer = tracer
 	analyzer := core.NewWith(cfg)
 
-	if *listen != "" {
-		runListen(analyzer, *listen, *conns, *connTO, *stats, *logPath)
+	if o.listen != "" {
+		runListen(analyzer, o, tracer, srv, sampling)
+		exportTrace(o, tracer)
+		stopObsServer(srv)
 		return
 	}
 
-	if *live > 0 {
-		*stream = true
-	}
-
-	var s *trace.Session
-	var evs []trace.Event
-	var col trace.Collector // set when events are collected in-process
-	var resilient *trace.ResilientRecorder
-	var rep *core.Report // set early by the streaming paths
+	var (
+		s         *trace.Session
+		evs       []trace.Event
+		col       trace.Collector // set when events are collected in-process
+		resilient *trace.ResilientRecorder
+		rep       *core.Report // set early by the streaming paths
+		timed     *trace.TimedRecorder
+		wall      time.Duration // instrumented workload wall time
+		plainWall time.Duration // uninstrumented twin wall time (with -stats)
+	)
 	switch {
-	case *replay != "":
+	case o.replay != "":
 		var err error
-		s, evs, err = trace.LoadSessionLog(*replay)
+		s, evs, err = trace.LoadSessionLog(o.replay)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("replaying %s: %d instances, %d events\n\n", *replay, s.NumInstances(), len(evs))
-	case *recover_ != "":
+		fmt.Printf("replaying %s: %d instances, %d events\n\n", o.replay, s.NumInstances(), len(evs))
+	case o.recoverPath != "":
 		var rec *trace.Recovery
 		var err error
-		s, evs, rec, err = trace.RecoverSessionLog(*recover_)
+		s, evs, rec, err = trace.RecoverSessionLog(o.recoverPath)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("recovering %s: %s\n\n", *recover_, rec)
+		fmt.Printf("recovering %s: %s\n\n", o.recoverPath, rec)
 	default:
-		workload := pickWorkload(*appName, *demo)
+		app, workload := pickWorkload(o.appName, o.demo)
 		if workload == nil {
 			fmt.Fprintln(os.Stderr, "nothing to run: pass -app <name>, -demo <name>, -replay <file>, -recover <file>, -listen <addr>, or -list")
 			os.Exit(2)
 		}
+		runWorkload := func(s *trace.Session) {
+			sp := tracer.Begin("workload", "run")
+			t0 := time.Now()
+			workload(s)
+			wall = time.Since(t0)
+			sp.End("workload", runLabel(o))
+		}
 
-		if *stream && *collect == "" {
+		if o.stream && o.collect == "" {
 			// Streaming mode: the collector's drain goroutines feed the
 			// analyzer's reducers directly; the event stores stay empty
 			// unless -log asks for a replayable session log.
-			sa := analyzer.NewStreamAnalyzer(*shards)
-			scol := sa.Collector(trace.DefaultAsyncBuffer, policy, *logPath != "")
+			sa := analyzer.NewStreamAnalyzer(o.shards)
+			scol := sa.Collector(trace.DefaultAsyncBuffer, policy, o.logPath != "")
+			scol.SetTracer(tracer)
+			if sampling {
+				scol.EnableQueueSampling(0)
+			}
 			col = scol
-			s = trace.NewSessionWith(trace.Options{Recorder: scol, CaptureSites: true})
+			timed = trace.NewTimedRecorder(scol, 0)
+			s = trace.NewSessionWith(trace.Options{Recorder: timed, CaptureSites: true})
 			sa.Attach(s)
+			if srv != nil {
+				srv.AddSource(scol)
+				srv.AddSource(sa)
+				srv.AddSource(timed)
+				label, start := runLabel(o), time.Now()
+				srv.SetStatus(func() *obs.Status { return streamStatus(label, start, sa, scol) })
+			}
 
 			stop := make(chan struct{})
 			ticked := make(chan struct{})
-			if *live > 0 {
+			if o.live > 0 {
 				go func() {
 					defer close(ticked)
-					t := time.NewTicker(*live)
+					t := time.NewTicker(o.live)
 					defer t.Stop()
 					for {
 						select {
@@ -143,22 +166,25 @@ func main() {
 			} else {
 				close(ticked)
 			}
-			workload(s)
+			runWorkload(s)
 			scol.Close()
-			if *live > 0 {
+			if o.live > 0 {
 				close(stop)
 				<-ticked
 			}
 			rep = sa.Close()
 			cs := scol.Stats()
 			rep.Stats.Collector = &cs
-		} else if *collect != "" {
+		} else if o.collect != "" {
 			var err error
 			resilient, err = trace.NewResilientRecorder(trace.ResilientOptions{
-				Network:      "tcp",
-				Addr:         *collect,
-				SpillDir:     *spillDir,
-				WriteTimeout: *connTO,
+				Network:        "tcp",
+				Addr:           o.collect,
+				SpillDir:       o.spillDir,
+				WriteTimeout:   o.connTO,
+				Logger:         slog.Default(),
+				Tracer:         tracer,
+				SampleInterval: sampleInterval(sampling),
 			})
 			if err != nil {
 				fatal(err)
@@ -166,39 +192,62 @@ func main() {
 			// Keep a local copy for the report; the remote collector gets
 			// the same stream.
 			mem := trace.NewMemRecorder()
-			rec := trace.TeeRecorder{resilient, mem}
-			s = trace.NewSessionWith(trace.Options{Recorder: rec, CaptureSites: true})
-			workload(s)
+			timed = trace.NewTimedRecorder(trace.TeeRecorder{resilient, mem}, 0)
+			s = trace.NewSessionWith(trace.Options{Recorder: timed, CaptureSites: true})
+			if srv != nil {
+				srv.AddSource(resilient)
+				srv.AddSource(timed)
+			}
+			runWorkload(s)
 			evs = mem.Events()
 			if err := resilient.FinishSession(s); err != nil {
-				fmt.Fprintln(os.Stderr, "dsspy: collector link:", err)
+				slog.Warn("collector link failed; report uses the local copy", "err", err)
 			}
 		} else {
-			if *shards == 1 {
-				col = trace.NewAsyncCollectorOpts(trace.DefaultAsyncBuffer, policy)
+			var ocol observableCollector
+			if o.shards == 1 {
+				ocol = trace.NewAsyncCollectorOpts(trace.DefaultAsyncBuffer, policy)
 			} else {
-				col = trace.NewShardedCollectorOpts(*shards, trace.DefaultAsyncBuffer, policy)
+				ocol = trace.NewShardedCollectorOpts(o.shards, trace.DefaultAsyncBuffer, policy)
 			}
-			s = trace.NewSessionWith(trace.Options{Recorder: col, CaptureSites: true})
-			workload(s)
-			col.Close()
+			ocol.SetTracer(tracer)
+			if sampling {
+				ocol.EnableQueueSampling(0)
+			}
+			col = ocol
+			timed = trace.NewTimedRecorder(ocol, 0)
+			s = trace.NewSessionWith(trace.Options{Recorder: timed, CaptureSites: true})
+			if srv != nil {
+				srv.AddSource(ocol)
+				srv.AddSource(timed)
+			}
+			runWorkload(s)
+			ocol.Close()
 		}
-		if *logPath != "" {
+		if o.stats && app != nil && app.PlainTwin != nil {
+			// Paper §V baseline: the same workload at the same input size on
+			// raw containers, timed without any instrumentation in the path.
+			slog.Debug("timing uninstrumented twin for the overhead baseline", "app", app.Name)
+			t0 := time.Now()
+			app.PlainTwin()
+			plainWall = time.Since(t0)
+		}
+		if o.logPath != "" {
 			if col != nil {
 				evs = col.Events()
 			}
-			if err := trace.SaveSessionLog(*logPath, s, evs); err != nil {
+			if err := trace.SaveSessionLog(o.logPath, s, evs); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("session log written to %s (%d events) — re-analyze with -replay\n\n", *logPath, len(evs))
+			fmt.Printf("session log written to %s (%d events) — re-analyze with -replay\n\n", o.logPath, len(evs))
 		}
 	}
 
 	if rep == nil {
-		if *stream {
+		if o.stream {
 			// Replay / recovery through the streaming analyzer: feed the
 			// salvaged or logged stream into the reducers.
-			sa := analyzer.NewStreamAnalyzer(*shards)
+			sa := analyzer.NewStreamAnalyzer(o.shards)
 			sa.Attach(s)
 			sa.Feed(evs...)
 			rep = sa.Close()
@@ -208,10 +257,17 @@ func main() {
 			rep = analyzer.Analyze(s, evs)
 		}
 	}
-	if err := rep.Write(os.Stdout); err != nil {
+	if timed != nil && rep.Stats != nil {
+		rep.Stats.Overhead = overheadStats(timed, wall, plainWall)
+	}
+
+	rsp := tracer.Begin("report", "run")
+	err = rep.Write(os.Stdout)
+	rsp.End()
+	if err != nil {
 		fatal(err)
 	}
-	if *stats {
+	if o.stats {
 		fmt.Println()
 		if err := rep.Stats.Write(os.Stdout); err != nil {
 			fatal(err)
@@ -223,14 +279,14 @@ func main() {
 		}
 	}
 
-	if *advise {
+	if o.advise {
 		fmt.Println("\nTransformation plans (ranked by Amdahl estimate):")
-		if err := advisor.Write(os.Stdout, advisor.Advise(rep, *cores), *cores); err != nil {
+		if err := advisor.Write(os.Stdout, advisor.Advise(rep, o.cores), o.cores); err != nil {
 			fatal(err)
 		}
 	}
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
+	if o.jsonPath != "" {
+		f, err := os.Create(o.jsonPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -241,18 +297,18 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nJSON findings written to %s\n", *jsonPath)
+		fmt.Printf("\nJSON findings written to %s\n", o.jsonPath)
 	}
-	if *htmlPath != "" {
-		f, err := os.Create(*htmlPath)
+	if o.htmlPath != "" {
+		f, err := os.Create(o.htmlPath)
 		if err != nil {
 			fatal(err)
 		}
 		title := "DSspy report"
-		if *appName != "" {
-			title = "DSspy report — " + *appName
-		} else if *demo != "" {
-			title = "DSspy report — demo " + *demo
+		if o.appName != "" {
+			title = "DSspy report — " + o.appName
+		} else if o.demo != "" {
+			title = "DSspy report — demo " + o.demo
 		}
 		if err := viz.WriteHTMLReport(f, rep, viz.HTMLOptions{Title: title}); err != nil {
 			f.Close()
@@ -261,15 +317,15 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nHTML report written to %s\n", *htmlPath)
+		fmt.Printf("\nHTML report written to %s\n", o.htmlPath)
 	}
 
-	if *stream && (*chart || *svgPath != "") {
-		fmt.Fprintln(os.Stderr, "dsspy: -chart and -svg need the retained event trace; streaming mode folds events instead of keeping them — run without -stream for charts")
-		*chart = false
-		*svgPath = ""
+	if o.stream && (o.chart || o.svgPath != "") {
+		slog.Warn("-chart and -svg need the retained event trace; streaming mode folds events instead of keeping them — run without -stream for charts")
+		o.chart = false
+		o.svgPath = ""
 	}
-	if *chart {
+	if o.chart {
 		for _, ir := range rep.Instances {
 			if len(ir.UseCases) == 0 {
 				continue
@@ -279,12 +335,12 @@ func main() {
 			fmt.Print(viz.ASCIIChart(ir.Profile.Events, viz.DefaultChartOptions()))
 		}
 	}
-	if *svgPath != "" {
+	if o.svgPath != "" {
 		for _, ir := range rep.Instances {
 			if len(ir.UseCases) == 0 {
 				continue
 			}
-			f, err := os.Create(*svgPath)
+			f, err := os.Create(o.svgPath)
 			if err != nil {
 				fatal(err)
 			}
@@ -295,41 +351,57 @@ func main() {
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("\nSVG profile written to %s\n", *svgPath)
+			fmt.Printf("\nSVG profile written to %s\n", o.svgPath)
 			break
 		}
 	}
+
+	exportTrace(o, tracer)
+	stopObsServer(srv)
 }
 
 // runListen is the collector side of a cross-process run: accept producer
 // streams, wait for the expected number to finish (complete or salvaged),
 // rebuild the replay session from the shipped registry frames, and analyze.
-func runListen(analyzer *core.DSspy, addr string, conns int, connTimeout time.Duration, stats bool, logPath string) {
-	cs, err := trace.ListenCollectorOpts("tcp", addr, trace.ServerOptions{ConnTimeout: connTimeout})
+func runListen(analyzer *core.DSspy, o *options, tracer *obs.Tracer, srv *obs.Server, sampling bool) {
+	cs, err := trace.ListenCollectorOpts("tcp", o.listen, trace.ServerOptions{
+		ConnTimeout:    o.connTO,
+		Logger:         slog.Default(),
+		Tracer:         tracer,
+		SampleInterval: sampleInterval(sampling),
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("collecting on %s, waiting for %d producer stream(s)...\n", cs.Addr(), conns)
-	cs.WaitStreams(conns)
+	if srv != nil {
+		srv.AddSource(cs)
+		start := time.Now()
+		srv.SetStatus(func() *obs.Status { return listenStatus(o.listen, start, cs) })
+	}
+	fmt.Printf("collecting on %s, waiting for %d producer stream(s)...\n", cs.Addr(), o.conns)
+	cs.WaitStreams(o.conns)
 	if err := cs.Close(); err != nil {
 		fatal(err)
 	}
 
 	s := cs.Session()
 	evs := cs.Events()
-	fmt.Printf("received %d events from %d stream(s)\n\n", len(evs), conns)
-	if logPath != "" {
-		if err := trace.SaveSessionLog(logPath, s, evs); err != nil {
+	fmt.Printf("received %d events from %d stream(s)\n\n", len(evs), o.conns)
+	if o.logPath != "" {
+		if err := trace.SaveSessionLog(o.logPath, s, evs); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("session log written to %s — re-analyze with -replay\n\n", logPath)
+		fmt.Printf("session log written to %s — re-analyze with -replay\n\n", o.logPath)
 	}
 
 	rep := analyzer.Analyze(s, evs)
-	if err := rep.Write(os.Stdout); err != nil {
+	rsp := tracer.Begin("report", "run")
+	err = rep.Write(os.Stdout)
+	rsp.End()
+	if err != nil {
 		fatal(err)
 	}
-	if stats {
+	if o.stats {
 		fmt.Println()
 		if err := cs.ServerStats().Write(os.Stdout); err != nil {
 			fatal(err)
@@ -337,7 +409,16 @@ func runListen(analyzer *core.DSspy, addr string, conns int, connTimeout time.Du
 	}
 }
 
-func pickWorkload(appName, demo string) func(*trace.Session) {
+// stopObsServer shuts the -http surface down, nil-safe.
+func stopObsServer(srv *obs.Server) {
+	if srv != nil {
+		srv.Stop()
+	}
+}
+
+// pickWorkload resolves -app/-demo into the instrumented workload. The app is
+// returned too (nil for demos) so -stats can time its uninstrumented twin.
+func pickWorkload(appName, demo string) (*apps.App, func(*trace.Session)) {
 	if appName != "" {
 		app := apps.ByName(appName)
 		if app == nil {
@@ -353,11 +434,11 @@ func pickWorkload(appName, demo string) func(*trace.Session) {
 			fmt.Fprintf(os.Stderr, "unknown app %q (try -list)\n", appName)
 			os.Exit(2)
 		}
-		return app.Instrumented
+		return app, app.Instrumented
 	}
 	switch demo {
 	case "figure2":
-		return func(s *trace.Session) {
+		return nil, func(s *trace.Session) {
 			l := dstruct.NewListCap[int](s, 10)
 			for i := 0; i < 10; i++ {
 				l.Add(i)
@@ -367,7 +448,7 @@ func pickWorkload(appName, demo string) func(*trace.Session) {
 			}
 		}
 	case "figure3":
-		return func(s *trace.Session) {
+		return nil, func(s *trace.Session) {
 			l := dstruct.NewListLabeled[int](s, "producer/scanner")
 			for c := 0; c < 12; c++ {
 				for i := 0; i < 150; i++ {
@@ -380,7 +461,7 @@ func pickWorkload(appName, demo string) func(*trace.Session) {
 			}
 		}
 	case "queue":
-		return func(s *trace.Session) {
+		return nil, func(s *trace.Session) {
 			l := dstruct.NewListLabeled[int](s, "hand-rolled FIFO")
 			for c := 0; c < 20; c++ {
 				for i := 0; i < 10; i++ {
@@ -392,7 +473,7 @@ func pickWorkload(appName, demo string) func(*trace.Session) {
 			}
 		}
 	case "stack":
-		return func(s *trace.Session) {
+		return nil, func(s *trace.Session) {
 			l := dstruct.NewListLabeled[int](s, "hand-rolled LIFO")
 			for c := 0; c < 20; c++ {
 				for i := 0; i < 10; i++ {
@@ -404,11 +485,11 @@ func pickWorkload(appName, demo string) func(*trace.Session) {
 			}
 		}
 	case "":
-		return nil
+		return nil, nil
 	default:
 		fmt.Fprintf(os.Stderr, "unknown demo %q\n", demo)
 		os.Exit(2)
-		return nil
+		return nil, nil
 	}
 }
 

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dsspy/internal/core"
+	"dsspy/internal/obs"
+	"dsspy/internal/trace"
+)
+
+// TestObservabilityPlaneSmoke drives a small streaming run the way main does
+// — tracer, sampled collector, timed recorder, live HTTP surface — and checks
+// every endpoint plus the exported Chrome trace.
+func TestObservabilityPlaneSmoke(t *testing.T) {
+	o := &options{httpAddr: "127.0.0.1:0", traceOut: filepath.Join(t.TempDir(), "run.trace.json")}
+	tracer := newTracer(o)
+	if tracer == nil {
+		t.Fatal("tracer should be on when -http or -trace-out is set")
+	}
+
+	srv := obs.NewServer()
+	srv.AddSource(tracer)
+	addr, err := srv.Start(o.httpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	analyzer := core.NewWith(core.Config{Tracer: tracer})
+	sa := analyzer.NewStreamAnalyzer(1)
+	scol := sa.Collector(trace.DefaultAsyncBuffer, trace.Block(), false)
+	scol.SetTracer(tracer)
+	scol.EnableQueueSampling(time.Millisecond)
+	timed := trace.NewTimedRecorder(scol, 4)
+	s := trace.NewSessionWith(trace.Options{Recorder: timed, CaptureSites: true})
+	sa.Attach(s)
+	srv.AddSource(scol)
+	srv.AddSource(sa)
+	srv.AddSource(timed)
+	start := time.Now()
+	srv.SetStatus(func() *obs.Status { return streamStatus("smoke", start, sa, scol) })
+
+	_, workload := pickWorkload("", "figure3")
+	sp := tracer.Begin("workload", "run")
+	t0 := time.Now()
+	workload(s)
+	wall := time.Since(t0)
+	sp.End()
+	scol.Close()
+	rep := sa.Close()
+	cs := scol.Stats()
+	rep.Stats.Collector = &cs
+	rep.Stats.Overhead = overheadStats(timed, wall, 0)
+
+	if rep.Stats.Overhead.Events == 0 || rep.Stats.Overhead.Sampled == 0 {
+		t.Fatalf("overhead accounting empty: %+v", rep.Stats.Overhead)
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var b strings.Builder
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("healthz = %q", got)
+	}
+	metricsBody := get("/metrics")
+	for _, want := range []string{
+		"dsspy_collector_events_total", "dsspy_stream_folded_total",
+		"dsspy_record_calls_total", "dsspy_trace_spans_total",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	statusBody := get("/statusz?frag=1")
+	for _, want := range []string{"smoke", "events folded", "Collector shards"} {
+		if !strings.Contains(statusBody, want) {
+			t.Errorf("/statusz missing %q", want)
+		}
+	}
+
+	exportTrace(o, tracer)
+	raw, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"workload", "drain", "finalize"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestListenStatus covers the collector-side status page model.
+func TestListenStatus(t *testing.T) {
+	cs, err := trace.ListenCollectorOpts("tcp", "127.0.0.1:0", trace.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	st := listenStatus("127.0.0.1:0", time.Now(), cs)
+	if len(st.Sections) != 2 {
+		t.Fatalf("want 2 sections, got %d", len(st.Sections))
+	}
+	if st.Sections[0].Title != "Server" {
+		t.Fatalf("first section = %q", st.Sections[0].Title)
+	}
+}

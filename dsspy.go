@@ -32,6 +32,7 @@ import (
 	"dsspy/internal/core"
 	"dsspy/internal/dstruct"
 	"dsspy/internal/metrics"
+	"dsspy/internal/obs"
 	"dsspy/internal/trace"
 	"dsspy/internal/usecase"
 )
@@ -64,6 +65,40 @@ type CollectorStats = trace.CollectorStats
 
 // PipelineStats instruments the analysis pipeline itself; see Report.Stats.
 type PipelineStats = metrics.PipelineStats
+
+// StageStats summarizes one pipeline stage's latency distribution
+// (count, wall, p50/p90/p99, min/max) from its log-bucketed histogram.
+type StageStats = metrics.StageStats
+
+// OverheadStats is the paper-§V self-overhead accounting: sampled Record
+// cost, estimated producer overhead, and the instrumented-vs-uninstrumented
+// slowdown when a plain twin was timed. Surfaced through Report.Stats.Overhead.
+type OverheadStats = metrics.OverheadStats
+
+// Histogram is the lock-free log-bucketed latency histogram the
+// observability plane is built on (~6% relative quantile error).
+type Histogram = obs.Histogram
+
+// HistSnapshot is an immutable histogram snapshot with quantile queries.
+type HistSnapshot = obs.HistSnapshot
+
+// Tracer records pipeline spans into a bounded ring and exports them as
+// Chrome trace-event JSON (Perfetto-loadable); wire it via Config.Tracer.
+type Tracer = obs.Tracer
+
+// NewTracer returns a tracer whose ring holds up to n spans.
+func NewTracer(n int) *Tracer { return obs.NewTracer(n) }
+
+// TimedRecorder wraps any Recorder and measures the cost of every n-th
+// Record call, feeding the self-overhead estimate without perturbing the
+// hot path.
+type TimedRecorder = trace.TimedRecorder
+
+// NewTimedRecorder wraps rec, timing one in every `every` Record calls
+// (0 uses the default 1-in-64).
+func NewTimedRecorder(rec Recorder, every int) *TimedRecorder {
+	return trace.NewTimedRecorder(rec, every)
+}
 
 // NewAsyncCollector starts a single-channel asynchronous collector.
 func NewAsyncCollector() *AsyncCollector { return trace.NewAsyncCollector() }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dsspy/internal/metrics"
+	"dsspy/internal/obs"
 	"dsspy/internal/par"
 	"dsspy/internal/pattern"
 	"dsspy/internal/profile"
@@ -31,6 +32,10 @@ type Config struct {
 	// The report is byte-identical for every value: results are written by
 	// instance order, never by completion order.
 	Workers int
+	// Tracer, when set, records self-profiling spans for the analysis
+	// stages (build-profiles, per-instance analysis, snapshot, finalize).
+	// Nil disables tracing; it never influences the findings.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the paper's thresholds and strict pattern matching.
@@ -120,7 +125,9 @@ func (d *DSspy) Analyze(s *trace.Session, events []trace.Event) *Report {
 	clocks := newPipelineClocks()
 
 	tb := time.Now()
+	bsp := d.cfg.Tracer.Begin("build-profiles", "analyze")
 	profiles := profile.BuildParallel(s, events, d.workers())
+	bsp.End()
 	clocks.Stage(stageBuild).Observe(time.Since(tb))
 
 	rep := d.analyzeProfiles(s, profiles, clocks)
@@ -148,12 +155,14 @@ func (d *DSspy) AnalyzeCollector(s *trace.Session, col trace.Collector) *Report 
 	clocks := newPipelineClocks()
 
 	tb := time.Now()
+	bsp := d.cfg.Tracer.Begin("build-profiles", "analyze")
 	shards := sc.ShardEvents()
 	total := 0
 	for _, evs := range shards {
 		total += len(evs)
 	}
 	profiles := profile.BuildShards(s, shards, d.workers())
+	bsp.End()
 	clocks.Stage(stageBuild).Observe(time.Since(tb))
 
 	rep := d.analyzeProfiles(s, profiles, clocks)
@@ -170,6 +179,7 @@ func (d *DSspy) AnalyzeCollector(s *trace.Session, col trace.Collector) *Report 
 func (d *DSspy) analyzeProfiles(s *trace.Session, profiles []*profile.Profile, clocks *metrics.Pipeline) *Report {
 	results := make([]*InstanceResult, len(profiles))
 	workers := d.workers()
+	asp := d.cfg.Tracer.Begin("analyze-instances", "analyze")
 	par.For(len(profiles), workers, func(i int) {
 		p := profiles[i]
 		st := p.Stats() // computed once; every stage below reads the cache
@@ -205,6 +215,7 @@ func (d *DSspy) analyzeProfiles(s *trace.Session, profiles []*profile.Profile, c
 			Shared:   shared,
 		}
 	})
+	asp.End("instances", fmt.Sprint(len(profiles)))
 	return &Report{
 		Instances:  results,
 		Registered: s.Instances(),

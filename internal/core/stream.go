@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"dsspy/internal/metrics"
+	"dsspy/internal/obs"
 	"dsspy/internal/par"
 	"dsspy/internal/pattern"
 	"dsspy/internal/profile"
@@ -282,6 +285,7 @@ func (a *StreamAnalyzer) Feed(events ...trace.Event) {
 // lock, then the clones are finalized outside it.
 func (a *StreamAnalyzer) Snapshot() *Report {
 	t0 := time.Now()
+	sp := a.d.cfg.Tracer.Begin("snapshot", "stream")
 	var streams []*instanceStream
 	for _, sh := range a.shards {
 		sh.mu.Lock()
@@ -291,6 +295,7 @@ func (a *StreamAnalyzer) Snapshot() *Report {
 		sh.mu.Unlock()
 	}
 	rep := a.buildReport(streams)
+	sp.End("instances", fmt.Sprint(len(streams)))
 	a.snapMu.Lock()
 	a.snapshots++
 	a.snapNS += int64(time.Since(t0))
@@ -305,6 +310,7 @@ func (a *StreamAnalyzer) Snapshot() *Report {
 // report.
 func (a *StreamAnalyzer) Close() *Report {
 	a.closeOnce.Do(func() {
+		sp := a.d.cfg.Tracer.Begin("finalize", "stream")
 		var streams []*instanceStream
 		for _, sh := range a.shards {
 			sh.mu.Lock()
@@ -314,6 +320,7 @@ func (a *StreamAnalyzer) Close() *Report {
 			sh.mu.Unlock()
 		}
 		a.final = a.buildReport(streams)
+		sp.End("instances", fmt.Sprint(len(streams)))
 	})
 	return a.final
 }
@@ -357,6 +364,28 @@ func (a *StreamAnalyzer) buildReport(streams []*instanceStream) *Report {
 			},
 		},
 	}
+}
+
+// WriteMetrics exports the analyzer's live progress — events folded and
+// instance reducers per shard, snapshot accounting — for /metrics scrapes
+// during a run. Shard locks are held only long enough to read two counters.
+func (a *StreamAnalyzer) WriteMetrics(w *obs.PromWriter) {
+	for i, sh := range a.shards {
+		sh.mu.Lock()
+		folded, instances := sh.folded, len(sh.byInst)
+		sh.mu.Unlock()
+		shard := strconv.Itoa(i)
+		w.Counter("dsspy_stream_folded_total",
+			"Events folded into streaming reducers.", float64(folded), "shard", shard)
+		w.Gauge("dsspy_stream_instances",
+			"Live per-instance reducers.", float64(instances), "shard", shard)
+	}
+	a.snapMu.Lock()
+	snaps, snapNS := a.snapshots, a.snapNS
+	a.snapMu.Unlock()
+	w.Counter("dsspy_stream_snapshots_total", "Snapshot reports served.", float64(snaps))
+	w.Counter("dsspy_stream_snapshot_seconds_total",
+		"Cumulative wall time spent building snapshots.", float64(snapNS)/1e9)
 }
 
 // RunStreamed is the streaming counterpart of Run/RunSharded: the workload's

@@ -1,69 +1,55 @@
 // Package metrics instruments DSspy's own pipeline. The paper reports an
 // average profiling slowdown of 47.13× and leaves the analysis cost opaque;
 // a profiler that recommends parallelization should be able to account for
-// its own time. Stage clocks accumulate wall time per pipeline stage across
-// concurrent workers, and PipelineStats is the report-facing snapshot that
-// `dsspy -stats` prints: per-stage timings next to the collector's per-shard
-// queue statistics.
+// its own time. Stage clocks are log-bucketed histograms (p50/p90/p99, not
+// just min/mean/max) accumulated across concurrent workers, OverheadStats
+// reproduces the paper's §V slowdown metric per run, and PipelineStats is
+// the report-facing snapshot that `dsspy -stats` prints — per-stage latency
+// quantiles next to the collector's per-shard queue statistics and the
+// self-overhead accounting.
 package metrics
 
 import (
 	"fmt"
 	"io"
-	"math"
-	"sync/atomic"
 	"time"
 
+	"dsspy/internal/obs"
 	"dsspy/internal/trace"
 )
 
-// Stage accumulates observations for one pipeline stage. It is safe for
-// concurrent use: analysis workers on any number of goroutines may observe
-// durations simultaneously.
+// Stage accumulates observations for one pipeline stage in a lock-free
+// log-bucketed histogram. It is safe for concurrent use: analysis workers on
+// any number of goroutines may observe durations simultaneously.
 type Stage struct {
-	name  string
-	count atomic.Int64
-	ns    atomic.Int64
-	min   atomic.Int64
-	max   atomic.Int64
+	name string
+	hist obs.Histogram
 }
 
 func newStage(name string) *Stage {
 	s := &Stage{name: name}
-	s.min.Store(math.MaxInt64)
+	s.hist.Init()
 	return s
 }
 
 // Observe adds one timed execution of the stage.
-func (s *Stage) Observe(d time.Duration) {
-	s.count.Add(1)
-	s.ns.Add(int64(d))
-	for {
-		cur := s.min.Load()
-		if int64(d) >= cur || s.min.CompareAndSwap(cur, int64(d)) {
-			break
-		}
-	}
-	for {
-		cur := s.max.Load()
-		if int64(d) <= cur || s.max.CompareAndSwap(cur, int64(d)) {
-			break
-		}
-	}
-}
+func (s *Stage) Observe(d time.Duration) { s.hist.Observe(d) }
 
-// Snapshot returns the stage's accumulated figures.
+// Snapshot returns the stage's accumulated figures: exact count, total, min,
+// max, and bucket-interpolated latency quantiles.
 func (s *Stage) Snapshot() StageStats {
-	st := StageStats{
+	h := s.hist.Snapshot()
+	return StageStats{
 		Name:  s.name,
-		Count: s.count.Load(),
-		Wall:  time.Duration(s.ns.Load()),
-		Max:   time.Duration(s.max.Load()),
+		Count: int64(h.Count),
+		Wall:  time.Duration(h.Sum),
+		Min:   time.Duration(h.Min),
+		Max:   time.Duration(h.Max),
+		P50:   h.QuantileDuration(0.50),
+		P90:   h.QuantileDuration(0.90),
+		P99:   h.QuantileDuration(0.99),
+		Hist:  h,
 	}
-	if mn := s.min.Load(); mn != math.MaxInt64 {
-		st.Min = time.Duration(mn)
-	}
-	return st
 }
 
 // StageStats is the immutable snapshot of one stage.
@@ -73,6 +59,12 @@ type StageStats struct {
 	Wall  time.Duration // cumulative wall time across workers
 	Min   time.Duration
 	Max   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	// Hist is the full bucket snapshot behind the quantiles; /metrics
+	// exports it as a Prometheus histogram.
+	Hist obs.HistSnapshot
 }
 
 // Mean returns the average observation, or 0 when the stage never ran.
@@ -109,6 +101,15 @@ func (p *Pipeline) Snapshot() []StageStats {
 	return out
 }
 
+// WriteMetrics exports the stage clocks as Prometheus histograms, one
+// family with a stage label.
+func (p *Pipeline) WriteMetrics(w *obs.PromWriter) {
+	for _, s := range p.stages {
+		w.Histogram("dsspy_pipeline_stage_seconds",
+			"Per-stage analysis latency.", s.hist.Snapshot(), 1e9, "stage", s.name)
+	}
+}
+
 // PipelineStats is the observability outcome of one analysis run, surfaced
 // through core.Report.Stats.
 type PipelineStats struct {
@@ -126,6 +127,92 @@ type PipelineStats struct {
 	// Streaming holds the incremental-analysis counters when the report was
 	// produced by the streaming analyzer; nil in batch mode.
 	Streaming *StreamingStats
+
+	// Overhead holds the self-overhead accounting — sampled Record cost and
+	// the estimated/measured profiling slowdown — when the run's driver
+	// timed the workload; nil for replayed streams.
+	Overhead *OverheadStats
+}
+
+// OverheadStats reproduces the paper's §V overhead metric for one run: how
+// much the profiler perturbed the workload it measured. The Record cost is
+// sampled (1-in-N) so measuring the overhead does not itself become the
+// overhead; the estimate extrapolates the sampled mean over all events,
+// and the measured slowdown divides the instrumented wall time by an
+// uninstrumented twin run when one exists.
+type OverheadStats struct {
+	WorkloadWall time.Duration // instrumented workload wall time
+	PlainWall    time.Duration // uninstrumented twin wall time; 0 = not measured
+	Events       int64         // events recorded during the workload
+	Sampled      int64         // Record calls actually timed
+	SampleEvery  int           // sampling rate (1-in-N)
+
+	RecordMean time.Duration // mean sampled Record hand-off cost
+	RecordP50  time.Duration
+	RecordP99  time.Duration
+
+	// EstimatedOverhead extrapolates RecordMean over every event: the
+	// producer-side time spent inside the profiler, including block time on
+	// full buffers (sampled Records that blocked include it).
+	EstimatedOverhead time.Duration
+}
+
+// EstimatedSlowdown returns the slowdown factor implied by the sampled
+// Record cost: wall / (wall − estimated overhead). 1 means unmeasurable or
+// no overhead; 0 means the estimate saturated (the extrapolated overhead
+// swallowed the whole wall even under the robust fallback below).
+func (ov *OverheadStats) EstimatedSlowdown() float64 {
+	if ov.WorkloadWall <= 0 || ov.EstimatedOverhead <= 0 {
+		return 1
+	}
+	base := ov.WorkloadWall - ov.EstimatedOverhead
+	if base <= 0 {
+		// Sampled Records that blocked on a full buffer fold producer wait
+		// time into the mean, so the mean extrapolation can exceed the wall
+		// it is subtracted from. Re-estimate from the outlier-robust p50.
+		base = ov.WorkloadWall - time.Duration(ov.Events)*ov.RecordP50
+	}
+	if base <= 0 {
+		return 0
+	}
+	return float64(ov.WorkloadWall) / float64(base)
+}
+
+// MeasuredSlowdown returns instrumented / uninstrumented wall time — the
+// paper's Table IV "Profiling" over "Runtime" — or 0 when no twin ran.
+func (ov *OverheadStats) MeasuredSlowdown() float64 {
+	if ov.PlainWall <= 0 {
+		return 0
+	}
+	return float64(ov.WorkloadWall) / float64(ov.PlainWall)
+}
+
+// Write renders the overhead accounting in the layout `dsspy -stats` prints.
+func (ov *OverheadStats) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Overhead: workload wall %s, %d events, record cost p50 %s p99 %s mean %s (sampled 1-in-%d, %d samples)\n",
+		ov.WorkloadWall.Round(time.Microsecond), ov.Events,
+		ov.RecordP50, ov.RecordP99, ov.RecordMean,
+		ov.SampleEvery, ov.Sampled); err != nil {
+		return err
+	}
+	if sd := ov.EstimatedSlowdown(); sd > 0 {
+		if _, err := fmt.Fprintf(w, "  estimated producer overhead %s, estimated slowdown %.2f×\n",
+			ov.EstimatedOverhead.Round(time.Microsecond), sd); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "  estimated producer overhead %s (≥ wall: sampled Records blocked; estimate saturated)\n",
+			ov.EstimatedOverhead.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	if ov.PlainWall > 0 {
+		if _, err := fmt.Fprintf(w, "  uninstrumented twin %s, measured slowdown %.2f× (paper avg: 47.13×)\n",
+			ov.PlainWall.Round(time.Microsecond), ov.MeasuredSlowdown()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // StreamingStats instruments the streaming analysis path: how much of the
@@ -175,16 +262,23 @@ func (ps *PipelineStats) Write(w io.Writer) error {
 		if st.Count == 0 {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "  stage %-14s %6d call(s)  total %-10s mean %-10s max %s\n",
+		if _, err := fmt.Fprintf(w, "  stage %-14s %6d call(s)  total %-10s p50 %-9s p90 %-9s p99 %-9s max %s\n",
 			st.Name, st.Count,
 			st.Wall.Round(time.Microsecond),
-			st.Mean().Round(time.Microsecond),
+			st.P50.Round(100*time.Nanosecond),
+			st.P90.Round(100*time.Nanosecond),
+			st.P99.Round(100*time.Nanosecond),
 			st.Max.Round(time.Microsecond)); err != nil {
 			return err
 		}
 	}
 	if ps.Streaming != nil {
 		if err := ps.Streaming.Write(w); err != nil {
+			return err
+		}
+	}
+	if ps.Overhead != nil {
+		if err := ps.Overhead.Write(w); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"dsspy/internal/obs"
 	"dsspy/internal/trace"
 )
 
@@ -23,8 +24,28 @@ func TestStageObserve(t *testing.T) {
 	if st.Mean() != 20*time.Millisecond {
 		t.Fatalf("mean = %v, want 20ms", st.Mean())
 	}
-	if empty := p.Stage(1).Snapshot(); empty.Count != 0 || empty.Min != 0 || empty.Mean() != 0 {
+	// Quantiles stay within the observed range and order correctly.
+	if st.P50 < st.Min || st.P99 > st.Max || st.P50 > st.P90 || st.P90 > st.P99 {
+		t.Fatalf("quantiles out of order: p50 %v p90 %v p99 %v (min %v max %v)",
+			st.P50, st.P90, st.P99, st.Min, st.Max)
+	}
+	if empty := p.Stage(1).Snapshot(); empty.Count != 0 || empty.Min != 0 || empty.Mean() != 0 || empty.P99 != 0 {
 		t.Fatalf("empty stage snapshot = %+v", empty)
+	}
+}
+
+func TestStageQuantiles(t *testing.T) {
+	p := NewPipeline("s")
+	for i := 1; i <= 100; i++ {
+		p.Stage(0).Observe(time.Duration(i) * time.Microsecond)
+	}
+	st := p.Stage(0).Snapshot()
+	approx := func(got time.Duration, want float64) bool {
+		g := float64(got)
+		return g > want*0.9 && g < want*1.1
+	}
+	if !approx(st.P50, 50e3) || !approx(st.P90, 90e3) || !approx(st.P99, 99e3) {
+		t.Fatalf("p50/p90/p99 = %v/%v/%v, want ≈50µs/90µs/99µs", st.P50, st.P90, st.P99)
 	}
 }
 
@@ -51,6 +72,99 @@ func TestStageConcurrentObserve(t *testing.T) {
 	}
 }
 
+func TestPipelineWriteMetrics(t *testing.T) {
+	p := NewPipeline("build-profiles", "use-cases")
+	p.Stage(0).Observe(time.Millisecond)
+	var sb strings.Builder
+	w := obs.NewPromWriter(&sb)
+	p.WriteMetrics(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dsspy_pipeline_stage_seconds histogram",
+		`dsspy_pipeline_stage_seconds_count{stage="build-profiles"} 1`,
+		`dsspy_pipeline_stage_seconds_count{stage="use-cases"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOverheadStats(t *testing.T) {
+	ov := &OverheadStats{
+		WorkloadWall:      100 * time.Millisecond,
+		PlainWall:         10 * time.Millisecond,
+		Events:            1_000_000,
+		Sampled:           15_625,
+		SampleEvery:       64,
+		RecordMean:        50 * time.Nanosecond,
+		RecordP50:         40 * time.Nanosecond,
+		RecordP99:         200 * time.Nanosecond,
+		EstimatedOverhead: 50 * time.Millisecond,
+	}
+	if got := ov.MeasuredSlowdown(); got != 10 {
+		t.Fatalf("measured slowdown = %v, want 10", got)
+	}
+	if got := ov.EstimatedSlowdown(); got != 2 {
+		t.Fatalf("estimated slowdown = %v, want 2", got)
+	}
+	var sb strings.Builder
+	if err := ov.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"record cost p50 40ns p99 200ns",
+		"estimated slowdown 2.00×",
+		"measured slowdown 10.00×",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overhead output missing %q:\n%s", want, out)
+		}
+	}
+
+	// No twin, no estimated overhead: factors degrade to 1 / 0.
+	bare := &OverheadStats{WorkloadWall: time.Second}
+	if bare.EstimatedSlowdown() != 1 || bare.MeasuredSlowdown() != 0 {
+		t.Fatalf("bare = %v/%v", bare.EstimatedSlowdown(), bare.MeasuredSlowdown())
+	}
+
+	// Mean extrapolation exceeding the wall (blocked samples) falls back to
+	// the p50 extrapolation: 10ms wall, 1e6 events × p50 5ns = 5ms → 2×.
+	blocked := &OverheadStats{
+		WorkloadWall:      10 * time.Millisecond,
+		Events:            1_000_000,
+		RecordMean:        20 * time.Nanosecond,
+		RecordP50:         5 * time.Nanosecond,
+		EstimatedOverhead: 20 * time.Millisecond,
+	}
+	if got := blocked.EstimatedSlowdown(); got != 2 {
+		t.Fatalf("p50 fallback slowdown = %v, want 2", got)
+	}
+
+	// Saturated both ways: factor 0 and an explanatory line instead of a
+	// nonsense multiplier.
+	saturated := &OverheadStats{
+		WorkloadWall:      time.Millisecond,
+		Events:            1_000_000,
+		RecordP50:         50 * time.Nanosecond,
+		EstimatedOverhead: 10 * time.Millisecond,
+	}
+	if got := saturated.EstimatedSlowdown(); got != 0 {
+		t.Fatalf("saturated slowdown = %v, want 0", got)
+	}
+	sb.Reset()
+	if err := saturated.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "estimate saturated") {
+		t.Errorf("saturated output missing explanation:\n%s", sb.String())
+	}
+}
+
 func TestPipelineStatsWrite(t *testing.T) {
 	p := NewPipeline("build-profiles", "use-cases")
 	p.Stage(0).Observe(time.Millisecond)
@@ -61,6 +175,14 @@ func TestPipelineStatsWrite(t *testing.T) {
 		Workers:   4,
 		Wall:      5 * time.Millisecond,
 		Stages:    p.Snapshot(),
+		Overhead: &OverheadStats{
+			WorkloadWall:      20 * time.Millisecond,
+			Events:            1000,
+			Sampled:           16,
+			SampleEvery:       64,
+			RecordMean:        100 * time.Nanosecond,
+			EstimatedOverhead: 100 * time.Microsecond,
+		},
 		Collector: &trace.CollectorStats{
 			Shards:         2,
 			Buffer:         8,
@@ -80,6 +202,8 @@ func TestPipelineStatsWrite(t *testing.T) {
 		"1000 events, 3 instances, 4 worker(s)",
 		"stage build-profiles",
 		"stage use-cases",
+		"p50", "p90", "p99",
+		"Overhead: workload wall 20ms",
 		"Collector: 2 shard(s) × buffer 8",
 		"shard 0: 600 events, queue high-water 8/8",
 		"shard 1: 400 events, queue high-water 3/8",

@@ -1,0 +1,241 @@
+// Package obs is DSspy's observability plane: lock-cheap log-bucketed
+// histograms, a hand-rolled Prometheus text exposition writer, a bounded
+// span tracer exportable as Chrome trace-event JSON, periodic occupancy
+// sampling, and the HTTP surface (/metrics, /healthz, /statusz,
+// /debug/pprof) that makes a long profiling run inspectable while it runs.
+//
+// The package is stdlib-only and imports nothing else from this module, so
+// every layer of the pipeline (trace, metrics, core, cmd) can depend on it
+// without cycles. All hot-path types (Histogram, Tracer spans) are safe for
+// concurrent use and designed to perturb the profiled workload as little as
+// possible — DSspy measures programs, so it must be able to account for its
+// own cost.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: values below 2^histSubBits ns get exact
+// single-unit buckets; above that, each power-of-two octave is split into
+// 2^histSubBits linear sub-buckets, bounding the relative quantile error at
+// 1/2^histSubBits ≈ 6 %. With 4 sub-bits the whole int64 nanosecond range
+// (±146 years) fits in 960 buckets — 7.7 KiB of counters per histogram.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	histMaxExp  = 62
+	histBuckets = histSub + (histMaxExp-histSubBits+1)*histSub
+)
+
+// Histogram is a concurrent log-bucketed histogram over non-negative int64
+// values (typically nanoseconds, sometimes queue depths). Observe is a few
+// atomic adds — no locks, no allocation — so it can sit on producer hot
+// paths. Exact count, sum, min and max are tracked alongside the buckets, so
+// means and extremes are precise while quantiles are bucket-interpolated.
+//
+// Use NewHistogram (or Init on an embedded value) before observing: the min
+// tracker needs its sentinel.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns an initialized histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.Init()
+	return h
+}
+
+// Init prepares an embedded zero-value histogram. It must be called before
+// the first Observe and must not race with it.
+func (h *Histogram) Init() {
+	h.min.Store(math.MaxInt64)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// ObserveValue records one raw value. Negative values are clamped to zero.
+func (h *Histogram) ObserveValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// histIndex maps a value to its bucket.
+func histIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // histSubBits <= exp <= histMaxExp for int64 input
+	k := (v - 1<<exp) >> (exp - histSubBits)
+	return histSub + (exp-histSubBits)*histSub + int(k)
+}
+
+// bucketBounds returns the inclusive lower bound and width of bucket i.
+func bucketBounds(i int) (lower, width int64) {
+	if i < histSub {
+		return int64(i), 1
+	}
+	exp := histSubBits + (i-histSub)/histSub
+	k := (i - histSub) % histSub
+	width = 1 << (exp - histSubBits)
+	return 1<<exp + int64(k)*width, width
+}
+
+// Snapshot returns a consistent-enough copy for reporting. Concurrent
+// observers may land between the bucket copies and the totals, so the
+// aggregate counters are re-derived from the copied buckets to keep the
+// snapshot internally consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Min: h.min.Load(),
+		Max: h.max.Load(),
+		Sum: h.sum.Load(),
+	}
+	last := -1
+	var counts [histBuckets]uint64
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			counts[i] = c
+			s.Count += c
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Counts = make([]uint64, last+1)
+		copy(s.Counts, counts[:last+1])
+	}
+	if s.Min == math.MaxInt64 {
+		s.Min = 0
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a histogram: per-bucket counts
+// (trailing zero buckets trimmed) plus the exact aggregate figures.
+type HistSnapshot struct {
+	Counts []uint64
+	Count  uint64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// Mean returns the exact average observation, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) with linear interpolation
+// inside the landing bucket, clamped to the exactly-tracked min and max so
+// p=0 and p=1 are precise and interpolation never invents values outside the
+// observed range.
+func (s HistSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return float64(s.Min)
+	}
+	if p >= 1 {
+		return float64(s.Max)
+	}
+	target := p * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= target {
+			lower, width := bucketBounds(i)
+			frac := (target - cum) / float64(c)
+			v := float64(lower) + frac*float64(width)
+			return min(max(v, float64(s.Min)), float64(s.Max))
+		}
+		cum += float64(c)
+	}
+	return float64(s.Max)
+}
+
+// QuantileDuration is Quantile for nanosecond-valued histograms.
+func (s HistSnapshot) QuantileDuration(p float64) time.Duration {
+	return time.Duration(s.Quantile(p))
+}
+
+// MeanDuration is Mean for nanosecond-valued histograms.
+func (s HistSnapshot) MeanDuration() time.Duration {
+	return time.Duration(s.Mean())
+}
+
+// Merge adds o's observations into s (bucket-wise; min/max/sum/count exact).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if len(o.Counts) > len(s.Counts) {
+		grown := make([]uint64, len(o.Counts))
+		copy(grown, s.Counts)
+		s.Counts = grown
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	if s.Count == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Buckets returns the nonzero buckets as (exclusive upper bound, count)
+// pairs in ascending order — the raw material for Prometheus exposition.
+func (s HistSnapshot) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lower, width := bucketBounds(i)
+		out = append(out, Bucket{Upper: lower + width, Count: c})
+	}
+	return out
+}
+
+// Bucket is one nonzero histogram bucket: Count observations below Upper.
+type Bucket struct {
+	Upper int64
+	Count uint64
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketBoundaries(t *testing.T) {
+	// The first 16 values get exact buckets.
+	for v := uint64(0); v < histSub; v++ {
+		if got := histIndex(v); got != int(v) {
+			t.Fatalf("histIndex(%d) = %d, want %d", v, got, v)
+		}
+		lower, width := bucketBounds(int(v))
+		if lower != int64(v) || width != 1 {
+			t.Fatalf("bucketBounds(%d) = (%d,%d), want (%d,1)", v, lower, width, v)
+		}
+	}
+	// Every bucket index must invert: a value inside [lower, lower+width)
+	// lands in exactly that bucket, and bounds tile the axis with no gaps.
+	prevUpper := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		lower, width := bucketBounds(i)
+		if lower != prevUpper {
+			t.Fatalf("bucket %d: lower %d, want %d (gap or overlap)", i, lower, prevUpper)
+		}
+		prevUpper = lower + width
+		for _, v := range []int64{lower, lower + width - 1} {
+			if v < 0 { // overflow at the top bucket
+				continue
+			}
+			if got := histIndex(uint64(v)); got != i {
+				t.Fatalf("histIndex(%d) = %d, want bucket %d [%d,%d)", v, got, i, lower, lower+width)
+			}
+		}
+	}
+	// The geometry covers the whole int64 range.
+	if got := histIndex(uint64(math.MaxInt64)); got != histBuckets-1 {
+		t.Fatalf("histIndex(MaxInt64) = %d, want %d", got, histBuckets-1)
+	}
+}
+
+func TestHistRelativeError(t *testing.T) {
+	// Sub-bucket width bounds the relative error: for any value ≥ 16 the
+	// bucket width is lower/16 ≤ value/16.
+	for _, v := range []int64{17, 100, 999, 12345, 1 << 30, 1<<40 + 12345} {
+		i := histIndex(uint64(v))
+		lower, width := bucketBounds(i)
+		if v < lower || v >= lower+width {
+			t.Fatalf("value %d outside its bucket [%d,%d)", v, lower, lower+width)
+		}
+		if float64(width) > float64(v)/float64(histSub)*2 {
+			t.Fatalf("bucket width %d too coarse for value %d", width, v)
+		}
+	}
+}
+
+func TestHistQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+
+	h.ObserveValue(1000)
+	s := h.Snapshot()
+	// A single observation: every quantile must return a value from its
+	// bucket, and p=0/p=1 are exact.
+	if s.Quantile(0) != 1000 || s.Quantile(1) != 1000 {
+		t.Fatalf("p0/p1 of single obs = %v/%v, want 1000", s.Quantile(0), s.Quantile(1))
+	}
+	if q := s.Quantile(0.5); q < 960 || q > 1024 {
+		t.Fatalf("p50 of single obs at 1000 = %v, want within its bucket", q)
+	}
+
+	// Uniform 1..1000: quantiles within bucket resolution (~6%).
+	h2 := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h2.ObserveValue(v)
+	}
+	s2 := h2.Snapshot()
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}} {
+		got := s2.Quantile(tc.p)
+		if math.Abs(got-tc.want)/tc.want > 0.08 {
+			t.Errorf("p%g = %v, want ≈%v", tc.p*100, got, tc.want)
+		}
+	}
+	// Quantiles never leave the observed range.
+	if s2.Quantile(0.0001) < 1 || s2.Quantile(0.9999) > 1000 {
+		t.Fatalf("quantiles escaped [min,max]: %v, %v", s2.Quantile(0.0001), s2.Quantile(0.9999))
+	}
+
+	if s2.Count != 1000 || s2.Min != 1 || s2.Max != 1000 || s2.Sum != 500500 {
+		t.Fatalf("snapshot aggregates = %+v", s2)
+	}
+	if m := s2.Mean(); m != 500.5 {
+		t.Fatalf("mean = %v, want 500.5", m)
+	}
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				h.ObserveValue(seed*1000 + i)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Min != 1000 || s.Max != 8*1000+per-1 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for v := int64(1); v <= 100; v++ {
+		a.ObserveValue(v)
+	}
+	for v := int64(1000); v <= 2000; v++ {
+		b.ObserveValue(v)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 100+1001 || s.Min != 1 || s.Max != 2000 {
+		t.Fatalf("merged aggregates = %+v", s)
+	}
+	var empty HistSnapshot
+	empty.Merge(s)
+	if empty.Count != s.Count || empty.Min != 1 {
+		t.Fatalf("merge into empty = %+v", empty)
+	}
+}
+
+func TestHistObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3 * time.Millisecond)
+	h.Observe(-time.Second) // clamped to 0
+	s := h.Snapshot()
+	if s.Count != 2 || s.Min != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if d := s.QuantileDuration(1); d != 3*time.Millisecond {
+		t.Fatalf("max duration = %v", d)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4), hand-rolled so the module stays dependency-free. Errors
+// are sticky: the first write failure is remembered and later calls are
+// no-ops, so callers check Err once at the end.
+//
+// HELP/TYPE headers are emitted the first time a metric family is written;
+// repeated writes of the same family (e.g. one line per shard) share one
+// header, as the format requires.
+type PromWriter struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewPromWriter returns a writer targeting w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, or nil.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// labelString renders {k="v",...} from alternating key/value pairs, escaping
+// backslash, double quote and newline in values. Empty pairs render nothing.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(labels[i])
+		sb.WriteString(`="`)
+		v := labels[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		sb.WriteString(v)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter writes one sample of a counter family. labels are alternating
+// key/value pairs.
+func (p *PromWriter) Counter(name, help string, v float64, labels ...string) {
+	p.header(name, help, "counter")
+	p.printf("%s%s %s\n", name, labelString(labels), formatFloat(v))
+}
+
+// Gauge writes one sample of a gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...string) {
+	p.header(name, help, "gauge")
+	p.printf("%s%s %s\n", name, labelString(labels), formatFloat(v))
+}
+
+// Histogram writes one histogram family from a snapshot. unit divides the
+// histogram's raw int64 values into the exported unit — 1e9 for
+// nanosecond-valued histograms exported in seconds, 1 for unit-less values
+// such as queue depths. Bucket bounds are the histogram's own nonzero bucket
+// uppers; cumulative counts and the +Inf bucket follow the format's rules.
+func (p *PromWriter) Histogram(name, help string, s HistSnapshot, unit float64, labels ...string) {
+	p.header(name, help, "histogram")
+	var cum uint64
+	for _, b := range s.Buckets() {
+		cum += b.Count
+		le := append(append([]string{}, labels...), "le", formatFloat(float64(b.Upper)/unit))
+		p.printf("%s_bucket%s %d\n", name, labelString(le), cum)
+	}
+	inf := append(append([]string{}, labels...), "le", "+Inf")
+	p.printf("%s_bucket%s %d\n", name, labelString(inf), s.Count)
+	p.printf("%s_sum%s %s\n", name, labelString(labels), formatFloat(float64(s.Sum)/unit))
+	p.printf("%s_count%s %d\n", name, labelString(labels), s.Count)
+}
+
+// MetricSource is anything that can contribute families to a /metrics
+// scrape. Implementations live next to the state they export: collectors,
+// pipeline clocks, the streaming analyzer, recorders.
+type MetricSource interface {
+	WriteMetrics(w *PromWriter)
+}
+
+// MetricSourceFunc adapts a function to MetricSource.
+type MetricSourceFunc func(w *PromWriter)
+
+// WriteMetrics calls f.
+func (f MetricSourceFunc) WriteMetrics(w *PromWriter) { f(w) }

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the exposition format byte-for-byte: Prometheus'
+// text parser is strict about HELP/TYPE placement, label quoting and the
+// histogram family shape, so any drift here is a real compatibility bug.
+func TestPromGolden(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{5, 5, 17, 1000} {
+		h.ObserveValue(v)
+	}
+
+	var sb strings.Builder
+	w := NewPromWriter(&sb)
+	w.Counter("dsspy_events_total", "Events recorded.", 42, "shard", "0")
+	w.Counter("dsspy_events_total", "Events recorded.", 13, "shard", "1")
+	w.Gauge("dsspy_queue_depth", "Current queue depth.", 7)
+	w.Histogram("dsspy_record_seconds", "Record latency.", h.Snapshot(), 1e9)
+	w.Gauge("dsspy_weird_label", "Escaping.", 1, "name", "a\"b\\c\nd")
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	const want = `# HELP dsspy_events_total Events recorded.
+# TYPE dsspy_events_total counter
+dsspy_events_total{shard="0"} 42
+dsspy_events_total{shard="1"} 13
+# HELP dsspy_queue_depth Current queue depth.
+# TYPE dsspy_queue_depth gauge
+dsspy_queue_depth 7
+# HELP dsspy_record_seconds Record latency.
+# TYPE dsspy_record_seconds histogram
+dsspy_record_seconds_bucket{le="6e-09"} 2
+dsspy_record_seconds_bucket{le="1.8e-08"} 3
+dsspy_record_seconds_bucket{le="1.024e-06"} 4
+dsspy_record_seconds_bucket{le="+Inf"} 4
+dsspy_record_seconds_sum 1.027e-06
+dsspy_record_seconds_count 4
+# HELP dsspy_weird_label Escaping.
+# TYPE dsspy_weird_label gauge
+dsspy_weird_label{name="a\"b\\c\nd"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromHistogramEmpty(t *testing.T) {
+	var sb strings.Builder
+	w := NewPromWriter(&sb)
+	w.Histogram("dsspy_empty_seconds", "Never observed.", HistSnapshot{}, 1e9)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`dsspy_empty_seconds_bucket{le="+Inf"} 0`,
+		"dsspy_empty_seconds_sum 0",
+		"dsspy_empty_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty histogram missing %q:\n%s", want, out)
+		}
+	}
+}

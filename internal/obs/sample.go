@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OccupancySampler periodically evaluates a set of probes — queue depths,
+// buffer fills, active connections — and folds each reading into a
+// histogram. Sampling is how the pipeline answers "how full were the queues
+// while it ran" without touching the hot path at all: the producer never
+// sees the sampler, and the cost is one goroutine waking interval-ly.
+//
+// A nil sampler is valid and inert, so components can make sampling
+// strictly opt-in.
+type OccupancySampler struct {
+	interval time.Duration
+	probes   []Probe
+	hists    []*Histogram
+	samples  atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Probe is one sampled quantity.
+type Probe struct {
+	Name string
+	Fn   func() int64
+}
+
+// DefaultSampleInterval is the occupancy sampling period components use
+// when the caller asks for sampling without naming a rate.
+const DefaultSampleInterval = 10 * time.Millisecond
+
+// StartOccupancySampler launches a sampler over the probes. interval <= 0
+// uses DefaultSampleInterval. Stop it when the sampled component closes.
+func StartOccupancySampler(interval time.Duration, probes ...Probe) *OccupancySampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	s := &OccupancySampler{
+		interval: interval,
+		probes:   probes,
+		hists:    make([]*Histogram, len(probes)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i := range s.hists {
+		s.hists[i] = NewHistogram()
+	}
+	go s.loop()
+	return s
+}
+
+func (s *OccupancySampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			for i, p := range s.probes {
+				s.hists[i].ObserveValue(p.Fn())
+			}
+			s.samples.Add(1)
+		}
+	}
+}
+
+// Stop halts sampling and waits for the loop to exit. Idempotent; safe on a
+// nil sampler.
+func (s *OccupancySampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Samples returns the number of sampling rounds completed. Zero on nil.
+func (s *OccupancySampler) Samples() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.samples.Load()
+}
+
+// Interval returns the sampling period, or 0 on a nil sampler.
+func (s *OccupancySampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Hist returns the snapshot of probe i's histogram; the zero snapshot on a
+// nil sampler or out-of-range index.
+func (s *OccupancySampler) Hist(i int) HistSnapshot {
+	if s == nil || i < 0 || i >= len(s.hists) {
+		return HistSnapshot{}
+	}
+	return s.hists[i].Snapshot()
+}
+
+// HistByName returns the snapshot of the named probe's histogram.
+func (s *OccupancySampler) HistByName(name string) (HistSnapshot, bool) {
+	if s == nil {
+		return HistSnapshot{}, false
+	}
+	for i, p := range s.probes {
+		if p.Name == name {
+			return s.hists[i].Snapshot(), true
+		}
+	}
+	return HistSnapshot{}, false
+}

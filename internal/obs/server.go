@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"html/template"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the live HTTP surface of a profiling run:
+//
+//	/metrics      Prometheus text exposition from the registered sources
+//	/healthz      liveness probe ("ok")
+//	/statusz      HTML dashboard fed by a status snapshot, refreshing in place
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// Sources and the status provider are registered by the embedding command;
+// the server itself knows nothing about the pipeline, so it lives below
+// every other package.
+type Server struct {
+	mux   *http.ServeMux
+	srv   *http.Server
+	ln    net.Listener
+	start time.Time
+
+	mu       sync.Mutex
+	sources  []MetricSource
+	statusFn func() *Status
+
+	scrapes atomic.Uint64
+}
+
+// NewServer returns a server with the fixed endpoints mounted and no
+// sources yet.
+func NewServer() *Server {
+	s := &Server{mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/metrics", s.serveMetrics)
+	s.mux.HandleFunc("/statusz", s.serveStatusz)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/statusz", http.StatusFound)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// AddSource registers a /metrics contributor. Sources are scraped in
+// registration order; safe to call while serving.
+func (s *Server) AddSource(src MetricSource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
+
+// SetStatus installs the /statusz snapshot provider.
+func (s *Server) SetStatus(fn func() *Status) {
+	s.mu.Lock()
+	s.statusFn = fn
+	s.mu.Unlock()
+}
+
+// Handler returns the server's mux — tests drive it through httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. ":6060", "127.0.0.1:0") and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go s.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Stop closes the listener and all connections. Safe on a never-started or
+// nil server.
+func (s *Server) Stop() {
+	if s == nil || s.srv == nil {
+		return
+	}
+	s.srv.Close()
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.scrapes.Add(1)
+	s.mu.Lock()
+	sources := make([]MetricSource, len(s.sources))
+	copy(sources, s.sources)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := NewPromWriter(w)
+	pw.Gauge("dsspy_obs_uptime_seconds", "Seconds since the observability server started.", time.Since(s.start).Seconds())
+	pw.Counter("dsspy_obs_scrapes_total", "Scrapes served by /metrics.", float64(s.scrapes.Load()))
+	for _, src := range sources {
+		src.WriteMetrics(pw)
+	}
+}
+
+// Status is the data model behind /statusz: titled sections of key/value
+// lines and tables. The embedding command assembles it from a report
+// snapshot; the server renders it.
+type Status struct {
+	Title    string
+	Sections []StatusSection
+}
+
+// StatusSection is one block of the dashboard.
+type StatusSection struct {
+	Title string
+	KV    []StatusKV
+	Table *StatusTable
+}
+
+// StatusKV is one key/value line.
+type StatusKV struct {
+	Key, Value string
+}
+
+// StatusTable is a simple header+rows table.
+type StatusTable struct {
+	Header []string
+	Rows   [][]string
+}
+
+var statuszPage = template.Must(template.New("statusz").Parse(`<!doctype html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:72em;padding:0 1em;color:#222}
+h1{font-size:1.4em}h2{font-size:1.05em;margin:1.4em 0 .4em;border-bottom:1px solid #ddd}
+table{border-collapse:collapse;width:100%}
+th,td{text-align:left;padding:.2em .8em .2em 0;font-variant-numeric:tabular-nums}
+th{color:#666;font-weight:600;border-bottom:1px solid #ccc}
+dl{display:grid;grid-template-columns:max-content auto;gap:.1em 1em;margin:.3em 0}
+dt{color:#666}dd{margin:0}
+#stale{color:#a00;display:none}
+</style></head>
+<body><h1>{{.Title}} <small id="stale">(stale)</small></h1>
+<div id="content">{{template "frag" .}}</div>
+<script>
+setInterval(async()=>{try{
+ const r=await fetch('/statusz?frag=1');
+ document.getElementById('content').innerHTML=await r.text();
+ document.getElementById('stale').style.display='none';
+}catch(e){document.getElementById('stale').style.display='inline';}},1000);
+</script>
+</body></html>
+{{define "frag"}}{{range .Sections}}<h2>{{.Title}}</h2>
+{{if .KV}}<dl>{{range .KV}}<dt>{{.Key}}</dt><dd>{{.Value}}</dd>{{end}}</dl>{{end}}
+{{if .Table}}<table><tr>{{range .Table.Header}}<th>{{.}}</th>{{end}}</tr>
+{{range .Table.Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>
+{{end}}</table>{{end}}{{end}}{{end}}`))
+
+func (s *Server) serveStatusz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.statusFn
+	s.mu.Unlock()
+	var st *Status
+	if fn != nil {
+		st = fn()
+	}
+	if st == nil {
+		st = &Status{Title: "dsspy", Sections: []StatusSection{{
+			Title: "Status",
+			KV:    []StatusKV{{"state", "no status provider registered"}},
+		}}}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if r.URL.Query().Get("frag") == "1" {
+		statuszPage.ExecuteTemplate(w, "frag", st)
+		return
+	}
+	statuszPage.Execute(w, st)
+}

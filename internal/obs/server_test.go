@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s := NewServer()
+	var scraped atomic.Int64
+	s.AddSource(MetricSourceFunc(func(w *PromWriter) {
+		scraped.Add(1)
+		w.Counter("dsspy_test_total", "Test counter.", 5)
+	}))
+	s.SetStatus(func() *Status {
+		return &Status{
+			Title: "dsspy — test run",
+			Sections: []StatusSection{
+				{Title: "Run", KV: []StatusKV{{"app", "Mandelbrot"}, {"events", "1234"}}},
+				{Title: "Shards", Table: &StatusTable{
+					Header: []string{"shard", "events"},
+					Rows:   [][]string{{"0", "600"}, {"1", "634"}},
+				}},
+			},
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, ts, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"dsspy_obs_uptime_seconds",
+		"dsspy_obs_scrapes_total",
+		"# TYPE dsspy_test_total counter",
+		"dsspy_test_total 5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if scraped.Load() != 1 {
+		t.Fatalf("source scraped %d times, want 1", scraped.Load())
+	}
+
+	code, body = get(t, ts, "/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	for _, want := range []string{"dsspy — test run", "Mandelbrot", "<th>shard</th>", "<td>634</td>", "fetch('/statusz?frag=1')"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/statusz missing %q", want)
+		}
+	}
+	// The fragment endpoint returns sections without the page chrome.
+	_, frag := get(t, ts, "/statusz?frag=1")
+	if strings.Contains(frag, "<html>") || !strings.Contains(frag, "Mandelbrot") {
+		t.Errorf("fragment wrong:\n%s", frag)
+	}
+
+	if code, body := get(t, ts, "/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestServerStartStop(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz over real listener = %d", resp.StatusCode)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+}
+
+func TestOccupancySampler(t *testing.T) {
+	var depth atomic.Int64
+	depth.Store(3)
+	s := StartOccupancySampler(time.Millisecond,
+		Probe{Name: "queue", Fn: depth.Load},
+		Probe{Name: "buffer", Fn: func() int64 { return 10 }},
+	)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Samples() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if s.Samples() < 5 {
+		t.Fatalf("samples = %d, want ≥ 5", s.Samples())
+	}
+	q := s.Hist(0)
+	if q.Count == 0 || q.Min != 3 || q.Max != 3 {
+		t.Fatalf("queue hist = %+v", q)
+	}
+	b, ok := s.HistByName("buffer")
+	if !ok || b.Max != 10 {
+		t.Fatalf("buffer hist = %+v ok=%v", b, ok)
+	}
+	if _, ok := s.HistByName("nope"); ok {
+		t.Fatal("unknown probe resolved")
+	}
+	var nilS *OccupancySampler
+	nilS.Stop()
+	if nilS.Samples() != 0 || nilS.Interval() != 0 {
+		t.Fatal("nil sampler should be inert")
+	}
+}

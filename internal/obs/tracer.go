@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tracer records begin/end spans of DSspy's own pipeline — record, ship,
+// drain, fold, analyze, report, server connections — into a bounded ring,
+// exportable as Chrome trace-event JSON (chrome://tracing, Perfetto). It is
+// the profiler profiling itself: when a run is slow, the trace says which
+// stage ate the time, per goroutine lane.
+//
+// A nil *Tracer is valid and free: Begin returns an inert span, End is a
+// no-op, so call sites need no conditionals. Span End takes one short mutex
+// section; spans are expected at batch/stage/connection granularity, not
+// per event.
+type Tracer struct {
+	// TIDFunc supplies the lane id for new spans (a goroutine id works
+	// well). Set it before the first Begin; the default lanes everything on
+	// tid 0. The trace package wires its dense goroutine ids in here so obs
+	// needs no import of it.
+	TIDFunc func() uint64
+
+	start time.Time
+	pid   int
+
+	mu      sync.Mutex
+	spans   []spanRec
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+type spanRec struct {
+	name string
+	cat  string
+	ph   byte // 'X' complete, 'i' instant
+	tid  uint64
+	ts   int64 // ns since tracer start
+	dur  int64
+	args []string // alternating key/value
+}
+
+// NewTracer returns a tracer whose ring holds up to capSpans spans; older
+// spans are overwritten (and counted) once the ring wraps.
+func NewTracer(capSpans int) *Tracer {
+	if capSpans < 16 {
+		capSpans = 16
+	}
+	return &Tracer{
+		start: time.Now(),
+		pid:   os.Getpid(),
+		spans: make([]spanRec, 0, capSpans),
+	}
+}
+
+// Span is an open interval handle returned by Begin. The zero Span (from a
+// nil tracer) is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   uint64
+	start time.Time
+}
+
+// Begin opens a span. Safe on a nil tracer.
+func (t *Tracer) Begin(name, cat string) Span {
+	if t == nil {
+		return Span{}
+	}
+	var tid uint64
+	if t.TIDFunc != nil {
+		tid = t.TIDFunc()
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, start: time.Now()}
+}
+
+// End closes the span, attaching optional alternating key/value args.
+func (sp Span) End(args ...string) {
+	if sp.t == nil {
+		return
+	}
+	end := time.Now()
+	sp.t.push(spanRec{
+		name: sp.name,
+		cat:  sp.cat,
+		ph:   'X',
+		tid:  sp.tid,
+		ts:   sp.start.Sub(sp.t.start).Nanoseconds(),
+		dur:  end.Sub(sp.start).Nanoseconds(),
+		args: args,
+	})
+}
+
+// Instant records a zero-duration marker event.
+func (t *Tracer) Instant(name, cat string, args ...string) {
+	if t == nil {
+		return
+	}
+	var tid uint64
+	if t.TIDFunc != nil {
+		tid = t.TIDFunc()
+	}
+	t.push(spanRec{
+		name: name,
+		cat:  cat,
+		ph:   'i',
+		tid:  tid,
+		ts:   time.Since(t.start).Nanoseconds(),
+		args: args,
+	})
+}
+
+func (t *Tracer) push(r spanRec) {
+	t.mu.Lock()
+	t.total++
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, r)
+	} else {
+		t.spans[t.next] = r
+		t.next++
+		if t.next == len(t.spans) {
+			t.next = 0
+		}
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently held in the ring.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Total returns the number of spans ever recorded.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many spans the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.spans))
+}
+
+// ordered returns the ring oldest-first.
+func (t *Tracer) ordered() []spanRec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]spanRec, 0, len(t.spans))
+	if t.wrapped {
+		out = append(out, t.spans[t.next:]...)
+	}
+	out = append(out, t.spans[:t.next]...)
+	if !t.wrapped {
+		out = append(out, t.spans[t.next:]...)
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format's JSON array
+// (the "JSON Object Format" flavor, which Perfetto and chrome://tracing
+// both load). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the ring as Chrome trace-event JSON. The output
+// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.ordered()
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(spans)+1),
+		DisplayTimeUnit: "ms",
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  t.pid,
+		Args: map[string]string{"name": "dsspy"},
+	})
+	for _, r := range spans {
+		ev := chromeEvent{
+			Name: r.name,
+			Cat:  r.cat,
+			Ph:   string(r.ph),
+			Ts:   float64(r.ts) / 1e3,
+			Pid:  t.pid,
+			Tid:  r.tid,
+		}
+		if r.ph == 'X' {
+			ev.Dur = float64(r.dur) / 1e3
+		}
+		if r.ph == 'i' {
+			ev.S = "t" // thread-scoped instant
+		}
+		if len(r.args) >= 2 {
+			ev.Args = make(map[string]string, len(r.args)/2)
+			for i := 0; i+1 < len(r.args); i += 2 {
+				ev.Args[r.args[i]] = r.args[i+1]
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteMetrics exports the tracer's own accounting.
+func (t *Tracer) WriteMetrics(w *PromWriter) {
+	if t == nil {
+		return
+	}
+	w.Counter("dsspy_trace_spans_total", "Spans recorded by the self-tracer.", float64(t.Total()))
+	w.Counter("dsspy_trace_spans_dropped_total", "Spans overwritten by the bounded ring.", float64(t.Dropped()))
+	w.Gauge("dsspy_trace_ring_spans", "Spans currently held in the ring.", float64(t.Len()))
+}

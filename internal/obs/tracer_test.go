@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSpansAndExport(t *testing.T) {
+	tr := NewTracer(64)
+	tr.TIDFunc = func() uint64 { return 7 }
+
+	sp := tr.Begin("fold", "stream")
+	time.Sleep(time.Millisecond)
+	sp.End("events", "128")
+	tr.Instant("reconnect", "ship", "attempt", "2")
+
+	if tr.Total() != 2 || tr.Len() != 2 || tr.Dropped() != 0 {
+		t.Fatalf("total/len/dropped = %d/%d/%d", tr.Total(), tr.Len(), tr.Dropped())
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Tid  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	if len(out.TraceEvents) != 3 { // metadata + span + instant
+		t.Fatalf("events = %d, want 3", len(out.TraceEvents))
+	}
+	span := out.TraceEvents[1]
+	if span.Name != "fold" || span.Cat != "stream" || span.Ph != "X" || span.Tid != 7 {
+		t.Fatalf("span = %+v", span)
+	}
+	if span.Dur < 900 { // ≥ 0.9ms in µs
+		t.Fatalf("span dur = %v µs, want ≥ 900", span.Dur)
+	}
+	if span.Args["events"] != "128" {
+		t.Fatalf("span args = %v", span.Args)
+	}
+	inst := out.TraceEvents[2]
+	if inst.Ph != "i" || inst.Args["attempt"] != "2" {
+		t.Fatalf("instant = %+v", inst)
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 100; i++ {
+		tr.Begin("s", "c").End()
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("ring len = %d, want 16", tr.Len())
+	}
+	if tr.Total() != 100 || tr.Dropped() != 84 {
+		t.Fatalf("total/dropped = %d/%d", tr.Total(), tr.Dropped())
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatal("wrapped export is not valid JSON")
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", "y")
+	sp.End()
+	tr.Instant("x", "y")
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer should account nothing")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Begin("work", "test").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 1600 {
+		t.Fatalf("total = %d, want 1600", tr.Total())
+	}
+}

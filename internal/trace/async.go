@@ -1,5 +1,11 @@
 package trace
 
+import (
+	"time"
+
+	"dsspy/internal/obs"
+)
+
 // AsyncCollector is the paper's collector design (§IV): producers hand events
 // over asynchronous communication to a separate consumer that owns the event
 // store, so the instrumented program is never blocked on analysis or I/O.
@@ -67,3 +73,15 @@ func (c *AsyncCollector) Len() int { return c.sc.Len() }
 
 // Stats reports the single shard's queue statistics and producer block time.
 func (c *AsyncCollector) Stats() CollectorStats { return c.sc.Stats() }
+
+// SetTracer forwards the pipeline self-tracer to the underlying shard.
+func (c *AsyncCollector) SetTracer(t *obs.Tracer) { c.sc.SetTracer(t) }
+
+// EnableQueueSampling starts periodic queue-depth sampling on the single
+// shard; interval <= 0 uses obs.DefaultSampleInterval.
+func (c *AsyncCollector) EnableQueueSampling(interval time.Duration) {
+	c.sc.EnableQueueSampling(interval)
+}
+
+// WriteMetrics exports the shard's counters for the /metrics endpoint.
+func (c *AsyncCollector) WriteMetrics(w *obs.PromWriter) { c.sc.WriteMetrics(w) }

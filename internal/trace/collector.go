@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"dsspy/internal/obs"
 )
 
 // Collector is the common surface of the in-process event collectors: a
@@ -52,6 +54,13 @@ type CollectorStats struct {
 	ShardDropped   []uint64
 	ShardHighWater []int // max queue length observed per shard
 	ShardBlock     []time.Duration
+
+	// ShardQueueDepth holds the sampled queue-depth distribution per shard
+	// when EnableQueueSampling ran; nil otherwise. The high-water mark says
+	// how bad it ever got, the depth histogram says how full the queue
+	// typically was.
+	ShardQueueDepth     []obs.HistSnapshot
+	QueueSampleInterval time.Duration
 }
 
 // Delivered returns the number of events that reached the store.
@@ -72,6 +81,11 @@ func (cs CollectorStats) Write(w io.Writer) error {
 			i, cs.ShardEvents[i], cs.ShardHighWater[i], cs.Buffer, cs.ShardBlock[i])
 		if i < len(cs.ShardDropped) && cs.ShardDropped[i] > 0 {
 			line += fmt.Sprintf(", dropped %d", cs.ShardDropped[i])
+		}
+		if i < len(cs.ShardQueueDepth) && cs.ShardQueueDepth[i].Count > 0 {
+			q := cs.ShardQueueDepth[i]
+			line += fmt.Sprintf(", depth p50 %.0f p99 %.0f (%d samples)",
+				q.Quantile(0.50), q.Quantile(0.99), q.Count)
 		}
 		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
 	"time"
+
+	"dsspy/internal/obs"
 )
 
 // Out-of-process collection. DSspy "executes the dynamic analysis module in a
@@ -235,6 +238,14 @@ type ServerOptions struct {
 	// AcceptBackoffMax caps the exponential backoff between retries of a
 	// failing Accept. Defaults to 1s.
 	AcceptBackoffMax time.Duration
+	// Logger receives accept/reject/stream-outcome diagnostics. Nil disables.
+	Logger *slog.Logger
+	// Tracer records one span per producer connection lifecycle. Nil disables.
+	Tracer *obs.Tracer
+	// SampleInterval enables periodic sampling of the event-store size and
+	// active connection count. Zero disables; negative uses
+	// obs.DefaultSampleInterval.
+	SampleInterval time.Duration
 }
 
 // ConnStats describes one producer connection's outcome.
@@ -261,6 +272,12 @@ type ServerStats struct {
 	Rejected      int // connections refused by MaxConns
 	AcceptRetries int // transient Accept errors survived with backoff
 	Conns         []ConnStats
+
+	// StoreDepth and ActiveConns are the sampled event-store size and
+	// concurrent-connection distributions, populated when
+	// ServerOptions.SampleInterval enabled sampling.
+	StoreDepth  obs.HistSnapshot
+	ActiveConns obs.HistSnapshot
 }
 
 // SalvagedEvents totals events recovered from incomplete producer streams.
@@ -301,8 +318,11 @@ func (ss ServerStats) Write(w io.Writer) error {
 
 // CollectorServer accepts producer connections and accumulates their events.
 type CollectorServer struct {
-	ln   net.Listener
-	opts ServerOptions
+	ln      net.Listener
+	opts    ServerOptions
+	log     *slog.Logger
+	tracer  *obs.Tracer
+	sampler *obs.OccupancySampler
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -349,11 +369,28 @@ func NewCollectorServer(ln net.Listener, opts ServerOptions) *CollectorServer {
 	cs := &CollectorServer{
 		ln:        ln,
 		opts:      opts,
+		log:       orNoLog(opts.Logger),
+		tracer:    opts.Tracer,
 		instances: make(map[InstanceID]Instance),
 		open:      make(map[net.Conn]struct{}),
 		closing:   make(chan struct{}),
 	}
 	cs.cond = sync.NewCond(&cs.mu)
+	if opts.SampleInterval != 0 {
+		cs.sampler = obs.StartOccupancySampler(opts.SampleInterval,
+			obs.Probe{Name: "store", Fn: func() int64 {
+				cs.mu.Lock()
+				n := int64(len(cs.events))
+				cs.mu.Unlock()
+				return n
+			}},
+			obs.Probe{Name: "conns", Fn: func() int64 {
+				cs.mu.Lock()
+				n := int64(cs.active)
+				cs.mu.Unlock()
+				return n
+			}})
+	}
 	cs.wg.Add(1)
 	go cs.acceptLoop()
 	return cs
@@ -392,6 +429,7 @@ func (cs *CollectorServer) acceptLoop() {
 			cs.mu.Lock()
 			cs.retries++
 			cs.mu.Unlock()
+			cs.log.Warn("collector server: accept failed, backing off", "err", err, "delay", delay)
 			select {
 			case <-cs.closing:
 				return
@@ -405,6 +443,7 @@ func (cs *CollectorServer) acceptLoop() {
 		if cs.opts.MaxConns > 0 && cs.active >= cs.opts.MaxConns {
 			cs.rejected++
 			cs.mu.Unlock()
+			cs.log.Warn("collector server: connection cap reached, rejecting", "remote", remoteString(conn), "max", cs.opts.MaxConns)
 			conn.Close()
 			continue
 		}
@@ -414,6 +453,7 @@ func (cs *CollectorServer) acceptLoop() {
 		cs.conns = append(cs.conns, st)
 		cs.open[conn] = struct{}{}
 		cs.mu.Unlock()
+		cs.log.Info("collector server: producer connected", "remote", st.Remote)
 
 		cs.wg.Add(1)
 		go cs.serve(conn, st)
@@ -436,6 +476,20 @@ func (cs *CollectorServer) serve(conn net.Conn, st *ConnStats) {
 	defer cs.wg.Done()
 	defer conn.Close()
 	defer cs.connDone(conn)
+	sp := cs.tracer.Begin("conn", "server")
+	defer func() {
+		cs.mu.Lock()
+		events, complete, errStr := st.Events, st.Complete, st.Err
+		cs.mu.Unlock()
+		sp.End("remote", st.Remote, "events", fmt.Sprint(events), "complete", fmt.Sprint(complete))
+		if errStr != "" {
+			cs.log.Warn("collector server: producer stream died, prefix salvaged",
+				"remote", st.Remote, "events", events, "err", errStr)
+		} else {
+			cs.log.Info("collector server: producer stream finished",
+				"remote", st.Remote, "events", events, "complete", complete)
+		}
+	}()
 
 	// A stream that dies is a per-connection outcome, not a server failure:
 	// it is recorded in ConnStats (and the prefix salvaged), while Close's
@@ -565,6 +619,7 @@ func (cs *CollectorServer) shutdown(kill bool) error {
 		conn.Close()
 	}
 	cs.wg.Wait()
+	cs.sampler.Stop()
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	for _, err := range cs.errs {
@@ -624,5 +679,27 @@ func (cs *CollectorServer) ServerStats() ServerStats {
 	for i, c := range cs.conns {
 		ss.Conns[i] = *c
 	}
+	if cs.sampler != nil {
+		ss.StoreDepth = cs.sampler.Hist(0)
+		ss.ActiveConns = cs.sampler.Hist(1)
+	}
 	return ss
+}
+
+// WriteMetrics exports the server's accept/connection/store counters in
+// Prometheus exposition.
+func (cs *CollectorServer) WriteMetrics(w *obs.PromWriter) {
+	cs.mu.Lock()
+	accepted, rejected, retries := cs.accepted, cs.rejected, cs.retries
+	active, stored := cs.active, len(cs.events)
+	cs.mu.Unlock()
+	w.Counter("dsspy_server_conns_accepted_total", "Producer connections served.", float64(accepted))
+	w.Counter("dsspy_server_conns_rejected_total", "Connections refused by the connection cap.", float64(rejected))
+	w.Counter("dsspy_server_accept_retries_total", "Transient accept errors survived with backoff.", float64(retries))
+	w.Gauge("dsspy_server_conns_active", "Producer connections currently open.", float64(active))
+	w.Gauge("dsspy_server_events_stored", "Events accumulated in the store.", float64(stored))
+	if cs.sampler != nil {
+		w.Histogram("dsspy_server_store_depth", "Sampled event-store size.", cs.sampler.Hist(0), 1)
+		w.Histogram("dsspy_server_conns_sampled", "Sampled concurrent producer connections.", cs.sampler.Hist(1), 1)
+	}
 }

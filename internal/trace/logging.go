@@ -1,0 +1,20 @@
+package trace
+
+import (
+	"io"
+	"log/slog"
+)
+
+// noLog is the logger used when a component's options leave Logger nil: a
+// handler whose level no record reaches, so call sites need no nil checks
+// and the disabled path costs one Enabled check per log call.
+var noLog = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+	Level: slog.LevelError + 4,
+}))
+
+func orNoLog(l *slog.Logger) *slog.Logger {
+	if l != nil {
+		return l
+	}
+	return noLog
+}

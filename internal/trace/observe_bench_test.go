@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"dsspy/internal/obs"
+)
+
+// The bench-obs pair: the producer-side Record cost with the observability
+// plane off versus fully on (self-tracer attached, queue-depth sampling
+// running, TimedRecorder wrapping the hot path). The acceptance bar from the
+// issue is <5% regression between the two.
+
+// BenchmarkRecordObsOff is the baseline: a bare sharded collector, nothing
+// observing it.
+func BenchmarkRecordObsOff(b *testing.B) {
+	c := NewShardedCollectorOpts(4, DefaultAsyncBuffer, DropNewest())
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Record(Event{Seq: uint64(i), Instance: InstanceID(i % 7)})
+	}
+}
+
+// BenchmarkRecordObsOn is the same hot path with every observability layer
+// attached the way `dsspy -stats -http` attaches them.
+func BenchmarkRecordObsOn(b *testing.B) {
+	c := NewShardedCollectorOpts(4, DefaultAsyncBuffer, DropNewest())
+	defer c.Close()
+	c.SetTracer(obs.NewTracer(1 << 12))
+	c.EnableQueueSampling(time.Millisecond)
+	timed := NewTimedRecorder(c, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timed.Record(Event{Seq: uint64(i), Instance: InstanceID(i % 7)})
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dsspy/internal/obs"
+)
+
+func TestTimedRecorder(t *testing.T) {
+	mem := NewMemRecorder()
+	tr := NewTimedRecorder(mem, 4)
+	const n = 100
+	for i := 0; i < n; i++ {
+		tr.Record(Event{Seq: uint64(i)})
+	}
+	if tr.Count() != n {
+		t.Fatalf("count = %d, want %d", tr.Count(), n)
+	}
+	if got, want := tr.Sampled(), uint64(n/4); got != want {
+		t.Fatalf("sampled = %d, want %d", got, want)
+	}
+	if len(mem.Events()) != n {
+		t.Fatalf("wrapped recorder got %d events, want %d", len(mem.Events()), n)
+	}
+	h := tr.Hist()
+	if h.Count != uint64(n/4) || h.Max < 0 {
+		t.Fatalf("hist = %+v", h)
+	}
+
+	var sb strings.Builder
+	w := obs.NewPromWriter(&sb)
+	tr.WriteMetrics(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dsspy_record_calls_total 100", "dsspy_record_seconds_count 25"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestShardedCollectorObservability(t *testing.T) {
+	c := NewShardedCollectorSize(2, 64)
+	tracer := obs.NewTracer(256)
+	c.SetTracer(tracer)
+	c.EnableQueueSampling(time.Millisecond)
+	for i := 0; i < 500; i++ {
+		c.Record(Event{Seq: uint64(i), Instance: InstanceID(i % 7)})
+	}
+	// Give the sampler a few ticks while the collector is live.
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+
+	if tracer.Total() == 0 {
+		t.Fatal("no drain spans recorded")
+	}
+	cs := c.Stats()
+	if len(cs.ShardQueueDepth) != 2 {
+		t.Fatalf("ShardQueueDepth len = %d, want 2", len(cs.ShardQueueDepth))
+	}
+	if cs.QueueSampleInterval != time.Millisecond {
+		t.Fatalf("sample interval = %v", cs.QueueSampleInterval)
+	}
+	var sb strings.Builder
+	if err := cs.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	var mb strings.Builder
+	w := obs.NewPromWriter(&mb)
+	c.WriteMetrics(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`dsspy_collector_events_total{shard="0"}`,
+		`dsspy_collector_queue_high_water{shard="1"}`,
+		`dsspy_collector_queue_depth_count{shard="0"}`,
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb.String())
+		}
+	}
+}
+
+func TestCollectorServerObservability(t *testing.T) {
+	tracer := obs.NewTracer(64)
+	srv, err := ListenCollectorOpts("tcp", "127.0.0.1:0", ServerOptions{
+		Tracer:         tracer,
+		SampleInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DialCollector("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rec.Record(Event{Seq: uint64(i)})
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv.WaitStreams(1)
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.sampler.Samples() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	var mb strings.Builder
+	w := obs.NewPromWriter(&mb)
+	srv.WriteMetrics(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"dsspy_server_conns_accepted_total 1",
+		"dsspy_server_events_stored 10",
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb.String())
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Total() == 0 {
+		t.Fatal("no connection spans recorded")
+	}
+	ss := srv.ServerStats()
+	if ss.StoreDepth.Count == 0 && ss.ActiveConns.Count == 0 {
+		t.Fatal("sampler recorded nothing")
+	}
+}

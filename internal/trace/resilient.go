@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"dsspy/internal/obs"
 )
 
 // ResilientRecorder wraps the socket recorder with the machinery a
@@ -32,8 +35,11 @@ import (
 // duplicate it, and duplicates share a Seq so they are detectable
 // downstream.
 type ResilientRecorder struct {
-	opts ResilientOptions
-	dial func() (net.Conn, error)
+	opts    ResilientOptions
+	dial    func() (net.Conn, error)
+	log     *slog.Logger
+	tracer  *obs.Tracer
+	sampler *obs.OccupancySampler
 
 	mu     sync.Mutex
 	sock   *SocketRecorder
@@ -85,6 +91,15 @@ type ResilientOptions struct {
 	// WriteTimeout bounds each batch write, so a stalled collector cannot
 	// block the producer indefinitely. Defaults to 5s.
 	WriteTimeout time.Duration
+	// Logger receives connection-lifecycle diagnostics (reconnects, spills,
+	// replays, give-up). Nil disables logging.
+	Logger *slog.Logger
+	// Tracer records reconnect/replay spans and outage instants. Nil disables.
+	Tracer *obs.Tracer
+	// SampleInterval enables periodic sampling of the in-flight buffer
+	// occupancy into Stats().BufferDepth. Zero disables sampling; negative
+	// uses obs.DefaultSampleInterval.
+	SampleInterval time.Duration
 }
 
 func (o *ResilientOptions) withDefaults() {
@@ -119,14 +134,27 @@ func NewResilientRecorder(opts ResilientOptions) (*ResilientRecorder, error) {
 		dial = func() (net.Conn, error) { return net.Dial(network, addr) }
 	}
 	rr := &ResilientRecorder{
-		opts: opts,
-		dial: dial,
-		buf:  make([]Event, 0, opts.BatchSize),
-		done: make(chan struct{}),
+		opts:   opts,
+		dial:   dial,
+		log:    orNoLog(opts.Logger),
+		tracer: opts.Tracer,
+		buf:    make([]Event, 0, opts.BatchSize),
+		done:   make(chan struct{}),
+	}
+	if opts.SampleInterval != 0 {
+		rr.sampler = obs.StartOccupancySampler(opts.SampleInterval,
+			obs.Probe{Name: "buffer", Fn: func() int64 {
+				rr.mu.Lock()
+				n := int64(len(rr.buf))
+				rr.mu.Unlock()
+				return n
+			}})
 	}
 	if sock, err := rr.connect(); err == nil {
 		rr.sock = sock
+		rr.log.Debug("resilient recorder connected", "addr", opts.Addr)
 	} else {
+		rr.log.Warn("resilient recorder: initial dial failed, reconnecting", "addr", opts.Addr, "err", err)
 		rr.startReconnectLocked()
 	}
 	return rr, nil
@@ -181,6 +209,8 @@ func (rr *ResilientRecorder) flushLocked() {
 		// cut frame), and start reconnecting in the background.
 		rr.sock.abandon()
 		rr.sock = nil
+		rr.log.Warn("resilient recorder: collector link lost, spilling", "buffered", len(rr.buf))
+		rr.tracer.Instant("link-lost", "resilient")
 		rr.startReconnectLocked()
 	}
 	rr.spillLocked(rr.buf)
@@ -200,9 +230,11 @@ func (rr *ResilientRecorder) spillLocked(events []Event) {
 	if rr.spill == nil {
 		sp, err := rr.openSpillLocked()
 		if err != nil {
+			rr.log.Warn("resilient recorder: spill open failed, dropping", "err", err, "events", len(events))
 			rr.dropped += uint64(len(events))
 			return
 		}
+		rr.log.Info("resilient recorder: opened spill WAL", "path", sp.path)
 		rr.spill = sp
 	}
 	if err := rr.spill.writeBatch(events); err != nil {
@@ -269,16 +301,20 @@ func (rr *ResilientRecorder) reconnectLoop(loopDone chan struct{}) {
 		if err == nil {
 			err = rr.replayAndInstall(sock)
 			if err == nil {
+				rr.log.Info("resilient recorder: reconnected", "attempts", attempts+1)
+				rr.tracer.Instant("reconnected", "resilient")
 				return
 			}
 			sock.abandon()
 		}
 		attempts++
+		rr.log.Debug("resilient recorder: reconnect attempt failed", "attempt", attempts, "err", err)
 		if rr.opts.MaxRetries > 0 && attempts >= rr.opts.MaxRetries {
 			rr.mu.Lock()
 			rr.gaveUp = true
 			rr.reconnecting = false
 			rr.mu.Unlock()
+			rr.log.Error("resilient recorder: giving up on collector", "attempts", attempts)
 			return
 		}
 		select {
@@ -333,6 +369,9 @@ func (rr *ResilientRecorder) replayAndInstall(sock *SocketRecorder) error {
 // into the file; the difference to what salvage recovers (a cut tail frame
 // from a crash-interrupted write) is counted as dropped.
 func (rr *ResilientRecorder) replayFile(path string, wrote uint64, sock *SocketRecorder) error {
+	sp := rr.tracer.Begin("replay-spill", "resilient")
+	defer func() { sp.End("path", path) }()
+	rr.log.Info("resilient recorder: replaying spill", "path", path, "events", wrote)
 	events, _, err := RecoverEventLog(path)
 	if err != nil {
 		// Unreadable header: nothing salvageable. Account the whole file as
@@ -399,6 +438,9 @@ func (rr *ResilientRecorder) FinishSession(sess *Session) error {
 }
 
 func (rr *ResilientRecorder) finish(sess *Session) error {
+	// Stop the sampler before taking mu: its probe locks mu, so stopping
+	// under the lock would deadlock.
+	rr.sampler.Stop()
 	rr.mu.Lock()
 	defer rr.mu.Unlock()
 	if rr.closed {
@@ -438,6 +480,9 @@ type ResilientStats struct {
 	// SpillPath is the most recent spill file; after Close with OnDisk > 0
 	// it names the WAL to recover post-mortem.
 	SpillPath string
+	// BufferDepth is the sampled in-flight buffer occupancy distribution,
+	// populated when ResilientOptions.SampleInterval enabled sampling.
+	BufferDepth obs.HistSnapshot
 }
 
 // Write renders the stats in the layout `dsspy -stats` prints.
@@ -451,6 +496,13 @@ func (rs ResilientStats) Write(w io.Writer) error {
 			return err
 		}
 	}
+	if rs.BufferDepth.Count > 0 {
+		if _, err := fmt.Fprintf(w, "  buffer depth p50 %.0f p99 %.0f max %d (%d samples)\n",
+			rs.BufferDepth.Quantile(0.50), rs.BufferDepth.Quantile(0.99),
+			rs.BufferDepth.Max, rs.BufferDepth.Count); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -458,7 +510,7 @@ func (rs ResilientStats) Write(w io.Writer) error {
 func (rr *ResilientRecorder) Stats() ResilientStats {
 	rr.mu.Lock()
 	defer rr.mu.Unlock()
-	return ResilientStats{
+	rs := ResilientStats{
 		Recorded:   rr.recorded,
 		Delivered:  rr.delivered,
 		Replayed:   rr.replayed,
@@ -468,6 +520,25 @@ func (rr *ResilientRecorder) Stats() ResilientStats {
 		Buffered:   uint64(len(rr.buf)),
 		Reconnects: rr.reconnects,
 		SpillPath:  rr.lastSpill,
+	}
+	if rr.sampler != nil {
+		rs.BufferDepth = rr.sampler.Hist(0)
+	}
+	return rs
+}
+
+// WriteMetrics exports the delivery accounting in Prometheus exposition.
+func (rr *ResilientRecorder) WriteMetrics(w *obs.PromWriter) {
+	rs := rr.Stats()
+	w.Counter("dsspy_resilient_recorded_total", "Events handed to the resilient recorder.", float64(rs.Recorded))
+	w.Counter("dsspy_resilient_delivered_total", "Events delivered to a collector connection.", float64(rs.Delivered))
+	w.Counter("dsspy_resilient_replayed_total", "Delivered events that took the spill detour.", float64(rs.Replayed))
+	w.Counter("dsspy_resilient_dropped_total", "Events given up on.", float64(rs.Dropped))
+	w.Counter("dsspy_resilient_reconnects_total", "Collector reconnects.", float64(rs.Reconnects))
+	w.Gauge("dsspy_resilient_on_disk", "Events currently parked in spill files.", float64(rs.OnDisk))
+	w.Gauge("dsspy_resilient_buffered", "Events in the in-flight batch.", float64(rs.Buffered))
+	if rs.BufferDepth.Count > 0 {
+		w.Histogram("dsspy_resilient_buffer_depth", "Sampled in-flight buffer occupancy.", rs.BufferDepth, 1)
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dsspy/internal/obs"
 )
 
 // ShardedCollector partitions the event stream by InstanceID into N shards,
@@ -95,6 +97,12 @@ type ShardedCollector struct {
 	buf    int
 	policy OverloadPolicy
 
+	// tracer (optional, via SetTracer) records one span per drain batch;
+	// sampler (optional, via EnableQueueSampling) observes per-shard queue
+	// depths into histograms. Both are inert when unset.
+	tracer  atomic.Pointer[obs.Tracer]
+	sampler *obs.OccupancySampler
+
 	once   sync.Once
 	closed atomic.Bool
 
@@ -124,6 +132,10 @@ type shard struct {
 	sink   ShardSink
 	retain bool
 
+	// tracer points at the collector's tracer slot; the drain goroutine reads
+	// it per batch so SetTracer takes effect on a live collector.
+	tracer *atomic.Pointer[obs.Tracer]
+
 	// closeMu serializes Record against Close: Record holds the read side
 	// while it touches the channel, Close takes the write side before
 	// closing it. A Record that arrives after Close sees closed == true and
@@ -144,13 +156,14 @@ type shard struct {
 	blockNS       atomic.Int64
 }
 
-func newShard(id, buf int, sink ShardSink, retain bool) *shard {
+func newShard(id, buf int, sink ShardSink, retain bool, tracer *atomic.Pointer[obs.Tracer]) *shard {
 	sh := &shard{
 		ch:     make(chan Event, buf),
 		done:   make(chan struct{}),
 		id:     id,
 		sink:   sink,
 		retain: retain,
+		tracer: tracer,
 	}
 	go sh.drain()
 	return sh
@@ -205,6 +218,9 @@ func (sh *shard) record(e Event, pol OverloadPolicy) {
 func (sh *shard) drain() {
 	if sh.sink == nil {
 		for e := range sh.ch {
+			t := sh.tracer.Load()
+			sp := t.Begin("drain", "collector")
+			n := 1
 			sh.mu.Lock()
 			sh.push(e)
 		batch:
@@ -215,11 +231,15 @@ func (sh *shard) drain() {
 						break batch
 					}
 					sh.push(e2)
+					n++
 				default:
 					break batch
 				}
 			}
 			sh.mu.Unlock()
+			if t != nil {
+				sp.End("shard", strconv.Itoa(sh.id), "events", strconv.Itoa(n))
+			}
 		}
 		close(sh.done)
 		return
@@ -239,6 +259,8 @@ func (sh *shard) drain() {
 				break gather
 			}
 		}
+		t := sh.tracer.Load()
+		sp := t.Begin("drain", "collector")
 		if sh.retain {
 			sh.mu.Lock()
 			for _, e2 := range batch {
@@ -247,6 +269,9 @@ func (sh *shard) drain() {
 			sh.mu.Unlock()
 		}
 		sh.sink(sh.id, batch)
+		if t != nil {
+			sp.End("shard", strconv.Itoa(sh.id), "events", strconv.Itoa(len(batch)))
+		}
 	}
 	close(sh.done)
 }
@@ -316,9 +341,28 @@ func NewStreamingShardedCollector(n, buf int, policy OverloadPolicy, retain bool
 	}
 	c := &ShardedCollector{shards: make([]*shard, n), buf: buf, policy: policy}
 	for i := range c.shards {
-		c.shards[i] = newShard(i, buf, sink, retain)
+		c.shards[i] = newShard(i, buf, sink, retain, &c.tracer)
 	}
 	return c
+}
+
+// SetTracer attaches a span tracer: every drain batch becomes one "drain"
+// span (shard and batch size as args). Safe to call on a live collector;
+// nil detaches.
+func (c *ShardedCollector) SetTracer(t *obs.Tracer) { c.tracer.Store(t) }
+
+// EnableQueueSampling starts periodic sampling of every shard's queue depth
+// into a histogram (interval <= 0 uses obs.DefaultSampleInterval). The
+// sampler runs off the hot path — producers never see it — and stops with
+// Close. Call before the collector is shared across goroutines; calling it
+// twice replaces the sampler and leaks the first, so don't.
+func (c *ShardedCollector) EnableQueueSampling(interval time.Duration) {
+	probes := make([]obs.Probe, len(c.shards))
+	for i, sh := range c.shards {
+		ch := sh.ch
+		probes[i] = obs.Probe{Name: "shard" + strconv.Itoa(i), Fn: func() int64 { return int64(len(ch)) }}
+	}
+	c.sampler = obs.StartOccupancySampler(interval, probes...)
 }
 
 // Record enqueues the event on the shard owning its instance. Under the
@@ -342,6 +386,7 @@ func (c *ShardedCollector) Close() {
 		for _, sh := range c.shards {
 			<-sh.done
 		}
+		c.sampler.Stop()
 		c.closed.Store(true)
 	})
 }
@@ -447,5 +492,39 @@ func (c *ShardedCollector) Stats() CollectorStats {
 		cs.ShardBlock[i] = blk
 		cs.BlockTime += blk
 	}
+	if c.sampler != nil {
+		cs.QueueSampleInterval = c.sampler.Interval()
+		cs.ShardQueueDepth = make([]obs.HistSnapshot, len(c.shards))
+		for i := range c.shards {
+			cs.ShardQueueDepth[i] = c.sampler.Hist(i)
+		}
+	}
 	return cs
+}
+
+// WriteMetrics exports the collector's counters and, when queue sampling is
+// enabled, the per-shard queue-depth histograms in Prometheus exposition.
+func (c *ShardedCollector) WriteMetrics(w *obs.PromWriter) {
+	for i, sh := range c.shards {
+		shard := strconv.Itoa(i)
+		w.Counter("dsspy_collector_events_total",
+			"Events recorded per shard (delivered + dropped).",
+			float64(sh.count.Load()), "shard", shard)
+		w.Counter("dsspy_collector_dropped_total",
+			"Events not stored: overload + after-close drops.",
+			float64(sh.dropped.Load()+sh.droppedClosed.Load()), "shard", shard)
+		w.Counter("dsspy_collector_block_seconds_total",
+			"Cumulative producer time blocked on a full shard buffer.",
+			float64(sh.blockNS.Load())/1e9, "shard", shard)
+		w.Gauge("dsspy_collector_queue_len",
+			"Current shard queue length.", float64(len(sh.ch)), "shard", shard)
+		w.Gauge("dsspy_collector_queue_high_water",
+			"Max shard queue length observed.", float64(sh.highWater.Load()), "shard", shard)
+	}
+	if c.sampler != nil {
+		for i := range c.shards {
+			w.Histogram("dsspy_collector_queue_depth",
+				"Sampled shard queue depth.", c.sampler.Hist(i), 1, "shard", strconv.Itoa(i))
+		}
+	}
 }
