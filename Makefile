@@ -1,17 +1,19 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-stream bench-obs smoke-obs fuzz-smoke clean
+.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath smoke-obs fuzz-smoke clean
 
 ## check: everything CI runs — build, vet, full tests, race tests on the
-## concurrent packages, the streaming/batch differential under the race
-## detector, the live /metrics + /statusz smoke, and a short fuzz pass over
-## the salvaging decoders. This is the single command to run before pushing.
+## concurrent packages, the streaming/batch and hot-path differentials under
+## the race detector, the hot-path acceptance gate, the live /metrics +
+## /statusz smoke, and a short fuzz pass over the salvaging decoders. This is
+## the single command to run before pushing.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/core/... ./cmd/dsspy/
-	$(GO) test -race -run 'Streaming' .
+	$(GO) test -race -run 'Streaming|HotPath' .
+	$(MAKE) bench-hotpath
 	$(MAKE) smoke-obs
 	$(MAKE) fuzz-smoke
 
@@ -46,6 +48,17 @@ bench-stream:
 bench-obs:
 	$(GO) test ./internal/trace/ -run xxx -bench 'RecordObs' -benchmem -benchtime 2s -count 5
 
+## bench-hotpath: the hot-path overhaul's acceptance gates and benchmarks.
+## Gates: sampled p50 per-event Record cost through Bind-batched delivery
+## must be ≥3× lower than per-event Emit on the 8-producer sharded workload
+## (DSSPY_HOTPATH_GATE=1 enables the wall-clock half), and the v3 columnar
+## wire format must spend ≤1/3 the bytes/event of v2 on a corpus-like stream.
+## Benchmarks: Emit-vs-Bind ns/event, the goroutine-id fast path, and the
+## k-way merge vs the global sort at 1M events.
+bench-hotpath:
+	DSSPY_HOTPATH_GATE=1 $(GO) test ./internal/trace/ -run 'TestHotPathLatencyGate|TestV3BytesPerEventGate' -v -count 1
+	$(GO) test ./internal/trace/ -run xxx -bench 'HotPath|GoidLookup|MergeKWay1M|MergeGlobalSort1M' -benchmem -benchtime 2x -count 1
+
 ## smoke-obs: boots the CLI with the live observability surface (the -listen
 ## side keeps serving while it waits for a producer) and checks that /healthz,
 ## /metrics and /statusz answer with the expected content.
@@ -68,6 +81,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzStreamReader$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzRecoverSessionLog$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzChecksummedFrameReader$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzColumnarDecoder$$' -fuzztime 10s
 
 clean:
 	$(GO) clean ./...

@@ -120,7 +120,13 @@ func main() {
 		runWorkload := func(s *trace.Session) {
 			sp := tracer.Begin("workload", "run")
 			t0 := time.Now()
+			// The -app/-demo workloads are single-goroutine by construction,
+			// so route their per-event Emit calls through a bound batched
+			// producer: thread id cached once, sequence numbers reserved in
+			// blocks, events delivered 64 at a time.
+			p := s.BindDefault()
 			workload(s)
+			p.Close()
 			wall = time.Since(t0)
 			sp.End("workload", runLabel(o))
 		}
@@ -143,6 +149,7 @@ func main() {
 				srv.AddSource(scol)
 				srv.AddSource(sa)
 				srv.AddSource(timed)
+				srv.AddSource(s) // dsspy_batch_* (producer batching effectiveness)
 				label, start := runLabel(o), time.Now()
 				srv.SetStatus(func() *obs.Status { return streamStatus(label, start, sa, scol) })
 			}
@@ -197,6 +204,7 @@ func main() {
 			if srv != nil {
 				srv.AddSource(resilient)
 				srv.AddSource(timed)
+				srv.AddSource(s)
 			}
 			runWorkload(s)
 			evs = mem.Events()
@@ -220,6 +228,7 @@ func main() {
 			if srv != nil {
 				srv.AddSource(ocol)
 				srv.AddSource(timed)
+				srv.AddSource(s)
 			}
 			runWorkload(s)
 			ocol.Close()

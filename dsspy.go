@@ -48,6 +48,27 @@ type Event = trace.Event
 // Recorder consumes access events.
 type Recorder = trace.Recorder
 
+// BatchRecorder is the optional bulk interface of the hot path: recorders
+// that accept whole producer batches in one call. All collectors in this
+// package implement it.
+type BatchRecorder = trace.BatchRecorder
+
+// Producer is a goroutine-local batched emission handle obtained from
+// Session.Bind: the goroutine id is captured once and events accumulate in a
+// pooled fixed-size batch, so the per-event hot-path cost (id capture,
+// atomic sequencing, collector handoff) is amortized by the batch size.
+// Reports are byte-identical to per-event Emit. A Producer must stay on the
+// goroutine that created it; call Close (or Flush) before synchronizing
+// with readers of the recorder.
+type Producer = trace.Producer
+
+// DefaultBatchSize is the events-per-flush capacity of a Producer batch.
+const DefaultBatchSize = trace.DefaultBatchSize
+
+// BatchStats summarizes producer-batching effectiveness (flush count, events
+// batched, fill and flush-latency distributions); see Session.BatchStats.
+type BatchStats = trace.BatchStats
+
 // Collector is the common surface of the in-process event collectors: a
 // concurrent-safe Recorder plus Close, Events and Stats.
 type Collector = trace.Collector

@@ -53,6 +53,12 @@ func (c *AsyncCollector) Record(e Event) {
 	c.sc.shards[0].record(e, c.sc.policy)
 }
 
+// RecordBatch enqueues a whole producer batch as one channel send on the
+// single shard's batch lane; semantics otherwise match Record.
+func (c *AsyncCollector) RecordBatch(batch []Event) {
+	c.sc.shards[0].recordBatch(batch, c.sc.policy)
+}
+
 // Close flushes buffered events, stops the drain goroutine and sorts the
 // store into sequence order once. It is idempotent. After Close returns,
 // Events holds every recorded event and each call costs one copy.

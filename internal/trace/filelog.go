@@ -58,6 +58,20 @@ func (fr *FileRecorder) Record(e Event) {
 	}
 }
 
+// RecordBatch buffers the whole batch under one lock acquisition, flushing
+// at the usual batch boundary.
+func (fr *FileRecorder) RecordBatch(batch []Event) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.err != nil || fr.done {
+		return
+	}
+	fr.buf = append(fr.buf, batch...)
+	if len(fr.buf) >= DefaultSocketBatch {
+		fr.flushLocked()
+	}
+}
+
 func (fr *FileRecorder) flushLocked() {
 	if err := fr.sw.WriteBatch(fr.buf); err != nil && fr.err == nil {
 		fr.err = err

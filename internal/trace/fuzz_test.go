@@ -26,8 +26,23 @@ func FuzzStreamReader(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	// A v2 stream of the same batch keeps the fixed-width path covered now
+	// that the default writer emits v3.
+	var bufV2 bytes.Buffer
+	sw2, err := newStreamWriterVersion(&bufV2, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := sw2.WriteBatch([]Event{{Seq: 1, Instance: 1, Op: OpInsert, Index: 0, Size: 1, Thread: 1}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := sw2.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bufV2.Bytes())
 	f.Add([]byte("DSSPY1\n"))
 	f.Add([]byte("DSSPY1\n\x01\xff\xff\xff\xff"))
+	f.Add([]byte("DSSPY3\n\x01\xff\xff\xff\xff"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -72,13 +87,41 @@ func FuzzStreamReader(f *testing.F) {
 
 // realSessionLogBytes builds the seed corpus the salvaging fuzzers start
 // from: a genuine saved session log (registry + events, end marker), produced
-// by the same code paths a profiling run uses.
+// by the same code paths a profiling run uses. Since the v3 bump this is a
+// columnar log; realSessionLogBytesV2 provides the fixed-width twin.
 func realSessionLogBytes(tb testing.TB, dir string) []byte {
 	tb.Helper()
 	path := filepath.Join(dir, "seed.dslog")
 	s := NewSession()
 	s.Register(KindList, "List[int]", "jobs", 0)
 	s.Register(KindDictionary, "map[int]string", "names", 0)
+	if err := SaveSessionLog(path, s, fuzzSeedEvents()); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// realSessionLogBytesV2 is the same session encoded by the frozen v2 writer:
+// the fuzzers keep exercising the fixed-width checksummed path that old logs
+// in the wild use.
+func realSessionLogBytesV2(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	instances := []Instance{
+		{ID: 1, Kind: KindList, TypeName: "List[int]", Label: "jobs"},
+		{ID: 2, Kind: KindDictionary, TypeName: "map[int]string", Label: "names"},
+	}
+	if err := writeV2SessionLog(&buf, fuzzSeedEvents(), instances); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func fuzzSeedEvents() []Event {
 	events := make([]Event, 200)
 	for i := range events {
 		events[i] = Event{
@@ -90,14 +133,7 @@ func realSessionLogBytes(tb testing.TB, dir string) []byte {
 			Thread:   ThreadID(i % 3),
 		}
 	}
-	if err := SaveSessionLog(path, s, events); err != nil {
-		tb.Fatal(err)
-	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		tb.Fatal(err)
-	}
-	return raw
+	return events
 }
 
 // FuzzRecoverSessionLog throws arbitrary bytes at the salvaging loader. It
@@ -107,6 +143,7 @@ func realSessionLogBytes(tb testing.TB, dir string) []byte {
 func FuzzRecoverSessionLog(f *testing.F) {
 	seed := realSessionLogBytes(f, f.TempDir())
 	f.Add(seed)
+	f.Add(realSessionLogBytesV2(f))
 	// Truncated, bit-flipped, and tail-garbage variants of the real log.
 	f.Add(seed[:len(seed)/2])
 	flipped := bytes.Clone(seed)
@@ -114,6 +151,7 @@ func FuzzRecoverSessionLog(f *testing.F) {
 	f.Add(flipped)
 	f.Add(append(bytes.Clone(seed), 0xB7, 0x00, 0x01))
 	f.Add([]byte("DSSPY2\n"))
+	f.Add([]byte("DSSPY3\n"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -151,16 +189,19 @@ func FuzzRecoverSessionLog(f *testing.F) {
 	})
 }
 
-// FuzzChecksummedFrameReader mutates one byte of a valid version-2 stream and
-// checks the reader's dichotomy: every decode attempt either fails loudly
-// (checksum or structural error) or yields intact frames — a flipped payload
-// byte can never slip through silently. Salvage must always keep the frames
-// before the damage.
+// FuzzChecksummedFrameReader mutates one byte of a valid checksummed stream
+// (v3 columnar and v2 fixed-width seeds) and checks the reader's dichotomy:
+// every decode attempt either fails loudly (checksum or structural error) or
+// yields intact frames — a flipped payload byte can never slip through
+// silently. Salvage must always keep the frames before the damage.
 func FuzzChecksummedFrameReader(f *testing.F) {
 	seed := realSessionLogBytes(f, f.TempDir())
 	f.Add(seed, 20, byte(0x01))
 	f.Add(seed, len(seed)/2, byte(0x80))
 	f.Add(seed, len(seed)-2, byte(0xFF))
+	seedV2 := realSessionLogBytesV2(f)
+	f.Add(seedV2, 20, byte(0x01))
+	f.Add(seedV2, len(seedV2)/2, byte(0x80))
 
 	f.Fuzz(func(t *testing.T, data []byte, pos int, mask byte) {
 		if len(data) == 0 {
@@ -188,6 +229,71 @@ func FuzzChecksummedFrameReader(f *testing.F) {
 			}
 			if ent.kind == frameEvents && len(ent.events) > MaxBatch {
 				t.Fatalf("frame claims %d events, above MaxBatch", len(ent.events))
+			}
+		}
+	})
+}
+
+// FuzzColumnarDecoder targets the v3 columnar frame decoder directly, seeded
+// with payloads from real v3 session logs plus whole v2/v3 logs (per the
+// hot-path overhaul's coverage bar). Two obligations: decodeColumnarFrame
+// must never panic or over-allocate on arbitrary payload bytes, and whatever
+// it accepts must re-encode to a payload that decodes back to the same
+// events.
+func FuzzColumnarDecoder(f *testing.F) {
+	// Payload-level seeds: every event frame inside a genuine v3 log.
+	logV3 := realSessionLogBytes(f, f.TempDir())
+	sr, err := NewStreamReader(bytes.NewReader(logV3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for {
+		kind, err := sr.readByte()
+		if err != nil || kind != frameEvents {
+			break
+		}
+		plen, err := sr.readUvarint()
+		if err != nil {
+			break
+		}
+		payload := make([]byte, plen)
+		if err := sr.readFull(payload); err != nil {
+			break
+		}
+		f.Add(payload)
+		var crc [4]byte
+		if err := sr.readFull(crc[:]); err != nil {
+			break
+		}
+	}
+	// Hand-built payloads covering the hard columns: NoIndex, backward Seq.
+	f.Add(appendColumnarFrame(nil, []Event{
+		{Seq: 900, Instance: 3, Op: OpRead, Index: NoIndex, Size: 0, Thread: 2},
+		{Seq: 100, Instance: 3, Op: OpWrite, Index: 7, Size: -1, Thread: 2},
+	}))
+	// Whole-log seeds: the mutator can rediscover framing from these.
+	f.Add(logV3)
+	f.Add(realSessionLogBytesV2(f))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		events, err := decodeColumnarFrame(payload)
+		if err != nil {
+			return
+		}
+		if len(events) == 0 || len(events) > MaxBatch {
+			t.Fatalf("decoder accepted a batch of %d (must be 1..%d)", len(events), MaxBatch)
+		}
+		re := appendColumnarFrame(nil, events)
+		back, err := decodeColumnarFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded payload does not decode: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip lost events: %d -> %d", len(events), len(back))
+		}
+		for i := range events {
+			if back[i] != events[i] {
+				t.Fatalf("event %d changed on round trip: %+v -> %+v", i, events[i], back[i])
 			}
 		}
 	})

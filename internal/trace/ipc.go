@@ -101,6 +101,22 @@ func (s *SocketRecorder) Record(e Event) {
 	}
 }
 
+// RecordBatch buffers a whole producer batch under one lock acquisition;
+// error and accounting semantics match Record.
+func (s *SocketRecorder) RecordBatch(batch []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recorded += uint64(len(batch))
+	if s.err != nil || s.conn == nil {
+		s.dropped += uint64(len(batch))
+		return
+	}
+	s.buf = append(s.buf, batch...)
+	if len(s.buf) >= DefaultSocketBatch {
+		s.flushLocked()
+	}
+}
+
 func (s *SocketRecorder) flushLocked() {
 	n := len(s.buf)
 	if n == 0 {

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomRuns partitions the seq space 1..n into k individually sorted runs,
+// the shape the sharded collector's merge sees: each shard holds a sorted
+// subsequence of the global stream.
+func randomRuns(rng *rand.Rand, n, k int) [][]Event {
+	runs := make([][]Event, k)
+	for seq := 1; seq <= n; seq++ {
+		r := rng.Intn(k)
+		runs[r] = append(runs[r], Event{
+			Seq:      uint64(seq),
+			Instance: InstanceID(seq%16 + 1),
+			Op:       Op(1 + seq%4),
+			Index:    seq % 101,
+			Size:     seq,
+		})
+	}
+	return runs
+}
+
+// TestMergeRunsMatchesGlobalSort: the k-way heap merge must produce exactly
+// what copy-all-then-sort produced before the rewrite, across run-count and
+// skew extremes.
+func TestMergeRunsMatchesGlobalSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name string
+		runs [][]Event
+	}{
+		{"empty", nil},
+		{"one-run", randomRuns(rng, 100, 1)},
+		{"two-even", randomRuns(rng, 1000, 2)},
+		{"sixteen", randomRuns(rng, 5000, 16)},
+		{"skewed", [][]Event{
+			randomRuns(rng, 3000, 1)[0],
+			{{Seq: 100000, Instance: 1, Op: OpRead}},
+			{{Seq: 100001, Instance: 1, Op: OpRead}},
+		}},
+		{"single-events", func() [][]Event {
+			var runs [][]Event
+			for i := 20; i > 0; i-- {
+				runs = append(runs, []Event{{Seq: uint64(i), Instance: 1, Op: OpRead}})
+			}
+			return runs
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want []Event
+			for _, r := range tc.runs {
+				want = append(want, r...)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i].Seq < want[j].Seq })
+
+			got := mergeRuns(tc.runs)
+			if len(got) != len(want) {
+				t.Fatalf("merged %d events, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMergeRunsDuplicateSeqsLossless: equal Seqs across runs (possible in
+// replayed or hand-built streams) must not lose events; relative order among
+// equals is unspecified but the output stays non-decreasing.
+func TestMergeRunsDuplicateSeqsLossless(t *testing.T) {
+	runs := [][]Event{
+		{{Seq: 1, Instance: 1}, {Seq: 5, Instance: 1}},
+		{{Seq: 1, Instance: 2}, {Seq: 5, Instance: 2}},
+	}
+	got := mergeRuns(runs)
+	if len(got) != 4 {
+		t.Fatalf("merged %d events, want 4", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq < got[i-1].Seq {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func buildMergeInput(n, k int) [][]Event {
+	return randomRuns(rand.New(rand.NewSource(42)), n, k)
+}
+
+// BenchmarkMergeKWay1M measures the close-time merge of 1M events spread
+// over 8 shard runs with the heap-based k-way merge that Close now uses.
+func BenchmarkMergeKWay1M(b *testing.B) {
+	runs := buildMergeInput(1_000_000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := mergeRuns(runs); len(got) != 1_000_000 {
+			b.Fatalf("merged %d", len(got))
+		}
+	}
+}
+
+// BenchmarkMergeGlobalSort1M is the pre-rewrite baseline: concatenate all
+// runs and sort the whole slice (n·log n instead of n·log k).
+func BenchmarkMergeGlobalSort1M(b *testing.B) {
+	runs := buildMergeInput(1_000_000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged := make([]Event, 0, 1_000_000)
+		for _, r := range runs {
+			merged = append(merged, r...)
+		}
+		sort.Slice(merged, func(x, y int) bool { return merged[x].Seq < merged[y].Seq })
+		if len(merged) != 1_000_000 {
+			b.Fatalf("merged %d", len(merged))
+		}
+	}
+}

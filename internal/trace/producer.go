@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"dsspy/internal/obs"
+)
+
+// DefaultBatchSize is the capacity of a producer-local batch. 64 events
+// (2.4 KiB) amortizes the per-delivery costs — the session's atomic sequence
+// allocation, the recorder dispatch, the shard lock or channel send — by
+// ~64× while keeping the latency between an access and its visibility in a
+// streaming snapshot in the microsecond range for active producers.
+const DefaultBatchSize = 64
+
+// batchPool recycles producer batches so steady-state emission allocates
+// nothing. Only DefaultBatchSize-capacity slices are pooled; custom-size
+// producers own their buffer.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]Event, 0, DefaultBatchSize)
+		return &b
+	},
+}
+
+// Producer is a goroutine-local emission handle: the batched counterpart to
+// Session.Emit. Bind captures the goroutine id once, and Emit appends into a
+// producer-local batch with no atomics, no locks, and no runtime.Stack —
+// those costs are paid once per batch at flush time instead of once per
+// event.
+//
+// Sequence numbers are assigned at flush: one atomic add reserves a
+// contiguous block of the session counter and the batch is stamped in
+// program order, so the merged, Seq-ordered event stream is identical to
+// what per-event Emit produces. The only observable difference is ordering
+// *between* producers: events buffered in a batch become visible to the
+// recorder (and get their Seqs) only when the batch flushes, so cross-
+// goroutine interleavings may serialize at batch granularity. Accesses to
+// an instance shared across goroutines keep their per-goroutine program
+// order; analyses that need a tighter cross-goroutine interleaving should
+// Flush at synchronization points or stay with Session.Emit.
+//
+// A Producer is NOT safe for concurrent use and must stay on the goroutine
+// that called Bind (the cached thread id is that goroutine's). Close flushes
+// the remainder and recycles the buffer; a closed Producer must not be used
+// again.
+type Producer struct {
+	s      *Session
+	thread ThreadID
+	buf    []Event
+	pooled bool
+}
+
+// Bind returns a Producer for the calling goroutine with the default batch
+// size. If the session captures thread ids, the goroutine id is resolved
+// here, once — every event emitted through the handle carries it for free.
+func (s *Session) Bind() *Producer {
+	bp := batchPool.Get().(*[]Event)
+	p := &Producer{s: s, buf: (*bp)[:0], pooled: true}
+	if s.captureThreads {
+		p.thread = CurrentThreadID()
+	}
+	return p
+}
+
+// BindSize is Bind with an explicit batch capacity (events per flush).
+// size <= 0 uses DefaultBatchSize; size == 1 degenerates to per-event
+// delivery (useful in differential tests). Reports are byte-identical for
+// any size.
+func (s *Session) BindSize(size int) *Producer {
+	if size <= 0 || size == DefaultBatchSize {
+		return s.Bind()
+	}
+	p := &Producer{s: s, buf: make([]Event, 0, size)}
+	if s.captureThreads {
+		p.thread = CurrentThreadID()
+	}
+	return p
+}
+
+// BindAs is Bind with a caller-supplied thread id (the batched counterpart
+// to Session.EmitAs): no goroutine-id capture at all, for workloads that
+// thread worker identity through explicitly.
+func (s *Session) BindAs(thread ThreadID) *Producer {
+	bp := batchPool.Get().(*[]Event)
+	return &Producer{s: s, thread: thread, buf: (*bp)[:0], pooled: true}
+}
+
+// BindDefault binds a producer like Bind and additionally routes every
+// Session.Emit call through it, so code instrumented against the per-event
+// API — the dstruct containers — gets batched delivery without any call-site
+// change. It is strictly opt-in and only safe when ALL emission happens on
+// the calling goroutine for the producer's lifetime: the routed producer is
+// goroutine-local state behind a concurrency-safe API. The CLI uses it for
+// its single-goroutine -app/-demo workloads. Close (or Flush at a sync
+// point) before concurrent producers join or the recorder is read; Close
+// detaches the routing.
+func (s *Session) BindDefault() *Producer {
+	p := s.Bind()
+	s.bound = p
+	return p
+}
+
+// Emit appends one access event to the batch, flushing when it fills.
+// The event's sequence number is assigned at flush time.
+func (p *Producer) Emit(id InstanceID, op Op, index, size int) {
+	p.buf = append(p.buf, Event{
+		Instance: id,
+		Op:       op,
+		Index:    index,
+		Size:     size,
+		Thread:   p.thread,
+	})
+	if len(p.buf) == cap(p.buf) {
+		p.Flush()
+	}
+}
+
+// Flush stamps the buffered events with a contiguous block of session
+// sequence numbers and delivers them to the recorder as one batch. It is a
+// no-op on an empty batch. Call it before synchronizing with another
+// goroutine that reads the recorder (or rely on Close).
+func (p *Producer) Flush() {
+	n := len(p.buf)
+	if n == 0 {
+		return
+	}
+	start := time.Now()
+	base := p.s.seq.Add(uint64(n)) - uint64(n)
+	for i := range p.buf {
+		p.buf[i].Seq = base + uint64(i) + 1
+	}
+	RecordAll(p.s.rec, p.buf)
+	p.s.observeFlush(n, time.Since(start))
+	p.buf = p.buf[:0]
+}
+
+// Pending returns the number of buffered, not yet flushed events.
+func (p *Producer) Pending() int { return len(p.buf) }
+
+// Thread returns the thread id the producer stamps on its events.
+func (p *Producer) Thread() ThreadID { return p.thread }
+
+// Session returns the session the producer emits into.
+func (p *Producer) Session() *Session { return p.s }
+
+// Close flushes the remaining events and recycles the batch buffer. If the
+// producer was routing Session.Emit (BindDefault), the routing is detached.
+// The Producer must not be used afterwards.
+func (p *Producer) Close() {
+	p.Flush()
+	if p.s.bound == p {
+		p.s.bound = nil
+	}
+	if p.pooled {
+		buf := p.buf[:0]
+		batchPool.Put(&buf)
+	}
+	p.buf = nil
+	p.pooled = false
+}
+
+// observeFlush feeds the session's batching-effectiveness histograms:
+// events per flush (fill) and wall time per flush (latency, which includes
+// any producer block time on full collector buffers).
+func (s *Session) observeFlush(fill int, d time.Duration) {
+	s.batchFill.ObserveValue(int64(fill))
+	s.batchFlush.Observe(d)
+}
+
+// BatchStats summarizes the session's producer-batching effectiveness.
+type BatchStats struct {
+	Flushes uint64           // batches delivered
+	Events  uint64           // events delivered through batches
+	Fill    obs.HistSnapshot // events per flush
+	Latency obs.HistSnapshot // wall time per flush (ns)
+}
+
+// BatchStats returns a snapshot of the batching histograms.
+func (s *Session) BatchStats() BatchStats {
+	fill := s.batchFill.Snapshot()
+	return BatchStats{
+		Flushes: fill.Count,
+		Events:  uint64(fill.Sum),
+		Fill:    fill,
+		Latency: s.batchFlush.Snapshot(),
+	}
+}
+
+// WriteMetrics exports the dsspy_batch_* series: flush count, batched event
+// count, the fill distribution (average batch fill = _sum/_count), and the
+// flush-latency distribution (p99 via the bucket series).
+func (s *Session) WriteMetrics(w *obs.PromWriter) {
+	bs := s.BatchStats()
+	w.Counter("dsspy_batch_flushes_total",
+		"Producer batch flushes delivered to the recorder.", float64(bs.Flushes))
+	w.Counter("dsspy_batch_events_total",
+		"Events delivered through producer batches.", float64(bs.Events))
+	w.Histogram("dsspy_batch_fill",
+		"Events per producer batch flush.", bs.Fill, 1)
+	w.Histogram("dsspy_batch_flush_seconds",
+		"Producer batch flush latency (stamp + deliver, including block time).",
+		bs.Latency, 1e9)
+}

@@ -20,6 +20,30 @@ type EventSource interface {
 	Events() []Event
 }
 
+// BatchRecorder is the optional bulk interface of the hot path: recorders
+// that can take a whole producer batch in one call implement it so the
+// per-event lock, channel, and dispatch costs amortize over the batch.
+// RecordBatch must be safe for concurrent use and must NOT retain the slice
+// after returning — the caller (a Producer, a socket buffer, a replaying
+// spill file) reuses it immediately. Implementations that hand events to
+// another goroutine must copy first.
+type BatchRecorder interface {
+	RecordBatch([]Event)
+}
+
+// RecordAll delivers a batch through rec, using RecordBatch when the
+// recorder supports it and falling back to per-event Record otherwise. The
+// batch slice is only valid for the duration of the call.
+func RecordAll(rec Recorder, batch []Event) {
+	if br, ok := rec.(BatchRecorder); ok {
+		br.RecordBatch(batch)
+		return
+	}
+	for _, e := range batch {
+		rec.Record(e)
+	}
+}
+
 // MemRecorder collects events in memory under a mutex. It is the default
 // recorder: simple, deterministic, and fast enough for every workload in the
 // evaluation.
@@ -35,6 +59,13 @@ func NewMemRecorder() *MemRecorder { return &MemRecorder{} }
 func (m *MemRecorder) Record(e Event) {
 	m.mu.Lock()
 	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// RecordBatch appends the whole batch under one lock acquisition.
+func (m *MemRecorder) RecordBatch(batch []Event) {
+	m.mu.Lock()
+	m.events = append(m.events, batch...)
 	m.mu.Unlock()
 }
 
@@ -72,6 +103,9 @@ type NullRecorder struct{}
 // Record discards the event.
 func (NullRecorder) Record(Event) {}
 
+// RecordBatch discards the batch.
+func (NullRecorder) RecordBatch([]Event) {}
+
 // CountingRecorder counts events per access type without storing them.
 // It is useful for cheap sanity checks and for the overhead ablation.
 type CountingRecorder struct {
@@ -85,6 +119,15 @@ func NewCountingRecorder() *CountingRecorder { return &CountingRecorder{} }
 func (c *CountingRecorder) Record(e Event) {
 	if e.Op < numOps {
 		c.counts[e.Op].Add(1)
+	}
+}
+
+// RecordBatch increments the per-op counters for every event in the batch.
+func (c *CountingRecorder) RecordBatch(batch []Event) {
+	for _, e := range batch {
+		if e.Op < numOps {
+			c.counts[e.Op].Add(1)
+		}
 	}
 }
 
@@ -115,6 +158,14 @@ func (t TeeRecorder) Record(e Event) {
 	}
 }
 
+// RecordBatch forwards the batch to each child recorder in order, using the
+// child's bulk path when it has one.
+func (t TeeRecorder) RecordBatch(batch []Event) {
+	for _, r := range t {
+		RecordAll(r, batch)
+	}
+}
+
 // FilterRecorder forwards only events for which Keep returns true. The
 // selective-profiler mode of DSspy ("an engineer can use DSspy as a selective
 // profiler that only analyzes instances that he manually instrumented") is a
@@ -128,6 +179,27 @@ type FilterRecorder struct {
 func (f FilterRecorder) Record(e Event) {
 	if f.Keep(e) {
 		f.Next.Record(e)
+	}
+}
+
+// RecordBatch forwards the kept events to Next as contiguous sub-batches,
+// without copying or mutating the caller's slice.
+func (f FilterRecorder) RecordBatch(batch []Event) {
+	start := -1
+	for i, e := range batch {
+		if f.Keep(e) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			RecordAll(f.Next, batch[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		RecordAll(f.Next, batch[start:])
 	}
 }
 

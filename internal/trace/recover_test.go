@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -70,16 +71,21 @@ func TestRecoverTruncatedLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Frame layout: 7 magic, then an event frame of 5+100*38+4 bytes would
-	// exceed MaxBatch? No: 100 < MaxBatch, single frame. Cut inside it, after
-	// it, and inside the registry frames.
-	frame1End := 7 + 5 + 100*eventSize + 4
+	// v3 frame layout: 7 magic, kind byte, uvarint payload length, payload,
+	// 4-byte CRC. 100 events < MaxBatch, so it is a single frame; decode its
+	// length prefix to find the boundaries. Cut inside it, after it, and
+	// inside the registry frames.
+	plen, k := binary.Uvarint(whole[8:])
+	if k <= 0 {
+		t.Fatal("could not decode frame length prefix")
+	}
+	frame1End := 8 + k + int(plen) + 4
 	cuts := []struct {
 		name       string
 		at         int
 		wantEvents int
 	}{
-		{"mid first frame", 7 + 5 + 50*eventSize, 0},
+		{"mid first frame", 8 + k + int(plen)/2, 0},
 		{"exactly after event frame", frame1End, 100},
 		{"mid registry", frame1End + 3, 100},
 		{"before end marker", len(whole) - 1, 100},
@@ -150,7 +156,14 @@ func TestRecoverSkipsCorruptFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw[7+5+3*eventSize] ^= 0x01 // inside frame 1's payload
+	// Flip a byte inside frame 1's payload, past the count uvarint so the
+	// skipped-event accounting still sees the declared batch size. v3
+	// layout: 7 magic, kind byte, uvarint payload length, payload, CRC.
+	_, k := binary.Uvarint(raw[8:])
+	if k <= 0 {
+		t.Fatal("could not decode frame length prefix")
+	}
+	raw[8+k+5] ^= 0x01
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -192,6 +192,23 @@ func (rr *ResilientRecorder) Record(e Event) {
 	}
 }
 
+// RecordBatch buffers a whole producer batch under one lock acquisition; the
+// delivery accounting (recorded == delivered + dropped + on-disk + buffered)
+// and the overflow-to-spill behavior match Record.
+func (rr *ResilientRecorder) RecordBatch(batch []Event) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	rr.recorded += uint64(len(batch))
+	if rr.closed {
+		rr.dropped += uint64(len(batch))
+		return
+	}
+	rr.buf = append(rr.buf, batch...)
+	if len(rr.buf) >= rr.opts.BatchSize {
+		rr.flushLocked()
+	}
+}
+
 // flushLocked ships the in-flight buffer to the connection, or to the spill
 // when the connection is down or the write fails.
 func (rr *ResilientRecorder) flushLocked() {

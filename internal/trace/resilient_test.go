@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/binary"
 	"net"
 	"os"
 	"sync/atomic"
@@ -389,7 +390,14 @@ func TestResilientCorruptSpillAccounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw[7+5+10*eventSize] ^= 0x20
+	// v3 frame layout: 7 magic, kind byte, uvarint payload length, payload,
+	// CRC. Corrupt a payload byte past the count uvarint so the declared
+	// batch size (and thus the drop accounting) survives.
+	_, k := binary.Uvarint(raw[8:])
+	if k <= 0 {
+		t.Fatal("could not decode spill frame length prefix")
+	}
+	raw[8+k+5] ^= 0x20
 	if err := os.WriteFile(st.SpillPath, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}

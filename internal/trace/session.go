@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"dsspy/internal/obs"
 )
 
 // Session owns the sequencing counter, the instance registry, and the
@@ -22,6 +24,16 @@ type Session struct {
 
 	captureThreads bool
 	captureSites   bool
+
+	// bound, when non-nil, routes Emit through a single-goroutine batched
+	// producer (BindDefault). Written only on the owning goroutine under
+	// BindDefault's single-producer contract; nil for concurrent sessions.
+	bound *Producer
+
+	// Producer-batching effectiveness (see producer.go): events per flush
+	// and flush latency, exported as dsspy_batch_* metrics.
+	batchFill  obs.Histogram
+	batchFlush obs.Histogram
 
 	mu        sync.RWMutex
 	instances []Instance // index = InstanceID-1
@@ -52,11 +64,14 @@ func NewSessionWith(opts Options) *Session {
 	if rec == nil {
 		rec = NewMemRecorder()
 	}
-	return &Session{
+	s := &Session{
 		rec:            rec,
 		captureThreads: opts.CaptureThreads,
 		captureSites:   opts.CaptureSites,
 	}
+	s.batchFill.Init()
+	s.batchFlush.Init()
+	return s
 }
 
 // Recorder returns the session's recorder.
@@ -113,8 +128,14 @@ func (s *Session) NumInstances() int {
 
 // Emit records one access event against instance id. It assigns the next
 // session-wide sequence number, captures the goroutine id if enabled, and
-// forwards the event to the recorder.
+// forwards the event to the recorder. Hot loops should prefer Bind: the
+// returned Producer caches the goroutine id and batches delivery, amortizing
+// every per-event cost here by the batch size.
 func (s *Session) Emit(id InstanceID, op Op, index, size int) {
+	if p := s.bound; p != nil {
+		p.Emit(id, op, index, size)
+		return
+	}
 	var thr ThreadID
 	if s.captureThreads {
 		thr = CurrentThreadID()

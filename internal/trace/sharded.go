@@ -117,11 +117,29 @@ type ShardedCollector struct {
 // the slice.
 type ShardSink func(shard int, batch []Event)
 
+// shardBatchPool recycles the buffers that carry producer batches across the
+// shard boundary: RecordBatch copies the caller's batch into a pooled buffer
+// (the caller reuses its slice immediately), the drain goroutine returns the
+// buffer after folding it.
+var shardBatchPool = sync.Pool{
+	New: func() any {
+		b := make([]Event, 0, DefaultBatchSize)
+		return &b
+	},
+}
+
 // shard is one partition: a buffered channel drained by a dedicated
 // goroutine into a shard-local store, plus the observability counters the
 // pipeline stats report.
 type shard struct {
-	ch   chan Event
+	ch chan Event
+	// chb is the batch lane: whole producer batches travel as one channel
+	// send, amortizing the per-event send cost by the batch size. Both lanes
+	// feed the same drain goroutine, so sink serialization is preserved;
+	// ordering *between* the lanes is select order, so a producer that needs
+	// a deterministic interleave must stay on one lane (which Producer and
+	// Session.Emit each do).
+	chb  chan *[]Event
 	done chan struct{}
 
 	// id, sink and retain configure the drain destination: with a sink the
@@ -159,6 +177,7 @@ type shard struct {
 func newShard(id, buf int, sink ShardSink, retain bool, tracer *atomic.Pointer[obs.Tracer]) *shard {
 	sh := &shard{
 		ch:     make(chan Event, buf),
+		chb:    make(chan *[]Event, max(2, buf/DefaultBatchSize)),
 		done:   make(chan struct{}),
 		id:     id,
 		sink:   sink,
@@ -167,6 +186,22 @@ func newShard(id, buf int, sink ShardSink, retain bool, tracer *atomic.Pointer[o
 	}
 	go sh.drain()
 	return sh
+}
+
+// queued approximates the number of events waiting in both lanes (batches in
+// flight are counted at the nominal batch size).
+func (sh *shard) queued() int64 {
+	return int64(len(sh.ch)) + int64(len(sh.chb))*DefaultBatchSize
+}
+
+// markHighWater raises the queue high-water mark to q if it grew.
+func (sh *shard) markHighWater(q int64) {
+	for {
+		cur := sh.highWater.Load()
+		if q <= cur || sh.highWater.CompareAndSwap(cur, q) {
+			break
+		}
+	}
 }
 
 // record enqueues e, tracking producer block time and the queue high-water
@@ -200,75 +235,119 @@ func (sh *shard) record(e Event, pol OverloadPolicy) {
 			sh.blockNS.Add(int64(time.Since(start)))
 		}
 	}
-	if q := int64(len(sh.ch)); q > sh.highWater.Load() {
-		for {
-			cur := sh.highWater.Load()
-			if q <= cur || sh.highWater.CompareAndSwap(cur, q) {
-				break
-			}
-		}
+	if q := sh.queued(); q > sh.highWater.Load() {
+		sh.markHighWater(q)
 	}
 }
 
-// drain moves events from the channel into the shard-local store. Each lock
-// acquisition drains everything already queued, so under bursts the mutex is
-// taken once per batch rather than once per event. With a sink attached the
-// burst is gathered into a reusable batch first, handed to the sink, and
-// stored only when retain is set.
-func (sh *shard) drain() {
-	if sh.sink == nil {
-		for e := range sh.ch {
-			t := sh.tracer.Load()
-			sp := t.Begin("drain", "collector")
-			n := 1
-			sh.mu.Lock()
-			sh.push(e)
-		batch:
-			for {
-				select {
-				case e2, ok := <-sh.ch:
-					if !ok {
-						break batch
-					}
-					sh.push(e2)
-					n++
-				default:
-					break batch
-				}
-			}
-			sh.mu.Unlock()
-			if t != nil {
-				sp.End("shard", strconv.Itoa(sh.id), "events", strconv.Itoa(n))
-			}
-		}
-		close(sh.done)
+// recordBatch enqueues a whole producer batch on the batch lane: one pooled
+// copy and one channel send for the entire batch. Accounting matches record
+// event-for-event — delivered + dropped == recorded still holds — with the
+// overload policy applied to the batch as a unit (Sample delivers one in n
+// overflowing batches).
+func (sh *shard) recordBatch(batch []Event, pol OverloadPolicy) {
+	n := uint64(len(batch))
+	if n == 0 {
 		return
 	}
+	sh.closeMu.RLock()
+	defer sh.closeMu.RUnlock()
+	sh.count.Add(n)
+	if sh.closed {
+		sh.droppedClosed.Add(n)
+		return
+	}
+	bp := shardBatchPool.Get().(*[]Event)
+	*bp = append((*bp)[:0], batch...)
+	select {
+	case sh.chb <- bp:
+	default:
+		switch pol.kind {
+		case overloadDrop:
+			sh.dropped.Add(n)
+			shardBatchPool.Put(bp)
+			return
+		case overloadSample:
+			if sh.overflow.Add(1)%pol.n != 0 {
+				sh.dropped.Add(n)
+				shardBatchPool.Put(bp)
+				return
+			}
+			fallthrough
+		default:
+			start := time.Now()
+			sh.chb <- bp
+			sh.blockNS.Add(int64(time.Since(start)))
+		}
+	}
+	if q := sh.queued(); q > sh.highWater.Load() {
+		sh.markHighWater(q)
+	}
+}
+
+// drain moves events from both lanes into the shard-local store and/or the
+// sink. Each wakeup gathers everything already queued — single events from
+// ch, whole producer batches from chb — into one working batch, so the store
+// mutex is taken and the sink is called once per burst rather than once per
+// event. Exits when both lanes are closed and empty.
+func (sh *shard) drain() {
+	ch, chb := sh.ch, sh.chb
 	var batch []Event
-	for e := range sh.ch {
-		batch = append(batch[:0], e)
+	for ch != nil || chb != nil {
+		batch = batch[:0]
+		// Block for the first arrival on either lane.
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				ch = nil
+				continue
+			}
+			batch = append(batch, e)
+		case bp, ok := <-chb:
+			if !ok {
+				chb = nil
+				continue
+			}
+			batch = append(batch, *bp...)
+			shardBatchPool.Put(bp)
+		}
+		// Gather the rest of the burst without blocking. A lane that closes
+		// mid-gather goes nil; with both lanes nil the select hits default.
 	gather:
 		for {
 			select {
-			case e2, ok := <-sh.ch:
+			case e, ok := <-ch:
 				if !ok {
-					break gather
+					ch = nil
+					continue
 				}
-				batch = append(batch, e2)
+				batch = append(batch, e)
+			case bp, ok := <-chb:
+				if !ok {
+					chb = nil
+					continue
+				}
+				batch = append(batch, *bp...)
+				shardBatchPool.Put(bp)
 			default:
 				break gather
 			}
 		}
+		if len(batch) == 0 {
+			continue
+		}
 		t := sh.tracer.Load()
 		sp := t.Begin("drain", "collector")
-		if sh.retain {
+		if sh.sink == nil || sh.retain {
 			sh.mu.Lock()
-			for _, e2 := range batch {
-				sh.push(e2)
+			for _, e := range batch {
+				sh.push(e)
 			}
 			sh.mu.Unlock()
 		}
-		sh.sink(sh.id, batch)
+		if sh.sink != nil {
+			sh.sink(sh.id, batch)
+		}
 		if t != nil {
 			sp.End("shard", strconv.Itoa(sh.id), "events", strconv.Itoa(len(batch)))
 		}
@@ -298,12 +377,13 @@ func (sh *shard) snapshot() []Event {
 }
 
 // seal marks the shard closed for producers (late Records count as dropped)
-// and closes the channel so the drain goroutine can finish.
+// and closes both lanes so the drain goroutine can finish.
 func (sh *shard) seal() {
 	sh.closeMu.Lock()
 	sh.closed = true
 	sh.closeMu.Unlock()
 	close(sh.ch)
+	close(sh.chb)
 }
 
 // NewShardedCollector starts a collector with n shards (0 means GOMAXPROCS)
@@ -359,8 +439,8 @@ func (c *ShardedCollector) SetTracer(t *obs.Tracer) { c.tracer.Store(t) }
 func (c *ShardedCollector) EnableQueueSampling(interval time.Duration) {
 	probes := make([]obs.Probe, len(c.shards))
 	for i, sh := range c.shards {
-		ch := sh.ch
-		probes[i] = obs.Probe{Name: "shard" + strconv.Itoa(i), Fn: func() int64 { return int64(len(ch)) }}
+		sh := sh
+		probes[i] = obs.Probe{Name: "shard" + strconv.Itoa(i), Fn: sh.queued}
 	}
 	c.sampler = obs.StartOccupancySampler(interval, probes...)
 }
@@ -374,6 +454,27 @@ func (c *ShardedCollector) EnableQueueSampling(interval time.Duration) {
 // recorder's no-crash guarantee.
 func (c *ShardedCollector) Record(e Event) {
 	c.shards[int(e.Instance)%len(c.shards)].record(e, c.policy)
+}
+
+// RecordBatch enqueues a producer batch, splitting it into runs of
+// consecutive events owned by the same shard so each run costs one pooled
+// copy and one channel send. The caller's slice is not retained. Overload
+// and after-close semantics match Record, applied per run.
+func (c *ShardedCollector) RecordBatch(batch []Event) {
+	n := len(c.shards)
+	if n == 1 {
+		c.shards[0].recordBatch(batch, c.policy)
+		return
+	}
+	for i := 0; i < len(batch); {
+		s := int(batch[i].Instance) % n
+		j := i + 1
+		for j < len(batch) && int(batch[j].Instance)%n == s {
+			j++
+		}
+		c.shards[s].recordBatch(batch[i:j], c.policy)
+		i = j
+	}
 }
 
 // Close flushes every shard and stops the drain goroutines. It is
@@ -393,26 +494,95 @@ func (c *ShardedCollector) Close() {
 
 // merge builds, once, the Seq-ordered union of all shard stores. Only called
 // after Close, when the drain goroutines have stopped; the single-shard case
-// sorts the store in place so AsyncCollector pays no merge copy.
+// sorts the store in place so AsyncCollector pays no merge copy. Each shard
+// store arrives near-sorted (producers enqueue in Seq order; only cross-
+// producer interleaving perturbs it), so each is cheaply sorted in place and
+// the sorted runs are combined with a k-way heap merge — one comparison per
+// element per heap level instead of the O(n log n) global sort over the
+// concatenation.
 func (c *ShardedCollector) merge() []Event {
 	c.mergeOnce.Do(func() {
+		byseq := func(ev []Event) func(i, j int) bool {
+			return func(i, j int) bool { return ev[i].Seq < ev[j].Seq }
+		}
 		if len(c.shards) == 1 {
 			c.merged = c.shards[0].events
-		} else {
-			total := 0
-			for _, sh := range c.shards {
-				total += len(sh.events)
+			if !sort.SliceIsSorted(c.merged, byseq(c.merged)) {
+				sort.Slice(c.merged, byseq(c.merged))
 			}
-			c.merged = make([]Event, 0, total)
-			for _, sh := range c.shards {
-				c.merged = append(c.merged, sh.events...)
+			return
+		}
+		runs := make([][]Event, 0, len(c.shards))
+		for _, sh := range c.shards {
+			if len(sh.events) == 0 {
+				continue
 			}
+			if !sort.SliceIsSorted(sh.events, byseq(sh.events)) {
+				sort.Slice(sh.events, byseq(sh.events))
+			}
+			runs = append(runs, sh.events)
 		}
-		if !sort.SliceIsSorted(c.merged, func(i, j int) bool { return c.merged[i].Seq < c.merged[j].Seq }) {
-			sort.Slice(c.merged, func(i, j int) bool { return c.merged[i].Seq < c.merged[j].Seq })
-		}
+		c.merged = mergeRuns(runs)
 	})
 	return c.merged
+}
+
+// mergeRuns k-way-merges Seq-sorted runs into one sorted slice using a small
+// binary min-heap of run heads. With k shards the cost is n·log k
+// comparisons on already-sorted inputs, versus n·log n for re-sorting the
+// concatenation.
+func mergeRuns(runs [][]Event) []Event {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]Event, 0, total)
+	switch len(runs) {
+	case 0:
+		return out
+	case 1:
+		return append(out, runs[0]...)
+	}
+	// heap[i] indexes into runs; pos[h] is the cursor of run h. Ordered by
+	// the Seq of each run's head element.
+	heap := make([]int, len(runs))
+	pos := make([]int, len(runs))
+	for i := range runs {
+		heap[i] = i
+	}
+	head := func(h int) uint64 { return runs[h][pos[h]].Seq }
+	siftDown := func(i, n int) {
+		for {
+			l := 2*i + 1
+			if l >= n {
+				return
+			}
+			m := l
+			if r := l + 1; r < n && head(heap[r]) < head(heap[l]) {
+				m = r
+			}
+			if head(heap[i]) <= head(heap[m]) {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	n := len(heap)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	for n > 0 {
+		h := heap[0]
+		out = append(out, runs[h][pos[h]])
+		pos[h]++
+		if pos[h] == len(runs[h]) {
+			n--
+			heap[0] = heap[n]
+		}
+		siftDown(0, n)
+	}
+	return out
 }
 
 // Events returns the collected events in sequence order. After Close the
@@ -517,7 +687,8 @@ func (c *ShardedCollector) WriteMetrics(w *obs.PromWriter) {
 			"Cumulative producer time blocked on a full shard buffer.",
 			float64(sh.blockNS.Load())/1e9, "shard", shard)
 		w.Gauge("dsspy_collector_queue_len",
-			"Current shard queue length.", float64(len(sh.ch)), "shard", shard)
+			"Current shard queue length (events + in-flight batches).",
+			float64(sh.queued()), "shard", shard)
 		w.Gauge("dsspy_collector_queue_high_water",
 			"Max shard queue length observed.", float64(sh.highWater.Load()), "shard", shard)
 	}

@@ -51,7 +51,28 @@ func (t *TimedRecorder) Record(e Event) {
 	t.hist.Observe(time.Since(start))
 }
 
-// Count returns the number of Record calls seen.
+// RecordBatch forwards the batch through the wrapped recorder's bulk path,
+// clocking the whole delivery and observing the amortized per-event cost
+// whenever the sample counter fires inside the batch. Per-event costs from
+// Record and amortized costs from RecordBatch land in the same histogram, so
+// the §V overhead estimate stays an events-weighted per-event figure.
+func (t *TimedRecorder) RecordBatch(batch []Event) {
+	n := uint64(len(batch))
+	if n == 0 {
+		return
+	}
+	c := t.n.Add(n)
+	if c/t.every == (c-n)/t.every {
+		RecordAll(t.rec, batch)
+		return
+	}
+	start := time.Now()
+	RecordAll(t.rec, batch)
+	t.hist.Observe(time.Since(start) / time.Duration(n))
+}
+
+// Count returns the number of events seen (per-event Record calls plus the
+// events inside batched deliveries).
 func (t *TimedRecorder) Count() uint64 { return t.n.Load() }
 
 // Sampled returns the number of calls actually timed.

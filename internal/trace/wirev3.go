@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Version-3 event frames: columnar, delta-encoded batches.
+//
+// The fixed 38-byte event record of v1/v2 spends most of its bytes on
+// redundancy — consecutive events in a producer batch have consecutive Seqs,
+// usually the same Instance/Op/Thread, and Index/Size values that move by
+// small steps. V3 exploits that by encoding each frame column-wise:
+//
+//	kind      0x01 (frameEvents, shared with v1/v2)
+//	uvarint   payload length in bytes (self-delimiting: a salvaging reader
+//	          can skip a checksum-failed frame without trusting its contents)
+//	payload:
+//	    uvarint  count (n, ≤ MaxBatch)
+//	    Seq      first value raw uvarint, then n-1 zigzag-uvarint deltas
+//	             (zigzag, not plain delta: spill-WAL batches interleave
+//	             producers, so Seq is only near-monotonic)
+//	    Instance run-length pairs (uvarint run, uvarint value) summing to n
+//	    Op       run-length pairs (uvarint run, uvarint value)
+//	    Thread   run-length pairs (uvarint run, uvarint value)
+//	    Index    n zigzag-uvarint deltas from the previous Index (from 0)
+//	    Size     n zigzag-uvarint deltas from the previous Size (from 0)
+//	uint32    CRC32-C over the payload bytes
+//
+// On the workloads in the corpus this is 3–6× fewer bytes per event than the
+// v2 fixed-width frame. Registry frames and the end marker are unchanged
+// from v2.
+
+// maxV3Payload bounds the declared payload length on the read side. The
+// worst legal case (MaxBatch events, every column at max varint width) is
+// under 400 KiB; 1 MiB leaves headroom without letting a corrupt length
+// provoke a giant allocation.
+const maxV3Payload = 1 << 20
+
+// zigzag maps signed deltas to unsigned so small negative steps stay small
+// on the wire.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendColumnarFrame encodes one batch (1 ≤ len ≤ MaxBatch) as a v3
+// payload, appended to buf.
+func appendColumnarFrame(buf []byte, events []Event) []byte {
+	n := len(events)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	// Seq: raw first, zigzag deltas after.
+	buf = binary.AppendUvarint(buf, events[0].Seq)
+	prev := events[0].Seq
+	for _, e := range events[1:] {
+		buf = binary.AppendUvarint(buf, zigzag(int64(e.Seq-prev)))
+		prev = e.Seq
+	}
+	// Instance / Op / Thread: run-length pairs.
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && events[j].Instance == events[i].Instance {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		buf = binary.AppendUvarint(buf, uint64(events[i].Instance))
+		i = j
+	}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && events[j].Op == events[i].Op {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		buf = binary.AppendUvarint(buf, uint64(events[i].Op))
+		i = j
+	}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && events[j].Thread == events[i].Thread {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		buf = binary.AppendUvarint(buf, uint64(events[i].Thread))
+		i = j
+	}
+	// Index / Size: zigzag deltas from the previous value.
+	var pi int64
+	for _, e := range events {
+		buf = binary.AppendUvarint(buf, zigzag(int64(e.Index)-pi))
+		pi = int64(e.Index)
+	}
+	var ps int64
+	for _, e := range events {
+		buf = binary.AppendUvarint(buf, zigzag(int64(e.Size)-ps))
+		ps = int64(e.Size)
+	}
+	return buf
+}
+
+// writeFrameV3 emits one v3 event frame: kind, payload length, payload, CRC.
+func (sw *StreamWriter) writeFrameV3(events []Event) error {
+	sw.enc = appendColumnarFrame(sw.enc[:0], events)
+	if err := sw.w.WriteByte(frameEvents); err != nil {
+		return err
+	}
+	var ln [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(ln[:], uint64(len(sw.enc)))
+	if _, err := sw.w.Write(ln[:k]); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(sw.enc); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(sw.enc, crcTable))
+	_, err := sw.w.Write(sum[:])
+	return err
+}
+
+// columnarCursor walks the uvarint stream of a v3 payload.
+type columnarCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *columnarCursor) uvarint() (uint64, error) {
+	v, k := binary.Uvarint(c.b[c.off:])
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: truncated or overlong uvarint in columnar frame", ErrBadStream)
+	}
+	c.off += k
+	return v, nil
+}
+
+// decodeColumnarFrame decodes a CRC-verified v3 payload. Structural
+// inconsistencies (counts not adding up, trailing bytes) are ErrBadStream:
+// the checksum passed, so the frame is malformed, not corrupted.
+func decodeColumnarFrame(payload []byte) ([]Event, error) {
+	c := &columnarCursor{b: payload}
+	n64, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n64 == 0 || n64 > MaxBatch {
+		return nil, fmt.Errorf("%w: columnar batch of %d (max %d)", ErrBadStream, n64, MaxBatch)
+	}
+	n := int(n64)
+	events := make([]Event, n)
+	seq, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	events[0].Seq = seq
+	for i := 1; i < n; i++ {
+		d, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		seq += uint64(unzigzag(d))
+		events[i].Seq = seq
+	}
+	// The three RLE columns.
+	for col := 0; col < 3; col++ {
+		covered := 0
+		for covered < n {
+			run, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if run == 0 || run > uint64(n-covered) {
+				return nil, fmt.Errorf("%w: bad run length %d in columnar frame", ErrBadStream, run)
+			}
+			val, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			for i := covered; i < covered+int(run); i++ {
+				switch col {
+				case 0:
+					events[i].Instance = InstanceID(val)
+				case 1:
+					events[i].Op = Op(val)
+				case 2:
+					events[i].Thread = ThreadID(val)
+				}
+			}
+			covered += int(run)
+		}
+	}
+	var pi int64
+	for i := 0; i < n; i++ {
+		d, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		pi += unzigzag(d)
+		events[i].Index = int(pi)
+	}
+	var ps int64
+	for i := 0; i < n; i++ {
+		d, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ps += unzigzag(d)
+		events[i].Size = int(ps)
+	}
+	if c.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in columnar frame", ErrBadStream, len(payload)-c.off)
+	}
+	return events, nil
+}
+
+// readEventFrameV3 reads a v3 event-frame body (kind byte consumed): the
+// payload-length prefix, the payload, and the CRC. On checksum mismatch the
+// frame is fully consumed and a placeholder slice sized from the declared
+// count (when it is parseable) is returned alongside ErrChecksum, so
+// salvaging readers can account for what the skipped frame contained.
+func (sr *StreamReader) readEventFrameV3() ([]Event, error) {
+	plen, err := sr.readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading frame length: %w", err)
+	}
+	if plen == 0 || plen > maxV3Payload {
+		return nil, fmt.Errorf("%w: columnar payload of %d bytes (max %d)", ErrBadStream, plen, maxV3Payload)
+	}
+	payload := make([]byte, plen)
+	if err := sr.readFull(payload); err != nil {
+		return nil, fmt.Errorf("trace: reading frame payload: %w", noEOF(err))
+	}
+	var sum [4]byte
+	if err := sr.readFull(sum[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading frame checksum: %w", noEOF(err))
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc32.Checksum(payload, crcTable) {
+		// The payload is untrustworthy; recover the declared count if it
+		// parses so skipped-event accounting still works.
+		if n, k := binary.Uvarint(payload); k > 0 && n > 0 && n <= MaxBatch {
+			return make([]Event, n), ErrChecksum
+		}
+		return nil, ErrChecksum
+	}
+	return decodeColumnarFrame(payload)
+}
