@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath smoke-obs fuzz-smoke clean
+.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath bench-columnar smoke-obs fuzz-smoke clean
 
 ## check: everything CI runs — build, vet, full tests, race tests on the
 ## concurrent packages, the streaming/batch and hot-path differentials under
@@ -12,8 +12,9 @@ check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/core/... ./cmd/dsspy/
-	$(GO) test -race -run 'Streaming|HotPath' .
+	$(GO) test -race -run 'Streaming|HotPath|Columnar' .
 	$(MAKE) bench-hotpath
+	$(MAKE) bench-columnar
 	$(MAKE) smoke-obs
 	$(MAKE) fuzz-smoke
 
@@ -59,6 +60,19 @@ bench-hotpath:
 	DSSPY_HOTPATH_GATE=1 $(GO) test ./internal/trace/ -run 'TestHotPathLatencyGate|TestV3BytesPerEventGate' -v -count 1
 	$(GO) test ./internal/trace/ -run xxx -bench 'HotPath|GoidLookup|MergeKWay1M|MergeGlobalSort1M' -benchmem -benchtime 2x -count 1
 
+## bench-columnar: the columnar engine's acceptance gates and benchmarks.
+## Gates (DSSPY_COLUMNAR_GATE=1): streaming fold throughput over column
+## batches must be ≥2× the []Event path on a phase-structured 2M-event
+## workload, and a full v3-log columnar replay must allocate ≤1/3 the
+## bytes/event of the inflating load-and-feed path. The zero-alloc decode
+## assertion (TestReadColumnsZeroAlloc) runs unconditionally in `make test`.
+## Benchmarks: columnar vs []Event replay and fold, and the batch-run k-way
+## merge vs the event-slice merge at 1M events.
+bench-columnar:
+	DSSPY_COLUMNAR_GATE=1 $(GO) test . -run 'TestColumnarFoldThroughputGate|TestColumnarReplayAllocGate' -v -count 1
+	$(GO) test . -run xxx -bench 'ColumnarReplay|EventReplay|ColumnarFold|EventFold' -benchmem -benchtime 2x -count 1
+	$(GO) test ./internal/trace/ -run xxx -bench 'MergeColumns1M|MergeKWay1M|ReadColumns' -benchmem -benchtime 2x -count 1
+
 ## smoke-obs: boots the CLI with the live observability surface (the -listen
 ## side keeps serving while it waits for a producer) and checks that /healthz,
 ## /metrics and /statusz answer with the expected content.
@@ -82,6 +96,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzRecoverSessionLog$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzChecksummedFrameReader$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzColumnarDecoder$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzColumnarFoldDifferential$$' -fuzztime 10s
 
 clean:
 	$(GO) clean ./...

@@ -88,7 +88,8 @@ func main() {
 	var (
 		s         *trace.Session
 		evs       []trace.Event
-		col       trace.Collector // set when events are collected in-process
+		cols      []*trace.ColumnBatch // columnar replay runs (streaming mode)
+		col       trace.Collector      // set when events are collected in-process
 		resilient *trace.ResilientRecorder
 		rep       *core.Report // set early by the streaming paths
 		timed     *trace.TimedRecorder
@@ -98,6 +99,20 @@ func main() {
 	switch {
 	case o.replay != "":
 		var err error
+		if o.stream {
+			// Streaming replay goes columnar: v3 frames reach the reducers
+			// without ever inflating []Event.
+			s, cols, err = trace.LoadSessionColumns(o.replay)
+			if err != nil {
+				fatal(err)
+			}
+			n := 0
+			for _, b := range cols {
+				n += b.Len()
+			}
+			fmt.Printf("replaying %s: %d instances, %d events\n\n", o.replay, s.NumInstances(), n)
+			break
+		}
 		s, evs, err = trace.LoadSessionLog(o.replay)
 		if err != nil {
 			fatal(err)
@@ -106,6 +121,14 @@ func main() {
 	case o.recoverPath != "":
 		var rec *trace.Recovery
 		var err error
+		if o.stream {
+			s, cols, rec, err = trace.RecoverSessionColumns(o.recoverPath)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("recovering %s: %s\n\n", o.recoverPath, rec)
+			break
+		}
 		s, evs, rec, err = trace.RecoverSessionLog(o.recoverPath)
 		if err != nil {
 			fatal(err)
@@ -242,23 +265,41 @@ func main() {
 			plainWall = time.Since(t0)
 		}
 		if o.logPath != "" {
-			if col != nil {
-				evs = col.Events()
+			if mc, ok := col.(interface{ MergedColumns() *trace.ColumnBatch }); ok && mc.MergedColumns() != nil {
+				// The collector already merged into columns; encode them to v3
+				// frames directly without inflating an []Event copy.
+				cb := mc.MergedColumns()
+				if err := trace.SaveSessionColumns(o.logPath, s, cb); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("session log written to %s (%d events) — re-analyze with -replay\n\n", o.logPath, cb.Len())
+			} else {
+				if col != nil {
+					evs = col.Events()
+				}
+				if err := trace.SaveSessionLog(o.logPath, s, evs); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("session log written to %s (%d events) — re-analyze with -replay\n\n", o.logPath, len(evs))
 			}
-			if err := trace.SaveSessionLog(o.logPath, s, evs); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("session log written to %s (%d events) — re-analyze with -replay\n\n", o.logPath, len(evs))
 		}
 	}
 
 	if rep == nil {
 		if o.stream {
 			// Replay / recovery through the streaming analyzer: feed the
-			// salvaged or logged stream into the reducers.
+			// salvaged or logged stream into the reducers — as column batches
+			// when the loader produced them (v3 logs reach the reducers
+			// without ever inflating an []Event).
 			sa := analyzer.NewStreamAnalyzer(o.shards)
 			sa.Attach(s)
-			sa.Feed(evs...)
+			if cols != nil {
+				for _, b := range cols {
+					sa.FeedColumns(b)
+				}
+			} else {
+				sa.Feed(evs...)
+			}
 			rep = sa.Close()
 		} else if col != nil {
 			rep = analyzer.AnalyzeCollector(s, col)

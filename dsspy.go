@@ -84,6 +84,11 @@ type ShardedCollector = trace.ShardedCollector
 // CollectorStats reports per-shard queue statistics and producer block time.
 type CollectorStats = trace.CollectorStats
 
+// ColumnBatch is a struct-of-arrays event batch: the in-memory form events
+// travel in between the v3 wire decoder, the collector shards, and the
+// streaming reducers, without being inflated into Event structs.
+type ColumnBatch = trace.ColumnBatch
+
 // PipelineStats instruments the analysis pipeline itself; see Report.Stats.
 type PipelineStats = metrics.PipelineStats
 
@@ -321,4 +326,24 @@ func SaveSession(path string, s *Session, events []Event) error {
 // when ReplaySession refuses a log from a crashed run.
 func RecoverSession(path string) (*Session, []Event, *Recovery, error) {
 	return trace.RecoverSessionLog(path)
+}
+
+// ReplaySessionColumns loads a session log as Seq-ordered column batches for
+// streaming re-analysis: feed each batch to a StreamAnalyzer via FeedColumns.
+// On a v3 log the events go from disk to the reducers without ever being
+// inflated into Event structs.
+func ReplaySessionColumns(path string) (*Session, []*ColumnBatch, error) {
+	return trace.LoadSessionColumns(path)
+}
+
+// RecoverSessionColumns is the salvaging twin of ReplaySessionColumns,
+// reporting what a damaged log lost via the Recovery diagnostic.
+func RecoverSessionColumns(path string) (*Session, []*ColumnBatch, *Recovery, error) {
+	return trace.RecoverSessionColumns(path)
+}
+
+// SaveSessionColumns writes a session log straight from a column batch
+// (e.g. ShardedCollector.MergedColumns) without inflating events.
+func SaveSessionColumns(path string, s *Session, cols *ColumnBatch) error {
+	return trace.SaveSessionColumns(path, s, cols)
 }

@@ -76,6 +76,49 @@ func newInstanceStream(d *DSspy, id trace.InstanceID) *instanceStream {
 	return st
 }
 
+// feedBatch folds events [i, j) of a column batch — one instance's span —
+// through every reducer, walking columns instead of Event structs. This is
+// the streaming hot path; feed is the per-event compatibility driver, and
+// both fold identically: every reducer is either order-insensitive or
+// consumes its sub-stream (per-thread runs, global runs) in the same order
+// either way, which the fuzz differential verifies.
+func (st *instanceStream) feedBatch(d *DSspy, b *trace.ColumnBatch, i, j int) {
+	st.n += j - i
+	for _, s := range b.Seq[i:j] {
+		if s < st.prevSeq {
+			st.ooo++
+		} else {
+			st.prevSeq = s
+		}
+	}
+	st.stats.FoldBatch(b, i, j)
+	st.uc.FoldBatch(b, i, j)
+
+	for k := i; k < j; {
+		e := b.ThreadRun(k, j)
+		det := st.perThread[b.Thread[k]]
+		if det == nil {
+			det = pattern.NewStreamDetector(d.cfg.Pattern, true)
+			st.perThread[b.Thread[k]] = det
+		}
+		det.FeedBatch(b, k, e, func(c pattern.Closed) {
+			if c.Type != pattern.None {
+				st.uc.Pattern(pattern.Pattern{Type: c.Type, Run: c.Run})
+			}
+		})
+		k = e
+	}
+
+	st.global.FeedBatch(b, i, j, func(c pattern.Closed) {
+		if st.runSeg == nil {
+			st.uc.Run(c.Run)
+		}
+	})
+	if st.runSeg != nil {
+		st.runSeg.FeedBatch(b, i, j, func(r profile.Run) { st.uc.Run(r) })
+	}
+}
+
 // feed folds one event through every reducer.
 func (st *instanceStream) feed(d *DSspy, e trace.Event) {
 	st.n++
@@ -249,11 +292,73 @@ func (a *StreamAnalyzer) Collector(buf int, policy trace.OverloadPolicy, retainE
 	return trace.NewStreamingShardedCollector(len(a.shards), buf, policy, retainEvents, a.FeedShard)
 }
 
-// FeedShard folds one batch of events belonging to the given shard. It is the
+// FeedShard folds one column batch belonging to the given shard. It is the
 // trace.ShardSink the collector drains into: calls for one shard are
 // serialized by the drain goroutine, calls for different shards run
-// concurrently without sharing state.
-func (a *StreamAnalyzer) FeedShard(shard int, batch []trace.Event) {
+// concurrently without sharing state. The batch is split into instance runs
+// (cheap on the Instance column, and producer batches are usually one run),
+// so the reducer map is consulted once per run, not once per event.
+func (a *StreamAnalyzer) FeedShard(shard int, batch *trace.ColumnBatch) {
+	a.feedShardCols(shard, batch, 0, batch.Len())
+}
+
+func (a *StreamAnalyzer) feedShardCols(shard int, b *trace.ColumnBatch, lo, hi int) {
+	sh := a.shards[shard]
+	sh.mu.Lock()
+	for i := lo; i < hi; {
+		j := b.InstanceRun(i, hi)
+		id := b.Instance[i]
+		st := sh.byInst[id]
+		if st == nil {
+			st = newInstanceStream(a.d, id)
+			sh.byInst[id] = st
+		}
+		st.feedBatch(a.d, b, i, j)
+		i = j
+	}
+	sh.folded += uint64(hi - lo)
+	sh.mu.Unlock()
+}
+
+// FeedColumns folds a column batch from any source (columnar replay of v3
+// logs, salvaged streams), routing each instance's span to its shard without
+// inflating events. Events must arrive in per-thread program order;
+// sequence-sorted replay runs satisfy that.
+func (a *StreamAnalyzer) FeedColumns(b *trace.ColumnBatch) {
+	n := b.Len()
+	for i := 0; i < n; {
+		shard := int(b.Instance[i]) % len(a.shards)
+		j := i + 1
+		for j < n && int(b.Instance[j])%len(a.shards) == shard {
+			j++
+		}
+		a.feedShardCols(shard, b, i, j)
+		i = j
+	}
+}
+
+// Feed folds struct events from any source, routing each to its instance's
+// shard — the per-event compatibility driver over the same reducers the
+// columnar path folds into. Events must arrive in per-thread program order;
+// sequence-sorted replay streams satisfy that.
+func (a *StreamAnalyzer) Feed(events ...trace.Event) {
+	for i := 0; i < len(events); {
+		// Group the run of consecutive events sharing a shard so the lock is
+		// taken once per run, not once per event.
+		shard := int(events[i].Instance) % len(a.shards)
+		j := i + 1
+		for j < len(events) && int(events[j].Instance)%len(a.shards) == shard {
+			j++
+		}
+		a.feedShardEvents(shard, events[i:j])
+		i = j
+	}
+}
+
+// feedShardEvents folds a struct batch event-at-a-time — the compatibility
+// driver behind Feed, kept so pre-v3 logs and ad-hoc event slices exercise
+// the identical reducer state transitions the columnar path takes.
+func (a *StreamAnalyzer) feedShardEvents(shard int, batch []trace.Event) {
 	sh := a.shards[shard]
 	sh.mu.Lock()
 	for _, e := range batch {
@@ -266,23 +371,6 @@ func (a *StreamAnalyzer) FeedShard(shard int, batch []trace.Event) {
 	}
 	sh.folded += uint64(len(batch))
 	sh.mu.Unlock()
-}
-
-// Feed folds events from any source (replayed session logs, salvaged
-// streams), routing each to its instance's shard. Events must arrive in
-// per-thread program order; sequence-sorted replay streams satisfy that.
-func (a *StreamAnalyzer) Feed(events ...trace.Event) {
-	for i := 0; i < len(events); {
-		// Group the run of consecutive events sharing a shard so the lock is
-		// taken once per run, not once per event.
-		shard := int(events[i].Instance) % len(a.shards)
-		j := i + 1
-		for j < len(events) && int(events[j].Instance)%len(a.shards) == shard {
-			j++
-		}
-		a.FeedShard(shard, events[i:j])
-		i = j
-	}
 }
 
 // Snapshot builds a consistent report over everything folded so far without

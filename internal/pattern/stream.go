@@ -54,6 +54,13 @@ func (d *StreamDetector) Feed(e trace.Event) (Closed, bool) {
 	return d.FoldRun(r), true
 }
 
+// FeedBatch folds events [i, j) of a column batch, invoking emit for every
+// closed run with its classification — the batch form of Feed, driven by the
+// segmenter's column walk.
+func (d *StreamDetector) FeedBatch(b *trace.ColumnBatch, i, j int, emit func(Closed)) {
+	d.seg.FeedBatch(b, i, j, func(r profile.Run) { emit(d.FoldRun(r)) })
+}
+
 // FoldRun classifies one closed run and folds it into the summary. Exposed so
 // batch drivers can reuse an already-segmented run list.
 func (d *StreamDetector) FoldRun(r profile.Run) Closed {

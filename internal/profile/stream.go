@@ -73,6 +73,62 @@ func (ss *StreamStats) Fold(e trace.Event) {
 	}
 }
 
+// FoldBatch folds events [i, j) of a column batch — exactly Fold applied per
+// event, but walking the columns in one tight loop so a batch arriving from
+// the columnar drain or a v3 replay never inflates to Event structs. The
+// fuzz differential (FuzzColumnarFoldDifferential) holds the two forms equal.
+func (ss *StreamStats) FoldBatch(b *trace.ColumnBatch, i, j int) {
+	st := &ss.st
+	seqs := b.Seq[i:j]
+	ops := b.Op[i:j]
+	threads := b.Thread[i:j]
+	idxs := b.Index[i:j]
+	sizes := b.Size[i:j]
+	for k := range seqs {
+		if st.Total == 0 {
+			st.MaxIndex = -1
+		}
+		op, idx, size := ops[k], idxs[k], sizes[k]
+		st.Total++
+		if int(op) < len(st.ByOp) {
+			st.ByOp[op]++
+		}
+		if op.IsRead() {
+			st.ReadLike++
+		}
+		if op.IsWrite() {
+			st.WriteLike++
+			ss.writers.add(threads[k])
+		} else {
+			ss.readers.add(threads[k])
+		}
+		if size > st.MaxSize {
+			st.MaxSize = size
+		}
+		if s := seqs[k]; s >= ss.lastSeq {
+			ss.lastSeq = s
+			st.FinalSize = size
+		}
+		ss.threads.add(threads[k])
+		if idx >= 0 {
+			st.IndexedOps++
+			if idx > st.MaxIndex {
+				st.MaxIndex = idx
+			}
+			if idx <= endTolerance {
+				st.FrontHits++
+			}
+			// The back end moves with the structure: an access is a back hit
+			// if it lands at the last occupied position at that moment.
+			if size > 0 && idx >= size-1-endTolerance {
+				st.BackHits++
+			} else if op == trace.OpInsert && idx == max(0, size-1) {
+				st.BackHits++
+			}
+		}
+	}
+}
+
 // Events returns the number of events folded so far.
 func (ss *StreamStats) Events() int { return ss.st.Total }
 
@@ -135,6 +191,127 @@ func (g *StreamSegmenter) Feed(e trace.Event) (closed Run, ok bool) {
 	g.open = true
 	g.next++
 	return closed, ok
+}
+
+// FeedBatch folds events [i, j) of a column batch, invoking emit for every
+// run a fold closes. It is the native columnar form of Feed: the state
+// machine only ever reads the previous event's index, so the loop walks the
+// Op/Index/Size columns with a scalar prev instead of gathering and copying
+// 48-byte Event structs per fold. The fuzz differential
+// (FuzzColumnarFoldDifferential) holds the two forms equal.
+func (g *StreamSegmenter) FeedBatch(b *trace.ColumnBatch, i, j int, emit func(Run)) {
+	if i >= j {
+		return
+	}
+	ops, idxs, sizes := b.Op, b.Index, b.Size
+	r := &g.run
+	prevIdx := g.prev.Index
+	for k := i; k < j; k++ {
+		op, idx, size := ops[k], idxs[k], sizes[k]
+		if g.open && extendsCols(r, g.opts, prevIdx, op, idx, size) {
+			absorbCols(r, prevIdx, idx, size)
+			r.End = g.next
+		} else {
+			if g.open {
+				emit(*r)
+			}
+			*r = startRunColsAt(op, idx, size, g.next)
+			g.open = true
+		}
+		prevIdx = idx
+		g.next++
+	}
+	// One gather per batch keeps g.prev exact for a later per-event Feed.
+	g.prev = b.At(j - 1)
+}
+
+// isBackCols is isBack over scalars.
+func isBackCols(op trace.Op, idx, size int) bool {
+	if op == trace.OpDelete {
+		return idx >= size
+	}
+	return size > 0 && idx >= size-1
+}
+
+// startRunColsAt is startRunAt over scalars.
+func startRunColsAt(op trace.Op, idx, size, i int) Run {
+	r := Run{
+		Op:          op,
+		Start:       i,
+		End:         i,
+		FirstIndex:  idx,
+		LastIndex:   idx,
+		MinIndex:    idx,
+		MaxIndex:    idx,
+		MaxSeenSize: size,
+	}
+	if idx >= 0 {
+		r.AllFront = idx == 0
+		r.AllBack = isBackCols(op, idx, size)
+		r.StrictlyUp = true
+		r.StrictlyDown = true
+	}
+	return r
+}
+
+// extendsCols is extendsRun over scalars (prev contributes only its index).
+func extendsCols(r *Run, opts SegmentOptions, prevIdx int, op trace.Op, idx, size int) bool {
+	if op != r.Op {
+		return false
+	}
+	if idx < 0 || prevIdx < 0 {
+		return idx < 0 && prevIdx < 0
+	}
+	if op == trace.OpInsert || op == trace.OpDelete {
+		return (r.AllFront && idx == 0) ||
+			(r.AllBack && isBackCols(op, idx, size)) ||
+			(r.StrictlyUp && idx == prevIdx+1) ||
+			(r.StrictlyDown && idx == prevIdx-1)
+	}
+	dir := stepDirection(idx-prevIdx, opts)
+	if dir == DirNone {
+		return false
+	}
+	switch r.Direction {
+	case DirNone:
+		return true // second event fixes the direction
+	case DirStationary:
+		return dir == DirStationary
+	default:
+		return dir == r.Direction || (dir == DirStationary && opts.AllowRepeat)
+	}
+}
+
+// absorbCols is absorbRun over scalars.
+func absorbCols(r *Run, prevIdx, idx, size int) {
+	if idx >= 0 {
+		if r.Direction == DirNone && prevIdx >= 0 {
+			switch {
+			case idx > prevIdx:
+				r.Direction = DirForward
+			case idx < prevIdx:
+				r.Direction = DirBackward
+			default:
+				r.Direction = DirStationary
+			}
+		}
+		r.LastIndex = idx
+		if idx < r.MinIndex {
+			r.MinIndex = idx
+		}
+		if idx > r.MaxIndex {
+			r.MaxIndex = idx
+		}
+		r.AllFront = r.AllFront && idx == 0
+		r.AllBack = r.AllBack && isBackCols(r.Op, idx, size)
+		if prevIdx >= 0 {
+			r.StrictlyUp = r.StrictlyUp && idx == prevIdx+1
+			r.StrictlyDown = r.StrictlyDown && idx == prevIdx-1
+		}
+	}
+	if size > r.MaxSeenSize {
+		r.MaxSeenSize = size
+	}
 }
 
 // Finish closes and returns the open run, if any. The segmenter is reset and

@@ -74,6 +74,11 @@ func (c *AsyncCollector) Events() []Event {
 	return c.sc.Events()
 }
 
+// MergedColumns returns the sealed store as one Seq-ordered column batch —
+// the zero-inflation post-mortem view. Only valid after Close (nil before);
+// read-only.
+func (c *AsyncCollector) MergedColumns() *ColumnBatch { return c.sc.MergedColumns() }
+
 // Len returns the number of events drained so far.
 func (c *AsyncCollector) Len() int { return c.sc.Len() }
 

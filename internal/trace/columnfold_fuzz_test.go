@@ -1,0 +1,154 @@
+// The reducer-level columnar differential lives in an external test package:
+// it folds decoded batches through the profile/pattern/usecase reducers, which
+// the internal trace test package cannot import (it would cycle).
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dsspy/internal/pattern"
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
+)
+
+// foldSeedLogBytes builds a genuine v3 session log with enough structural
+// variety (several instances, threads, op mix, index patterns) that the
+// mutator starts from realistic column shapes.
+func foldSeedLogBytes(tb testing.TB) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "foldseed.dslog")
+	s := trace.NewSession()
+	s.Register(trace.KindList, "List[int]", "jobs", 0)
+	s.Register(trace.KindDictionary, "map[int]string", "names", 0)
+	s.Register(trace.KindQueue, "Queue[int]", "work", 0)
+	events := make([]trace.Event, 600)
+	for i := range events {
+		idx := i % 13
+		if i%7 == 0 {
+			idx = trace.NoIndex
+		}
+		events[i] = trace.Event{
+			Seq:      uint64(i + 1),
+			Instance: trace.InstanceID(i%3 + 1),
+			Op:       trace.Op(1 + i%8),
+			Index:    idx,
+			Size:     i % 29,
+			Thread:   trace.ThreadID(i % 4),
+		}
+	}
+	if err := trace.SaveSessionLog(path, s, events); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzColumnarFoldDifferential is the end-to-end obligation of the columnar
+// engine: for any decodable stream, folding the column batches directly
+// (FoldBatch/FeedBatch) must leave every streaming reducer in exactly the
+// state that inflating to []Event and folding per event leaves it in. The
+// report-level differential suite checks this for the 39 corpus workloads;
+// the fuzzer checks it for adversarial column shapes.
+func FuzzColumnarFoldDifferential(f *testing.F) {
+	f.Add(foldSeedLogBytes(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := trace.NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var cb trace.ColumnBatch
+		for {
+			_, err := sr.ReadColumns(&cb)
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, trace.ErrChecksum) {
+				continue // frame consumed, nothing appended; keep reading
+			}
+			if err != io.EOF && !errors.Is(err, trace.ErrBadStream) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				// Unknown decode failure: surface it rather than masking.
+				t.Fatalf("ReadColumns failed structurally: %v", err)
+			}
+			break
+		}
+		n := cb.Len()
+		if n == 0 {
+			return
+		}
+		events := cb.Events(nil)
+
+		// profile.StreamStats: column fold vs per-event fold.
+		var ssCol, ssEv profile.StreamStats
+		ssCol.FoldBatch(&cb, 0, n)
+		for _, e := range events {
+			ssEv.Fold(e)
+		}
+		if !reflect.DeepEqual(ssCol.Snapshot(), ssEv.Snapshot()) {
+			t.Fatalf("StreamStats diverged:\n batch: %+v\n event: %+v", ssCol.Snapshot(), ssEv.Snapshot())
+		}
+
+		// profile.StreamSegmenter: closed runs must match in order and value.
+		segCol := profile.NewStreamSegmenter(profile.DefaultSegmentOptions())
+		segEv := profile.NewStreamSegmenter(profile.DefaultSegmentOptions())
+		var runsCol, runsEv []profile.Run
+		segCol.FeedBatch(&cb, 0, n, func(r profile.Run) { runsCol = append(runsCol, r) })
+		for _, e := range events {
+			if r, ok := segEv.Feed(e); ok {
+				runsEv = append(runsEv, r)
+			}
+		}
+		if r, ok := segCol.Finish(); ok {
+			runsCol = append(runsCol, r)
+		}
+		if r, ok := segEv.Finish(); ok {
+			runsEv = append(runsEv, r)
+		}
+		if !reflect.DeepEqual(runsCol, runsEv) {
+			t.Fatalf("StreamSegmenter diverged:\n batch: %+v\n event: %+v", runsCol, runsEv)
+		}
+
+		// pattern.StreamDetector: closed classifications and final summary.
+		detCol := pattern.NewStreamDetector(pattern.DefaultConfig(), true)
+		detEv := pattern.NewStreamDetector(pattern.DefaultConfig(), true)
+		var closedCol, closedEv []pattern.Closed
+		detCol.FeedBatch(&cb, 0, n, func(c pattern.Closed) { closedCol = append(closedCol, c) })
+		for _, e := range events {
+			if c, ok := detEv.Feed(e); ok {
+				closedEv = append(closedEv, c)
+			}
+		}
+		if c, ok := detCol.Finish(); ok {
+			closedCol = append(closedCol, c)
+		}
+		if c, ok := detEv.Finish(); ok {
+			closedEv = append(closedEv, c)
+		}
+		if !reflect.DeepEqual(closedCol, closedEv) {
+			t.Fatalf("StreamDetector closed runs diverged:\n batch: %+v\n event: %+v", closedCol, closedEv)
+		}
+		if !reflect.DeepEqual(detCol.Summary(), detEv.Summary()) {
+			t.Fatalf("StreamDetector summaries diverged:\n batch: %+v\n event: %+v", detCol.Summary(), detEv.Summary())
+		}
+
+		// usecase.Stream: full reducer state, unexported counters included.
+		ucCol := usecase.NewStream(usecase.Default())
+		ucEv := usecase.NewStream(usecase.Default())
+		ucCol.FoldBatch(&cb, 0, n)
+		for _, e := range events {
+			ucEv.Event(e)
+		}
+		if !reflect.DeepEqual(ucCol, ucEv) {
+			t.Fatalf("usecase.Stream state diverged after %d events", n)
+		}
+	})
+}

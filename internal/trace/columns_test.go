@@ -1,0 +1,462 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomColumnRuns pivots randomRuns' event partition into column batches:
+// the shape the columnar merge sees at Close.
+func randomColumnRuns(rng *rand.Rand, n, k int) []*ColumnBatch {
+	runs := randomRuns(rng, n, k)
+	out := make([]*ColumnBatch, len(runs))
+	for i, r := range runs {
+		out[i] = &ColumnBatch{}
+		out[i].AppendEvents(r)
+	}
+	return out
+}
+
+func TestColumnBatchRoundTrip(t *testing.T) {
+	events := fuzzSeedEvents()
+	var b ColumnBatch
+	for _, e := range events[:50] {
+		b.Append(e)
+	}
+	b.AppendEvents(events[50:])
+	if b.Len() != len(events) {
+		t.Fatalf("Len %d, want %d", b.Len(), len(events))
+	}
+	for i, e := range events {
+		if got := b.At(i); got != e {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, e)
+		}
+	}
+	back := b.Events(nil)
+	if len(back) != len(events) {
+		t.Fatalf("Events returned %d, want %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d changed on inflate: %+v -> %+v", i, events[i], back[i])
+		}
+	}
+
+	// AppendRange copies a window column for column.
+	var c ColumnBatch
+	c.AppendRange(&b, 10, 40)
+	if c.Len() != 30 {
+		t.Fatalf("AppendRange copied %d, want 30", c.Len())
+	}
+	for i := 0; i < 30; i++ {
+		if c.At(i) != events[10+i] {
+			t.Fatalf("range event %d mismatch", i)
+		}
+	}
+
+	// Slice views alias the parent columns without copying.
+	v := b.Slice(5, 15)
+	if v.Len() != 10 || v.At(0) != events[5] {
+		t.Fatalf("Slice view wrong: len %d first %+v", v.Len(), v.At(0))
+	}
+	v.Seq[0] = 424242
+	if b.Seq[5] != 424242 {
+		t.Fatal("Slice does not alias the parent columns")
+	}
+	b.Seq[5] = events[5].Seq
+
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Reset left %d events", b.Len())
+	}
+}
+
+func TestColumnBatchRuns(t *testing.T) {
+	var b ColumnBatch
+	b.AppendEvents([]Event{
+		{Seq: 1, Instance: 1, Thread: 1},
+		{Seq: 2, Instance: 1, Thread: 1},
+		{Seq: 3, Instance: 1, Thread: 2},
+		{Seq: 4, Instance: 2, Thread: 2},
+		{Seq: 5, Instance: 2, Thread: 2},
+	})
+	if got := b.InstanceRun(0, b.Len()); got != 3 {
+		t.Fatalf("InstanceRun(0) = %d, want 3", got)
+	}
+	if got := b.InstanceRun(3, b.Len()); got != 5 {
+		t.Fatalf("InstanceRun(3) = %d, want 5", got)
+	}
+	if got := b.InstanceRun(0, 2); got != 2 {
+		t.Fatalf("InstanceRun limit ignored: got %d, want 2", got)
+	}
+	if got := b.ThreadRun(0, b.Len()); got != 2 {
+		t.Fatalf("ThreadRun(0) = %d, want 2", got)
+	}
+	if got := b.ThreadRun(2, b.Len()); got != 5 {
+		t.Fatalf("ThreadRun(2) = %d, want 5", got)
+	}
+}
+
+func TestColumnBatchSortBySeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	events := fuzzSeedEvents()
+	rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+	var b ColumnBatch
+	b.AppendEvents(events)
+	if b.IsSortedBySeq() {
+		t.Fatal("shuffled batch reported sorted")
+	}
+	b.SortBySeq()
+	if !b.IsSortedBySeq() {
+		t.Fatal("SortBySeq left the batch unsorted")
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	for i, e := range events {
+		if b.At(i) != e {
+			t.Fatalf("event %d after sort: %+v, want %+v", i, b.At(i), e)
+		}
+	}
+}
+
+// TestMergeColumnRunsMatchesMergeRuns: the batch-run merge must produce the
+// same global order as the event-slice merge, across the edge shapes the
+// sharded collector can hand it — empty shards, single-event batches,
+// adjacent batches with touching Seq ranges, and everything in one shard.
+func TestMergeColumnRunsMatchesMergeRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	touching := []*ColumnBatch{{}, {}}
+	touching[0].AppendEvents([]Event{{Seq: 1, Instance: 1}, {Seq: 2, Instance: 1}, {Seq: 3, Instance: 1}})
+	touching[1].AppendEvents([]Event{{Seq: 3, Instance: 2}, {Seq: 4, Instance: 2}})
+	cases := []struct {
+		name string
+		runs []*ColumnBatch
+	}{
+		{"empty", nil},
+		{"all-empty-shards", []*ColumnBatch{{}, {}, {}}},
+		{"one-run", randomColumnRuns(rng, 100, 1)},
+		{"all-in-one-shard", func() []*ColumnBatch {
+			runs := randomColumnRuns(rng, 500, 4)
+			// Rebuild with everything in shard 2, others empty.
+			all := &ColumnBatch{}
+			for _, r := range runs {
+				all.AppendRange(r, 0, r.Len())
+			}
+			all.SortBySeq()
+			return []*ColumnBatch{{}, {}, all, {}}
+		}()},
+		{"two-even", randomColumnRuns(rng, 1000, 2)},
+		{"sixteen", randomColumnRuns(rng, 5000, 16)},
+		{"single-event-batches", func() []*ColumnBatch {
+			var runs []*ColumnBatch
+			for i := 20; i > 0; i-- {
+				b := &ColumnBatch{}
+				b.Append(Event{Seq: uint64(i), Instance: 1, Op: OpRead})
+				runs = append(runs, b)
+			}
+			return runs
+		}()},
+		{"touching-adjacent", touching},
+		{"duplicate-seqs", func() []*ColumnBatch {
+			a, b := &ColumnBatch{}, &ColumnBatch{}
+			a.AppendEvents([]Event{{Seq: 1, Instance: 1}, {Seq: 5, Instance: 1}})
+			b.AppendEvents([]Event{{Seq: 1, Instance: 2}, {Seq: 5, Instance: 2}})
+			return []*ColumnBatch{a, b}
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			canon := func(evs []Event) {
+				sort.Slice(evs, func(i, j int) bool {
+					if evs[i].Seq != evs[j].Seq {
+						return evs[i].Seq < evs[j].Seq
+					}
+					return evs[i].Instance < evs[j].Instance
+				})
+			}
+			var want []Event
+			for _, r := range tc.runs {
+				want = r.AppendTo(want, 0, r.Len())
+			}
+			canon(want)
+
+			merged, splits := mergeColumnRuns(tc.runs)
+			if merged.Len() != len(want) {
+				t.Fatalf("merged %d events, want %d", merged.Len(), len(want))
+			}
+			for i := 1; i < merged.Len(); i++ {
+				if merged.Seq[i] < merged.Seq[i-1] {
+					t.Fatalf("order broken at %d", i)
+				}
+			}
+			// Multiset equality: relative order among equal Seqs is
+			// unspecified, so compare under a canonical tie-break.
+			got := merged.Events(nil)
+			canon(got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+				}
+			}
+			if len(tc.runs) < 2 && splits != 0 {
+				t.Fatalf("%d splits reported for <2 runs", splits)
+			}
+		})
+	}
+}
+
+// TestMergeColumnRunsSplitAccounting: disjoint runs copy whole; interleaved
+// runs must report splits.
+func TestMergeColumnRunsSplitAccounting(t *testing.T) {
+	a, b := &ColumnBatch{}, &ColumnBatch{}
+	a.AppendEvents([]Event{{Seq: 1}, {Seq: 3}, {Seq: 5}})
+	b.AppendEvents([]Event{{Seq: 2}, {Seq: 4}, {Seq: 6}})
+	merged, splits := mergeColumnRuns([]*ColumnBatch{a, b})
+	if merged.Len() != 6 {
+		t.Fatalf("merged %d events, want 6", merged.Len())
+	}
+	if splits == 0 {
+		t.Fatal("fully interleaved runs reported zero splits")
+	}
+
+	c, d := &ColumnBatch{}, &ColumnBatch{}
+	c.AppendEvents([]Event{{Seq: 1}, {Seq: 2}})
+	d.AppendEvents([]Event{{Seq: 10}, {Seq: 11}})
+	if _, splits := mergeColumnRuns([]*ColumnBatch{c, d}); splits != 0 {
+		t.Fatalf("disjoint runs reported %d splits", splits)
+	}
+}
+
+func TestNormalizeColumnRuns(t *testing.T) {
+	// Disjoint, delivered out of order: reordered in place, no merge copy.
+	a, b := &ColumnBatch{}, &ColumnBatch{}
+	a.AppendEvents([]Event{{Seq: 10}, {Seq: 11}})
+	b.AppendEvents([]Event{{Seq: 1}, {Seq: 2}})
+	runs, splits := NormalizeColumnRuns([]*ColumnBatch{a, b, {}})
+	if splits != 0 {
+		t.Fatalf("disjoint runs reported %d splits", splits)
+	}
+	if len(runs) != 2 || runs[0] != b || runs[1] != a {
+		t.Fatalf("disjoint runs not reordered in place: %v", runs)
+	}
+
+	// Overlapping: collapsed to one globally sorted batch.
+	c, d := &ColumnBatch{}, &ColumnBatch{}
+	c.AppendEvents([]Event{{Seq: 1}, {Seq: 5}})
+	d.AppendEvents([]Event{{Seq: 2}, {Seq: 3}})
+	runs, _ = NormalizeColumnRuns([]*ColumnBatch{c, d})
+	if len(runs) != 1 || runs[0].Len() != 4 {
+		t.Fatalf("overlapping runs not merged: %d runs", len(runs))
+	}
+	if !runs[0].IsSortedBySeq() {
+		t.Fatal("merged run not sorted")
+	}
+
+	// Unsorted batch: sorted before the disjointness test.
+	e := &ColumnBatch{}
+	e.AppendEvents([]Event{{Seq: 9}, {Seq: 7}})
+	runs, _ = NormalizeColumnRuns([]*ColumnBatch{e})
+	if len(runs) != 1 || !runs[0].IsSortedBySeq() {
+		t.Fatal("single unsorted batch not normalized")
+	}
+
+	if runs, _ := NormalizeColumnRuns(nil); len(runs) != 0 {
+		t.Fatalf("nil input produced %d runs", len(runs))
+	}
+}
+
+// TestWriteColumnsMatchesWriteBatch: a batch written through the columnar
+// writer must produce byte-identical streams to the same events written as a
+// struct slice, for both the v3 and v2 encodings.
+func TestWriteColumnsMatchesWriteBatch(t *testing.T) {
+	events := fuzzSeedEvents()
+	var b ColumnBatch
+	b.AppendEvents(events)
+	for _, version := range []int{2, 3} {
+		var asStructs, asColumns bytes.Buffer
+		sw, err := newStreamWriterVersion(&asStructs, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteBatch(events); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		cw, err := newStreamWriterVersion(&asColumns, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.WriteColumns(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(asStructs.Bytes(), asColumns.Bytes()) {
+			t.Fatalf("v%d: WriteColumns and WriteBatch produced different bytes", version)
+		}
+	}
+}
+
+// TestReadColumnsMatchesReadBatch: the zero-copy column reader must see
+// exactly the events the inflating reader sees, on v2 and v3 streams.
+func TestReadColumnsMatchesReadBatch(t *testing.T) {
+	events := fuzzSeedEvents()
+	for _, version := range []int{2, 3} {
+		var buf bytes.Buffer
+		sw, err := newStreamWriterVersion(&buf, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Uneven batch sizes so frame boundaries land mid-stream.
+		if err := sw.WriteBatch(events[:37]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteBatch(events[37:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got ColumnBatch
+		for {
+			if _, err := sr.ReadColumns(&got); err != nil {
+				if err == io.EOF {
+					break
+				}
+				t.Fatal(err)
+			}
+		}
+		if got.Len() != len(events) {
+			t.Fatalf("v%d: ReadColumns decoded %d events, want %d", version, got.Len(), len(events))
+		}
+		for i, e := range events {
+			if got.At(i) != e {
+				t.Fatalf("v%d: event %d = %+v, want %+v", version, i, got.At(i), e)
+			}
+		}
+	}
+}
+
+// TestReadColumnsZeroAlloc is the hot-path allocation assertion from the
+// acceptance bar: reading a v3 log into a reused ColumnBatch must not
+// materialize an []Event anywhere — per-frame allocations are zero once the
+// reader scratch and batch capacities have settled.
+func TestReadColumnsZeroAlloc(t *testing.T) {
+	const frames, perFrame = 16, 2048
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make([]Event, perFrame)
+	for f := 0; f < frames; f++ {
+		for i := range events {
+			seq := uint64(f*perFrame + i + 1)
+			events[i] = Event{Seq: seq, Instance: InstanceID(i%8 + 1), Op: Op(1 + i%4),
+				Index: i % 63, Size: i, Thread: 1}
+		}
+		if err := sw.WriteBatch(events); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	var b ColumnBatch
+	rd := bytes.NewReader(raw)
+	allocs := testing.AllocsPerRun(10, func() {
+		rd.Reset(raw)
+		sr, err := NewStreamReader(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Reset()
+		for {
+			if _, err := sr.ReadColumns(&b); err != nil {
+				break
+			}
+		}
+		if b.Len() != frames*perFrame {
+			t.Fatalf("decoded %d events, want %d", b.Len(), frames*perFrame)
+		}
+	})
+	// Reader setup (bufio reader, StreamReader, payload scratch) is allowed;
+	// anything per-frame is not: 16 frames of 2048 events would show up as
+	// ≥16 allocations immediately if any per-frame slice were built.
+	if allocs > 12 {
+		t.Fatalf("ReadColumns allocated %.0f objects per full-log read; want ≤12 (per-frame allocation leaked in)", allocs)
+	}
+}
+
+// BenchmarkReadColumns measures the zero-copy v3 read path end to end;
+// compare with BenchmarkReadBatch-style inflating reads.
+func BenchmarkReadColumns(b *testing.B) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := make([]Event, 2048)
+	for f := 0; f < 16; f++ {
+		for i := range events {
+			events[i] = Event{Seq: uint64(f*2048 + i + 1), Instance: InstanceID(i%8 + 1),
+				Op: Op(1 + i%4), Index: i % 63, Size: i, Thread: 1}
+		}
+		if err := sw.WriteBatch(events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	var cb ColumnBatch
+	rd := bytes.NewReader(raw)
+	b.SetBytes(int64(16 * 2048))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(raw)
+		sr, err := NewStreamReader(rd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cb.Reset()
+		for {
+			if _, err := sr.ReadColumns(&cb); err != nil {
+				break
+			}
+		}
+		if cb.Len() != 16*2048 {
+			b.Fatalf("decoded %d", cb.Len())
+		}
+	}
+}
+
+func buildColumnMergeInput(n, k int) []*ColumnBatch {
+	return randomColumnRuns(rand.New(rand.NewSource(42)), n, k)
+}
+
+// BenchmarkMergeColumns1M measures the columnar close-time merge of 1M events
+// over 8 shard runs; compare with BenchmarkMergeKWay1M (the []Event merge).
+func BenchmarkMergeColumns1M(b *testing.B) {
+	runs := buildColumnMergeInput(1_000_000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, _ := mergeColumnRuns(runs)
+		if merged.Len() != 1_000_000 {
+			b.Fatalf("merged %d", merged.Len())
+		}
+	}
+}

@@ -278,12 +278,40 @@ func FuzzColumnarDecoder(f *testing.F) {
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		events, err := decodeColumnarFrame(payload)
 		if err != nil {
+			// The columnar form must agree on rejection too.
+			var cb ColumnBatch
+			if err2 := decodeColumnarInto(&cb, payload); err2 == nil {
+				t.Fatalf("decodeColumnarInto accepted a payload decodeColumnarFrame rejected (%v)", err)
+			} else if cb.Len() != 0 {
+				t.Fatalf("decodeColumnarInto left %d partial events after error %v", cb.Len(), err2)
+			}
 			return
 		}
 		if len(events) == 0 || len(events) > MaxBatch {
 			t.Fatalf("decoder accepted a batch of %d (must be 1..%d)", len(events), MaxBatch)
 		}
+		// Differential: the zero-copy column decode must see the same events
+		// the inflating decode saw, appended after pre-existing content.
+		cb := &ColumnBatch{}
+		cb.Append(Event{Seq: 1, Instance: 9, Op: OpRead, Index: NoIndex})
+		if err := decodeColumnarInto(cb, payload); err != nil {
+			t.Fatalf("decodeColumnarInto rejected a payload decodeColumnarFrame accepted: %v", err)
+		}
+		if cb.Len() != 1+len(events) {
+			t.Fatalf("decodeColumnarInto appended %d events, want %d", cb.Len()-1, len(events))
+		}
+		for i := range events {
+			if got := cb.At(i + 1); got != events[i] {
+				t.Fatalf("event %d differs between decoders: %+v vs %+v", i, events[i], got)
+			}
+		}
+		// Round trip via both encoders: struct-sourced and column-sourced
+		// payloads must be byte-identical and decode back unchanged.
 		re := appendColumnarFrame(nil, events)
+		reCols := appendColumnarBatch(nil, cb, 1, cb.Len())
+		if !bytes.Equal(re, reCols) {
+			t.Fatalf("appendColumnarFrame and appendColumnarBatch disagree on the same events")
+		}
 		back, err := decodeColumnarFrame(re)
 		if err != nil {
 			t.Fatalf("re-encoded payload does not decode: %v", err)

@@ -79,6 +79,9 @@ func TestShardedCollectorObservability(t *testing.T) {
 		`dsspy_collector_events_total{shard="0"}`,
 		`dsspy_collector_queue_high_water{shard="1"}`,
 		`dsspy_collector_queue_depth_count{shard="0"}`,
+		`dsspy_columnar_drain_batch_events_count`,
+		`dsspy_columnar_inflations_avoided_total`,
+		`dsspy_columnar_merge_splits_total`,
 	} {
 		if !strings.Contains(mb.String(), want) {
 			t.Errorf("metrics missing %q:\n%s", want, mb.String())

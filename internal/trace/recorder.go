@@ -23,17 +23,26 @@ type EventSource interface {
 // BatchRecorder is the optional bulk interface of the hot path: recorders
 // that can take a whole producer batch in one call implement it so the
 // per-event lock, channel, and dispatch costs amortize over the batch.
-// RecordBatch must be safe for concurrent use and must NOT retain the slice
-// after returning — the caller (a Producer, a socket buffer, a replaying
-// spill file) reuses it immediately. Implementations that hand events to
-// another goroutine must copy first.
+//
+// Ownership contract: RecordBatch must be safe for concurrent use and must
+// NOT retain the slice (or any sub-slice of it) after returning — the caller
+// (a Producer, a socket buffer, a replaying spill file) overwrites it
+// immediately. An implementation that needs the events past return — because
+// it hands them to another goroutine (AsyncCollector, ShardedCollector), or
+// stores them (MemRecorder) — must copy them out synchronously, before
+// RecordBatch returns. Forwarding the same slice to a nested recorder within
+// the call (TeeRecorder, FilterRecorder) is fine: the contract transfers,
+// it does not stack. TestBatchRecorderOwnership clobbers the slice right
+// after every RecordAll to enforce this on each implementation.
 type BatchRecorder interface {
 	RecordBatch([]Event)
 }
 
 // RecordAll delivers a batch through rec, using RecordBatch when the
 // recorder supports it and falling back to per-event Record otherwise. The
-// batch slice is only valid for the duration of the call.
+// batch slice is only valid for the duration of the call; once RecordAll
+// returns, the caller may overwrite it (see BatchRecorder's ownership
+// contract).
 func RecordAll(rec Recorder, batch []Event) {
 	if br, ok := rec.(BatchRecorder); ok {
 		br.RecordBatch(batch)

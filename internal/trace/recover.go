@@ -90,6 +90,103 @@ func RecoverSessionLog(path string) (*Session, []Event, *Recovery, error) {
 	return s, events, rec, nil
 }
 
+// RecoverSessionColumns is the columnar twin of RecoverSessionLog: it
+// salvages the decodable frames of a damaged session log as column batches —
+// on a v3 log without inflating a single Event — normalized into ascending,
+// pairwise-disjoint Seq-sorted runs for StreamAnalyzer.FeedColumns. Skip and
+// truncation accounting matches RecoverSessionLog frame for frame.
+func RecoverSessionColumns(path string) (*Session, []*ColumnBatch, *Recovery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("trace: opening session log: %w", err)
+	}
+	defer f.Close()
+	size := int64(-1)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+
+	sr, err := NewStreamReader(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := NewSessionWith(Options{Recorder: NullRecorder{}})
+	batches, rec := recoverColumns(sr, size, func(inst Instance) {
+		s.restoreInstance(inst)
+	})
+	runs, _ := NormalizeColumnRuns(batches)
+	return s, runs, rec, nil
+}
+
+// recoverColumns is recoverStream over column batches: same loop, same
+// damage taxonomy, but each surviving event frame is decoded onto its own
+// ColumnBatch instead of a []Event.
+func recoverColumns(sr *StreamReader, size int64, onInstance func(Instance)) ([]*ColumnBatch, *Recovery) {
+	rec := &Recovery{}
+	var batches []*ColumnBatch
+	sawEnd := false
+	for {
+		// Offset of the last frame boundary: everything before it decoded.
+		boundary := sr.Offset()
+		stop := func(err error) {
+			rec.Truncated = true
+			rec.Err = err
+			if err == io.EOF {
+				// EOF exactly at a frame boundary without an end marker: the
+				// tail is missing but no partial frame was discarded.
+				rec.Err = nil
+			}
+			if size >= 0 {
+				rec.DiscardedBytes = size - boundary
+			}
+		}
+		kind, err := sr.readByte()
+		if err != nil {
+			if err == io.EOF && sawEnd {
+				// Clean end: marker seen, then EOF.
+				return batches, rec
+			}
+			stop(err)
+			return batches, rec
+		}
+		switch kind {
+		case frameEnd:
+			// Events first, registry afterwards; remember the marker and
+			// keep reading until the stream truly ends.
+			sawEnd = true
+		case frameEvents:
+			b := &ColumnBatch{}
+			n, err := sr.readEventFrameInto(b)
+			switch {
+			case err == nil:
+				batches = append(batches, b)
+				rec.Events += n
+			case errors.Is(err, ErrChecksum):
+				// The frame was fully consumed; its payload is untrustworthy
+				// but the framing survives. Skip it and keep decoding.
+				rec.SkippedFrames++
+				rec.SkippedEvents += n
+			default:
+				stop(err)
+				return batches, rec
+			}
+		case frameInstance:
+			inst, err := sr.readInstance()
+			if err != nil {
+				stop(err)
+				return batches, rec
+			}
+			rec.Instances++
+			if onInstance != nil {
+				onInstance(inst)
+			}
+		default:
+			stop(fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind))
+			return batches, rec
+		}
+	}
+}
+
 // RecoverEventLog salvages an events-only stream (a FileRecorder log or a
 // resilient recorder's spill file). Spill files have no end-of-stream marker
 // by design — the producer may die at any moment — so Truncated is expected

@@ -42,6 +42,34 @@ func SaveSessionLog(path string, s *Session, events []Event) error {
 	return f.Close()
 }
 
+// SaveSessionColumns writes the session's registry and a column batch to
+// path — the columnar twin of SaveSessionLog. The batch is encoded straight
+// into v3 frames; no Event struct is built anywhere on the save path.
+func SaveSessionColumns(path string, s *Session, cols *ColumnBatch) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating session log: %w", err)
+	}
+	sw, err := NewStreamWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := sw.WriteColumns(cols); err != nil {
+		f.Close()
+		return err
+	}
+	if err := sw.WriteInstances(s.Instances()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := sw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // WriteInstances appends registry frames for the given instances. Producers
 // that ship events over a socket call this (via FinishSession) so the
 // collector side can rebuild a replay session without the producing process.
@@ -206,6 +234,64 @@ func LoadSessionLog(path string) (*Session, []Event, error) {
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
 	return s, events, nil
+}
+
+// LoadSessionColumns reads a session log as column batches: the replay
+// session plus the event frames normalized into ascending, pairwise-disjoint
+// Seq-sorted runs ready for in-order folding (StreamAnalyzer.FeedColumns).
+// On a v3 log no []Event is ever materialized — each frame's payload is
+// decoded onto columns, and the common already-ordered log is returned
+// without a merge copy. Strict like LoadSessionLog: any damage fails the
+// load; use RecoverSessionColumns for damaged logs.
+func LoadSessionColumns(path string) (*Session, []*ColumnBatch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: opening session log: %w", err)
+	}
+	defer f.Close()
+	sr, err := NewStreamReader(f)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s := NewSessionWith(Options{Recorder: NullRecorder{}})
+	var batches []*ColumnBatch
+	for {
+		kind, err := sr.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch kind {
+		case frameEnd:
+			// Events first, registry afterwards; keep reading registry
+			// frames until the stream truly ends.
+			continue
+		case frameEvents:
+			b := &ColumnBatch{}
+			if _, err := sr.readEventFrameInto(b); err != nil {
+				return nil, nil, err
+			}
+			batches = append(batches, b)
+		case frameInstance:
+			inst, err := sr.readInstance()
+			if err != nil {
+				return nil, nil, err
+			}
+			id := s.Register(inst.Kind, inst.TypeName, inst.Label, 0)
+			if id != inst.ID {
+				return nil, nil, fmt.Errorf("%w: non-contiguous registry (got id %d, want %d)",
+					ErrBadStream, id, inst.ID)
+			}
+			s.setSite(id, inst.Site)
+		default:
+			return nil, nil, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)
+		}
+	}
+	runs, _ := NormalizeColumnRuns(batches)
+	return s, runs, nil
 }
 
 // setSite overwrites a registered instance's call site with the saved one.

@@ -106,27 +106,30 @@ type ShardedCollector struct {
 	once   sync.Once
 	closed atomic.Bool
 
-	mergeOnce sync.Once
-	merged    []Event
+	// drainHist observes the size of every batch the drains hand to the
+	// store/sink; mergeSplits counts batch runs split at overlap boundaries
+	// by the columnar k-way merge. Both feed the dsspy_columnar_* metrics.
+	drainHist   *obs.Histogram
+	mergeSplits atomic.Uint64
+
+	mergeOnce  sync.Once
+	mergedCols *ColumnBatch
 }
 
-// ShardSink consumes event batches from one shard's drain goroutine. Each
+// ShardSink consumes column batches from one shard's drain goroutine. Each
 // shard has exactly one drain goroutine, so calls for a given shard index are
-// serialized (calls for different shards are concurrent). The batch slice is
-// reused between calls — a sink must fold or copy the events, never retain
-// the slice.
-type ShardSink func(shard int, batch []Event)
+// serialized (calls for different shards are concurrent). The batch and its
+// columns are reused between calls — a sink must fold or copy the events,
+// never retain the batch or any of its column slices.
+type ShardSink func(shard int, batch *ColumnBatch)
 
-// shardBatchPool recycles the buffers that carry producer batches across the
-// shard boundary: RecordBatch copies the caller's batch into a pooled buffer
-// (the caller reuses its slice immediately), the drain goroutine returns the
-// buffer after folding it.
-var shardBatchPool = sync.Pool{
-	New: func() any {
-		b := make([]Event, 0, DefaultBatchSize)
-		return &b
-	},
-}
+// shardBatchPool recycles the column batches that carry producer batches
+// across the shard boundary: RecordBatch scatters the caller's batch into a
+// pooled ColumnBatch (the caller reuses its slice immediately — this scatter
+// is the one AoS→SoA pivot on the hot path, paid once per batch on the
+// producer side), and the drain goroutine returns the batch after moving its
+// columns.
+var shardBatchPool = sync.Pool{New: func() any { return new(ColumnBatch) }}
 
 // shard is one partition: a buffered channel drained by a dedicated
 // goroutine into a shard-local store, plus the observability counters the
@@ -138,8 +141,8 @@ type shard struct {
 	// feed the same drain goroutine, so sink serialization is preserved;
 	// ordering *between* the lanes is select order, so a producer that needs
 	// a deterministic interleave must stay on one lane (which Producer and
-	// Session.Emit each do).
-	chb  chan *[]Event
+	// Session.Emit each do). Batches travel in columnar form end to end.
+	chb  chan *ColumnBatch
 	done chan struct{}
 
 	// id, sink and retain configure the drain destination: with a sink the
@@ -151,8 +154,10 @@ type shard struct {
 	retain bool
 
 	// tracer points at the collector's tracer slot; the drain goroutine reads
-	// it per batch so SetTracer takes effect on a live collector.
+	// it per batch so SetTracer takes effect on a live collector. hist is the
+	// collector-wide drain-batch-size histogram.
 	tracer *atomic.Pointer[obs.Tracer]
+	hist   *obs.Histogram
 
 	// closeMu serializes Record against Close: Record holds the read side
 	// while it touches the channel, Close takes the write side before
@@ -163,8 +168,11 @@ type shard struct {
 	closeMu sync.RWMutex
 	closed  bool
 
-	mu     sync.Mutex
-	events []Event
+	// cols is the shard-local store, held columnar: batch-lane events land
+	// here with six column copies and are never inflated to Event structs
+	// unless a post-mortem consumer asks for them.
+	mu   sync.Mutex
+	cols ColumnBatch
 
 	count         atomic.Uint64
 	dropped       atomic.Uint64
@@ -172,17 +180,21 @@ type shard struct {
 	overflow      atomic.Uint64
 	highWater     atomic.Int64
 	blockNS       atomic.Int64
+	// columnar counts events that crossed the shard boundary in columnar
+	// batches — each is an Event inflation the drain never performed.
+	columnar atomic.Uint64
 }
 
-func newShard(id, buf int, sink ShardSink, retain bool, tracer *atomic.Pointer[obs.Tracer]) *shard {
+func newShard(id, buf int, sink ShardSink, retain bool, tracer *atomic.Pointer[obs.Tracer], hist *obs.Histogram) *shard {
 	sh := &shard{
 		ch:     make(chan Event, buf),
-		chb:    make(chan *[]Event, max(2, buf/DefaultBatchSize)),
+		chb:    make(chan *ColumnBatch, max(2, buf/DefaultBatchSize)),
 		done:   make(chan struct{}),
 		id:     id,
 		sink:   sink,
 		retain: retain,
 		tracer: tracer,
+		hist:   hist,
 	}
 	go sh.drain()
 	return sh
@@ -241,10 +253,10 @@ func (sh *shard) record(e Event, pol OverloadPolicy) {
 }
 
 // recordBatch enqueues a whole producer batch on the batch lane: one pooled
-// copy and one channel send for the entire batch. Accounting matches record
-// event-for-event — delivered + dropped == recorded still holds — with the
-// overload policy applied to the batch as a unit (Sample delivers one in n
-// overflowing batches).
+// columnar scatter and one channel send for the entire batch. Accounting
+// matches record event-for-event — delivered + dropped == recorded still
+// holds — with the overload policy applied to the batch as a unit (Sample
+// delivers one in n overflowing batches).
 func (sh *shard) recordBatch(batch []Event, pol OverloadPolicy) {
 	n := uint64(len(batch))
 	if n == 0 {
@@ -257,8 +269,9 @@ func (sh *shard) recordBatch(batch []Event, pol OverloadPolicy) {
 		sh.droppedClosed.Add(n)
 		return
 	}
-	bp := shardBatchPool.Get().(*[]Event)
-	*bp = append((*bp)[:0], batch...)
+	bp := shardBatchPool.Get().(*ColumnBatch)
+	bp.Reset()
+	bp.AppendEvents(batch)
 	select {
 	case sh.chb <- bp:
 	default:
@@ -287,14 +300,16 @@ func (sh *shard) recordBatch(batch []Event, pol OverloadPolicy) {
 
 // drain moves events from both lanes into the shard-local store and/or the
 // sink. Each wakeup gathers everything already queued — single events from
-// ch, whole producer batches from chb — into one working batch, so the store
-// mutex is taken and the sink is called once per burst rather than once per
-// event. Exits when both lanes are closed and empty.
+// ch, whole columnar batches from chb — into one working column batch, so
+// the store mutex is taken and the sink is called once per burst rather than
+// once per event. Batch-lane events stay columnar end to end: six column
+// copies into the working batch, six into the store, never an Event struct.
+// Exits when both lanes are closed and empty.
 func (sh *shard) drain() {
 	ch, chb := sh.ch, sh.chb
-	var batch []Event
+	var work ColumnBatch
 	for ch != nil || chb != nil {
-		batch = batch[:0]
+		work.Reset()
 		// Block for the first arrival on either lane.
 		select {
 		case e, ok := <-ch:
@@ -302,13 +317,14 @@ func (sh *shard) drain() {
 				ch = nil
 				continue
 			}
-			batch = append(batch, e)
+			work.Append(e)
 		case bp, ok := <-chb:
 			if !ok {
 				chb = nil
 				continue
 			}
-			batch = append(batch, *bp...)
+			work.AppendRange(bp, 0, bp.Len())
+			sh.columnar.Add(uint64(bp.Len()))
 			shardBatchPool.Put(bp)
 		}
 		// Gather the rest of the burst without blocking. A lane that closes
@@ -321,57 +337,45 @@ func (sh *shard) drain() {
 					ch = nil
 					continue
 				}
-				batch = append(batch, e)
+				work.Append(e)
 			case bp, ok := <-chb:
 				if !ok {
 					chb = nil
 					continue
 				}
-				batch = append(batch, *bp...)
+				work.AppendRange(bp, 0, bp.Len())
+				sh.columnar.Add(uint64(bp.Len()))
 				shardBatchPool.Put(bp)
 			default:
 				break gather
 			}
 		}
-		if len(batch) == 0 {
+		n := work.Len()
+		if n == 0 {
 			continue
 		}
+		sh.hist.ObserveValue(int64(n))
 		t := sh.tracer.Load()
 		sp := t.Begin("drain", "collector")
 		if sh.sink == nil || sh.retain {
 			sh.mu.Lock()
-			for _, e := range batch {
-				sh.push(e)
-			}
+			sh.cols.AppendRange(&work, 0, n)
 			sh.mu.Unlock()
 		}
 		if sh.sink != nil {
-			sh.sink(sh.id, batch)
+			sh.sink(sh.id, &work)
 		}
 		if t != nil {
-			sp.End("shard", strconv.Itoa(sh.id), "events", strconv.Itoa(len(batch)))
+			sp.End("shard", strconv.Itoa(sh.id), "events", strconv.Itoa(n))
 		}
 	}
 	close(sh.done)
 }
 
-// push appends to the store, doubling capacity when full. The runtime's
-// growth factor drops to ~1.25× for large slices, which on million-event
-// stores re-copies the data several times over; plain doubling keeps the
-// cumulative copy volume bounded by 2× the store size. Callers hold sh.mu.
-func (sh *shard) push(e Event) {
-	if len(sh.events) == cap(sh.events) {
-		grown := make([]Event, len(sh.events), max(1024, 2*cap(sh.events)))
-		copy(grown, sh.events)
-		sh.events = grown
-	}
-	sh.events = append(sh.events, e)
-}
-
+// snapshot inflates a copy of the store for live readers.
 func (sh *shard) snapshot() []Event {
 	sh.mu.Lock()
-	out := make([]Event, len(sh.events))
-	copy(out, sh.events)
+	out := sh.cols.Events(make([]Event, 0, sh.cols.Len()))
 	sh.mu.Unlock()
 	return out
 }
@@ -420,8 +424,9 @@ func NewStreamingShardedCollector(n, buf int, policy OverloadPolicy, retain bool
 		buf = 1
 	}
 	c := &ShardedCollector{shards: make([]*shard, n), buf: buf, policy: policy}
+	c.drainHist = obs.NewHistogram()
 	for i := range c.shards {
-		c.shards[i] = newShard(i, buf, sink, retain, &c.tracer)
+		c.shards[i] = newShard(i, buf, sink, retain, &c.tracer, c.drainHist)
 	}
 	return c
 }
@@ -497,34 +502,30 @@ func (c *ShardedCollector) Close() {
 // sorts the store in place so AsyncCollector pays no merge copy. Each shard
 // store arrives near-sorted (producers enqueue in Seq order; only cross-
 // producer interleaving perturbs it), so each is cheaply sorted in place and
-// the sorted runs are combined with a k-way heap merge — one comparison per
-// element per heap level instead of the O(n log n) global sort over the
-// concatenation.
-func (c *ShardedCollector) merge() []Event {
+// the sorted column runs are combined with the span-copying k-way heap merge
+// of mergeColumnRuns — six column copies per contiguous span instead of a
+// struct move per event, with runs split only at genuine overlap boundaries
+// (counted into the dsspy_columnar_merge_splits_total metric).
+func (c *ShardedCollector) merge() *ColumnBatch {
 	c.mergeOnce.Do(func() {
-		byseq := func(ev []Event) func(i, j int) bool {
-			return func(i, j int) bool { return ev[i].Seq < ev[j].Seq }
-		}
 		if len(c.shards) == 1 {
-			c.merged = c.shards[0].events
-			if !sort.SliceIsSorted(c.merged, byseq(c.merged)) {
-				sort.Slice(c.merged, byseq(c.merged))
-			}
+			c.shards[0].cols.SortBySeq()
+			c.mergedCols = &c.shards[0].cols
 			return
 		}
-		runs := make([][]Event, 0, len(c.shards))
+		runs := make([]*ColumnBatch, 0, len(c.shards))
 		for _, sh := range c.shards {
-			if len(sh.events) == 0 {
+			if sh.cols.Len() == 0 {
 				continue
 			}
-			if !sort.SliceIsSorted(sh.events, byseq(sh.events)) {
-				sort.Slice(sh.events, byseq(sh.events))
-			}
-			runs = append(runs, sh.events)
+			sh.cols.SortBySeq()
+			runs = append(runs, &sh.cols)
 		}
-		c.merged = mergeRuns(runs)
+		merged, splits := mergeColumnRuns(runs)
+		c.mergeSplits.Add(uint64(splits))
+		c.mergedCols = merged
 	})
-	return c.merged
+	return c.mergedCols
 }
 
 // mergeRuns k-way-merges Seq-sorted runs into one sorted slice using a small
@@ -585,16 +586,15 @@ func mergeRuns(runs [][]Event) []Event {
 	return out
 }
 
-// Events returns the collected events in sequence order. After Close the
-// merged order is computed once and cached, so each call costs one copy; on
-// a live collector it returns a sorted snapshot of what has been drained so
-// far.
+// Events returns the collected events in sequence order, inflated to Event
+// structs. After Close the merged columnar order is computed once and cached,
+// so each call costs one inflation; on a live collector it returns a sorted
+// snapshot of what has been drained so far. Consumers that can fold columns
+// should use MergedColumns instead and skip the inflation entirely.
 func (c *ShardedCollector) Events() []Event {
 	if c.closed.Load() {
 		m := c.merge()
-		out := make([]Event, len(m))
-		copy(out, m)
-		return out
+		return m.Events(make([]Event, 0, m.Len()))
 	}
 	var all []Event
 	for _, sh := range c.shards {
@@ -604,18 +604,45 @@ func (c *ShardedCollector) Events() []Event {
 	return all
 }
 
-// ShardEvents returns the per-shard event stores without copying. It is only
-// valid after Close (nil before), and callers must treat the slices as
-// read-only. This is the analysis fast path: because events are partitioned
-// by instance, profiles can be built shard-locally from these slices,
-// skipping the global merge sort and copy that Events performs.
+// MergedColumns returns the Seq-ordered union of all shard stores as one
+// column batch — the zero-inflation post-mortem view. Only valid after Close
+// (nil before); computed once and cached, and possibly aliasing a shard
+// store, so treat it as read-only.
+func (c *ShardedCollector) MergedColumns() *ColumnBatch {
+	if !c.closed.Load() {
+		return nil
+	}
+	return c.merge()
+}
+
+// ShardColumns returns the per-shard columnar stores without copying. Only
+// valid after Close (nil before); the batches are read-only. Because events
+// are partitioned by instance, analysis can fold these shard-locally without
+// a global merge.
+func (c *ShardedCollector) ShardColumns() []*ColumnBatch {
+	if !c.closed.Load() {
+		return nil
+	}
+	out := make([]*ColumnBatch, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = &sh.cols
+	}
+	return out
+}
+
+// ShardEvents returns the per-shard stores inflated to []Event slices. Only
+// valid after Close (nil before). The canonical store is columnar, so each
+// call materializes fresh copies; the batch analysis path still consumes
+// this shard-local form to build profiles without a global merge.
 func (c *ShardedCollector) ShardEvents() [][]Event {
 	if !c.closed.Load() {
 		return nil
 	}
 	out := make([][]Event, len(c.shards))
 	for i, sh := range c.shards {
-		out[i] = sh.events
+		if n := sh.cols.Len(); n > 0 {
+			out[i] = sh.cols.Events(make([]Event, 0, n))
+		}
 	}
 	return out
 }
@@ -628,7 +655,7 @@ func (c *ShardedCollector) Len() int {
 	n := 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		n += len(sh.events)
+		n += sh.cols.Len()
 		sh.mu.Unlock()
 	}
 	return n
@@ -698,4 +725,17 @@ func (c *ShardedCollector) WriteMetrics(w *obs.PromWriter) {
 				"Sampled shard queue depth.", c.sampler.Hist(i), 1, "shard", strconv.Itoa(i))
 		}
 	}
+	var avoided uint64
+	for _, sh := range c.shards {
+		avoided += sh.columnar.Load()
+	}
+	w.Histogram("dsspy_columnar_drain_batch_events",
+		"Events per drain burst, moved to the store/sink as one column batch.",
+		c.drainHist.Snapshot(), 1)
+	w.Counter("dsspy_columnar_inflations_avoided_total",
+		"Events that crossed the shard boundary in columnar batches and were never inflated to Event structs.",
+		float64(avoided))
+	w.Counter("dsspy_columnar_merge_splits_total",
+		"Batch runs split at overlap boundaries by the columnar k-way merge.",
+		float64(c.mergeSplits.Load()))
 }

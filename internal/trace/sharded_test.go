@@ -141,11 +141,11 @@ func TestAsyncCollectorSortsOnceAtClose(t *testing.T) {
 
 	// White box: Close must have left the internal store in final sequence
 	// order, so Events() needs no sort.
-	merged := c.sc.merged
+	merged := c.MergedColumns()
 	if merged == nil {
 		t.Fatal("Close did not seal the merged order")
 	}
-	if !sort.SliceIsSorted(merged, func(i, j int) bool { return merged[i].Seq < merged[j].Seq }) {
+	if !merged.IsSortedBySeq() {
 		t.Fatal("internal store not sorted after Close")
 	}
 

@@ -98,7 +98,8 @@ func getEvent(b []byte) Event {
 type StreamWriter struct {
 	w       *bufio.Writer
 	buf     []byte
-	enc     []byte // v3 columnar scratch
+	enc     []byte  // v3 columnar scratch
+	evs     []Event // inflate scratch for WriteColumns on v1/v2 streams
 	version int
 }
 
@@ -148,6 +149,34 @@ func (sw *StreamWriter) WriteBatch(events []Event) error {
 	return nil
 }
 
+// WriteColumns writes a column batch as event frames, splitting at MaxBatch.
+// On a v3 stream the columns are encoded directly — no Event structs are
+// materialized anywhere on the write path; on v1/v2 streams each frame's span
+// is inflated into a reusable scratch slice first.
+func (sw *StreamWriter) WriteColumns(b *ColumnBatch) error {
+	if b == nil {
+		return nil
+	}
+	total := b.Len()
+	for lo := 0; lo < total; lo += MaxBatch {
+		hi := lo + MaxBatch
+		if hi > total {
+			hi = total
+		}
+		var err error
+		if sw.version >= 3 {
+			err = sw.writeFrameV3Batch(b, lo, hi)
+		} else {
+			sw.evs = b.AppendTo(sw.evs[:0], lo, hi)
+			err = sw.writeFrame(sw.evs)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (sw *StreamWriter) writeFrame(events []Event) error {
 	var hdr [5]byte
 	hdr[0] = frameEvents
@@ -187,6 +216,7 @@ func (sw *StreamWriter) Close() error {
 type StreamReader struct {
 	r       *bufio.Reader
 	buf     []byte
+	pay     []byte // v3 payload scratch, reused across frames
 	version int
 	off     int64 // bytes consumed from the stream so far
 }
@@ -311,6 +341,24 @@ func (sr *StreamReader) readEventFrame() ([]Event, error) {
 	return events, nil
 }
 
+// readEventFrameInto decodes the body of an event-batch frame onto b's
+// columns, returning the number of events appended. On a v3 stream the frame
+// payload is the columns — decoding never builds an Event; v1/v2 frames are
+// decoded structwise and scattered. A CRC mismatch comes back as ErrChecksum
+// with the frame consumed, nothing appended, and the declared event count
+// returned for skipped-frame accounting.
+func (sr *StreamReader) readEventFrameInto(b *ColumnBatch) (int, error) {
+	if sr.version >= 3 {
+		return sr.readEventFrameV3Into(b)
+	}
+	events, err := sr.readEventFrame()
+	if err != nil {
+		return len(events), err
+	}
+	b.AppendEvents(events)
+	return len(events), nil
+}
+
 // noEOF maps a bare io.EOF to io.ErrUnexpectedEOF: inside a frame body, a
 // clean EOF still means the frame was cut short.
 func noEOF(err error) error {
@@ -335,6 +383,26 @@ func (sr *StreamReader) ReadBatch() ([]Event, error) {
 		return ent.events, nil
 	default:
 		return nil, fmt.Errorf("%w: unexpected frame kind 0x%02x in event stream", ErrBadStream, ent.kind)
+	}
+}
+
+// ReadColumns appends the next event batch onto b's columns, returning the
+// number of events appended, or io.EOF after the end-of-stream frame. Like
+// ReadBatch it rejects registry frames; unlike it, a v3 frame reaches the
+// caller without a single Event struct being built, and reusing b across
+// calls makes the steady-state read loop allocation-free.
+func (sr *StreamReader) ReadColumns(b *ColumnBatch) (int, error) {
+	kind, err := sr.readByte()
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case frameEnd:
+		return 0, io.EOF
+	case frameEvents:
+		return sr.readEventFrameInto(b)
+	default:
+		return 0, fmt.Errorf("%w: unexpected frame kind 0x%02x in event stream", ErrBadStream, kind)
 	}
 }
 

@@ -2,8 +2,10 @@ package trace
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // Version-3 event frames: columnar, delta-encoded batches.
@@ -44,63 +46,98 @@ func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
 
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
-// appendColumnarFrame encodes one batch (1 ≤ len ≤ MaxBatch) as a v3
-// payload, appended to buf.
-func appendColumnarFrame(buf []byte, events []Event) []byte {
-	n := len(events)
+// appendColumnarBatch encodes events [lo, hi) of b (1 ≤ hi-lo ≤ MaxBatch) as
+// a v3 payload, appended to buf. This is the only encoder: the columns are
+// already the frame's native layout, so encoding is six straight column
+// walks. The []Event form (appendColumnarFrame) scatters into a scratch batch
+// and lands here.
+func appendColumnarBatch(buf []byte, b *ColumnBatch, lo, hi int) []byte {
+	n := hi - lo
 	buf = binary.AppendUvarint(buf, uint64(n))
 	// Seq: raw first, zigzag deltas after.
-	buf = binary.AppendUvarint(buf, events[0].Seq)
-	prev := events[0].Seq
-	for _, e := range events[1:] {
-		buf = binary.AppendUvarint(buf, zigzag(int64(e.Seq-prev)))
-		prev = e.Seq
+	seqs := b.Seq[lo:hi]
+	buf = binary.AppendUvarint(buf, seqs[0])
+	prev := seqs[0]
+	for _, s := range seqs[1:] {
+		buf = binary.AppendUvarint(buf, zigzag(int64(s-prev)))
+		prev = s
 	}
 	// Instance / Op / Thread: run-length pairs.
+	inst := b.Instance[lo:hi]
 	for i := 0; i < n; {
 		j := i + 1
-		for j < n && events[j].Instance == events[i].Instance {
+		for j < n && inst[j] == inst[i] {
 			j++
 		}
 		buf = binary.AppendUvarint(buf, uint64(j-i))
-		buf = binary.AppendUvarint(buf, uint64(events[i].Instance))
+		buf = binary.AppendUvarint(buf, uint64(inst[i]))
 		i = j
 	}
+	ops := b.Op[lo:hi]
 	for i := 0; i < n; {
 		j := i + 1
-		for j < n && events[j].Op == events[i].Op {
+		for j < n && ops[j] == ops[i] {
 			j++
 		}
 		buf = binary.AppendUvarint(buf, uint64(j-i))
-		buf = binary.AppendUvarint(buf, uint64(events[i].Op))
+		buf = binary.AppendUvarint(buf, uint64(ops[i]))
 		i = j
 	}
+	threads := b.Thread[lo:hi]
 	for i := 0; i < n; {
 		j := i + 1
-		for j < n && events[j].Thread == events[i].Thread {
+		for j < n && threads[j] == threads[i] {
 			j++
 		}
 		buf = binary.AppendUvarint(buf, uint64(j-i))
-		buf = binary.AppendUvarint(buf, uint64(events[i].Thread))
+		buf = binary.AppendUvarint(buf, uint64(threads[i]))
 		i = j
 	}
 	// Index / Size: zigzag deltas from the previous value.
 	var pi int64
-	for _, e := range events {
-		buf = binary.AppendUvarint(buf, zigzag(int64(e.Index)-pi))
-		pi = int64(e.Index)
+	for _, v := range b.Index[lo:hi] {
+		buf = binary.AppendUvarint(buf, zigzag(int64(v)-pi))
+		pi = int64(v)
 	}
 	var ps int64
-	for _, e := range events {
-		buf = binary.AppendUvarint(buf, zigzag(int64(e.Size)-ps))
-		ps = int64(e.Size)
+	for _, v := range b.Size[lo:hi] {
+		buf = binary.AppendUvarint(buf, zigzag(int64(v)-ps))
+		ps = int64(v)
 	}
 	return buf
 }
 
-// writeFrameV3 emits one v3 event frame: kind, payload length, payload, CRC.
+// encScratch recycles the pivot batches appendColumnarFrame scatters []Event
+// input through on its way to the columnar encoder.
+var encScratch = sync.Pool{New: func() any { return new(ColumnBatch) }}
+
+// appendColumnarFrame encodes one struct batch (1 ≤ len ≤ MaxBatch) as a v3
+// payload, appended to buf.
+func appendColumnarFrame(buf []byte, events []Event) []byte {
+	b := encScratch.Get().(*ColumnBatch)
+	b.Reset()
+	b.AppendEvents(events)
+	buf = appendColumnarBatch(buf, b, 0, b.Len())
+	encScratch.Put(b)
+	return buf
+}
+
+// writeFrameV3 emits one v3 event frame from a struct batch.
 func (sw *StreamWriter) writeFrameV3(events []Event) error {
 	sw.enc = appendColumnarFrame(sw.enc[:0], events)
+	return sw.writeV3Payload()
+}
+
+// writeFrameV3Batch emits one v3 event frame straight from columns — no
+// Event structs on the write path.
+func (sw *StreamWriter) writeFrameV3Batch(b *ColumnBatch, lo, hi int) error {
+	sw.enc = appendColumnarBatch(sw.enc[:0], b, lo, hi)
+	return sw.writeV3Payload()
+}
+
+// writeV3Payload frames the encoded payload in sw.enc: kind, payload length,
+// payload, CRC.
+func (sw *StreamWriter) writeV3Payload() error {
 	if err := sw.w.WriteByte(frameEvents); err != nil {
 		return err
 	}
@@ -133,32 +170,43 @@ func (c *columnarCursor) uvarint() (uint64, error) {
 	return v, nil
 }
 
-// decodeColumnarFrame decodes a CRC-verified v3 payload. Structural
-// inconsistencies (counts not adding up, trailing bytes) are ErrBadStream:
-// the checksum passed, so the frame is malformed, not corrupted.
-func decodeColumnarFrame(payload []byte) ([]Event, error) {
+// decodeColumnarInto decodes a CRC-verified v3 payload, appending the events
+// onto b's columns — the payload layout is the columns, so no Event struct is
+// ever built. Structural inconsistencies (counts not adding up, trailing
+// bytes) are ErrBadStream: the checksum passed, so the frame is malformed,
+// not corrupted. On any error b is restored to its pre-call length.
+func decodeColumnarInto(b *ColumnBatch, payload []byte) error {
+	base := b.Len()
+	if err := decodeColumnarAppend(b, payload); err != nil {
+		b.truncate(base)
+		return err
+	}
+	return nil
+}
+
+func decodeColumnarAppend(b *ColumnBatch, payload []byte) error {
 	c := &columnarCursor{b: payload}
 	n64, err := c.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n64 == 0 || n64 > MaxBatch {
-		return nil, fmt.Errorf("%w: columnar batch of %d (max %d)", ErrBadStream, n64, MaxBatch)
+		return fmt.Errorf("%w: columnar batch of %d (max %d)", ErrBadStream, n64, MaxBatch)
 	}
 	n := int(n64)
-	events := make([]Event, n)
+	b.Grow(n)
 	seq, err := c.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	events[0].Seq = seq
+	b.Seq = append(b.Seq, seq)
 	for i := 1; i < n; i++ {
 		d, err := c.uvarint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		seq += uint64(unzigzag(d))
-		events[i].Seq = seq
+		b.Seq = append(b.Seq, seq)
 	}
 	// The three RLE columns.
 	for col := 0; col < 3; col++ {
@@ -166,23 +214,27 @@ func decodeColumnarFrame(payload []byte) ([]Event, error) {
 		for covered < n {
 			run, err := c.uvarint()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if run == 0 || run > uint64(n-covered) {
-				return nil, fmt.Errorf("%w: bad run length %d in columnar frame", ErrBadStream, run)
+				return fmt.Errorf("%w: bad run length %d in columnar frame", ErrBadStream, run)
 			}
 			val, err := c.uvarint()
 			if err != nil {
-				return nil, err
+				return err
 			}
-			for i := covered; i < covered+int(run); i++ {
-				switch col {
-				case 0:
-					events[i].Instance = InstanceID(val)
-				case 1:
-					events[i].Op = Op(val)
-				case 2:
-					events[i].Thread = ThreadID(val)
+			switch col {
+			case 0:
+				for i := 0; i < int(run); i++ {
+					b.Instance = append(b.Instance, InstanceID(val))
+				}
+			case 1:
+				for i := 0; i < int(run); i++ {
+					b.Op = append(b.Op, Op(val))
+				}
+			case 2:
+				for i := 0; i < int(run); i++ {
+					b.Thread = append(b.Thread, ThreadID(val))
 				}
 			}
 			covered += int(run)
@@ -192,54 +244,96 @@ func decodeColumnarFrame(payload []byte) ([]Event, error) {
 	for i := 0; i < n; i++ {
 		d, err := c.uvarint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pi += unzigzag(d)
-		events[i].Index = int(pi)
+		b.Index = append(b.Index, int(pi))
 	}
 	var ps int64
 	for i := 0; i < n; i++ {
 		d, err := c.uvarint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ps += unzigzag(d)
-		events[i].Size = int(ps)
+		b.Size = append(b.Size, int(ps))
 	}
 	if c.off != len(payload) {
-		return nil, fmt.Errorf("%w: %d trailing bytes in columnar frame", ErrBadStream, len(payload)-c.off)
+		return fmt.Errorf("%w: %d trailing bytes in columnar frame", ErrBadStream, len(payload)-c.off)
 	}
-	return events, nil
+	return nil
 }
 
-// readEventFrameV3 reads a v3 event-frame body (kind byte consumed): the
-// payload-length prefix, the payload, and the CRC. On checksum mismatch the
-// frame is fully consumed and a placeholder slice sized from the declared
-// count (when it is parseable) is returned alongside ErrChecksum, so
-// salvaging readers can account for what the skipped frame contained.
-func (sr *StreamReader) readEventFrameV3() ([]Event, error) {
+// decodeColumnarFrame decodes a CRC-verified v3 payload into a struct batch —
+// the inflating compatibility form over decodeColumnarInto.
+func decodeColumnarFrame(payload []byte) ([]Event, error) {
+	var b ColumnBatch
+	if err := decodeColumnarInto(&b, payload); err != nil {
+		return nil, err
+	}
+	return b.Events(make([]Event, 0, b.Len())), nil
+}
+
+// readEventFrameV3Into reads a v3 event-frame body (kind byte consumed) —
+// payload-length prefix, payload, CRC — appending the decoded events onto b.
+// The payload buffer is reused across frames, so a replay loop allocates
+// nothing per frame beyond column growth. It returns the number of events
+// appended. On checksum mismatch the frame is fully consumed, nothing is
+// appended, and the declared count (when parseable) is returned alongside
+// ErrChecksum so salvaging readers can account for what the skipped frame
+// contained.
+func (sr *StreamReader) readEventFrameV3Into(b *ColumnBatch) (int, error) {
 	plen, err := sr.readUvarint()
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading frame length: %w", err)
+		return 0, fmt.Errorf("trace: reading frame length: %w", err)
 	}
 	if plen == 0 || plen > maxV3Payload {
-		return nil, fmt.Errorf("%w: columnar payload of %d bytes (max %d)", ErrBadStream, plen, maxV3Payload)
+		return 0, fmt.Errorf("%w: columnar payload of %d bytes (max %d)", ErrBadStream, plen, maxV3Payload)
 	}
-	payload := make([]byte, plen)
+	if uint64(cap(sr.pay)) < plen {
+		// Grow with headroom: payload sizes creep up a few bytes per frame
+		// (the leading raw Seq gets larger), and an exact-fit scratch would
+		// reallocate on nearly every frame.
+		sr.pay = make([]byte, plen+plen/2)
+	}
+	payload := sr.pay[:plen]
 	if err := sr.readFull(payload); err != nil {
-		return nil, fmt.Errorf("trace: reading frame payload: %w", noEOF(err))
+		return 0, fmt.Errorf("trace: reading frame payload: %w", noEOF(err))
 	}
-	var sum [4]byte
-	if err := sr.readFull(sum[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading frame checksum: %w", noEOF(err))
+	// sr.buf doubles as checksum scratch: a local [4]byte would escape
+	// through the io.ReadFull interface call and cost one heap allocation
+	// per frame.
+	sum := sr.buf[:4]
+	if err := sr.readFull(sum); err != nil {
+		return 0, fmt.Errorf("trace: reading frame checksum: %w", noEOF(err))
 	}
-	if binary.LittleEndian.Uint32(sum[:]) != crc32.Checksum(payload, crcTable) {
+	if binary.LittleEndian.Uint32(sum) != crc32.Checksum(payload, crcTable) {
 		// The payload is untrustworthy; recover the declared count if it
 		// parses so skipped-event accounting still works.
 		if n, k := binary.Uvarint(payload); k > 0 && n > 0 && n <= MaxBatch {
+			return int(n), ErrChecksum
+		}
+		return 0, ErrChecksum
+	}
+	base := b.Len()
+	if err := decodeColumnarInto(b, payload); err != nil {
+		return 0, err
+	}
+	return b.Len() - base, nil
+}
+
+// readEventFrameV3 is the inflating form of readEventFrameV3Into, feeding the
+// struct-batch readers (readEventFrame, ReadBatch).
+func (sr *StreamReader) readEventFrameV3() ([]Event, error) {
+	var b ColumnBatch
+	n, err := sr.readEventFrameV3Into(&b)
+	if err != nil {
+		if errors.Is(err, ErrChecksum) && n > 0 {
+			// Placeholder slice sized from the declared count, matching the
+			// v2 reader's skipped-frame accounting contract.
 			return make([]Event, n), ErrChecksum
 		}
-		return nil, ErrChecksum
+		return nil, err
 	}
-	return decodeColumnarFrame(payload)
+	return b.Events(make([]Event, 0, n)), nil
 }

@@ -107,6 +107,66 @@ func (u *Stream) Event(e trace.Event) {
 	}
 }
 
+// FoldBatch folds events [i, j) of a column batch — Event applied per
+// element, walking the Op/Index/Size columns in one tight loop (Seq, Instance
+// and Thread never matter here). atBack is inlined on the columns; the fuzz
+// differential holds the two forms equal.
+func (u *Stream) FoldBatch(b *trace.ColumnBatch, i, j int) {
+	ops := b.Op[i:j]
+	idxs := b.Index[i:j]
+	sizes := b.Size[i:j]
+	for k := range ops {
+		idx := idxs[k]
+		if idx < 0 {
+			continue
+		}
+		op, size := ops[k], sizes[k]
+		front := idx == 0
+		var back bool
+		if op == trace.OpDelete {
+			back = idx >= size
+		} else {
+			back = size > 0 && idx >= size-1
+		}
+		switch op {
+		case trace.OpInsert:
+			if front {
+				u.iqInsFront++
+			} else if back {
+				u.iqInsBack++
+			}
+			if front && size <= 1 {
+				u.siInsBack++
+				u.siInsFront++
+			} else if front {
+				u.siInsFront++
+			} else if back {
+				u.siInsBack++
+			}
+		case trace.OpDelete:
+			if front {
+				u.iqOutFront++
+			} else if back {
+				u.iqOutBack++
+			}
+			if front && size == 0 {
+				u.siDelFront++
+				u.siDelBack++
+			} else if front {
+				u.siDelFront++
+			} else if back {
+				u.siDelBack++
+			}
+		case trace.OpRead:
+			if front {
+				u.iqOutFront++
+			} else if back {
+				u.iqOutBack++
+			}
+		}
+	}
+}
+
 // Run folds one closed run of the instance's global (default-options)
 // segmentation, in stream order — Sort-After-Insert needs run adjacency and
 // Write-Without-Read needs the terminal run.
