@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath bench-columnar smoke-obs fuzz-smoke clean
+.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath bench-columnar smoke-obs chaos fuzz-smoke clean
 
 ## check: everything CI runs — build, vet, full tests, race tests on the
 ## concurrent packages, the streaming/batch and hot-path differentials under
@@ -16,6 +16,7 @@ check:
 	$(MAKE) bench-hotpath
 	$(MAKE) bench-columnar
 	$(MAKE) smoke-obs
+	$(MAKE) chaos
 	$(MAKE) fuzz-smoke
 
 build:
@@ -88,6 +89,14 @@ smoke-obs:
 	if [ $$ok -ne 0 ]; then echo "smoke-obs: endpoint check FAILED"; exit 1; fi; \
 	echo "smoke-obs: /healthz /metrics /statusz OK"
 
+## chaos: the fault-injection matrix under the race detector — flaky accepts,
+## mid-frame link cuts, corrupted frames, stalled (slowloris) readers with
+## quarantine, spill-disk failure, and daemon restart/resume. Every cell
+## asserts the per-tenant conservation identity (received = delivered +
+## sampled-out + dropped) and the producer-side delivery invariant.
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/core/ ./internal/trace/ ./internal/faultnet/ -count 1
+
 ## fuzz-smoke: 10 seconds of fuzzing per decoder entry point (go's fuzzer
 ## accepts one -fuzz pattern per run, hence the sequence). Catches wire-format
 ## regressions that crash or mis-account the salvaging loaders.
@@ -97,6 +106,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzChecksummedFrameReader$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzColumnarDecoder$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzColumnarFoldDifferential$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzHelloHandshake$$' -fuzztime 10s
 
 clean:
 	$(GO) clean ./...

@@ -28,6 +28,15 @@ type options struct {
 	conns       int
 	connTO      time.Duration
 	overload    string
+	daemon      bool
+	drainTO     time.Duration
+	ckptDir     string
+	windowEv    int
+	tenant      string
+	quotas      string
+	merge       bool
+	mergeFiles  []string
+	saveReport  string
 	stream      bool
 	live        time.Duration
 	stats       bool
@@ -61,6 +70,14 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.StringVar(&o.collect, "collect", "", "ship events to a collector at host:port instead of in-process")
 	fs.StringVar(&o.spillDir, "spill-dir", "", "with -collect: spill events to a WAL in this directory while the collector is unreachable")
 	fs.StringVar(&o.listen, "listen", "", "run as the collector: accept producer streams on host:port and analyze them")
+	fs.BoolVar(&o.daemon, "daemon", false, "with -listen: run forever as a multi-tenant daemon (sessions come and go; SIGTERM drains and checkpoints)")
+	fs.DurationVar(&o.drainTO, "drain-timeout", 5*time.Second, "with -listen: how long SIGTERM/SIGINT waits for in-flight streams before cutting them")
+	fs.StringVar(&o.ckptDir, "checkpoint-dir", "", "with -daemon: persist per-tenant snapshots here on SIGTERM and restore them on start")
+	fs.IntVar(&o.windowEv, "window-events", 0, "with -daemon: rotate a tenant's analysis window after this many events (0 = 1<<20)")
+	fs.StringVar(&o.tenant, "tenant", "", "with -collect: tenant identity sent in the stream hello (default tenant when empty)")
+	fs.StringVar(&o.quotas, "quotas", "", "with -daemon: per-tenant quotas, e.g. 'alpha:rate=500,conns=2;beta:rate=100' (keys: rate, burst, conns, sample, timeout, memory)")
+	fs.BoolVar(&o.merge, "merge", false, "merge report snapshots (positional args) into one fleet report")
+	fs.StringVar(&o.saveReport, "save-report", "", "write the final report as a snapshot loadable by -merge")
 	fs.IntVar(&o.conns, "conns", 1, "with -listen: number of producer streams to wait for before analyzing")
 	fs.DurationVar(&o.connTO, "conn-timeout", 0, "with -listen: per-frame read deadline on producer connections (0 = none); with -collect: write deadline per batch")
 	fs.StringVar(&o.overload, "overload", "block", "in-process overload policy: block (lossless), drop, or sample:N")
@@ -79,6 +96,7 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	if o.live > 0 {
 		o.stream = true
 	}
+	o.mergeFiles = fs.Args()
 	if err := o.validate(); err != nil {
 		fmt.Fprintln(errw, "dsspy:", err)
 		return nil, err
@@ -110,6 +128,20 @@ func (o *options) isSet(name string) bool {
 		return o.verbose
 	case "quiet":
 		return o.quiet
+	case "daemon":
+		return o.daemon
+	case "checkpoint-dir":
+		return o.ckptDir != ""
+	case "window-events":
+		return o.windowEv != 0
+	case "tenant":
+		return o.tenant != ""
+	case "quotas":
+		return o.quotas != ""
+	case "merge":
+		return o.merge
+	case "save-report":
+		return o.saveReport != ""
 	}
 	return false
 }
@@ -138,12 +170,24 @@ var conflicts = []flagConflict{
 	{"listen", "demo", "the collector side runs no workload"},
 	{"listen", "collect", "a process is producer or collector, not both"},
 	{"collect", "stream", "streaming analysis runs in the collector process, not the producer"},
+	{"merge", "app", "a merge folds saved reports instead of running a workload"},
+	{"merge", "demo", "a merge folds saved reports instead of running a workload"},
+	{"merge", "replay", "a merge folds saved report snapshots, not session logs"},
+	{"merge", "recover", "a merge folds saved report snapshots, not session logs"},
+	{"merge", "listen", "a process merges saved reports or collects streams, not both"},
+	{"merge", "collect", "a merge has no producer to ship events from"},
+	{"daemon", "merge", "the daemon serves live fleet reports; -merge folds saved ones"},
 	{"v", "quiet", "pick one verbosity"},
 }
 
 // requires lists flags that only make sense alongside another flag.
 var requires = []flagConflict{
 	{"spill-dir", "collect", "the spill WAL absorbs events while a -collect link is down"},
+	{"daemon", "listen", "the daemon is the long-lived collector side"},
+	{"checkpoint-dir", "daemon", "checkpoints are the daemon's restart state"},
+	{"window-events", "daemon", "analysis windows are per-tenant daemon state"},
+	{"quotas", "daemon", "quotas guard the daemon's tenants"},
+	{"tenant", "collect", "the tenant identity travels in the producer's hello frame"},
 }
 
 // validate applies the conflict and requirement tables, returning a one-line
@@ -157,6 +201,14 @@ func (o *options) validate() error {
 	for _, r := range requires {
 		if o.isSet(r.a) && !o.isSet(r.b) {
 			return fmt.Errorf("-%s requires -%s: %s", r.a, r.b, r.reason)
+		}
+	}
+	if o.merge && len(o.mergeFiles) == 0 {
+		return fmt.Errorf("-merge needs at least one report snapshot argument")
+	}
+	if o.quotas != "" {
+		if _, err := parseQuotas(o.quotas); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -19,6 +19,11 @@ func TestFlagValidation(t *testing.T) {
 		{"collect with spill", []string{"-app", "Algorithmia", "-collect", "h:1", "-spill-dir", "/tmp"}, ""},
 		{"listen alone", []string{"-listen", ":7777", "-conns", "2"}, ""},
 		{"replay streamed", []string{"-replay", "run.dslog", "-stream"}, ""},
+		{"daemon run", []string{"-listen", ":7777", "-daemon", "-checkpoint-dir", "/tmp/ck",
+			"-window-events", "100000", "-quotas", "alpha:rate=500,conns=2;beta:sample=16"}, ""},
+		{"tenant producer", []string{"-app", "Algorithmia", "-collect", "h:1", "-tenant", "alpha"}, ""},
+		{"merge snapshots", []string{"-merge", "a.json", "b.json"}, ""},
+		{"save report", []string{"-app", "Mandelbrot", "-save-report", "out.json"}, ""},
 
 		{"app and demo", []string{"-app", "a", "-demo", "d"}, "-app and -demo"},
 		{"replay and app", []string{"-replay", "f", "-app", "a"}, "-replay and -app"},
@@ -33,6 +38,19 @@ func TestFlagValidation(t *testing.T) {
 		{"collect and live", []string{"-app", "a", "-collect", "h:1", "-live", "1s"}, "-collect and -stream"},
 		{"spill without collect", []string{"-app", "a", "-spill-dir", "/tmp"}, "-spill-dir requires -collect"},
 		{"v and quiet", []string{"-app", "a", "-v", "-quiet"}, "-v and -quiet"},
+
+		{"daemon without listen", []string{"-daemon"}, "-daemon requires -listen"},
+		{"daemon and merge", []string{"-listen", ":1", "-daemon", "-merge", "a.json"}, "-merge and -listen"},
+		{"checkpoint without daemon", []string{"-listen", ":1", "-checkpoint-dir", "/tmp/ck"}, "-checkpoint-dir requires -daemon"},
+		{"window-events without daemon", []string{"-listen", ":1", "-window-events", "100"}, "-window-events requires -daemon"},
+		{"quotas without daemon", []string{"-listen", ":1", "-quotas", "alpha:rate=5"}, "-quotas requires -daemon"},
+		{"tenant without collect", []string{"-app", "a", "-tenant", "alpha"}, "-tenant requires -collect"},
+		{"merge and app", []string{"-merge", "-app", "a", "x.json"}, "-merge and -app"},
+		{"merge and replay", []string{"-merge", "-replay", "run.dslog", "x.json"}, "-merge and -replay"},
+		{"merge without files", []string{"-merge"}, "at least one report snapshot"},
+		{"bad quotas pair", []string{"-listen", ":1", "-daemon", "-quotas", "alpha:rate"}, "not key=value"},
+		{"bad quotas key", []string{"-listen", ":1", "-daemon", "-quotas", "alpha:speed=9"}, "unknown key"},
+		{"bad quotas rate", []string{"-listen", ":1", "-daemon", "-quotas", "alpha:rate=fast"}, "rate"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"dsspy/internal/advisor"
@@ -78,8 +80,17 @@ func main() {
 	cfg.Tracer = tracer
 	analyzer := core.NewWith(cfg)
 
+	if o.merge {
+		runMerge(o)
+		return
+	}
+
 	if o.listen != "" {
-		runListen(analyzer, o, tracer, srv, sampling)
+		if o.daemon {
+			runDaemon(analyzer, o, tracer, srv, sampling)
+		} else {
+			runListen(analyzer, o, tracer, srv, sampling)
+		}
 		exportTrace(o, tracer)
 		stopObsServer(srv)
 		return
@@ -215,6 +226,7 @@ func main() {
 				Logger:         slog.Default(),
 				Tracer:         tracer,
 				SampleInterval: sampleInterval(sampling),
+				Hello:          producerHello(o),
 			})
 			if err != nil {
 				fatal(err)
@@ -316,6 +328,15 @@ func main() {
 	rsp.End()
 	if err != nil {
 		fatal(err)
+	}
+	if o.saveReport != "" {
+		if rep.Origin == "" {
+			rep.Origin = runLabel(o)
+		}
+		if err := core.SaveReportFile(o.saveReport, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nreport snapshot written to %s — combine shards with dsspy -merge\n", o.saveReport)
 	}
 	if o.stats {
 		fmt.Println()
@@ -429,14 +450,39 @@ func runListen(analyzer *core.DSspy, o *options, tracer *obs.Tracer, srv *obs.Se
 		srv.SetStatus(func() *obs.Status { return listenStatus(o.listen, start, cs) })
 	}
 	fmt.Printf("collecting on %s, waiting for %d producer stream(s)...\n", cs.Addr(), o.conns)
-	cs.WaitStreams(o.conns)
-	if err := cs.Close(); err != nil {
-		fatal(err)
+
+	// SIGTERM/SIGINT while collecting: a bounded drain, not an abort. The
+	// listener closes immediately, in-flight streams get -drain-timeout to
+	// finish, stragglers are cut — and everything decoded up to the cut is
+	// salvaged into the analysis below.
+	done := make(chan struct{})
+	go func() {
+		cs.WaitStreams(o.conns)
+		close(done)
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-done:
+		signal.Stop(sig)
+		if err := cs.Close(); err != nil {
+			fatal(err)
+		}
+	case s := <-sig:
+		signal.Stop(sig)
+		fmt.Printf("\n%s: draining in-flight streams (up to %s)...\n", s, o.drainTO)
+		cut, err := cs.Drain(o.drainTO)
+		if err != nil {
+			slog.Warn("drain finished with errors", "err", err)
+		}
+		if cut > 0 {
+			fmt.Printf("drain timeout: cut %d still-open stream(s); events decoded before the cut are kept\n", cut)
+		}
 	}
 
 	s := cs.Session()
 	evs := cs.Events()
-	fmt.Printf("received %d events from %d stream(s)\n\n", len(evs), o.conns)
+	fmt.Printf("received %d events\n\n", len(evs))
 	if o.logPath != "" {
 		if err := trace.SaveSessionLog(o.logPath, s, evs); err != nil {
 			fatal(err)
@@ -450,6 +496,13 @@ func runListen(analyzer *core.DSspy, o *options, tracer *obs.Tracer, srv *obs.Se
 	rsp.End()
 	if err != nil {
 		fatal(err)
+	}
+	if o.saveReport != "" {
+		rep.Origin = o.listen
+		if err := core.SaveReportFile(o.saveReport, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nreport snapshot written to %s — combine shards with dsspy -merge\n", o.saveReport)
 	}
 	if o.stats {
 		fmt.Println()

@@ -246,6 +246,43 @@ func listenStatus(addr string, start time.Time, cs *trace.CollectorServer) *obs.
 	return st
 }
 
+// daemonStatus is the /statusz page of `dsspy -listen -daemon`: the server
+// section plus a per-tenant row set — admission level, quota accounting, and
+// window state — so one glance shows who is degraded and why.
+func daemonStatus(addr string, start time.Time, cs *trace.CollectorServer, daemon *core.Daemon) *obs.Status {
+	st := listenStatus(addr, start, cs)
+	st.Title = "dsspy — daemon " + addr
+
+	windows := map[string]core.DaemonTenantStatus{}
+	for _, ds := range daemon.Status() {
+		windows[ds.Tenant] = ds
+	}
+	table := &obs.StatusTable{Header: []string{
+		"tenant", "level", "conns", "received", "delivered", "sampled out", "dropped",
+		"timeouts", "open window", "closed windows",
+	}}
+	for _, ts := range cs.TenantStats() {
+		ds := windows[ts.Tenant]
+		level := ts.Level.String()
+		if ts.Quarantined {
+			level += " (quarantined)"
+		}
+		table.Rows = append(table.Rows, []string{
+			ts.Tenant, level,
+			fmt.Sprintf("%d (%d rejected)", ts.Conns, ts.ConnsRejected),
+			fmt.Sprint(ts.Received), fmt.Sprint(ts.Delivered),
+			fmt.Sprint(ts.SampledOut), fmt.Sprint(ts.Dropped),
+			fmt.Sprint(ts.Timeouts),
+			fmt.Sprint(ds.OpenEvents),
+			fmt.Sprintf("%d (%d rotated, %d evicted)", ds.Windows, ds.Rotated, ds.Evicted),
+		})
+	}
+	st.Sections = append(st.Sections, obs.StatusSection{
+		Title: fmt.Sprintf("Tenants (%d)", len(table.Rows)), Table: table,
+	})
+	return st
+}
+
 // overheadStats assembles the §V self-overhead accounting from the timed
 // recorder's sampled Record costs and the measured workload clocks.
 func overheadStats(timed *trace.TimedRecorder, wall, plainWall time.Duration) *metrics.OverheadStats {

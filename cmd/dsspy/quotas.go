@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dsspy/internal/trace"
+)
+
+// parseQuotas turns the -quotas spec into per-tenant quotas. The grammar is
+// tenant blocks separated by ';', each "tenant:key=value,key=value":
+//
+//	alpha:rate=500,conns=2;beta:rate=100,sample=16
+//
+// Keys: rate (events/sec), burst (bucket size), conns (max concurrent),
+// sample (keep 1-in-N when degraded), timeout (per-frame read deadline,
+// Go duration), memory (max retained events). A block named "*" (or with no
+// tenant name) sets the default quota for tenants not listed.
+func parseQuotas(spec string) (*trace.TenancyOptions, error) {
+	opts := &trace.TenancyOptions{PerTenant: map[string]trace.TenantQuota{}}
+	for _, block := range strings.Split(spec, ";") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		name := "*"
+		body := block
+		if i := strings.Index(block, ":"); i >= 0 {
+			name = strings.TrimSpace(block[:i])
+			body = block[i+1:]
+			if name == "" {
+				name = "*"
+			}
+		}
+		var q trace.TenantQuota
+		for _, kv := range strings.Split(body, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("-quotas: %q is not key=value (in block %q)", kv, block)
+			}
+			key = strings.TrimSpace(key)
+			val = strings.TrimSpace(val)
+			switch key {
+			case "rate":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("-quotas: rate %q: %v", val, err)
+				}
+				q.EventsPerSec = n
+			case "burst":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("-quotas: burst %q: %v", val, err)
+				}
+				q.Burst = n
+			case "conns":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("-quotas: conns %q: %v", val, err)
+				}
+				q.MaxConns = n
+			case "sample":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("-quotas: sample %q: %v", val, err)
+				}
+				q.SampleN = n
+			case "timeout":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return nil, fmt.Errorf("-quotas: timeout %q: %v", val, err)
+				}
+				q.ConnTimeout = d
+			case "memory":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("-quotas: memory %q: %v", val, err)
+				}
+				q.MaxStoredEvents = n
+			default:
+				return nil, fmt.Errorf("-quotas: unknown key %q (want rate, burst, conns, sample, timeout, memory)", key)
+			}
+		}
+		if name == "*" {
+			opts.Default = q
+		} else {
+			opts.PerTenant[name] = q
+		}
+	}
+	return opts, nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseQuotas(t *testing.T) {
+	opts, err := parseQuotas("alpha:rate=500,burst=100,conns=2,timeout=250ms;beta:sample=16,memory=5000;*:rate=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := opts.PerTenant["alpha"]
+	if a.EventsPerSec != 500 || a.Burst != 100 || a.MaxConns != 2 || a.ConnTimeout != 250*time.Millisecond {
+		t.Fatalf("alpha quota = %+v", a)
+	}
+	b := opts.PerTenant["beta"]
+	if b.SampleN != 16 || b.MaxStoredEvents != 5000 {
+		t.Fatalf("beta quota = %+v", b)
+	}
+	if opts.Default.EventsPerSec != 50 {
+		t.Fatalf("default quota = %+v", opts.Default)
+	}
+}
+
+func TestParseQuotasUnnamedBlockIsDefault(t *testing.T) {
+	opts, err := parseQuotas("rate=100,burst=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Default.EventsPerSec != 100 || opts.Default.Burst != 20 {
+		t.Fatalf("default quota = %+v", opts.Default)
+	}
+	if len(opts.PerTenant) != 0 {
+		t.Fatalf("unexpected per-tenant quotas: %v", opts.PerTenant)
+	}
+}

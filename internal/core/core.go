@@ -65,6 +65,10 @@ func NewWith(cfg Config) *DSspy {
 
 // InstanceResult is the analysis outcome for one data-structure instance.
 type InstanceResult struct {
+	// Origin names the report shard the result came from — a process, run,
+	// or daemon window. Empty for single-run reports; MergeReports keys
+	// instance identity on (Origin, Profile.Instance.ID).
+	Origin   string
 	Profile  *profile.Profile
 	Summary  *pattern.Summary
 	UseCases []usecase.UseCase
@@ -81,12 +85,20 @@ func (r *InstanceResult) Patterns() []pattern.Pattern { return r.Summary.Pattern
 
 // Report is the outcome of one analysis run.
 type Report struct {
+	// Origin names the producing process/run/window in merged fleet views;
+	// empty for a plain single-run report.
+	Origin    string
 	Instances []*InstanceResult
 	// Registered is the full instance registry, including instances that
 	// never raised an event; the search-space figures are computed against
 	// the lists and arrays in it, exactly as the evaluation counted
 	// "number of instantiations of both data structures".
 	Registered []trace.Instance
+	// RegisteredFrom, set only in merged fleet reports, names the origin of
+	// each Registered entry (a slice parallel to Registered). It keeps
+	// re-merging associative: without it, two same-ID instances from
+	// different processes would collapse into one registry row.
+	RegisteredFrom []string
 	// Stats instruments the analysis pipeline itself: per-stage wall
 	// times, worker count, and (when the events came from an in-process
 	// collector) the collection-side queue statistics. It never influences

@@ -1,0 +1,244 @@
+package core_test
+
+// Daemon tests: the acceptance scenario (three tenants, one over quota, the
+// other two byte-identical to their solo runs), window rotation bounds, and
+// the checkpoint/restore contract.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dsspy/internal/core"
+	"dsspy/internal/corpus"
+	"dsspy/internal/trace"
+)
+
+// runTenantProducer instruments a corpus program over a daemon socket: dial
+// with the tenant's hello, run the behaviors, ship the registry, close.
+func runTenantProducer(t *testing.T, addr, tenant string, p corpus.DynamicProgram) {
+	t.Helper()
+	sock, err := trace.DialCollectorHello("tcp", addr, trace.Hello{Tenant: tenant, Process: "test", Run: "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.NewSessionWith(trace.Options{Recorder: sock, CaptureSites: true})
+	for _, b := range p.Mix.Behaviors(p.Name) {
+		b(s)
+	}
+	if err := sock.FinishSession(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonTenantIsolationUnderQuotaPressure is the ISSUE acceptance
+// scenario: three tenants share one daemon; gamma is throttled into
+// degradation; alpha's and beta's reports must equal their solo runs byte
+// for byte, and gamma's overage must be fully accounted.
+func TestDaemonTenantIsolationUnderQuotaPressure(t *testing.T) {
+	progs := corpusPrograms()
+	alphaProg, betaProg, gammaProg := progs[4], progs[7], progs[14]
+
+	daemon := core.New().NewDaemon(core.DaemonConfig{})
+	cs, err := trace.ListenCollectorOpts("tcp", "127.0.0.1:0", trace.ServerOptions{
+		Tenancy: &trace.TenancyOptions{
+			Sink: daemon,
+			PerTenant: map[string]trace.TenantQuota{
+				// A quota gamma's workload blows through immediately.
+				"gamma": {EventsPerSec: 50, Burst: 50, MaxBlock: time.Millisecond},
+			},
+			Sleep: func(time.Duration) {}, // don't serve real block waits in tests
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	addr := cs.Addr().String()
+
+	runTenantProducer(t, addr, "alpha", alphaProg)
+	runTenantProducer(t, addr, "beta", betaProg)
+	runTenantProducer(t, addr, "gamma", gammaProg)
+	cs.WaitStreams(3)
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alpha and beta: byte-identical to their solo single-collector runs.
+	for _, tc := range []struct {
+		tenant string
+		prog   corpus.DynamicProgram
+	}{
+		{"alpha", alphaProg},
+		{"beta", betaProg},
+	} {
+		solo := tc.prog.Run(core.New())
+		want := reportBytes(t, solo)
+		got := reportBytes(t, daemon.TenantReport(tc.tenant))
+		if !bytes.Equal(got, want) {
+			t.Errorf("tenant %s: daemon report != solo run (%d vs %d bytes)", tc.tenant, len(got), len(want))
+		}
+	}
+
+	// Gamma: degraded, with every event accounted for.
+	var gamma trace.TenantStats
+	for _, ts := range cs.TenantStats() {
+		if !ts.Conserved() {
+			t.Errorf("tenant %s: conservation violated: %+v", ts.Tenant, ts)
+		}
+		if ts.Tenant == "gamma" {
+			gamma = ts
+		}
+	}
+	if gamma.SampledOut+gamma.Dropped == 0 {
+		t.Fatalf("gamma was not degraded despite a 50 ev/s quota: %+v", gamma)
+	}
+	if gamma.Demotions == 0 {
+		t.Fatalf("gamma recorded no demotions: %+v", gamma)
+	}
+	// And the shed load never reached gamma's analysis window.
+	gotGamma := daemon.TenantReport("gamma")
+	soloGamma := gammaProg.Run(core.New())
+	if gotGamma.Stats.Events >= soloGamma.Stats.Events {
+		t.Fatalf("gamma window folded %d events, want fewer than the solo run's %d",
+			gotGamma.Stats.Events, soloGamma.Stats.Events)
+	}
+}
+
+// TestDaemonWindowRotation bounds the ring and conserves events across
+// window boundaries.
+func TestDaemonWindowRotation(t *testing.T) {
+	daemon := core.New().NewDaemon(core.DaemonConfig{WindowEvents: 500, MaxWindows: 3})
+	total := 0
+	for i := 0; i < 10; i++ {
+		events := make([]trace.Event, 400)
+		for j := range events {
+			events[j] = trace.Event{
+				Seq:      uint64(total + j + 1),
+				Instance: 1,
+				Op:       trace.OpInsert,
+				Index:    j,
+				Size:     j,
+				Thread:   1,
+			}
+		}
+		daemon.TenantEvents("alpha", events)
+		total += len(events)
+	}
+	daemon.TenantInstance("alpha", trace.Instance{ID: 1, TypeName: "List[int]"})
+
+	st := daemon.Status()
+	if len(st) != 1 {
+		t.Fatalf("tenants in status: %d", len(st))
+	}
+	a := st[0]
+	// Batches of 400 cross the 500-event bound every second batch: 5 rotations.
+	if a.Rotated != 5 {
+		t.Fatalf("rotated %d windows over %d events with WindowEvents=500, want 5", a.Rotated, total)
+	}
+	if a.Windows > 3 {
+		t.Fatalf("ring holds %d windows, bound is 3", a.Windows)
+	}
+	if a.Evicted != a.Rotated-a.Windows {
+		t.Fatalf("eviction accounting: rotated %d, retained %d, evicted %d", a.Rotated, a.Windows, a.Evicted)
+	}
+
+	// The merged view spans the retained windows plus the open one; its event
+	// count is exactly what was folded minus what eviction discarded.
+	rep := daemon.TenantReport("alpha")
+	if rep.Stats.Events >= total {
+		t.Fatalf("report folds %d events, want fewer than %d (evictions discarded some)", rep.Stats.Events, total)
+	}
+	if rep.Stats.Events == 0 {
+		t.Fatal("report is empty")
+	}
+}
+
+// TestDaemonCheckpointRestore: what a daemon checkpointed, its successor
+// serves — byte for byte — and new windows never reuse old origins.
+func TestDaemonCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	progs := corpusPrograms()
+
+	first := core.New().NewDaemon(core.DaemonConfig{CheckpointDir: dir, WindowEvents: 300})
+	feed := func(dm *core.Daemon, tenant string, p corpus.DynamicProgram) {
+		rec := trace.NewMemRecorder()
+		s := trace.NewSessionWith(trace.Options{Recorder: rec, CaptureSites: true})
+		for _, b := range p.Mix.Behaviors(p.Name) {
+			b(s)
+		}
+		for _, inst := range s.Instances() {
+			dm.TenantInstance(tenant, inst)
+		}
+		dm.TenantEvents(tenant, rec.Events())
+	}
+	feed(first, "alpha", progs[3])
+	feed(first, "beta", progs[9])
+	if err := first.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	wantAlpha := reportBytes(t, first.TenantReport("alpha"))
+	wantBeta := reportBytes(t, first.TenantReport("beta"))
+	wantFleet := reportBytes(t, first.FleetReport())
+
+	second := core.New().NewDaemon(core.DaemonConfig{CheckpointDir: dir, WindowEvents: 300})
+	n, err := second.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d tenants, want 2", n)
+	}
+	if got := reportBytes(t, second.TenantReport("alpha")); !bytes.Equal(got, wantAlpha) {
+		t.Error("alpha: restored report != checkpointed report")
+	}
+	if got := reportBytes(t, second.TenantReport("beta")); !bytes.Equal(got, wantBeta) {
+		t.Error("beta: restored report != checkpointed report")
+	}
+	if got := reportBytes(t, second.FleetReport()); !bytes.Equal(got, wantFleet) {
+		t.Error("fleet: restored view != checkpointed view")
+	}
+
+	// New events land in windows numbered past the restored ones.
+	feed(second, "alpha", progs[3])
+	rep := second.TenantReport("alpha")
+	seen := map[string]bool{}
+	for _, ir := range rep.Instances {
+		seen[ir.Origin] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("post-restore windows reuse checkpointed origins: %v", seen)
+	}
+}
+
+// TestDaemonCheckpointIsIdempotent: checkpointing twice with no new traffic
+// must not change the saved state or the served report.
+func TestDaemonCheckpointIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	daemon := core.New().NewDaemon(core.DaemonConfig{CheckpointDir: dir})
+	events := make([]trace.Event, 100)
+	for j := range events {
+		events[j] = trace.Event{Seq: uint64(j + 1), Instance: 1, Op: trace.OpInsert, Index: j, Size: j, Thread: 1}
+	}
+	daemon.TenantInstance("alpha", trace.Instance{ID: 1, TypeName: "List[int]"})
+	daemon.TenantEvents("alpha", events)
+
+	if err := daemon.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, daemon.TenantReport("alpha"))
+	if err := daemon.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportBytes(t, daemon.TenantReport("alpha")); !bytes.Equal(got, want) {
+		t.Fatal("a quiet second checkpoint changed the tenant report")
+	}
+
+	restored := core.New().NewDaemon(core.DaemonConfig{CheckpointDir: dir})
+	if _, err := restored.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportBytes(t, restored.TenantReport("alpha")); !bytes.Equal(got, want) {
+		t.Fatal("restore after double checkpoint diverged")
+	}
+}

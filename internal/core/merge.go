@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+
+	"dsspy/internal/metrics"
+	"dsspy/internal/trace"
+)
+
+// Fleet merge: reports from many processes — or many windows of one daemon
+// tenant — fold into a single view. The algebra is deliberately simple so it
+// is trustworthy at fleet scale:
+//
+//   - Instance identity is (origin, instance id). Origins never collide
+//     across processes (the daemon stamps each window "tenant#N", the CLI
+//     stamps files), and ids are never renumbered, so merging is a keyed
+//     union.
+//   - Two rows with the same identity are either duplicates (identical
+//     content — shards of one session overlapping) or a conflict (the same
+//     origin reused for different data). Conflicts resolve by a total order:
+//     more events wins, ties break on the larger snapshot encoding. Picking
+//     a deterministic winner — rather than trying to fold two finished
+//     analyses — keeps the merge associative, commutative and idempotent:
+//     merge(a, merge(b, c)) == merge(merge(a, b), c) == merge over any
+//     permutation, which the property tests assert over the whole corpus.
+//
+// Merging shards of one session (same origin, disjoint instances, shared
+// registry) therefore reproduces the single-collector report byte for byte.
+
+// MergeStats describes what a merge folded.
+type MergeStats struct {
+	Reports    int // input reports
+	Instances  int // distinct (origin, id) rows in the merged view
+	Duplicates int // identical same-identity rows folded into one
+	Conflicts  int // same-identity rows with different content, resolved by the total order
+}
+
+type mergeKey struct {
+	origin string
+	id     trace.InstanceID
+}
+
+// MergeReports folds any number of reports into one fleet view. Inputs are
+// not mutated. Instances and registry rows are keyed by (origin, id) — a
+// report-level Origin is inherited by rows that carry none — and the merged
+// report is ordered by (origin, id), so the output is independent of input
+// order.
+func MergeReports(reports ...*Report) (*Report, MergeStats) {
+	ms := MergeStats{Reports: len(reports)}
+
+	type row struct {
+		ir  *InstanceResult
+		enc []byte // snapshot encoding, the conflict tiebreak and equality witness
+	}
+	instances := make(map[mergeKey]row)
+	type regRow struct {
+		inst trace.Instance
+		enc  []byte
+	}
+	registry := make(map[mergeKey]regRow)
+
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		for _, ir := range rep.Instances {
+			origin := ir.Origin
+			if origin == "" {
+				origin = rep.Origin
+			}
+			// Rows are copied so the merged view owns its Origin stamps.
+			cp := *ir
+			cp.Origin = origin
+			key := mergeKey{origin, cp.Profile.Instance.ID}
+			enc := encodeRow(&cp)
+			have, ok := instances[key]
+			if !ok {
+				instances[key] = row{ir: &cp, enc: enc}
+				continue
+			}
+			if bytes.Equal(have.enc, enc) {
+				ms.Duplicates++
+				continue
+			}
+			ms.Conflicts++
+			if betterRow(&cp, enc, have.ir, have.enc) {
+				instances[key] = row{ir: &cp, enc: enc}
+			}
+		}
+		for i, inst := range rep.Registered {
+			origin := rep.Origin
+			if rep.RegisteredFrom != nil && i < len(rep.RegisteredFrom) {
+				origin = rep.RegisteredFrom[i]
+			}
+			key := mergeKey{origin, inst.ID}
+			enc, _ := json.Marshal(inst)
+			have, ok := registry[key]
+			if !ok || bytes.Compare(enc, have.enc) > 0 {
+				if ok && !bytes.Equal(enc, have.enc) {
+					ms.Conflicts++
+				}
+				registry[key] = regRow{inst: inst, enc: enc}
+			} else if ok && !bytes.Equal(enc, have.enc) {
+				ms.Conflicts++
+			}
+		}
+	}
+
+	keys := make([]mergeKey, 0, len(instances))
+	for k := range instances {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	merged := &Report{Instances: make([]*InstanceResult, len(keys))}
+	events := 0
+	for i, k := range keys {
+		merged.Instances[i] = instances[k].ir
+		events += instances[k].ir.Profile.Len()
+	}
+
+	regKeys := make([]mergeKey, 0, len(registry))
+	for k := range registry {
+		regKeys = append(regKeys, k)
+	}
+	sortKeys(regKeys)
+	merged.Registered = make([]trace.Instance, len(regKeys))
+	merged.RegisteredFrom = make([]string, len(regKeys))
+	for i, k := range regKeys {
+		merged.Registered[i] = registry[k].inst
+		merged.RegisteredFrom[i] = k.origin
+	}
+
+	ms.Instances = len(merged.Instances)
+	merged.Stats = &metrics.PipelineStats{Events: events, Instances: len(merged.Instances)}
+	return merged, ms
+}
+
+func sortKeys(keys []mergeKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].origin != keys[j].origin {
+			return keys[i].origin < keys[j].origin
+		}
+		return keys[i].id < keys[j].id
+	})
+}
+
+// encodeRow is the equality witness and conflict tiebreak: the row's
+// snapshot encoding, which covers everything the report renders.
+func encodeRow(ir *InstanceResult) []byte {
+	enc, _ := json.Marshal(saveInstance(ir))
+	return enc
+}
+
+// betterRow is the conflict total order: more events wins; ties break on the
+// lexically larger encoding. Total and deterministic, so the winner never
+// depends on merge order.
+func betterRow(a *InstanceResult, aEnc []byte, b *InstanceResult, bEnc []byte) bool {
+	if an, bn := a.Profile.Len(), b.Profile.Len(); an != bn {
+		return an > bn
+	}
+	return bytes.Compare(aEnc, bEnc) > 0
+}

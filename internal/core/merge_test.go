@@ -1,0 +1,196 @@
+package core_test
+
+// Merge algebra property tests, run over the full 39-workload corpus: the
+// fleet merge must be associative, order-insensitive (commutative), and
+// idempotent, and merging shards of one session must reproduce the
+// single-collector report byte for byte. External test package so the corpus
+// (which imports core) can drive the workloads.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"dsspy/internal/core"
+	"dsspy/internal/corpus"
+)
+
+// reportBytes is the byte-identity witness: the human rendering plus the
+// JSON rendering, concatenated.
+func reportBytes(t *testing.T, rep *core.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func corpusPrograms() []corpus.DynamicProgram {
+	return append(corpus.PatternStudyPrograms(), corpus.UseCaseStudyPrograms()...)
+}
+
+// corpusReports analyzes every corpus program once, stamping each report with
+// a distinct origin so the merge treats them as distinct processes.
+func corpusReports(t *testing.T) []*core.Report {
+	t.Helper()
+	progs := corpusPrograms()
+	reports := make([]*core.Report, len(progs))
+	for i, p := range progs {
+		rep := p.Run(core.New())
+		rep.Origin = fmt.Sprintf("%s#%d", p.Name, i)
+		reports[i] = rep
+	}
+	return reports
+}
+
+func TestMergeOrderInsensitiveOverCorpus(t *testing.T) {
+	reports := corpusReports(t)
+	base, baseStats := core.MergeReports(reports...)
+	want := reportBytes(t, base)
+	if baseStats.Instances == 0 {
+		t.Fatal("merged corpus view is empty")
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		perm := make([]*core.Report, len(reports))
+		for i, j := range rng.Perm(len(reports)) {
+			perm[i] = reports[j]
+		}
+		merged, stats := core.MergeReports(perm...)
+		if got := reportBytes(t, merged); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: merge over a permutation diverged (%d vs %d bytes)", trial, len(got), len(want))
+		}
+		if stats != baseStats {
+			t.Fatalf("trial %d: merge stats order-dependent: %+v vs %+v", trial, stats, baseStats)
+		}
+	}
+}
+
+func TestMergeAssociativeOverCorpus(t *testing.T) {
+	reports := corpusReports(t)
+	flat, _ := core.MergeReports(reports...)
+	want := reportBytes(t, flat)
+
+	// Arbitrary groupings: left fold, right fold, and a 3-way split, each
+	// merged pairwise before the final fold.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		cut1 := 1 + rng.Intn(len(reports)-2)
+		cut2 := cut1 + 1 + rng.Intn(len(reports)-cut1-1)
+		a, _ := core.MergeReports(reports[:cut1]...)
+		b, _ := core.MergeReports(reports[cut1:cut2]...)
+		c, _ := core.MergeReports(reports[cut2:]...)
+		left, _ := core.MergeReports(a, b)
+		leftThenC, _ := core.MergeReports(left, c)
+		right, _ := core.MergeReports(b, c)
+		aThenRight, _ := core.MergeReports(a, right)
+		if got := reportBytes(t, leftThenC); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (cuts %d,%d): ((a·b)·c) != flat merge", trial, cut1, cut2)
+		}
+		if got := reportBytes(t, aThenRight); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (cuts %d,%d): (a·(b·c)) != flat merge", trial, cut1, cut2)
+		}
+	}
+}
+
+func TestMergeIdempotentOverCorpus(t *testing.T) {
+	reports := corpusReports(t)
+	once, _ := core.MergeReports(reports...)
+	twice, stats := core.MergeReports(append(reports, reports...)...)
+	if !bytes.Equal(reportBytes(t, once), reportBytes(t, twice)) {
+		t.Fatal("merging every report twice changed the view")
+	}
+	if stats.Conflicts != 0 {
+		t.Fatalf("duplicate inputs produced %d conflicts, want 0", stats.Conflicts)
+	}
+	// Merging the merged view with itself is also a fixpoint.
+	again, _ := core.MergeReports(once, once)
+	if !bytes.Equal(reportBytes(t, once), reportBytes(t, again)) {
+		t.Fatal("merge(m, m) != m")
+	}
+}
+
+// TestMergeShardsMatchesSingleCollector splits one session's analysis across
+// N shard reports (same origin, disjoint instances, shared registry) and
+// checks the merge reproduces the single-collector report byte for byte.
+func TestMergeShardsMatchesSingleCollector(t *testing.T) {
+	for _, p := range corpusPrograms()[:6] {
+		t.Run(p.Name, func(t *testing.T) {
+			whole := p.Run(core.New())
+			want := reportBytes(t, whole)
+
+			const shards = 3
+			parts := make([]*core.Report, shards)
+			for s := 0; s < shards; s++ {
+				part := &core.Report{
+					Origin:     whole.Origin,
+					Registered: whole.Registered, // every shard sees the registry
+					Stats:      whole.Stats,
+				}
+				for i, ir := range whole.Instances {
+					if i%shards == s {
+						part.Instances = append(part.Instances, ir)
+					}
+				}
+				parts[s] = part
+			}
+			merged, stats := core.MergeReports(parts...)
+			if got := reportBytes(t, merged); !bytes.Equal(got, want) {
+				t.Fatalf("merged shards != single collector (%d vs %d bytes; stats %+v)", len(got), len(want), stats)
+			}
+			if stats.Conflicts != 0 {
+				t.Fatalf("shard merge saw %d conflicts, want 0", stats.Conflicts)
+			}
+		})
+	}
+}
+
+// TestMergeConflictDeterministic: same identity, different content — the
+// total order must pick one winner regardless of argument order.
+func TestMergeConflictDeterministic(t *testing.T) {
+	progs := corpusPrograms()
+	a := progs[2].Run(core.New())
+	b := progs[4].Run(core.New())
+	a.Origin = "same"
+	b.Origin = "same"
+	ab, abStats := core.MergeReports(a, b)
+	ba, _ := core.MergeReports(b, a)
+	if !bytes.Equal(reportBytes(t, ab), reportBytes(t, ba)) {
+		t.Fatal("conflict resolution depends on merge order")
+	}
+	if abStats.Conflicts == 0 && abStats.Duplicates == 0 {
+		t.Fatal("expected colliding identities between two programs sharing an origin")
+	}
+}
+
+func TestSnapshotRoundTripPreservesRendering(t *testing.T) {
+	for _, p := range corpusPrograms()[:4] {
+		t.Run(p.Name, func(t *testing.T) {
+			rep := p.Run(core.New())
+			rep.Origin = "solo"
+			want := reportBytes(t, rep)
+
+			path := filepath.Join(t.TempDir(), "snap.json")
+			if err := core.SaveReportFile(path, rep); err != nil {
+				t.Fatal(err)
+			}
+			back, err := core.LoadReportFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Origin != "solo" {
+				t.Fatalf("origin lost in round trip: %q", back.Origin)
+			}
+			if got := reportBytes(t, back); !bytes.Equal(got, want) {
+				t.Fatalf("snapshot round trip changed rendering (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dsspy/internal/metrics"
+	"dsspy/internal/pattern"
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
+)
+
+// Report snapshots: a lossless JSON codec over the analysis *outcome* — not
+// the trace. A saved report round-trips through LoadReport into a Report
+// whose Write output is byte-identical to the original's, which is what the
+// daemon's checkpoint/restore and `dsspy -merge` both need. The trace itself
+// is not retained (profiles come back event-free via profile.NewStreamed),
+// so a snapshot is O(instances), never O(events).
+
+// snapshotVersion is the codec version; a loader rejects versions it does
+// not know instead of guessing.
+const snapshotVersion = 1
+
+type savedInstance struct {
+	Origin   string               `json:"origin,omitempty"`
+	Instance trace.Instance       `json:"instance"`
+	Events   int                  `json:"events"`
+	Stats    *profile.Stats       `json:"stats"`
+	Summary  *pattern.Summary     `json:"summary"`
+	UseCases []usecase.UseCase    `json:"use_cases,omitempty"`
+	Regular  bool                 `json:"regular,omitempty"`
+	Shared   profile.SharedAccess `json:"shared"`
+}
+
+type savedReport struct {
+	Version        int              `json:"version"`
+	Origin         string           `json:"origin,omitempty"`
+	Registered     []trace.Instance `json:"registered"`
+	RegisteredFrom []string         `json:"registered_from,omitempty"`
+	Instances      []savedInstance  `json:"instances"`
+}
+
+func saveInstance(ir *InstanceResult) savedInstance {
+	return savedInstance{
+		Origin:   ir.Origin,
+		Instance: ir.Profile.Instance,
+		Events:   ir.Profile.Len(),
+		Stats:    ir.Profile.Stats(),
+		Summary:  ir.Summary,
+		UseCases: ir.UseCases,
+		Regular:  ir.Regular,
+		Shared:   ir.Shared,
+	}
+}
+
+func (si savedInstance) restore() *InstanceResult {
+	p := profile.NewStreamed(si.Instance, si.Events, si.Stats)
+	sum := si.Summary
+	if sum == nil {
+		sum = &pattern.Summary{}
+	}
+	return &InstanceResult{
+		Origin:   si.Origin,
+		Profile:  p,
+		Summary:  sum,
+		UseCases: si.UseCases,
+		Regular:  si.Regular,
+		Shared:   si.Shared,
+	}
+}
+
+// SaveReport writes the report's snapshot encoding.
+func SaveReport(w io.Writer, r *Report) error {
+	sr := savedReport{
+		Version:        snapshotVersion,
+		Origin:         r.Origin,
+		Registered:     r.Registered,
+		RegisteredFrom: r.RegisteredFrom,
+		Instances:      make([]savedInstance, len(r.Instances)),
+	}
+	for i, ir := range r.Instances {
+		sr.Instances[i] = saveInstance(ir)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&sr)
+}
+
+// LoadReport reads one snapshot back into a Report. The result carries a
+// fresh minimal PipelineStats (the original run's timings are not part of
+// the findings and are not preserved).
+func LoadReport(r io.Reader) (*Report, error) {
+	var sr savedReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sr); err != nil {
+		return nil, fmt.Errorf("core: decoding report snapshot: %w", err)
+	}
+	if sr.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: report snapshot version %d not supported (want %d)", sr.Version, snapshotVersion)
+	}
+	if sr.RegisteredFrom != nil && len(sr.RegisteredFrom) != len(sr.Registered) {
+		return nil, fmt.Errorf("core: report snapshot registry origins (%d) do not match registry (%d)",
+			len(sr.RegisteredFrom), len(sr.Registered))
+	}
+	rep := &Report{
+		Origin:         sr.Origin,
+		Registered:     sr.Registered,
+		RegisteredFrom: sr.RegisteredFrom,
+		Instances:      make([]*InstanceResult, len(sr.Instances)),
+	}
+	events := 0
+	for i, si := range sr.Instances {
+		rep.Instances[i] = si.restore()
+		events += si.Events
+	}
+	rep.Stats = &metrics.PipelineStats{Events: events, Instances: len(rep.Instances)}
+	return rep, nil
+}
+
+// SaveReportFile writes the snapshot atomically: temp file, then rename, so
+// a crash mid-write never leaves a torn checkpoint behind.
+func SaveReportFile(path string, r *Report) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: writing report snapshot: %w", err)
+	}
+	if err := SaveReport(f, r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: writing report snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: writing report snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadReportFile reads a snapshot written by SaveReportFile.
+func LoadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening report snapshot: %w", err)
+	}
+	defer f.Close()
+	return LoadReport(f)
+}

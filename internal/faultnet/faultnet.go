@@ -11,6 +11,7 @@ package faultnet
 import (
 	"errors"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -41,6 +42,24 @@ type Options struct {
 	// FailAfterReadBytes kills the read side after this many bytes, for
 	// consumer-side fault tests. Zero means never.
 	FailAfterReadBytes int64
+	// MaxRead caps each Read call to at most this many bytes, forcing the
+	// consumer through many small reads (a trickling producer). Zero means
+	// unlimited.
+	MaxRead int
+	// ReadDelay sleeps before every Read call, simulating per-chunk network
+	// latency on the consumer side.
+	ReadDelay time.Duration
+	// StallReadAfterBytes turns the connection into a slowloris: after this
+	// many bytes have been read, every subsequent Read stalls for
+	// StallDuration before failing — exactly the producer that goes silent
+	// mid-frame and holds its socket open. Deadline paths must fire during
+	// the stall. Zero means never.
+	StallReadAfterBytes int64
+	// StallDuration is how long a stalled Read holds before returning an
+	// injected error (if no deadline killed it first). Defaults to 30s, far
+	// beyond any test's read deadline. Closing the connection interrupts the
+	// stall immediately.
+	StallDuration time.Duration
 }
 
 // Conn is a net.Conn with deterministic fault injection on its I/O paths.
@@ -48,16 +67,20 @@ type Conn struct {
 	net.Conn
 	opts Options
 
-	mu         sync.Mutex
-	wrote      int64
-	read       int64
-	writeCalls int64
-	broken     bool
+	mu           sync.Mutex
+	wrote        int64
+	read         int64
+	writeCalls   int64
+	broken       bool
+	readDeadline time.Time
+
+	stall     chan struct{}
+	closeOnce sync.Once
 }
 
 // Wrap decorates conn with the configured faults.
 func Wrap(conn net.Conn, opts Options) *Conn {
-	return &Conn{Conn: conn, opts: opts}
+	return &Conn{Conn: conn, opts: opts, stall: make(chan struct{})}
 }
 
 // Write applies the write-side faults: delay, fragmentation into MaxWrite
@@ -135,9 +158,25 @@ func (c *Conn) writeChunk(b []byte) (int, error) {
 	return wn, nil
 }
 
-// Read applies the read-side byte budget.
+// Read applies the read-side faults: per-chunk latency, the MaxRead cap, the
+// byte budget, and the slowloris stall.
 func (c *Conn) Read(b []byte) (int, error) {
+	if c.opts.ReadDelay > 0 {
+		time.Sleep(c.opts.ReadDelay)
+	}
 	c.mu.Lock()
+	if c.opts.StallReadAfterBytes > 0 {
+		remaining := c.opts.StallReadAfterBytes - c.read
+		if remaining <= 0 {
+			c.mu.Unlock()
+			return 0, c.stallRead()
+		}
+		// Never read past the stall boundary, so the stall triggers at an
+		// exact, replayable byte offset.
+		if int64(len(b)) > remaining {
+			b = b[:remaining]
+		}
+	}
 	if c.opts.FailAfterReadBytes > 0 {
 		remaining := c.opts.FailAfterReadBytes - c.read
 		if remaining <= 0 {
@@ -150,12 +189,72 @@ func (c *Conn) Read(b []byte) (int, error) {
 			b = b[:remaining]
 		}
 	}
+	if c.opts.MaxRead > 0 && len(b) > c.opts.MaxRead {
+		b = b[:c.opts.MaxRead]
+	}
 	c.mu.Unlock()
 	n, err := c.Conn.Read(b)
 	c.mu.Lock()
 	c.read += int64(n)
 	c.mu.Unlock()
 	return n, err
+}
+
+// stallRead is the slowloris: the producer holds its socket open and sends
+// nothing. It honors the consumer's read deadline — a deadline that expires
+// mid-stall surfaces as a timeout, exactly like a real silent peer — and a
+// Close from another goroutine interrupts it immediately.
+func (c *Conn) stallRead() error {
+	c.mu.Lock()
+	wait := c.opts.StallDuration
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	timedOut := false
+	if dl := c.readDeadline; !dl.IsZero() {
+		if until := time.Until(dl); until < wait {
+			wait = until
+			timedOut = true
+		}
+	}
+	c.mu.Unlock()
+	if wait < 0 {
+		wait = 0
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.stall:
+		return &net.OpError{Op: "read", Net: "faultnet", Err: net.ErrClosed}
+	}
+	if timedOut {
+		return &net.OpError{Op: "read", Net: "faultnet", Err: os.ErrDeadlineExceeded}
+	}
+	return &net.OpError{Op: "read", Net: "faultnet", Err: ErrInjected}
+}
+
+// SetReadDeadline records the deadline so a stalled Read can honor it, then
+// delegates.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetDeadline records the read half for the stall path, then delegates.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// Close interrupts any in-flight stall and closes the underlying connection.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.stall) })
+	return c.Conn.Close()
 }
 
 // Wrote returns the total bytes accepted on the write side (after caps,

@@ -201,3 +201,121 @@ func TestFlakyDialer(t *testing.T) {
 	}
 	conn.Close()
 }
+
+func TestMaxReadTrickles(t *testing.T) {
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	wrapped := Wrap(client, Options{MaxRead: 3})
+
+	go func() {
+		server.Write(make([]byte, 10))
+		server.Close()
+	}()
+	buf := make([]byte, 64)
+	total, reads := 0, 0
+	for {
+		n, err := wrapped.Read(buf)
+		total += n
+		if n > 3 {
+			t.Fatalf("read of %d bytes exceeds MaxRead 3", n)
+		}
+		if n > 0 {
+			reads++
+		}
+		if err != nil {
+			break
+		}
+	}
+	if total != 10 {
+		t.Fatalf("trickled %d bytes, want 10", total)
+	}
+	if reads < 4 {
+		t.Fatalf("10 bytes through MaxRead=3 took %d reads, want >= 4", reads)
+	}
+}
+
+func TestReadDelayThrottles(t *testing.T) {
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	wrapped := Wrap(client, Options{ReadDelay: 20 * time.Millisecond})
+
+	go func() {
+		for i := 0; i < 3; i++ {
+			server.Write([]byte("x"))
+		}
+	}()
+	start := time.Now()
+	buf := make([]byte, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := wrapped.Read(buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("3 delayed reads took %s, want >= 60ms", elapsed)
+	}
+}
+
+func TestStallReadHonorsDeadline(t *testing.T) {
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	wrapped := Wrap(client, Options{StallReadAfterBytes: 4, StallDuration: 10 * time.Second})
+
+	go func() {
+		server.Write(make([]byte, 64)) // more than the stall boundary
+	}()
+	buf := make([]byte, 64)
+	total := 0
+	for total < 4 {
+		n, err := wrapped.Read(buf)
+		total += n
+		if err != nil {
+			t.Fatalf("pre-stall read: %v", err)
+		}
+	}
+	if total != 4 {
+		t.Fatalf("read %d bytes before stall, want exactly 4", total)
+	}
+
+	wrapped.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := wrapped.Read(buf)
+	elapsed := time.Since(start)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stalled read with deadline: want timeout error, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("stalled read ignored deadline: blocked %s", elapsed)
+	}
+}
+
+func TestStallReadInterruptedByClose(t *testing.T) {
+	client, server := net.Pipe()
+	t.Cleanup(func() { server.Close() })
+	wrapped := Wrap(client, Options{StallReadAfterBytes: 1, StallDuration: 10 * time.Second})
+
+	go func() {
+		server.Write(make([]byte, 8))
+	}()
+	buf := make([]byte, 8)
+	if _, err := wrapped.Read(buf); err != nil {
+		t.Fatalf("pre-stall read: %v", err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := wrapped.Read(buf)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	wrapped.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("stalled read returned nil after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not interrupt the stall")
+	}
+}

@@ -262,15 +262,22 @@ type ServerOptions struct {
 	// active connection count. Zero disables; negative uses
 	// obs.DefaultSampleInterval.
 	SampleInterval time.Duration
+	// Tenancy turns the server into a multiplexing daemon: streams bind to
+	// tenants via the hello frame, per-tenant quotas and deadlines apply, and
+	// admitted traffic flows to the tenant sink (or per-tenant stores). Nil
+	// keeps the single-run collector behavior unchanged.
+	Tenancy *TenancyOptions
 }
 
 // ConnStats describes one producer connection's outcome.
 type ConnStats struct {
 	Remote        string
-	Events        int  // events accepted into the store from this connection
-	Instances     int  // registry records received
-	SkippedFrames int  // checksum-failed frames skipped mid-stream
-	Complete      bool // end-of-stream marker seen
+	Tenant        string // tenant the stream bound to ("" before binding / without tenancy)
+	Events        int    // events decoded from this connection
+	Instances     int    // registry records received
+	SkippedFrames int    // checksum-failed frames skipped mid-stream
+	Complete      bool   // end-of-stream marker seen
+	TimedOut      bool   // stream ended by the read deadline (salvage still counted above)
 	Err           string // terminal error, "" for a clean stream
 }
 
@@ -318,7 +325,14 @@ func (ss ServerStats) Write(w io.Writer) error {
 		if !c.Complete {
 			status = "partial"
 		}
-		line := fmt.Sprintf("  conn %d (%s): %d event(s), %d instance(s), %s", i, c.Remote, c.Events, c.Instances, status)
+		who := c.Remote
+		if c.Tenant != "" {
+			who += ", tenant " + c.Tenant
+		}
+		line := fmt.Sprintf("  conn %d (%s): %d event(s), %d instance(s), %s", i, who, c.Events, c.Instances, status)
+		if c.TimedOut {
+			line += ", timed out"
+		}
 		if c.SkippedFrames > 0 {
 			line += fmt.Sprintf(", %d corrupt frame(s) skipped", c.SkippedFrames)
 		}
@@ -339,6 +353,7 @@ type CollectorServer struct {
 	log     *slog.Logger
 	tracer  *obs.Tracer
 	sampler *obs.OccupancySampler
+	tenants *tenantTable // non-nil iff opts.Tenancy is set
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -390,6 +405,9 @@ func NewCollectorServer(ln net.Listener, opts ServerOptions) *CollectorServer {
 		instances: make(map[InstanceID]Instance),
 		open:      make(map[net.Conn]struct{}),
 		closing:   make(chan struct{}),
+	}
+	if opts.Tenancy != nil {
+		cs.tenants = newTenantTable(opts.Tenancy)
 	}
 	cs.cond = sync.NewCond(&cs.mu)
 	if opts.SampleInterval != 0 {
@@ -493,7 +511,14 @@ func (cs *CollectorServer) serve(conn net.Conn, st *ConnStats) {
 	defer conn.Close()
 	defer cs.connDone(conn)
 	sp := cs.tracer.Begin("conn", "server")
+
+	tenancy := cs.opts.Tenancy
+	var tenant *tenantState
+	var timedOut, poisoned bool
 	defer func() {
+		if tenant != nil {
+			tenant.connDone(tenancy.now(), timedOut, poisoned)
+		}
 		cs.mu.Lock()
 		events, complete, errStr := st.Events, st.Complete, st.Err
 		cs.mu.Unlock()
@@ -509,14 +534,52 @@ func (cs *CollectorServer) serve(conn net.Conn, st *ConnStats) {
 
 	// A stream that dies is a per-connection outcome, not a server failure:
 	// it is recorded in ConnStats (and the prefix salvaged), while Close's
-	// error stays reserved for the server's own plumbing.
+	// error stays reserved for the server's own plumbing. A deadline error is
+	// classified on the ConnStats row — the salvage it triggered is visible
+	// right there, not only in a log line — and feeds the tenant's poison
+	// heuristic; structural damage (ErrBadStream) counts as poison too.
 	fail := func(err error) {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			timedOut = true
+		}
+		if errors.Is(err, ErrBadStream) {
+			poisoned = true
+		}
 		cs.mu.Lock()
 		st.Err = err.Error()
+		st.TimedOut = timedOut
 		cs.mu.Unlock()
 	}
 
-	cs.extendDeadline(conn)
+	// bind attaches the stream to its tenant on the first hello — or to
+	// DefaultTenant if payload arrives with no hello (pre-multiplexing
+	// producers) — enforcing the tenant's connection cap and quarantine.
+	bind := func(h Hello) error {
+		if tenancy == nil || tenant != nil {
+			return nil
+		}
+		t := cs.tenants.get(h.Key())
+		if ok, reason := t.admitConn(tenancy.now()); !ok {
+			cs.log.Warn("collector server: tenant refused connection",
+				"tenant", t.name, "remote", st.Remote, "reason", reason)
+			return fmt.Errorf("trace: %s", reason)
+		}
+		tenant = t
+		cs.mu.Lock()
+		st.Tenant = t.name
+		cs.mu.Unlock()
+		return nil
+	}
+
+	deadline := func() time.Duration {
+		if tenant != nil {
+			return tenant.deadline(cs.opts.ConnTimeout)
+		}
+		return cs.opts.ConnTimeout
+	}
+
+	cs.extendDeadline(conn, deadline())
 	sr, err := NewStreamReader(conn)
 	if err != nil {
 		fail(err)
@@ -524,7 +587,7 @@ func (cs *CollectorServer) serve(conn net.Conn, st *ConnStats) {
 	}
 	sawEnd := false
 	for {
-		cs.extendDeadline(conn)
+		cs.extendDeadline(conn, deadline())
 		ent, err := sr.readEntry()
 		switch {
 		case err == nil:
@@ -543,6 +606,14 @@ func (cs *CollectorServer) serve(conn net.Conn, st *ConnStats) {
 			return
 		}
 		switch ent.kind {
+		case frameHello:
+			cs.mu.Lock()
+			st.Tenant = ent.hello.Key()
+			cs.mu.Unlock()
+			if err := bind(ent.hello); err != nil {
+				fail(err)
+				return
+			}
 		case frameEnd:
 			// Events first, registry afterwards; keep reading registry
 			// frames until the stream truly ends.
@@ -551,11 +622,53 @@ func (cs *CollectorServer) serve(conn net.Conn, st *ConnStats) {
 			st.Complete = true
 			cs.mu.Unlock()
 		case frameEvents:
+			if tenancy != nil {
+				if err := bind(Hello{}); err != nil {
+					fail(err)
+					return
+				}
+				cs.mu.Lock()
+				st.Events += len(ent.events)
+				cs.mu.Unlock()
+				kept, wait := tenant.admit(ent.events, tenancy.now())
+				if wait > 0 {
+					// Producer blocking: the bucket debt is paid in wall time
+					// on this connection's goroutine, never a neighbor's.
+					tenancy.sleep(wait)
+				}
+				if len(kept) > 0 {
+					if tenancy.Sink != nil {
+						tenancy.Sink.TenantEvents(tenant.name, kept)
+					} else {
+						tenant.store(kept)
+					}
+				}
+				continue
+			}
 			cs.mu.Lock()
 			cs.events = append(cs.events, ent.events...)
 			st.Events += len(ent.events)
 			cs.mu.Unlock()
 		case frameInstance:
+			if tenancy != nil {
+				if err := bind(Hello{}); err != nil {
+					fail(err)
+					return
+				}
+				cs.mu.Lock()
+				st.Instances++
+				cs.mu.Unlock()
+				if tenancy.Sink != nil {
+					tenancy.Sink.TenantInstance(tenant.name, ent.instance)
+				} else {
+					tenant.mu.Lock()
+					if _, ok := tenant.instances[ent.instance.ID]; !ok {
+						tenant.instances[ent.instance.ID] = ent.instance
+					}
+					tenant.mu.Unlock()
+				}
+				continue
+			}
 			cs.mu.Lock()
 			if _, ok := cs.instances[ent.instance.ID]; !ok {
 				cs.instances[ent.instance.ID] = ent.instance
@@ -566,9 +679,12 @@ func (cs *CollectorServer) serve(conn net.Conn, st *ConnStats) {
 	}
 }
 
-func (cs *CollectorServer) extendDeadline(conn net.Conn) {
-	if cs.opts.ConnTimeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(cs.opts.ConnTimeout))
+// extendDeadline pushes the per-frame read deadline forward. The duration is
+// resolved per connection: a tenant quota may override the server-wide
+// -conn-timeout once the stream has bound to its tenant.
+func (cs *CollectorServer) extendDeadline(conn net.Conn, d time.Duration) {
+	if d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
 	}
 }
 
@@ -636,6 +752,57 @@ func (cs *CollectorServer) shutdown(kill bool) error {
 	}
 	cs.wg.Wait()
 	cs.sampler.Stop()
+	return cs.firstErr()
+}
+
+// Drain is the SIGTERM path: stop accepting, give in-flight producer streams
+// up to timeout to finish on their own, then tear down whatever is left. The
+// decoded prefix of every torn-down stream is salvaged like any other dead
+// stream, so a drain never discards events already on the wire. It returns
+// the number of connections that had to be cut.
+func (cs *CollectorServer) Drain(timeout time.Duration) (cut int, err error) {
+	cs.mu.Lock()
+	alreadyClosed := cs.closed
+	cs.closed = true
+	cs.mu.Unlock()
+	cs.cond.Broadcast()
+	if !alreadyClosed {
+		close(cs.closing)
+	}
+	cs.ln.Close()
+
+	// Bounded wait for a voluntary finish. sync.Cond has no timed wait, so
+	// the drain polls; 2ms granularity is noise against drain timeouts
+	// measured in seconds.
+	deadline := time.Now().Add(timeout)
+	for {
+		cs.mu.Lock()
+		active := cs.active
+		cs.mu.Unlock()
+		if active == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	cs.mu.Lock()
+	open := make([]net.Conn, 0, len(cs.open))
+	for conn := range cs.open {
+		open = append(open, conn)
+	}
+	cs.mu.Unlock()
+	for _, conn := range open {
+		conn.Close()
+	}
+	cs.wg.Wait()
+	cs.sampler.Stop()
+	if len(open) > 0 {
+		cs.log.Warn("collector server: drain timeout, connections cut", "cut", len(open))
+	}
+	return len(open), cs.firstErr()
+}
+
+func (cs *CollectorServer) firstErr() error {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	for _, err := range cs.errs {
@@ -681,6 +848,61 @@ func (cs *CollectorServer) Session() *Session {
 	return s
 }
 
+// TenantStats returns per-tenant admission snapshots, sorted by tenant name.
+// Nil without TenancyOptions.
+func (cs *CollectorServer) TenantStats() []TenantStats {
+	if cs.tenants == nil {
+		return nil
+	}
+	now := cs.opts.Tenancy.now()
+	states := cs.tenants.all()
+	out := make([]TenantStats, len(states))
+	for i, t := range states {
+		out[i] = t.stats(now)
+	}
+	return out
+}
+
+// TenantEvents returns one tenant's retained events ordered by sequence
+// number (store mode only — with a sink the server retains nothing).
+func (cs *CollectorServer) TenantEvents(name string) []Event {
+	if cs.tenants == nil {
+		return nil
+	}
+	t := cs.tenants.get(name)
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// TenantSession rebuilds a replay session from one tenant's registry frames
+// (store mode only), mirroring Session for the single-run collector.
+func (cs *CollectorServer) TenantSession(name string) *Session {
+	if cs.tenants == nil {
+		return nil
+	}
+	t := cs.tenants.get(name)
+	s := NewSessionWith(Options{Recorder: NullRecorder{}})
+	t.mu.Lock()
+	ids := make([]InstanceID, 0, len(t.instances))
+	for id := range t.instances {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	instances := make([]Instance, len(ids))
+	for i, id := range ids {
+		instances[i] = t.instances[id]
+	}
+	t.mu.Unlock()
+	for _, inst := range instances {
+		s.restoreInstance(inst)
+	}
+	return s
+}
+
 // ServerStats returns a snapshot of the server's accept/reject/retry
 // counters and per-connection outcomes.
 func (cs *CollectorServer) ServerStats() ServerStats {
@@ -717,5 +939,8 @@ func (cs *CollectorServer) WriteMetrics(w *obs.PromWriter) {
 	if cs.sampler != nil {
 		w.Histogram("dsspy_server_store_depth", "Sampled event-store size.", cs.sampler.Hist(0), 1)
 		w.Histogram("dsspy_server_conns_sampled", "Sampled concurrent producer connections.", cs.sampler.Hist(1), 1)
+	}
+	if cs.tenants != nil {
+		cs.tenants.writeMetrics(w)
 	}
 }

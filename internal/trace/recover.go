@@ -180,6 +180,13 @@ func recoverColumns(sr *StreamReader, size int64, onInstance func(Instance)) ([]
 			if onInstance != nil {
 				onInstance(inst)
 			}
+		case frameHello:
+			// Identity metadata; a salvaging columnar load has no tenant
+			// dimension, so it is read and dropped.
+			if _, err := sr.readHello(); err != nil {
+				stop(err)
+				return batches, rec
+			}
 		default:
 			stop(fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind))
 			return batches, rec

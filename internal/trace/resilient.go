@@ -100,6 +100,10 @@ type ResilientOptions struct {
 	// occupancy into Stats().BufferDepth. Zero disables sampling; negative
 	// uses obs.DefaultSampleInterval.
 	SampleInterval time.Duration
+	// Hello is the stream's tenant/process/run identity, sent on every
+	// (re)connect so a multiplexing daemon binds each incarnation of the
+	// stream to the same tenant. Nil sends no hello (DefaultTenant).
+	Hello *Hello
 }
 
 func (o *ResilientOptions) withDefaults() {
@@ -171,6 +175,12 @@ func (rr *ResilientRecorder) connect() (*SocketRecorder, error) {
 		return nil, err
 	}
 	sock.SetWriteTimeout(rr.opts.WriteTimeout)
+	if rr.opts.Hello != nil {
+		if err := sock.SendHello(*rr.opts.Hello); err != nil {
+			sock.abandon()
+			return nil, err
+		}
+	}
 	return sock, nil
 }
 
@@ -408,12 +418,21 @@ func (rr *ResilientRecorder) replayFile(path string, wrote uint64, sock *SocketR
 	}
 	rr.mu.Unlock()
 
+	// Replay in BatchSize chunks — the same granularity as live traffic —
+	// not one giant MaxBatch frame. A replay frame larger than the link
+	// reliably carries would fail in full on every reconnect, re-spill in
+	// full, and never make progress; per-batch chunks turn a flaky link into
+	// incremental delivery instead of a livelock.
+	chunk := rr.opts.BatchSize
+	if chunk <= 0 || chunk > MaxBatch {
+		chunk = MaxBatch
+	}
 	sent := 0
 	var sendErr error
 	for sent < len(events) {
 		n := len(events) - sent
-		if n > MaxBatch {
-			n = MaxBatch
+		if n > chunk {
+			n = chunk
 		}
 		if sendErr = sock.sendBatch(events[sent : sent+n]); sendErr != nil {
 			break

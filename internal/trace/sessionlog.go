@@ -286,6 +286,12 @@ func LoadSessionColumns(path string) (*Session, []*ColumnBatch, error) {
 					ErrBadStream, id, inst.ID)
 			}
 			s.setSite(id, inst.Site)
+		case frameHello:
+			// Identity metadata written by daemon-aware producers; the replay
+			// loader has no tenant dimension, so it is read and dropped.
+			if _, err := sr.readHello(); err != nil {
+				return nil, nil, err
+			}
 		default:
 			return nil, nil, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)
 		}
@@ -318,3 +324,9 @@ func (s *Session) restoreInstance(inst Instance) {
 	}
 	s.instances[inst.ID-1] = inst
 }
+
+// RestoreInstance places a saved instance at its original ID, creating
+// placeholder entries for any gap. Consumers that rebuild sessions from
+// externally shipped registries — the daemon's per-tenant windows, checkpoint
+// restore — use it to keep event→instance references intact.
+func (s *Session) RestoreInstance(inst Instance) { s.restoreInstance(inst) }

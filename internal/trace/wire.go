@@ -275,6 +275,7 @@ type entry struct {
 	kind     byte
 	events   []Event  // kind == frameEvents
 	instance Instance // kind == frameInstance
+	hello    Hello    // kind == frameHello
 }
 
 // readEntry decodes the next frame of any kind. It returns io.EOF only when
@@ -296,6 +297,9 @@ func (sr *StreamReader) readEntry() (entry, error) {
 	case frameInstance:
 		inst, err := sr.readInstance()
 		return entry{kind: frameInstance, instance: inst}, err
+	case frameHello:
+		h, err := sr.readHello()
+		return entry{kind: frameHello, hello: h}, err
 	default:
 		return entry{}, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)
 	}
@@ -372,17 +376,22 @@ func noEOF(err error) error {
 // end-of-stream frame. Registry frames are rejected; event-only consumers
 // (the file log) never see them.
 func (sr *StreamReader) ReadBatch() ([]Event, error) {
-	ent, err := sr.readEntry()
-	if err != nil {
-		return nil, err
-	}
-	switch ent.kind {
-	case frameEnd:
-		return nil, io.EOF
-	case frameEvents:
-		return ent.events, nil
-	default:
-		return nil, fmt.Errorf("%w: unexpected frame kind 0x%02x in event stream", ErrBadStream, ent.kind)
+	for {
+		ent, err := sr.readEntry()
+		if err != nil {
+			return nil, err
+		}
+		switch ent.kind {
+		case frameEnd:
+			return nil, io.EOF
+		case frameEvents:
+			return ent.events, nil
+		case frameHello:
+			// Identity metadata, not payload: event-only consumers skip it.
+			continue
+		default:
+			return nil, fmt.Errorf("%w: unexpected frame kind 0x%02x in event stream", ErrBadStream, ent.kind)
+		}
 	}
 }
 
@@ -392,17 +401,25 @@ func (sr *StreamReader) ReadBatch() ([]Event, error) {
 // caller without a single Event struct being built, and reusing b across
 // calls makes the steady-state read loop allocation-free.
 func (sr *StreamReader) ReadColumns(b *ColumnBatch) (int, error) {
-	kind, err := sr.readByte()
-	if err != nil {
-		return 0, err
-	}
-	switch kind {
-	case frameEnd:
-		return 0, io.EOF
-	case frameEvents:
-		return sr.readEventFrameInto(b)
-	default:
-		return 0, fmt.Errorf("%w: unexpected frame kind 0x%02x in event stream", ErrBadStream, kind)
+	for {
+		kind, err := sr.readByte()
+		if err != nil {
+			return 0, err
+		}
+		switch kind {
+		case frameEnd:
+			return 0, io.EOF
+		case frameEvents:
+			return sr.readEventFrameInto(b)
+		case frameHello:
+			// Identity metadata, not payload: event-only consumers skip it.
+			if _, err := sr.readHello(); err != nil {
+				return 0, err
+			}
+			continue
+		default:
+			return 0, fmt.Errorf("%w: unexpected frame kind 0x%02x in event stream", ErrBadStream, kind)
+		}
 	}
 }
 
