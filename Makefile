@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath bench-columnar smoke-obs chaos fuzz-smoke clean
+.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath bench-columnar bench-contend smoke-obs chaos fuzz-smoke clean
 
 ## check: everything CI runs — build, vet, full tests, race tests on the
 ## concurrent packages, the streaming/batch and hot-path differentials under
@@ -11,10 +11,11 @@ check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/core/... ./cmd/dsspy/
-	$(GO) test -race -run 'Streaming|HotPath|Columnar' .
+	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/core/... ./internal/par/... ./cmd/dsspy/
+	$(GO) test -race -run 'Streaming|HotPath|Columnar|Contend|Contention' .
 	$(MAKE) bench-hotpath
 	$(MAKE) bench-columnar
+	$(MAKE) bench-contend
 	$(MAKE) smoke-obs
 	$(MAKE) chaos
 	$(MAKE) fuzz-smoke
@@ -73,6 +74,16 @@ bench-columnar:
 	DSSPY_COLUMNAR_GATE=1 $(GO) test . -run 'TestColumnarFoldThroughputGate|TestColumnarReplayAllocGate' -v -count 1
 	$(GO) test . -run xxx -bench 'ColumnarReplay|EventReplay|ColumnarFold|EventFold' -benchmem -benchtime 2x -count 1
 	$(GO) test ./internal/trace/ -run xxx -bench 'MergeColumns1M|MergeKWay1M|ReadColumns' -benchmem -benchtime 2x -count 1
+
+## bench-contend: the concurrency-aware analysis acceptance gates. The
+## contention reducer must cost <5% of the end-to-end single-threaded
+## pipeline and fold with zero allocations on single-thread instances, and
+## the applied MPSC-ring recommendation must yield >=1.5x on the Contend
+## app's queue hand-off region (it measures ~100x+: O(1) ring slots vs O(n)
+## slice-FIFO front removals).
+bench-contend:
+	$(GO) test . -run 'TestContentionOverheadEndToEnd|TestContendQueueProbeSpeedup' -v -count 1
+	$(GO) test ./internal/profile/ -run 'TestContentionSingleThreadZeroAlloc|TestContentionOverheadBudget' -v -count 1
 
 ## smoke-obs: boots the CLI with the live observability surface (the -listen
 ## side keeps serving while it waits for a producer) and checks that /healthz,

@@ -59,8 +59,12 @@ func main() {
 
 	if o.listApps {
 		fmt.Println("Evaluation programs (-app):")
-		for _, a := range apps.Apps() {
-			fmt.Printf("  %-16s %s (paper: %d LOC)\n", a.Name, a.Domain, a.PaperLOC)
+		for _, a := range apps.All() {
+			if a.PaperLOC > 0 {
+				fmt.Printf("  %-16s %s (paper: %d LOC)\n", a.Name, a.Domain, a.PaperLOC)
+			} else {
+				fmt.Printf("  %-16s %s (concurrency study)\n", a.Name, a.Domain)
+			}
 		}
 		fmt.Println("Demos (-demo): figure2, figure3, queue, stack")
 		return
@@ -526,7 +530,7 @@ func pickWorkload(appName, demo string) (*apps.App, func(*trace.Session)) {
 		app := apps.ByName(appName)
 		if app == nil {
 			// Forgiving lookup.
-			for _, a := range apps.Apps() {
+			for _, a := range apps.All() {
 				if strings.EqualFold(a.Name, appName) {
 					app = a
 					break

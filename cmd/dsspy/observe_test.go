@@ -89,6 +89,8 @@ func TestObservabilityPlaneSmoke(t *testing.T) {
 	for _, want := range []string{
 		"dsspy_collector_events_total", "dsspy_stream_folded_total",
 		"dsspy_record_calls_total", "dsspy_trace_spans_total",
+		"dsspy_contention_instances", "dsspy_contention_contended_instances",
+		"dsspy_contention_episodes_total", "dsspy_contention_episode_events_total",
 	} {
 		if !strings.Contains(metricsBody, want) {
 			t.Errorf("/metrics missing %s", want)

@@ -33,6 +33,7 @@ import (
 	"dsspy/internal/dstruct"
 	"dsspy/internal/metrics"
 	"dsspy/internal/obs"
+	"dsspy/internal/profile"
 	"dsspy/internal/trace"
 	"dsspy/internal/usecase"
 )
@@ -244,6 +245,17 @@ func RunStreamed(workload func(*Session)) *Report {
 // StreamingStats instruments the streaming analysis path (events folded, open
 // runs, snapshot cost); surfaced through Report.Stats.Streaming.
 type StreamingStats = metrics.StreamingStats
+
+// ContentionStats aggregates the per-instance cross-thread summaries
+// (multi-thread instances, contended instances, episode volume); surfaced
+// through Report.Stats.Contention.
+type ContentionStats = metrics.ContentionStats
+
+// Contention is the per-instance cross-thread summary: contention episodes,
+// reader/writer phase structure, and the bounded happens-before sketch over
+// per-thread access windows. Surfaced through core.InstanceResult.Contention
+// for instances touched by more than one thread.
+type Contention = profile.Contention
 
 // Instrumented containers (the proxy layer). Each constructor registers the
 // instance with the session; every interface method emits one access event.

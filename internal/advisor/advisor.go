@@ -10,6 +10,7 @@ package advisor
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -19,22 +20,77 @@ import (
 	"dsspy/internal/usecase"
 )
 
+// PlanKind classifies what a plan actually does to the code. The paper's
+// parallel use cases all map to PlanParallelize; the contention-aware use
+// cases map to container replacements; and a parallel use case detected on
+// an instance that is *already* contended is demoted to PlanKeepSequential —
+// parallelizing the surrounding loop would race or serialize on a lock, so
+// the container must be fixed first.
+type PlanKind uint8
+
+const (
+	// PlanParallelize parallelizes the surrounding region (the classic
+	// recommendation for the paper's five parallel use cases).
+	PlanParallelize PlanKind = iota
+	// PlanRWMutexWrap guards a read-mostly structure with a reader/writer
+	// lock so concurrent readers stop serializing.
+	PlanRWMutexWrap
+	// PlanShardByKey partitions a contended map across per-shard locks
+	// (par.ShardedMap).
+	PlanShardByKey
+	// PlanMPSCQueue replaces a list-FIFO hand-off with a bounded
+	// multi-producer ring (par.MPSCRing).
+	PlanMPSCQueue
+	// PlanKeepSequential recommends NOT parallelizing: the instance is
+	// already under contended multi-thread access, so the naive
+	// transformation would be wrong. Estimated speedup is 1.
+	PlanKeepSequential
+)
+
+var planKindNames = [...]string{
+	PlanParallelize:    "parallelize",
+	PlanRWMutexWrap:    "RWMutex-wrap",
+	PlanShardByKey:     "shard-by-key",
+	PlanMPSCQueue:      "MPSC-queue",
+	PlanKeepSequential: "keep-sequential",
+}
+
+func (k PlanKind) String() string {
+	if int(k) < len(planKindNames) {
+		return planKindNames[k]
+	}
+	return fmt.Sprintf("PlanKind(%d)", uint8(k))
+}
+
 // Plan is one actionable transformation.
 type Plan struct {
 	UseCase usecase.UseCase
+	// Kind says what the transformation does: parallelize the region,
+	// replace/wrap the container, or keep it sequential.
+	Kind PlanKind
 	// Share is the fraction of the instance's access events inside the
 	// region the transformation parallelizes — the profile-derived stand-in
 	// for the region's runtime share.
 	Share float64
+	// Contended is the fraction of the instance's events inside contention
+	// episodes (0 for single-threaded instances). PlanParallelize discounts
+	// its Amdahl estimate by it: contended accesses stay serialized no
+	// matter how many workers the region gets.
+	Contended float64
 	// Sketch is the Go rewrite template, phrased with package par.
 	Sketch string
 }
 
 // Speedup estimates the plan's benefit on the given core count via
-// Amdahl's law over the affected share.
+// Amdahl's law over the affected share. PlanParallelize scales the share by
+// the uncontended fraction (contended accesses serialize regardless of the
+// worker count); keep-sequential plans estimate 1 by definition.
 func (p Plan) Speedup(cores int) float64 {
 	if cores < 1 {
 		cores = 1
+	}
+	if p.Kind == PlanKeepSequential {
+		return 1
 	}
 	s := p.Share
 	if s < 0 {
@@ -43,16 +99,24 @@ func (p Plan) Speedup(cores int) float64 {
 	if s > 1 {
 		s = 1
 	}
+	if p.Kind == PlanParallelize && p.Contended > 0 {
+		c := p.Contended
+		if c > 1 {
+			c = 1
+		}
+		s *= 1 - c
+	}
 	return 1.0 / ((1 - s) + s/float64(cores))
 }
 
 func (p Plan) String() string {
-	return fmt.Sprintf("%s on %s %s (region share %.0f%%)",
-		p.UseCase.Kind, p.UseCase.Instance.TypeName, p.UseCase.Instance.Label, 100*p.Share)
+	return fmt.Sprintf("%s [%s] on %s %s (region share %.0f%%)",
+		p.UseCase.Kind, p.Kind, p.UseCase.Instance.TypeName, p.UseCase.Instance.Label, 100*p.Share)
 }
 
 // Advise builds one plan per detected parallel use case in the report,
 // ranked by estimated benefit on the given core count (best first).
+// Keep-sequential demotions rank last by construction (estimate 1).
 func Advise(rep *core.Report, cores int) []Plan {
 	var plans []Plan
 	for _, ir := range rep.Instances {
@@ -64,10 +128,13 @@ func Advise(rep *core.Report, cores int) []Plan {
 			if !u.Kind.Parallel() {
 				continue
 			}
+			kind := planKind(u.Kind, ir)
 			plans = append(plans, Plan{
-				UseCase: u,
-				Share:   regionShare(u.Kind, ir),
-				Sketch:  sketch(u.Kind, ir.Profile.Instance),
+				UseCase:   u,
+				Kind:      kind,
+				Share:     regionShare(u.Kind, ir),
+				Contended: contendedShare(ir),
+				Sketch:    sketch(kind, u.Kind, ir.Profile.Instance),
 			})
 		}
 	}
@@ -75,6 +142,40 @@ func Advise(rep *core.Report, cores int) []Plan {
 		return plans[i].Speedup(cores) > plans[j].Speedup(cores)
 	})
 	return plans
+}
+
+// contendedShare is the fraction of the instance's events that stay
+// serialized under parallelization. Episodes without writes are harmless
+// (concurrent readers don't exclude each other), so only instances with
+// writer episodes are discounted.
+func contendedShare(ir *core.InstanceResult) float64 {
+	if ir.Contention.Contended() {
+		return ir.Contention.EpisodeShare()
+	}
+	return 0
+}
+
+// planKind maps a use case (in the context of its instance's contention
+// profile) to the transformation that is actually safe and profitable.
+func planKind(k usecase.Kind, ir *core.InstanceResult) PlanKind {
+	switch k {
+	case usecase.ContendedMap:
+		return PlanShardByKey
+	case usecase.MPSCQueue:
+		return PlanMPSCQueue
+	case usecase.ReadMostlyTable:
+		return PlanRWMutexWrap
+	case usecase.PhaseSeparatedRW:
+		return PlanParallelize
+	}
+	// A classic parallel use case on an instance that is already contended:
+	// parallelizing the surrounding region would race on the container (or
+	// serialize on whatever lock guards it). Keep it sequential until the
+	// container is fixed.
+	if ir.Contention.Contended() {
+		return PlanKeepSequential
+	}
+	return PlanParallelize
 }
 
 // regionShare estimates what fraction of the instance's accesses the use
@@ -100,17 +201,69 @@ func regionShare(k usecase.Kind, ir *core.InstanceResult) float64 {
 		return float64(reads) / total
 	case usecase.SortAfterInsert:
 		return float64(sum.InsertEvents()+st.Count(trace.OpSort)) / total
-	case usecase.ImplementQueue:
-		return 1.0 // the container itself is replaced
+	case usecase.ImplementQueue, usecase.ContendedMap, usecase.MPSCQueue,
+		usecase.ReadMostlyTable:
+		return 1.0 // the container itself is replaced or wrapped
+	case usecase.PhaseSeparatedRW:
+		return 1.0 // every phase of the instance's accesses parallelizes
 	default:
 		return 0
 	}
 }
 
-// sketch renders the rewrite template for the use case.
-func sketch(k usecase.Kind, inst trace.Instance) string {
+// sketch renders the rewrite template for the plan. The plan kind picks the
+// template family (container replacement vs region parallelization vs
+// keep-sequential); the use case kind selects among the region templates.
+func sketch(pk PlanKind, k usecase.Kind, inst trace.Instance) string {
 	name := identifier(inst)
+	switch pk {
+	case PlanShardByKey:
+		return fmt.Sprintf(strings.TrimSpace(`
+// Contended-Map: writers from several goroutines serialize on one lock.
+// Shard by key hash so concurrent writers usually hit disjoint shards.
+// Before:  mu.Lock(); %[1]s[k] = v; mu.Unlock()
+m := par.NewShardedMap[K, V](0, par.HashInt) // 0 → one shard per core
+m.Put(k, v)                  // any goroutine
+v, ok := m.Get(k)            // any goroutine
+m.Update(k, func(v V) V { return v + 1 })   // atomic read-modify-write
+`), name)
+	case PlanMPSCQueue:
+		return fmt.Sprintf(strings.TrimSpace(`
+// MPSC-Queue: the list-FIFO hand-off makes producers contend and pays O(n)
+// per front removal. Replace it with a bounded multi-producer ring: one CAS
+// per enqueue, O(1) at both ends, no allocation after construction.
+// Before:  mu.Lock(); %[1]s.Add(v); mu.Unlock() … v := %[1]s.Get(0); %[1]s.RemoveAt(0)
+q := par.NewMPSCRing[T](1024)
+for !q.TryEnqueue(v) { runtime.Gosched() }  // any producer goroutine
+if v, ok := q.TryDequeue(); ok { … }        // the single consumer
+`), name)
+	case PlanRWMutexWrap:
+		return fmt.Sprintf(strings.TrimSpace(`
+// Read-Mostly-Table: almost every access is a read, yet readers serialize.
+// Wrap the table in a sync.RWMutex so readers proceed in parallel and only
+// the rare writes take the exclusive lock (see par.ShardedMap to also
+// spread the writes once readers scale).
+var mu sync.RWMutex
+mu.RLock(); v, ok := %[1]s[k]; mu.RUnlock()   // concurrent readers
+mu.Lock(); %[1]s[k] = v; mu.Unlock()          // rare writer
+`), name)
+	case PlanKeepSequential:
+		return fmt.Sprintf(strings.TrimSpace(`
+// Keep-Sequential: %[1]s is already accessed by several threads with
+// interleaved writes. Parallelizing the surrounding region would race on
+// the container or serialize on its lock — fix the container first (see
+// par.ShardedMap / par.MPSCRing), then revisit this region.
+`), name)
+	}
 	switch k {
+	case usecase.PhaseSeparatedRW:
+		return fmt.Sprintf(strings.TrimSpace(`
+// Phase-Separated-RW: writes and reads happen in distinct phases; no lock
+// is needed, only a barrier at the phase boundary.
+par.For(n, workers, func(i int) { build(%[1]s, i) })  // write phase
+// implicit barrier: par.For returns only when every worker is done
+par.For(n, workers, func(i int) { use(%[1]s, i) })    // read phase
+`), name)
 	case usecase.LongInsert:
 		return fmt.Sprintf(strings.TrimSpace(`
 // Long-Insert: materialize the insertion loop as a parallel fill.
@@ -186,7 +339,7 @@ func identifier(inst trace.Instance) string {
 }
 
 // Write renders the ranked plans.
-func Write(w interface{ Write([]byte) (int, error) }, plans []Plan, cores int) error {
+func Write(w io.Writer, plans []Plan, cores int) error {
 	if len(plans) == 0 {
 		_, err := fmt.Fprintln(w, "No transformation plans: no parallel use cases detected.")
 		return err

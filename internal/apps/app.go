@@ -109,9 +109,16 @@ func Apps() []*App {
 	}
 }
 
+// All returns every runnable program: the seven Table IV apps plus the
+// concurrency-aware subjects that postdate the paper's evaluation. Table IV
+// reproduction code must keep using Apps(); workload pickers use All().
+func All() []*App {
+	return append(Apps(), Contend())
+}
+
 // ByName returns the app with the given name, or nil.
 func ByName(name string) *App {
-	for _, a := range Apps() {
+	for _, a := range All() {
 		if a.Name == name {
 			return a
 		}

@@ -1,0 +1,398 @@
+package apps
+
+import (
+	"runtime"
+	"sync"
+
+	"dsspy/internal/par"
+	"dsspy/internal/trace"
+)
+
+// Contend is the concurrency-aware evaluation program: a miniature ingest
+// service whose data structures are shared across goroutines — a hit-counter
+// map every worker writes, a list-FIFO hand-off between producers and one
+// consumer, a read-mostly routing table, and a phase-separated frame buffer.
+// It is not one of the paper's seven subjects (those are single-threaded);
+// it exists to exercise the contention detectors end to end: the instrumented
+// run uses simulated thread ids for a deterministic interleaving, and
+// Plain/Parallel run the real thing with goroutines, before and after
+// applying the advisor's container recommendations (par.ShardedMap,
+// par.MPSCRing, sync.RWMutex, phase barriers).
+//
+// Registered via All(), not Apps(): the Apps() list reproduces Table IV and
+// stays pinned to the paper's seven programs.
+
+const (
+	contendKeys   = 64   // distinct counter/routing keys
+	contendOps    = 6000 // counter increments (plain/parallel)
+	contendJobs   = 8000 // queue hand-offs (plain/parallel)
+	contendFrames = 4096 // frame buffer cells
+)
+
+// Contend returns the app descriptor.
+func Contend() *App {
+	app := &App{
+		Name:   "Contend",
+		Domain: "Service",
+		// Not part of Table IV; the Want* counts pin our own expectations:
+		// five instances, six findings (LI on the scratch list, IQ+MQ on the
+		// hand-off, CM on the counters, RMT on the routing table, PRW on the
+		// frame buffer), of which the demoted naive queue swap (IQ) is the
+		// one false positive.
+		WantDataStructures: 5,
+		WantUseCases:       6,
+		WantTruePositives:  5,
+		Instrumented:       contendInstrumented,
+		PlainTwin:          func() { contendWorkload(1) },
+		Plain:              func() uint64 { return contendWorkload(1) },
+		Parallel:           contendWorkload,
+	}
+	app.Probes = []Probe{
+		{
+			Name: "queue hand-off", UseCase: "MQ",
+			Seq: func() { contendQueueProbeList() },
+			Par: func(w int) { contendQueueProbeRing(w) },
+		},
+		{
+			Name: "shared counters", UseCase: "CM",
+			Seq: func() { contendCounterProbe(1) },
+			Par: func(w int) { contendCounterProbe(w) },
+		},
+		{
+			Name: "routing reads", UseCase: "RMT",
+			Seq: func() { contendRoutingProbe(1) },
+			Par: func(w int) { contendRoutingProbe(w) },
+		},
+	}
+	return app
+}
+
+// contendInstrumented emits the service's access profile with explicit
+// simulated thread ids (Session.EmitAs) from one real goroutine, so the
+// interleaving — and therefore the report — is deterministic, which the
+// streaming/batch differential suite requires. The shapes mirror what the
+// real workload below does with goroutines.
+func contendInstrumented(s *trace.Session) {
+	// Hit counters: four workers interleave inserts/updates/reads densely —
+	// Contended-Map.
+	counters := s.Register(trace.KindDictionary, "Dictionary[string,uint64]", "hit counters", 0)
+	size := 0
+	for i := 0; i < 240; i++ {
+		thr := trace.ThreadID(1 + i%4)
+		switch i % 3 {
+		case 0:
+			size++
+			s.EmitAs(counters, trace.OpInsert, trace.NoIndex, size, thr)
+		case 1:
+			s.EmitAs(counters, trace.OpWrite, trace.NoIndex, size, thr)
+		default:
+			s.EmitAs(counters, trace.OpRead, trace.NoIndex, size, thr)
+		}
+	}
+
+	// Job queue: three producers append at the back, one consumer reads and
+	// deletes at the front — Implement-Queue (naive) + MPSC-Queue (shape).
+	jobs := s.Register(trace.KindList, "List[job]", "job queue", 0)
+	qlen := 0
+	for c := 0; c < 60; c++ {
+		for p := 0; p < 3; p++ {
+			s.EmitAs(jobs, trace.OpInsert, qlen, qlen+1, trace.ThreadID(1+p))
+			qlen++
+		}
+		s.EmitAs(jobs, trace.OpRead, 0, qlen, 4)
+		qlen--
+		s.EmitAs(jobs, trace.OpDelete, 0, qlen, 4)
+	}
+
+	// Routing table: built once by the owner, then read-dominated across four
+	// threads with rare owner writes — Read-Mostly-Table.
+	routes := s.Register(trace.KindDictionary, "Dictionary[string,route]", "routing table", 0)
+	rsize := 0
+	for i := 0; i < 16; i++ {
+		rsize++
+		s.EmitAs(routes, trace.OpInsert, trace.NoIndex, rsize, 1)
+	}
+	for i := 0; i < 360; i++ {
+		thr := trace.ThreadID(1 + i%4)
+		s.EmitAs(routes, trace.OpRead, trace.NoIndex, rsize, thr)
+		if i%72 == 36 {
+			s.EmitAs(routes, trace.OpWrite, trace.NoIndex, rsize, 1)
+		}
+	}
+
+	// Frame buffer: one single-thread write phase, then a long multi-thread
+	// read phase, never interleaving writes — Phase-Separated-RW.
+	frames := s.Register(trace.KindDictionary, "Dictionary[int,frame]", "frame buffer", 0)
+	fsize := 0
+	for i := 0; i < 96; i++ {
+		fsize++
+		s.EmitAs(frames, trace.OpInsert, trace.NoIndex, fsize, 1)
+	}
+	for i := 0; i < 24; i++ {
+		s.EmitAs(frames, trace.OpRead, trace.NoIndex, fsize, 1)
+	}
+	for i := 0; i < 240; i++ {
+		thr := trace.ThreadID(1 + i%4)
+		s.EmitAs(frames, trace.OpRead, trace.NoIndex, fsize, thr)
+	}
+
+	// Scratch list: single-threaded control — the classic Long-Insert fires
+	// and the instance carries no cross-thread state at all (the report must
+	// not print a contention line for it).
+	scratch := s.Register(trace.KindList, "List[int]", "scratch", 0)
+	for i := 0; i < 150; i++ {
+		s.EmitAs(scratch, trace.OpInsert, i, i+1, 1)
+	}
+	for i := 0; i < 12; i++ {
+		s.EmitAs(scratch, trace.OpRead, i*12, 150, 1)
+	}
+}
+
+// contendKey derives a deterministic key name for slot i.
+func contendKey(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	return string([]byte{letters[i%26], letters[(i/26)%26], byte('0' + i%10)})
+}
+
+// contendWorkload is the real service: workers<=1 runs the original
+// sequential program (single map, slice FIFO, plain routing table), workers>1
+// runs the recommendation-applied version (sharded map, MPSC ring, RWMutex,
+// phase barrier). Every checksum folds commutatively, so the two versions
+// agree no matter how goroutines interleave.
+func contendWorkload(workers int) uint64 {
+	var sum uint64
+
+	if workers <= 1 {
+		// Shared counters, sequentially.
+		counters := make(map[string]uint64, contendKeys)
+		for i := 0; i < contendOps; i++ {
+			counters[contendKey(i%contendKeys)] += uint64(i&7) + 1
+		}
+		for i := 0; i < contendKeys; i++ {
+			k := contendKey(i)
+			sum += mix64(uint64(i)<<32 ^ counters[k])
+		}
+
+		// Queue hand-off on a slice FIFO: O(n) front removal per job.
+		queue := make([]uint64, 0, 64)
+		next := 0
+		for drained := 0; drained < contendJobs; {
+			for b := 0; b < 4 && next < contendJobs; b++ {
+				queue = append(queue, uint64(next))
+				next++
+			}
+			v := queue[0]
+			queue = queue[:copy(queue, queue[1:])]
+			sum += mix64(v)
+			drained++
+		}
+
+		// Routing lookups.
+		routes := make(map[string]uint64, contendKeys)
+		for i := 0; i < contendKeys; i++ {
+			routes[contendKey(i)] = mix64(uint64(i))
+		}
+		for i := 0; i < contendOps; i++ {
+			sum += routes[contendKey(i%contendKeys)] & 0xffff
+		}
+
+		// Frame buffer: write phase, then read phase.
+		buf := make([]uint64, contendFrames)
+		for i := range buf {
+			buf[i] = mix64(uint64(i) ^ 0xC0)
+		}
+		for i := range buf {
+			sum += buf[i] >> 48
+		}
+		return sum
+	}
+
+	// Recommendation applied: shard-by-key.
+	counters := par.NewShardedMap[string, uint64](workers, par.HashString)
+	par.ChunkIndexed(contendOps, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := uint64(i&7) + 1
+			counters.Update(contendKey(i%contendKeys), func(v uint64) uint64 { return v + d })
+		}
+	})
+	for i := 0; i < contendKeys; i++ {
+		v, _ := counters.Get(contendKey(i))
+		sum += mix64(uint64(i)<<32 ^ v)
+	}
+
+	// Recommendation applied: MPSC ring hand-off, one consumer goroutine.
+	ring := par.NewMPSCRing[uint64](1024)
+	var consumed uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for drained := 0; drained < contendJobs; {
+			if v, ok := ring.TryDequeue(); ok {
+				consumed += mix64(v)
+				drained++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	par.ChunkIndexed(contendJobs, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for !ring.TryEnqueue(uint64(i)) {
+				runtime.Gosched()
+			}
+		}
+	})
+	<-done
+	sum += consumed
+
+	// Recommendation applied: RWMutex-wrapped routing table.
+	routes := make(map[string]uint64, contendKeys)
+	var mu sync.RWMutex
+	for i := 0; i < contendKeys; i++ {
+		routes[contendKey(i)] = mix64(uint64(i))
+	}
+	partial := make([]uint64, workers)
+	par.ChunkIndexed(contendOps, workers, func(chunk, lo, hi int) {
+		var local uint64
+		for i := lo; i < hi; i++ {
+			mu.RLock()
+			local += routes[contendKey(i%contendKeys)] & 0xffff
+			mu.RUnlock()
+		}
+		partial[chunk] = local
+	})
+	for _, p := range partial {
+		sum += p
+	}
+
+	// Recommendation applied: parallel phases with a barrier between them
+	// (par.For joins all workers before returning).
+	buf := make([]uint64, contendFrames)
+	par.For(contendFrames, workers, func(i int) {
+		buf[i] = mix64(uint64(i) ^ 0xC0)
+	})
+	for i := 0; i < workers; i++ {
+		partial[i] = 0
+	}
+	par.ChunkIndexed(contendFrames, workers, func(chunk, lo, hi int) {
+		var local uint64
+		for i := lo; i < hi; i++ {
+			local += buf[i] >> 48
+		}
+		partial[chunk] = local
+	})
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// contendQueueProbeList is the MQ region before the recommendation: the jobs
+// flow through a slice used as a FIFO, every removal shifting the remainder —
+// O(n) per job once the backlog builds.
+func contendQueueProbeList() {
+	const jobs = 60000
+	queue := make([]uint64, 0, 64)
+	next := 0
+	var sum uint64
+	// Producers run ahead of the consumer, so a backlog accumulates — the
+	// situation the profile showed (the queue grows by two jobs per cycle).
+	for next < jobs/2 {
+		queue = append(queue, uint64(next))
+		next++
+	}
+	for drained := 0; drained < jobs; {
+		if next < jobs {
+			queue = append(queue, uint64(next))
+			next++
+		}
+		v := queue[0]
+		queue = queue[:copy(queue, queue[1:])]
+		sum += mix64(v)
+		drained++
+	}
+	_ = sum
+}
+
+// contendQueueProbeRing is the same hand-off after the recommendation: the
+// bounded MPSC ring pays O(1) at both ends regardless of backlog. workers
+// producer goroutines feed one consumer.
+func contendQueueProbeRing(workers int) {
+	const jobs = 60000
+	ring := par.NewMPSCRing[uint64](4096)
+	var sum uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for drained := 0; drained < jobs; {
+			if v, ok := ring.TryDequeue(); ok {
+				sum += mix64(v)
+				drained++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	par.ChunkIndexed(jobs, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for !ring.TryEnqueue(uint64(i)) {
+				runtime.Gosched()
+			}
+		}
+	})
+	<-done
+}
+
+// contendCounterProbe is the CM region: every increment on one mutex-guarded
+// map (workers <= 1) versus the sharded map (workers > 1).
+func contendCounterProbe(workers int) {
+	const ops = 400000
+	if workers <= 1 {
+		var mu sync.Mutex
+		m := make(map[string]uint64, contendKeys)
+		for i := 0; i < ops; i++ {
+			k := contendKey(i % contendKeys)
+			mu.Lock()
+			m[k]++
+			mu.Unlock()
+		}
+		return
+	}
+	m := par.NewShardedMap[string, uint64](0, par.HashString)
+	par.ChunkIndexed(ops, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.Update(contendKey(i%contendKeys), func(v uint64) uint64 { return v + 1 })
+		}
+	})
+}
+
+// contendRoutingProbe is the RMT region: lookups through an exclusive mutex
+// (workers <= 1) versus concurrent readers under an RWMutex (workers > 1).
+func contendRoutingProbe(workers int) {
+	const ops = 400000
+	routes := make(map[string]uint64, contendKeys)
+	for i := 0; i < contendKeys; i++ {
+		routes[contendKey(i)] = mix64(uint64(i))
+	}
+	if workers <= 1 {
+		var mu sync.Mutex
+		var sum uint64
+		for i := 0; i < ops; i++ {
+			mu.Lock()
+			sum += routes[contendKey(i%contendKeys)]
+			mu.Unlock()
+		}
+		_ = sum
+		return
+	}
+	var mu sync.RWMutex
+	par.ChunkIndexed(ops, workers, func(_, lo, hi int) {
+		var sum uint64
+		for i := lo; i < hi; i++ {
+			mu.RLock()
+			sum += routes[contendKey(i%contendKeys)]
+			mu.RUnlock()
+		}
+		_ = sum
+	})
+}

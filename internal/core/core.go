@@ -78,6 +78,11 @@ type InstanceResult struct {
 	// patterns, not a zigzag), and Contended flags concurrent use with at
 	// least one writer.
 	Shared profile.SharedAccess
+	// Contention is the cross-thread summary — episodes, reader/writer
+	// phases, and the bounded happens-before sketch — for instances touched
+	// by more than one thread; nil for single-threaded instances, which
+	// never pay for cross-thread state.
+	Contention *profile.Contention
 }
 
 // Patterns returns the detected access patterns.
@@ -217,14 +222,21 @@ func (d *DSspy) analyzeProfiles(s *trace.Session, profiles []*profile.Profile, c
 
 		t = time.Now()
 		shared := profile.SharedAccessOf(p)
+		// The cross-thread summary exists only for multi-thread instances
+		// (DetectWithSummary already populated the cache for those).
+		var ct *profile.Contention
+		if st.Threads > 1 {
+			ct = p.Contention()
+		}
 		clocks.Stage(stageShared).Observe(time.Since(t))
 
 		results[i] = &InstanceResult{
-			Profile:  p,
-			Summary:  sum,
-			UseCases: ucs,
-			Regular:  regular,
-			Shared:   shared,
+			Profile:    p,
+			Summary:    sum,
+			UseCases:   ucs,
+			Regular:    regular,
+			Shared:     shared,
+			Contention: ct,
 		}
 	})
 	asp.End("instances", fmt.Sprint(len(profiles)))
@@ -232,11 +244,35 @@ func (d *DSspy) analyzeProfiles(s *trace.Session, profiles []*profile.Profile, c
 		Instances:  results,
 		Registered: s.Instances(),
 		Stats: &metrics.PipelineStats{
-			Instances: len(profiles),
-			Workers:   workers,
-			Stages:    clocks.Snapshot(),
+			Instances:  len(profiles),
+			Workers:    workers,
+			Stages:     clocks.Snapshot(),
+			Contention: contentionStats(results),
 		},
 	}
+}
+
+// contentionStats aggregates the per-instance cross-thread summaries for the
+// -stats plane; nil when the run was entirely single-threaded.
+func contentionStats(results []*InstanceResult) *metrics.ContentionStats {
+	cs := &metrics.ContentionStats{}
+	for _, ir := range results {
+		ct := ir.Contention
+		if ct == nil {
+			continue
+		}
+		cs.MultiThreadInstances++
+		if ct.Contended() {
+			cs.ContendedInstances++
+		}
+		cs.Episodes += ct.Episodes
+		cs.EpisodeEvents += ct.EpisodeEvents
+		cs.OverflowEvents += ct.OverflowEvents
+	}
+	if cs.MultiThreadInstances == 0 {
+		return nil
+	}
+	return cs
 }
 
 // Run is the one-call convenience driver: it creates a session with the
@@ -332,7 +368,13 @@ func (r *Report) SearchSpace() SearchSpace {
 	flagged := make(map[trace.InstanceID]bool)
 	for _, u := range r.UseCases() {
 		ss.Referred++
-		flagged[u.Instance.ID] = true
+		switch u.Instance.Kind {
+		case trace.KindList, trace.KindArray, trace.KindLinkedList, trace.KindSortedList:
+			// Only linear instances are part of the paper's list/array
+			// search space; contention findings on dictionaries don't
+			// shrink (or inflate) it.
+			flagged[u.Instance.ID] = true
+		}
 	}
 	ss.Flagged = len(flagged)
 	return ss
@@ -384,6 +426,15 @@ func (r *Report) Write(w io.Writer) error {
 				ir.Profile.Instance.TypeName, labelSuffix(ir.Profile.Instance.Label),
 				ir.Shared.Threads, ir.Shared.WritingThreads); err != nil {
 				return err
+			}
+			if ct := ir.Contention; ct.Contended() {
+				if _, err := fmt.Fprintf(w,
+					"  Contention: %d episode(s) cover %d of %d events (longest %d, %d with writes); %d read / %d write phase(s); %d of %d thread pair(s) potentially concurrent.\n",
+					ct.Episodes, ct.EpisodeEvents, ct.Total, ct.MaxEpisode, ct.WriterEpisodes,
+					ct.ReadPhases, ct.WritePhases,
+					ct.ConcurrentPairs, ct.ConcurrentPairs+ct.OrderedPairs); err != nil {
+					return err
+				}
 			}
 		}
 	}

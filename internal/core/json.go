@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"io"
+
+	"dsspy/internal/profile"
 )
 
 // Machine-readable report export, for integrating DSspy findings into other
@@ -35,6 +37,9 @@ type JSONInstance struct {
 	Regular  bool          `json:"regular"`
 	Patterns []JSONPattern `json:"patterns,omitempty"`
 	UseCases []JSONUseCase `json:"useCases,omitempty"`
+	// Contention is the cross-thread summary for multi-thread instances;
+	// omitted for single-threaded ones.
+	Contention *profile.Contention `json:"contention,omitempty"`
 }
 
 // JSONPattern is one detected access pattern.
@@ -59,15 +64,16 @@ func (r *Report) ToJSON() JSONReport {
 	for _, ir := range r.Instances {
 		inst := ir.Profile.Instance
 		ji := JSONInstance{
-			ID:      uint32(inst.ID),
-			Kind:    inst.Kind.String(),
-			Type:    inst.TypeName,
-			Label:   inst.Label,
-			File:    inst.Site.File,
-			Line:    inst.Site.Line,
-			Events:  ir.Profile.Len(),
-			Threads: ir.Shared.Threads,
-			Regular: ir.Regular,
+			ID:         uint32(inst.ID),
+			Kind:       inst.Kind.String(),
+			Type:       inst.TypeName,
+			Label:      inst.Label,
+			File:       inst.Site.File,
+			Line:       inst.Site.Line,
+			Events:     ir.Profile.Len(),
+			Threads:    ir.Shared.Threads,
+			Regular:    ir.Regular,
+			Contention: ir.Contention,
 		}
 		for _, p := range ir.Patterns() {
 			ji.Patterns = append(ji.Patterns, JSONPattern{

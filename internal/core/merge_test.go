@@ -32,7 +32,11 @@ func reportBytes(t *testing.T, rep *core.Report) []byte {
 }
 
 func corpusPrograms() []corpus.DynamicProgram {
-	return append(corpus.PatternStudyPrograms(), corpus.UseCaseStudyPrograms()...)
+	progs := append(corpus.PatternStudyPrograms(), corpus.UseCaseStudyPrograms()...)
+	// The multi-thread study programs put the per-instance contention
+	// summaries (episodes, phases, thread windows) under the same merge
+	// algebra as every other per-instance figure.
+	return append(progs, corpus.ContentionStudyPrograms()...)
 }
 
 // corpusReports analyzes every corpus program once, stamping each report with
@@ -114,6 +118,36 @@ func TestMergeIdempotentOverCorpus(t *testing.T) {
 	again, _ := core.MergeReports(once, once)
 	if !bytes.Equal(reportBytes(t, once), reportBytes(t, again)) {
 		t.Fatal("merge(m, m) != m")
+	}
+}
+
+// TestMergeKeepsContention: the fleet merge must carry the per-instance
+// contention summaries through — a merged view of the contention programs
+// still knows which instances were contended.
+func TestMergeKeepsContention(t *testing.T) {
+	var reports []*core.Report
+	for i, p := range corpus.ContentionStudyPrograms() {
+		rep := p.Run(core.New())
+		rep.Origin = fmt.Sprintf("%s#%d", p.Name, i)
+		reports = append(reports, rep)
+	}
+	merged, _ := core.MergeReports(reports...)
+	contended := 0
+	for _, ir := range merged.Instances {
+		if ir.Contention.Contended() {
+			contended++
+		}
+	}
+	if contended == 0 {
+		t.Fatal("merge dropped every contention summary")
+	}
+	// Round-tripping the merged view preserves them too.
+	var buf bytes.Buffer
+	if err := merged.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"episodes"`)) {
+		t.Fatal("merged JSON rendering lost the contention fields")
 	}
 }
 

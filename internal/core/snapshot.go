@@ -33,6 +33,11 @@ type savedInstance struct {
 	UseCases []usecase.UseCase    `json:"use_cases,omitempty"`
 	Regular  bool                 `json:"regular,omitempty"`
 	Shared   profile.SharedAccess `json:"shared"`
+	// Contention carries the cross-thread summary for multi-thread
+	// instances; omitted (nil) for single-threaded ones and absent from
+	// snapshots written before it existed — loaders treat both as "no
+	// cross-thread state".
+	Contention *profile.Contention `json:"contention,omitempty"`
 }
 
 type savedReport struct {
@@ -45,30 +50,35 @@ type savedReport struct {
 
 func saveInstance(ir *InstanceResult) savedInstance {
 	return savedInstance{
-		Origin:   ir.Origin,
-		Instance: ir.Profile.Instance,
-		Events:   ir.Profile.Len(),
-		Stats:    ir.Profile.Stats(),
-		Summary:  ir.Summary,
-		UseCases: ir.UseCases,
-		Regular:  ir.Regular,
-		Shared:   ir.Shared,
+		Origin:     ir.Origin,
+		Instance:   ir.Profile.Instance,
+		Events:     ir.Profile.Len(),
+		Stats:      ir.Profile.Stats(),
+		Summary:    ir.Summary,
+		UseCases:   ir.UseCases,
+		Regular:    ir.Regular,
+		Shared:     ir.Shared,
+		Contention: ir.Contention,
 	}
 }
 
 func (si savedInstance) restore() *InstanceResult {
 	p := profile.NewStreamed(si.Instance, si.Events, si.Stats)
+	if si.Contention != nil {
+		p.PrimeContention(si.Contention)
+	}
 	sum := si.Summary
 	if sum == nil {
 		sum = &pattern.Summary{}
 	}
 	return &InstanceResult{
-		Origin:   si.Origin,
-		Profile:  p,
-		Summary:  sum,
-		UseCases: si.UseCases,
-		Regular:  si.Regular,
-		Shared:   si.Shared,
+		Origin:     si.Origin,
+		Profile:    p,
+		Summary:    sum,
+		UseCases:   si.UseCases,
+		Regular:    si.Regular,
+		Shared:     si.Shared,
+		Contention: si.Contention,
 	}
 }
 

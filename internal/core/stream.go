@@ -47,7 +47,11 @@ type instanceStream struct {
 	prevSeq uint64 // highest Seq seen, for out-of-order accounting
 	ooo     uint64
 
-	stats     profile.StreamStats
+	stats profile.StreamStats
+	// ct folds the cross-thread contention figures (episodes, phases, the
+	// happens-before window sketch). Scalar state plus one inline window:
+	// single-threaded instances never allocate for it.
+	ct        profile.StreamContention
 	perThread map[trace.ThreadID]*pattern.StreamDetector
 	// global segments the interleaved per-instance stream with the
 	// configured options — what the batch regularity check summarizes.
@@ -92,6 +96,7 @@ func (st *instanceStream) feedBatch(d *DSspy, b *trace.ColumnBatch, i, j int) {
 		}
 	}
 	st.stats.FoldBatch(b, i, j)
+	st.ct.FoldBatch(b, i, j)
 	st.uc.FoldBatch(b, i, j)
 
 	for k := i; k < j; {
@@ -128,6 +133,7 @@ func (st *instanceStream) feed(d *DSspy, e trace.Event) {
 		st.prevSeq = e.Seq
 	}
 	st.stats.Fold(e)
+	st.ct.Fold(e)
 	st.uc.Event(e)
 
 	det := st.perThread[e.Thread]
@@ -175,6 +181,7 @@ func (st *instanceStream) clone() *instanceStream {
 		prevSeq:   st.prevSeq,
 		ooo:       st.ooo,
 		stats:     *st.stats.Clone(),
+		ct:        *st.ct.Clone(),
 		perThread: make(map[trace.ThreadID]*pattern.StreamDetector, len(st.perThread)),
 		global:    st.global.Clone(),
 		uc:        st.uc.Clone(),
@@ -217,6 +224,12 @@ func (st *instanceStream) finalize(d *DSspy, s *trace.Session) *InstanceResult {
 	}
 
 	stats := st.stats.Snapshot()
+	// Same contract as the batch side: the cross-thread summary exists only
+	// for instances more than one thread touched.
+	var ct *profile.Contention
+	if stats.Threads > 1 {
+		ct = st.ct.Snapshot()
+	}
 	var inst trace.Instance
 	ok := false
 	if s != nil {
@@ -226,12 +239,16 @@ func (st *instanceStream) finalize(d *DSspy, s *trace.Session) *InstanceResult {
 		inst = trace.Instance{ID: st.id, TypeName: "<unregistered>"}
 	}
 	p := profile.NewStreamed(inst, st.n, stats)
+	if ct != nil {
+		p.PrimeContention(ct)
+	}
 	return &InstanceResult{
-		Profile:  p,
-		Summary:  sum,
-		UseCases: st.uc.Finish(inst, stats),
-		Regular:  pattern.RegularityFrom(st.global.Summary(), stats, d.cfg.Regularity),
-		Shared:   profile.SharedAccessOf(p),
+		Profile:    p,
+		Summary:    sum,
+		UseCases:   st.uc.Finish(inst, stats, ct),
+		Regular:    pattern.RegularityFrom(st.global.Summary(), stats, d.cfg.Regularity),
+		Shared:     profile.SharedAccessOf(p),
+		Contention: ct,
 	}
 }
 
@@ -455,6 +472,7 @@ func (a *StreamAnalyzer) buildReport(streams []*instanceStream) *Report {
 				OpenRuns:   openRuns,
 				OutOfOrder: ooo,
 			},
+			Contention: contentionStats(results),
 		},
 	}
 }
@@ -473,6 +491,32 @@ func (a *StreamAnalyzer) WriteMetrics(w *obs.PromWriter) {
 		w.Gauge("dsspy_stream_instances",
 			"Live per-instance reducers.", float64(instances), "shard", shard)
 	}
+	var multi, contended int
+	var episodes, epEvents uint64
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for _, st := range sh.byInst {
+			if !st.ct.MultiThread() {
+				continue
+			}
+			multi++
+			ep, ev, c := st.ct.Live()
+			episodes += uint64(ep)
+			epEvents += uint64(ev)
+			if c {
+				contended++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	w.Gauge("dsspy_contention_instances",
+		"Instances touched by more than one thread.", float64(multi))
+	w.Gauge("dsspy_contention_contended_instances",
+		"Multi-thread instances with at least one writer episode.", float64(contended))
+	w.Counter("dsspy_contention_episodes_total",
+		"Contention episodes observed (open episodes included).", float64(episodes))
+	w.Counter("dsspy_contention_episode_events_total",
+		"Events inside contention episodes.", float64(epEvents))
 	a.snapMu.Lock()
 	snaps, snapNS := a.snapshots, a.snapNS
 	a.snapMu.Unlock()

@@ -1,0 +1,104 @@
+package corpus
+
+import (
+	"dsspy/internal/trace"
+)
+
+// Concurrency-aware behaviors: scripted multi-thread usages with known
+// contention signatures. Unlike the classic behaviors they cannot go through
+// the dstruct proxies (a proxy stamps the calling goroutine), so they emit
+// events directly with explicit simulated thread ids via Session.EmitAs —
+// one real goroutine producing a deterministic interleaving, which is what
+// the streaming/batch differential suite needs to compare report bytes.
+
+// BehaviorContendedMap interleaves inserts, updates and reads from four
+// simulated threads on one dictionary — dense episodes with several writers:
+// fires exactly {Contended-Map}.
+func BehaviorContendedMap(label string) Behavior {
+	return func(s *trace.Session) {
+		id := s.Register(trace.KindDictionary, "Dictionary[string,int]", label, 0)
+		size := 0
+		for i := 0; i < 120; i++ {
+			thr := trace.ThreadID(1 + i%4)
+			switch i % 3 {
+			case 0:
+				size++
+				s.EmitAs(id, trace.OpInsert, trace.NoIndex, size, thr)
+			case 1:
+				s.EmitAs(id, trace.OpWrite, trace.NoIndex, size, thr)
+			default:
+				s.EmitAs(id, trace.OpRead, trace.NoIndex, size, thr)
+			}
+		}
+	}
+}
+
+// BehaviorMPSCQueue drives a list as a FIFO hand-off: three simulated
+// producer threads append at the back, one consumer reads and deletes at the
+// front, densely interleaved. The end affinity fires the classic
+// {Implement-Queue} and the thread shape additionally fires {MPSC-Queue} —
+// the pair the advisor resolves by demoting the naive queue swap on a
+// contended instance and recommending the MPSC ring instead.
+func BehaviorMPSCQueue(label string) Behavior {
+	return func(s *trace.Session) {
+		id := s.Register(trace.KindList, "List[int]", label, 0)
+		const consumer = trace.ThreadID(4)
+		size := 0
+		for c := 0; c < 40; c++ {
+			for p := 0; p < 3; p++ {
+				// Mirrors dstruct.List.Add: index of the new element, size
+				// after the append.
+				s.EmitAs(id, trace.OpInsert, size, size+1, trace.ThreadID(1+p))
+				size++
+			}
+			s.EmitAs(id, trace.OpRead, 0, size, consumer)
+			size--
+			s.EmitAs(id, trace.OpDelete, 0, size, consumer)
+		}
+	}
+}
+
+// BehaviorReadMostlyTable builds a small dictionary once, then four simulated
+// threads read it heavily while the owner thread writes rarely (and always
+// adjacent to other threads' reads, so the profile stays episodic rather than
+// phase-separated): fires exactly {Read-Mostly-Table}.
+func BehaviorReadMostlyTable(label string) Behavior {
+	return func(s *trace.Session) {
+		id := s.Register(trace.KindDictionary, "Dictionary[string,int]", label, 0)
+		size := 0
+		for i := 0; i < 12; i++ {
+			size++
+			s.EmitAs(id, trace.OpInsert, trace.NoIndex, size, 1)
+		}
+		for i := 0; i < 300; i++ {
+			thr := trace.ThreadID(1 + i%4)
+			s.EmitAs(id, trace.OpRead, trace.NoIndex, size, thr)
+			if i%60 == 30 {
+				s.EmitAs(id, trace.OpWrite, trace.NoIndex, size, 1)
+			}
+		}
+	}
+}
+
+// BehaviorPhaseSeparatedRW fills a dictionary in one single-thread write
+// phase, then four simulated threads read it — two long phases, and no
+// contention episode ever contains a write (the owner keeps the structure
+// for a stretch of reads before the other threads join): fires exactly
+// {Phase-Separated-RW}.
+func BehaviorPhaseSeparatedRW(label string) Behavior {
+	return func(s *trace.Session) {
+		id := s.Register(trace.KindDictionary, "Dictionary[int,int]", label, 0)
+		size := 0
+		for i := 0; i < 80; i++ {
+			size++
+			s.EmitAs(id, trace.OpInsert, trace.NoIndex, size, 1)
+		}
+		for i := 0; i < 20; i++ {
+			s.EmitAs(id, trace.OpRead, trace.NoIndex, size, 1)
+		}
+		for i := 0; i < 200; i++ {
+			thr := trace.ThreadID(1 + i%4)
+			s.EmitAs(id, trace.OpRead, trace.NoIndex, size, thr)
+		}
+	}
+}

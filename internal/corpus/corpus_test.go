@@ -224,6 +224,10 @@ func TestBehaviorSignatures(t *testing.T) {
 		{"stack", BehaviorStackImpl("t"), map[usecase.Kind]int{usecase.StackImplementation: 1}, true},
 		{"idf", BehaviorInsertDeleteFront("t"), map[usecase.Kind]int{usecase.InsertDeleteFront: 1}, true},
 		{"wwr", BehaviorWriteWithoutRead("t"), map[usecase.Kind]int{usecase.WriteWithoutRead: 1}, true},
+		{"contended-map", BehaviorContendedMap("t"), map[usecase.Kind]int{usecase.ContendedMap: 1}, false},
+		{"mpsc-queue", BehaviorMPSCQueue("t"), map[usecase.Kind]int{usecase.ImplementQueue: 1, usecase.MPSCQueue: 1}, true},
+		{"read-mostly", BehaviorReadMostlyTable("t"), map[usecase.Kind]int{usecase.ReadMostlyTable: 1}, false},
+		{"phase-rw", BehaviorPhaseSeparatedRW("t"), map[usecase.Kind]int{usecase.PhaseSeparatedRW: 1}, false},
 	}
 	for _, tc := range cases {
 		rep := d.Run(func(s *trace.Session) { tc.b(s) })

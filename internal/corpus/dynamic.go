@@ -21,17 +21,29 @@ type Mix struct {
 
 	RegularOnly int // recurring regularity, no use case
 	Irregular   int // no regularity at all
+
+	// Concurrency-aware behaviors (multi-thread, emitted with simulated
+	// thread ids). MQ is dual: its end affinity also fires the classic
+	// Implement-Queue, which the advisor demotes on the contended instance.
+	CM  int // BehaviorContendedMap      -> {CM}
+	MQ  int // BehaviorMPSCQueue         -> {IQ, MQ}
+	RMT int // BehaviorReadMostlyTable   -> {RMT}
+	PRW int // BehaviorPhaseSeparatedRW  -> {PRW}
 }
 
 // Instances returns the number of data-structure instances the mix creates.
 func (m Mix) Instances() int {
-	return m.LI + m.IQ + m.FS + m.FLR + m.SAIDual + m.LIFLR + m.RegularOnly + m.Irregular
+	return m.LI + m.IQ + m.FS + m.FLR + m.SAIDual + m.LIFLR + m.RegularOnly + m.Irregular +
+		m.CM + m.MQ + m.RMT + m.PRW
 }
 
 // Regularities returns how many instances carry recurring regularities —
-// every behavior except the irregular one is regular by construction.
+// every classic behavior except the irregular one is regular by
+// construction, as is the MPSC hand-off (each producer's appends recur).
+// The other contention behaviors are interleaving-dominated and make no
+// regularity promise, so they stay out of the count.
 func (m Mix) Regularities() int {
-	return m.Instances() - m.Irregular
+	return m.Instances() - m.Irregular - m.CM - m.RMT - m.PRW
 }
 
 // UseCases returns the expected per-kind use-case counts.
@@ -43,10 +55,14 @@ func (m Mix) UseCases() map[usecase.Kind]int {
 		}
 	}
 	addIf(usecase.LongInsert, m.LI+m.SAIDual+m.LIFLR)
-	addIf(usecase.ImplementQueue, m.IQ)
+	addIf(usecase.ImplementQueue, m.IQ+m.MQ)
 	addIf(usecase.SortAfterInsert, m.SAIDual)
 	addIf(usecase.FrequentSearch, m.FS)
 	addIf(usecase.FrequentLongRead, m.FLR+m.LIFLR)
+	addIf(usecase.ContendedMap, m.CM)
+	addIf(usecase.MPSCQueue, m.MQ)
+	addIf(usecase.ReadMostlyTable, m.RMT)
+	addIf(usecase.PhaseSeparatedRW, m.PRW)
 	return out
 }
 
@@ -76,6 +92,10 @@ func (m Mix) Behaviors(program string) []Behavior {
 	add(m.LIFLR, "insert+read", BehaviorLongInsertAndRead)
 	add(m.RegularOnly, "regular", BehaviorRegularOnly)
 	add(m.Irregular, "noise", BehaviorIrregular)
+	add(m.CM, "contended-map", BehaviorContendedMap)
+	add(m.MQ, "mpsc-queue", BehaviorMPSCQueue)
+	add(m.RMT, "read-mostly", BehaviorReadMostlyTable)
+	add(m.PRW, "phase-rw", BehaviorPhaseSeparatedRW)
 	return out
 }
 
@@ -170,5 +190,25 @@ func UseCaseStudyPrograms() []DynamicProgram {
 		{Name: "WordWheelSolver", Mix: Mix{LI: 1}},
 		{Name: "wordSorter", Mix: Mix{LI: 1}},
 		{Name: "Algorithmia", Mix: Mix{FLR: 1}},
+	}
+}
+
+// ContentionStudyPrograms returns multi-threaded study subjects exercising
+// the concurrency-aware detectors — deterministic simulated interleavings
+// that extend the streaming/batch differential suite beyond single-thread
+// workloads. Several mix contention behaviors with classic ones on separate
+// instances, the situation the advisor must keep apart.
+func ContentionStudyPrograms() []DynamicProgram {
+	return []DynamicProgram{
+		{Name: "collector-daemon", Domain: "Service",
+			Mix: Mix{CM: 1, MQ: 1}},
+		{Name: "web-cache", Domain: "Service",
+			Mix: Mix{RMT: 1, CM: 1}},
+		{Name: "ingest-pipeline", Domain: "Service",
+			Mix: Mix{MQ: 2, Irregular: 1}},
+		{Name: "simulation-grid", Domain: "Simulation",
+			Mix: Mix{PRW: 1, LI: 1}},
+		{Name: "metrics-registry", Domain: "Service",
+			Mix: Mix{CM: 2, RMT: 1, PRW: 1}},
 	}
 }

@@ -128,6 +128,11 @@ type PipelineStats struct {
 	// produced by the streaming analyzer; nil in batch mode.
 	Streaming *StreamingStats
 
+	// Contention aggregates the per-instance cross-thread summaries; nil
+	// when the run was entirely single-threaded. Batch and streaming modes
+	// both fill it from the same per-instance figures.
+	Contention *ContentionStats
+
 	// Overhead holds the self-overhead accounting — sampled Record cost and
 	// the estimated/measured profiling slowdown — when the run's driver
 	// timed the workload; nil for replayed streams.
@@ -252,6 +257,33 @@ func (ss *StreamingStats) Write(w io.Writer) error {
 	return nil
 }
 
+// ContentionStats summarizes the cross-thread analysis of one run: how many
+// instances saw multi-thread access, how many of those were genuinely
+// contended (interleaved access with writes), and the episode volume behind
+// the judgment.
+type ContentionStats struct {
+	MultiThreadInstances int // instances touched by >1 thread
+	ContendedInstances   int // instances with at least one writer episode
+	Episodes             int // contention episodes across all instances
+	EpisodeEvents        int // events inside contention episodes
+	OverflowEvents       int // events beyond the per-instance thread-window cap
+}
+
+// Write renders the contention counters in the layout `dsspy -stats` prints.
+func (cs *ContentionStats) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Contention: %d multi-thread instance(s), %d contended, %d episode(s) covering %d event(s)\n",
+		cs.MultiThreadInstances, cs.ContendedInstances, cs.Episodes, cs.EpisodeEvents); err != nil {
+		return err
+	}
+	if cs.OverflowEvents > 0 {
+		if _, err := fmt.Fprintf(w, "  thread-window overflow: %d event(s) beyond the per-instance cap\n",
+			cs.OverflowEvents); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Write renders the stats in the layout `dsspy -stats` prints.
 func (ps *PipelineStats) Write(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "Pipeline: %d events, %d instances, %d worker(s), wall %s\n",
@@ -274,6 +306,11 @@ func (ps *PipelineStats) Write(w io.Writer) error {
 	}
 	if ps.Streaming != nil {
 		if err := ps.Streaming.Write(w); err != nil {
+			return err
+		}
+	}
+	if ps.Contention != nil {
+		if err := ps.Contention.Write(w); err != nil {
 			return err
 		}
 	}

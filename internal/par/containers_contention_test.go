@@ -1,0 +1,221 @@
+package par
+
+// Tests for the concurrency-safe containers the advisor's contention plans
+// recommend: the sharded map and the bounded MPSC ring. The concurrent
+// cases are part of the -race matrix (`make check`).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestShardedMapBasics(t *testing.T) {
+	m := NewShardedMap[string, int](8, HashString)
+	if m.Shards() != 8 {
+		t.Fatalf("Shards = %d, want 8", m.Shards())
+	}
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty map reports a key")
+	}
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Put("a", 3) // overwrite
+	if v, ok := m.Get("a"); !ok || v != 3 {
+		t.Fatalf(`Get("a") = %d,%v; want 3,true`, v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Update("b", func(v int) int { return v + 10 })
+	m.Update("c", func(v int) int { return v + 1 }) // zero-value insert
+	if v, _ := m.Get("b"); v != 12 {
+		t.Fatalf(`Update("b") = %d, want 12`, v)
+	}
+	if v, _ := m.Get("c"); v != 1 {
+		t.Fatalf(`Update("c") from zero = %d, want 1`, v)
+	}
+	if !m.Delete("a") || m.Delete("a") {
+		t.Fatal("Delete must report presence exactly once")
+	}
+	sum := 0
+	m.Range(func(_ string, v int) bool { sum += v; return true })
+	if sum != 13 {
+		t.Fatalf("Range sum = %d, want 13", sum)
+	}
+}
+
+func TestShardedMapShardCountRounding(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 16, 17} {
+		m := NewShardedMap[int, int](n, HashInt)
+		s := m.Shards()
+		if s&(s-1) != 0 || s < 1 {
+			t.Fatalf("n=%d: %d shards, want a power of two", n, s)
+		}
+		if n > 0 && s < n {
+			t.Fatalf("n=%d: rounded down to %d shards", n, s)
+		}
+	}
+	if m := NewShardedMap[int, int](0, HashInt); m.Shards() < 1 {
+		t.Fatal("default shard count empty")
+	}
+	_ = runtime.GOMAXPROCS(0) // the default derives from this; just exercise it
+}
+
+// TestShardedMapConcurrent hammers disjoint and colliding keys from many
+// goroutines; correctness is checked by summing. Run under -race.
+func TestShardedMapConcurrent(t *testing.T) {
+	m := NewShardedMap[int, int](0, HashInt)
+	const (
+		workers = 8
+		perW    = 2000
+		keys    = 64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				m.Update(i%keys, func(v int) int { return v + 1 })
+				if i%16 == 0 {
+					m.Get((i + w) % keys)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	m.Range(func(_ int, v int) bool { total += v; return true })
+	if total != workers*perW {
+		t.Fatalf("lost updates: sum = %d, want %d", total, workers*perW)
+	}
+	if m.Len() != keys {
+		t.Fatalf("Len = %d, want %d", m.Len(), keys)
+	}
+}
+
+func TestMPSCRingBasics(t *testing.T) {
+	r := NewMPSCRing[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("dequeue from empty ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed on non-full ring", i)
+		}
+	}
+	if r.TryEnqueue(99) {
+		t.Fatal("enqueue succeeded on full ring")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = %d,%v; want %d,true (FIFO)", v, ok, i)
+		}
+	}
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("drained ring still dequeues")
+	}
+	// Wrap around several times.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.TryEnqueue(round*10 + i) {
+				t.Fatalf("round %d: enqueue failed", round)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if v, ok := r.TryDequeue(); !ok || v != round*10+i {
+				t.Fatalf("round %d: dequeue = %d,%v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestMPSCRingCapacityRounding(t *testing.T) {
+	for _, c := range []int{0, 1, 2, 3, 5, 1000} {
+		r := NewMPSCRing[int](c)
+		got := r.Cap()
+		if got&(got-1) != 0 || got < 2 {
+			t.Fatalf("cap %d rounded to %d, want a power of two >= 2", c, got)
+		}
+		if got < c {
+			t.Fatalf("cap %d rounded down to %d", c, got)
+		}
+	}
+}
+
+// TestMPSCRingProducersConsumer is the advertised shape: many producers, one
+// consumer. Every enqueued value must come out exactly once, and each
+// producer's values must arrive in its program order. Run under -race.
+func TestMPSCRingProducersConsumer(t *testing.T) {
+	const (
+		producers = 4
+		perP      = 5000
+	)
+	r := NewMPSCRing[[2]int](256)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				for !r.TryEnqueue([2]int{p, i}) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	got := make([][]int, producers)
+	received := 0
+	for received < producers*perP {
+		if v, ok := r.TryDequeue(); ok {
+			got[v[0]] = append(got[v[0]], v[1])
+			received++
+			continue
+		}
+		select {
+		case <-done:
+			if r.Len() == 0 && received < producers*perP {
+				t.Fatalf("producers done, ring empty, but only %d of %d received", received, producers*perP)
+			}
+		default:
+		}
+		runtime.Gosched()
+	}
+	for p := 0; p < producers; p++ {
+		if len(got[p]) != perP {
+			t.Fatalf("producer %d: %d values received, want %d", p, len(got[p]), perP)
+		}
+		for i, v := range got[p] {
+			if v != i {
+				t.Fatalf("producer %d: value %d arrived at position %d — per-producer order broken", p, v, i)
+			}
+		}
+	}
+}
+
+func TestHashesSpread(t *testing.T) {
+	const shards = 16
+	for name, count := range map[string]func(i int) int{
+		"int":    func(i int) int { return int(HashInt(i) % shards) },
+		"string": func(i int) int { return int(HashString(fmt.Sprintf("key-%d", i)) % shards) },
+	} {
+		hit := make([]int, shards)
+		for i := 0; i < 1024; i++ {
+			hit[count(i)]++
+		}
+		for s, n := range hit {
+			if n == 0 {
+				t.Errorf("%s hash: shard %d never hit over 1024 sequential keys", name, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package par
+
+import "sync/atomic"
+
+// MPSCRing is the container behind the advisor's MPSC-queue plan: a bounded
+// multi-producer ring buffer with per-slot sequence numbers (Vyukov's bounded
+// queue). Producers claim slots with one CAS each and never block each other
+// on a shared lock; the consumer reads in FIFO order of slot claims. Unlike
+// the list-FIFO it replaces, both ends are O(1): no front-removal copying,
+// no allocation after construction.
+//
+// The slot-sequence protocol also makes it safe for multiple consumers (it
+// is a bounded MPMC queue), but the advisor deploys it for the MPSC-Queue
+// use case, where profiling identified a single consumer.
+type MPSCRing[T any] struct {
+	mask uint64
+	// The producer and consumer cursors live on separate cache lines so
+	// enqueue CAS traffic does not invalidate the consumer's line.
+	_    [56]byte
+	enq  atomic.Uint64
+	_    [56]byte
+	deq  atomic.Uint64
+	_    [56]byte
+	slot []ringSlot[T]
+}
+
+type ringSlot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// NewMPSCRing returns a ring with the given capacity rounded up to a power
+// of two (minimum 2).
+func NewMPSCRing[T any](capacity int) *MPSCRing[T] {
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	r := &MPSCRing[T]{mask: uint64(size - 1), slot: make([]ringSlot[T], size)}
+	for i := range r.slot {
+		r.slot[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// TryEnqueue appends v; false when the ring is full. Safe for any number of
+// concurrent producers.
+func (r *MPSCRing[T]) TryEnqueue(v T) bool {
+	for {
+		pos := r.enq.Load()
+		s := &r.slot[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			// Slot free at this lap; claim it.
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1) // publish: consumer may read from here
+				return true
+			}
+		case seq < pos:
+			// The consumer has not freed this slot yet: full.
+			return false
+		default:
+			// Another producer claimed pos between Load and CAS; retry on
+			// the fresh cursor.
+		}
+	}
+}
+
+// TryDequeue removes the oldest element; false when the ring is empty. Only
+// one consumer goroutine may call it at a time (single-consumer contract);
+// the slot protocol itself would tolerate more.
+func (r *MPSCRing[T]) TryDequeue() (T, bool) {
+	var zero T
+	for {
+		pos := r.deq.Load()
+		s := &r.slot[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			// Published by a producer; take it.
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				v := s.val
+				s.val = zero
+				s.seq.Store(pos + r.mask + 1) // free for the next lap
+				return v, true
+			}
+		case seq <= pos:
+			// Either unclaimed, or claimed but not yet published (a producer
+			// between CAS and Store). Nothing consumable.
+			return zero, false
+		default:
+			// Stale cursor (another consumer advanced it); retry.
+		}
+	}
+}
+
+// Len returns the number of enqueued elements (approximate under concurrent
+// use: the two cursors are read independently).
+func (r *MPSCRing[T]) Len() int {
+	d := r.enq.Load() - r.deq.Load()
+	if int64(d) < 0 {
+		return 0
+	}
+	return int(d)
+}
+
+// Cap returns the ring capacity.
+func (r *MPSCRing[T]) Cap() int { return len(r.slot) }

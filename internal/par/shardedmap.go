@@ -1,0 +1,148 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ShardedMap is the container behind the advisor's shard-by-key plan: a hash
+// map partitioned across power-of-two shards, each guarded by its own
+// RWMutex, so writers from different goroutines contend only when their keys
+// hash to the same shard. It is the treatment for the Contended-Map use case,
+// where profiling shows interleaved multi-thread access with several writers
+// serializing on one lock.
+//
+// The key hash is caller-supplied (HashInt / HashString cover the common
+// cases) so the map works for any comparable key without reflection.
+type ShardedMap[K comparable, V any] struct {
+	shards []mapShard[K, V]
+	mask   uint64
+	hash   func(K) uint64
+}
+
+type mapShard[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+	// Pad each shard to its own cache line so neighboring shard locks do not
+	// false-share under write-heavy load.
+	_ [40]byte
+}
+
+// NewShardedMap returns a map with the given shard count rounded up to a
+// power of two; n <= 0 sizes by GOMAXPROCS.
+func NewShardedMap[K comparable, V any](n int, hash func(K) uint64) *ShardedMap[K, V] {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	sm := &ShardedMap[K, V]{
+		shards: make([]mapShard[K, V], size),
+		mask:   uint64(size - 1),
+		hash:   hash,
+	}
+	for i := range sm.shards {
+		sm.shards[i].m = make(map[K]V)
+	}
+	return sm
+}
+
+func (sm *ShardedMap[K, V]) shard(k K) *mapShard[K, V] {
+	return &sm.shards[sm.hash(k)&sm.mask]
+}
+
+// Put stores v under k.
+func (sm *ShardedMap[K, V]) Put(k K, v V) {
+	sh := sm.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// Get returns the value under k.
+func (sm *ShardedMap[K, V]) Get(k K) (V, bool) {
+	sh := sm.shard(k)
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Delete removes k; it reports whether the key existed.
+func (sm *ShardedMap[K, V]) Delete(k K) bool {
+	sh := sm.shard(k)
+	sh.mu.Lock()
+	_, ok := sh.m[k]
+	if ok {
+		delete(sh.m, k)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// Update applies f to the value under k (the zero value if absent) and stores
+// the result, all under the shard lock — the read-modify-write cycle that
+// would race on a plain map even with atomic Put/Get.
+func (sm *ShardedMap[K, V]) Update(k K, f func(V) V) {
+	sh := sm.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = f(sh.m[k])
+	sh.mu.Unlock()
+}
+
+// Len returns the total element count across shards. It locks shards one at
+// a time, so the count is a consistent sum of per-shard snapshots, not a
+// point-in-time global snapshot.
+func (sm *ShardedMap[K, V]) Len() int {
+	n := 0
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Shards returns the shard count.
+func (sm *ShardedMap[K, V]) Shards() int { return len(sm.shards) }
+
+// Range calls f for every key/value pair until f returns false. Each shard
+// is read-locked while iterated; concurrent writes to other shards proceed.
+func (sm *ShardedMap[K, V]) Range(f func(K, V) bool) {
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			if !f(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// HashInt is a shard hash for integer keys: a Fibonacci-multiplicative mix
+// whose high bits diffuse well even for sequential keys.
+func HashInt(k int) uint64 {
+	x := uint64(k) * 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return x
+}
+
+// HashString is a shard hash for string keys (FNV-1a, 64-bit).
+func HashString(k string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return h
+}

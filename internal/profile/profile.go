@@ -22,9 +22,10 @@ type Profile struct {
 	Instance trace.Instance
 	Events   []trace.Event
 
-	stats    *Stats // lazily computed
-	runs     []Run  // lazily cached default-options segmentation
-	streamed int    // event count when built by the stream pipeline (Events nil)
+	stats      *Stats      // lazily computed
+	contention *Contention // lazily computed cross-thread summary
+	runs       []Run       // lazily cached default-options segmentation
+	streamed   int         // event count when built by the stream pipeline (Events nil)
 }
 
 // Build groups events by instance and returns one profile per instance that

@@ -1,0 +1,108 @@
+package usecase
+
+import (
+	"fmt"
+
+	"dsspy/internal/profile"
+	"dsspy/internal/trace"
+)
+
+// The four concurrency-aware detectors. Like the paper's eight in detect.go
+// they read aggregates the Stream reducer folded — plus the cross-thread
+// contention summary (profile.Contention) — apply thresholds, and render the
+// evidence. All of them are gated on st.Threads > 1 by Finish, so
+// single-threaded profiles never reach this file.
+
+// mapLike reports whether the instance is a keyed lookup structure.
+func mapLike(k trace.Kind) bool {
+	return k == trace.KindDictionary || k == trace.KindHashSet
+}
+
+// queueLike reports whether the instance could carry a producer/consumer
+// hand-off: an actual queue, or the list/linked-list a queue is hand-rolled
+// from (Implement-Queue's territory).
+func queueLike(k trace.Kind) bool {
+	return k == trace.KindQueue || k == trace.KindList || k == trace.KindLinkedList
+}
+
+// contendedMap: a map-like structure whose accesses interleave across
+// threads with several concurrent writers — the single-lock bottleneck that
+// sharding by key hash removes.
+func (u *Stream) contendedMap(inst trace.Instance, st *profile.Stats, ct *profile.Contention) (string, bool) {
+	if !mapLike(inst.Kind) {
+		return "", false
+	}
+	if st.Total < u.th.CMMinOps || st.WriterIDs < u.th.CMMinWriters {
+		return "", false
+	}
+	if !ct.Contended() || ct.EpisodeShare() < u.th.CMMinEpisodeShare {
+		return "", false
+	}
+	return fmt.Sprintf("%d threads (%d writing) interleave on the map: %.0f%% of accesses fall inside %d contention episodes (longest %d events)",
+		st.Threads, st.WriterIDs, 100*ct.EpisodeShare(), ct.Episodes, ct.MaxEpisode), true
+}
+
+// mpscQueue: a queue-shaped structure (two-end affinity like Implement-Queue)
+// written by multiple producer threads and drained by a single consumer — or
+// the SPMC mirror image — under real interleaving. The single-consumer side
+// makes a lock-free ring hand-off applicable.
+func (u *Stream) mpscQueue(inst trace.Instance, st *profile.Stats, ct *profile.Contention) (string, bool) {
+	if !queueLike(inst.Kind) {
+		return "", false
+	}
+	if st.Total < u.th.MQMinOps || !ct.Contended() {
+		return "", false
+	}
+	var shape string
+	switch {
+	case ct.Producers >= 2 && ct.Consumers == 1:
+		shape = "multi-producer single-consumer"
+	case ct.Producers == 1 && ct.Consumers >= 2:
+		shape = "single-producer multi-consumer"
+	default:
+		return "", false
+	}
+	// Same end-affinity evidence as Implement-Queue: inserts at one end,
+	// reads/deletes at the other, in either orientation.
+	fi, fo := st.Fraction(u.iqInsBack), st.Fraction(u.iqOutFront)
+	if fi+fo <= u.th.MQMinEndFraction {
+		fi, fo = st.Fraction(u.iqInsFront), st.Fraction(u.iqOutBack)
+	}
+	if fi+fo <= u.th.MQMinEndFraction {
+		return "", false
+	}
+	return fmt.Sprintf("%s hand-off (%d producers, %d consumers): %.0f%% of accesses affect the two queue ends across %d contention episodes",
+		shape, ct.Producers, ct.Consumers, 100*(fi+fo), ct.Episodes), true
+}
+
+// readMostlyTable: a keyed table read concurrently by several threads with
+// rare writes — mutual exclusion serializes readers that a reader/writer
+// lock would let proceed in parallel.
+func (u *Stream) readMostlyTable(inst trace.Instance, st *profile.Stats) (string, bool) {
+	if !mapLike(inst.Kind) && inst.Kind != trace.KindSortedList {
+		return "", false
+	}
+	if st.Total < u.th.RMTMinOps || st.ReaderIDs < 2 || st.WriteLike == 0 {
+		return "", false
+	}
+	readFrac := st.Fraction(st.ReadLike)
+	if readFrac < u.th.RMTMinReadFraction {
+		return "", false
+	}
+	return fmt.Sprintf("%.0f%% of accesses are reads from %d threads; only %d writes — readers are serialized for nothing",
+		100*readFrac, st.ReaderIDs, st.WriteLike), true
+}
+
+// phaseSeparatedRW: reads and writes alternate in few long phases and no
+// contention episode ever contained a write — the threads already take
+// turns, so per-access locking can become a barrier at each phase boundary.
+func (u *Stream) phaseSeparatedRW(st *profile.Stats, ct *profile.Contention) (string, bool) {
+	if st.Total < u.th.PRWMinOps || st.ReaderIDs < 2 {
+		return "", false
+	}
+	if ct.WriterEpisodes > 0 || !ct.PhaseSeparated(u.th.PRWMaxPhases) {
+		return "", false
+	}
+	return fmt.Sprintf("%d write and %d read phases (longest %d events) with no write ever contended — synchronize at phase boundaries",
+		ct.WritePhases, ct.ReadPhases, ct.MaxReadPhase), true
+}

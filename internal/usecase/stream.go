@@ -210,10 +210,12 @@ func (u *Stream) Pattern(pat pattern.Pattern) {
 	}
 }
 
-// Finish applies the eight detectors to the folded state and returns the use
-// cases that fire, in Kind order. The reducer may keep folding afterwards
-// (snapshots finalize a Clone, not the live reducer).
-func (u *Stream) Finish(inst trace.Instance, st *profile.Stats) []UseCase {
+// Finish applies the detectors to the folded state and returns the use cases
+// that fire, in Kind order. ct is the cross-thread contention summary; nil
+// (or a single-threaded profile) skips the concurrency-aware detectors. The
+// reducer may keep folding afterwards (snapshots finalize a Clone, not the
+// live reducer).
+func (u *Stream) Finish(inst trace.Instance, st *profile.Stats, ct *profile.Contention) []UseCase {
 	if st.Total == 0 {
 		return nil
 	}
@@ -250,6 +252,20 @@ func (u *Stream) Finish(inst trace.Instance, st *profile.Stats) []UseCase {
 	}
 	if ev, ok := u.writeWithoutRead(); ok {
 		add(WriteWithoutRead, ev)
+	}
+	if ct != nil && st.Threads > 1 {
+		if ev, ok := u.contendedMap(inst, st, ct); ok {
+			add(ContendedMap, ev)
+		}
+		if ev, ok := u.mpscQueue(inst, st, ct); ok {
+			add(MPSCQueue, ev)
+		}
+		if ev, ok := u.readMostlyTable(inst, st); ok {
+			add(ReadMostlyTable, ev)
+		}
+		if ev, ok := u.phaseSeparatedRW(st, ct); ok {
+			add(PhaseSeparatedRW, ev)
+		}
 	}
 	return out
 }

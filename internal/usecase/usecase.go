@@ -4,6 +4,11 @@
 // Implement-Queue, Sort-After-Insert, Frequent-Search and Frequent-Long-Read
 // — and three are sequential optimizations: Insert/Delete-Front,
 // Stack-Implementation and Write-Without-Read.
+//
+// Beyond the paper, four concurrency-aware use cases read the per-instance
+// cross-thread summary (profile.Contention): Contended-Map, MPSC-Queue,
+// Read-Mostly-Table and Phase-Separated-RW. They fire only on instances
+// touched by more than one thread, so single-threaded analysis is unchanged.
 package usecase
 
 import (
@@ -43,6 +48,26 @@ const (
 	// WriteWithoutRead (WWR): the profile ends with write patterns whose
 	// results are never read.
 	WriteWithoutRead
+
+	// The concurrency-aware use cases extend the paper's eight with
+	// detections over the cross-thread contention summary
+	// (profile.Contention). They only ever fire on instances touched by
+	// more than one thread, so single-threaded reports are unchanged.
+
+	// ContendedMap (CM): a map-like structure under interleaved
+	// multi-thread access with several writing threads — lock contention
+	// central; shard it by key.
+	ContendedMap
+	// MPSCQueue (MQ): a queue-shaped structure fed by multiple producers
+	// and drained by a single consumer (or the SPMC mirror image).
+	MPSCQueue
+	// ReadMostlyTable (RMT): a table read concurrently by several threads
+	// with rare writes — reader/writer locking beats mutual exclusion.
+	ReadMostlyTable
+	// PhaseSeparatedRW (PRW): reads and writes alternate in few long
+	// phases and writes are never contended — synchronize at phase
+	// boundaries, not per access.
+	PhaseSeparatedRW
 	numKinds
 )
 
@@ -66,6 +91,14 @@ var kindInfo = [...]struct {
 		"Analyze the data structure and think about using a stack implementation.", false},
 	WriteWithoutRead: {"Write-Without-Read", "WWR",
 		"Check if the write accesses at the end of this profile are necessary; cleanup writes resemble deallocation and should be left to garbage collection.", false},
+	ContendedMap: {"Contended-Map", "CM",
+		"Shard the map by key hash so concurrent writers hit disjoint shards instead of one lock.", true},
+	MPSCQueue: {"MPSC-Queue", "MQ",
+		"Replace the list-backed queue with a bounded multi-producer ring buffer; producers enqueue without blocking each other and the consumer drains in order.", true},
+	ReadMostlyTable: {"Read-Mostly-Table", "RMT",
+		"Guard the table with a reader/writer lock so concurrent readers proceed in parallel and only the rare writes take the exclusive lock.", true},
+	PhaseSeparatedRW: {"Phase-Separated-RW", "PRW",
+		"Reads and writes occur in separate phases: parallelize within each phase and synchronize at the phase boundary instead of locking every access.", true},
 }
 
 // String returns the paper's use-case name.
@@ -97,7 +130,8 @@ func (k Kind) Action() string {
 	return ""
 }
 
-// Kinds lists all eight use cases in paper order.
+// Kinds lists all use cases: the paper's eight in paper order, then the
+// concurrency-aware four.
 func Kinds() []Kind {
 	out := make([]Kind, numKinds)
 	for i := range out {
@@ -106,9 +140,16 @@ func Kinds() []Kind {
 	return out
 }
 
-// ParallelKinds lists the five use cases with parallel potential.
+// ParallelKinds lists the paper's five use cases with parallel potential.
+// The concurrency-aware kinds are all parallel too but are listed separately
+// (ContentionKinds) — the paper's Table IV accounting counts only these five.
 func ParallelKinds() []Kind {
 	return []Kind{LongInsert, ImplementQueue, SortAfterInsert, FrequentSearch, FrequentLongRead}
+}
+
+// ContentionKinds lists the concurrency-aware use cases.
+func ContentionKinds() []Kind {
+	return []Kind{ContendedMap, MPSCQueue, ReadMostlyTable, PhaseSeparatedRW}
 }
 
 // UseCase is one detected use case on one instance: the location, the
@@ -175,6 +216,33 @@ type Thresholds struct {
 	// WWRMinTrailingWrites: length of the terminal write pattern
 	// (implicit).
 	WWRMinTrailingWrites int
+
+	// The concurrency-aware thresholds. These are ours, not the paper's —
+	// the paper's detectors are interleaving-blind — chosen so that casual
+	// cross-thread touches (a handoff, a final read) never fire.
+
+	// CMMinOps: accesses before the contended-map judgment is made.
+	CMMinOps int
+	// CMMinEpisodeShare: share of events that must fall inside contention
+	// episodes.
+	CMMinEpisodeShare float64
+	// CMMinWriters: distinct writing threads required.
+	CMMinWriters int
+
+	// MQMinOps / MQMinEndFraction mirror IQ's volume and end-affinity
+	// requirements for the cross-thread producer/consumer shape.
+	MQMinOps         int
+	MQMinEndFraction float64
+
+	// RMTMinOps / RMTMinReadFraction: volume and read share for the
+	// read-mostly table.
+	RMTMinOps          int
+	RMTMinReadFraction float64
+
+	// PRWMinOps / PRWMaxPhases: volume cap and maximum number of
+	// read/write phases for the phase-separated profile.
+	PRWMinOps    int
+	PRWMaxPhases int
 }
 
 // Default returns the paper's threshold values (§III.B), with the implicit
@@ -196,6 +264,15 @@ func Default() Thresholds {
 		IDFMinOps:            6,
 		SIMinOps:             10,
 		WWRMinTrailingWrites: 3,
+		CMMinOps:             64,
+		CMMinEpisodeShare:    0.25,
+		CMMinWriters:         2,
+		MQMinOps:             64,
+		MQMinEndFraction:     0.60,
+		RMTMinOps:            64,
+		RMTMinReadFraction:   0.90,
+		PRWMinOps:            64,
+		PRWMaxPhases:         8,
 	}
 }
 
@@ -225,5 +302,11 @@ func DetectWithSummary(p *profile.Profile, sum *pattern.Summary, th Thresholds) 
 	for _, pat := range sum.Patterns {
 		u.Pattern(pat)
 	}
-	return u.Finish(p.Instance, st)
+	// The cross-thread summary is only consulted for multi-thread profiles,
+	// so single-threaded batch analysis never pays the contention fold.
+	var ct *profile.Contention
+	if st.Threads > 1 {
+		ct = p.Contention()
+	}
+	return u.Finish(p.Instance, st, ct)
 }

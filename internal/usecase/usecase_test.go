@@ -32,16 +32,21 @@ func kinds(ucs []UseCase) map[Kind]bool {
 }
 
 func TestKindMetadata(t *testing.T) {
-	if len(Kinds()) != 8 {
+	if len(Kinds()) != 12 {
 		t.Fatalf("Kinds() = %d", len(Kinds()))
 	}
 	if len(ParallelKinds()) != 5 {
 		t.Fatalf("ParallelKinds() = %d", len(ParallelKinds()))
 	}
+	if len(ContentionKinds()) != 4 {
+		t.Fatalf("ContentionKinds() = %d", len(ContentionKinds()))
+	}
 	wantShort := map[Kind]string{
 		LongInsert: "LI", ImplementQueue: "IQ", SortAfterInsert: "SAI",
 		FrequentSearch: "FS", FrequentLongRead: "FLR",
 		InsertDeleteFront: "IDF", StackImplementation: "SI", WriteWithoutRead: "WWR",
+		ContendedMap: "CM", MPSCQueue: "MQ",
+		ReadMostlyTable: "RMT", PhaseSeparatedRW: "PRW",
 	}
 	for k, short := range wantShort {
 		if k.Short() != short {
@@ -52,6 +57,11 @@ func TestKindMetadata(t *testing.T) {
 		}
 	}
 	for _, k := range ParallelKinds() {
+		if !k.Parallel() {
+			t.Errorf("%s.Parallel() = false", k)
+		}
+	}
+	for _, k := range ContentionKinds() {
 		if !k.Parallel() {
 			t.Errorf("%s.Parallel() = false", k)
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dsspy_test
+
+const raceEnabled = false

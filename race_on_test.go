@@ -1,0 +1,7 @@
+//go:build race
+
+package dsspy_test
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// gates skip themselves under it (every path inflates, unevenly).
+const raceEnabled = true
