@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath bench-columnar bench-contend smoke-obs chaos fuzz-smoke clean
+.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath bench-columnar bench-contend bench-sample smoke-obs chaos fuzz-smoke clean
 
 ## check: everything CI runs — build, vet, full tests, race tests on the
 ## concurrent packages, the streaming/batch and hot-path differentials under
@@ -11,11 +11,12 @@ check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/core/... ./internal/par/... ./cmd/dsspy/
-	$(GO) test -race -run 'Streaming|HotPath|Columnar|Contend|Contention' .
+	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/core/... ./internal/par/... ./internal/sample/... ./cmd/dsspy/
+	$(GO) test -race -run 'Streaming|HotPath|Columnar|Contend|Contention|Sample' .
 	$(MAKE) bench-hotpath
 	$(MAKE) bench-columnar
 	$(MAKE) bench-contend
+	$(MAKE) bench-sample
 	$(MAKE) smoke-obs
 	$(MAKE) chaos
 	$(MAKE) fuzz-smoke
@@ -85,6 +86,20 @@ bench-contend:
 	$(GO) test . -run 'TestContentionOverheadEndToEnd|TestContendQueueProbeSpeedup' -v -count 1
 	$(GO) test ./internal/profile/ -run 'TestContentionSingleThreadZeroAlloc|TestContentionOverheadBudget' -v -count 1
 
+## bench-sample: the adaptive-sampling acceptance gates. First the
+## differential suite: on all 44 corpus workloads, sampled detections must
+## either match full fidelity exactly or carry a positive error bound, with
+## the gate's conservation identity (observed = folded + sampled out)
+## holding per instance. Then the slowdown gate (DSSPY_SAMPLE_GATE=1): on
+## the Table IV apps, the steady-state 1:64 sampled run must cost <1.5× the
+## no-trace floor (drop-everything gate) geo-mean — i.e. sampling removes
+## the removable tracing overhead; the dstruct proxy layer below the floor
+## is not the sampler's to reclaim. Twin-relative ratios for the
+## EXPERIMENTS.md table are logged alongside.
+bench-sample:
+	$(GO) test . -run 'TestSampleDifferentialCorpus' -count 1
+	DSSPY_SAMPLE_GATE=1 $(GO) test . -run 'TestSampleSlowdownGate' -v -count 1
+
 ## smoke-obs: boots the CLI with the live observability surface (the -listen
 ## side keeps serving while it waits for a producer) and checks that /healthz,
 ## /metrics and /statusz answer with the expected content.
@@ -118,6 +133,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzColumnarDecoder$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzColumnarFoldDifferential$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzHelloHandshake$$' -fuzztime 10s
+	$(GO) test ./internal/sample/ -run '^$$' -fuzz '^FuzzSampleController$$' -fuzztime 10s
 
 clean:
 	$(GO) clean ./...

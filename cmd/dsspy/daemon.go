@@ -84,11 +84,20 @@ func runMerge(o *options) {
 // tenant to -checkpoint-dir, and prints per-tenant plus fleet reports. A
 // restart with the same -checkpoint-dir resumes from the checkpoints.
 func runDaemon(analyzer *core.DSspy, o *options, tracer *obs.Tracer, srv *obs.Server, sampling bool) {
+	// The collector server is built after the daemon (it needs the daemon as
+	// its sink), so the delivery-counter hook binds late through this var.
+	var tenantCounters func(tenant string) (received, delivered uint64)
 	daemon := analyzer.NewDaemon(core.DaemonConfig{
 		WindowEvents:  o.windowEv,
 		CheckpointDir: o.ckptDir,
 		Shards:        o.shards,
 		Logger:        slog.Default(),
+		TenantSampling: func(tenant string) (uint64, uint64) {
+			if tenantCounters == nil {
+				return 0, 0
+			}
+			return tenantCounters(tenant)
+		},
 	})
 	if n, err := daemon.Restore(); err != nil {
 		fatal(err)
@@ -114,6 +123,14 @@ func runDaemon(analyzer *core.DSspy, o *options, tracer *obs.Tracer, srv *obs.Se
 	})
 	if err != nil {
 		fatal(err)
+	}
+	tenantCounters = func(tenant string) (uint64, uint64) {
+		for _, ts := range cs.TenantStats() {
+			if ts.Tenant == tenant {
+				return ts.Received, ts.Delivered
+			}
+		}
+		return 0, 0
 	}
 	if srv != nil {
 		srv.AddSource(cs)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"dsspy/internal/sample"
 )
 
 // options is the parsed command line. Parsing is separated from main so the
@@ -42,6 +44,9 @@ type options struct {
 	stats       bool
 	shards      int
 	workers     int
+	sampleMode  string
+	sampleCfg   sample.Config // parsed form of sampleMode, set by validate
+	minConf     float64
 
 	httpAddr string
 	traceOut string
@@ -86,6 +91,8 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 	fs.BoolVar(&o.stats, "stats", false, "print pipeline observability: per-stage latency quantiles, per-shard queue statistics, delivery accounting, and self-overhead")
 	fs.IntVar(&o.shards, "shards", 0, "collector shards (events partitioned by instance); 0 = GOMAXPROCS, 1 = the single-channel async collector")
 	fs.IntVar(&o.workers, "workers", 0, "analysis worker-pool size; 0 = GOMAXPROCS, 1 = sequential")
+	fs.StringVar(&o.sampleMode, "sample", "full", "per-instance sampling: full (lossless), adaptive (back off once classification stabilizes), or 1:N (static burst rate); non-full implies -stream")
+	fs.Float64Var(&o.minConf, "min-confidence", 0, "with -sample: suppress findings whose sampling confidence is below this (0..1)")
 	fs.StringVar(&o.httpAddr, "http", "", "serve live observability on this address: /metrics, /statusz, /healthz, /debug/pprof")
 	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON of DSspy's own pipeline spans (load in Perfetto)")
 	fs.BoolVar(&o.verbose, "v", false, "verbose diagnostics (debug-level logging)")
@@ -94,6 +101,11 @@ func parseFlags(args []string, errw io.Writer) (*options, error) {
 		return nil, err
 	}
 	if o.live > 0 {
+		o.stream = true
+	}
+	if o.sampleMode != "" && o.sampleMode != "full" {
+		// The gate feeds the streaming reducers; batch analysis would retain
+		// only the admitted events anyway, so sampling implies -stream.
 		o.stream = true
 	}
 	o.mergeFiles = fs.Args()
@@ -142,6 +154,10 @@ func (o *options) isSet(name string) bool {
 		return o.merge
 	case "save-report":
 		return o.saveReport != ""
+	case "sample":
+		return o.sampleMode != "" && o.sampleMode != "full"
+	case "min-confidence":
+		return o.minConf != 0
 	}
 	return false
 }
@@ -166,6 +182,11 @@ var conflicts = []flagConflict{
 	{"recover", "demo", "recovery analyzes a damaged log instead of running a workload"},
 	{"recover", "collect", "recovery analyzes a local WAL; there is nothing to ship"},
 	{"recover", "listen", "a process recovers a log or collects streams, not both"},
+	{"sample", "replay", "the sampling gate runs in the live producer; a replay analyzes a finished log"},
+	{"sample", "recover", "the sampling gate runs in the live producer; recovery analyzes a finished log"},
+	{"sample", "collect", "the gate's classification feedback lives in the analyzer, which -collect runs remotely"},
+	{"sample", "listen", "the collector side runs no workload to sample"},
+	{"sample", "merge", "a merge folds saved reports; their bounds already combine conservatively"},
 	{"listen", "app", "the collector side runs no workload"},
 	{"listen", "demo", "the collector side runs no workload"},
 	{"listen", "collect", "a process is producer or collector, not both"},
@@ -188,6 +209,7 @@ var requires = []flagConflict{
 	{"window-events", "daemon", "analysis windows are per-tenant daemon state"},
 	{"quotas", "daemon", "quotas guard the daemon's tenants"},
 	{"tenant", "collect", "the tenant identity travels in the producer's hello frame"},
+	{"min-confidence", "sample", "confidence bounds exist only under sampling"},
 }
 
 // validate applies the conflict and requirement tables, returning a one-line
@@ -210,6 +232,16 @@ func (o *options) validate() error {
 		if _, err := parseQuotas(o.quotas); err != nil {
 			return err
 		}
+	}
+	if o.sampleMode != "" {
+		cfg, err := sample.ParseConfig(o.sampleMode)
+		if err != nil {
+			return err
+		}
+		o.sampleCfg = cfg
+	}
+	if o.minConf < 0 || o.minConf > 1 {
+		return fmt.Errorf("-min-confidence must be in [0,1], got %g", o.minConf)
 	}
 	return nil
 }

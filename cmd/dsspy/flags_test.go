@@ -4,6 +4,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"dsspy/internal/sample"
 )
 
 func TestFlagValidation(t *testing.T) {
@@ -24,6 +26,10 @@ func TestFlagValidation(t *testing.T) {
 		{"tenant producer", []string{"-app", "Algorithmia", "-collect", "h:1", "-tenant", "alpha"}, ""},
 		{"merge snapshots", []string{"-merge", "a.json", "b.json"}, ""},
 		{"save report", []string{"-app", "Mandelbrot", "-save-report", "out.json"}, ""},
+		{"sample adaptive", []string{"-app", "Mandelbrot", "-sample", "adaptive"}, ""},
+		{"sample static", []string{"-app", "Mandelbrot", "-sample", "1:64"}, ""},
+		{"sample full is lossless", []string{"-replay", "run.dslog", "-sample", "full"}, ""},
+		{"min confidence", []string{"-app", "a", "-sample", "adaptive", "-min-confidence", "0.9"}, ""},
 
 		{"app and demo", []string{"-app", "a", "-demo", "d"}, "-app and -demo"},
 		{"replay and app", []string{"-replay", "f", "-app", "a"}, "-replay and -app"},
@@ -51,6 +57,16 @@ func TestFlagValidation(t *testing.T) {
 		{"bad quotas pair", []string{"-listen", ":1", "-daemon", "-quotas", "alpha:rate"}, "not key=value"},
 		{"bad quotas key", []string{"-listen", ":1", "-daemon", "-quotas", "alpha:speed=9"}, "unknown key"},
 		{"bad quotas rate", []string{"-listen", ":1", "-daemon", "-quotas", "alpha:rate=fast"}, "rate"},
+
+		{"sample and replay", []string{"-replay", "f", "-sample", "adaptive"}, "-sample and -replay"},
+		{"sample and recover", []string{"-recover", "f", "-sample", "1:8"}, "-sample and -recover"},
+		{"sample and collect", []string{"-app", "a", "-collect", "h:1", "-sample", "adaptive"}, "-sample and -collect"},
+		{"sample and listen", []string{"-listen", ":1", "-sample", "adaptive"}, "-sample and -listen"},
+		{"sample and merge", []string{"-merge", "-sample", "1:4", "x.json"}, "-sample and -merge"},
+		{"min confidence without sample", []string{"-app", "a", "-min-confidence", "0.5"}, "-min-confidence requires -sample"},
+		{"min confidence out of range", []string{"-app", "a", "-sample", "adaptive", "-min-confidence", "1.5"}, "min-confidence"},
+		{"bad sample rate", []string{"-app", "a", "-sample", "1:0"}, "sample"},
+		{"bad sample mode", []string{"-app", "a", "-sample", "sometimes"}, "sample"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -81,5 +97,35 @@ func TestLiveImpliesStream(t *testing.T) {
 	}
 	if !o.stream {
 		t.Fatal("-live should imply -stream")
+	}
+}
+
+func TestSampleImpliesStream(t *testing.T) {
+	o, err := parseFlags([]string{"-app", "a", "-sample", "adaptive"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.stream {
+		t.Fatal("-sample=adaptive should imply -stream: the gate feeds the streaming reducers")
+	}
+	if o.sampleCfg.Mode != sample.ModeAdaptive {
+		t.Fatalf("parsed sample config mode = %v, want adaptive", o.sampleCfg.Mode)
+	}
+
+	o, err = parseFlags([]string{"-app", "a", "-sample", "1:16"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.stream || o.sampleCfg.Mode != sample.ModeStatic || o.sampleCfg.StaticRate != 16 {
+		t.Fatalf("-sample=1:16 parsed as %+v (stream=%v)", o.sampleCfg, o.stream)
+	}
+
+	// full stays in whatever analysis mode the rest of the line picked.
+	o, err = parseFlags([]string{"-app", "a", "-sample", "full"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.stream {
+		t.Fatal("-sample=full must not force -stream")
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"dsspy/internal/core"
 	"dsspy/internal/dstruct"
 	"dsspy/internal/obs"
+	"dsspy/internal/sample"
 	"dsspy/internal/trace"
 	"dsspy/internal/viz"
 )
@@ -60,10 +61,16 @@ func main() {
 	if o.listApps {
 		fmt.Println("Evaluation programs (-app):")
 		for _, a := range apps.All() {
+			// Apps with an uninstrumented twin support the sampled-overhead
+			// methodology end to end, so -sample runs can be validated on them.
+			mark := ""
+			if a.PlainTwin != nil {
+				mark = " [sample-ok]"
+			}
 			if a.PaperLOC > 0 {
-				fmt.Printf("  %-16s %s (paper: %d LOC)\n", a.Name, a.Domain, a.PaperLOC)
+				fmt.Printf("  %-16s %s (paper: %d LOC)%s\n", a.Name, a.Domain, a.PaperLOC, mark)
 			} else {
-				fmt.Printf("  %-16s %s (concurrency study)\n", a.Name, a.Domain)
+				fmt.Printf("  %-16s %s (concurrency study)%s\n", a.Name, a.Domain, mark)
 			}
 		}
 		fmt.Println("Demos (-demo): figure2, figure3, queue, stack")
@@ -78,6 +85,14 @@ func main() {
 	tracer := newTracer(o)
 	srv := startObsServer(o, tracer)
 	sampling := o.stats || srv != nil
+
+	// The adaptive-sampling controller: nil in full-fidelity mode, so the
+	// default path installs no gate and reports stay byte-identical.
+	var ctrl *sample.Controller
+	if o.sampleCfg.Mode != sample.ModeFull {
+		ctrl = sample.NewController(o.sampleCfg)
+		ctrl.SetTracer(tracer)
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Workers = o.workers
@@ -181,15 +196,23 @@ func main() {
 			}
 			col = scol
 			timed = trace.NewTimedRecorder(scol, 0)
-			s = trace.NewSessionWith(trace.Options{Recorder: timed, CaptureSites: true})
+			sessOpts := trace.Options{Recorder: timed, CaptureSites: true}
+			if ctrl != nil {
+				sessOpts.Gate = ctrl
+				sa.SetSampling(ctrl)
+			}
+			s = trace.NewSessionWith(sessOpts)
 			sa.Attach(s)
 			if srv != nil {
 				srv.AddSource(scol)
 				srv.AddSource(sa)
 				srv.AddSource(timed)
 				srv.AddSource(s) // dsspy_batch_* (producer batching effectiveness)
+				if ctrl != nil {
+					srv.AddSource(ctrl) // dsspy_sample_* (gate and per-instance bounds)
+				}
 				label, start := runLabel(o), time.Now()
-				srv.SetStatus(func() *obs.Status { return streamStatus(label, start, sa, scol) })
+				srv.SetStatus(func() *obs.Status { return streamStatus(label, start, sa, scol, ctrl) })
 			}
 
 			stop := make(chan struct{})
@@ -325,6 +348,11 @@ func main() {
 	}
 	if timed != nil && rep.Stats != nil {
 		rep.Stats.Overhead = overheadStats(timed, wall, plainWall)
+	}
+	if o.minConf > 0 {
+		if dropped := rep.FilterMinConfidence(o.minConf); dropped > 0 {
+			fmt.Printf("suppressed %d finding(s) below confidence %.2f\n\n", dropped, o.minConf)
+		}
 	}
 
 	rsp := tracer.Begin("report", "run")

@@ -12,6 +12,7 @@ import (
 	"dsspy/internal/core"
 	"dsspy/internal/metrics"
 	"dsspy/internal/obs"
+	"dsspy/internal/sample"
 	"dsspy/internal/trace"
 )
 
@@ -108,7 +109,7 @@ func runLabel(o *options) string {
 // the largest instances with their patterns and findings, every use case so
 // far, and the collector's per-shard queue figures. Each call takes a fresh
 // analyzer snapshot, so the page tracks the run as it refreshes.
-func streamStatus(label string, start time.Time, sa *core.StreamAnalyzer, scol *trace.ShardedCollector) *obs.Status {
+func streamStatus(label string, start time.Time, sa *core.StreamAnalyzer, scol *trace.ShardedCollector, ctrl *sample.Controller) *obs.Status {
 	rep := sa.Snapshot()
 	ss := rep.Stats.Streaming
 
@@ -128,10 +129,37 @@ func streamStatus(label string, start time.Time, sa *core.StreamAnalyzer, scol *
 
 	st.Sections = append(st.Sections, instanceSection(rep))
 	st.Sections = append(st.Sections, useCaseSection(rep))
+	if ctrl != nil {
+		st.Sections = append(st.Sections, samplingSection(ctrl))
+	}
 	if scol != nil {
 		st.Sections = append(st.Sections, shardSection(scol.Stats()))
 	}
 	return st
+}
+
+// samplingSection tables the adaptive-sampling controller's per-instance
+// state: who is backed off, at what rate, and with what confidence bound.
+func samplingSection(ctrl *sample.Controller) obs.StatusSection {
+	insts := ctrl.Instances()
+	table := &obs.StatusTable{Header: []string{
+		"instance", "state", "rate", "observed", "folded", "sampled out", "windows", "re-promotions", "bound",
+	}}
+	for _, is := range insts {
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(is.ID), is.State.String(), fmt.Sprintf("1:%d", is.Rate),
+			fmt.Sprint(is.Observed), fmt.Sprint(is.Kept), fmt.Sprint(is.Dropped),
+			fmt.Sprintf("%d (%d agree)", is.Windows, is.Agree),
+			fmt.Sprint(is.RePromotions),
+			fmt.Sprintf("%.4f", is.Bound),
+		})
+	}
+	t := ctrl.Totals()
+	return obs.StatusSection{
+		Title: fmt.Sprintf("Sampling (%s: %d instance(s), %d backed off)",
+			ctrl.Config().Mode, t.Instances, t.BackedOff),
+		Table: table,
+	}
 }
 
 // instanceSection tables the largest profiles first, like -live.
@@ -259,7 +287,7 @@ func daemonStatus(addr string, start time.Time, cs *trace.CollectorServer, daemo
 	}
 	table := &obs.StatusTable{Header: []string{
 		"tenant", "level", "conns", "received", "delivered", "sampled out", "dropped",
-		"timeouts", "open window", "closed windows",
+		"timeouts", "open window", "closed windows", "shed bound",
 	}}
 	for _, ts := range cs.TenantStats() {
 		ds := windows[ts.Tenant]
@@ -275,6 +303,7 @@ func daemonStatus(addr string, start time.Time, cs *trace.CollectorServer, daemo
 			fmt.Sprint(ts.Timeouts),
 			fmt.Sprint(ds.OpenEvents),
 			fmt.Sprintf("%d (%d rotated, %d evicted)", ds.Windows, ds.Rotated, ds.Evicted),
+			fmt.Sprintf("%.4f", ds.ShedBound),
 		})
 	}
 	st.Sections = append(st.Sections, obs.StatusSection{

@@ -11,6 +11,7 @@ import (
 
 	"dsspy/internal/core"
 	"dsspy/internal/obs"
+	"dsspy/internal/sample"
 	"dsspy/internal/trace"
 )
 
@@ -38,13 +39,17 @@ func TestObservabilityPlaneSmoke(t *testing.T) {
 	scol.SetTracer(tracer)
 	scol.EnableQueueSampling(time.Millisecond)
 	timed := trace.NewTimedRecorder(scol, 4)
-	s := trace.NewSessionWith(trace.Options{Recorder: timed, CaptureSites: true})
+	ctrl := sample.NewController(sample.Config{Mode: sample.ModeStatic, StaticRate: 4, Burst: 8})
+	ctrl.SetTracer(tracer)
+	sa.SetSampling(ctrl)
+	s := trace.NewSessionWith(trace.Options{Recorder: timed, CaptureSites: true, Gate: ctrl})
 	sa.Attach(s)
 	srv.AddSource(scol)
 	srv.AddSource(sa)
 	srv.AddSource(timed)
+	srv.AddSource(ctrl)
 	start := time.Now()
-	srv.SetStatus(func() *obs.Status { return streamStatus("smoke", start, sa, scol) })
+	srv.SetStatus(func() *obs.Status { return streamStatus("smoke", start, sa, scol, ctrl) })
 
 	_, workload := pickWorkload("", "figure3")
 	sp := tracer.Begin("workload", "run")
@@ -91,13 +96,16 @@ func TestObservabilityPlaneSmoke(t *testing.T) {
 		"dsspy_record_calls_total", "dsspy_trace_spans_total",
 		"dsspy_contention_instances", "dsspy_contention_contended_instances",
 		"dsspy_contention_episodes_total", "dsspy_contention_episode_events_total",
+		"dsspy_sample_instances", "dsspy_sample_observed_total",
+		"dsspy_sample_folded_total", "dsspy_sample_dropped_total",
+		"dsspy_sample_rate", "dsspy_sample_max_bound",
 	} {
 		if !strings.Contains(metricsBody, want) {
 			t.Errorf("/metrics missing %s", want)
 		}
 	}
 	statusBody := get("/statusz?frag=1")
-	for _, want := range []string{"smoke", "events folded", "Collector shards"} {
+	for _, want := range []string{"smoke", "events folded", "Collector shards", "Sampling (static"} {
 		if !strings.Contains(statusBody, want) {
 			t.Errorf("/statusz missing %q", want)
 		}

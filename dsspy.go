@@ -34,6 +34,7 @@ import (
 	"dsspy/internal/metrics"
 	"dsspy/internal/obs"
 	"dsspy/internal/profile"
+	"dsspy/internal/sample"
 	"dsspy/internal/trace"
 	"dsspy/internal/usecase"
 )
@@ -256,6 +257,40 @@ type ContentionStats = metrics.ContentionStats
 // per-thread access windows. Surfaced through core.InstanceResult.Contention
 // for instances touched by more than one thread.
 type Contention = profile.Contention
+
+// Gate is the trace-layer sampling hook: a Session with a gate consults it
+// per event (or per credit run, via a Producer) before the event is ever
+// materialized. SampleController implements it.
+type Gate = trace.Gate
+
+// SampleConfig configures per-instance adaptive sampling (mode, window and
+// hysteresis parameters, burst length, rate ceiling).
+type SampleConfig = sample.Config
+
+// SampleController is the per-instance adaptive sampling controller: it keeps
+// cold and undecided instances at full fidelity and backs off hot ones once
+// their classification has been stable for consecutive windows, re-promoting
+// instantly on a classification flip, a new thread, or a contention episode.
+// Install it as the session's Gate and attach it to a StreamAnalyzer with
+// SetSampling.
+type SampleController = sample.Controller
+
+// InstanceSampling is the per-instance sampling record a lossy run attaches
+// to its report rows: realized rate, conservation accounting
+// (observed == folded + sampled out), sketch summaries and the confidence
+// bound every detection on the instance inherits.
+type InstanceSampling = sample.InstanceSampling
+
+// SamplingStats aggregates the controller's accounting for Report.Stats.
+type SamplingStats = metrics.SamplingStats
+
+// NewSampleController builds a sampling controller. The zero SampleConfig
+// means full fidelity; parse "adaptive" or "1:N" with ParseSampleConfig.
+func NewSampleController(cfg SampleConfig) *SampleController { return sample.NewController(cfg) }
+
+// ParseSampleConfig parses a -sample style mode string: "full", "adaptive",
+// or "1:N" for a static burst rate.
+func ParseSampleConfig(s string) (SampleConfig, error) { return sample.ParseConfig(s) }
 
 // Instrumented containers (the proxy layer). Each constructor registers the
 // instance with the session; every interface method emits one access event.

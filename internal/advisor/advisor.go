@@ -79,6 +79,10 @@ type Plan struct {
 	Contended float64
 	// Sketch is the Go rewrite template, phrased with package par.
 	Sketch string
+	// Confidence is the detection confidence inherited from the use case's
+	// sampling error bound: 1 for exact (full-fidelity) detections, lower
+	// when the profile that produced the finding was sampled.
+	Confidence float64
 }
 
 // Speedup estimates the plan's benefit on the given core count via
@@ -130,11 +134,12 @@ func Advise(rep *core.Report, cores int) []Plan {
 			}
 			kind := planKind(u.Kind, ir)
 			plans = append(plans, Plan{
-				UseCase:   u,
-				Kind:      kind,
-				Share:     regionShare(u.Kind, ir),
-				Contended: contendedShare(ir),
-				Sketch:    sketch(kind, u.Kind, ir.Profile.Instance),
+				UseCase:    u,
+				Kind:       kind,
+				Share:      regionShare(u.Kind, ir),
+				Contended:  contendedShare(ir),
+				Sketch:     sketch(kind, u.Kind, ir.Profile.Instance),
+				Confidence: u.Confidence(),
 			})
 		}
 	}
@@ -346,9 +351,18 @@ func Write(w io.Writer, plans []Plan, cores int) error {
 	}
 	for i, p := range plans {
 		if _, err := fmt.Fprintf(w,
-			"Plan %d — %s\n  Site:            %s\n  Region share:    %.0f%% of this instance's accesses\n  Amdahl estimate: %.2fx on %d cores\n  Sketch:\n%s\n\n",
-			i+1, p, p.UseCase.Instance.Site, 100*p.Share, p.Speedup(cores), cores,
-			indent(p.Sketch, "    ")); err != nil {
+			"Plan %d — %s\n  Site:            %s\n  Region share:    %.0f%% of this instance's accesses\n  Amdahl estimate: %.2fx on %d cores\n",
+			i+1, p, p.UseCase.Instance.Site, 100*p.Share, p.Speedup(cores), cores); err != nil {
+			return err
+		}
+		if p.Confidence > 0 && p.Confidence < 1 {
+			if _, err := fmt.Fprintf(w,
+				"  Confidence:      %.1f%% (finding derived from a sampled profile)\n",
+				100*p.Confidence); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  Sketch:\n%s\n\n", indent(p.Sketch, "    ")); err != nil {
 			return err
 		}
 	}

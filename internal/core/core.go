@@ -17,6 +17,7 @@ import (
 	"dsspy/internal/par"
 	"dsspy/internal/pattern"
 	"dsspy/internal/profile"
+	"dsspy/internal/sample"
 	"dsspy/internal/trace"
 	"dsspy/internal/usecase"
 )
@@ -83,6 +84,12 @@ type InstanceResult struct {
 	// by more than one thread; nil for single-threaded instances, which
 	// never pay for cross-thread state.
 	Contention *profile.Contention
+	// Sampling records adaptive-sampling provenance for rows whose event
+	// stream was lossy: realized rate, conservation counters, sketch
+	// estimates, and the detection error bound (mirrored onto UseCases
+	// and Summary). Nil for full-fidelity rows — including rows inside a
+	// sampled run that never backed off — so their bytes are unchanged.
+	Sampling *sample.InstanceSampling
 }
 
 // Patterns returns the detected access patterns.
@@ -380,6 +387,29 @@ func (r *Report) SearchSpace() SearchSpace {
 	return ss
 }
 
+// FilterMinConfidence drops every use-case detection whose confidence
+// (1 - sampling error bound) is below min, returning the number removed.
+// Full-fidelity detections have confidence 1 and always survive. The CLI's
+// -min-confidence flag applies this before rendering.
+func (r *Report) FilterMinConfidence(min float64) int {
+	if min <= 0 {
+		return 0
+	}
+	dropped := 0
+	for _, ir := range r.Instances {
+		kept := ir.UseCases[:0]
+		for _, u := range ir.UseCases {
+			if u.Confidence() >= min {
+				kept = append(kept, u)
+			} else {
+				dropped++
+			}
+		}
+		ir.UseCases = kept
+	}
+	return dropped
+}
+
 // InstancesWithUseCases returns the distinct instances the engineer still
 // has to look at, ordered by id.
 func (r *Report) InstancesWithUseCases() []trace.Instance {
@@ -407,7 +437,7 @@ func (r *Report) Write(w io.Writer) error {
 	for i, u := range ucs {
 		site := u.Instance.Site
 		if _, err := fmt.Fprintf(w,
-			"Use Case %d\n  Function:       %s\n  Position:       %s:%d\n  Data structure: %s%s\n  Use Case:       %s\n  Evidence:       %s\n  Recommendation: %s\n\n",
+			"Use Case %d\n  Function:       %s\n  Position:       %s:%d\n  Data structure: %s%s\n  Use Case:       %s\n  Evidence:       %s\n  Recommendation: %s\n",
 			i+1,
 			orUnknown(site.Function),
 			filepath.Base(orUnknown(site.File)), site.Line,
@@ -416,6 +446,18 @@ func (r *Report) Write(w io.Writer) error {
 			u.Evidence,
 			u.Recommendation,
 		); err != nil {
+			return err
+		}
+		// Only lossy streams print a confidence line: a full-fidelity
+		// detection is exact, and its block stays byte-identical.
+		if u.Bound > 0 {
+			if _, err := fmt.Fprintf(w,
+				"  Confidence:     %.1f%% (sampling error bound %.4f)\n",
+				100*u.Confidence(), u.Bound); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
 	}

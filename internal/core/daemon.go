@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"dsspy/internal/obs"
+	"dsspy/internal/sample"
 	"dsspy/internal/trace"
 )
 
@@ -46,6 +47,12 @@ type DaemonConfig struct {
 	// Logger receives window-rotation and checkpoint diagnostics. Nil
 	// disables.
 	Logger *slog.Logger
+	// TenantSampling reports the collector's per-tenant delivery counters:
+	// events received from producers and events actually delivered to the
+	// sink. When set, windows closed while the collector was shedding load
+	// for the tenant are stamped "degraded", with every detection bound
+	// widened to the shed fraction. Nil means delivery is assumed lossless.
+	TenantSampling func(tenant string) (received, delivered uint64)
 }
 
 func (c DaemonConfig) withDefaults() DaemonConfig {
@@ -71,6 +78,10 @@ type tenantWindows struct {
 	closed   []*Report
 	evicted  int
 	rotated  int
+	// Collector delivery counters as of the last rotation; the delta to the
+	// current reading attributes shed events to the window being closed.
+	lastReceived  uint64
+	lastDelivered uint64
 }
 
 // Daemon implements trace.TenantSink over per-tenant rolling windows.
@@ -157,6 +168,11 @@ func (dm *Daemon) rotateLocked(tw *tenantWindows) {
 	}
 	rep := tw.analyzer.Close()
 	stampOrigin(rep, windowOrigin(tw.name, tw.seq))
+	if b := dm.shedBoundLocked(tw, true); b > 0 {
+		stampDegraded(rep, b)
+		dm.log.Warn("daemon: window degraded by collector shedding",
+			"tenant", tw.name, "window", tw.seq, "bound", b)
+	}
 	tw.closed = append(tw.closed, rep)
 	tw.rotated++
 	if len(tw.closed) > dm.cfg.MaxWindows {
@@ -170,6 +186,45 @@ func (dm *Daemon) rotateLocked(tw *tenantWindows) {
 	tw.live = 0
 	tw.analyzer = dm.d.NewStreamAnalyzer(dm.cfg.Shards)
 	tw.analyzer.Attach(tw.session)
+}
+
+// shedBoundLocked derives the confidence bound the collector's load shedding
+// imposes on the tenant's current window: the fraction of events received
+// since the last rotation that never reached the sink. Rotation advances the
+// counter cursors so each drop is attributed to exactly one closed window;
+// snapshots of the open window peek without advancing.
+func (dm *Daemon) shedBoundLocked(tw *tenantWindows, advance bool) float64 {
+	if dm.cfg.TenantSampling == nil {
+		return 0
+	}
+	received, delivered := dm.cfg.TenantSampling(tw.name)
+	dRecv := received - tw.lastReceived
+	dDeliv := delivered - tw.lastDelivered
+	if advance {
+		tw.lastReceived, tw.lastDelivered = received, delivered
+	}
+	if dRecv == 0 || dDeliv >= dRecv {
+		return 0
+	}
+	return sample.Bound(dRecv, dRecv-dDeliv, 0)
+}
+
+// stampDegraded widens every detection bound in a window report to at least
+// b, marking rows that carried no sampling record as "degraded" — the window
+// analyzed a lossy delivery, so nothing in it may print as exact.
+func stampDegraded(rep *Report, b float64) {
+	if b <= 0 {
+		return
+	}
+	for _, ir := range rep.Instances {
+		if ir.Sampling == nil {
+			ir.Sampling = &sample.InstanceSampling{State: "degraded"}
+		}
+		if ir.Sampling.Bound < b {
+			ir.Sampling.Bound = b
+		}
+		widenBounds(ir, b)
+	}
 }
 
 // stampOrigin marks a report and all its rows as belonging to one window.
@@ -197,6 +252,7 @@ func (dm *Daemon) TenantReport(tenant string) *Report {
 	if tw.live > 0 {
 		snap := tw.analyzer.Snapshot()
 		stampOrigin(snap, windowOrigin(tw.name, tw.seq))
+		stampDegraded(snap, dm.shedBoundLocked(tw, false))
 		parts = append(parts, snap)
 	}
 	tw.mu.Unlock()
@@ -233,6 +289,9 @@ type DaemonTenantStatus struct {
 	Windows    int // closed windows retained
 	Rotated    int // windows ever closed
 	Evicted    int // closed windows dropped by the ring bound
+	// ShedBound is the confidence bound collector shedding currently imposes
+	// on the open window; 0 when delivery is lossless (or untracked).
+	ShedBound float64
 }
 
 // Status snapshots every tenant's window state, sorted by tenant.
@@ -248,6 +307,7 @@ func (dm *Daemon) Status() []DaemonTenantStatus {
 			Windows:    len(tw.closed),
 			Rotated:    tw.rotated,
 			Evicted:    tw.evicted,
+			ShedBound:  dm.shedBoundLocked(tw, false),
 		})
 		tw.mu.Unlock()
 	}
@@ -266,6 +326,9 @@ func (dm *Daemon) WriteMetrics(w *obs.PromWriter) {
 			"Windows ever closed for the tenant.", float64(st.Rotated), lbl...)
 		w.Counter("dsspy_daemon_windows_evicted_total",
 			"Closed windows dropped by the ring bound.", float64(st.Evicted), lbl...)
+		w.Gauge("dsspy_daemon_shed_bound",
+			"Confidence bound collector shedding imposes on the tenant's open window.",
+			st.ShedBound, lbl...)
 	}
 	dm.mu.Lock()
 	cps := dm.checkpoints

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dsspy/internal/profile"
+	"dsspy/internal/sample"
 )
 
 // Machine-readable report export, for integrating DSspy findings into other
@@ -40,6 +41,10 @@ type JSONInstance struct {
 	// Contention is the cross-thread summary for multi-thread instances;
 	// omitted for single-threaded ones.
 	Contention *profile.Contention `json:"contention,omitempty"`
+	// Sampling is the adaptive-sampling record for instances whose stream
+	// was lossy; omitted for full-fidelity instances, so their JSON is
+	// unchanged.
+	Sampling *sample.InstanceSampling `json:"sampling,omitempty"`
 }
 
 // JSONPattern is one detected access pattern.
@@ -56,6 +61,10 @@ type JSONUseCase struct {
 	Parallel       bool   `json:"parallel"`
 	Evidence       string `json:"evidence"`
 	Recommendation string `json:"recommendation"`
+	// Bound/Confidence carry the sampling-derived error bound; both are
+	// omitted for exact (full-fidelity) detections.
+	Bound      float64 `json:"bound,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // ToJSON builds the serializable view of the report.
@@ -74,6 +83,7 @@ func (r *Report) ToJSON() JSONReport {
 			Threads:    ir.Shared.Threads,
 			Regular:    ir.Regular,
 			Contention: ir.Contention,
+			Sampling:   ir.Sampling,
 		}
 		for _, p := range ir.Patterns() {
 			ji.Patterns = append(ji.Patterns, JSONPattern{
@@ -83,13 +93,18 @@ func (r *Report) ToJSON() JSONReport {
 			})
 		}
 		for _, u := range ir.UseCases {
-			ji.UseCases = append(ji.UseCases, JSONUseCase{
+			ju := JSONUseCase{
 				Kind:           u.Kind.String(),
 				Short:          u.Kind.Short(),
 				Parallel:       u.Kind.Parallel(),
 				Evidence:       u.Evidence,
 				Recommendation: u.Recommendation,
-			})
+			}
+			if u.Bound > 0 {
+				ju.Bound = u.Bound
+				ju.Confidence = u.Confidence()
+			}
+			ji.UseCases = append(ji.UseCases, ju)
 		}
 		out.Instances = append(out.Instances, ji)
 	}

@@ -6,7 +6,9 @@ import (
 	"sort"
 
 	"dsspy/internal/metrics"
+	"dsspy/internal/sample"
 	"dsspy/internal/trace"
+	"dsspy/internal/usecase"
 )
 
 // Fleet merge: reports from many processes — or many windows of one daemon
@@ -25,6 +27,12 @@ import (
 //     analyses — keeps the merge associative, commutative and idempotent:
 //     merge(a, merge(b, c)) == merge(merge(a, b), c) == merge over any
 //     permutation, which the property tests assert over the whole corpus.
+//   - Sampling provenance combines conservatively, outside the winner
+//     logic: the equality witness strips bounds and sampling records (two
+//     rows that differ only in how they were sampled are the same finding),
+//     and after winner selection each row's detection bounds are widened to
+//     the per-key maximum across every input row. A merge can only widen a
+//     confidence bound, never narrow it.
 //
 // Merging shards of one session (same origin, disjoint instances, shared
 // registry) therefore reproduces the single-collector report byte for byte.
@@ -55,6 +63,11 @@ func MergeReports(reports ...*Report) (*Report, MergeStats) {
 		enc []byte // snapshot encoding, the conflict tiebreak and equality witness
 	}
 	instances := make(map[mergeKey]row)
+	// Per-key sampling provenance, accumulated independently of winner
+	// selection: the maximum detection bound across every input row, and a
+	// deterministic representative sampling record (see betterSampling).
+	bounds := make(map[mergeKey]float64)
+	sampled := make(map[mergeKey]*sample.InstanceSampling)
 	type regRow struct {
 		inst trace.Instance
 		enc  []byte
@@ -74,6 +87,12 @@ func MergeReports(reports ...*Report) (*Report, MergeStats) {
 			cp := *ir
 			cp.Origin = origin
 			key := mergeKey{origin, cp.Profile.Instance.ID}
+			if b := rowBound(&cp); b > bounds[key] {
+				bounds[key] = b
+			}
+			if cp.Sampling != nil && betterSampling(cp.Sampling, sampled[key]) {
+				sampled[key] = cp.Sampling
+			}
 			enc := encodeRow(&cp)
 			have, ok := instances[key]
 			if !ok {
@@ -116,8 +135,12 @@ func MergeReports(reports ...*Report) (*Report, MergeStats) {
 	merged := &Report{Instances: make([]*InstanceResult, len(keys))}
 	events := 0
 	for i, k := range keys {
-		merged.Instances[i] = instances[k].ir
-		events += instances[k].ir.Profile.Len()
+		ir := instances[k].ir
+		if b := bounds[k]; b > 0 {
+			widenMergedRow(ir, b, sampled[k])
+		}
+		merged.Instances[i] = ir
+		events += ir.Profile.Len()
 	}
 
 	regKeys := make([]mergeKey, 0, len(registry))
@@ -147,10 +170,90 @@ func sortKeys(keys []mergeKey) {
 }
 
 // encodeRow is the equality witness and conflict tiebreak: the row's
-// snapshot encoding, which covers everything the report renders.
+// snapshot encoding with sampling provenance stripped — bounds combine by
+// widening across all input rows, so they must not influence which row wins
+// (or whether two rows count as duplicates).
 func encodeRow(ir *InstanceResult) []byte {
-	enc, _ := json.Marshal(saveInstance(ir))
+	si := saveInstance(ir)
+	si.Sampling = nil
+	if si.Summary != nil && si.Summary.Bound != 0 {
+		cp := *si.Summary
+		cp.Bound = 0
+		si.Summary = &cp
+	}
+	for _, u := range si.UseCases {
+		if u.Bound != 0 {
+			ucs := append([]usecase.UseCase(nil), si.UseCases...)
+			for i := range ucs {
+				ucs[i].Bound = 0
+			}
+			si.UseCases = ucs
+			break
+		}
+	}
+	enc, _ := json.Marshal(si)
 	return enc
+}
+
+// rowBound is the largest detection bound the row carries anywhere.
+func rowBound(ir *InstanceResult) float64 {
+	var b float64
+	if ir.Sampling != nil {
+		b = ir.Sampling.Bound
+	}
+	if ir.Summary != nil && ir.Summary.Bound > b {
+		b = ir.Summary.Bound
+	}
+	for _, u := range ir.UseCases {
+		if u.Bound > b {
+			b = u.Bound
+		}
+	}
+	return b
+}
+
+// betterSampling is a total order on sampling records (larger bound wins,
+// ties break on more observed events, then the lexically larger encoding),
+// so the representative record a merged row carries never depends on input
+// order.
+func betterSampling(a, b *sample.InstanceSampling) bool {
+	if b == nil {
+		return true
+	}
+	if a.Bound != b.Bound {
+		return a.Bound > b.Bound
+	}
+	if a.Observed != b.Observed {
+		return a.Observed > b.Observed
+	}
+	ae, _ := json.Marshal(a)
+	be, _ := json.Marshal(b)
+	return bytes.Compare(ae, be) > 0
+}
+
+// widenMergedRow stamps a merged row (already a private copy at the struct
+// level) with the per-key sampling provenance: the representative record,
+// its bound raised to the per-key maximum, and every detection bound widened
+// to at least that. Slices and nested pointers are cloned first — merge
+// inputs are never mutated.
+func widenMergedRow(ir *InstanceResult, b float64, rec *sample.InstanceSampling) {
+	ir.UseCases = append([]usecase.UseCase(nil), ir.UseCases...)
+	if ir.Summary != nil {
+		cp := *ir.Summary
+		ir.Summary = &cp
+	}
+	if rec != nil {
+		cp := *rec
+		ir.Sampling = &cp
+	} else {
+		// A bound without any surviving record (defensive: stamp always
+		// writes one) still must not print as exact.
+		ir.Sampling = &sample.InstanceSampling{State: "merged"}
+	}
+	if ir.Sampling.Bound < b {
+		ir.Sampling.Bound = b
+	}
+	widenBounds(ir, b)
 }
 
 // betterRow is the conflict total order: more events wins; ties break on the

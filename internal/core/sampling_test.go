@@ -1,0 +1,256 @@
+package core_test
+
+// Adaptive-sampling properties at the analyzer layer: a gate that drops
+// nothing leaves the report byte-identical, a mid-run Snapshot during backoff
+// carries a conserved sampling record through the snapshot codec, and the
+// fleet merge only ever widens detection bounds. External test package so the
+// corpus (which imports core) can drive real workloads.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dsspy/internal/core"
+	"dsspy/internal/corpus"
+	"dsspy/internal/sample"
+	"dsspy/internal/trace"
+)
+
+// streamGated runs the program's behaviors through a streaming analyzer,
+// optionally gated by a sampling controller (nil = ungated).
+func streamGated(t *testing.T, p corpus.DynamicProgram, ctrl *sample.Controller) *core.Report {
+	t.Helper()
+	d := core.New()
+	sa := d.NewStreamAnalyzer(1)
+	scol := sa.Collector(trace.DefaultAsyncBuffer, trace.Block(), false)
+	opts := trace.Options{Recorder: scol}
+	if ctrl != nil {
+		opts.Gate = ctrl
+		sa.SetSampling(ctrl)
+	}
+	s := trace.NewSessionWith(opts)
+	sa.Attach(s)
+	for _, b := range p.Mix.Behaviors(p.Name) {
+		b(s)
+	}
+	scol.Close()
+	return sa.Close()
+}
+
+// maxRowBound is the widest detection bound a row carries anywhere —
+// the quantity the merge must never shrink.
+func maxRowBound(ir *core.InstanceResult) float64 {
+	var b float64
+	if ir.Sampling != nil {
+		b = ir.Sampling.Bound
+	}
+	if ir.Summary != nil && ir.Summary.Bound > b {
+		b = ir.Summary.Bound
+	}
+	for _, u := range ir.UseCases {
+		if u.Bound > b {
+			b = u.Bound
+		}
+	}
+	return b
+}
+
+// TestGatedNoDropByteIdentical: a controller that never closes a window
+// never backs off, so the gate admits everything — and the report, human and
+// JSON, must be byte-identical to an ungated streamed run, with no sampling
+// records attached anywhere.
+func TestGatedNoDropByteIdentical(t *testing.T) {
+	for _, p := range corpusPrograms()[:4] {
+		t.Run(p.Name, func(t *testing.T) {
+			plain := streamGated(t, p, nil)
+			want := reportBytes(t, plain)
+
+			ctrl := sample.NewController(sample.Config{
+				Mode:   sample.ModeAdaptive,
+				Window: 1 << 30, // no window ever closes: stays cold, rate 1
+			})
+			gated := streamGated(t, p, ctrl)
+			for _, ir := range gated.Instances {
+				if ir.Sampling != nil {
+					t.Fatalf("lossless instance %d carries a sampling record: %+v",
+						ir.Profile.Instance.ID, ir.Sampling)
+				}
+			}
+			if got := reportBytes(t, gated); !bytes.Equal(got, want) {
+				t.Fatalf("lossless gated run changed report bytes (%d vs %d)", len(got), len(want))
+			}
+			tot := ctrl.Totals()
+			if tot.Dropped != 0 || tot.Observed == 0 || tot.Observed != tot.Kept {
+				t.Fatalf("cold controller totals %+v, want everything kept", tot)
+			}
+		})
+	}
+}
+
+// TestSnapshotMidBackoff: with an aggressive config a hot instance backs off
+// quickly; a Snapshot taken mid-run (analyzer still open) must carry a
+// conserved sampling record, survive the snapshot codec with rendering
+// intact, and agree with the final report's accounting.
+func TestSnapshotMidBackoff(t *testing.T) {
+	cfg := sample.Config{
+		Mode: sample.ModeAdaptive, Window: 64, StableWindows: 2,
+		Burst: 8, MaxRate: 8, MaxCredit: 64,
+	}
+	ctrl := sample.NewController(cfg)
+	d := core.New()
+	sa := d.NewStreamAnalyzer(1)
+	scol := sa.Collector(trace.DefaultAsyncBuffer, trace.Block(), false)
+	sa.SetSampling(ctrl)
+	s := trace.NewSessionWith(trace.Options{Recorder: scol, Gate: ctrl})
+	sa.Attach(s)
+
+	id := s.Register(trace.KindList, "List[int]", "hot", 0)
+	const n = 64
+	scans := 0
+	pr := s.Bind()
+	scan := func() {
+		for i := 0; i < n; i++ {
+			pr.Emit(id, trace.OpRead, i, n)
+		}
+		scans++
+		pr.Flush()
+	}
+	// The backoff decision closes through the drain goroutine (windows fold
+	// on kept events), so emit scan by scan until the feedback loop engages.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		scan()
+		if is, ok := ctrl.Status(id); ok && is.State == sample.StateBackoff {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance never backed off after %d scans: %+v", scans, ctrl.Totals())
+		}
+		time.Sleep(time.Millisecond) // let the drain close windows
+	}
+	// Now backed off: further scans are sampled at the gate, producer-side.
+	for i := 0; i < 200; i++ {
+		scan()
+	}
+	pr.Close()
+	scol.Close() // settle the gate and drain; the analyzer stays open
+
+	snap := sa.Snapshot()
+	if len(snap.Instances) != 1 {
+		t.Fatalf("snapshot holds %d instances, want 1", len(snap.Instances))
+	}
+	sp := snap.Instances[0].Sampling
+	if sp == nil {
+		t.Fatal("mid-backoff snapshot lost the sampling record")
+	}
+	if sp.State != "backoff" {
+		t.Fatalf("state %q, want backoff (rate %d, %d windows)", sp.State, sp.Rate, sp.Windows)
+	}
+	if !sp.Conserved() {
+		t.Fatalf("snapshot conservation violated: observed %d != folded %d + sampled out %d",
+			sp.Observed, sp.Folded, sp.SampledOut)
+	}
+	if sp.Observed != uint64(n*scans) {
+		t.Fatalf("observed %d events, want %d", sp.Observed, n*scans)
+	}
+	if sp.Bound <= 0 || sp.Bound >= 1 {
+		t.Fatalf("bound %v outside (0, 1)", sp.Bound)
+	}
+
+	// The snapshot codec must carry the record without changing a byte.
+	want := reportBytes(t, snap)
+	path := filepath.Join(t.TempDir(), "midrun.json")
+	if err := core.SaveReportFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.LoadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Instances[0].Sampling == nil {
+		t.Fatal("sampling record lost in snapshot round trip")
+	}
+	if got := reportBytes(t, back); !bytes.Equal(got, want) {
+		t.Fatalf("snapshot round trip changed rendering (%d vs %d bytes)", len(got), len(want))
+	}
+
+	final := sa.Close()
+	fp := final.Instances[0].Sampling
+	if fp == nil || !fp.Conserved() || fp.Observed != uint64(n*scans) {
+		t.Fatalf("final report sampling record = %+v", fp)
+	}
+	// Bounds widen onto the detections themselves.
+	for _, u := range final.Instances[0].UseCases {
+		if u.Bound < fp.Bound {
+			t.Fatalf("use case %v bound %v narrower than instance bound %v", u.Kind, u.Bound, fp.Bound)
+		}
+		if u.Confidence() != 1-u.Bound {
+			t.Fatalf("confidence %v != 1 - bound %v", u.Confidence(), u.Bound)
+		}
+	}
+}
+
+// TestMergeNeverNarrowsBound: merging gated (lossy) and ungated runs of the
+// same workloads under one origin, no merged row may carry a narrower bound
+// than any input row it absorbed — sampling uncertainty survives the merge.
+// Static 1:4 sampling drops deterministically from the first period, so the
+// lossy inputs don't depend on the adaptive feedback loop's timing.
+func TestMergeNeverNarrowsBound(t *testing.T) {
+	aggressive := func() *sample.Controller {
+		return sample.NewController(sample.Config{
+			Mode: sample.ModeStatic, StaticRate: 4,
+			Window: 32, Burst: 4, MaxCredit: 64,
+		})
+	}
+	var reports []*core.Report
+	sampledRows := 0
+	for _, p := range corpusPrograms()[:6] {
+		// One lossless and one sampled run of the same program under the
+		// same origin: their rows collide in the merge, which must keep
+		// the sampled run's uncertainty.
+		plain := streamGated(t, p, nil)
+		plain.Origin = "fleet-" + p.Name
+		lossy := streamGated(t, p, aggressive())
+		lossy.Origin = plain.Origin
+		for _, ir := range lossy.Instances {
+			if ir.Sampling != nil {
+				sampledRows++
+			}
+		}
+		reports = append(reports, plain, lossy)
+	}
+	if sampledRows == 0 {
+		t.Fatal("aggressive config produced no lossy rows; the property is vacuous")
+	}
+
+	merged, _ := core.MergeReports(reports...)
+	bound := map[string]float64{}
+	for _, m := range merged.Instances {
+		bound[fmt.Sprintf("%s/%d", m.Origin, m.Profile.Instance.ID)] = maxRowBound(m)
+	}
+	for _, rep := range reports {
+		for _, ir := range rep.Instances {
+			k := fmt.Sprintf("%s/%d", rep.Origin, ir.Profile.Instance.ID)
+			got, ok := bound[k]
+			if !ok {
+				t.Fatalf("input row %s vanished from the merge", k)
+			}
+			if in := maxRowBound(ir); got < in {
+				t.Fatalf("merge narrowed %s: %v < input %v", k, got, in)
+			}
+		}
+	}
+	// And the merged view must admit it is partially sampled.
+	degraded := 0
+	for _, m := range merged.Instances {
+		if m.Sampling != nil && m.Sampling.Bound > 0 {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("merge dropped all sampling provenance")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dsspy/internal/metrics"
 	"dsspy/internal/pattern"
 	"dsspy/internal/profile"
+	"dsspy/internal/sample"
 	"dsspy/internal/trace"
 	"dsspy/internal/usecase"
 )
@@ -38,6 +39,10 @@ type savedInstance struct {
 	// snapshots written before it existed — loaders treat both as "no
 	// cross-thread state".
 	Contention *profile.Contention `json:"contention,omitempty"`
+	// Sampling carries the adaptive-sampling record for rows whose stream
+	// was lossy; omitted (nil) for full-fidelity rows and absent from
+	// snapshots written before it existed — loaders treat both as exact.
+	Sampling *sample.InstanceSampling `json:"sampling,omitempty"`
 }
 
 type savedReport struct {
@@ -59,6 +64,7 @@ func saveInstance(ir *InstanceResult) savedInstance {
 		Regular:    ir.Regular,
 		Shared:     ir.Shared,
 		Contention: ir.Contention,
+		Sampling:   ir.Sampling,
 	}
 }
 
@@ -79,6 +85,7 @@ func (si savedInstance) restore() *InstanceResult {
 		Regular:    si.Regular,
 		Shared:     si.Shared,
 		Contention: si.Contention,
+		Sampling:   si.Sampling,
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"dsspy/internal/par"
 	"dsspy/internal/pattern"
 	"dsspy/internal/profile"
+	"dsspy/internal/sample"
 	"dsspy/internal/trace"
 	"dsspy/internal/usecase"
 )
@@ -61,6 +62,9 @@ type instanceStream struct {
 	// then global's closed runs are reused instead of segmenting twice.
 	runSeg *profile.StreamSegmenter
 	uc     *usecase.Stream
+	// smp, when the analyzer has a sampling controller, closes the
+	// adaptive-sampling feedback loop for this instance (sampling.go).
+	smp *sampleState
 }
 
 func newInstanceStream(d *DSspy, id trace.InstanceID) *instanceStream {
@@ -122,6 +126,13 @@ func (st *instanceStream) feedBatch(d *DSspy, b *trace.ColumnBatch, i, j int) {
 	if st.runSeg != nil {
 		st.runSeg.FeedBatch(b, i, j, func(r profile.Run) { st.uc.Run(r) })
 	}
+
+	if sp := st.smp; sp != nil {
+		for _, idx := range b.Index[i:j] {
+			sp.sketch.Fold(idx)
+		}
+		sp.tick(st, d)
+	}
 }
 
 // feed folds one event through every reducer.
@@ -152,6 +163,11 @@ func (st *instanceStream) feed(d *DSspy, e trace.Event) {
 		if r, ok := st.runSeg.Feed(e); ok {
 			st.uc.Run(r)
 		}
+	}
+
+	if sp := st.smp; sp != nil {
+		sp.sketch.Fold(e.Index)
+		sp.tick(st, d)
 	}
 }
 
@@ -191,6 +207,9 @@ func (st *instanceStream) clone() *instanceStream {
 	}
 	if st.runSeg != nil {
 		out.runSeg = st.runSeg.Clone()
+	}
+	if st.smp != nil {
+		out.smp = st.smp.clone()
 	}
 	return out
 }
@@ -242,7 +261,7 @@ func (st *instanceStream) finalize(d *DSspy, s *trace.Session) *InstanceResult {
 	if ct != nil {
 		p.PrimeContention(ct)
 	}
-	return &InstanceResult{
+	res := &InstanceResult{
 		Profile:    p,
 		Summary:    sum,
 		UseCases:   st.uc.Finish(inst, stats, ct),
@@ -250,6 +269,10 @@ func (st *instanceStream) finalize(d *DSspy, s *trace.Session) *InstanceResult {
 		Shared:     profile.SharedAccessOf(p),
 		Contention: ct,
 	}
+	if st.smp != nil {
+		st.smp.stamp(res, st.id)
+	}
+	return res
 }
 
 // streamShard owns the instance reducers of one collector shard. Events are
@@ -275,6 +298,10 @@ type StreamAnalyzer struct {
 	session *trace.Session
 	shards  []*streamShard
 	start   time.Time
+	// ctrl, when set via SetSampling, is the adaptive sampling controller
+	// gating the session; the analyzer closes its feedback loop
+	// (sampling.go) and stamps finalized rows with bounds.
+	ctrl *sample.Controller
 
 	snapMu    sync.Mutex
 	snapshots int
@@ -302,6 +329,10 @@ func (d *DSspy) NewStreamAnalyzer(n int) *StreamAnalyzer {
 // profiles and search space.
 func (a *StreamAnalyzer) Attach(s *trace.Session) { a.session = s }
 
+// SetSampling wires the adaptive sampling controller that gates the attached
+// session. Call before feeding (nil is a no-op and leaves analysis exact).
+func (a *StreamAnalyzer) SetSampling(c *sample.Controller) { a.ctrl = c }
+
 // Collector returns a sharded collector whose drain goroutines feed this
 // analyzer. retainEvents keeps the per-shard event stores populated (for -log
 // style post-mortem access) — pass false for bounded memory.
@@ -328,6 +359,9 @@ func (a *StreamAnalyzer) feedShardCols(shard int, b *trace.ColumnBatch, lo, hi i
 		st := sh.byInst[id]
 		if st == nil {
 			st = newInstanceStream(a.d, id)
+			if a.ctrl != nil {
+				st.smp = newSampleState(a.ctrl, a.session)
+			}
 			sh.byInst[id] = st
 		}
 		st.feedBatch(a.d, b, i, j)
@@ -382,6 +416,9 @@ func (a *StreamAnalyzer) feedShardEvents(shard int, batch []trace.Event) {
 		st := sh.byInst[e.Instance]
 		if st == nil {
 			st = newInstanceStream(a.d, e.Instance)
+			if a.ctrl != nil {
+				st.smp = newSampleState(a.ctrl, a.session)
+			}
 			sh.byInst[e.Instance] = st
 		}
 		st.feed(a.d, e)
@@ -457,7 +494,7 @@ func (a *StreamAnalyzer) buildReport(streams []*instanceStream) *Report {
 	if a.session != nil {
 		registered = a.session.Instances()
 	}
-	return &Report{
+	rep := &Report{
 		Instances:  results,
 		Registered: registered,
 		Stats: &metrics.PipelineStats{
@@ -475,6 +512,10 @@ func (a *StreamAnalyzer) buildReport(streams []*instanceStream) *Report {
 			Contention: contentionStats(results),
 		},
 	}
+	if a.ctrl != nil {
+		rep.Stats.Sampling = samplingStats(a.ctrl, results)
+	}
+	return rep
 }
 
 // WriteMetrics exports the analyzer's live progress — events folded and
@@ -523,6 +564,26 @@ func (a *StreamAnalyzer) WriteMetrics(w *obs.PromWriter) {
 	w.Counter("dsspy_stream_snapshots_total", "Snapshot reports served.", float64(snaps))
 	w.Counter("dsspy_stream_snapshot_seconds_total",
 		"Cumulative wall time spent building snapshots.", float64(snapNS)/1e9)
+	if a.ctrl != nil {
+		// The controller exports the dsspy_sample_* counters itself; the
+		// sketches live with the reducers, so their error estimate is
+		// exported here.
+		for i, sh := range a.shards {
+			sh.mu.Lock()
+			var maxErr float64
+			for _, st := range sh.byInst {
+				if st.smp != nil {
+					if e := st.smp.sketch.RelErr(); e > maxErr {
+						maxErr = e
+					}
+				}
+			}
+			sh.mu.Unlock()
+			w.Gauge("dsspy_sample_sketch_error",
+				"Largest index-sketch relative error estimate in the shard.",
+				maxErr, "shard", strconv.Itoa(i))
+		}
+	}
 }
 
 // RunStreamed is the streaming counterpart of Run/RunSharded: the workload's

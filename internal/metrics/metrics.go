@@ -137,6 +137,10 @@ type PipelineStats struct {
 	// the estimated/measured profiling slowdown — when the run's driver
 	// timed the workload; nil for replayed streams.
 	Overhead *OverheadStats
+
+	// Sampling holds the adaptive-sampling counters when the run was gated
+	// by a sampling controller (-sample); nil for full-fidelity runs.
+	Sampling *SamplingStats
 }
 
 // OverheadStats reproduces the paper's §V overhead metric for one run: how
@@ -162,13 +166,31 @@ type OverheadStats struct {
 	EstimatedOverhead time.Duration
 }
 
+// MinStableSamples is the minimum number of timed Record samples the
+// estimated-slowdown extrapolation needs. Below it, the sampled mean/p50 of
+// a 1-in-SampleEvery clock are a handful of arbitrary events — on a small
+// workload the extrapolation printed confident-looking noise.
+const MinStableSamples = 8
+
+// EstimatedSlowdownUnstable is the EstimatedSlowdown sentinel for runs with
+// fewer than MinStableSamples timed Records: no estimate, not "no overhead".
+const EstimatedSlowdownUnstable = -1
+
+// Stable reports whether enough Record calls were timed for the slowdown
+// extrapolation to mean anything.
+func (ov *OverheadStats) Stable() bool { return ov.Sampled >= MinStableSamples }
+
 // EstimatedSlowdown returns the slowdown factor implied by the sampled
 // Record cost: wall / (wall − estimated overhead). 1 means unmeasurable or
 // no overhead; 0 means the estimate saturated (the extrapolated overhead
-// swallowed the whole wall even under the robust fallback below).
+// swallowed the whole wall even under the robust fallback below);
+// EstimatedSlowdownUnstable (-1) means too few samples for any estimate.
 func (ov *OverheadStats) EstimatedSlowdown() float64 {
 	if ov.WorkloadWall <= 0 || ov.EstimatedOverhead <= 0 {
 		return 1
+	}
+	if !ov.Stable() {
+		return EstimatedSlowdownUnstable
 	}
 	base := ov.WorkloadWall - ov.EstimatedOverhead
 	if base <= 0 {
@@ -200,12 +222,18 @@ func (ov *OverheadStats) Write(w io.Writer) error {
 		ov.SampleEvery, ov.Sampled); err != nil {
 		return err
 	}
-	if sd := ov.EstimatedSlowdown(); sd > 0 {
+	switch sd := ov.EstimatedSlowdown(); {
+	case sd == EstimatedSlowdownUnstable:
+		if _, err := fmt.Fprintf(w, "  estimated slowdown n/a (%d timed sample(s) at 1-in-%d — workload too small for a stable estimate)\n",
+			ov.Sampled, ov.SampleEvery); err != nil {
+			return err
+		}
+	case sd > 0:
 		if _, err := fmt.Fprintf(w, "  estimated producer overhead %s, estimated slowdown %.2f×\n",
 			ov.EstimatedOverhead.Round(time.Microsecond), sd); err != nil {
 			return err
 		}
-	} else {
+	default:
 		if _, err := fmt.Fprintf(w, "  estimated producer overhead %s (≥ wall: sampled Records blocked; estimate saturated)\n",
 			ov.EstimatedOverhead.Round(time.Microsecond)); err != nil {
 			return err
@@ -284,6 +312,65 @@ func (cs *ContentionStats) Write(w io.Writer) error {
 	return nil
 }
 
+// SamplingStats summarizes the adaptive sampling controller's run: how many
+// instances backed off, the conservation totals (Observed must equal
+// Folded + SampledOut), re-promotion traffic, and the per-instance realized
+// rates `dsspy -stats` prints.
+type SamplingStats struct {
+	Mode         string // "adaptive" or "static"
+	Instances    int    // instances the controller tracked
+	BackedOff    int    // instances at a backed-off rate when read
+	Observed     uint64 // events seen by the gate
+	Folded       uint64 // events admitted into analysis
+	SampledOut   uint64 // events dropped before materialization
+	Windows      uint64 // classification windows observed
+	Flips        uint64 // fingerprint flips
+	RePromotions uint64 // returns to full rate
+	ByReason     struct{ Flip, NewThread, Contention uint64 }
+	MaxBound     float64 // largest per-instance detection error bound
+	// PerInstance lists the rows whose stream was lossy.
+	PerInstance []InstanceSampling
+}
+
+// InstanceSampling is one sampled instance's row in the -stats block.
+type InstanceSampling struct {
+	Name         string
+	State        string
+	Rate         int
+	Realized     float64 // observed:folded ratio actually achieved
+	Observed     uint64
+	Folded       uint64
+	SampledOut   uint64
+	RePromotions uint64
+	Bound        float64
+	SketchErr    float64
+}
+
+// Conserved reports the controller-wide conservation identity.
+func (ss *SamplingStats) Conserved() bool {
+	return ss.Observed == ss.Folded+ss.SampledOut
+}
+
+// Write renders the sampling counters in the layout `dsspy -stats` prints.
+func (ss *SamplingStats) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Sampling: mode %s, %d instance(s) (%d backed off), observed %d = folded %d + sampled out %d, %d window(s), %d flip(s), %d re-promotion(s) (flip %d, new-thread %d, contention %d)\n",
+		ss.Mode, ss.Instances, ss.BackedOff,
+		ss.Observed, ss.Folded, ss.SampledOut,
+		ss.Windows, ss.Flips, ss.RePromotions,
+		ss.ByReason.Flip, ss.ByReason.NewThread, ss.ByReason.Contention); err != nil {
+		return err
+	}
+	for _, is := range ss.PerInstance {
+		if _, err := fmt.Fprintf(w, "  %-24s %-8s rate 1:%-4d realized %.1f:1  observed %d = %d + %d  re-promotions %d  bound %.4f  sketch err %.3f\n",
+			is.Name, is.State, is.Rate, is.Realized,
+			is.Observed, is.Folded, is.SampledOut,
+			is.RePromotions, is.Bound, is.SketchErr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Write renders the stats in the layout `dsspy -stats` prints.
 func (ps *PipelineStats) Write(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "Pipeline: %d events, %d instances, %d worker(s), wall %s\n",
@@ -311,6 +398,11 @@ func (ps *PipelineStats) Write(w io.Writer) error {
 	}
 	if ps.Contention != nil {
 		if err := ps.Contention.Write(w); err != nil {
+			return err
+		}
+	}
+	if ps.Sampling != nil {
+		if err := ps.Sampling.Write(w); err != nil {
 			return err
 		}
 	}

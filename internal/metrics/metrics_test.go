@@ -137,6 +137,7 @@ func TestOverheadStats(t *testing.T) {
 	blocked := &OverheadStats{
 		WorkloadWall:      10 * time.Millisecond,
 		Events:            1_000_000,
+		Sampled:           MinStableSamples,
 		RecordMean:        20 * time.Nanosecond,
 		RecordP50:         5 * time.Nanosecond,
 		EstimatedOverhead: 20 * time.Millisecond,
@@ -145,11 +146,35 @@ func TestOverheadStats(t *testing.T) {
 		t.Fatalf("p50 fallback slowdown = %v, want 2", got)
 	}
 
+	// Too few timed samples: the extrapolation is noise, so the factor is
+	// the explicit sentinel and Write says "n/a" instead of a confident
+	// multiplier.
+	unstable := &OverheadStats{
+		WorkloadWall:      10 * time.Millisecond,
+		Events:            100,
+		Sampled:           MinStableSamples - 1,
+		SampleEvery:       64,
+		RecordMean:        20 * time.Nanosecond,
+		RecordP50:         5 * time.Nanosecond,
+		EstimatedOverhead: time.Millisecond,
+	}
+	if got := unstable.EstimatedSlowdown(); got != EstimatedSlowdownUnstable {
+		t.Fatalf("unstable slowdown = %v, want sentinel %v", got, EstimatedSlowdownUnstable)
+	}
+	sb.Reset()
+	if err := unstable.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "estimated slowdown n/a") {
+		t.Errorf("unstable output missing n/a line:\n%s", sb.String())
+	}
+
 	// Saturated both ways: factor 0 and an explanatory line instead of a
 	// nonsense multiplier.
 	saturated := &OverheadStats{
 		WorkloadWall:      time.Millisecond,
 		Events:            1_000_000,
+		Sampled:           MinStableSamples,
 		RecordP50:         50 * time.Nanosecond,
 		EstimatedOverhead: 10 * time.Millisecond,
 	}

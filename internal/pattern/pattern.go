@@ -154,6 +154,10 @@ type Summary struct {
 	// LongestPattern is the event count of the longest pattern; the
 	// regularity check thresholds it without re-walking the pattern list.
 	LongestPattern int
+	// Bound is the sampling-derived error bound on the summary: 0 when it
+	// was built from a full-fidelity stream, >0 when the instance's
+	// stream was adaptively sampled (internal/sample).
+	Bound float64 `json:",omitempty"`
 }
 
 // add folds one pattern's aggregates in; the single implementation shared by
@@ -209,6 +213,11 @@ func (s *Summary) Merge(sub *Summary) {
 	s.SequentialReads += sub.SequentialReads
 	if sub.LongestPattern > s.LongestPattern {
 		s.LongestPattern = sub.LongestPattern
+	}
+	// Bounds combine conservatively: the merged summary is at most as
+	// certain as its least certain part.
+	if sub.Bound > s.Bound {
+		s.Bound = sub.Bound
 	}
 }
 

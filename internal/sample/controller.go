@@ -1,0 +1,572 @@
+package sample
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"dsspy/internal/obs"
+	"dsspy/internal/trace"
+)
+
+// Controller is the per-instance adaptive sampling controller. It implements
+// trace.Gate, so it sits between event emission and the recorder: producers
+// ask it for admit decisions and report exact keep/drop counts back, the
+// streaming analyzer feeds classification fingerprints and contention
+// episodes forward, and reports/metrics read realized rates and bounds out.
+//
+// The gate protocol is credit-based so the producer's drop path stays off
+// every shared cache line: AdmitRun grants one decision covering up to
+// Config.MaxCredit consecutive events, the producer burns the credit with
+// plain goroutine-local arithmetic, and Observe settles the exact count when
+// the credit is exhausted, the instance changes, or the producer closes.
+// Conservation counters come only from those exact settlements (plus the
+// per-event Admit path), never from grant-time estimates — a producer may
+// die mid-credit.
+//
+// All methods are safe for concurrent use. Per-instance state sits behind a
+// per-instance mutex that is touched once per grant/window, not per event.
+type Controller struct {
+	cfg    Config
+	tracer *obs.Tracer // set before the run starts; nil-safe
+
+	mu    sync.Mutex                   // guards growth of insts
+	insts atomic.Pointer[[]*instState] // index = InstanceID-1
+
+	// Shape inheritance (adaptive mode): registration shapes that reached a
+	// stable backoff, so the next incarnation of the same logical structure
+	// starts sampling instead of re-paying the stabilization ramp. An entry
+	// is cleared whenever any instance of the shape re-promotes — inherited
+	// evidence is only as good as its last incarnation.
+	shapeMu sync.Mutex
+	shapes  map[uint64]int // shape hash -> backed-off rate
+
+	reproFlip       atomic.Uint64
+	reproThread     atomic.Uint64
+	reproContention atomic.Uint64
+	flips           atomic.Uint64
+	windows         atomic.Uint64
+	inherits        atomic.Uint64
+}
+
+// State is the controller's per-instance state machine.
+type State uint8
+
+const (
+	// StateFull: every event admitted (cold, undecided, or re-promoted).
+	StateFull State = iota
+	// StateBackoff: classification stabilized; burst sampling at the
+	// current rate, doubling after each further StableWindows agreeing
+	// windows up to MaxRate.
+	StateBackoff
+	// StateStatic: fixed 1:N burst sampling (ModeStatic); no transitions.
+	StateStatic
+)
+
+// String names the state the way /statusz and reports print it.
+func (s State) String() string {
+	switch s {
+	case StateBackoff:
+		return "backoff"
+	case StateStatic:
+		return "static"
+	default:
+		return "full"
+	}
+}
+
+// instState is the per-instance controller state. cursor advances at grant
+// time; under an outstanding credit it runs ahead of the events actually
+// emitted, which can only shift burst phase alignment — conservation comes
+// from the observed/kept/dropped counters, which are exact.
+type instState struct {
+	mu       sync.Mutex
+	state    State
+	rate     int    // keep 1 burst in rate (1 = full fidelity)
+	cursor   uint64 // grant-time position in the burst schedule
+	threads  uint64 // 64-bit thread-presence signature
+	nthreads int
+
+	observed uint64 // exact: settled admits + Observe settlements
+	kept     uint64
+	dropped  uint64
+
+	shape   uint64 // registration-shape hash (0 = never bound)
+	fp      uint64 // last classification fingerprint
+	fpSeen  bool
+	streak  int    // consecutive agreeing windows since the last transition
+	agree   uint64 // cumulative agreeing windows (bound denominator)
+	windows uint64
+	flips   uint64
+	repro   uint64
+}
+
+// NewController returns a controller for cfg (defaults filled in). A
+// ModeFull controller admits everything — but the CLI never installs one:
+// full fidelity means no gate at all.
+func NewController(cfg Config) *Controller {
+	c := &Controller{cfg: cfg.withDefaults(), shapes: map[uint64]int{}}
+	empty := []*instState{}
+	c.insts.Store(&empty)
+	return c
+}
+
+// Config returns the controller's effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// WindowSize returns the classification window in events per instance.
+func (c *Controller) WindowSize() int { return c.cfg.Window }
+
+// SetTracer attaches an obs.Tracer; controller decisions (backoff steps,
+// re-promotions, flips) are emitted as Chrome-trace instant events. Call
+// before the run starts.
+func (c *Controller) SetTracer(t *obs.Tracer) { c.tracer = t }
+
+// inst returns the state for id, growing the table if needed. The fast path
+// is one atomic pointer load and an index.
+func (c *Controller) inst(id trace.InstanceID) *instState {
+	tab := *c.insts.Load()
+	if i := int(id) - 1; i >= 0 && i < len(tab) {
+		return tab[i]
+	}
+	return c.grow(id)
+}
+
+func (c *Controller) grow(id trace.InstanceID) *instState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tab := *c.insts.Load()
+	if int(id) > len(tab) {
+		next := make([]*instState, int(id))
+		copy(next, tab)
+		for i := len(tab); i < len(next); i++ {
+			st := &instState{state: StateFull, rate: 1}
+			if c.cfg.Mode == ModeStatic {
+				st.state = StateStatic
+				st.rate = c.cfg.StaticRate
+			}
+			next[i] = st
+		}
+		c.insts.Store(&next)
+		tab = next
+	}
+	return tab[int(id)-1]
+}
+
+// BindShape associates id with its registration shape (trace.ShapeBinder):
+// the session calls it from Register with a hash of the instance's
+// (kind, type name, label) triple. In adaptive mode, an instance whose shape
+// previously stabilized starts at the inherited backed-off rate instead of
+// cold at full fidelity — the always-on scenario re-creates the same logical
+// structures over and over, and without inheritance each short incarnation
+// dies before its first backoff step. Inheritance is evidence, not proof:
+// the instance starts with an empty streak and the usual triggers
+// (fingerprint flip, new thread, contention) re-promote it instantly, which
+// also clears the shape's entry so successors start cold again.
+func (c *Controller) BindShape(id trace.InstanceID, shape uint64) {
+	st := c.inst(id)
+	var rate int
+	if c.cfg.Mode == ModeAdaptive {
+		c.shapeMu.Lock()
+		rate = c.shapes[shape]
+		c.shapeMu.Unlock()
+	}
+	st.mu.Lock()
+	st.shape = shape
+	inherited := rate > 1 && st.state == StateFull && st.observed == 0 && st.windows == 0
+	if inherited {
+		st.state = StateBackoff
+		st.rate = rate
+		st.streak = 0
+	}
+	st.mu.Unlock()
+	if inherited {
+		c.inherits.Add(1)
+		c.tracer.Instant("sample.inherit", "sample",
+			"instance", strconv.Itoa(int(id)), "rate", "1:"+strconv.Itoa(rate))
+	}
+}
+
+// recordShape remembers that shape reached a stable backoff at rate. The
+// table keeps the highest rate seen: concurrent incarnations may step at
+// different depths, and the deepest stable one is the steady state.
+func (c *Controller) recordShape(shape uint64, rate int) {
+	if shape == 0 {
+		return
+	}
+	c.shapeMu.Lock()
+	if rate > c.shapes[shape] {
+		c.shapes[shape] = rate
+	}
+	c.shapeMu.Unlock()
+}
+
+// clearShape forgets a shape's stability evidence after any of its
+// instances re-promotes.
+func (c *Controller) clearShape(shape uint64) {
+	if shape == 0 {
+		return
+	}
+	c.shapeMu.Lock()
+	delete(c.shapes, shape)
+	c.shapeMu.Unlock()
+}
+
+// decide resolves the admit decision at the current schedule position and
+// the number of consecutive events it covers, capped at MaxCredit.
+func (st *instState) decide(cfg *Config) (admit bool, span int) {
+	if st.rate <= 1 {
+		return true, cfg.MaxCredit
+	}
+	period := uint64(st.rate) * uint64(cfg.Burst)
+	pos := st.cursor % period
+	if pos < uint64(cfg.Burst) {
+		admit, span = true, int(uint64(cfg.Burst)-pos)
+	} else {
+		admit, span = false, int(period-pos)
+	}
+	if span > cfg.MaxCredit {
+		span = cfg.MaxCredit
+	}
+	return admit, span
+}
+
+// Admit is the per-event gate (Session.Emit without a bound producer, and
+// Session.EmitAs): one event, settled immediately.
+func (c *Controller) Admit(id trace.InstanceID, thr trace.ThreadID) bool {
+	st := c.inst(id)
+	st.mu.Lock()
+	reason := st.noteThread(thr)
+	admit, _ := st.decide(&c.cfg)
+	st.cursor++
+	st.observed++
+	if admit {
+		st.kept++
+	} else {
+		st.dropped++
+	}
+	shape := st.shape
+	st.mu.Unlock()
+	if reason != "" {
+		c.clearShape(shape)
+		c.settleRePromote(id, reason)
+	}
+	return admit
+}
+
+// AdmitRun grants one decision covering up to `credit` consecutive events
+// for a batched producer. The producer must settle the events it actually
+// emitted under the grant via Observe.
+func (c *Controller) AdmitRun(id trace.InstanceID, thr trace.ThreadID) (bool, int) {
+	st := c.inst(id)
+	st.mu.Lock()
+	reason := st.noteThread(thr)
+	admit, span := st.decide(&c.cfg)
+	st.cursor += uint64(span)
+	shape := st.shape
+	st.mu.Unlock()
+	if reason != "" {
+		c.clearShape(shape)
+		c.settleRePromote(id, reason)
+	}
+	return admit, span
+}
+
+// Observe settles exact keep/drop counts consumed under AdmitRun grants.
+func (c *Controller) Observe(id trace.InstanceID, kept, dropped uint64) {
+	st := c.inst(id)
+	st.mu.Lock()
+	st.observed += kept + dropped
+	st.kept += kept
+	st.dropped += dropped
+	st.mu.Unlock()
+}
+
+// noteThread folds a thread id into the instance's presence signature.
+// Returns a non-empty re-promotion reason when a previously unseen thread
+// shows up on a backed-off instance. Caller holds st.mu.
+func (st *instState) noteThread(thr trace.ThreadID) string {
+	bit := uint64(1) << (mix64(uint64(thr)) & 63)
+	if st.threads&bit != 0 {
+		return ""
+	}
+	first := st.threads == 0
+	st.threads |= bit
+	st.nthreads++
+	if first {
+		return ""
+	}
+	// A new participant invalidates the stability evidence: sharing may
+	// be starting right now, which is exactly what we must not sample
+	// away.
+	st.streak = 0
+	if st.state == StateBackoff {
+		st.rePromote()
+		return "new-thread"
+	}
+	return ""
+}
+
+// rePromote returns the instance to full fidelity. Caller holds st.mu.
+func (st *instState) rePromote() {
+	st.state = StateFull
+	st.rate = 1
+	st.streak = 0
+	st.repro++
+}
+
+// settleRePromote records counters and the trace instant for a re-promotion
+// outside the instance lock.
+func (c *Controller) settleRePromote(id trace.InstanceID, reason string) {
+	if reason == "" {
+		return
+	}
+	switch reason {
+	case "flip":
+		c.reproFlip.Add(1)
+	case "new-thread":
+		c.reproThread.Add(1)
+	case "contention":
+		c.reproContention.Add(1)
+	}
+	c.tracer.Instant("sample.re-promote", "sample",
+		"instance", strconv.Itoa(int(id)), "reason", reason)
+}
+
+// ObserveWindow feeds one classification fingerprint for id, computed by the
+// analyzer every WindowSize folded events. Equal consecutive fingerprints
+// accumulate agreement (and, in adaptive mode, earn backoff steps after
+// StableWindows in a row); a change is a flip, which re-promotes a
+// backed-off instance immediately. Called from the analyzer's drain
+// goroutine, serialized per instance.
+func (c *Controller) ObserveWindow(id trace.InstanceID, fp uint64) {
+	st := c.inst(id)
+	st.mu.Lock()
+	st.windows++
+	c.windows.Add(1)
+	if !st.fpSeen {
+		st.fpSeen, st.fp = true, fp
+		st.mu.Unlock()
+		return
+	}
+	if fp != st.fp {
+		st.fp = fp
+		st.flips++
+		st.streak = 0
+		flipped := st.state == StateBackoff
+		shape := st.shape
+		if flipped {
+			st.rePromote()
+		}
+		st.mu.Unlock()
+		c.flips.Add(1)
+		if flipped {
+			c.clearShape(shape)
+			c.settleRePromote(id, "flip")
+		}
+		return
+	}
+	st.agree++
+	st.streak++
+	var steppedTo int
+	if c.cfg.Mode == ModeAdaptive && st.streak >= c.cfg.StableWindows {
+		st.streak = 0
+		switch {
+		case st.state == StateFull:
+			st.state = StateBackoff
+			st.rate = 2
+			steppedTo = 2
+		case st.state == StateBackoff && st.rate < c.cfg.MaxRate:
+			st.rate *= 2
+			steppedTo = st.rate
+		}
+	}
+	shape := st.shape
+	st.mu.Unlock()
+	if steppedTo != 0 {
+		c.recordShape(shape, steppedTo)
+		c.tracer.Instant("sample.backoff", "sample",
+			"instance", strconv.Itoa(int(id)), "rate", "1:"+strconv.Itoa(steppedTo))
+	}
+}
+
+// NoteContention reports an opening contention episode on id: contention
+// analysis needs full interleaving fidelity, so a backed-off instance is
+// re-promoted immediately and stability evidence is reset.
+func (c *Controller) NoteContention(id trace.InstanceID) {
+	st := c.inst(id)
+	st.mu.Lock()
+	st.streak = 0
+	re := st.state == StateBackoff
+	shape := st.shape
+	if re {
+		st.rePromote()
+	}
+	st.mu.Unlock()
+	if re {
+		c.clearShape(shape)
+		c.settleRePromote(id, "contention")
+	}
+}
+
+// InstanceStatus is a point-in-time snapshot of one instance's controller
+// state, for reports, /statusz, and -stats.
+type InstanceStatus struct {
+	ID           trace.InstanceID
+	State        State
+	Rate         int
+	Observed     uint64
+	Kept         uint64
+	Dropped      uint64
+	Windows      uint64
+	Agree        uint64
+	Streak       int
+	Flips        uint64
+	RePromotions uint64
+	Threads      int
+	Bound        float64
+}
+
+// RealizedRate is the effective observed:kept ratio so far.
+func (is InstanceStatus) RealizedRate() float64 {
+	if is.Kept == 0 {
+		if is.Observed == 0 {
+			return 1
+		}
+		return float64(is.Observed)
+	}
+	return float64(is.Observed) / float64(is.Kept)
+}
+
+// Conserved reports observed == kept + dropped.
+func (is InstanceStatus) Conserved() bool {
+	return is.Observed == is.Kept+is.Dropped
+}
+
+func (st *instState) status(id trace.InstanceID) InstanceStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return InstanceStatus{
+		ID:           id,
+		State:        st.state,
+		Rate:         st.rate,
+		Observed:     st.observed,
+		Kept:         st.kept,
+		Dropped:      st.dropped,
+		Windows:      st.windows,
+		Agree:        st.agree,
+		Streak:       st.streak,
+		Flips:        st.flips,
+		RePromotions: st.repro,
+		Threads:      st.nthreads,
+		Bound:        Bound(st.observed, st.dropped, st.agree),
+	}
+}
+
+// Status returns the snapshot for one instance; ok is false for instances
+// the controller has never seen.
+func (c *Controller) Status(id trace.InstanceID) (InstanceStatus, bool) {
+	tab := *c.insts.Load()
+	if i := int(id) - 1; i >= 0 && i < len(tab) {
+		return tab[i].status(id), true
+	}
+	return InstanceStatus{}, false
+}
+
+// Instances returns snapshots for every instance the controller has seen, in
+// id order.
+func (c *Controller) Instances() []InstanceStatus {
+	tab := *c.insts.Load()
+	out := make([]InstanceStatus, 0, len(tab))
+	for i, st := range tab {
+		out = append(out, st.status(trace.InstanceID(i+1)))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Totals aggregates the controller's counters across instances.
+type Totals struct {
+	Instances    int
+	BackedOff    int // currently at rate > 1
+	Observed     uint64
+	Kept         uint64
+	Dropped      uint64
+	Windows      uint64
+	Flips        uint64
+	RePromotions uint64
+	Inherited    uint64 // instances that started at a shape-inherited rate
+	ByReason     struct{ Flip, NewThread, Contention uint64 }
+	MaxBound     float64
+}
+
+// Totals returns the aggregate snapshot.
+func (c *Controller) Totals() Totals {
+	var t Totals
+	for _, is := range c.Instances() {
+		t.Instances++
+		if is.Rate > 1 {
+			t.BackedOff++
+		}
+		t.Observed += is.Observed
+		t.Kept += is.Kept
+		t.Dropped += is.Dropped
+		t.Windows += is.Windows
+		t.Flips += is.Flips
+		t.RePromotions += is.RePromotions
+		if is.Bound > t.MaxBound {
+			t.MaxBound = is.Bound
+		}
+	}
+	t.Inherited = c.inherits.Load()
+	t.ByReason.Flip = c.reproFlip.Load()
+	t.ByReason.NewThread = c.reproThread.Load()
+	t.ByReason.Contention = c.reproContention.Load()
+	return t
+}
+
+// WriteMetrics exports the dsspy_sample_* families: totals, re-promotions by
+// reason, and per-instance rate/state/bound gauges.
+func (c *Controller) WriteMetrics(w *obs.PromWriter) {
+	t := c.Totals()
+	w.Gauge("dsspy_sample_instances",
+		"Instances tracked by the sampling controller.", float64(t.Instances))
+	w.Gauge("dsspy_sample_backed_off",
+		"Instances currently sampling at a backed-off rate.", float64(t.BackedOff))
+	w.Counter("dsspy_sample_observed_total",
+		"Events observed by the sampling gate (kept + dropped).", float64(t.Observed))
+	w.Counter("dsspy_sample_folded_total",
+		"Events the sampling gate admitted into analysis.", float64(t.Kept))
+	w.Counter("dsspy_sample_dropped_total",
+		"Events the sampling gate dropped before materialization.", float64(t.Dropped))
+	w.Counter("dsspy_sample_windows_total",
+		"Classification windows observed across instances.", float64(t.Windows))
+	w.Counter("dsspy_sample_flips_total",
+		"Classification fingerprint flips across instances.", float64(t.Flips))
+	w.Counter("dsspy_sample_repromotions_total",
+		"Re-promotions to full rate, by trigger.",
+		float64(t.ByReason.Flip), "reason", "flip")
+	w.Counter("dsspy_sample_repromotions_total",
+		"Re-promotions to full rate, by trigger.",
+		float64(t.ByReason.NewThread), "reason", "new-thread")
+	w.Counter("dsspy_sample_repromotions_total",
+		"Re-promotions to full rate, by trigger.",
+		float64(t.ByReason.Contention), "reason", "contention")
+	w.Counter("dsspy_sample_inherited_total",
+		"Instances that started at a shape-inherited backed-off rate.",
+		float64(t.Inherited))
+	w.Gauge("dsspy_sample_max_bound",
+		"Largest detection error bound across instances.", t.MaxBound)
+	for _, is := range c.Instances() {
+		id := strconv.Itoa(int(is.ID))
+		w.Gauge("dsspy_sample_rate",
+			"Current per-instance sampling rate (1 = full fidelity).",
+			float64(is.Rate), "instance", id)
+		w.Gauge("dsspy_sample_state",
+			"Per-instance controller state (0 full, 1 backoff, 2 static).",
+			float64(is.State), "instance", id, "state", is.State.String())
+		w.Gauge("dsspy_sample_bound",
+			"Per-instance detection error bound.", is.Bound, "instance", id)
+	}
+}

@@ -1,0 +1,401 @@
+package sample
+
+import (
+	"strings"
+	"testing"
+
+	"dsspy/internal/obs"
+	"dsspy/internal/trace"
+)
+
+func TestParseConfig(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		mode Mode
+		rate int
+	}{
+		{"full", ModeFull, 0},
+		{"", ModeFull, 0},
+		{"adaptive", ModeAdaptive, 0},
+		{"1:8", ModeStatic, 8},
+		{" 1:2 ", ModeStatic, 2},
+	} {
+		cfg, err := ParseConfig(tc.in)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", tc.in, err)
+		}
+		if cfg.Mode != tc.mode || cfg.StaticRate != tc.rate {
+			t.Errorf("ParseConfig(%q) = %v/%d, want %v/%d", tc.in, cfg.Mode, cfg.StaticRate, tc.mode, tc.rate)
+		}
+	}
+	for _, bad := range []string{"1:1", "1:0", "1:x", "sometimes", "2:3"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) should fail", bad)
+		}
+	}
+}
+
+func TestBound(t *testing.T) {
+	if b := Bound(1000, 0, 5); b != 0 {
+		t.Errorf("lossless bound = %v, want 0 (exact)", b)
+	}
+	if b := Bound(0, 0, 0); b != 0 {
+		t.Errorf("empty bound = %v, want 0", b)
+	}
+	if b := Bound(1000, 500, 0); b != 0.5 {
+		t.Errorf("half dropped, no agreement: bound = %v, want 0.5", b)
+	}
+	// Agreement shrinks the bound, monotonically.
+	prev := 2.0
+	for agree := uint64(0); agree < 20; agree++ {
+		b := Bound(1000, 500, agree)
+		if b <= 0 {
+			t.Fatalf("lossy stream has bound %v at agree=%d; must stay > 0", b, agree)
+		}
+		if b > prev {
+			t.Fatalf("bound grew with more agreement: %v -> %v at agree=%d", prev, b, agree)
+		}
+		prev = b
+	}
+	// Floors and caps.
+	if b := Bound(1<<40, 1, 1000); b != 1e-6 {
+		t.Errorf("tiny drop share bound = %v, want floor 1e-6", b)
+	}
+	if b := Bound(10, 10, 0); b != 0.99 {
+		t.Errorf("all-dropped bound = %v, want cap 0.99", b)
+	}
+}
+
+// observeWindows feeds n equal fingerprints for id.
+func observeWindows(c *Controller, id trace.InstanceID, fp uint64, n int) {
+	for i := 0; i < n; i++ {
+		c.ObserveWindow(id, fp)
+	}
+}
+
+func TestAdaptiveBackoffAndFlip(t *testing.T) {
+	c := NewController(Config{Mode: ModeAdaptive, StableWindows: 3})
+	const id = trace.InstanceID(1)
+	c.Admit(id, 1) // materialize the instance
+
+	// First window seeds the fingerprint; StableWindows agreeing windows
+	// earn the first backoff step.
+	observeWindows(c, id, 0xabc, 1+3)
+	st, ok := c.Status(id)
+	if !ok || st.State != StateBackoff || st.Rate != 2 {
+		t.Fatalf("after %d agreeing windows: %+v, want backoff 1:2", 3, st)
+	}
+	// Each further StableWindows run doubles the rate, up to MaxRate.
+	observeWindows(c, id, 0xabc, 3)
+	if st, _ = c.Status(id); st.Rate != 4 {
+		t.Fatalf("second step: rate %d, want 4", st.Rate)
+	}
+	observeWindows(c, id, 0xabc, 3*20)
+	if st, _ = c.Status(id); st.Rate != DefaultMaxRate {
+		t.Fatalf("rate %d exceeded or missed MaxRate %d", st.Rate, DefaultMaxRate)
+	}
+
+	// A classification flip re-promotes instantly.
+	c.ObserveWindow(id, 0xdef)
+	st, _ = c.Status(id)
+	if st.State != StateFull || st.Rate != 1 {
+		t.Fatalf("after flip: %+v, want full 1:1", st)
+	}
+	if st.RePromotions != 1 || st.Flips != 1 {
+		t.Fatalf("flip accounting: %+v", st)
+	}
+	if tot := c.Totals(); tot.ByReason.Flip != 1 {
+		t.Fatalf("totals by reason: %+v", tot.ByReason)
+	}
+
+	// The flip also reset the streak: backing off again takes a full
+	// StableWindows run on the new fingerprint.
+	observeWindows(c, id, 0xdef, 2)
+	if st, _ = c.Status(id); st.State != StateFull {
+		t.Fatalf("re-backed off after only 2 agreeing windows: %+v", st)
+	}
+	observeWindows(c, id, 0xdef, 1)
+	if st, _ = c.Status(id); st.State != StateBackoff {
+		t.Fatalf("did not back off after a fresh stable run: %+v", st)
+	}
+}
+
+func TestNewThreadRePromotes(t *testing.T) {
+	c := NewController(Config{Mode: ModeAdaptive, StableWindows: 1})
+	const id = trace.InstanceID(1)
+	c.Admit(id, 7)
+	observeWindows(c, id, 1, 2) // seed + 1 agree -> backoff
+	if st, _ := c.Status(id); st.State != StateBackoff {
+		t.Fatalf("setup: %+v", st)
+	}
+	// Same thread: no re-promotion.
+	c.Admit(id, 7)
+	if st, _ := c.Status(id); st.State != StateBackoff {
+		t.Fatalf("same thread re-promoted: %+v", st)
+	}
+	// New thread: instant re-promotion.
+	c.Admit(id, 8)
+	st, _ := c.Status(id)
+	if st.State != StateFull || st.Rate != 1 || st.RePromotions != 1 {
+		t.Fatalf("new thread: %+v, want full 1:1 with 1 re-promotion", st)
+	}
+	if tot := c.Totals(); tot.ByReason.NewThread != 1 {
+		t.Fatalf("totals by reason: %+v", tot.ByReason)
+	}
+	if st.Threads != 2 {
+		t.Fatalf("thread count %d, want 2", st.Threads)
+	}
+}
+
+func TestContentionRePromotes(t *testing.T) {
+	c := NewController(Config{Mode: ModeAdaptive, StableWindows: 1})
+	const id = trace.InstanceID(1)
+	c.Admit(id, 1)
+	observeWindows(c, id, 1, 2)
+	if st, _ := c.Status(id); st.State != StateBackoff {
+		t.Fatalf("setup: %+v", st)
+	}
+	c.NoteContention(id)
+	st, _ := c.Status(id)
+	if st.State != StateFull || st.RePromotions != 1 {
+		t.Fatalf("contention: %+v, want full with 1 re-promotion", st)
+	}
+	if tot := c.Totals(); tot.ByReason.Contention != 1 {
+		t.Fatalf("totals by reason: %+v", tot.ByReason)
+	}
+	// On an instance that is not backed off, contention only resets the
+	// streak; no extra re-promotion.
+	c.NoteContention(id)
+	if st, _ = c.Status(id); st.RePromotions != 1 {
+		t.Fatalf("idempotent contention: %+v", st)
+	}
+}
+
+func TestStaticModeNeverTransitions(t *testing.T) {
+	c := NewController(Config{Mode: ModeStatic, StaticRate: 4, Burst: 8, MaxCredit: 8})
+	const id = trace.InstanceID(1)
+	kept := 0
+	const total = 4 * 8 * 10 // 10 full periods
+	for i := 0; i < total; i++ {
+		if c.Admit(id, 1) {
+			kept++
+		}
+	}
+	if kept != total/4 {
+		t.Fatalf("static 1:4 kept %d of %d, want %d", kept, total, total/4)
+	}
+	// Agreement must not change a static rate, and flips must not re-promote.
+	observeWindows(c, id, 1, 50)
+	c.ObserveWindow(id, 2)
+	st, _ := c.Status(id)
+	if st.State != StateStatic || st.Rate != 4 {
+		t.Fatalf("static state drifted: %+v", st)
+	}
+	if !st.Conserved() {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+func TestConservationAcrossAdmitPaths(t *testing.T) {
+	c := NewController(Config{Mode: ModeStatic, StaticRate: 2, Burst: 4, MaxCredit: 16})
+	const id = trace.InstanceID(3)
+
+	// Per-event path.
+	for i := 0; i < 100; i++ {
+		c.Admit(id, 1)
+	}
+	// Credit path: emulate a producer — take grants, consume a partial span,
+	// settle exactly what was consumed.
+	var kept, dropped uint64
+	for i := 0; i < 40; i++ {
+		admit, span := c.AdmitRun(id, 1)
+		if span < 1 || span > 16 {
+			t.Fatalf("grant span %d outside (0, MaxCredit]", span)
+		}
+		use := uint64(span)
+		if i%3 == 0 && span > 1 {
+			use = uint64(span) / 2 // producer died / flushed mid-credit
+		}
+		if admit {
+			kept += use
+			c.Observe(id, use, 0)
+		} else {
+			dropped += use
+			c.Observe(id, 0, use)
+		}
+	}
+
+	st, _ := c.Status(id)
+	if !st.Conserved() {
+		t.Fatalf("observed %d != kept %d + dropped %d", st.Observed, st.Kept, st.Dropped)
+	}
+	if st.Observed != 100+kept+dropped {
+		t.Fatalf("observed %d, want %d", st.Observed, 100+kept+dropped)
+	}
+	if st.Dropped == 0 || st.Kept == 0 {
+		t.Fatalf("static 1:2 should both keep and drop: %+v", st)
+	}
+	if tot := c.Totals(); tot.Observed != st.Observed+ /* id 1,2 untouched */ 0 {
+		t.Fatalf("totals observed %d, want %d", tot.Observed, st.Observed)
+	}
+}
+
+func TestBurstStructurePreserved(t *testing.T) {
+	// The gate must keep consecutive runs (bursts), not isolated strides:
+	// pattern detection feeds on index adjacency.
+	c := NewController(Config{Mode: ModeStatic, StaticRate: 4, Burst: 16, MaxCredit: 64})
+	const id = trace.InstanceID(1)
+	var runs []int
+	cur := 0
+	for i := 0; i < 4*16*6; i++ {
+		if c.Admit(id, 1) {
+			cur++
+		} else if cur > 0 {
+			runs = append(runs, cur)
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		runs = append(runs, cur)
+	}
+	if len(runs) == 0 {
+		t.Fatal("nothing admitted")
+	}
+	for _, r := range runs {
+		if r != 16 {
+			t.Fatalf("admitted run of %d events, want full bursts of 16 (runs %v)", r, runs)
+		}
+	}
+}
+
+func TestInstancesAndMetrics(t *testing.T) {
+	c := NewController(Config{Mode: ModeAdaptive, StableWindows: 1})
+	c.SetTracer(obs.NewTracer(64))
+	for id := trace.InstanceID(1); id <= 3; id++ {
+		c.Admit(id, 1)
+	}
+	observeWindows(c, 2, 9, 2) // back off instance 2
+	insts := c.Instances()
+	if len(insts) != 3 {
+		t.Fatalf("instances = %d, want 3", len(insts))
+	}
+	for i, is := range insts {
+		if is.ID != trace.InstanceID(i+1) {
+			t.Fatalf("instances out of id order: %+v", insts)
+		}
+	}
+	tot := c.Totals()
+	if tot.Instances != 3 || tot.BackedOff != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+
+	var sb strings.Builder
+	pw := obs.NewPromWriter(&sb)
+	c.WriteMetrics(pw)
+	if pw.Err() != nil {
+		t.Fatal(pw.Err())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dsspy_sample_instances 3",
+		"dsspy_sample_backed_off 1",
+		"dsspy_sample_observed_total",
+		"dsspy_sample_folded_total",
+		"dsspy_sample_dropped_total",
+		`dsspy_sample_repromotions_total{reason="flip"}`,
+		`dsspy_sample_repromotions_total{reason="new-thread"}`,
+		`dsspy_sample_repromotions_total{reason="contention"}`,
+		"dsspy_sample_max_bound",
+		`dsspy_sample_rate{instance="2"} 2`,
+		`dsspy_sample_state{instance="2",state="backoff"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstanceSamplingRecord(t *testing.T) {
+	s := &InstanceSampling{Observed: 100, Folded: 75, SampledOut: 25, Bound: 0.1}
+	if !s.Conserved() {
+		t.Fatal("conserved record reported unconserved")
+	}
+	if got := s.Confidence(); got != 0.9 {
+		t.Fatalf("confidence = %v", got)
+	}
+	if got := s.RealizedRate(); got != 100.0/75.0 {
+		t.Fatalf("realized rate = %v", got)
+	}
+	merged := &InstanceSampling{State: "merged", Bound: 0.2}
+	if !merged.Conserved() {
+		t.Fatal("counterless merged record must be trivially conserved")
+	}
+}
+
+func TestShapeInheritance(t *testing.T) {
+	c := NewController(Config{Mode: ModeAdaptive, StableWindows: 2, MaxRate: 8})
+	const shape = uint64(0x5eed)
+
+	// Incarnation 1 earns its backoff the slow way: seed + two agreeing
+	// windows per step.
+	c.BindShape(1, shape)
+	c.Admit(1, 1)
+	if st, _ := c.Status(1); st.State != StateFull {
+		t.Fatalf("unknown shape inherited a rate: %+v", st)
+	}
+	observeWindows(c, 1, 0xabc, 1+2+2) // seed, step to 2, step to 4
+
+	// Incarnation 2 of the same shape starts already backed off at the
+	// recorded rate — no ramp — but with zero stability evidence of its own.
+	c.BindShape(2, shape)
+	st, ok := c.Status(2)
+	if !ok || st.State != StateBackoff || st.Rate != 4 {
+		t.Fatalf("inherited instance: %+v, want backoff 1:4", st)
+	}
+	if st.Streak != 0 || st.Windows != 0 {
+		t.Fatalf("inherited instance carries evidence it never earned: %+v", st)
+	}
+	if tot := c.Totals(); tot.Inherited != 1 {
+		t.Fatalf("inherited total = %d, want 1", tot.Inherited)
+	}
+
+	// A flip on the inherited instance re-promotes it instantly AND clears
+	// the shape's entry: incarnation 3 starts cold.
+	c.ObserveWindow(2, 0xabc) // seed
+	c.ObserveWindow(2, 0xdef) // flip
+	if st, _ = c.Status(2); st.State != StateFull || st.Rate != 1 || st.RePromotions != 1 {
+		t.Fatalf("inherited instance did not re-promote on flip: %+v", st)
+	}
+	c.BindShape(3, shape)
+	if st, _ = c.Status(3); st.State != StateFull || st.Rate != 1 {
+		t.Fatalf("cleared shape still inherited: %+v", st)
+	}
+
+	// A different shape never inherits.
+	c.BindShape(4, shape+1)
+	if st, _ = c.Status(4); st.State != StateFull || st.Rate != 1 {
+		t.Fatalf("unrelated shape inherited: %+v", st)
+	}
+}
+
+func TestShapeInheritanceStaticAndContention(t *testing.T) {
+	// Static mode ignores the shape table entirely.
+	sc := NewController(Config{Mode: ModeStatic, StaticRate: 4})
+	sc.BindShape(1, 7)
+	if st, _ := sc.Status(1); st.State != StateStatic || st.Rate != 4 {
+		t.Fatalf("static instance disturbed by BindShape: %+v", st)
+	}
+
+	// Contention on a backed-off instance clears its shape too.
+	c := NewController(Config{Mode: ModeAdaptive, StableWindows: 2})
+	c.BindShape(1, 7)
+	observeWindows(c, 1, 0xabc, 1+2)
+	if st, _ := c.Status(1); st.State != StateBackoff {
+		t.Fatalf("setup: %+v", st)
+	}
+	c.NoteContention(1)
+	c.BindShape(2, 7)
+	if st, _ := c.Status(2); st.State != StateFull || st.Rate != 1 {
+		t.Fatalf("shape survived a contention re-promotion: %+v", st)
+	}
+}

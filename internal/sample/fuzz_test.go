@@ -1,0 +1,85 @@
+package sample
+
+import (
+	"testing"
+
+	"dsspy/internal/trace"
+)
+
+// FuzzSampleController drives the controller with an arbitrary interleaving
+// of gate traffic, window observations and contention signals, and asserts
+// the invariants the rest of the pipeline builds on: conservation
+// (observed == kept + dropped, exactly), grant spans within (0, MaxCredit],
+// rates within [1, max(MaxRate, StaticRate)], and bound 0 iff nothing was
+// dropped.
+func FuzzSampleController(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(1), uint8(0))
+	f.Add([]byte{9, 9, 9, 1, 1, 1, 200, 3}, uint8(2), uint8(4))
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 8, 4, 2, 1}, uint8(0), uint8(8))
+	f.Fuzz(func(t *testing.T, ops []byte, mode uint8, rate uint8) {
+		cfg := Config{Window: 16, StableWindows: 2, Burst: 4, MaxRate: 16, MaxCredit: 8}
+		switch mode % 3 {
+		case 0:
+			cfg.Mode = ModeAdaptive
+		case 1:
+			cfg.Mode = ModeStatic
+			cfg.StaticRate = 2 + int(rate%8)
+		case 2:
+			cfg.Mode = ModeAdaptive
+			cfg.StableWindows = 1
+		}
+		c := NewController(cfg)
+		maxRate := cfg.withDefaults().MaxRate
+		if cfg.Mode == ModeStatic && cfg.StaticRate > maxRate {
+			maxRate = cfg.StaticRate
+		}
+
+		for i, op := range ops {
+			id := trace.InstanceID(op%5 + 1)
+			thr := trace.ThreadID(op % 3)
+			switch (int(op) + i) % 5 {
+			case 0:
+				c.Admit(id, thr)
+			case 1:
+				admit, span := c.AdmitRun(id, thr)
+				if span < 1 || span > cfg.MaxCredit {
+					t.Fatalf("grant span %d outside (0, %d]", span, cfg.MaxCredit)
+				}
+				use := uint64(int(op)%span + 1) // settle a partial span
+				if admit {
+					c.Observe(id, use, 0)
+				} else {
+					c.Observe(id, 0, use)
+				}
+			case 2:
+				c.ObserveWindow(id, uint64(op)%3)
+			case 3:
+				c.NoteContention(id)
+			case 4:
+				// Shapes collide across instances on purpose: inheritance
+				// must never break conservation or the rate envelope.
+				c.BindShape(id, uint64(op%4))
+			}
+		}
+
+		var total Totals
+		for _, is := range c.Instances() {
+			if !is.Conserved() {
+				t.Fatalf("conservation violated: %+v", is)
+			}
+			if is.Rate < 1 || is.Rate > maxRate {
+				t.Fatalf("rate %d outside [1, %d]: %+v", is.Rate, maxRate, is)
+			}
+			if (is.Bound == 0) != (is.Dropped == 0) {
+				t.Fatalf("bound/drop mismatch: %+v", is)
+			}
+			if cfg.Mode == ModeStatic && is.State != StateStatic {
+				t.Fatalf("static instance left StateStatic: %+v", is)
+			}
+		}
+		total = c.Totals()
+		if total.Observed != total.Kept+total.Dropped {
+			t.Fatalf("totals conservation violated: %+v", total)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+// Package sample implements per-instance adaptive sampling for always-on
+// profiling (DESIGN.md §15). A Controller acts as a trace-layer gate: cold or
+// undecided instances stay at full fidelity, while instances whose
+// pattern/use-case classification has stabilized are backed off to burst
+// sampling — 1 burst of consecutive events kept out of every N — so skipped
+// events are never materialized. Backoff is hysteretic (it takes several
+// consecutive agreeing classification windows per rate step) and instantly
+// reversible: a classification flip, a new thread appearing, or a contention
+// episode opening re-promotes the instance to full rate.
+//
+// Everything the gate drops is accounted for: per instance the conservation
+// identity observed == folded + sampled_out holds exactly, and every
+// detection derived from a lossy stream carries an error bound computed from
+// the realized drop share and the window agreement history (see Bound).
+package sample
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Mode selects the sampling policy.
+type Mode uint8
+
+const (
+	// ModeFull disables sampling entirely. The CLI installs no gate at all
+	// in this mode, so reports stay byte-identical to an ungated run.
+	ModeFull Mode = iota
+	// ModeAdaptive backs off per instance once classification stabilizes.
+	ModeAdaptive
+	// ModeStatic keeps 1 burst in Config.StaticRate for every instance,
+	// unconditionally ("1:N" on the command line).
+	ModeStatic
+)
+
+// String returns the CLI spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAdaptive:
+		return "adaptive"
+	case ModeStatic:
+		return "static"
+	default:
+		return "full"
+	}
+}
+
+// Config parameterizes a Controller. The zero value is ModeFull; the other
+// fields default via NewController to values tuned by the bench-sample gates.
+type Config struct {
+	Mode Mode
+	// StaticRate is the fixed 1-burst-in-N period for ModeStatic.
+	StaticRate int
+	// Window is the classification window in events per instance: the
+	// analyzer fingerprints the instance's classification every Window
+	// folded events and feeds agreement/flip signals back via
+	// ObserveWindow.
+	Window int
+	// StableWindows is the hysteresis: consecutive agreeing windows
+	// required per backoff step (full→1:2, 1:2→1:4, ...).
+	StableWindows int
+	// Burst is the number of consecutive events kept per sampling period.
+	// Bursts rather than strides, because pattern detection feeds on index
+	// adjacency: a kept burst preserves run structure, a stride destroys
+	// it.
+	Burst int
+	// MaxRate caps adaptive backoff at 1 burst in MaxRate.
+	MaxRate int
+	// MaxCredit caps the event span covered by one AdmitRun grant, which
+	// bounds how stale a producer's cached admit decision can get and
+	// therefore the re-promotion latency (≤ MaxCredit events per
+	// producer).
+	MaxCredit int
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultWindow        = 256
+	DefaultStableWindows = 3
+	DefaultBurst         = 64
+	DefaultMaxRate       = 64
+	DefaultMaxCredit     = 256
+)
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.StableWindows <= 0 {
+		c.StableWindows = DefaultStableWindows
+	}
+	if c.Burst <= 0 {
+		c.Burst = DefaultBurst
+	}
+	if c.MaxRate < 2 {
+		c.MaxRate = DefaultMaxRate
+	}
+	if c.MaxCredit <= 0 {
+		c.MaxCredit = DefaultMaxCredit
+	}
+	if c.MaxCredit < c.Burst {
+		c.MaxCredit = c.Burst
+	}
+	if c.Mode == ModeStatic && c.StaticRate < 2 {
+		c.StaticRate = 2
+	}
+	return c
+}
+
+// ParseConfig parses the -sample flag syntax: "full", "adaptive", or "1:N"
+// for a static 1-burst-in-N rate.
+func ParseConfig(s string) (Config, error) {
+	switch strings.TrimSpace(s) {
+	case "", "full":
+		return Config{Mode: ModeFull}, nil
+	case "adaptive":
+		return Config{Mode: ModeAdaptive}, nil
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(s), "1:"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 2 {
+			return Config{}, fmt.Errorf("sample: bad static rate %q (want 1:N with N >= 2)", s)
+		}
+		return Config{Mode: ModeStatic, StaticRate: n}, nil
+	}
+	return Config{}, fmt.Errorf("sample: unknown mode %q (want adaptive, full, or 1:N)", s)
+}
+
+// Bound returns the detection error bound for a stream that observed
+// `observed` events, dropped `dropped` of them, and accumulated `agree`
+// agreeing classification windows. The bound is the dropped share shrunk by
+// the agreement history — every window in which the sampled classification
+// re-confirmed itself is evidence the drops are not hiding a different
+// answer — floored above zero so a lossy stream never claims to be exact.
+// A stream that dropped nothing has bound 0 (and its detections print no
+// confidence line at all: they are exact).
+func Bound(observed, dropped, agree uint64) float64 {
+	if dropped == 0 || observed == 0 {
+		return 0
+	}
+	b := float64(dropped) / float64(observed) / float64(1+agree)
+	if b < 1e-6 {
+		b = 1e-6
+	}
+	if b > 0.99 {
+		b = 0.99
+	}
+	return b
+}
+
+// InstanceSampling is the sampling record attached to a report row whose
+// event stream was lossy (SampledOut > 0). Full-fidelity rows carry none, so
+// their report bytes are unchanged. All fields are conservative: Bound only
+// ever widens under Report.Merge.
+type InstanceSampling struct {
+	// State is the controller state at finalize: "full", "backoff",
+	// "static", or — for rows widened by merge/daemon accounting without
+	// per-instance counters — "merged" / "degraded".
+	State string `json:"state"`
+	// Rate is the 1-in-N burst rate at finalize (1 = full fidelity).
+	Rate int `json:"rate,omitempty"`
+	// Observed/Folded/SampledOut satisfy observed == folded + sampled_out.
+	Observed   uint64 `json:"observed,omitempty"`
+	Folded     uint64 `json:"folded,omitempty"`
+	SampledOut uint64 `json:"sampled_out,omitempty"`
+	// Windows/Agree are the classification windows seen and the subset
+	// that agreed with their predecessor.
+	Windows uint64 `json:"windows,omitempty"`
+	Agree   uint64 `json:"agree,omitempty"`
+	// RePromotions counts returns to full rate (flip/new-thread/
+	// contention).
+	RePromotions uint64 `json:"re_promotions,omitempty"`
+	// Bound is the detection error bound (see Bound); Confidence is
+	// 1 - Bound.
+	Bound float64 `json:"bound"`
+	// Sketch-based summaries of the parts of the stream that were dropped
+	// from exact analysis: estimated distinct indexes, distinct adjacent
+	// index transitions, the heavy-hitter index with its share, and the
+	// sketches' own relative error estimate.
+	DistinctIndexes     float64 `json:"distinct_indexes,omitempty"`
+	DistinctTransitions float64 `json:"distinct_transitions,omitempty"`
+	HotIndex            int64   `json:"hot_index,omitempty"`
+	HotShare            float64 `json:"hot_share,omitempty"`
+	SketchErr           float64 `json:"sketch_err,omitempty"`
+}
+
+// Confidence is 1 - Bound: how sure the detections on this row are.
+func (s *InstanceSampling) Confidence() float64 { return 1 - s.Bound }
+
+// RealizedRate is the effective sampling ratio observed:folded (1 = full
+// fidelity, 4 = one in four events folded).
+func (s *InstanceSampling) RealizedRate() float64 {
+	if s.Folded == 0 {
+		if s.Observed == 0 {
+			return 1
+		}
+		return float64(s.Observed)
+	}
+	return float64(s.Observed) / float64(s.Folded)
+}
+
+// Conserved reports whether the row's counters satisfy the conservation
+// identity. Rows stamped by merge widening or tenant-level degradation carry
+// zero counters and are trivially conserved.
+func (s *InstanceSampling) Conserved() bool {
+	return s.Observed == s.Folded+s.SampledOut
+}
+
+// mix64 is the splitmix64 finalizer, used to hash indexes, transitions and
+// thread ids into sketch/signature space.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,179 @@
+package sample
+
+import (
+	"math"
+	"math/bits"
+)
+
+// distinctBits is the linear-counting bitmap size. 1024 bits keeps the
+// sketch at 128 bytes per instance while holding the standard error under a
+// few percent up to ~2000 distinct values — plenty for index spaces, where
+// anything larger reads as "unbounded" anyway.
+const distinctBits = 1024
+
+// Distinct is a linear-counting (Whang et al.) count-distinct sketch: hash
+// each value to one of distinctBits bits, estimate from the zero-bit count.
+// The zero value is ready to use.
+type Distinct struct {
+	bits [distinctBits / 64]uint64
+	n    uint64 // values folded (not distinct)
+}
+
+// Add folds one pre-hashed value.
+func (d *Distinct) Add(h uint64) {
+	i := h % distinctBits
+	d.bits[i/64] |= 1 << (i % 64)
+	d.n++
+}
+
+// AddValue hashes and folds one raw value.
+func (d *Distinct) AddValue(v uint64) { d.Add(mix64(v)) }
+
+func (d *Distinct) zeros() int {
+	z := 0
+	for _, w := range d.bits {
+		z += 64 - popcount(w)
+	}
+	return z
+}
+
+// Estimate returns the estimated distinct count: m·ln(m/z). A saturated
+// bitmap (no zero bits) cannot be extrapolated and reports the bitmap size —
+// "at least this many" — with RelErr pinned to 1.
+func (d *Distinct) Estimate() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	z := d.zeros()
+	if z == 0 {
+		return distinctBits
+	}
+	return distinctBits * math.Log(float64(distinctBits)/float64(z))
+}
+
+// RelErr returns the estimated relative standard error of Estimate, per the
+// linear-counting analysis: sqrt(m·(e^t − t − 1))/n̂ with t = n̂/m.
+func (d *Distinct) RelErr() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	if d.zeros() == 0 {
+		return 1
+	}
+	est := d.Estimate()
+	if est <= 0 {
+		return 0
+	}
+	t := est / distinctBits
+	return math.Sqrt(distinctBits*(math.Exp(t)-t-1)) / est
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// topKSlots is the Misra-Gries summary width. 8 slots guarantee any value
+// with frequency > n/9 survives, which is all the heavy-hitter question
+// ("is one index dominating?") needs.
+const topKSlots = 8
+
+// TopK is a Misra-Gries heavy-hitter sketch over int64 keys. The zero value
+// is ready to use. Counts are undercounts by at most Decrements().
+type TopK struct {
+	keys   [topKSlots]int64
+	counts [topKSlots]uint64
+	used   int
+	n      uint64
+	decr   uint64
+}
+
+// Add folds one key.
+func (t *TopK) Add(k int64) {
+	t.n++
+	for i := 0; i < t.used; i++ {
+		if t.keys[i] == k {
+			t.counts[i]++
+			return
+		}
+	}
+	if t.used < topKSlots {
+		t.keys[t.used] = k
+		t.counts[t.used] = 1
+		t.used++
+		return
+	}
+	// All slots taken by other keys: decrement everyone, evict zeros.
+	t.decr++
+	j := 0
+	for i := 0; i < t.used; i++ {
+		t.counts[i]--
+		if t.counts[i] > 0 {
+			t.keys[j], t.counts[j] = t.keys[i], t.counts[i]
+			j++
+		}
+	}
+	t.used = j
+}
+
+// N returns the number of keys folded.
+func (t *TopK) N() uint64 { return t.n }
+
+// Decrements returns the Misra-Gries error bound: every reported count may
+// undercount the true frequency by at most this much.
+func (t *TopK) Decrements() uint64 { return t.decr }
+
+// Top returns the heaviest surviving key and its (under)count; ok is false
+// when nothing has been folded or no candidate survived.
+func (t *TopK) Top() (key int64, count uint64, ok bool) {
+	for i := 0; i < t.used; i++ {
+		if t.counts[i] > count {
+			key, count, ok = t.keys[i], t.counts[i], true
+		}
+	}
+	return key, count, ok
+}
+
+// IndexSketch summarizes the index-access and adjacency state of one
+// instance's (possibly lossy) event stream: estimated distinct indexes,
+// estimated distinct adjacent transitions (prev→cur pairs), and the
+// heavy-hitter index. It substitutes for the exact streams a backed-off
+// instance no longer materializes. The zero value is ready to use; the
+// struct is all value types, so assignment clones it.
+type IndexSketch struct {
+	Indexes     Distinct
+	Transitions Distinct
+	Hot         TopK
+	prev        int64
+	seen        bool
+}
+
+// Fold folds one event's index.
+func (s *IndexSketch) Fold(index int) {
+	h := mix64(uint64(int64(index)))
+	s.Indexes.Add(h)
+	s.Hot.Add(int64(index))
+	if s.seen {
+		// Order-dependent pair hash: rotate prev's hash so a→b and b→a
+		// land on different bits.
+		ph := mix64(uint64(s.prev))
+		s.Transitions.Add(mix64(ph<<1 | ph>>63 ^ h))
+	}
+	s.prev, s.seen = int64(index), true
+}
+
+// HotShare returns the heavy hitter and its share of folded events.
+func (s *IndexSketch) HotShare() (index int64, share float64, ok bool) {
+	key, count, ok := s.Hot.Top()
+	if !ok || s.Hot.N() == 0 {
+		return 0, 0, false
+	}
+	return key, float64(count) / float64(s.Hot.N()), true
+}
+
+// RelErr returns the larger of the two distinct sketches' error estimates —
+// the number a report quotes as "sketch error".
+func (s *IndexSketch) RelErr() float64 {
+	e := s.Indexes.RelErr()
+	if t := s.Transitions.RelErr(); t > e {
+		e = t
+	}
+	return e
+}

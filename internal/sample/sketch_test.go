@@ -1,0 +1,135 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistinctEstimate(t *testing.T) {
+	var d Distinct
+	if d.Estimate() != 0 || d.RelErr() != 0 {
+		t.Fatal("empty sketch must estimate 0 with no error")
+	}
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		d.AddValue(i)
+	}
+	// Repeats must not move the estimate.
+	for i := uint64(0); i < n; i++ {
+		d.AddValue(i)
+	}
+	est := d.Estimate()
+	if math.Abs(est-n)/n > 0.15 {
+		t.Fatalf("estimate %.1f for %d distinct values (>15%% off)", est, n)
+	}
+	if re := d.RelErr(); re <= 0 || re > 0.2 {
+		t.Fatalf("relative error %v implausible for n=%d", re, n)
+	}
+}
+
+func TestDistinctSaturation(t *testing.T) {
+	var d Distinct
+	for i := uint64(0); i < 100_000; i++ {
+		d.AddValue(i)
+	}
+	if est := d.Estimate(); est != distinctBits {
+		t.Fatalf("saturated estimate %v, want the bitmap floor %d", est, distinctBits)
+	}
+	if re := d.RelErr(); re != 1 {
+		t.Fatalf("saturated RelErr %v, want 1", re)
+	}
+}
+
+func TestTopKHeavyHitter(t *testing.T) {
+	var tk TopK
+	if _, _, ok := tk.Top(); ok {
+		t.Fatal("empty sketch has no top")
+	}
+	// One key at ~50%, noise spread over many others: the heavy hitter must
+	// survive Misra-Gries eviction.
+	for i := 0; i < 1000; i++ {
+		tk.Add(42)
+		tk.Add(int64(1000 + i))
+	}
+	key, count, ok := tk.Top()
+	if !ok || key != 42 {
+		t.Fatalf("top = %d (ok=%v), want 42", key, ok)
+	}
+	// The count may undercount by at most Decrements().
+	if count+tk.Decrements() < 1000 {
+		t.Fatalf("count %d + decrements %d < true 1000", count, tk.Decrements())
+	}
+	if count > 1000 {
+		t.Fatalf("count %d overcounts true 1000", count)
+	}
+}
+
+func TestIndexSketchFold(t *testing.T) {
+	var s IndexSketch
+	// A strided scan visited twice: n distinct indexes, n-1 distinct forward
+	// transitions, no dominating index.
+	const n = 100
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			s.Fold(i)
+		}
+	}
+	if est := s.Indexes.Estimate(); math.Abs(est-n)/n > 0.15 {
+		t.Fatalf("distinct indexes %.1f, want ~%d", est, n)
+	}
+	// Transitions: 0→1..98→99 plus the wrap 99→0 between passes.
+	if est := s.Transitions.Estimate(); math.Abs(est-n)/n > 0.2 {
+		t.Fatalf("distinct transitions %.1f, want ~%d", est, n)
+	}
+	if _, share, ok := s.HotShare(); ok && share > 0.5 {
+		t.Fatalf("uniform scan reported hot share %v", share)
+	}
+	if re := s.RelErr(); re <= 0 || re >= 1 {
+		t.Fatalf("sketch RelErr %v implausible", re)
+	}
+
+	// A hot-spot stream: one index dominating.
+	var hot IndexSketch
+	for i := 0; i < 900; i++ {
+		hot.Fold(7)
+	}
+	for i := 0; i < 100; i++ {
+		hot.Fold(i * 13)
+	}
+	idx, share, ok := hot.HotShare()
+	if !ok || idx != 7 || share < 0.8 {
+		t.Fatalf("hot spot: idx=%d share=%v ok=%v, want 7 at >80%%", idx, share, ok)
+	}
+}
+
+func TestIndexSketchTransitionDirection(t *testing.T) {
+	// a→b and b→a must land on different transition bits (ordered pairs).
+	var ab, ba IndexSketch
+	for i := 0; i < 500; i++ {
+		ab.Fold(1)
+		ab.Fold(2)
+	}
+	ba.Fold(1)
+	for i := 0; i < 500; i++ {
+		ba.Fold(2)
+		ba.Fold(1)
+	}
+	// Both streams alternate between the same two indexes; each sees both
+	// directions, so both should estimate ~2 transitions — but a sketch fed
+	// only one direction must estimate ~1.
+	var one IndexSketch
+	one.Fold(1)
+	for i := 0; i < 500; i++ {
+		one.Fold(2)
+		one.Fold(1) // 2→1 and 1→2 both occur here too
+	}
+	var fwd IndexSketch
+	fwd.Fold(1)
+	fwd.Fold(2) // exactly one ordered transition
+	if est := fwd.Transitions.Estimate(); est < 0.5 || est > 2 {
+		t.Fatalf("single transition estimates %v", est)
+	}
+	if est := ab.Transitions.Estimate(); est < 1.5 || est > 3 {
+		t.Fatalf("two-direction stream estimates %v transitions, want ~2", est)
+	}
+}

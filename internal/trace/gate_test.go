@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// fakeGate is a scripted Gate: it admits according to a fixed 1-in-rate burst
+// schedule and records every settlement, so tests can assert the credit
+// protocol exactly.
+type fakeGate struct {
+	mu      sync.Mutex
+	rate    int // keep 1 burst in rate
+	burst   int
+	credit  int // max span per AdmitRun grant
+	cursor  map[InstanceID]uint64
+	kept    map[InstanceID]uint64
+	dropped map[InstanceID]uint64
+	grants  int
+	settles int
+}
+
+func newFakeGate(rate, burst, credit int) *fakeGate {
+	return &fakeGate{
+		rate: rate, burst: burst, credit: credit,
+		cursor:  map[InstanceID]uint64{},
+		kept:    map[InstanceID]uint64{},
+		dropped: map[InstanceID]uint64{},
+	}
+}
+
+func (g *fakeGate) decide(id InstanceID) (bool, int) {
+	period := uint64(g.rate * g.burst)
+	pos := g.cursor[id] % period
+	if pos < uint64(g.burst) {
+		return true, int(uint64(g.burst) - pos)
+	}
+	return false, int(period - pos)
+}
+
+func (g *fakeGate) Admit(id InstanceID, thr ThreadID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	admit, _ := g.decide(id)
+	g.cursor[id]++
+	if admit {
+		g.kept[id]++
+	} else {
+		g.dropped[id]++
+	}
+	return admit
+}
+
+func (g *fakeGate) AdmitRun(id InstanceID, thr ThreadID) (bool, int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	admit, span := g.decide(id)
+	if span > g.credit {
+		span = g.credit
+	}
+	g.cursor[id] += uint64(span)
+	g.grants++
+	return admit, span
+}
+
+func (g *fakeGate) Observe(id InstanceID, kept, dropped uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.kept[id] += kept
+	g.dropped[id] += dropped
+	g.settles++
+}
+
+func (g *fakeGate) totals(id InstanceID) (kept, dropped uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.kept[id], g.dropped[id]
+}
+
+// admitAll is a Gate that admits everything — the gated path must then be
+// byte-identical to an ungated session.
+type admitAll struct{}
+
+func (admitAll) Admit(InstanceID, ThreadID) bool           { return true }
+func (admitAll) AdmitRun(InstanceID, ThreadID) (bool, int) { return true, 64 }
+func (admitAll) Observe(InstanceID, uint64, uint64)        {}
+
+func TestSessionEmitGate(t *testing.T) {
+	rec := NewMemRecorder()
+	g := newFakeGate(4, 8, 256)
+	s := NewSessionWith(Options{Recorder: rec, Gate: g})
+	id := s.Register(KindList, "List[int]", "gated", 0)
+
+	const total = 4 * 8 * 5
+	for i := 0; i < total; i++ {
+		s.Emit(id, OpRead, i, total)
+	}
+	evs := rec.Events()
+	if len(evs) != total/4 {
+		t.Fatalf("recorded %d events, want %d (1-in-4 bursts)", len(evs), total/4)
+	}
+	// Dropped events are never materialized AND consume no sequence numbers:
+	// the kept stream is seq-contiguous.
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d: dropped events consumed sequence numbers", i, e.Seq)
+		}
+	}
+	kept, dropped := g.totals(id)
+	if kept != uint64(total/4) || kept+dropped != uint64(total) {
+		t.Fatalf("gate accounting kept=%d dropped=%d, want %d/%d", kept, dropped, total/4, total-total/4)
+	}
+}
+
+func TestEmitAsGate(t *testing.T) {
+	rec := NewMemRecorder()
+	g := newFakeGate(2, 1, 256)
+	s := NewSessionWith(Options{Recorder: rec, Gate: g})
+	id := s.Register(KindList, "List[int]", "threads", 0)
+	for i := 0; i < 10; i++ {
+		s.EmitAs(id, OpWrite, i, 10, ThreadID(7))
+	}
+	if got := rec.Len(); got != 5 {
+		t.Fatalf("EmitAs recorded %d of 10 at 1:2, want 5", got)
+	}
+}
+
+func TestProducerGateCreditProtocol(t *testing.T) {
+	rec := NewMemRecorder()
+	g := newFakeGate(4, 8, 16) // spans capped below the burst/period length
+	s := NewSessionWith(Options{Recorder: rec, Gate: g})
+	id := s.Register(KindList, "List[int]", "credit", 0)
+
+	p := s.Bind()
+	const total = 4 * 8 * 10
+	for i := 0; i < total; i++ {
+		p.Emit(id, OpRead, i, total)
+	}
+	p.Close()
+
+	kept, dropped := g.totals(id)
+	if kept+dropped != uint64(total) {
+		t.Fatalf("settled %d+%d events, want %d: credits not settled exactly", kept, dropped, total)
+	}
+	if kept != uint64(total/4) {
+		t.Fatalf("kept %d, want %d", kept, total/4)
+	}
+	if uint64(rec.Len()) != kept {
+		t.Fatalf("recorder holds %d events, gate settled %d kept", rec.Len(), kept)
+	}
+	if g.settles == 0 || g.grants == 0 {
+		t.Fatalf("credit protocol unused: %d grants, %d settles", g.grants, g.settles)
+	}
+	// Each grant is settled at most once (settles can be fewer: consecutive
+	// same-decision grants merge only when the instance and verdict match —
+	// here every settle must cover at least one event).
+	if g.settles > g.grants {
+		t.Fatalf("%d settles for %d grants", g.settles, g.grants)
+	}
+}
+
+func TestProducerGateInstanceSwitch(t *testing.T) {
+	rec := NewMemRecorder()
+	g := newFakeGate(2, 4, 256)
+	s := NewSessionWith(Options{Recorder: rec, Gate: g})
+	a := s.Register(KindList, "List[int]", "a", 0)
+	b := s.Register(KindArray, "Array[int]", "b", 0)
+
+	p := s.Bind()
+	// Interleave instances: every switch must settle the outstanding credit
+	// for the previous instance before granting for the next.
+	for i := 0; i < 64; i++ {
+		p.Emit(a, OpRead, i, 64)
+		p.Emit(b, OpWrite, i, 64)
+	}
+	p.Close()
+
+	ka, da := g.totals(a)
+	kb, db := g.totals(b)
+	if ka+da != 64 || kb+db != 64 {
+		t.Fatalf("per-instance settlement: a=%d+%d b=%d+%d, want 64 each", ka, da, kb, db)
+	}
+	if ka != 32 || kb != 32 {
+		t.Fatalf("1:2 with burst 4: kept a=%d b=%d, want 32 each", ka, kb)
+	}
+}
+
+func TestProducerFlushSettlesFullyDroppedPeriods(t *testing.T) {
+	rec := NewMemRecorder()
+	g := newFakeGate(1024, 1, 1024) // drop essentially everything after 1 event
+	s := NewSessionWith(Options{Recorder: rec, Gate: g})
+	id := s.Register(KindList, "List[int]", "dark", 0)
+
+	p := s.Bind()
+	for i := 0; i < 100; i++ {
+		p.Emit(id, OpRead, i, 100)
+	}
+	// Flush with an empty batch buffer (everything after the first event was
+	// dropped) must still settle the outstanding drop credit — mid-run
+	// conservation for snapshot paths.
+	p.Flush()
+	kept, dropped := g.totals(id)
+	if kept+dropped != 100 {
+		t.Fatalf("flush left %d events unsettled", 100-int(kept+dropped))
+	}
+	p.Close()
+}
+
+func TestGatedAdmitAllIsByteIdentical(t *testing.T) {
+	run := func(opts Options) []Event {
+		rec := NewMemRecorder()
+		opts.Recorder = rec
+		s := NewSessionWith(opts)
+		id := s.Register(KindList, "List[int]", "ident", 0)
+		p := s.Bind()
+		for i := 0; i < 500; i++ {
+			p.Emit(id, OpRead, i, 500)
+		}
+		p.Close()
+		return rec.Events()
+	}
+	plain := run(Options{})
+	gated := run(Options{Gate: admitAll{}})
+	if len(plain) != len(gated) {
+		t.Fatalf("admit-all gate changed event count: %d vs %d", len(plain), len(gated))
+	}
+	for i := range plain {
+		if plain[i] != gated[i] {
+			t.Fatalf("event %d differs under admit-all gate: %+v vs %+v", i, plain[i], gated[i])
+		}
+	}
+}

@@ -144,6 +144,9 @@ func ExplicitThreadID() ThreadID {
 // EmitAs records an event like Session.Emit but with a caller-supplied
 // thread id, bypassing goroutine-id capture entirely.
 func (s *Session) EmitAs(id InstanceID, op Op, index, size int, thread ThreadID) {
+	if g := s.gate; g != nil && !g.Admit(id, thread) {
+		return
+	}
 	s.rec.Record(Event{
 		Seq:      s.seq.Add(1),
 		Instance: id,

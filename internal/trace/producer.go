@@ -50,6 +50,26 @@ type Producer struct {
 	thread ThreadID
 	buf    []Event
 	pooled bool
+
+	// Gate credit cache (see Session.Gate), one slot per instance so
+	// workloads that interleave instances keep their grants instead of
+	// thrashing on every switch. All plain goroutine-local state: the drop
+	// path of a backed-off instance is an index, a decrement, and a
+	// branch — no locks, no atomics, no shared lines. Each slot's used
+	// count is settled back to the gate via Observe when its grant is
+	// exhausted or at sync points (Flush/Close) — conservation accounting
+	// comes only from these exact settlements, never from grant sizes.
+	gate    Gate
+	credits []gateCredit
+	dirty   []InstanceID
+}
+
+// gateCredit is one instance's cached gate grant: the admit verdict, the
+// credit remaining on it, and the events consumed but not yet settled.
+type gateCredit struct {
+	admit bool
+	left  int32
+	used  uint32
 }
 
 // Bind returns a Producer for the calling goroutine with the default batch
@@ -57,7 +77,7 @@ type Producer struct {
 // here, once — every event emitted through the handle carries it for free.
 func (s *Session) Bind() *Producer {
 	bp := batchPool.Get().(*[]Event)
-	p := &Producer{s: s, buf: (*bp)[:0], pooled: true}
+	p := &Producer{s: s, gate: s.gate, buf: (*bp)[:0], pooled: true}
 	if s.captureThreads {
 		p.thread = CurrentThreadID()
 	}
@@ -72,7 +92,7 @@ func (s *Session) BindSize(size int) *Producer {
 	if size <= 0 || size == DefaultBatchSize {
 		return s.Bind()
 	}
-	p := &Producer{s: s, buf: make([]Event, 0, size)}
+	p := &Producer{s: s, gate: s.gate, buf: make([]Event, 0, size)}
 	if s.captureThreads {
 		p.thread = CurrentThreadID()
 	}
@@ -84,7 +104,7 @@ func (s *Session) BindSize(size int) *Producer {
 // thread worker identity through explicitly.
 func (s *Session) BindAs(thread ThreadID) *Producer {
 	bp := batchPool.Get().(*[]Event)
-	return &Producer{s: s, thread: thread, buf: (*bp)[:0], pooled: true}
+	return &Producer{s: s, gate: s.gate, thread: thread, buf: (*bp)[:0], pooled: true}
 }
 
 // BindDefault binds a producer like Bind and additionally routes every
@@ -105,6 +125,9 @@ func (s *Session) BindDefault() *Producer {
 // Emit appends one access event to the batch, flushing when it fills.
 // The event's sequence number is assigned at flush time.
 func (p *Producer) Emit(id InstanceID, op Op, index, size int) {
+	if p.gate != nil && !p.admit(id) {
+		return
+	}
 	p.buf = append(p.buf, Event{
 		Instance: id,
 		Op:       op,
@@ -117,11 +140,77 @@ func (p *Producer) Emit(id InstanceID, op Op, index, size int) {
 	}
 }
 
+// admit burns one event of the instance's gate credit, refreshing the grant
+// when it is exhausted. The common case — credit left on the slot — touches
+// only producer-local fields.
+func (p *Producer) admit(id InstanceID) bool {
+	idx := int(id) - 1
+	if idx < 0 {
+		// Unregistered id: no slot to cache under, gate per event.
+		return p.gate.Admit(id, p.thread)
+	}
+	if idx >= len(p.credits) {
+		next := make([]gateCredit, idx+8)
+		copy(next, p.credits)
+		p.credits = next
+	}
+	c := &p.credits[idx]
+	if c.left <= 0 {
+		// Settle what was consumed under the expiring grant before its
+		// verdict is replaced.
+		p.settleCredit(id, c)
+		admit, left := p.gate.AdmitRun(id, p.thread)
+		if left < 1 {
+			left = 1
+		}
+		c.admit, c.left = admit, int32(left)
+	}
+	c.left--
+	if c.used == 0 {
+		p.dirty = append(p.dirty, id)
+	}
+	c.used++
+	return c.admit
+}
+
+// settleCredit reports the slot's consumed-but-unsettled events back to the
+// gate.
+func (p *Producer) settleCredit(id InstanceID, c *gateCredit) {
+	if c.used == 0 {
+		return
+	}
+	if c.admit {
+		p.gate.Observe(id, uint64(c.used), 0)
+	} else {
+		p.gate.Observe(id, 0, uint64(c.used))
+	}
+	c.used = 0
+}
+
+// settleGate settles every instance with consumed credit and voids the
+// remaining grants, so each grant is settled at most once and the gate's
+// conservation counters are exact at every sync point. A producer may void
+// credit it never consumes; the gate's schedule position simply moves on.
+func (p *Producer) settleGate() {
+	for _, id := range p.dirty {
+		c := &p.credits[int(id)-1]
+		p.settleCredit(id, c)
+		c.left = 0
+	}
+	p.dirty = p.dirty[:0]
+}
+
 // Flush stamps the buffered events with a contiguous block of session
 // sequence numbers and delivers them to the recorder as one batch. It is a
 // no-op on an empty batch. Call it before synchronizing with another
 // goroutine that reads the recorder (or rely on Close).
 func (p *Producer) Flush() {
+	if p.gate != nil {
+		// Settle gate accounting at every sync point, even when the
+		// batch is empty — a fully-dropped period leaves the buffer
+		// untouched while drop counts accumulate.
+		p.settleGate()
+	}
 	n := len(p.buf)
 	if n == 0 {
 		return

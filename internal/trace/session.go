@@ -22,6 +22,11 @@ type Session struct {
 	seq atomic.Uint64
 	rec Recorder
 
+	// gate, when non-nil, decides per event whether it is recorded at all
+	// (adaptive sampling). A gated-out event consumes no sequence number
+	// and is never materialized; the gate keeps exact keep/drop counts.
+	gate Gate
+
 	captureThreads bool
 	captureSites   bool
 
@@ -39,10 +44,67 @@ type Session struct {
 	instances []Instance // index = InstanceID-1
 }
 
+// Gate decides, before an event is materialized, whether it enters the
+// recorder. It is the trace-layer hook for the adaptive sampling controller
+// (internal/sample): the per-event paths call Admit, batched producers use
+// the credit protocol — AdmitRun grants one decision covering up to `credit`
+// consecutive events for the same instance, and Observe settles the exact
+// number of events the producer emitted under its grants. Implementations
+// must be safe for concurrent use.
+type Gate interface {
+	// Admit decides one event.
+	Admit(id InstanceID, thr ThreadID) bool
+	// AdmitRun grants a decision covering up to credit (≥1) consecutive
+	// events of instance id. The caller settles actual consumption via
+	// Observe.
+	AdmitRun(id InstanceID, thr ThreadID) (admit bool, credit int)
+	// Observe settles kept/dropped counts consumed under AdmitRun grants.
+	Observe(id InstanceID, kept, dropped uint64)
+}
+
+// ShapeBinder is an optional Gate extension. A gate that also implements it
+// is told, at Register time, the registration shape of every instance — a
+// hash of its (kind, type name, label) triple. Gates that learn across
+// instance lifetimes (the adaptive sampling controller) use the shape to
+// carry stability evidence from one incarnation of a logical structure to
+// the next: always-on workloads re-create the same lists and maps over and
+// over, and without inheritance every incarnation pays the full
+// stabilization ramp at fidelity 1.
+type ShapeBinder interface {
+	BindShape(id InstanceID, shape uint64)
+}
+
+// shapeHash is FNV-1a over the registration triple, with a separator so
+// ("ab","c") and ("a","bc") hash apart.
+func shapeHash(kind Kind, typeName, label string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(kind)
+	h *= prime64
+	for i := 0; i < len(typeName); i++ {
+		h ^= uint64(typeName[i])
+		h *= prime64
+	}
+	h ^= 0xff
+	h *= prime64
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return h
+}
+
 // Options configures a Session.
 type Options struct {
 	// Recorder receives every event. Defaults to a fresh MemRecorder.
 	Recorder Recorder
+	// Gate, when non-nil, is consulted before every event is materialized
+	// (adaptive sampling). Leave nil for full fidelity — a nil gate costs
+	// one predictable branch per event.
+	Gate Gate
 	// CaptureThreads records the goroutine id on each event. Goroutine-id
 	// capture costs a runtime.Stack call per goroutine (cached), so it is
 	// opt-in; without it Thread is 0.
@@ -66,6 +128,7 @@ func NewSessionWith(opts Options) *Session {
 	}
 	s := &Session{
 		rec:            rec,
+		gate:           opts.Gate,
 		captureThreads: opts.CaptureThreads,
 		captureSites:   opts.CaptureSites,
 	}
@@ -76,6 +139,9 @@ func NewSessionWith(opts Options) *Session {
 
 // Recorder returns the session's recorder.
 func (s *Session) Recorder() Recorder { return s.rec }
+
+// Gate returns the session's sampling gate, or nil.
+func (s *Session) Gate() Gate { return s.gate }
 
 // Register adds a new instance to the registry and returns its ID.
 // skip is the number of stack frames between the caller of the instrumented
@@ -96,6 +162,9 @@ func (s *Session) Register(kind Kind, typeName, label string, skip int) Instance
 		Site:     site,
 	})
 	s.mu.Unlock()
+	if sb, ok := s.gate.(ShapeBinder); ok {
+		sb.BindShape(id, shapeHash(kind, typeName, label))
+	}
 	return id
 }
 
@@ -139,6 +208,9 @@ func (s *Session) Emit(id InstanceID, op Op, index, size int) {
 	var thr ThreadID
 	if s.captureThreads {
 		thr = CurrentThreadID()
+	}
+	if g := s.gate; g != nil && !g.Admit(id, thr) {
+		return
 	}
 	s.rec.Record(Event{
 		Seq:      s.seq.Add(1),

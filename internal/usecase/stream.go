@@ -270,6 +270,58 @@ func (u *Stream) Finish(inst trace.Instance, st *profile.Stats, ct *profile.Cont
 	return out
 }
 
+// KindsMask runs every detector over the folded aggregates and returns a
+// bitmask (bit = Kind) of the kinds that currently fire. This is the
+// classification fingerprint the adaptive sampling controller compares
+// across windows: it needs stability, not evidence, so the (cheap) detector
+// booleans are enough — only firing detectors pay for their evidence
+// strings. Safe to call on the live reducer from the fold goroutine.
+func (u *Stream) KindsMask(inst trace.Instance, st *profile.Stats, ct *profile.Contention) uint16 {
+	if st.Total == 0 {
+		return 0
+	}
+	var mask uint16
+	if _, ok := u.longInsert(inst, st); ok {
+		mask |= 1 << LongInsert
+	}
+	if _, ok := u.implementQueue(inst, st); ok {
+		mask |= 1 << ImplementQueue
+	}
+	if _, ok := u.sortAfterInsert(inst, st); ok {
+		mask |= 1 << SortAfterInsert
+	}
+	if _, ok := u.frequentSearch(st); ok {
+		mask |= 1 << FrequentSearch
+	}
+	if _, ok := u.frequentLongRead(st); ok {
+		mask |= 1 << FrequentLongRead
+	}
+	if _, ok := u.insertDeleteFront(inst, st); ok {
+		mask |= 1 << InsertDeleteFront
+	}
+	if _, ok := u.stackImplementation(inst, st); ok {
+		mask |= 1 << StackImplementation
+	}
+	if _, ok := u.writeWithoutRead(); ok {
+		mask |= 1 << WriteWithoutRead
+	}
+	if ct != nil && st.Threads > 1 {
+		if _, ok := u.contendedMap(inst, st, ct); ok {
+			mask |= 1 << ContendedMap
+		}
+		if _, ok := u.mpscQueue(inst, st, ct); ok {
+			mask |= 1 << MPSCQueue
+		}
+		if _, ok := u.readMostlyTable(inst, st); ok {
+			mask |= 1 << ReadMostlyTable
+		}
+		if _, ok := u.phaseSeparatedRW(st, ct); ok {
+			mask |= 1 << PhaseSeparatedRW
+		}
+	}
+	return mask
+}
+
 // Clone returns an independent copy, used by snapshot-at-any-time readers.
 func (u *Stream) Clone() *Stream {
 	out := *u

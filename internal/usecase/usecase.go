@@ -159,11 +159,19 @@ type UseCase struct {
 	Instance       trace.Instance
 	Evidence       string
 	Recommendation string
+	// Bound is the sampling-derived detection error bound: 0 for a
+	// detection from a full-fidelity stream (exact), >0 when the
+	// instance's stream was adaptively sampled (internal/sample). Under
+	// Report.Merge bounds only widen.
+	Bound float64 `json:",omitempty"`
 }
 
 func (u UseCase) String() string {
 	return fmt.Sprintf("%s on %s %s: %s", u.Kind, u.Instance.TypeName, u.Instance.Label, u.Evidence)
 }
+
+// Confidence is 1 - Bound: 1 for exact detections.
+func (u UseCase) Confidence() float64 { return 1 - u.Bound }
 
 // Thresholds carries every tunable the paper states in §III.B, plus the
 // handful it leaves implicit (documented at each field).
