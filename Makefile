@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath bench-columnar bench-contend bench-sample smoke-obs chaos fuzz-smoke clean
+.PHONY: check build vet test race bench bench-stream bench-obs bench-hotpath bench-columnar bench-contend bench-sample bench-floor inline-guard smoke-obs chaos fuzz-smoke clean
 
 ## check: everything CI runs — build, vet, full tests, race tests on the
 ## concurrent packages, the streaming/batch and hot-path differentials under
@@ -17,6 +17,7 @@ check:
 	$(MAKE) bench-columnar
 	$(MAKE) bench-contend
 	$(MAKE) bench-sample
+	$(MAKE) bench-floor
 	$(MAKE) smoke-obs
 	$(MAKE) chaos
 	$(MAKE) fuzz-smoke
@@ -99,6 +100,30 @@ bench-contend:
 bench-sample:
 	$(GO) test . -run 'TestSampleDifferentialCorpus' -count 1
 	DSSPY_SAMPLE_GATE=1 $(GO) test . -run 'TestSampleSlowdownGate' -v -count 1
+
+## bench-floor: the inlined-fast-path acceptance gates. First the inline
+## guard: Handle.Drop and agg.fold must stay within the compiler's inlining
+## budget — the floor bar depends on the credit test inlining into the
+## container bodies. Then the floor gate (DSSPY_FLOOR_GATE=1): on the
+## Table IV apps, the no-trace floor (drop-everything gate) must cost ≤1.4×
+## the operation-faithful plain twins geo-mean, and the full-fidelity
+## per-event Record p50 must stay under its absolute ceiling.
+bench-floor:
+	$(MAKE) inline-guard
+	DSSPY_FLOOR_GATE=1 $(GO) test . -run 'TestFloorGate' -v -count 1
+
+## inline-guard: asserts the two functions the sampled-out fast path rides —
+## the handle's credit test and the aggregate fold — still inline, by reading
+## the compiler's own -m escape/inline report. A refactor that pushes either
+## past the budget turns every backed-off container access into a function
+## call and silently re-raises the floor.
+inline-guard:
+	@out=$$($(GO) build -gcflags='-m' ./internal/trace/ 2>&1); \
+	for fn in '(\*Handle).Drop' '(\*agg).fold'; do \
+		if ! echo "$$out" | grep -q "can inline $$fn"; then \
+			echo "inline-guard: $$fn no longer inlines (compiler -m report)"; exit 1; \
+		fi; \
+	done; echo "inline-guard: Handle.Drop and agg.fold inline OK"
 
 ## smoke-obs: boots the CLI with the live observability surface (the -listen
 ## side keeps serving while it waits for a producer) and checks that /healthz,

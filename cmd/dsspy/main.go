@@ -212,7 +212,7 @@ func main() {
 					srv.AddSource(ctrl) // dsspy_sample_* (gate and per-instance bounds)
 				}
 				label, start := runLabel(o), time.Now()
-				srv.SetStatus(func() *obs.Status { return streamStatus(label, start, sa, scol, ctrl) })
+				srv.SetStatus(func() *obs.Status { return streamStatus(label, start, s, sa, scol, ctrl) })
 			}
 
 			stop := make(chan struct{})

@@ -109,9 +109,10 @@ func runLabel(o *options) string {
 // the largest instances with their patterns and findings, every use case so
 // far, and the collector's per-shard queue figures. Each call takes a fresh
 // analyzer snapshot, so the page tracks the run as it refreshes.
-func streamStatus(label string, start time.Time, sa *core.StreamAnalyzer, scol *trace.ShardedCollector, ctrl *sample.Controller) *obs.Status {
+func streamStatus(label string, start time.Time, s *trace.Session, sa *core.StreamAnalyzer, scol *trace.ShardedCollector, ctrl *sample.Controller) *obs.Status {
 	rep := sa.Snapshot()
 	ss := rep.Stats.Streaming
+	aggFlushes, aggEvents := s.AggregateStats()
 
 	st := &obs.Status{Title: "dsspy — " + label}
 	st.Sections = append(st.Sections, obs.StatusSection{
@@ -124,6 +125,8 @@ func streamStatus(label string, start time.Time, sa *core.StreamAnalyzer, scol *
 			{Key: "open runs", Value: fmt.Sprint(ss.OpenRuns)},
 			{Key: "out-of-order", Value: fmt.Sprint(ss.OutOfOrder)},
 			{Key: "shards", Value: fmt.Sprint(ss.Shards)},
+			{Key: "aggregate flushes", Value: fmt.Sprint(aggFlushes)},
+			{Key: "aggregated events", Value: fmt.Sprint(aggEvents)},
 		},
 	})
 
@@ -143,12 +146,12 @@ func streamStatus(label string, start time.Time, sa *core.StreamAnalyzer, scol *
 func samplingSection(ctrl *sample.Controller) obs.StatusSection {
 	insts := ctrl.Instances()
 	table := &obs.StatusTable{Header: []string{
-		"instance", "state", "rate", "observed", "folded", "sampled out", "windows", "re-promotions", "bound",
+		"instance", "state", "rate", "observed", "folded", "aggregated", "sampled out", "windows", "re-promotions", "bound",
 	}}
 	for _, is := range insts {
 		table.Rows = append(table.Rows, []string{
 			fmt.Sprint(is.ID), is.State.String(), fmt.Sprintf("1:%d", is.Rate),
-			fmt.Sprint(is.Observed), fmt.Sprint(is.Kept), fmt.Sprint(is.Dropped),
+			fmt.Sprint(is.Observed), fmt.Sprint(is.Kept), fmt.Sprint(is.Aggregated), fmt.Sprint(is.Dropped),
 			fmt.Sprintf("%d (%d agree)", is.Windows, is.Agree),
 			fmt.Sprint(is.RePromotions),
 			fmt.Sprintf("%.4f", is.Bound),

@@ -47,9 +47,10 @@ func TestObservabilityPlaneSmoke(t *testing.T) {
 	srv.AddSource(scol)
 	srv.AddSource(sa)
 	srv.AddSource(timed)
+	srv.AddSource(s)
 	srv.AddSource(ctrl)
 	start := time.Now()
-	srv.SetStatus(func() *obs.Status { return streamStatus("smoke", start, sa, scol, ctrl) })
+	srv.SetStatus(func() *obs.Status { return streamStatus("smoke", start, s, sa, scol, ctrl) })
 
 	_, workload := pickWorkload("", "figure3")
 	sp := tracer.Begin("workload", "run")
@@ -99,13 +100,15 @@ func TestObservabilityPlaneSmoke(t *testing.T) {
 		"dsspy_sample_instances", "dsspy_sample_observed_total",
 		"dsspy_sample_folded_total", "dsspy_sample_dropped_total",
 		"dsspy_sample_rate", "dsspy_sample_max_bound",
+		"dsspy_aggregate_flushes_total", "dsspy_aggregate_events_total",
+		"dsspy_sample_aggregated_total",
 	} {
 		if !strings.Contains(metricsBody, want) {
 			t.Errorf("/metrics missing %s", want)
 		}
 	}
 	statusBody := get("/statusz?frag=1")
-	for _, want := range []string{"smoke", "events folded", "Collector shards", "Sampling (static"} {
+	for _, want := range []string{"smoke", "events folded", "aggregate flushes", "Collector shards", "Sampling (static"} {
 		if !strings.Contains(statusBody, want) {
 			t.Errorf("/statusz missing %q", want)
 		}

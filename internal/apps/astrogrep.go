@@ -200,9 +200,79 @@ func grepSearch(lines []string, workers int) uint64 {
 	return sum
 }
 
-// grepTwin mirrors the instrumented run's corpus size on raw slices.
+// grepTwinSink keeps the twin's results observable so the compiler cannot
+// elide any of the mirrored work.
+var grepTwinSink uint64
+
+// grepTwin mirrors grepInstrumented operation for operation on raw Go slices
+// and maps — same per-file builds and formatted names, same flatten pass,
+// same result-string concatenation and hit bookkeeping — so the floor/twin
+// delta isolates the instrumentation layer (the PlainTwin contract,
+// DESIGN.md §9) instead of charging missing application work to it.
 func grepTwin() {
-	grepSearch(grepCorpus(grepFiles*grepLinesPerFile), 1)
+	r := newRNG(0xA57)
+
+	fileNames := make([]string, 0)
+	extensions := make([]string, 0)
+	for _, e := range []string{".log", ".txt", ".md"} {
+		extensions = append(extensions, e)
+	}
+	options := make([]string, 0)
+	options = append(options, "case-insensitive")
+	options = append(options, "whole-word=false")
+
+	corpus := make([]string, 0)
+	perFile := make([][]string, grepFiles)
+	for f := 0; f < grepFiles; f++ {
+		name := fmt.Sprintf("file%02d.log", f)
+		fileNames = append(fileNames, name)
+		lines := make([]string, 0)
+		for i := 0; i < grepLinesPerFile; i++ {
+			lines = append(lines, synthLine(r))
+		}
+		perFile[f] = lines
+	}
+	for _, lines := range perFile {
+		for i := 0; i < len(lines); i++ {
+			corpus = append(corpus, lines[i])
+		}
+	}
+
+	results := make([]string, 0)
+	lineNums := make([]int, 0)
+	matchCounts := make(map[string]int)
+	context := make([]string, 0)
+	seenFiles := make(map[int]struct{})
+
+	for _, q := range grepQueries {
+		hits := 0
+		for i := 0; i < len(corpus); i++ {
+			line := corpus[i]
+			if strings.Contains(line, q) {
+				results = append(results, q+": "+line)
+				if hits < 3 {
+					lineNums = append(lineNums, i)
+					context = append(context, line)
+					seenFiles[i/grepLinesPerFile] = struct{}{}
+				}
+				hits++
+			}
+		}
+		matchCounts[q] = hits
+	}
+
+	recent := make([]string, 0)
+	for _, q := range grepQueries[:5] {
+		recent = append(recent, q)
+	}
+	sizes := make([]int, grepFiles)
+	for f := 0; f < grepFiles; f += 2 {
+		sizes[f] = f * grepLinesPerFile
+	}
+
+	grepTwinSink = uint64(len(results) + len(lineNums) + len(context) +
+		len(fileNames) + len(extensions) + len(options) + len(recent) +
+		len(matchCounts) + len(seenFiles) + sizes[grepFiles-2])
 }
 
 func grepPlain() uint64 {

@@ -385,8 +385,138 @@ func gpRun(popSize, gens, seriesLen, workers int) uint64 {
 	return check
 }
 
-// gpTwin mirrors the instrumented run's evolution parameters on raw data.
-func gpTwin() { gpRun(gpPopulation, gpGenerations, gpSeriesLen, 1) }
+// gpTwinSink keeps the twin's results observable so the compiler cannot
+// elide any of the mirrored work.
+var gpTwinSink float64
+
+// gpTwin mirrors gpInstrumented operation for operation on raw slices and
+// maps — same RNG stream, same chromosome arena with index indirection,
+// same roulette arithmetic, same per-generation stats and bookkeeping — so
+// the floor/twin delta isolates the instrumentation layer (the PlainTwin
+// contract, DESIGN.md §9). gpRun stays the engine for Plain/Parallel, where
+// a leaner idiomatic implementation is the point.
+func gpTwin() {
+	r := newRNG(0x69D0)
+
+	inputs := make([]float64, 0)
+	xs := make([]float64, gpSeriesLen)
+	for i := range xs {
+		xs[i] = -2 + 4*float64(i)/float64(gpSeriesLen)
+		inputs = append(inputs, xs[i])
+	}
+	target := gpTarget(xs)
+
+	terminalSet := make([]float64, gpTerminals)
+	rawTerminals := make([]float64, gpTerminals)
+	for i := 0; i < gpTerminals; i++ {
+		v := -10 + 20*r.float64n()
+		rawTerminals[i] = v
+		terminalSet[i] = v
+	}
+
+	functions := make([]string, 0)
+	for _, f := range []string{"+", "-", "*", "/"} {
+		functions = append(functions, f)
+	}
+
+	params := make(map[string]float64)
+	params["crossover"] = 0.85
+	params["mutation"] = 0.05
+	stats := make(map[int]float64)
+
+	population := make([]int, 0)
+	fitness := make([]float64, gpPopulation)
+
+	chromos := make([]gpChromosome, 0, gpPopulation*2)
+	newChromo := func() int {
+		chromos = append(chromos, gpRandomChromosome(r, gpTerminals))
+		return len(chromos) - 1
+	}
+
+	for i := 0; i < gpPopulation; i++ {
+		population = append(population, newChromo())
+	}
+
+	for gen := 0; gen < gpGenerations; gen++ {
+		aggregate := 0.0
+		for i := 0; i < len(terminalSet); i++ {
+			aggregate += terminalSet[i]
+		}
+
+		for i := 0; i < len(population); i++ {
+			ci := population[i]
+			fitness[i] = gpFitness(chromos[ci], xs, target, rawTerminals)
+		}
+
+		sum := 0.0
+		for i := 0; i < len(fitness); i++ {
+			sum += fitness[i]
+		}
+		bestIdx, bestFit := 0, -1.0
+		picks := make([]int, gpPopulation)
+		threshold := r.float64n() * sum
+		acc := 0.0
+		pick := 0
+		for i := 0; i < len(fitness); i++ {
+			f := fitness[i]
+			if f > bestFit {
+				bestIdx, bestFit = i, f
+			}
+			acc += f
+			for acc >= threshold && pick < gpPopulation {
+				picks[pick] = i
+				pick++
+				threshold += sum / float64(gpPopulation)
+			}
+		}
+		elite := population[bestIdx]
+
+		parents := make([]int, len(population))
+		for i := 0; i < len(population); i++ {
+			parents[i] = population[i]
+		}
+		population = population[:0]
+		population = append(population, elite)
+		for i := 1; i < gpPopulation; i++ {
+			p1 := chromos[parents[picks[i]]]
+			p2 := chromos[parents[picks[(i+7)%gpPopulation]]]
+			child := make(gpChromosome, gpGenome)
+			cut := 1 + r.intn(gpGenome-1)
+			copy(child, p1[:cut])
+			copy(child[cut:], p2[cut:])
+			if r.intn(20) == 0 {
+				child[r.intn(gpGenome)] = uint8(gpConstBase + r.intn(200))
+			}
+			chromos = append(chromos, child)
+			population = append(population, len(chromos)-1)
+		}
+		stats[gen] = bestFit + aggregate*1e-12
+	}
+
+	bestHistory := make([]float64, 0)
+	for gen := 0; gen < 5; gen++ {
+		bestHistory = append(bestHistory, float64(gen))
+	}
+	opWeights := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		opWeights[i] = 0.25
+	}
+	sink := opWeights[0]
+
+	for e := 0; e < gpEliteLists; e++ {
+		genes := make([]int, 0)
+		src := chromos[r.intn(len(chromos))]
+		for _, g := range src[:8] {
+			genes = append(genes, int(g))
+		}
+		for i := 0; i < len(genes); i++ {
+			sink += float64(genes[i])
+		}
+	}
+
+	gpTwinSink = sink + stats[gpGenerations-1] +
+		float64(len(inputs)+len(functions)+len(params)+len(bestHistory))
+}
 
 func gpPlain() uint64 { return gpRun(gpPlainPop, gpPlainGens, gpPlainSeriesLen, 1) }
 

@@ -153,6 +153,16 @@ func (dm *Daemon) TenantInstance(tenant string, inst trace.Instance) {
 	tw.mu.Unlock()
 }
 
+// TenantAggregate folds a shipped lazy-aggregation record into the tenant's
+// open window (trace.TenantAggregateSink). The record widens the instance's
+// sampling row in the window report; it never feeds the event reducers.
+func (dm *Daemon) TenantAggregate(tenant string, rec trace.AggRecord) {
+	tw := dm.tenant(tenant)
+	tw.mu.Lock()
+	tw.analyzer.FoldAggregate(rec)
+	tw.mu.Unlock()
+}
+
 // windowOrigin stamps window n of a tenant: "tenant#N".
 func windowOrigin(tenant string, n int) string {
 	return fmt.Sprintf("%s#%d", tenant, n)

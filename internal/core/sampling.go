@@ -94,11 +94,12 @@ func (sp *sampleState) fingerprint(st *instanceStream, d *DSspy) uint64 {
 }
 
 // stamp attaches the sampling record to a finalized row and widens its
-// detection bounds. Rows whose stream lost nothing stay untouched — their
-// report bytes are identical to an ungated run's.
-func (sp *sampleState) stamp(res *InstanceResult, id trace.InstanceID) {
+// detection bounds. agg is the merged aggregate the stream accumulated for
+// the instance (zero-N when none). Rows whose stream lost nothing stay
+// untouched — their report bytes are identical to an ungated run's.
+func (sp *sampleState) stamp(res *InstanceResult, id trace.InstanceID, agg *trace.AggRecord) {
 	is, ok := sp.ctrl.Status(id)
-	if !ok || is.Dropped == 0 {
+	if !ok || (is.Dropped == 0 && is.Aggregated == 0) {
 		return
 	}
 	s := &sample.InstanceSampling{
@@ -106,11 +107,15 @@ func (sp *sampleState) stamp(res *InstanceResult, id trace.InstanceID) {
 		Rate:         is.Rate,
 		Observed:     is.Observed,
 		Folded:       is.Kept,
+		Aggregated:   is.Aggregated,
 		SampledOut:   is.Dropped,
 		Windows:      is.Windows,
 		Agree:        is.Agree,
 		RePromotions: is.RePromotions,
 		Bound:        is.Bound,
+	}
+	if agg != nil && agg.N > 0 {
+		s.AggDirection = agg.Direction()
 	}
 	if est := sp.sketch.Indexes.Estimate(); est > 0 {
 		s.DistinctIndexes = est
@@ -150,6 +155,7 @@ func samplingStats(ctrl *sample.Controller, results []*InstanceResult) *metrics.
 		BackedOff:    t.BackedOff,
 		Observed:     t.Observed,
 		Folded:       t.Kept,
+		Aggregated:   t.Aggregated,
 		SampledOut:   t.Dropped,
 		Windows:      t.Windows,
 		Flips:        t.Flips,
@@ -175,6 +181,7 @@ func samplingStats(ctrl *sample.Controller, results []*InstanceResult) *metrics.
 			Realized:     ir.Sampling.RealizedRate(),
 			Observed:     ir.Sampling.Observed,
 			Folded:       ir.Sampling.Folded,
+			Aggregated:   ir.Sampling.Aggregated,
 			SampledOut:   ir.Sampling.SampledOut,
 			RePromotions: ir.Sampling.RePromotions,
 			Bound:        ir.Sampling.Bound,

@@ -65,6 +65,11 @@ type instanceStream struct {
 	// smp, when the analyzer has a sampling controller, closes the
 	// adaptive-sampling feedback loop for this instance (sampling.go).
 	smp *sampleState
+	// agg merges the lazy aggregates (trace.AggRecord) flushed for this
+	// instance: sampled-out accesses that arrived summarized instead of
+	// vanishing blindly. They feed the sampling row and its bound, never
+	// the reducers — detectors keep a consistent kept-only event universe.
+	agg trace.AggRecord
 }
 
 func newInstanceStream(d *DSspy, id trace.InstanceID) *instanceStream {
@@ -201,6 +206,7 @@ func (st *instanceStream) clone() *instanceStream {
 		perThread: make(map[trace.ThreadID]*pattern.StreamDetector, len(st.perThread)),
 		global:    st.global.Clone(),
 		uc:        st.uc.Clone(),
+		agg:       st.agg,
 	}
 	for tid, det := range st.perThread {
 		out.perThread[tid] = det.Clone()
@@ -270,7 +276,7 @@ func (st *instanceStream) finalize(d *DSspy, s *trace.Session) *InstanceResult {
 		Contention: ct,
 	}
 	if st.smp != nil {
-		st.smp.stamp(res, st.id)
+		st.smp.stamp(res, st.id, &st.agg)
 	}
 	return res
 }
@@ -326,8 +332,39 @@ func (d *DSspy) NewStreamAnalyzer(n int) *StreamAnalyzer {
 }
 
 // Attach sets the session whose instance registry names the report's
-// profiles and search space.
-func (a *StreamAnalyzer) Attach(s *trace.Session) { a.session = s }
+// profiles and search space, and registers the analyzer as the session's
+// aggregate sink so lazy per-instance aggregates (handle/producer fast
+// paths) land in the instance reducers' sampling state.
+func (a *StreamAnalyzer) Attach(s *trace.Session) {
+	a.session = s
+	if s != nil {
+		s.SetAggregateSink(a)
+	}
+}
+
+// FoldAggregate implements trace.AggregateSink: flushed per-instance
+// aggregates are merged into the instance's stream state under its shard
+// lock. Aggregates widen the sampling record and its bound only — they are
+// deliberately not folded into the pattern/use-case reducers, which would
+// otherwise mix summarized mass into thresholds tuned for exact events.
+func (a *StreamAnalyzer) FoldAggregate(rec trace.AggRecord) {
+	if rec.N == 0 {
+		return
+	}
+	shard := int(rec.Instance) % len(a.shards)
+	sh := a.shards[shard]
+	sh.mu.Lock()
+	st := sh.byInst[rec.Instance]
+	if st == nil {
+		st = newInstanceStream(a.d, rec.Instance)
+		if a.ctrl != nil {
+			st.smp = newSampleState(a.ctrl, a.session)
+		}
+		sh.byInst[rec.Instance] = st
+	}
+	st.agg.Merge(rec)
+	sh.mu.Unlock()
+}
 
 // SetSampling wires the adaptive sampling controller that gates the attached
 // session. Call before feeding (nil is a no-op and leaves analysis exact).
@@ -457,6 +494,13 @@ func (a *StreamAnalyzer) Snapshot() *Report {
 // report.
 func (a *StreamAnalyzer) Close() *Report {
 	a.closeOnce.Do(func() {
+		// Settle the containers' fast-path handles first: unreported kept
+		// counts reach the gate and pending aggregates reach FoldAggregate
+		// before the rows are finalized. Callers have quiesced the workload
+		// by now (same contract as closing the collector first).
+		if a.session != nil {
+			a.session.FlushHandles()
+		}
 		sp := a.d.cfg.Tracer.Begin("finalize", "stream")
 		var streams []*instanceStream
 		for _, sh := range a.shards {

@@ -1,0 +1,80 @@
+package dstruct
+
+import (
+	"testing"
+
+	"dsspy/internal/trace"
+)
+
+// Zero-allocation guards for the sampled-out fast path: a backed-off
+// container access must be a branch plus counter work on the handle — no
+// event struct, no interface boxing, no type-name formatting, no aggregate
+// spill. The inline-budget half of the guarantee is `make inline-guard`
+// (Handle.Drop and agg.fold must stay inlinable); this half pins the
+// allocation count at the container call sites the ISSUE names.
+
+// dropAllGate sheds every access with a wide credit span, the no-trace-floor
+// configuration of the slowdown gates.
+type dropAllGate struct{}
+
+func (dropAllGate) Admit(trace.InstanceID, trace.ThreadID) bool           { return false }
+func (dropAllGate) AdmitRun(trace.InstanceID, trace.ThreadID) (bool, int) { return false, 1 << 20 }
+func (dropAllGate) Observe(trace.InstanceID, uint64, uint64)              {}
+
+func droppedSession() *trace.Session {
+	return trace.NewSessionWith(trace.Options{Recorder: trace.NullRecorder{}, Gate: dropAllGate{}})
+}
+
+func TestSampledOutListAddZeroAlloc(t *testing.T) {
+	s := droppedSession()
+	l := NewList[int](s)
+	// Pre-grow the backing array so the measured Adds never reallocate it:
+	// the assertion targets the instrumentation layer, not append's
+	// amortized growth.
+	for i := 0; i < 4096; i++ {
+		l.Add(i)
+	}
+	l.items = l.items[:0]
+	if allocs := testing.AllocsPerRun(1000, func() { l.Add(1) }); allocs != 0 {
+		t.Fatalf("sampled-out List.Add allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestSampledOutListGetZeroAlloc(t *testing.T) {
+	s := droppedSession()
+	l := NewList[int](s)
+	for i := 0; i < 64; i++ {
+		l.Add(i)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { _ = l.Get(7) }); allocs != 0 {
+		t.Fatalf("sampled-out List.Get allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestSampledOutDictionaryGetZeroAlloc(t *testing.T) {
+	s := droppedSession()
+	d := NewDictionary[int, int](s)
+	for i := 0; i < 64; i++ {
+		d.Put(i, i)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { _, _ = d.Get(7) }); allocs != 0 {
+		t.Fatalf("sampled-out Dictionary.Get allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestTypeNameInterned: constructing many instances of one generic
+// instantiation must format the type-name string once, not per instance.
+func TestTypeNameInterned(t *testing.T) {
+	if got := typeName1[int]("List"); got != "List[int]" {
+		t.Fatalf("typeName1 = %q", got)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = typeName1[int]("List") }); allocs != 0 {
+		t.Fatalf("interned type name allocates %.1f per lookup, want 0", allocs)
+	}
+	if got := typeName2[string, int]("Dictionary"); got != "Dictionary[string,int]" {
+		t.Fatalf("typeName2 = %q", got)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = typeName2[string, int]("Dictionary") }); allocs != 0 {
+		t.Fatalf("interned 2-arg type name allocates %.1f per lookup, want 0", allocs)
+	}
+}

@@ -16,8 +16,7 @@ import (
 // model "array used like a list" (shift + resize), which is what triggers
 // that use case.
 type Array[T comparable] struct {
-	s     *trace.Session
-	id    trace.InstanceID
+	h     trace.Handle
 	items []T
 }
 
@@ -35,33 +34,49 @@ func newArray[T comparable](s *trace.Session, length int, label string) *Array[T
 	if length < 0 {
 		panic(fmt.Sprintf("dstruct: negative array length %d", length))
 	}
-	var zero T
-	a := &Array[T]{s: s, items: make([]T, length)}
-	a.id = s.Register(trace.KindArray, fmt.Sprintf("Array[%T]", zero), label, 2)
+	a := &Array[T]{items: make([]T, length)}
+	s.InitHandle(&a.h, s.Register(trace.KindArray, typeName1[T]("Array"), label, 2))
 	return a
 }
 
 // ID returns the registry id of this instance.
-func (a *Array[T]) ID() trace.InstanceID { return a.id }
+func (a *Array[T]) ID() trace.InstanceID { return a.h.ID() }
 
 // SetLabel attaches a semantic label to the instance.
-func (a *Array[T]) SetLabel(label string) { a.s.SetLabel(a.id, label) }
+func (a *Array[T]) SetLabel(label string) { a.h.Session().SetLabel(a.h.ID(), label) }
 
 // Len returns the array length (no event).
 func (a *Array[T]) Len() int { return len(a.items) }
 
-// Get returns the element at i (one Read event).
+// Get returns the element at i (one Read event). The sampled-out body is
+// kept to the inlined credit test plus the bounds-checked load; the admitted
+// path — formatted index check and Emit — lives in getSlow, off the floor.
 func (a *Array[T]) Get(i int) T {
+	if a.h.Drop(trace.OpRead, i) {
+		return a.items[i]
+	}
+	return a.getSlow(i)
+}
+
+func (a *Array[T]) getSlow(i int) T {
 	a.checkIndex(i)
-	a.s.Emit(a.id, trace.OpRead, i, len(a.items))
+	a.h.Emit(trace.OpRead, i, len(a.items))
 	return a.items[i]
 }
 
 // Set replaces the element at i (one Write event).
 func (a *Array[T]) Set(i int, v T) {
+	if a.h.Drop(trace.OpWrite, i) {
+		a.items[i] = v
+		return
+	}
+	a.setSlow(i, v)
+}
+
+func (a *Array[T]) setSlow(i int, v T) {
 	a.checkIndex(i)
 	a.items[i] = v
-	a.s.Emit(a.id, trace.OpWrite, i, len(a.items))
+	a.h.Emit(trace.OpWrite, i, len(a.items))
 }
 
 // Fill writes v into every position (one ForAll event — Array.Fill is a
@@ -70,7 +85,9 @@ func (a *Array[T]) Fill(v T) {
 	for i := range a.items {
 		a.items[i] = v
 	}
-	a.s.Emit(a.id, trace.OpForAll, trace.NoIndex, len(a.items))
+	if !a.h.Drop(trace.OpForAll, trace.NoIndex) {
+		a.h.Emit(trace.OpForAll, trace.NoIndex, len(a.items))
+	}
 }
 
 // IndexOf scans for v (one Search event); -1 when absent.
@@ -82,7 +99,9 @@ func (a *Array[T]) IndexOf(v T) int {
 			break
 		}
 	}
-	a.s.Emit(a.id, trace.OpSearch, found, len(a.items))
+	if !a.h.Drop(trace.OpSearch, found) {
+		a.h.Emit(trace.OpSearch, found, len(a.items))
+	}
 	return found
 }
 
@@ -99,8 +118,12 @@ func (a *Array[T]) Resize(n int) {
 	next := make([]T, n)
 	copy(next, a.items)
 	a.items = next
-	a.s.Emit(a.id, trace.OpResize, trace.NoIndex, n)
-	a.s.Emit(a.id, trace.OpCopy, trace.NoIndex, n)
+	if !a.h.Drop(trace.OpResize, trace.NoIndex) {
+		a.h.Emit(trace.OpResize, trace.NoIndex, n)
+	}
+	if !a.h.Drop(trace.OpCopy, trace.NoIndex) {
+		a.h.Emit(trace.OpCopy, trace.NoIndex, n)
+	}
 }
 
 // InsertAt grows the array by one and shifts elements right of i — the
@@ -115,8 +138,12 @@ func (a *Array[T]) InsertAt(i int, v T) {
 	next[i] = v
 	copy(next[i+1:], a.items[i:])
 	a.items = next
-	a.s.Emit(a.id, trace.OpInsert, i, len(a.items))
-	a.s.Emit(a.id, trace.OpCopy, trace.NoIndex, len(a.items))
+	if !a.h.Drop(trace.OpInsert, i) {
+		a.h.Emit(trace.OpInsert, i, len(a.items))
+	}
+	if !a.h.Drop(trace.OpCopy, trace.NoIndex) {
+		a.h.Emit(trace.OpCopy, trace.NoIndex, len(a.items))
+	}
 }
 
 // RemoveAt shrinks the array by one, shifting elements left. Emits Delete
@@ -127,14 +154,20 @@ func (a *Array[T]) RemoveAt(i int) {
 	copy(next, a.items[:i])
 	copy(next[i:], a.items[i+1:])
 	a.items = next
-	a.s.Emit(a.id, trace.OpDelete, i, len(a.items))
-	a.s.Emit(a.id, trace.OpCopy, trace.NoIndex, len(a.items))
+	if !a.h.Drop(trace.OpDelete, i) {
+		a.h.Emit(trace.OpDelete, i, len(a.items))
+	}
+	if !a.h.Drop(trace.OpCopy, trace.NoIndex) {
+		a.h.Emit(trace.OpCopy, trace.NoIndex, len(a.items))
+	}
 }
 
 // CopyTo copies the elements into dst (one Copy event).
 func (a *Array[T]) CopyTo(dst []T) int {
 	n := copy(dst, a.items)
-	a.s.Emit(a.id, trace.OpCopy, trace.NoIndex, len(a.items))
+	if !a.h.Drop(trace.OpCopy, trace.NoIndex) {
+		a.h.Emit(trace.OpCopy, trace.NoIndex, len(a.items))
+	}
 	return n
 }
 

@@ -1,18 +1,13 @@
 package dstruct
 
-import (
-	"fmt"
-
-	"dsspy/internal/trace"
-)
+import "dsspy/internal/trace"
 
 // LinkedList is an instrumented doubly linked list modeled on
 // LinkedList<T>. It appears in the empirical study with a frequency of
 // 0.15 % — rare, but part of the standard container set DSspy observes.
 // Positions in events are logical indexes from the front.
 type LinkedList[T comparable] struct {
-	s     *trace.Session
-	id    trace.InstanceID
+	h     trace.Handle
 	front *node[T]
 	back  *node[T]
 	n     int
@@ -25,14 +20,13 @@ type node[T any] struct {
 
 // NewLinkedList registers an empty instrumented linked list.
 func NewLinkedList[T comparable](s *trace.Session) *LinkedList[T] {
-	var zero T
-	l := &LinkedList[T]{s: s}
-	l.id = s.Register(trace.KindLinkedList, fmt.Sprintf("LinkedList[%T]", zero), "", 1)
+	l := &LinkedList[T]{}
+	s.InitHandle(&l.h, s.Register(trace.KindLinkedList, typeName1[T]("LinkedList"), "", 1))
 	return l
 }
 
 // ID returns the registry id of this instance.
-func (l *LinkedList[T]) ID() trace.InstanceID { return l.id }
+func (l *LinkedList[T]) ID() trace.InstanceID { return l.h.ID() }
 
 // Len returns the number of elements (no event).
 func (l *LinkedList[T]) Len() int { return l.n }
@@ -47,7 +41,9 @@ func (l *LinkedList[T]) AddFirst(v T) {
 	}
 	l.front = nd
 	l.n++
-	l.s.Emit(l.id, trace.OpInsert, 0, l.n)
+	if !l.h.Drop(trace.OpInsert, 0) {
+		l.h.Emit(trace.OpInsert, 0, l.n)
+	}
 }
 
 // AddLast appends v (Insert at the back end).
@@ -60,7 +56,9 @@ func (l *LinkedList[T]) AddLast(v T) {
 	}
 	l.back = nd
 	l.n++
-	l.s.Emit(l.id, trace.OpInsert, l.n-1, l.n)
+	if !l.h.Drop(trace.OpInsert, l.n-1) {
+		l.h.Emit(trace.OpInsert, l.n-1, l.n)
+	}
 }
 
 // RemoveFirst removes and returns the front element (Delete at front).
@@ -77,7 +75,9 @@ func (l *LinkedList[T]) RemoveFirst() (T, bool) {
 		l.back = nil
 	}
 	l.n--
-	l.s.Emit(l.id, trace.OpDelete, 0, l.n)
+	if !l.h.Drop(trace.OpDelete, 0) {
+		l.h.Emit(trace.OpDelete, 0, l.n)
+	}
 	return nd.v, true
 }
 
@@ -95,7 +95,9 @@ func (l *LinkedList[T]) RemoveLast() (T, bool) {
 		l.front = nil
 	}
 	l.n--
-	l.s.Emit(l.id, trace.OpDelete, l.n, l.n)
+	if !l.h.Drop(trace.OpDelete, l.n) {
+		l.h.Emit(trace.OpDelete, l.n, l.n)
+	}
 	return nd.v, true
 }
 
@@ -105,7 +107,9 @@ func (l *LinkedList[T]) First() (T, bool) {
 	if l.front == nil {
 		return zero, false
 	}
-	l.s.Emit(l.id, trace.OpRead, 0, l.n)
+	if !l.h.Drop(trace.OpRead, 0) {
+		l.h.Emit(trace.OpRead, 0, l.n)
+	}
 	return l.front.v, true
 }
 
@@ -115,7 +119,9 @@ func (l *LinkedList[T]) Last() (T, bool) {
 	if l.back == nil {
 		return zero, false
 	}
-	l.s.Emit(l.id, trace.OpRead, l.n-1, l.n)
+	if !l.h.Drop(trace.OpRead, l.n-1) {
+		l.h.Emit(trace.OpRead, l.n-1, l.n)
+	}
 	return l.back.v, true
 }
 
@@ -124,24 +130,32 @@ func (l *LinkedList[T]) Contains(v T) bool {
 	i := 0
 	for nd := l.front; nd != nil; nd = nd.next {
 		if nd.v == v {
-			l.s.Emit(l.id, trace.OpSearch, i, l.n)
+			if !l.h.Drop(trace.OpSearch, i) {
+				l.h.Emit(trace.OpSearch, i, l.n)
+			}
 			return true
 		}
 		i++
 	}
-	l.s.Emit(l.id, trace.OpSearch, trace.NoIndex, l.n)
+	if !l.h.Drop(trace.OpSearch, trace.NoIndex) {
+		l.h.Emit(trace.OpSearch, trace.NoIndex, l.n)
+	}
 	return false
 }
 
 // Clear removes all elements (one Clear event).
 func (l *LinkedList[T]) Clear() {
 	l.front, l.back, l.n = nil, nil, 0
-	l.s.Emit(l.id, trace.OpClear, trace.NoIndex, 0)
+	if !l.h.Drop(trace.OpClear, trace.NoIndex) {
+		l.h.Emit(trace.OpClear, trace.NoIndex, 0)
+	}
 }
 
 // ForEach applies f front-to-back (one ForAll event).
 func (l *LinkedList[T]) ForEach(f func(v T)) {
-	l.s.Emit(l.id, trace.OpForAll, trace.NoIndex, l.n)
+	if !l.h.Drop(trace.OpForAll, trace.NoIndex) {
+		l.h.Emit(trace.OpForAll, trace.NoIndex, l.n)
+	}
 	for nd := l.front; nd != nil; nd = nd.next {
 		f(nd.v)
 	}

@@ -16,8 +16,7 @@ import (
 // expects external synchronization. Concurrent profiling of distinct lists
 // is safe because sessions are concurrency-safe.
 type List[T comparable] struct {
-	s       *trace.Session
-	id      trace.InstanceID
+	h       trace.Handle
 	items   []T
 	initCap int
 }
@@ -44,21 +43,19 @@ func NewListLabeled[T comparable](s *trace.Session, label string) *List[T] {
 }
 
 func newList[T comparable](s *trace.Session, capacity int, label string) *List[T] {
-	var zero T
 	l := &List[T]{
-		s:       s,
 		items:   make([]T, 0, capacity),
 		initCap: capacity,
 	}
-	l.id = s.Register(trace.KindList, fmt.Sprintf("List[%T]", zero), label, 2)
+	s.InitHandle(&l.h, s.Register(trace.KindList, typeName1[T]("List"), label, 2))
 	return l
 }
 
 // ID returns the registry id of this instance.
-func (l *List[T]) ID() trace.InstanceID { return l.id }
+func (l *List[T]) ID() trace.InstanceID { return l.h.ID() }
 
 // SetLabel attaches a semantic label to the instance.
-func (l *List[T]) SetLabel(label string) { l.s.SetLabel(l.id, label) }
+func (l *List[T]) SetLabel(label string) { l.h.Session().SetLabel(l.h.ID(), label) }
 
 // size reports the figure the paper charts as the grey background bar. The
 // two figures pin it down: Figure 2 shows a list constructed with capacity
@@ -82,7 +79,10 @@ func (l *List[T]) Cap() int { return cap(l.items) }
 // Add appends v, emitting an Insert event at the back.
 func (l *List[T]) Add(v T) {
 	l.items = append(l.items, v)
-	l.s.Emit(l.id, trace.OpInsert, len(l.items)-1, l.size())
+	if l.h.Drop(trace.OpInsert, len(l.items)-1) {
+		return
+	}
+	l.h.Emit(trace.OpInsert, len(l.items)-1, l.size())
 }
 
 // AddRange appends all values, one Insert event each, modeling the
@@ -103,22 +103,42 @@ func (l *List[T]) Insert(i int, v T) {
 	l.items = append(l.items, zero)
 	copy(l.items[i+1:], l.items[i:])
 	l.items[i] = v
-	l.s.Emit(l.id, trace.OpInsert, i, l.size())
+	if !l.h.Drop(trace.OpInsert, i) {
+		l.h.Emit(trace.OpInsert, i, l.size())
+	}
 }
 
 // Get returns the element at i, emitting a Read event. It panics on
-// out-of-range indexes, like the C# indexer throws.
+// out-of-range indexes, like the C# indexer throws. The sampled-out body is
+// kept to the inlined credit test plus the bounds-checked load; everything
+// the admitted path needs — the formatted index check, the size figure, the
+// Emit — lives in getSlow, off the floor.
 func (l *List[T]) Get(i int) T {
+	if l.h.Drop(trace.OpRead, i) {
+		return l.items[i]
+	}
+	return l.getSlow(i)
+}
+
+func (l *List[T]) getSlow(i int) T {
 	l.checkIndex(i)
-	l.s.Emit(l.id, trace.OpRead, i, l.size())
+	l.h.Emit(trace.OpRead, i, l.size())
 	return l.items[i]
 }
 
 // Set replaces the element at i, emitting a Write event.
 func (l *List[T]) Set(i int, v T) {
+	if l.h.Drop(trace.OpWrite, i) {
+		l.items[i] = v
+		return
+	}
+	l.setSlow(i, v)
+}
+
+func (l *List[T]) setSlow(i int, v T) {
 	l.checkIndex(i)
 	l.items[i] = v
-	l.s.Emit(l.id, trace.OpWrite, i, l.size())
+	l.h.Emit(trace.OpWrite, i, l.size())
 }
 
 // RemoveAt deletes the element at i, emitting a Delete event.
@@ -126,7 +146,9 @@ func (l *List[T]) RemoveAt(i int) {
 	l.checkIndex(i)
 	copy(l.items[i:], l.items[i+1:])
 	l.items = l.items[:len(l.items)-1]
-	l.s.Emit(l.id, trace.OpDelete, i, l.size())
+	if !l.h.Drop(trace.OpDelete, i) {
+		l.h.Emit(trace.OpDelete, i, l.size())
+	}
 }
 
 // Remove deletes the first occurrence of v. The scan is one compound Search
@@ -134,13 +156,17 @@ func (l *List[T]) RemoveAt(i int) {
 // whether an element was removed.
 func (l *List[T]) Remove(v T) bool {
 	i := l.indexOf(v)
-	l.s.Emit(l.id, trace.OpSearch, i, l.size())
+	if !l.h.Drop(trace.OpSearch, i) {
+		l.h.Emit(trace.OpSearch, i, l.size())
+	}
 	if i < 0 {
 		return false
 	}
 	copy(l.items[i:], l.items[i+1:])
 	l.items = l.items[:len(l.items)-1]
-	l.s.Emit(l.id, trace.OpDelete, i, l.size())
+	if !l.h.Drop(trace.OpDelete, i) {
+		l.h.Emit(trace.OpDelete, i, l.size())
+	}
 	return true
 }
 
@@ -148,14 +174,18 @@ func (l *List[T]) Remove(v T) bool {
 // The scan is one compound Search event.
 func (l *List[T]) IndexOf(v T) int {
 	i := l.indexOf(v)
-	l.s.Emit(l.id, trace.OpSearch, i, l.size())
+	if !l.h.Drop(trace.OpSearch, i) {
+		l.h.Emit(trace.OpSearch, i, l.size())
+	}
 	return i
 }
 
 // Contains reports whether v occurs in the list (one Search event).
 func (l *List[T]) Contains(v T) bool {
 	i := l.indexOf(v)
-	l.s.Emit(l.id, trace.OpSearch, i, l.size())
+	if !l.h.Drop(trace.OpSearch, i) {
+		l.h.Emit(trace.OpSearch, i, l.size())
+	}
 	return i >= 0
 }
 
@@ -172,13 +202,17 @@ func (l *List[T]) indexOf(v T) int {
 // as in .NET.
 func (l *List[T]) Clear() {
 	l.items = l.items[:0]
-	l.s.Emit(l.id, trace.OpClear, trace.NoIndex, l.size())
+	if !l.h.Drop(trace.OpClear, trace.NoIndex) {
+		l.h.Emit(trace.OpClear, trace.NoIndex, l.size())
+	}
 }
 
 // Sort orders the elements by less (one Sort event).
 func (l *List[T]) Sort(less func(a, b T) bool) {
 	sort.SliceStable(l.items, func(i, j int) bool { return less(l.items[i], l.items[j]) })
-	l.s.Emit(l.id, trace.OpSort, trace.NoIndex, l.size())
+	if !l.h.Drop(trace.OpSort, trace.NoIndex) {
+		l.h.Emit(trace.OpSort, trace.NoIndex, l.size())
+	}
 }
 
 // Reverse reverses the element order in place (one Reverse event).
@@ -186,14 +220,18 @@ func (l *List[T]) Reverse() {
 	for i, j := 0, len(l.items)-1; i < j; i, j = i+1, j-1 {
 		l.items[i], l.items[j] = l.items[j], l.items[i]
 	}
-	l.s.Emit(l.id, trace.OpReverse, trace.NoIndex, l.size())
+	if !l.h.Drop(trace.OpReverse, trace.NoIndex) {
+		l.h.Emit(trace.OpReverse, trace.NoIndex, l.size())
+	}
 }
 
 // CopyTo copies the elements into dst and returns the number copied
 // (one Copy event).
 func (l *List[T]) CopyTo(dst []T) int {
 	n := copy(dst, l.items)
-	l.s.Emit(l.id, trace.OpCopy, trace.NoIndex, l.size())
+	if !l.h.Drop(trace.OpCopy, trace.NoIndex) {
+		l.h.Emit(trace.OpCopy, trace.NoIndex, l.size())
+	}
 	return n
 }
 
@@ -201,7 +239,9 @@ func (l *List[T]) CopyTo(dst []T) int {
 func (l *List[T]) ToSlice() []T {
 	out := make([]T, len(l.items))
 	copy(out, l.items)
-	l.s.Emit(l.id, trace.OpCopy, trace.NoIndex, l.size())
+	if !l.h.Drop(trace.OpCopy, trace.NoIndex) {
+		l.h.Emit(trace.OpCopy, trace.NoIndex, l.size())
+	}
 	return out
 }
 
@@ -209,7 +249,9 @@ func (l *List[T]) ToSlice() []T {
 // ForAll event; iterating by index with Get instead yields the per-element
 // Read-Forward profile the paper's figures show.
 func (l *List[T]) ForEach(f func(v T)) {
-	l.s.Emit(l.id, trace.OpForAll, trace.NoIndex, l.size())
+	if !l.h.Drop(trace.OpForAll, trace.NoIndex) {
+		l.h.Emit(trace.OpForAll, trace.NoIndex, l.size())
+	}
 	for _, v := range l.items {
 		f(v)
 	}
@@ -222,7 +264,9 @@ func (l *List[T]) ForEach(f func(v T)) {
 // foreach).
 func (l *List[T]) Enumerate(f func(i int, v T) bool) {
 	for i, v := range l.items {
-		l.s.Emit(l.id, trace.OpRead, i, l.size())
+		if !l.h.Drop(trace.OpRead, i) {
+			l.h.Emit(trace.OpRead, i, l.size())
+		}
 		if !f(i, v) {
 			return
 		}

@@ -12,22 +12,19 @@ import (
 // (16.53 % of instances). Dictionaries have no linear positions, so events
 // carry NoIndex; profiles still expose insert/read/delete phases and sizes.
 type Dictionary[K comparable, V any] struct {
-	s  *trace.Session
-	id trace.InstanceID
-	m  map[K]V
+	h trace.Handle
+	m map[K]V
 }
 
 // NewDictionary registers an empty instrumented dictionary.
 func NewDictionary[K comparable, V any](s *trace.Session) *Dictionary[K, V] {
-	var zk K
-	var zv V
-	d := &Dictionary[K, V]{s: s, m: make(map[K]V)}
-	d.id = s.Register(trace.KindDictionary, fmt.Sprintf("Dictionary[%T,%T]", zk, zv), "", 1)
+	d := &Dictionary[K, V]{m: make(map[K]V)}
+	s.InitHandle(&d.h, s.Register(trace.KindDictionary, typeName2[K, V]("Dictionary"), "", 1))
 	return d
 }
 
 // ID returns the registry id of this instance.
-func (d *Dictionary[K, V]) ID() trace.InstanceID { return d.id }
+func (d *Dictionary[K, V]) ID() trace.InstanceID { return d.h.ID() }
 
 // Len returns the number of entries (no event).
 func (d *Dictionary[K, V]) Len() int { return len(d.m) }
@@ -40,20 +37,26 @@ func (d *Dictionary[K, V]) Put(k K, v V) {
 		op = trace.OpWrite
 	}
 	d.m[k] = v
-	d.s.Emit(d.id, op, trace.NoIndex, len(d.m))
+	if !d.h.Drop(op, trace.NoIndex) {
+		d.h.Emit(op, trace.NoIndex, len(d.m))
+	}
 }
 
 // Get returns the value under k (one Read event).
 func (d *Dictionary[K, V]) Get(k K) (V, bool) {
 	v, ok := d.m[k]
-	d.s.Emit(d.id, trace.OpRead, trace.NoIndex, len(d.m))
+	if !d.h.Drop(trace.OpRead, trace.NoIndex) {
+		d.h.Emit(trace.OpRead, trace.NoIndex, len(d.m))
+	}
 	return v, ok
 }
 
 // ContainsKey reports whether k is present (one Search event).
 func (d *Dictionary[K, V]) ContainsKey(k K) bool {
 	_, ok := d.m[k]
-	d.s.Emit(d.id, trace.OpSearch, trace.NoIndex, len(d.m))
+	if !d.h.Drop(trace.OpSearch, trace.NoIndex) {
+		d.h.Emit(trace.OpSearch, trace.NoIndex, len(d.m))
+	}
 	return ok
 }
 
@@ -61,19 +64,25 @@ func (d *Dictionary[K, V]) ContainsKey(k K) bool {
 func (d *Dictionary[K, V]) Delete(k K) bool {
 	_, ok := d.m[k]
 	delete(d.m, k)
-	d.s.Emit(d.id, trace.OpDelete, trace.NoIndex, len(d.m))
+	if !d.h.Drop(trace.OpDelete, trace.NoIndex) {
+		d.h.Emit(trace.OpDelete, trace.NoIndex, len(d.m))
+	}
 	return ok
 }
 
 // Clear removes all entries (one Clear event).
 func (d *Dictionary[K, V]) Clear() {
 	clear(d.m)
-	d.s.Emit(d.id, trace.OpClear, trace.NoIndex, 0)
+	if !d.h.Drop(trace.OpClear, trace.NoIndex) {
+		d.h.Emit(trace.OpClear, trace.NoIndex, 0)
+	}
 }
 
 // ForEach applies f to every entry in unspecified order (one ForAll event).
 func (d *Dictionary[K, V]) ForEach(f func(k K, v V)) {
-	d.s.Emit(d.id, trace.OpForAll, trace.NoIndex, len(d.m))
+	if !d.h.Drop(trace.OpForAll, trace.NoIndex) {
+		d.h.Emit(trace.OpForAll, trace.NoIndex, len(d.m))
+	}
 	for k, v := range d.m {
 		f(k, v)
 	}
@@ -81,21 +90,19 @@ func (d *Dictionary[K, V]) ForEach(f func(k K, v V)) {
 
 // HashSet is an instrumented set of unique values.
 type HashSet[T comparable] struct {
-	s  *trace.Session
-	id trace.InstanceID
-	m  map[T]struct{}
+	h trace.Handle
+	m map[T]struct{}
 }
 
 // NewHashSet registers an empty instrumented hash set.
 func NewHashSet[T comparable](s *trace.Session) *HashSet[T] {
-	var zero T
-	h := &HashSet[T]{s: s, m: make(map[T]struct{})}
-	h.id = s.Register(trace.KindHashSet, fmt.Sprintf("HashSet[%T]", zero), "", 1)
+	h := &HashSet[T]{m: make(map[T]struct{})}
+	s.InitHandle(&h.h, s.Register(trace.KindHashSet, typeName1[T]("HashSet"), "", 1))
 	return h
 }
 
 // ID returns the registry id of this instance.
-func (h *HashSet[T]) ID() trace.InstanceID { return h.id }
+func (h *HashSet[T]) ID() trace.InstanceID { return h.h.ID() }
 
 // Len returns the number of members (no event).
 func (h *HashSet[T]) Len() int { return len(h.m) }
@@ -104,14 +111,18 @@ func (h *HashSet[T]) Len() int { return len(h.m) }
 func (h *HashSet[T]) Add(v T) bool {
 	_, existed := h.m[v]
 	h.m[v] = struct{}{}
-	h.s.Emit(h.id, trace.OpInsert, trace.NoIndex, len(h.m))
+	if !h.h.Drop(trace.OpInsert, trace.NoIndex) {
+		h.h.Emit(trace.OpInsert, trace.NoIndex, len(h.m))
+	}
 	return !existed
 }
 
 // Contains reports membership (one Search event).
 func (h *HashSet[T]) Contains(v T) bool {
 	_, ok := h.m[v]
-	h.s.Emit(h.id, trace.OpSearch, trace.NoIndex, len(h.m))
+	if !h.h.Drop(trace.OpSearch, trace.NoIndex) {
+		h.h.Emit(trace.OpSearch, trace.NoIndex, len(h.m))
+	}
 	return ok
 }
 
@@ -119,22 +130,25 @@ func (h *HashSet[T]) Contains(v T) bool {
 func (h *HashSet[T]) Remove(v T) bool {
 	_, ok := h.m[v]
 	delete(h.m, v)
-	h.s.Emit(h.id, trace.OpDelete, trace.NoIndex, len(h.m))
+	if !h.h.Drop(trace.OpDelete, trace.NoIndex) {
+		h.h.Emit(trace.OpDelete, trace.NoIndex, len(h.m))
+	}
 	return ok
 }
 
 // Clear removes all members (one Clear event).
 func (h *HashSet[T]) Clear() {
 	clear(h.m)
-	h.s.Emit(h.id, trace.OpClear, trace.NoIndex, 0)
+	if !h.h.Drop(trace.OpClear, trace.NoIndex) {
+		h.h.Emit(trace.OpClear, trace.NoIndex, 0)
+	}
 }
 
 // SortedList is an instrumented key-ordered container modeled on
 // SortedList<K,V>: a pair of parallel slices kept sorted by key, giving
 // positional semantics (events carry real indexes).
 type SortedList[K Ordered, V any] struct {
-	s    *trace.Session
-	id   trace.InstanceID
+	h    trace.Handle
 	keys []K
 	vals []V
 }
@@ -148,15 +162,13 @@ type Ordered interface {
 
 // NewSortedList registers an empty instrumented sorted list.
 func NewSortedList[K Ordered, V any](s *trace.Session) *SortedList[K, V] {
-	var zk K
-	var zv V
-	sl := &SortedList[K, V]{s: s}
-	sl.id = s.Register(trace.KindSortedList, fmt.Sprintf("SortedList[%T,%T]", zk, zv), "", 1)
+	sl := &SortedList[K, V]{}
+	s.InitHandle(&sl.h, s.Register(trace.KindSortedList, typeName2[K, V]("SortedList"), "", 1))
 	return sl
 }
 
 // ID returns the registry id of this instance.
-func (sl *SortedList[K, V]) ID() trace.InstanceID { return sl.id }
+func (sl *SortedList[K, V]) ID() trace.InstanceID { return sl.h.ID() }
 
 // Len returns the number of entries (no event).
 func (sl *SortedList[K, V]) Len() int { return len(sl.keys) }
@@ -166,7 +178,9 @@ func (sl *SortedList[K, V]) Put(k K, v V) {
 	i := sort.Search(len(sl.keys), func(i int) bool { return sl.keys[i] >= k })
 	if i < len(sl.keys) && sl.keys[i] == k {
 		sl.vals[i] = v
-		sl.s.Emit(sl.id, trace.OpWrite, i, len(sl.keys))
+		if !sl.h.Drop(trace.OpWrite, i) {
+			sl.h.Emit(trace.OpWrite, i, len(sl.keys))
+		}
 		return
 	}
 	sl.keys = append(sl.keys, k)
@@ -176,7 +190,9 @@ func (sl *SortedList[K, V]) Put(k K, v V) {
 	sl.vals = append(sl.vals, zv)
 	copy(sl.vals[i+1:], sl.vals[i:])
 	sl.vals[i] = v
-	sl.s.Emit(sl.id, trace.OpInsert, i, len(sl.keys))
+	if !sl.h.Drop(trace.OpInsert, i) {
+		sl.h.Emit(trace.OpInsert, i, len(sl.keys))
+	}
 }
 
 // Get returns the value under k (one Search event — lookup is a binary
@@ -189,7 +205,9 @@ func (sl *SortedList[K, V]) Get(k K) (V, bool) {
 	if found {
 		idx = i
 	}
-	sl.s.Emit(sl.id, trace.OpSearch, idx, len(sl.keys))
+	if !sl.h.Drop(trace.OpSearch, idx) {
+		sl.h.Emit(trace.OpSearch, idx, len(sl.keys))
+	}
 	if !found {
 		return zv, false
 	}
@@ -201,7 +219,9 @@ func (sl *SortedList[K, V]) At(i int) (K, V) {
 	if i < 0 || i >= len(sl.keys) {
 		panic(fmt.Sprintf("dstruct: SortedList index %d out of range [0,%d)", i, len(sl.keys)))
 	}
-	sl.s.Emit(sl.id, trace.OpRead, i, len(sl.keys))
+	if !sl.h.Drop(trace.OpRead, i) {
+		sl.h.Emit(trace.OpRead, i, len(sl.keys))
+	}
 	return sl.keys[i], sl.vals[i]
 }
 
@@ -209,11 +229,15 @@ func (sl *SortedList[K, V]) At(i int) (K, V) {
 func (sl *SortedList[K, V]) Delete(k K) bool {
 	i := sort.Search(len(sl.keys), func(i int) bool { return sl.keys[i] >= k })
 	if i >= len(sl.keys) || sl.keys[i] != k {
-		sl.s.Emit(sl.id, trace.OpDelete, trace.NoIndex, len(sl.keys))
+		if !sl.h.Drop(trace.OpDelete, trace.NoIndex) {
+			sl.h.Emit(trace.OpDelete, trace.NoIndex, len(sl.keys))
+		}
 		return false
 	}
 	sl.keys = append(sl.keys[:i], sl.keys[i+1:]...)
 	sl.vals = append(sl.vals[:i], sl.vals[i+1:]...)
-	sl.s.Emit(sl.id, trace.OpDelete, i, len(sl.keys))
+	if !sl.h.Drop(trace.OpDelete, i) {
+		sl.h.Emit(trace.OpDelete, i, len(sl.keys))
+	}
 	return true
 }

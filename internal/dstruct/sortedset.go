@@ -13,21 +13,19 @@ import (
 // like .NET's red-black tree it gives ordered iteration, and the positional
 // event semantics match the study's linear view of containers.
 type SortedSet[T Ordered] struct {
-	s     *trace.Session
-	id    trace.InstanceID
+	h     trace.Handle
 	items []T
 }
 
 // NewSortedSet registers an empty instrumented sorted set.
 func NewSortedSet[T Ordered](s *trace.Session) *SortedSet[T] {
-	var zero T
-	ss := &SortedSet[T]{s: s}
-	ss.id = s.Register(trace.KindSortedList, fmt.Sprintf("SortedSet[%T]", zero), "", 1)
+	ss := &SortedSet[T]{}
+	s.InitHandle(&ss.h, s.Register(trace.KindSortedList, typeName1[T]("SortedSet"), "", 1))
 	return ss
 }
 
 // ID returns the registry id of this instance.
-func (ss *SortedSet[T]) ID() trace.InstanceID { return ss.id }
+func (ss *SortedSet[T]) ID() trace.InstanceID { return ss.h.ID() }
 
 // Len returns the number of members (no event).
 func (ss *SortedSet[T]) Len() int { return len(ss.items) }
@@ -42,14 +40,18 @@ func (ss *SortedSet[T]) locate(v T) (int, bool) {
 func (ss *SortedSet[T]) Add(v T) bool {
 	i, found := ss.locate(v)
 	if found {
-		ss.s.Emit(ss.id, trace.OpInsert, i, len(ss.items))
+		if !ss.h.Drop(trace.OpInsert, i) {
+			ss.h.Emit(trace.OpInsert, i, len(ss.items))
+		}
 		return false
 	}
 	var zero T
 	ss.items = append(ss.items, zero)
 	copy(ss.items[i+1:], ss.items[i:])
 	ss.items[i] = v
-	ss.s.Emit(ss.id, trace.OpInsert, i, len(ss.items))
+	if !ss.h.Drop(trace.OpInsert, i) {
+		ss.h.Emit(trace.OpInsert, i, len(ss.items))
+	}
 	return true
 }
 
@@ -60,7 +62,9 @@ func (ss *SortedSet[T]) Contains(v T) bool {
 	if found {
 		idx = i
 	}
-	ss.s.Emit(ss.id, trace.OpSearch, idx, len(ss.items))
+	if !ss.h.Drop(trace.OpSearch, idx) {
+		ss.h.Emit(trace.OpSearch, idx, len(ss.items))
+	}
 	return found
 }
 
@@ -68,11 +72,15 @@ func (ss *SortedSet[T]) Contains(v T) bool {
 func (ss *SortedSet[T]) Remove(v T) bool {
 	i, found := ss.locate(v)
 	if !found {
-		ss.s.Emit(ss.id, trace.OpDelete, trace.NoIndex, len(ss.items))
+		if !ss.h.Drop(trace.OpDelete, trace.NoIndex) {
+			ss.h.Emit(trace.OpDelete, trace.NoIndex, len(ss.items))
+		}
 		return false
 	}
 	ss.items = append(ss.items[:i], ss.items[i+1:]...)
-	ss.s.Emit(ss.id, trace.OpDelete, i, len(ss.items))
+	if !ss.h.Drop(trace.OpDelete, i) {
+		ss.h.Emit(trace.OpDelete, i, len(ss.items))
+	}
 	return true
 }
 
@@ -81,7 +89,9 @@ func (ss *SortedSet[T]) At(i int) T {
 	if i < 0 || i >= len(ss.items) {
 		panic(fmt.Sprintf("dstruct: SortedSet index %d out of range [0,%d)", i, len(ss.items)))
 	}
-	ss.s.Emit(ss.id, trace.OpRead, i, len(ss.items))
+	if !ss.h.Drop(trace.OpRead, i) {
+		ss.h.Emit(trace.OpRead, i, len(ss.items))
+	}
 	return ss.items[i]
 }
 
@@ -91,7 +101,9 @@ func (ss *SortedSet[T]) Min() (T, bool) {
 	if len(ss.items) == 0 {
 		return zero, false
 	}
-	ss.s.Emit(ss.id, trace.OpRead, 0, len(ss.items))
+	if !ss.h.Drop(trace.OpRead, 0) {
+		ss.h.Emit(trace.OpRead, 0, len(ss.items))
+	}
 	return ss.items[0], true
 }
 
@@ -101,13 +113,17 @@ func (ss *SortedSet[T]) Max() (T, bool) {
 	if len(ss.items) == 0 {
 		return zero, false
 	}
-	ss.s.Emit(ss.id, trace.OpRead, len(ss.items)-1, len(ss.items))
+	if !ss.h.Drop(trace.OpRead, len(ss.items)-1) {
+		ss.h.Emit(trace.OpRead, len(ss.items)-1, len(ss.items))
+	}
 	return ss.items[len(ss.items)-1], true
 }
 
 // Range applies f to every member in [lo, hi] in order (one ForAll event).
 func (ss *SortedSet[T]) Range(lo, hi T, f func(v T)) {
-	ss.s.Emit(ss.id, trace.OpForAll, trace.NoIndex, len(ss.items))
+	if !ss.h.Drop(trace.OpForAll, trace.NoIndex) {
+		ss.h.Emit(trace.OpForAll, trace.NoIndex, len(ss.items))
+	}
 	i := sort.Search(len(ss.items), func(i int) bool { return ss.items[i] >= lo })
 	for ; i < len(ss.items) && ss.items[i] <= hi; i++ {
 		f(ss.items[i])
@@ -117,7 +133,9 @@ func (ss *SortedSet[T]) Range(lo, hi T, f func(v T)) {
 // Clear removes all members (one Clear event).
 func (ss *SortedSet[T]) Clear() {
 	ss.items = ss.items[:0]
-	ss.s.Emit(ss.id, trace.OpClear, trace.NoIndex, 0)
+	if !ss.h.Drop(trace.OpClear, trace.NoIndex) {
+		ss.h.Emit(trace.OpClear, trace.NoIndex, 0)
+	}
 }
 
 // ArrayList is the instrumented untyped list (System.Collections.ArrayList,
@@ -125,20 +143,19 @@ func (ss *SortedSet[T]) Clear() {
 // interface comparison, which matches how ArrayList.IndexOf compares boxed
 // values.
 type ArrayList struct {
-	s     *trace.Session
-	id    trace.InstanceID
+	h     trace.Handle
 	items []any
 }
 
 // NewArrayList registers an empty instrumented untyped list.
 func NewArrayList(s *trace.Session) *ArrayList {
-	al := &ArrayList{s: s}
-	al.id = s.Register(trace.KindList, "ArrayList", "", 1)
+	al := &ArrayList{}
+	s.InitHandle(&al.h, s.Register(trace.KindList, "ArrayList", "", 1))
 	return al
 }
 
 // ID returns the registry id of this instance.
-func (al *ArrayList) ID() trace.InstanceID { return al.id }
+func (al *ArrayList) ID() trace.InstanceID { return al.h.ID() }
 
 // Len returns the number of elements (no event).
 func (al *ArrayList) Len() int { return len(al.items) }
@@ -146,13 +163,17 @@ func (al *ArrayList) Len() int { return len(al.items) }
 // Add appends v (Insert at the back).
 func (al *ArrayList) Add(v any) {
 	al.items = append(al.items, v)
-	al.s.Emit(al.id, trace.OpInsert, len(al.items)-1, len(al.items))
+	if !al.h.Drop(trace.OpInsert, len(al.items)-1) {
+		al.h.Emit(trace.OpInsert, len(al.items)-1, len(al.items))
+	}
 }
 
 // Get returns the element at i (one Read event).
 func (al *ArrayList) Get(i int) any {
 	al.check(i)
-	al.s.Emit(al.id, trace.OpRead, i, len(al.items))
+	if !al.h.Drop(trace.OpRead, i) {
+		al.h.Emit(trace.OpRead, i, len(al.items))
+	}
 	return al.items[i]
 }
 
@@ -160,7 +181,9 @@ func (al *ArrayList) Get(i int) any {
 func (al *ArrayList) Set(i int, v any) {
 	al.check(i)
 	al.items[i] = v
-	al.s.Emit(al.id, trace.OpWrite, i, len(al.items))
+	if !al.h.Drop(trace.OpWrite, i) {
+		al.h.Emit(trace.OpWrite, i, len(al.items))
+	}
 }
 
 // RemoveAt deletes the element at i (one Delete event).
@@ -169,7 +192,9 @@ func (al *ArrayList) RemoveAt(i int) {
 	copy(al.items[i:], al.items[i+1:])
 	al.items[len(al.items)-1] = nil
 	al.items = al.items[:len(al.items)-1]
-	al.s.Emit(al.id, trace.OpDelete, i, len(al.items))
+	if !al.h.Drop(trace.OpDelete, i) {
+		al.h.Emit(trace.OpDelete, i, len(al.items))
+	}
 }
 
 // IndexOf scans for v using interface equality (one Search event); -1 when
@@ -185,14 +210,18 @@ func (al *ArrayList) IndexOf(v any) int {
 			}
 		}
 	}()
-	al.s.Emit(al.id, trace.OpSearch, found, len(al.items))
+	if !al.h.Drop(trace.OpSearch, found) {
+		al.h.Emit(trace.OpSearch, found, len(al.items))
+	}
 	return found
 }
 
 // Clear removes all elements (one Clear event).
 func (al *ArrayList) Clear() {
 	al.items = al.items[:0]
-	al.s.Emit(al.id, trace.OpClear, trace.NoIndex, 0)
+	if !al.h.Drop(trace.OpClear, trace.NoIndex) {
+		al.h.Emit(trace.OpClear, trace.NoIndex, 0)
+	}
 }
 
 func (al *ArrayList) check(i int) {

@@ -1,30 +1,24 @@
 package dstruct
 
-import (
-	"fmt"
-
-	"dsspy/internal/trace"
-)
+import "dsspy/internal/trace"
 
 // Stack is an instrumented LIFO container. Its profile — inserts and deletes
 // always at a common end — is exactly what the Stack-Implementation use case
 // looks for when an engineer hand-rolls the same behaviour on a List.
 type Stack[T comparable] struct {
-	s     *trace.Session
-	id    trace.InstanceID
+	h     trace.Handle
 	items []T
 }
 
 // NewStack registers an empty instrumented stack.
 func NewStack[T comparable](s *trace.Session) *Stack[T] {
-	var zero T
-	st := &Stack[T]{s: s}
-	st.id = s.Register(trace.KindStack, fmt.Sprintf("Stack[%T]", zero), "", 1)
+	st := &Stack[T]{}
+	s.InitHandle(&st.h, s.Register(trace.KindStack, typeName1[T]("Stack"), "", 1))
 	return st
 }
 
 // ID returns the registry id of this instance.
-func (st *Stack[T]) ID() trace.InstanceID { return st.id }
+func (st *Stack[T]) ID() trace.InstanceID { return st.h.ID() }
 
 // Len returns the number of elements (no event).
 func (st *Stack[T]) Len() int { return len(st.items) }
@@ -32,7 +26,9 @@ func (st *Stack[T]) Len() int { return len(st.items) }
 // Push places v on top (Insert at the back end).
 func (st *Stack[T]) Push(v T) {
 	st.items = append(st.items, v)
-	st.s.Emit(st.id, trace.OpInsert, len(st.items)-1, len(st.items))
+	if !st.h.Drop(trace.OpInsert, len(st.items)-1) {
+		st.h.Emit(trace.OpInsert, len(st.items)-1, len(st.items))
+	}
 }
 
 // Pop removes and returns the top element (Delete at the back end).
@@ -45,7 +41,9 @@ func (st *Stack[T]) Pop() (T, bool) {
 	i := len(st.items) - 1
 	v := st.items[i]
 	st.items = st.items[:i]
-	st.s.Emit(st.id, trace.OpDelete, i, len(st.items))
+	if !st.h.Drop(trace.OpDelete, i) {
+		st.h.Emit(trace.OpDelete, i, len(st.items))
+	}
 	return v, true
 }
 
@@ -56,36 +54,38 @@ func (st *Stack[T]) Peek() (T, bool) {
 		return zero, false
 	}
 	i := len(st.items) - 1
-	st.s.Emit(st.id, trace.OpRead, i, len(st.items))
+	if !st.h.Drop(trace.OpRead, i) {
+		st.h.Emit(trace.OpRead, i, len(st.items))
+	}
 	return st.items[i], true
 }
 
 // Clear removes all elements (one Clear event).
 func (st *Stack[T]) Clear() {
 	st.items = st.items[:0]
-	st.s.Emit(st.id, trace.OpClear, trace.NoIndex, 0)
+	if !st.h.Drop(trace.OpClear, trace.NoIndex) {
+		st.h.Emit(trace.OpClear, trace.NoIndex, 0)
+	}
 }
 
 // Queue is an instrumented FIFO container: inserts at the back, deletes at
 // the front — the profile Implement-Queue detects when it is emulated on a
 // List. The backing store is a slice with an amortized-compacting head.
 type Queue[T comparable] struct {
-	s     *trace.Session
-	id    trace.InstanceID
+	h     trace.Handle
 	items []T
 	head  int
 }
 
 // NewQueue registers an empty instrumented queue.
 func NewQueue[T comparable](s *trace.Session) *Queue[T] {
-	var zero T
-	q := &Queue[T]{s: s}
-	q.id = s.Register(trace.KindQueue, fmt.Sprintf("Queue[%T]", zero), "", 1)
+	q := &Queue[T]{}
+	s.InitHandle(&q.h, s.Register(trace.KindQueue, typeName1[T]("Queue"), "", 1))
 	return q
 }
 
 // ID returns the registry id of this instance.
-func (q *Queue[T]) ID() trace.InstanceID { return q.id }
+func (q *Queue[T]) ID() trace.InstanceID { return q.h.ID() }
 
 // Len returns the number of queued elements (no event).
 func (q *Queue[T]) Len() int { return len(q.items) - q.head }
@@ -93,7 +93,9 @@ func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 // Enqueue appends v at the back (Insert at the back end).
 func (q *Queue[T]) Enqueue(v T) {
 	q.items = append(q.items, v)
-	q.s.Emit(q.id, trace.OpInsert, q.Len()-1, q.Len())
+	if !q.h.Drop(trace.OpInsert, q.Len()-1) {
+		q.h.Emit(trace.OpInsert, q.Len()-1, q.Len())
+	}
 }
 
 // Dequeue removes and returns the front element (Delete at the front end).
@@ -110,7 +112,9 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		q.items = append(q.items[:0], q.items[q.head:]...)
 		q.head = 0
 	}
-	q.s.Emit(q.id, trace.OpDelete, 0, q.Len())
+	if !q.h.Drop(trace.OpDelete, 0) {
+		q.h.Emit(trace.OpDelete, 0, q.Len())
+	}
 	return v, true
 }
 
@@ -120,7 +124,9 @@ func (q *Queue[T]) PeekFront() (T, bool) {
 	if q.Len() == 0 {
 		return zero, false
 	}
-	q.s.Emit(q.id, trace.OpRead, 0, q.Len())
+	if !q.h.Drop(trace.OpRead, 0) {
+		q.h.Emit(trace.OpRead, 0, q.Len())
+	}
 	return q.items[q.head], true
 }
 
@@ -128,5 +134,7 @@ func (q *Queue[T]) PeekFront() (T, bool) {
 func (q *Queue[T]) Clear() {
 	q.items = q.items[:0]
 	q.head = 0
-	q.s.Emit(q.id, trace.OpClear, trace.NoIndex, 0)
+	if !q.h.Drop(trace.OpClear, trace.NoIndex) {
+		q.h.Emit(trace.OpClear, trace.NoIndex, 0)
+	}
 }

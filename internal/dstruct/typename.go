@@ -1,0 +1,43 @@
+package dstruct
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Registered type names — "List[int]", "Dictionary[string,int]" — used to be
+// rebuilt with fmt.Sprintf on every construction, a measurable allocation in
+// short-lived-instance workloads. The names are pure functions of the generic
+// instantiation, so they are interned here: one build per (prefix, type
+// arguments) combination for the life of the process, and constructors pay a
+// lock-free map hit.
+var nameCache sync.Map // nameKey -> string
+
+type nameKey struct {
+	prefix string
+	a, b   reflect.Type
+}
+
+func cachedName(prefix string, a, b reflect.Type) string {
+	k := nameKey{prefix: prefix, a: a, b: b}
+	if v, ok := nameCache.Load(k); ok {
+		return v.(string)
+	}
+	s := prefix + "[" + a.String()
+	if b != nil {
+		s += "," + b.String()
+	}
+	s += "]"
+	nameCache.Store(k, s)
+	return s
+}
+
+// typeName1 renders prefix[T] the way %T used to, interned per instantiation.
+func typeName1[T any](prefix string) string {
+	return cachedName(prefix, reflect.TypeFor[T](), nil)
+}
+
+// typeName2 renders prefix[K,V], interned per instantiation.
+func typeName2[K any, V any](prefix string) string {
+	return cachedName(prefix, reflect.TypeFor[K](), reflect.TypeFor[V]())
+}

@@ -314,15 +314,16 @@ func (cs *ContentionStats) Write(w io.Writer) error {
 
 // SamplingStats summarizes the adaptive sampling controller's run: how many
 // instances backed off, the conservation totals (Observed must equal
-// Folded + SampledOut), re-promotion traffic, and the per-instance realized
-// rates `dsspy -stats` prints.
+// Folded + Aggregated + SampledOut), re-promotion traffic, and the
+// per-instance realized rates `dsspy -stats` prints.
 type SamplingStats struct {
 	Mode         string // "adaptive" or "static"
 	Instances    int    // instances the controller tracked
 	BackedOff    int    // instances at a backed-off rate when read
 	Observed     uint64 // events seen by the gate
 	Folded       uint64 // events admitted into analysis
-	SampledOut   uint64 // events dropped before materialization
+	Aggregated   uint64 // sampled-out events settled as compact aggregates
+	SampledOut   uint64 // events dropped blind before materialization
 	Windows      uint64 // classification windows observed
 	Flips        uint64 // fingerprint flips
 	RePromotions uint64 // returns to full rate
@@ -340,6 +341,7 @@ type InstanceSampling struct {
 	Realized     float64 // observed:folded ratio actually achieved
 	Observed     uint64
 	Folded       uint64
+	Aggregated   uint64
 	SampledOut   uint64
 	RePromotions uint64
 	Bound        float64
@@ -348,22 +350,22 @@ type InstanceSampling struct {
 
 // Conserved reports the controller-wide conservation identity.
 func (ss *SamplingStats) Conserved() bool {
-	return ss.Observed == ss.Folded+ss.SampledOut
+	return ss.Observed == ss.Folded+ss.Aggregated+ss.SampledOut
 }
 
 // Write renders the sampling counters in the layout `dsspy -stats` prints.
 func (ss *SamplingStats) Write(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "Sampling: mode %s, %d instance(s) (%d backed off), observed %d = folded %d + sampled out %d, %d window(s), %d flip(s), %d re-promotion(s) (flip %d, new-thread %d, contention %d)\n",
+	if _, err := fmt.Fprintf(w, "Sampling: mode %s, %d instance(s) (%d backed off), observed %d = folded %d + aggregated %d + sampled out %d, %d window(s), %d flip(s), %d re-promotion(s) (flip %d, new-thread %d, contention %d)\n",
 		ss.Mode, ss.Instances, ss.BackedOff,
-		ss.Observed, ss.Folded, ss.SampledOut,
+		ss.Observed, ss.Folded, ss.Aggregated, ss.SampledOut,
 		ss.Windows, ss.Flips, ss.RePromotions,
 		ss.ByReason.Flip, ss.ByReason.NewThread, ss.ByReason.Contention); err != nil {
 		return err
 	}
 	for _, is := range ss.PerInstance {
-		if _, err := fmt.Fprintf(w, "  %-24s %-8s rate 1:%-4d realized %.1f:1  observed %d = %d + %d  re-promotions %d  bound %.4f  sketch err %.3f\n",
+		if _, err := fmt.Fprintf(w, "  %-24s %-8s rate 1:%-4d realized %.1f:1  observed %d = %d + %d + %d  re-promotions %d  bound %.4f  sketch err %.3f\n",
 			is.Name, is.State, is.Rate, is.Realized,
-			is.Observed, is.Folded, is.SampledOut,
+			is.Observed, is.Folded, is.Aggregated, is.SampledOut,
 			is.RePromotions, is.Bound, is.SketchErr); err != nil {
 			return err
 		}

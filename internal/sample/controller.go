@@ -88,9 +88,10 @@ type instState struct {
 	threads  uint64 // 64-bit thread-presence signature
 	nthreads int
 
-	observed uint64 // exact: settled admits + Observe settlements
-	kept     uint64
-	dropped  uint64
+	observed   uint64 // exact: settled admits + Observe settlements
+	kept       uint64
+	dropped    uint64 // blind drops (no aggregate coverage)
+	aggregated uint64 // sampled-out events settled as aggregates
 
 	shape   uint64 // registration-shape hash (0 = never bound)
 	fp      uint64 // last classification fingerprint
@@ -283,6 +284,23 @@ func (c *Controller) Observe(id trace.InstanceID, kept, dropped uint64) {
 	st.mu.Unlock()
 }
 
+// ObserveAggregate settles a span of sampled-out events that arrived as a
+// compact aggregate (trace.AggregateObserver). The events count into
+// observed like any settlement, but into the aggregated bucket rather than
+// the blind-drop one — the conservation identity becomes
+// observed == kept + dropped + aggregated, and the bound weighs them at
+// AggWeight instead of 1.
+func (c *Controller) ObserveAggregate(rec trace.AggRecord) {
+	if rec.N == 0 {
+		return
+	}
+	st := c.inst(rec.Instance)
+	st.mu.Lock()
+	st.observed += rec.N
+	st.aggregated += rec.N
+	st.mu.Unlock()
+}
+
 // noteThread folds a thread id into the instance's presence signature.
 // Returns a non-empty re-promotion reason when a previously unseen thread
 // shows up on a backed-off instance. Caller holds st.mu.
@@ -418,7 +436,8 @@ type InstanceStatus struct {
 	Rate         int
 	Observed     uint64
 	Kept         uint64
-	Dropped      uint64
+	Dropped      uint64 // blind drops
+	Aggregated   uint64 // sampled-out events covered by aggregates
 	Windows      uint64
 	Agree        uint64
 	Streak       int
@@ -439,9 +458,9 @@ func (is InstanceStatus) RealizedRate() float64 {
 	return float64(is.Observed) / float64(is.Kept)
 }
 
-// Conserved reports observed == kept + dropped.
+// Conserved reports observed == kept + dropped + aggregated.
 func (is InstanceStatus) Conserved() bool {
-	return is.Observed == is.Kept+is.Dropped
+	return is.Observed == is.Kept+is.Dropped+is.Aggregated
 }
 
 func (st *instState) status(id trace.InstanceID) InstanceStatus {
@@ -454,13 +473,14 @@ func (st *instState) status(id trace.InstanceID) InstanceStatus {
 		Observed:     st.observed,
 		Kept:         st.kept,
 		Dropped:      st.dropped,
+		Aggregated:   st.aggregated,
 		Windows:      st.windows,
 		Agree:        st.agree,
 		Streak:       st.streak,
 		Flips:        st.flips,
 		RePromotions: st.repro,
 		Threads:      st.nthreads,
-		Bound:        Bound(st.observed, st.dropped, st.agree),
+		Bound:        BoundAgg(st.observed, st.dropped, st.aggregated, st.agree),
 	}
 }
 
@@ -492,7 +512,8 @@ type Totals struct {
 	BackedOff    int // currently at rate > 1
 	Observed     uint64
 	Kept         uint64
-	Dropped      uint64
+	Dropped      uint64 // blind drops
+	Aggregated   uint64 // sampled-out events covered by aggregates
 	Windows      uint64
 	Flips        uint64
 	RePromotions uint64
@@ -512,6 +533,7 @@ func (c *Controller) Totals() Totals {
 		t.Observed += is.Observed
 		t.Kept += is.Kept
 		t.Dropped += is.Dropped
+		t.Aggregated += is.Aggregated
 		t.Windows += is.Windows
 		t.Flips += is.Flips
 		t.RePromotions += is.RePromotions
@@ -539,7 +561,10 @@ func (c *Controller) WriteMetrics(w *obs.PromWriter) {
 	w.Counter("dsspy_sample_folded_total",
 		"Events the sampling gate admitted into analysis.", float64(t.Kept))
 	w.Counter("dsspy_sample_dropped_total",
-		"Events the sampling gate dropped before materialization.", float64(t.Dropped))
+		"Events the sampling gate dropped blind before materialization.", float64(t.Dropped))
+	w.Counter("dsspy_sample_aggregated_total",
+		"Sampled-out events settled as compact per-instance aggregates.",
+		float64(t.Aggregated))
 	w.Counter("dsspy_sample_windows_total",
 		"Classification windows observed across instances.", float64(t.Windows))
 	w.Counter("dsspy_sample_flips_total",

@@ -9,9 +9,13 @@
 // episode opening re-promotes the instance to full rate.
 //
 // Everything the gate drops is accounted for: per instance the conservation
-// identity observed == folded + sampled_out holds exactly, and every
-// detection derived from a lossy stream carries an error bound computed from
-// the realized drop share and the window agreement history (see Bound).
+// identity observed == folded + aggregated + sampled_out holds exactly, and
+// every detection derived from a lossy stream carries an error bound computed
+// from the realized drop share and the window agreement history (see Bound).
+// Aggregated events are sampled-out accesses that arrived as compact
+// per-instance aggregates (trace.AggRecord) instead of vanishing blindly —
+// their op mix, index envelope, and scan direction are known, so they weigh
+// far less in the bound than blind drops (AggWeight).
 package sample
 
 import (
@@ -136,10 +140,29 @@ func ParseConfig(s string) (Config, error) {
 // A stream that dropped nothing has bound 0 (and its detections print no
 // confidence line at all: they are exact).
 func Bound(observed, dropped, agree uint64) float64 {
-	if dropped == 0 || observed == 0 {
+	return BoundAgg(observed, dropped, 0, agree)
+}
+
+// AggWeight is the blind-drop-equivalent weight of one aggregate-covered
+// access in the bound. An aggregated access is not blind: its op, index
+// envelope, and scan direction survive in the flushed AggRecord, so only the
+// per-access order/interleaving information is lost. The detections that
+// information feeds (exact run structure, interleaving-sensitive use cases)
+// are a minority of what a window fingerprint confirms, so an aggregated
+// access carries a quarter of a blind drop's uncertainty.
+const AggWeight = 0.25
+
+// BoundAgg is Bound for a stream whose sampled-out events were partly
+// aggregate-covered: `dropped` counts blind drops, `aggregated` counts
+// accesses summarized into AggRecords. The effective uncertain mass is
+// dropped + AggWeight*aggregated, so aggregation tightens the bound toward
+// zero without ever claiming exactness for a lossy stream.
+func BoundAgg(observed, dropped, aggregated, agree uint64) float64 {
+	if (dropped == 0 && aggregated == 0) || observed == 0 {
 		return 0
 	}
-	b := float64(dropped) / float64(observed) / float64(1+agree)
+	eff := float64(dropped) + AggWeight*float64(aggregated)
+	b := eff / float64(observed) / float64(1+agree)
 	if b < 1e-6 {
 		b = 1e-6
 	}
@@ -160,10 +183,19 @@ type InstanceSampling struct {
 	State string `json:"state"`
 	// Rate is the 1-in-N burst rate at finalize (1 = full fidelity).
 	Rate int `json:"rate,omitempty"`
-	// Observed/Folded/SampledOut satisfy observed == folded + sampled_out.
+	// Observed/Folded/Aggregated/SampledOut satisfy
+	// observed == folded + aggregated + sampled_out: Folded events reached
+	// exact analysis, Aggregated events arrived as compact per-instance
+	// aggregates (op mix, index envelope, direction — see AggDirection), and
+	// SampledOut events were dropped blind.
 	Observed   uint64 `json:"observed,omitempty"`
 	Folded     uint64 `json:"folded,omitempty"`
+	Aggregated uint64 `json:"aggregated,omitempty"`
 	SampledOut uint64 `json:"sampled_out,omitempty"`
+	// AggDirection is the monotonic-direction fingerprint of the aggregated
+	// accesses: "forward", "backward", "mixed", or "" when no aggregated
+	// access carried an index.
+	AggDirection string `json:"agg_direction,omitempty"`
 	// Windows/Agree are the classification windows seen and the subset
 	// that agreed with their predecessor.
 	Windows uint64 `json:"windows,omitempty"`
@@ -201,10 +233,11 @@ func (s *InstanceSampling) RealizedRate() float64 {
 }
 
 // Conserved reports whether the row's counters satisfy the conservation
-// identity. Rows stamped by merge widening or tenant-level degradation carry
-// zero counters and are trivially conserved.
+// identity observed == folded + aggregated + sampled_out. Rows stamped by
+// merge widening or tenant-level degradation carry zero counters and are
+// trivially conserved.
 func (s *InstanceSampling) Conserved() bool {
-	return s.Observed == s.Folded+s.SampledOut
+	return s.Observed == s.Folded+s.Aggregated+s.SampledOut
 }
 
 // mix64 is the splitmix64 finalizer, used to hash indexes, transitions and

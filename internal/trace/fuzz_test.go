@@ -40,6 +40,24 @@ func FuzzStreamReader(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(bufV2.Bytes())
+	// An events + aggregate-frame stream keeps the 0x04 decode path covered.
+	var bufAgg bytes.Buffer
+	swA, err := NewStreamWriter(&bufAgg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := swA.WriteBatch([]Event{{Seq: 1, Instance: 1, Op: OpInsert, Index: 0, Size: 1}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := swA.WriteAggregate(AggRecord{Instance: 1, N: 9, Indexed: 9,
+		MinIndex: 0, MaxIndex: 8, Fwd: 8, LastIndex: 8, LastSize: 9,
+		Ops: func() (o [numOps]uint32) { o[OpRead] = 9; return }()}); err != nil {
+		f.Fatal(err)
+	}
+	if err := swA.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bufAgg.Bytes())
 	f.Add([]byte("DSSPY1\n"))
 	f.Add([]byte("DSSPY1\n\x01\xff\xff\xff\xff"))
 	f.Add([]byte("DSSPY3\n\x01\xff\xff\xff\xff"))
@@ -121,6 +139,44 @@ func realSessionLogBytesV2(tb testing.TB) []byte {
 	return buf.Bytes()
 }
 
+// realSessionLogBytesWithAgg is realSessionLogBytes with v3 aggregate frames
+// interleaved between the event frames, so the salvaging fuzzers mutate the
+// lazy-aggregation codec too.
+func realSessionLogBytesWithAgg(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	events := fuzzSeedEvents()
+	if err := sw.WriteBatch(events[:100]); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sw.WriteAggregate(AggRecord{Instance: 1, N: 512, Indexed: 500,
+		MinIndex: 0, MaxIndex: 499, Fwd: 499, LastIndex: 499, LastSize: 500,
+		Ops: func() (o [numOps]uint32) { o[OpRead] = 500; o[OpClear] = 12; return }()}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sw.WriteBatch(events[100:]); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sw.WriteAggregate(AggRecord{Instance: 2, N: 7, LastIndex: NoIndex,
+		Ops: func() (o [numOps]uint32) { o[OpSort] = 7; return }()}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sw.WriteInstances([]Instance{
+		{ID: 1, Kind: KindList, TypeName: "List[int]", Label: "jobs"},
+		{ID: 2, Kind: KindDictionary, TypeName: "map[int]string", Label: "names"},
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 func fuzzSeedEvents() []Event {
 	events := make([]Event, 200)
 	for i := range events {
@@ -144,6 +200,7 @@ func FuzzRecoverSessionLog(f *testing.F) {
 	seed := realSessionLogBytes(f, f.TempDir())
 	f.Add(seed)
 	f.Add(realSessionLogBytesV2(f))
+	f.Add(realSessionLogBytesWithAgg(f))
 	// Truncated, bit-flipped, and tail-garbage variants of the real log.
 	f.Add(seed[:len(seed)/2])
 	flipped := bytes.Clone(seed)
@@ -202,6 +259,9 @@ func FuzzChecksummedFrameReader(f *testing.F) {
 	seedV2 := realSessionLogBytesV2(f)
 	f.Add(seedV2, 20, byte(0x01))
 	f.Add(seedV2, len(seedV2)/2, byte(0x80))
+	seedAgg := realSessionLogBytesWithAgg(f)
+	f.Add(seedAgg, len(seedAgg)/2, byte(0x08))
+	f.Add(seedAgg, len(seedAgg)/3, byte(0x80))
 
 	f.Fuzz(func(t *testing.T, data []byte, pos int, mask byte) {
 		if len(data) == 0 {
@@ -271,9 +331,11 @@ func FuzzColumnarDecoder(f *testing.F) {
 		{Seq: 900, Instance: 3, Op: OpRead, Index: NoIndex, Size: 0, Thread: 2},
 		{Seq: 100, Instance: 3, Op: OpWrite, Index: 7, Size: -1, Thread: 2},
 	}))
-	// Whole-log seeds: the mutator can rediscover framing from these.
+	// Whole-log seeds: the mutator can rediscover framing from these — the
+	// aggregate-bearing log covers the 0x04 frame kind and its varint codec.
 	f.Add(logV3)
 	f.Add(realSessionLogBytesV2(f))
+	f.Add(realSessionLogBytesWithAgg(f))
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		events, err := decodeColumnarFrame(payload)

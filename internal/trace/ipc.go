@@ -117,6 +117,34 @@ func (s *SocketRecorder) RecordBatch(batch []Event) {
 	}
 }
 
+// RecordAggregate ships a flushed lazy-aggregation record as a v3 aggregate
+// frame (AggregateRecorder). It rides the same sticky-error contract as
+// events, but is advisory: a failed aggregate write is not counted as a
+// dropped event, because its accesses were already settled with the gate.
+func (s *SocketRecorder) RecordAggregate(rec AggRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.conn == nil || rec.N == 0 {
+		return
+	}
+	// Flush buffered events first so frames hit the wire in flush order.
+	s.flushLocked()
+	if s.err != nil {
+		return
+	}
+	if s.writeTimeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		defer s.conn.SetWriteDeadline(time.Time{})
+	}
+	if err := s.sw.WriteAggregate(rec); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.sw.Flush(); err != nil {
+		s.err = err
+	}
+}
+
 func (s *SocketRecorder) flushLocked() {
 	n := len(s.buf)
 	if n == 0 {
@@ -675,6 +703,19 @@ func (cs *CollectorServer) serve(conn net.Conn, st *ConnStats) {
 			}
 			st.Instances++
 			cs.mu.Unlock()
+		case frameAggregate:
+			// Advisory lazy-aggregation records: forwarded to sinks that
+			// opt in, dropped otherwise (conservation was settled on the
+			// producer side, so nothing is lost but bound tightening).
+			if tenancy != nil {
+				if err := bind(Hello{}); err != nil {
+					fail(err)
+					return
+				}
+				if as, ok := tenancy.Sink.(TenantAggregateSink); ok {
+					as.TenantAggregate(tenant.name, ent.agg)
+				}
+			}
 		}
 	}
 }

@@ -65,11 +65,15 @@ type Producer struct {
 }
 
 // gateCredit is one instance's cached gate grant: the admit verdict, the
-// credit remaining on it, and the events consumed but not yet settled.
+// credit remaining on it, and the events consumed but not yet settled. On a
+// drop verdict the consumed events are additionally folded into a, the
+// slot-local lazy aggregate (aggregate.go), so sampled-out periods settle as
+// one compact record instead of a blind drop count.
 type gateCredit struct {
 	admit bool
 	left  int32
 	used  uint32
+	a     agg
 }
 
 // Bind returns a Producer for the calling goroutine with the default batch
@@ -125,9 +129,16 @@ func (s *Session) BindDefault() *Producer {
 // Emit appends one access event to the batch, flushing when it fills.
 // The event's sequence number is assigned at flush time.
 func (p *Producer) Emit(id InstanceID, op Op, index, size int) {
-	if p.gate != nil && !p.admit(id) {
+	if p.gate != nil && !p.admit(id, op, index, size) {
 		return
 	}
+	p.append(id, op, index, size)
+}
+
+// append adds one already-admitted event to the batch, flushing when it
+// fills. It is the delivery half of Emit, and the entry point for container
+// handles (handle.go), whose events carry their own gate verdict.
+func (p *Producer) append(id InstanceID, op Op, index, size int) {
 	p.buf = append(p.buf, Event{
 		Instance: id,
 		Op:       op,
@@ -142,8 +153,9 @@ func (p *Producer) Emit(id InstanceID, op Op, index, size int) {
 
 // admit burns one event of the instance's gate credit, refreshing the grant
 // when it is exhausted. The common case — credit left on the slot — touches
-// only producer-local fields.
-func (p *Producer) admit(id InstanceID) bool {
+// only producer-local fields. Events consumed under a drop verdict fold into
+// the slot's aggregate rather than vanishing.
+func (p *Producer) admit(id InstanceID, op Op, index, size int) bool {
 	idx := int(id) - 1
 	if idx < 0 {
 		// Unregistered id: no slot to cache under, gate per event.
@@ -152,6 +164,9 @@ func (p *Producer) admit(id InstanceID) bool {
 	if idx >= len(p.credits) {
 		next := make([]gateCredit, idx+8)
 		copy(next, p.credits)
+		for i := len(p.credits); i < len(next); i++ {
+			next[i].a.reset()
+		}
 		p.credits = next
 	}
 	c := &p.credits[idx]
@@ -170,11 +185,17 @@ func (p *Producer) admit(id InstanceID) bool {
 		p.dirty = append(p.dirty, id)
 	}
 	c.used++
+	if !c.admit {
+		c.a.fold(op, index)
+		c.a.size = size
+	}
 	return c.admit
 }
 
 // settleCredit reports the slot's consumed-but-unsettled events back to the
-// gate.
+// gate: kept counts directly, dropped periods as the slot's aggregate (the
+// session routes it to the gate's aggregate hook when it has one, or settles
+// it as a plain drop count otherwise).
 func (p *Producer) settleCredit(id InstanceID, c *gateCredit) {
 	if c.used == 0 {
 		return
@@ -182,7 +203,7 @@ func (p *Producer) settleCredit(id InstanceID, c *gateCredit) {
 	if c.admit {
 		p.gate.Observe(id, uint64(c.used), 0)
 	} else {
-		p.gate.Observe(id, 0, uint64(c.used))
+		p.s.flushAggregate(c.a.take(id))
 	}
 	c.used = 0
 }
@@ -291,4 +312,9 @@ func (s *Session) WriteMetrics(w *obs.PromWriter) {
 	w.Histogram("dsspy_batch_flush_seconds",
 		"Producer batch flush latency (stamp + deliver, including block time).",
 		bs.Latency, 1e9)
+	flushes, events := s.AggregateStats()
+	w.Counter("dsspy_aggregate_flushes_total",
+		"Lazy per-instance aggregates flushed at sync points.", float64(flushes))
+	w.Counter("dsspy_aggregate_events_total",
+		"Sampled-out accesses covered by flushed aggregates.", float64(events))
 }

@@ -59,6 +59,7 @@ func RecordAll(rec Recorder, batch []Event) {
 type MemRecorder struct {
 	mu     sync.Mutex
 	events []Event
+	aggs   []AggRecord
 }
 
 // NewMemRecorder returns an empty in-memory recorder.
@@ -97,10 +98,28 @@ func (m *MemRecorder) Len() int {
 	return len(m.events)
 }
 
-// Reset discards all recorded events.
+// RecordAggregate retains a flushed lazy-aggregation record
+// (AggregateRecorder); sessions without an AggregateSink land them here.
+func (m *MemRecorder) RecordAggregate(rec AggRecord) {
+	m.mu.Lock()
+	m.aggs = append(m.aggs, rec)
+	m.mu.Unlock()
+}
+
+// Aggregates returns the retained aggregate records in arrival order.
+func (m *MemRecorder) Aggregates() []AggRecord {
+	m.mu.Lock()
+	out := make([]AggRecord, len(m.aggs))
+	copy(out, m.aggs)
+	m.mu.Unlock()
+	return out
+}
+
+// Reset discards all recorded events and aggregates.
 func (m *MemRecorder) Reset() {
 	m.mu.Lock()
 	m.events = nil
+	m.aggs = nil
 	m.mu.Unlock()
 }
 

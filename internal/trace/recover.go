@@ -180,6 +180,22 @@ func recoverColumns(sr *StreamReader, size int64, onInstance func(Instance)) ([]
 			if onInstance != nil {
 				onInstance(inst)
 			}
+		case frameAggregate:
+			// Advisory lazy-aggregation records. Delivered via OnAggregate
+			// when the caller wants them; a checksum-failed aggregate frame
+			// is skipped like a bad event frame (no declared events lost).
+			r, err := sr.readAggregate()
+			switch {
+			case err == nil:
+				if sr.OnAggregate != nil {
+					sr.OnAggregate(r)
+				}
+			case errors.Is(err, ErrChecksum):
+				rec.SkippedFrames++
+			default:
+				stop(err)
+				return batches, rec
+			}
 		case frameHello:
 			// Identity metadata; a salvaging columnar load has no tenant
 			// dimension, so it is read and dropped.

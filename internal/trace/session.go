@@ -40,8 +40,16 @@ type Session struct {
 	batchFill  obs.Histogram
 	batchFlush obs.Histogram
 
+	// Lazy-aggregation plumbing (see aggregate.go): the optional analyzer
+	// sink aggregate flushes are forwarded to, and counters for the
+	// dsspy_aggregate_* metrics.
+	aggSink    aggSinkPtr
+	aggFlushes atomic.Uint64
+	aggEvents  atomic.Uint64
+
 	mu        sync.RWMutex
 	instances []Instance // index = InstanceID-1
+	handles   []*Handle  // container fast-path handles (handle.go)
 }
 
 // Gate decides, before an event is materialized, whether it enters the

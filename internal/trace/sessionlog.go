@@ -286,11 +286,15 @@ func LoadSessionColumns(path string) (*Session, []*ColumnBatch, error) {
 					ErrBadStream, id, inst.ID)
 			}
 			s.setSite(id, inst.Site)
-		case frameHello:
-			// Identity metadata written by daemon-aware producers; the replay
-			// loader has no tenant dimension, so it is read and dropped.
-			if _, err := sr.readHello(); err != nil {
+		case frameAggregate:
+			// Advisory lazy-aggregation records; delivered via OnAggregate
+			// when set, otherwise dropped (replay folds kept events only).
+			rec, err := sr.readAggregate()
+			if err != nil {
 				return nil, nil, err
+			}
+			if sr.OnAggregate != nil {
+				sr.OnAggregate(rec)
 			}
 		default:
 			return nil, nil, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)

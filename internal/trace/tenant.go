@@ -128,6 +128,14 @@ type TenantSink interface {
 	TenantInstance(tenant string, inst Instance)
 }
 
+// TenantAggregateSink is an optional TenantSink extension for sinks that
+// consume shipped lazy-aggregation records (v3 aggregate frames). Sinks
+// without it simply lose the bound tightening — aggregates are advisory,
+// never load-bearing for conservation, which was settled producer-side.
+type TenantAggregateSink interface {
+	TenantAggregate(tenant string, rec AggRecord)
+}
+
 // TenancyOptions turns a CollectorServer into a multiplexing daemon: streams
 // are bound to tenants by their hello frame (DefaultTenant without one),
 // admission control applies per tenant, and — when Sink is set — admitted

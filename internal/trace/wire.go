@@ -219,6 +219,11 @@ type StreamReader struct {
 	pay     []byte // v3 payload scratch, reused across frames
 	version int
 	off     int64 // bytes consumed from the stream so far
+	// OnAggregate, when set, receives every decoded aggregate frame (v3
+	// lazy-aggregation records). Event-only read loops otherwise skip them:
+	// aggregates are advisory for readers — conservation was settled on the
+	// producer side — so dropping them loses bound tightening, not events.
+	OnAggregate func(AggRecord)
 }
 
 // NewStreamReader validates the stream header and returns a reader. All
@@ -273,16 +278,18 @@ func (sr *StreamReader) readFull(buf []byte) error {
 // entry is one decoded frame: the kind byte plus the payload that matches it.
 type entry struct {
 	kind     byte
-	events   []Event  // kind == frameEvents
-	instance Instance // kind == frameInstance
-	hello    Hello    // kind == frameHello
+	events   []Event   // kind == frameEvents
+	instance Instance  // kind == frameInstance
+	hello    Hello     // kind == frameHello
+	agg      AggRecord // kind == frameAggregate
 }
 
 // readEntry decodes the next frame of any kind. It returns io.EOF only when
 // the stream ends cleanly before a kind byte; a stream cut mid-frame comes
-// back as io.ErrUnexpectedEOF. A checksum failure on an event frame returns
-// ErrChecksum with the frame fully consumed, so callers may skip it and keep
-// reading.
+// back as io.ErrUnexpectedEOF. A checksum failure on an event or aggregate
+// frame returns ErrChecksum with the frame fully consumed, so callers may
+// skip it and keep reading. Aggregate frames are additionally delivered to
+// OnAggregate when set.
 func (sr *StreamReader) readEntry() (entry, error) {
 	kind, err := sr.readByte()
 	if err != nil {
@@ -300,6 +307,12 @@ func (sr *StreamReader) readEntry() (entry, error) {
 	case frameHello:
 		h, err := sr.readHello()
 		return entry{kind: frameHello, hello: h}, err
+	case frameAggregate:
+		rec, err := sr.readAggregate()
+		if err == nil && sr.OnAggregate != nil {
+			sr.OnAggregate(rec)
+		}
+		return entry{kind: frameAggregate, agg: rec}, err
 	default:
 		return entry{}, fmt.Errorf("%w: unknown frame kind 0x%02x", ErrBadStream, kind)
 	}
@@ -386,8 +399,9 @@ func (sr *StreamReader) ReadBatch() ([]Event, error) {
 			return nil, io.EOF
 		case frameEvents:
 			return ent.events, nil
-		case frameHello:
-			// Identity metadata, not payload: event-only consumers skip it.
+		case frameHello, frameAggregate:
+			// Identity metadata / advisory aggregates, not event payload:
+			// event consumers skip them (readEntry fed OnAggregate already).
 			continue
 		default:
 			return nil, fmt.Errorf("%w: unexpected frame kind 0x%02x in event stream", ErrBadStream, ent.kind)
@@ -415,6 +429,15 @@ func (sr *StreamReader) ReadColumns(b *ColumnBatch) (int, error) {
 			// Identity metadata, not payload: event-only consumers skip it.
 			if _, err := sr.readHello(); err != nil {
 				return 0, err
+			}
+			continue
+		case frameAggregate:
+			rec, err := sr.readAggregate()
+			if err != nil {
+				return 0, err
+			}
+			if sr.OnAggregate != nil {
+				sr.OnAggregate(rec)
 			}
 			continue
 		default:

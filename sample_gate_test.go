@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -86,6 +87,7 @@ func TestSampleDifferentialCorpus(t *testing.T) {
 		{"static", sample.Config{Mode: sample.ModeStatic, StaticRate: 4, Burst: 8}},
 	}
 	lossy := 0
+	var aggregated uint64
 	for _, p := range progs {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
@@ -101,6 +103,7 @@ func TestSampleDifferentialCorpus(t *testing.T) {
 					if !is.Conserved() {
 						t.Fatalf("%s: conservation violated for instance %d: %+v", shape.name, is.ID, is)
 					}
+					aggregated += is.Aggregated
 				}
 				if len(rep.Instances) != len(full.Instances) {
 					t.Fatalf("%s: sampled run found %d instances, full run %d",
@@ -136,6 +139,13 @@ func TestSampleDifferentialCorpus(t *testing.T) {
 	if lossy == 0 {
 		t.Fatal("no workload produced a lossy instance; the differential bar is vacuous")
 	}
+	// Dropped container spans must settle through the lazy-aggregate plane
+	// (handles fold, sync points flush, the controller's ObserveAggregate
+	// accounts them): zero here means the aggregates fell out of the
+	// conservation identity and the suite stopped exercising them.
+	if aggregated == 0 {
+		t.Fatal("no instance settled aggregated events; the lazy-aggregation plane is vacuous in this suite")
+	}
 }
 
 // gatedRun executes one app's instrumented workload end to end through the
@@ -157,6 +167,38 @@ func gatedRun(app *apps.App, cfg *sample.Config) time.Duration {
 	}
 	s := trace.NewSessionWith(opts)
 	sa.Attach(s)
+	// Collect setup garbage before the span: the collector's shard buffers
+	// are megabytes, and letting their GC-assist debt fall due inside the
+	// workload charges harness setup to the measurement.
+	runtime.GC()
+	start := time.Now()
+	p := s.BindDefault()
+	app.Instrumented(s)
+	p.Close()
+	elapsed := time.Since(start)
+	scol.Close()
+	sa.Close()
+	return elapsed
+}
+
+// twinRun times one plain-twin execution under the same GC hygiene as the
+// instrumented spans.
+func twinRun(app *apps.App) time.Duration {
+	runtime.GC()
+	start := time.Now()
+	app.PlainTwin()
+	return time.Since(start)
+}
+
+// floorRun times the instrumented workload under the drop-everything gate:
+// the no-trace floor of the proxy layer (see dropAll).
+func floorRun(app *apps.App) time.Duration {
+	d := core.New()
+	sa := d.NewStreamAnalyzer(0)
+	scol := sa.Collector(trace.DefaultAsyncBuffer, trace.Block(), false)
+	s := trace.NewSessionWith(trace.Options{Recorder: scol, Gate: dropAll{}})
+	sa.Attach(s)
+	runtime.GC()
 	start := time.Now()
 	p := s.BindDefault()
 	app.Instrumented(s)
@@ -208,6 +250,7 @@ func warmedAdaptiveRun(app *apps.App, cfg sample.Config) time.Duration {
 			prev = w
 		}
 	}
+	runtime.GC()
 	start := time.Now()
 	p := s.BindDefault()
 	app.Instrumented(s)
@@ -223,10 +266,10 @@ func warmedAdaptiveRun(app *apps.App, cfg sample.Config) time.Duration {
 // all against the plain twin (PlainTwin methodology, DESIGN.md §9):
 //
 //   - floor: a drop-everything gate. What remains is the dstruct proxy
-//     layer itself — pointer-chasing containers and interface calls that
-//     the twins' raw slices don't pay. No trace-layer sampler can remove
-//     it; on this corpus it measures ≈2.2× geo-mean, which is why a flat
-//     <1.5×-of-twin bar is unreachable for any gate at this layer.
+//     layer itself — the inlined credit test and wrapper bodies that the
+//     twins' raw slices don't pay. No trace-layer sampler can remove it;
+//     with the handle fast path it measures well under 1.4× geo-mean on
+//     this corpus (TestFloorGate enforces that bar directly).
 //   - steady 1:64: the backed-off regime a stable hot instance converges
 //     to (-sample=1:N with the default MaxRate).
 //   - adaptive (warmed): -sample=adaptive after shape inheritance has seen
@@ -262,26 +305,8 @@ func TestSampleSlowdownGate(t *testing.T) {
 		if app.PlainTwin == nil {
 			continue
 		}
-		twin := bestOf(func() time.Duration {
-			start := time.Now()
-			app.PlainTwin()
-			return time.Since(start)
-		})
-		floor := bestOf(func() time.Duration {
-			d := core.New()
-			sa := d.NewStreamAnalyzer(0)
-			scol := sa.Collector(trace.DefaultAsyncBuffer, trace.Block(), false)
-			s := trace.NewSessionWith(trace.Options{Recorder: scol, Gate: dropAll{}})
-			sa.Attach(s)
-			start := time.Now()
-			p := s.BindDefault()
-			app.Instrumented(s)
-			p.Close()
-			elapsed := time.Since(start)
-			scol.Close()
-			sa.Close()
-			return elapsed
-		})
+		twin := bestOf(func() time.Duration { return twinRun(app) })
+		floor := bestOf(func() time.Duration { return floorRun(app) })
 		gated := bestOf(func() time.Duration { return gatedRun(app, &steady) })
 		adapt := bestOf(func() time.Duration { return warmedAdaptiveRun(app, adaptive) })
 		overFloor := float64(gated) / float64(floor)
